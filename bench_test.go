@@ -1,0 +1,82 @@
+package gpuvar
+
+// One benchmark per table and figure of the paper's evaluation (see the
+// per-experiment index in DESIGN.md). Each regenerates the corresponding
+// output through internal/figures — the same code path as cmd/figures —
+// so `go test -bench=.` both times and exercises every reproduction.
+//
+// Benchmarks use trimmed experiment sizes (fewer kernel repetitions, a
+// Summit sample instead of all 27,648 GPUs); `cmd/figures -full` runs
+// the paper-scale versions.
+
+import (
+	"io"
+	"testing"
+
+	"gpuvar/internal/figures"
+)
+
+// benchConfig keeps per-iteration cost moderate while exercising the
+// full pipeline.
+func benchConfig() figures.Config {
+	return figures.Config{
+		Seed:           2022,
+		SummitFraction: 0.03,
+		Iterations:     6,
+		MLIterations:   10,
+		Runs:           2,
+	}
+}
+
+// benchFigure runs one generator per iteration on a fresh session (no
+// cross-iteration caching, so the timing covers the experiment itself).
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := figures.NewSession(benchConfig())
+		if err := figures.Generate(id, s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTab01ClusterSummary(b *testing.B)       { benchFigure(b, "tab1") }
+func BenchmarkTab02Applications(b *testing.B)         { benchFigure(b, "tab2") }
+func BenchmarkFig01SGEMMAllClusters(b *testing.B)     { benchFigure(b, "fig1") }
+func BenchmarkFig02SGEMMLonghorn(b *testing.B)        { benchFigure(b, "fig2") }
+func BenchmarkFig03LonghornCorrelations(b *testing.B) { benchFigure(b, "fig3") }
+func BenchmarkFig04SGEMMSummit(b *testing.B)          { benchFigure(b, "fig4") }
+func BenchmarkFig05SummitCorrelations(b *testing.B)   { benchFigure(b, "fig5") }
+func BenchmarkFig06SGEMMCorona(b *testing.B)          { benchFigure(b, "fig6") }
+func BenchmarkFig07CoronaCorrelations(b *testing.B)   { benchFigure(b, "fig7") }
+func BenchmarkFig08PerGPUVariation(b *testing.B)      { benchFigure(b, "fig8") }
+func BenchmarkFig09SGEMMVortex(b *testing.B)          { benchFigure(b, "fig9") }
+func BenchmarkFig10VortexCorrelations(b *testing.B)   { benchFigure(b, "fig10") }
+func BenchmarkFig11DVFSTimeline(b *testing.B)         { benchFigure(b, "fig11") }
+func BenchmarkFig12SGEMMFrontera(b *testing.B)        { benchFigure(b, "fig12") }
+func BenchmarkFig13FronteraCorrelations(b *testing.B) { benchFigure(b, "fig13") }
+func BenchmarkFig14ResNetMultiGPU(b *testing.B)       { benchFigure(b, "fig14") }
+func BenchmarkFig15ResNetCorrelations(b *testing.B)   { benchFigure(b, "fig15") }
+func BenchmarkFig16ResNetSingleGPU(b *testing.B)      { benchFigure(b, "fig16") }
+func BenchmarkFig17BERT(b *testing.B)                 { benchFigure(b, "fig17") }
+func BenchmarkFig18LAMMPS(b *testing.B)               { benchFigure(b, "fig18") }
+func BenchmarkFig19PageRank(b *testing.B)             { benchFigure(b, "fig19") }
+func BenchmarkFig20SummitWeek(b *testing.B)           { benchFigure(b, "fig20") }
+func BenchmarkFig21LonghornWeek(b *testing.B)         { benchFigure(b, "fig21") }
+func BenchmarkFig22PowerLimitSweep(b *testing.B)      { benchFigure(b, "fig22") }
+func BenchmarkFig23SummitRowH(b *testing.B)           { benchFigure(b, "fig23") }
+func BenchmarkFig24RowHCorrelations(b *testing.B)     { benchFigure(b, "fig24") }
+func BenchmarkFig25PowerBrakeTimeline(b *testing.B)   { benchFigure(b, "fig25") }
+func BenchmarkFig26RowHCol36(b *testing.B)            { benchFigure(b, "fig26") }
+func BenchmarkImpactSlowGPUProbability(b *testing.B)  { benchFigure(b, "impact") }
+
+// Extension studies (DESIGN.md §5): ablation of the variability
+// mechanisms, the spatial/temporal interference study the paper defers
+// to future work, and the global power management proposal.
+func BenchmarkExtAblation(b *testing.B)  { benchFigure(b, "ext-ablation") }
+func BenchmarkExtSpatial(b *testing.B)   { benchFigure(b, "ext-spatial") }
+func BenchmarkExtTemporal(b *testing.B)  { benchFigure(b, "ext-temporal") }
+func BenchmarkExtGlobalPM(b *testing.B)  { benchFigure(b, "ext-globalpm") }
+func BenchmarkExtScheduler(b *testing.B) { benchFigure(b, "ext-scheduler") }
+func BenchmarkExtCampaign(b *testing.B)  { benchFigure(b, "ext-campaign") }
+func BenchmarkExtNextGen(b *testing.B)   { benchFigure(b, "ext-nextgen") }

@@ -1,0 +1,76 @@
+// Command clustergen instantiates a modeled cluster fleet and prints its
+// composition: topology, sampled manufacturing spread, thermal
+// environment, and planted defects. Useful to inspect exactly which
+// hardware an experiment seed produces.
+//
+// Usage:
+//
+//	clustergen -cluster Summit -seed 2022
+//	clustergen -cluster Longhorn -defects
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/report"
+	"gpuvar/internal/stats"
+)
+
+func main() {
+	var (
+		name        = flag.String("cluster", "Longhorn", "cluster name")
+		seed        = flag.Uint64("seed", 2022, "fleet instantiation seed")
+		defectsOnly = flag.Bool("defects", false, "print only the planted defects")
+	)
+	flag.Parse()
+
+	spec, ok := cluster.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clustergen: unknown cluster %q\n", *name)
+		os.Exit(2)
+	}
+	fleet := spec.Instantiate(*seed)
+
+	if !*defectsOnly {
+		fmt.Printf("%s: %d GPUs (%s) across %d nodes, %s cooled, seed %d\n",
+			spec.Name, spec.NumGPUs(), spec.SKU().Name, spec.NumNodes(),
+			spec.Cooling.Cooling, *seed)
+
+		var volts, ambients, resists []float64
+		for _, m := range fleet.Members {
+			volts = append(volts, m.Chip.VoltFactor)
+			ambients = append(ambients, m.Therm.AmbientC)
+			resists = append(resists, m.Therm.ResistCPerW)
+		}
+		var t report.Table
+		t.Header = []string{"Parameter", "Min", "Median", "Max"}
+		t.AddRow("V/F quality factor",
+			fmt.Sprintf("%.4f", stats.Min(volts)),
+			fmt.Sprintf("%.4f", stats.Median(volts)),
+			fmt.Sprintf("%.4f", stats.Max(volts)))
+		t.AddRow("inlet temperature C",
+			fmt.Sprintf("%.1f", stats.Min(ambients)),
+			fmt.Sprintf("%.1f", stats.Median(ambients)),
+			fmt.Sprintf("%.1f", stats.Max(ambients)))
+		t.AddRow("thermal resistance C/W",
+			fmt.Sprintf("%.3f", stats.Min(resists)),
+			fmt.Sprintf("%.3f", stats.Median(resists)),
+			fmt.Sprintf("%.3f", stats.Max(resists)))
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "clustergen:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	def := fleet.Defective()
+	fmt.Printf("planted defects: %d GPU(s)\n", len(def))
+	sort.Slice(def, func(i, j int) bool { return def[i].Chip.ID < def[j].Chip.ID })
+	for _, m := range def {
+		fmt.Printf("  %-26s %s\n", m.Chip.ID, m.Chip.Defect)
+	}
+}

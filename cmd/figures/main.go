@@ -1,0 +1,60 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation from the modeled clusters.
+//
+// Usage:
+//
+//	figures                 # everything, quick settings
+//	figures -fig fig2       # one figure
+//	figures -list           # available ids
+//	figures -full           # full-fidelity settings (slow): 100 SGEMM
+//	                        # reps, all 27,648 Summit GPUs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuvar/internal/figures"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure/table id to regenerate (empty = all)")
+		list  = flag.Bool("list", false, "list available ids")
+		seed  = flag.Uint64("seed", 2022, "fleet instantiation seed")
+		full  = flag.Bool("full", false, "full-fidelity settings (paper-scale iterations and Summit coverage)")
+		iters = flag.Int("iterations", 0, "override SGEMM repetitions")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range figures.AllWithExtensions() {
+			fmt.Printf("%-8s %s\n", g.ID, g.Title)
+		}
+		return
+	}
+
+	cfg := figures.Config{Seed: *seed}
+	if *full {
+		cfg.SummitFraction = 1.0
+		cfg.Iterations = 100
+		cfg.MLIterations = 100
+		cfg.Runs = 5
+	}
+	if *iters > 0 {
+		cfg.Iterations = *iters
+	}
+	s := figures.NewSession(cfg)
+
+	var err error
+	if *fig == "" {
+		err = figures.GenerateAll(s, os.Stdout)
+	} else {
+		err = figures.Generate(*fig, s, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

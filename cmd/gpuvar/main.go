@@ -1,0 +1,141 @@
+// Command gpuvar runs one variability characterization experiment: a
+// workload across (nearly) every GPU of a modeled cluster, reporting the
+// box-plot summaries, correlations, and flagged outliers of the paper's
+// methodology.
+//
+// Usage:
+//
+//	gpuvar -cluster Longhorn -workload sgemm
+//	gpuvar -cluster Summit -workload sgemm -fraction 0.1 -runs 3
+//	gpuvar -cluster Longhorn -workload resnet-multi -seed 7
+//	gpuvar -cluster CloudLab -workload sgemm -cap 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+	"gpuvar/internal/report"
+	"gpuvar/internal/workload"
+)
+
+func workloadByName(name string, spec cluster.Spec) (workload.Workload, error) {
+	sku := spec.SKU()
+	switch strings.ToLower(name) {
+	case "sgemm":
+		return workload.SGEMMForCluster(sku), nil
+	case "resnet-multi", "resnet":
+		return workload.ResNet50(4, 64, sku), nil
+	case "resnet-single":
+		return workload.ResNet50(1, 16, sku), nil
+	case "bert":
+		return workload.BERT(4, 64, sku), nil
+	case "lammps":
+		return workload.LAMMPS(8, 16, 16, sku), nil
+	case "pagerank":
+		return workload.PageRank(643994, 6250000, sku), nil
+	default:
+		return workload.Workload{}, fmt.Errorf(
+			"unknown workload %q (sgemm, resnet-multi, resnet-single, bert, lammps, pagerank)", name)
+	}
+}
+
+func main() {
+	var (
+		clusterName = flag.String("cluster", "Longhorn", "cluster: CloudLab, Longhorn, Frontera, Vortex, Summit, Corona")
+		wlName      = flag.String("workload", "sgemm", "workload: sgemm, resnet-multi, resnet-single, bert, lammps, pagerank")
+		seed        = flag.Uint64("seed", 2022, "fleet instantiation seed")
+		fraction    = flag.Float64("fraction", 1.0, "fraction of observed GPUs to measure")
+		runs        = flag.Int("runs", 1, "measurement repetitions per GPU")
+		iters       = flag.Int("iterations", 0, "override workload iterations (0 = paper default)")
+		capW        = flag.Float64("cap", 0, "administrative power limit in watts (0 = TDP)")
+		transient   = flag.Bool("transient", false, "use the tick-level simulator (small fleets only)")
+		outliers    = flag.Bool("outliers", true, "print the early-warning outlier report")
+		csvPath     = flag.String("csv", "", "also write per-GPU measurements to this CSV file")
+	)
+	flag.Parse()
+
+	spec, ok := cluster.ByName(*clusterName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gpuvar: unknown cluster %q\n", *clusterName)
+		os.Exit(2)
+	}
+	wl, err := workloadByName(*wlName, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuvar:", err)
+		os.Exit(2)
+	}
+	if *iters > 0 {
+		wl.Iterations = *iters
+	}
+	exp := core.Experiment{
+		Cluster:   spec,
+		Workload:  wl,
+		Seed:      *seed,
+		Fraction:  *fraction,
+		Runs:      *runs,
+		AdminCapW: *capW,
+		Transient: *transient,
+	}
+	res, err := core.Run(exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuvar:", err)
+		os.Exit(1)
+	}
+
+	s := res.Summarize()
+	fmt.Printf("%s on %s: %d GPUs measured (seed %d, %d run(s))\n",
+		wl.Name, spec.Name, s.GPUs, *seed, *runs)
+	fmt.Printf("performance: median %.1f ms, variation %.1f%%, %d outliers\n",
+		s.MedianMs, s.PerfVar*100, s.NOutliers)
+	fmt.Printf("variation:   freq %.1f%%  power %.1f%%  temp %.1f%%\n",
+		s.FreqVar*100, s.PowerVar*100, s.TempVar*100)
+	c := s.Corr
+	fmt.Printf("correlation: perf-freq %+.2f  perf-temp %+.2f  perf-power %+.2f  power-temp %+.2f\n\n",
+		c.PerfFreq, c.PerfTemp, c.PerfPower, c.PowerTemp)
+
+	for _, m := range []core.Metric{core.Perf, core.Freq, core.Power, core.Temp} {
+		chart := report.BoxChart{Title: m.String(), Width: 64}
+		grouped := map[string][]float64{}
+		for _, meas := range res.PerAG {
+			grouped[meas.Loc.Group()] = append(grouped[meas.Loc.Group()], m.Of(meas))
+		}
+		for _, g := range res.GroupLabels() {
+			if err := chart.Add(g, grouped[g]); err != nil {
+				fmt.Fprintln(os.Stderr, "gpuvar:", err)
+				os.Exit(1)
+			}
+		}
+		if err := chart.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gpuvar:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	imp := res.Impact(0.06, 4)
+	fmt.Printf("user impact: %.0f%% of GPUs are >6%% slower than the fastest; "+
+		"P(slow GPU) = %.0f%% for 1-GPU jobs, %.0f%% for 4-GPU jobs\n\n",
+		imp.SlowFraction*100, imp.PSingleGPU*100, imp.PMultiGPU*100)
+
+	if *outliers {
+		fmt.Print(core.FormatSuspects(res.OutlierReport()))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpuvar:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gpuvar:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(res.PerAG), *csvPath)
+	}
+}

@@ -1,0 +1,14 @@
+// Package gpuvar reproduces "Not All GPUs Are Created Equal:
+// Characterizing Variability in Large-Scale, Accelerator-Rich Systems"
+// (SC 2022) as a Go library: a physics-based GPU fleet simulator (V/F
+// curves, DVFS controllers, RC thermal models, manufacturing spread, and
+// a defect taxonomy), the paper's five workloads, its six clusters, and
+// the full characterization methodology (IQR variability, correlations,
+// repeatability, day-of-week, power-limit sweeps, outlier triage).
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// EXPERIMENTS.md for paper-versus-measured results, and the examples/
+// directory for runnable entry points. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation; the same
+// generators are exposed interactively by cmd/figures.
+package gpuvar

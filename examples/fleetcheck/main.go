@@ -1,0 +1,59 @@
+// Fleetcheck: the administrator early-warning workflow of paper §VII
+// ("Blacklisting, Maintenance").
+//
+// The paper's study let TACC operators identify and service problem
+// nodes on Frontera and Longhorn. This example runs that workflow:
+// a periodic SGEMM sweep across the fleet, outlier flagging on all four
+// metrics, and a diagnosis per suspect — then verifies the flags against
+// the simulation's planted ground truth.
+//
+//	go run ./examples/fleetcheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+	"gpuvar/internal/workload"
+)
+
+func sweep(spec cluster.Spec, seed uint64) []core.Suspect {
+	wl := workload.SGEMMForCluster(spec.SKU())
+	wl.Iterations = 15
+	res, err := core.Run(core.Experiment{Cluster: spec, Workload: wl, Seed: seed, Runs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.OutlierReport()
+}
+
+func main() {
+	for _, spec := range []cluster.Spec{cluster.Frontera(), cluster.Corona(), cluster.Longhorn()} {
+		fmt.Printf("=== %s maintenance sweep ===\n", spec.Name)
+		suspects := sweep(spec, 2022)
+		if len(suspects) == 0 {
+			fmt.Println("fleet healthy: no outliers flagged")
+			continue
+		}
+		fmt.Print(core.FormatSuspects(suspects))
+
+		// In the simulator we know the ground truth, so the workflow's
+		// hit rate is checkable — on a real cluster these flags are what
+		// the operator takes to the machine room.
+		hits, falseAlarms := 0, 0
+		for _, s := range suspects {
+			if s.TruthDefect != "none" {
+				hits++
+			} else {
+				falseAlarms++
+			}
+		}
+		planted := len(spec.Instantiate(2022).Defective())
+		fmt.Printf("flagged %d suspects: %d with real planted defects (of %d planted), %d borderline-healthy\n\n",
+			len(suspects), hits, planted, falseAlarms)
+	}
+
+	fmt.Println("Paper §VII: \"Performing periodic variability benchmarking can help automate this.\"")
+}

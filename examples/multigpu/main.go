@@ -1,0 +1,123 @@
+// Multigpu: bulk-synchronous straggler amplification and
+// variability-aware placement (paper §V-A and §VII).
+//
+// A 4-GPU data-parallel training job advances at the pace of its slowest
+// GPU. This example (1) quantifies how the slow-GPU lottery hits multi-
+// GPU allocations, and (2) demonstrates the paper's proposed mitigation:
+// schedule compute-bound jobs on low-variation nodes and memory-bound
+// jobs on the rest.
+//
+//	go run ./examples/multigpu
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/sched"
+	"gpuvar/internal/workload"
+)
+
+func main() {
+	spec := cluster.Longhorn()
+	seed := uint64(2022)
+
+	// Step 1: benchmark the fleet with single-GPU SGEMM (the periodic
+	// sweep an operator would already have).
+	bench := workload.SGEMMForCluster(spec.SKU())
+	bench.Iterations = 15
+	single, err := core.Run(core.Experiment{Cluster: spec, Workload: bench, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	imp := single.Impact(0.06, 4)
+	fmt.Printf("slow-GPU lottery on %s: %.0f%% of GPUs are >6%% slower than the fastest\n",
+		spec.Name, imp.SlowFraction*100)
+	fmt.Printf("  P(hit one) = %.0f%% for a 1-GPU job, %.0f%% for a 4-GPU job\n\n",
+		imp.PSingleGPU*100, imp.PMultiGPU*100)
+
+	// Step 2: run the multi-GPU training workload and show the
+	// amplification: every GPU in a job reports the job's (slowest-GPU)
+	// iteration time.
+	resnet := workload.ResNet50(4, 64, spec.SKU())
+	resnet.Iterations = 25
+	multi, err := core.Run(core.Experiment{Cluster: spec, Workload: resnet, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-GPU ResNet-50: %.1f%% iteration-time variation across jobs "+
+		"(vs %.1f%% for single-GPU SGEMM)\n\n",
+		multi.Variation(core.Perf)*100, single.Variation(core.Perf)*100)
+
+	// Step 3: variability-aware placement. Score each node by its
+	// slowest benchmarked GPU and compare placement policies for a
+	// compute-bound job stream.
+	perfByNode := map[string]float64{}
+	for _, m := range single.PerAG {
+		if m.PerfMs > perfByNode[m.Loc.NodeID()] {
+			perfByNode[m.Loc.NodeID()] = m.PerfMs
+		}
+	}
+	var nodes []sched.Node
+	fleet := spec.Instantiate(seed)
+	for id, members := range fleet.Nodes() {
+		var gpus []string
+		for _, m := range members {
+			gpus = append(gpus, m.Chip.ID)
+		}
+		sort.Strings(gpus)
+		nodes = append(nodes, sched.Node{
+			ID:   id,
+			GPUs: gpus,
+			// Higher score = faster node (invert the duration).
+			PerfScore: -perfByNode[id],
+		})
+	}
+
+	jobs := func() []sched.Job {
+		out := make([]sched.Job, 40)
+		for i := range out {
+			out[i] = sched.Job{ID: i, GPUs: 4, SubmitS: float64(i) * 10, DurS: 300}
+		}
+		return out
+	}
+
+	for _, policy := range []sched.Policy{sched.Random, sched.BestPerf} {
+		s := sched.New(nodes, policy, rng.New(1))
+		scheduled := s.Schedule(jobs())
+		slowHits := 0
+		for _, j := range scheduled {
+			for _, g := range j.GPUIDs {
+				if isSlow(single, g) {
+					slowHits++
+					break
+				}
+			}
+		}
+		fmt.Printf("policy %-10s: %d of %d compute-bound jobs landed on a slow GPU\n",
+			policy, slowHits, len(scheduled))
+	}
+	fmt.Println("\nPaper §VII: schedulers should place compute-intensive jobs on low-variation " +
+		"nodes; memory-bound jobs tolerate the rest without penalty.")
+}
+
+// isSlow reports whether the GPU's benchmarked duration is >6% above the
+// fleet's fastest.
+func isSlow(res *core.Result, gpuID string) bool {
+	fastest := res.PerAG[0].PerfMs
+	for _, m := range res.PerAG {
+		if m.PerfMs < fastest {
+			fastest = m.PerfMs
+		}
+	}
+	for _, m := range res.PerAG {
+		if m.GPUID == gpuID {
+			return m.PerfMs > fastest*1.06
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+// Pmexporter: the PM-information exposure standard the paper calls for
+// (§VII "New Hardware and System Design"), end to end.
+//
+// A node agent benchmarks its fleet, publishes per-GPU PM state over
+// HTTP/JSON (the uniform interface vendors do not provide today), and a
+// fleet watcher consumes the feed to raise maintenance alerts — the
+// automated version of the paper's early-warning workflow.
+//
+//	go run ./examples/pmexporter
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+	"gpuvar/internal/pmexport"
+	"gpuvar/internal/workload"
+)
+
+// exportResult converts an experiment's measurements into the exporter
+// schema.
+func exportResult(res *core.Result) []pmexport.Record {
+	fleet := res.Exp.Cluster.Instantiate(res.Exp.Seed)
+	pins := map[string]float64{}
+	for _, m := range fleet.Members {
+		pins[m.Chip.ID] = m.Chip.MaxUsableClockMHz()
+	}
+	now := time.Now()
+	out := make([]pmexport.Record, 0, len(res.PerAG))
+	for _, m := range res.PerAG {
+		out = append(out, pmexport.Record{
+			GPUID:            m.GPUID,
+			NodeID:           m.Loc.NodeID(),
+			FreqMHz:          m.FreqMHz,
+			PowerW:           m.PowerW,
+			TempC:            m.TempC,
+			PerfMs:           m.PerfMs,
+			PowerCapW:        res.Exp.Cluster.SKU().TDPWatts,
+			MaxClockMHz:      pins[m.GPUID],
+			ThermallyLimited: m.ThermallyLimited,
+			CollectedAt:      now,
+		})
+	}
+	return out
+}
+
+func main() {
+	// Node agent side: run the periodic benchmark and load the exporter.
+	spec := cluster.Longhorn()
+	wl := workload.SGEMMForCluster(spec.SKU())
+	wl.Iterations = 12
+	res, err := core.Run(core.Experiment{Cluster: spec, Workload: wl, Seed: 2022})
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := pmexport.NewStaticSource(exportResult(res))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: pmexport.Handler(src)}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Println("exporter:", err)
+		}
+	}()
+	defer srv.Close()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("exporter serving %d GPUs at %s/v1/fleet\n\n", len(res.PerAG), url)
+
+	// Operator side: the watcher polls the standard interface — no
+	// vendor tools involved.
+	client := pmexport.NewClient(url)
+	sum, err := client.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet summary: %d GPUs, medians %.0f MHz / %.0f W / %.0f C, "+
+		"%d thermally limited, %d below their power cap\n\n",
+		sum.GPUs, sum.MedianFreqMHz, sum.MedianPowerW, sum.MedianTempC,
+		sum.ThermallyLimited, sum.BelowCapCount)
+
+	records, err := client.Fleet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alerts := pmexport.CheckFleet(records)
+	fmt.Printf("maintenance alerts (%d):\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  %-26s %s\n", a.GPUID, a.Reason)
+	}
+	fmt.Println("\nPaper §VII: \"we will need to design a standard for accelerators to expose " +
+		"PM information from the hardware to the software and runtime.\"")
+}

@@ -1,0 +1,246 @@
+// Package campaign implements the paper's operational proposal
+// (§I, §VII): "systematic benchmarking across nodes to provide an
+// early-warning for system administrators to perform maintenance or
+// investigate bad GPUs, without hurting long-term cluster performance."
+//
+// It has three parts: a planner that rotates benchmark slots across the
+// fleet inside an overhead budget, a monitor that tracks per-GPU
+// baselines (EWMA) and flags drift, and a closed-loop simulation that
+// injects a degradation into a running fleet and measures how many days
+// the campaign needs to detect it.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/dvfs"
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/sim"
+	"gpuvar/internal/workload"
+)
+
+// PlanConfig bounds the benchmarking overhead.
+type PlanConfig struct {
+	// OverheadFrac is the fraction of fleet node-time the campaign may
+	// consume (e.g. 0.01 = 1%).
+	OverheadFrac float64
+	// BenchSeconds is one node benchmark's duration.
+	BenchSeconds float64
+	// DaySeconds is the scheduling period (default 86400).
+	DaySeconds float64
+}
+
+// Slot schedules one node benchmark.
+type Slot struct {
+	Day    int
+	NodeID string
+}
+
+// Plan rotates benchmarks over the nodes so that every node is measured
+// as often as the overhead budget allows. It returns the slots for
+// `days` days plus the fleet coverage period (days between successive
+// benchmarks of the same node).
+func Plan(nodeIDs []string, days int, cfg PlanConfig) ([]Slot, int, error) {
+	if cfg.DaySeconds <= 0 {
+		cfg.DaySeconds = 86400
+	}
+	if cfg.OverheadFrac <= 0 || cfg.BenchSeconds <= 0 {
+		return nil, 0, fmt.Errorf("campaign: overhead and bench duration must be positive")
+	}
+	nodes := append([]string(nil), nodeIDs...)
+	sort.Strings(nodes)
+	// Node-seconds budget per day across the fleet, divided by one
+	// benchmark's cost, bounded to at least one slot per day.
+	perDay := int(float64(len(nodes)) * cfg.DaySeconds * cfg.OverheadFrac / cfg.BenchSeconds)
+	if perDay < 1 {
+		perDay = 1
+	}
+	if perDay > len(nodes) {
+		perDay = len(nodes)
+	}
+	period := int(math.Ceil(float64(len(nodes)) / float64(perDay)))
+	var slots []Slot
+	cursor := 0
+	for d := 0; d < days; d++ {
+		for k := 0; k < perDay; k++ {
+			slots = append(slots, Slot{Day: d, NodeID: nodes[cursor%len(nodes)]})
+			cursor++
+		}
+	}
+	return slots, period, nil
+}
+
+// MonitorConfig tunes drift detection.
+type MonitorConfig struct {
+	// Alpha is the EWMA smoothing factor for the baseline (default 0.3).
+	Alpha float64
+	// DriftFrac flags a measurement this far above the baseline
+	// (default 0.05 = 5% slower).
+	DriftFrac float64
+	// Confirmations is how many consecutive drifted measurements are
+	// needed before alerting (default 1; 2 suppresses one-off noise,
+	// which the paper's repeatability data says is rare on V100s).
+	Confirmations int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.DriftFrac <= 0 {
+		c.DriftFrac = 0.05
+	}
+	if c.Confirmations < 1 {
+		c.Confirmations = 1
+	}
+	return c
+}
+
+// DriftAlert is one detection.
+type DriftAlert struct {
+	GPUID      string
+	Day        int
+	BaselineMs float64
+	ObservedMs float64
+}
+
+// Exceedance returns the fractional slowdown over baseline.
+func (a DriftAlert) Exceedance() float64 { return a.ObservedMs/a.BaselineMs - 1 }
+
+// Monitor tracks per-GPU performance baselines and flags drift.
+type Monitor struct {
+	cfg       MonitorConfig
+	baselines map[string]float64
+	streak    map[string]int
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	return &Monitor{
+		cfg:       cfg.withDefaults(),
+		baselines: map[string]float64{},
+		streak:    map[string]int{},
+	}
+}
+
+// Observe folds in one measurement and returns a DriftAlert when the
+// GPU has exceeded its baseline for the configured number of
+// consecutive observations. The first observation seeds the baseline.
+func (m *Monitor) Observe(gpuID string, day int, perfMs float64) *DriftAlert {
+	base, ok := m.baselines[gpuID]
+	if !ok {
+		m.baselines[gpuID] = perfMs
+		return nil
+	}
+	var alert *DriftAlert
+	if perfMs > base*(1+m.cfg.DriftFrac) {
+		m.streak[gpuID]++
+		if m.streak[gpuID] >= m.cfg.Confirmations {
+			alert = &DriftAlert{GPUID: gpuID, Day: day, BaselineMs: base, ObservedMs: perfMs}
+		}
+		// Do NOT fold drifted measurements into the baseline: a sick
+		// GPU must not normalize its own degradation.
+		return alert
+	}
+	m.streak[gpuID] = 0
+	m.baselines[gpuID] = (1-m.cfg.Alpha)*base + m.cfg.Alpha*perfMs
+	return nil
+}
+
+// Baseline exposes a GPU's current baseline (0 if unseen).
+func (m *Monitor) Baseline(gpuID string) float64 { return m.baselines[gpuID] }
+
+// Injection describes a degradation to plant mid-campaign.
+type Injection struct {
+	Day    int
+	NodeID string
+	Kind   gpu.DefectKind
+}
+
+// Report is a completed campaign simulation.
+type Report struct {
+	Days           int
+	CoveragePeriod int
+	Slots          int
+	OverheadFrac   float64
+	Alerts         []DriftAlert
+	// DetectionDay is the first alert day on the injected node (−1 if
+	// never detected).
+	DetectionDay int
+	// FalseAlerts counts alerts on GPUs other than the injected node's.
+	FalseAlerts int
+}
+
+// DetectionLatencyDays returns days from injection to detection (−1 if
+// undetected).
+func (r Report) DetectionLatencyDays(inj Injection) int {
+	if r.DetectionDay < 0 {
+		return -1
+	}
+	return r.DetectionDay - inj.Day
+}
+
+// Simulate runs a benchmarking campaign over the cluster for the given
+// number of days, injecting the degradation mid-flight, and reports the
+// detection outcome. The benchmark is the paper's SGEMM with a reduced
+// repetition count (a real campaign would not spend 100 repetitions of
+// a 2.5 s kernel per GPU).
+func Simulate(spec cluster.Spec, seed uint64, days int, planCfg PlanConfig, monCfg MonitorConfig, inj Injection) (*Report, error) {
+	fleet := spec.Instantiate(seed)
+	nodes := fleet.Nodes()
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	slots, period, err := Plan(ids, days, planCfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := nodes[inj.NodeID]; !ok && inj.NodeID != "" {
+		return nil, fmt.Errorf("campaign: unknown injection node %q", inj.NodeID)
+	}
+
+	wl := workload.SGEMMForCluster(spec.SKU())
+	wl.Iterations = 5
+	parent := rng.New(seed).Split("campaign")
+	mon := NewMonitor(monCfg)
+	rep := &Report{
+		Days:           days,
+		CoveragePeriod: period,
+		Slots:          len(slots),
+		OverheadFrac:   planCfg.OverheadFrac,
+		DetectionDay:   -1,
+	}
+
+	injected := false
+	for _, slot := range slots {
+		if !injected && inj.NodeID != "" && slot.Day >= inj.Day {
+			for _, m := range nodes[inj.NodeID] {
+				m.Chip.InjectDefect(inj.Kind, parent.Split("inject"))
+			}
+			injected = true
+		}
+		for gi, m := range nodes[slot.NodeID] {
+			node := *m.Therm
+			dev := sim.NewDevice(m.Chip, &node, dvfs.DefaultConfig(), 0,
+				parent.Split("sys:"+m.Chip.ID))
+			res := sim.RunSteady([]*sim.Device{dev}, wl,
+				parent.SplitIndex("job:"+slot.NodeID, gi), sim.Options{Run: slot.Day})
+			if alert := mon.Observe(m.Chip.ID, slot.Day, res[0].PerfMs); alert != nil {
+				rep.Alerts = append(rep.Alerts, *alert)
+				if m.Loc.NodeID() == inj.NodeID {
+					if rep.DetectionDay < 0 {
+						rep.DetectionDay = slot.Day
+					}
+				} else {
+					rep.FalseAlerts++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"testing"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/gpu"
+)
+
+func TestPlanRespectsBudget(t *testing.T) {
+	ids := make([]string, 100)
+	for i := range ids {
+		ids[i] = nodeName(i)
+	}
+	cfg := PlanConfig{OverheadFrac: 0.01, BenchSeconds: 900} // 1% of 100 node-days
+	slots, period, err := Plan(ids, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: 100 nodes × 86400 s × 1% / 900 s = 96 slots/day.
+	perDay := map[int]int{}
+	for _, s := range slots {
+		perDay[s.Day]++
+	}
+	for d, n := range perDay {
+		if n > 96 {
+			t.Fatalf("day %d has %d slots, budget 96", d, n)
+		}
+	}
+	if period < 1 || period > 3 {
+		t.Fatalf("coverage period = %d days, want ~2", period)
+	}
+}
+
+func nodeName(i int) string { return "n" + string(rune('a'+i/26)) + string(rune('a'+i%26)) }
+
+func TestPlanCoversEveryNode(t *testing.T) {
+	ids := []string{"n1", "n2", "n3", "n4", "n5"}
+	slots, period, err := Plan(ids, 5, PlanConfig{OverheadFrac: 0.001, BenchSeconds: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range slots {
+		if s.Day < period {
+			continue
+		}
+		seen[s.NodeID] = true
+	}
+	// Within one full period every node appears.
+	covered := map[string]bool{}
+	for _, s := range slots {
+		covered[s.NodeID] = true
+	}
+	if len(covered) != 5 {
+		t.Fatalf("covered %d of 5 nodes", len(covered))
+	}
+}
+
+func TestPlanRejectsBadConfig(t *testing.T) {
+	if _, _, err := Plan([]string{"a"}, 1, PlanConfig{}); err == nil {
+		t.Fatal("zero overhead accepted")
+	}
+}
+
+func TestMonitorSeedsAndTracksBaseline(t *testing.T) {
+	m := NewMonitor(MonitorConfig{})
+	if a := m.Observe("g", 0, 2500); a != nil {
+		t.Fatal("first observation should only seed")
+	}
+	if m.Baseline("g") != 2500 {
+		t.Fatalf("baseline = %v", m.Baseline("g"))
+	}
+	// Small improvements fold in.
+	m.Observe("g", 1, 2480)
+	if b := m.Baseline("g"); b >= 2500 || b <= 2480 {
+		t.Fatalf("EWMA baseline = %v", b)
+	}
+}
+
+func TestMonitorFlagsDrift(t *testing.T) {
+	m := NewMonitor(MonitorConfig{DriftFrac: 0.05})
+	m.Observe("g", 0, 2500)
+	a := m.Observe("g", 3, 2700) // +8%
+	if a == nil {
+		t.Fatal("8% drift not flagged")
+	}
+	if a.Exceedance() < 0.07 {
+		t.Fatalf("exceedance = %v", a.Exceedance())
+	}
+	// The drifted sample must not poison the baseline.
+	if m.Baseline("g") != 2500 {
+		t.Fatalf("baseline absorbed the degradation: %v", m.Baseline("g"))
+	}
+}
+
+func TestMonitorConfirmations(t *testing.T) {
+	m := NewMonitor(MonitorConfig{DriftFrac: 0.05, Confirmations: 2})
+	m.Observe("g", 0, 2500)
+	if a := m.Observe("g", 1, 2700); a != nil {
+		t.Fatal("first exceedance should wait for confirmation")
+	}
+	if a := m.Observe("g", 2, 2710); a == nil {
+		t.Fatal("second consecutive exceedance should alert")
+	}
+	// A healthy reading resets the streak.
+	m2 := NewMonitor(MonitorConfig{DriftFrac: 0.05, Confirmations: 2})
+	m2.Observe("g", 0, 2500)
+	m2.Observe("g", 1, 2700)
+	m2.Observe("g", 2, 2505)
+	if a := m2.Observe("g", 3, 2700); a != nil {
+		t.Fatal("streak should reset after a healthy reading")
+	}
+}
+
+func TestSimulateDetectsInjectedBrake(t *testing.T) {
+	spec := cluster.Vortex() // clean fleet: no planted defects to confound
+	inj := Injection{Day: 4, NodeID: "v003-n01", Kind: gpu.DefectPowerBrake}
+	rep, err := Simulate(spec, 7, 12, PlanConfig{OverheadFrac: 0.05, BenchSeconds: 600},
+		MonitorConfig{DriftFrac: 0.03}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectionDay < 0 {
+		t.Fatal("injected power brake never detected")
+	}
+	lat := rep.DetectionLatencyDays(inj)
+	if lat < 0 || lat > rep.CoveragePeriod+2 {
+		t.Fatalf("detection latency %d days exceeds coverage period %d", lat, rep.CoveragePeriod)
+	}
+	if rep.FalseAlerts > 4 {
+		t.Fatalf("too many false alerts: %d", rep.FalseAlerts)
+	}
+}
+
+func TestSimulateCleanFleetQuiet(t *testing.T) {
+	rep, err := Simulate(cluster.Vortex(), 7, 8, PlanConfig{OverheadFrac: 0.05, BenchSeconds: 600},
+		MonitorConfig{DriftFrac: 0.04, Confirmations: 2}, Injection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectionDay != -1 {
+		t.Fatal("no injection, yet a detection day")
+	}
+	if len(rep.Alerts) > 2 {
+		t.Fatalf("clean fleet raised %d alerts", len(rep.Alerts))
+	}
+}
+
+func TestSimulateUnknownNode(t *testing.T) {
+	_, err := Simulate(cluster.Vortex(), 1, 2, PlanConfig{OverheadFrac: 0.05, BenchSeconds: 600},
+		MonitorConfig{}, Injection{Day: 0, NodeID: "nope", Kind: gpu.DefectStall})
+	if err == nil {
+		t.Fatal("unknown injection node accepted")
+	}
+}

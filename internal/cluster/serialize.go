@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gpuvar/internal/gpu"
+)
+
+// FleetSnapshot is the JSON-serializable form of an instantiated fleet:
+// the sampled per-chip parameters and thermal environments. Operators
+// can archive the exact hardware population an experiment ran against,
+// or exchange synthetic fleets between tools.
+type FleetSnapshot struct {
+	Cluster string        `json:"cluster"`
+	Seed    uint64        `json:"seed"`
+	GPUs    []GPUSnapshot `json:"gpus"`
+}
+
+// GPUSnapshot is one GPU's sampled state.
+type GPUSnapshot struct {
+	ID      string `json:"id"`
+	Row     string `json:"row,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Cabinet string `json:"cabinet,omitempty"`
+	Node    int    `json:"node"`
+	Slot    int    `json:"slot"`
+
+	VoltFactor float64 `json:"volt_factor"`
+	LeakFactor float64 `json:"leak_factor"`
+	MemBWFac   float64 `json:"mem_bw_factor"`
+	Defect     string  `json:"defect,omitempty"`
+
+	ComputeEff          float64 `json:"compute_eff,omitempty"`
+	BoardCapW           float64 `json:"board_cap_w,omitempty"`
+	ClockCapMHz         float64 `json:"clock_cap_mhz,omitempty"`
+	ThermalResistFactor float64 `json:"thermal_resist_factor,omitempty"`
+
+	AmbientC    float64 `json:"ambient_c"`
+	ResistCPerW float64 `json:"resist_c_per_w"`
+}
+
+// Snapshot converts the fleet to its serializable form.
+func (f *Fleet) Snapshot() FleetSnapshot {
+	out := FleetSnapshot{Cluster: f.Spec.Name, Seed: f.seed}
+	for _, m := range f.Members {
+		g := GPUSnapshot{
+			ID:          m.Chip.ID,
+			Row:         m.Loc.Row,
+			Col:         m.Loc.Col,
+			Cabinet:     m.Loc.Cabinet,
+			Node:        m.Loc.Node,
+			Slot:        m.Loc.Slot,
+			VoltFactor:  m.Chip.VoltFactor,
+			LeakFactor:  m.Chip.LeakFactor,
+			MemBWFac:    m.Chip.MemBWFac,
+			AmbientC:    m.Therm.AmbientC,
+			ResistCPerW: m.Therm.ResistCPerW,
+		}
+		if !m.Chip.Healthy() {
+			g.Defect = m.Chip.Defect.String()
+			g.ComputeEff = m.Chip.ComputeEff
+			g.BoardCapW = m.Chip.BoardCapW
+			g.ClockCapMHz = m.Chip.ClockCapMHz
+			g.ThermalResistFactor = m.Chip.ThermalResistFactor
+		}
+		out.GPUs = append(out.GPUs, g)
+	}
+	return out
+}
+
+// WriteJSON writes the fleet snapshot as indented JSON.
+func (f *Fleet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Snapshot())
+}
+
+// defectFromString inverts gpu.DefectKind.String.
+func defectFromString(s string) (gpu.DefectKind, error) {
+	for _, k := range []gpu.DefectKind{
+		gpu.DefectNone, gpu.DefectStall, gpu.DefectPowerBrake,
+		gpu.DefectCooling, gpu.DefectClockStuck,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return gpu.DefectNone, fmt.Errorf("cluster: unknown defect %q", s)
+}
+
+// LoadFleet reconstructs a fleet from a snapshot. The named cluster spec
+// provides the SKU and cooling context; the snapshot's sampled values
+// replace fresh sampling, so the loaded fleet behaves identically to the
+// one that was saved.
+func LoadFleet(r io.Reader) (*Fleet, error) {
+	var snap FleetSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("cluster: decode snapshot: %w", err)
+	}
+	spec, ok := ByName(snap.Cluster)
+	if !ok {
+		return nil, fmt.Errorf("cluster: snapshot references unknown cluster %q", snap.Cluster)
+	}
+	// Instantiate for structure, then overwrite the sampled state.
+	f := spec.Instantiate(snap.Seed)
+	if len(snap.GPUs) != len(f.Members) {
+		return nil, fmt.Errorf("cluster: snapshot has %d GPUs, spec %d", len(snap.GPUs), len(f.Members))
+	}
+	byID := map[string]*Member{}
+	for _, m := range f.Members {
+		byID[m.Chip.ID] = m
+	}
+	for _, g := range snap.GPUs {
+		m, ok := byID[g.ID]
+		if !ok {
+			return nil, fmt.Errorf("cluster: snapshot GPU %q not in spec topology", g.ID)
+		}
+		m.Chip.VoltFactor = g.VoltFactor
+		m.Chip.LeakFactor = g.LeakFactor
+		m.Chip.MemBWFac = g.MemBWFac
+		m.Therm.AmbientC = g.AmbientC
+		m.Therm.ResistCPerW = g.ResistCPerW
+		if g.Defect == "" {
+			m.Chip.Defect = gpu.DefectNone
+			m.Chip.ComputeEff = 1
+			m.Chip.BoardCapW = m.Chip.SKU.TDPWatts
+			m.Chip.ClockCapMHz = m.Chip.SKU.MaxClockMHz
+			m.Chip.ThermalResistFactor = 1
+			continue
+		}
+		kind, err := defectFromString(g.Defect)
+		if err != nil {
+			return nil, err
+		}
+		m.Chip.Defect = kind
+		m.Chip.ComputeEff = orDefault(g.ComputeEff, 1)
+		m.Chip.BoardCapW = orDefault(g.BoardCapW, m.Chip.SKU.TDPWatts)
+		m.Chip.ClockCapMHz = orDefault(g.ClockCapMHz, m.Chip.SKU.MaxClockMHz)
+		m.Chip.ThermalResistFactor = orDefault(g.ThermalResistFactor, 1)
+	}
+	return f, nil
+}
+
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuvar/internal/sched"
+	"gpuvar/internal/stats"
+)
+
+// Metric selects one of the study's four measured quantities.
+type Metric int
+
+// The four metrics of the study (§III "Measurement").
+const (
+	Perf Metric = iota
+	Freq
+	Power
+	Temp
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case Perf:
+		return "performance"
+	case Freq:
+		return "frequency"
+	case Power:
+		return "power"
+	case Temp:
+		return "temperature"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Of extracts the metric's value from a measurement.
+func (m Metric) Of(meas Measurement) float64 {
+	switch m {
+	case Perf:
+		return meas.PerfMs
+	case Freq:
+		return meas.FreqMHz
+	case Power:
+		return meas.PowerW
+	case Temp:
+		return meas.TempC
+	default:
+		panic("core: unknown metric")
+	}
+}
+
+// Values returns the metric across all measured GPUs, in fleet order.
+func (r *Result) Values(m Metric) []float64 {
+	out := make([]float64, len(r.PerAG))
+	for i, meas := range r.PerAG {
+		out[i] = m.Of(meas)
+	}
+	return out
+}
+
+// Box returns the box-plot summary of a metric across the fleet.
+func (r *Result) Box(m Metric) (stats.BoxPlot, error) {
+	return stats.NewBoxPlot(r.Values(m))
+}
+
+// Variation returns the paper's variability number for a metric:
+// whisker range divided by median, outliers excluded.
+func (r *Result) Variation(m Metric) float64 {
+	return stats.Variation(r.Values(m))
+}
+
+// NormalizedPerf returns per-GPU performance normalized to a median of
+// 1 (paper Fig. 1).
+func (r *Result) NormalizedPerf() []float64 {
+	return stats.Normalize(r.Values(Perf))
+}
+
+// BoxByGroup returns per-group box plots of a metric, grouped by the
+// cluster's plot grouping (cabinet, or row on Summit).
+func (r *Result) BoxByGroup(m Metric) map[string]stats.BoxPlot {
+	grouped := map[string][]float64{}
+	for _, meas := range r.PerAG {
+		g := meas.Loc.Group()
+		grouped[g] = append(grouped[g], m.Of(meas))
+	}
+	out := map[string]stats.BoxPlot{}
+	for g, xs := range grouped {
+		if bp, err := stats.NewBoxPlot(xs); err == nil {
+			out[g] = bp
+		}
+	}
+	return out
+}
+
+// GroupLabels returns the sorted group labels present in the result.
+func (r *Result) GroupLabels() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, meas := range r.PerAG {
+		g := meas.Loc.Group()
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Correlations bundles the Pearson coefficients the paper reports for
+// every cluster (Figs. 3, 5, 7, 10, 13, 15).
+type Correlations struct {
+	PerfTemp  float64
+	PerfPower float64
+	PerfFreq  float64
+	PowerTemp float64
+}
+
+// Correlate computes the four metric-pair correlations.
+func (r *Result) Correlate() Correlations {
+	perf := r.Values(Perf)
+	return Correlations{
+		PerfTemp:  stats.Pearson(perf, r.Values(Temp)),
+		PerfPower: stats.Pearson(perf, r.Values(Power)),
+		PerfFreq:  stats.Pearson(perf, r.Values(Freq)),
+		PowerTemp: stats.Pearson(r.Values(Power), r.Values(Temp)),
+	}
+}
+
+// PerGPUVariation returns each GPU's repeat-run variation
+// (t_max − t_min)/t_median — paper Fig. 8. Requires Runs ≥ 2.
+func (r *Result) PerGPUVariation() []float64 {
+	var out []float64
+	for _, meas := range r.PerAG {
+		if len(meas.PerRunPerfMs) < 2 {
+			continue
+		}
+		med := stats.Median(meas.PerRunPerfMs)
+		if med == 0 {
+			continue
+		}
+		out = append(out, (stats.Max(meas.PerRunPerfMs)-stats.Min(meas.PerRunPerfMs))/med)
+	}
+	return out
+}
+
+// UserImpact reproduces the §VII "Impact on Users" numbers: the
+// fraction of GPUs at least threshold slower than the fastest, and the
+// probability that 1- and k-GPU allocations include one.
+type UserImpact struct {
+	Threshold    float64
+	SlowFraction float64
+	PSingleGPU   float64
+	PMultiGPU    float64
+	MultiGPUSize int
+}
+
+// Impact computes the slow-GPU allocation odds at the given slowness
+// threshold (the paper uses ~6%) and multi-GPU job size.
+func (r *Result) Impact(threshold float64, multiGPU int) UserImpact {
+	frac, p1 := sched.SlowGPUOdds(r.Values(Perf), threshold, 1)
+	_, pk := sched.SlowGPUOdds(r.Values(Perf), threshold, multiGPU)
+	return UserImpact{
+		Threshold:    threshold,
+		SlowFraction: frac,
+		PSingleGPU:   p1,
+		PMultiGPU:    pk,
+		MultiGPUSize: multiGPU,
+	}
+}
+
+// ProjectedVariationAt projects the performance variation to a larger
+// fleet size via the fitted-normal whisker model (§IV-D's comparison of
+// Longhorn scaled to Summit size).
+func (r *Result) ProjectedVariationAt(n int) float64 {
+	return stats.ProjectedVariationAtScale(r.Values(Perf), n)
+}
+
+// Filter returns a Result restricted to measurements satisfying keep.
+func (r *Result) Filter(keep func(Measurement) bool) *Result {
+	out := &Result{Exp: r.Exp}
+	for _, m := range r.PerAG {
+		if keep(m) {
+			out.PerAG = append(out.PerAG, m)
+		}
+	}
+	return out
+}
+
+// Summary condenses the result into the numbers the paper reports per
+// experiment.
+type Summary struct {
+	Cluster   string
+	Workload  string
+	GPUs      int
+	PerfVar   float64
+	FreqVar   float64
+	PowerVar  float64
+	TempVar   float64
+	MedianMs  float64
+	Corr      Correlations
+	NOutliers int
+}
+
+// Summarize produces the experiment's headline numbers.
+func (r *Result) Summarize() Summary {
+	s := Summary{
+		Cluster:  r.Exp.Cluster.Name,
+		Workload: r.Exp.Workload.Name,
+		GPUs:     len(r.PerAG),
+		PerfVar:  r.Variation(Perf),
+		FreqVar:  r.Variation(Freq),
+		PowerVar: r.Variation(Power),
+		TempVar:  r.Variation(Temp),
+		Corr:     r.Correlate(),
+	}
+	if bp, err := r.Box(Perf); err == nil {
+		s.MedianMs = bp.Q2
+		s.NOutliers = len(bp.Outliers)
+	}
+	return s
+}

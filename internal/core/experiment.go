@@ -1,0 +1,268 @@
+// Package core is the paper's primary contribution rebuilt as a
+// library: a variability characterization suite for accelerator-rich
+// clusters. It runs a workload across (nearly) every GPU of a modeled
+// cluster, collects the four metrics of the study — performance,
+// frequency, power, temperature — and provides the IQR/outlier
+// analysis, correlation study, repeatability study, day-of-week study,
+// power-limit sweep, and administrator early-warning report of the
+// paper's evaluation (§IV–§VII).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/dvfs"
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/sim"
+	"gpuvar/internal/stats"
+	"gpuvar/internal/thermal"
+	"gpuvar/internal/workload"
+)
+
+// Experiment describes one characterization campaign: a workload on a
+// cluster, repeated Runs times per GPU.
+type Experiment struct {
+	Cluster  cluster.Spec
+	Workload workload.Workload
+	Seed     uint64
+
+	// Fraction of observed GPUs to measure, 0 < f ≤ 1 (default 1).
+	// The paper covers >90% of each cluster; fractions below 1 keep
+	// exploratory runs cheap.
+	Fraction float64
+	// Runs is the number of measurement repetitions per GPU (default 1).
+	Runs int
+	// AdminCapW applies an nvidia-smi-style power limit (0 = TDP).
+	AdminCapW float64
+	// AmbientOffsetC shifts every GPU's inlet temperature (used by the
+	// spatial-interference study; zero in all paper reproductions).
+	AmbientOffsetC float64
+	// Day selects a day-of-week ambient drift profile (0 = Monday … 6 =
+	// Sunday, −1 = no drift) for the §VI-A study.
+	Day int
+	// Transient switches to the tick-level simulator (small fleets
+	// only; the default analytic path is validated against it).
+	Transient bool
+
+	// NoDefects disables defect injection — an ablation knob to
+	// attribute outliers (not part of the paper's runs).
+	NoDefects bool
+	// VariationOverride replaces the cluster's manufacturing-spread
+	// model (ablation knob).
+	VariationOverride *gpu.VariationModel
+}
+
+// Measurement is one GPU's aggregate over the experiment's runs, using
+// the paper's median-of-runs aggregation.
+type Measurement struct {
+	GPUID   string
+	Loc     cluster.Location
+	Defect  gpu.DefectKind
+	PerfMs  float64
+	FreqMHz float64
+	PowerW  float64
+	TempC   float64
+
+	MaxPowerW float64
+	MaxTempC  float64
+
+	// PerRunPerfMs holds each run's performance number, for the
+	// per-GPU repeatability analysis (Fig. 8).
+	PerRunPerfMs []float64
+
+	ThermallyLimited bool
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Exp   Experiment
+	PerAG []Measurement // one entry per measured GPU, in fleet order
+}
+
+// Run executes the experiment.
+func Run(exp Experiment) (*Result, error) {
+	if exp.Workload.GPUsPerJob < 1 {
+		return nil, fmt.Errorf("core: workload %q has no GPUs per job", exp.Workload.Name)
+	}
+	if exp.Workload.GPUsPerJob > exp.Cluster.GPUsPerNode {
+		return nil, fmt.Errorf("core: workload needs %d GPUs but %s nodes have %d",
+			exp.Workload.GPUsPerJob, exp.Cluster.Name, exp.Cluster.GPUsPerNode)
+	}
+	if exp.Fraction <= 0 || exp.Fraction > 1 {
+		exp.Fraction = 1
+	}
+	if exp.Runs < 1 {
+		exp.Runs = 1
+	}
+	spec := exp.Cluster
+	if exp.NoDefects {
+		spec.Defects = nil
+	}
+	if exp.VariationOverride != nil {
+		spec.Variation = *exp.VariationOverride
+	}
+
+	fleet := spec.Instantiate(exp.Seed)
+	members := subsample(fleet.Observed(), exp.Fraction, exp.Seed)
+
+	jobs := partitionJobs(members, exp.Workload.GPUsPerJob)
+	results := make([][]Measurement, len(jobs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ji, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ji int, job []*cluster.Member) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[ji] = runJob(exp, spec, job, ji)
+		}(ji, job)
+	}
+	wg.Wait()
+
+	res := &Result{Exp: exp}
+	for _, ms := range results {
+		res.PerAG = append(res.PerAG, ms...)
+	}
+	return res, nil
+}
+
+// subsample deterministically selects a fraction of members.
+func subsample(ms []*cluster.Member, fraction float64, seed uint64) []*cluster.Member {
+	if fraction >= 1 {
+		return ms
+	}
+	n := int(float64(len(ms)) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	r := rng.New(seed).Split("subsample")
+	perm := r.Perm(len(ms))
+	out := make([]*cluster.Member, n)
+	for i := 0; i < n; i++ {
+		out[i] = ms[perm[i]]
+	}
+	// Restore fleet order for stable downstream grouping.
+	sort.Slice(out, func(a, b int) bool { return out[a].Chip.ID < out[b].Chip.ID })
+	return out
+}
+
+// partitionJobs groups members into jobs of gpusPerJob, co-located on a
+// node for multi-GPU workloads (the paper trains across 4 GPUs of one
+// node). Nodes without enough measured GPUs are skipped for multi-GPU
+// workloads.
+func partitionJobs(ms []*cluster.Member, gpusPerJob int) [][]*cluster.Member {
+	if gpusPerJob == 1 {
+		out := make([][]*cluster.Member, len(ms))
+		for i, m := range ms {
+			out[i] = []*cluster.Member{m}
+		}
+		return out
+	}
+	byNode := map[string][]*cluster.Member{}
+	var order []string
+	for _, m := range ms {
+		id := m.Loc.NodeID()
+		if _, ok := byNode[id]; !ok {
+			order = append(order, id)
+		}
+		byNode[id] = append(byNode[id], m)
+	}
+	sort.Strings(order)
+	var out [][]*cluster.Member
+	for _, id := range order {
+		group := byNode[id]
+		for len(group) >= gpusPerJob {
+			out = append(out, group[:gpusPerJob])
+			group = group[gpusPerJob:]
+		}
+	}
+	return out
+}
+
+// dayDriftC returns the facility ambient offset for a day-of-week
+// profile: weekdays run warmer (higher cluster load from neighboring
+// racks), weekends cooler. Day −1 disables drift.
+func dayDriftC(day int, cooling thermal.Cooling) float64 {
+	if day < 0 || day > 6 {
+		return 0
+	}
+	// Mon..Sun. Production clusters see heavier batch load early week.
+	profile := [7]float64{1.1, 0.4, 0.9, 0.2, 0.8, -0.9, -1.1}
+	scale := 1.0
+	switch cooling {
+	case thermal.Water:
+		scale = 0.3 // loop temperature is regulated
+	case thermal.MineralOil:
+		scale = 0.5
+	}
+	return profile[day] * scale
+}
+
+// runJob measures one job's GPUs across all runs.
+func runJob(exp Experiment, spec cluster.Spec, job []*cluster.Member, jobIdx int) []Measurement {
+	parent := rng.New(exp.Seed).SplitIndex("job:"+exp.Workload.Name, jobIdx)
+
+	devs := make([]*sim.Device, len(job))
+	for i, m := range job {
+		// Each device gets a private copy of the thermal node: runs
+		// must not leak heat into each other through shared state.
+		node := *m.Therm
+		devs[i] = sim.NewDevice(m.Chip, &node, dvfs.DefaultConfig(), exp.AdminCapW,
+			parent.SplitIndex("sys", i))
+	}
+
+	perRun := make([][]sim.GPURunResult, exp.Runs)
+	drift := exp.AmbientOffsetC + dayDriftC(exp.Day, spec.Cooling.Cooling)
+	for run := 0; run < exp.Runs; run++ {
+		runAmb := drift
+		if spec.Cooling.RunDriftC > 0 {
+			runAmb += parent.SplitIndex("amb", run).Gaussian(0, spec.Cooling.RunDriftC)
+		}
+		opt := sim.Options{
+			AdminCapW:      exp.AdminCapW,
+			AmbientOffsetC: runAmb,
+			Run:            run,
+		}
+		if exp.Transient {
+			perRun[run] = sim.RunTransient(devs, exp.Workload, parent.SplitIndex("jobrun", run), opt).Results
+		} else {
+			perRun[run] = sim.RunSteady(devs, exp.Workload, parent.SplitIndex("jobrun", run), opt)
+		}
+	}
+
+	out := make([]Measurement, len(job))
+	for i, m := range job {
+		meas := Measurement{
+			GPUID:  m.Chip.ID,
+			Loc:    m.Loc,
+			Defect: m.Chip.Defect,
+		}
+		var perf, freq, power, temp, maxP, maxT []float64
+		for run := 0; run < exp.Runs; run++ {
+			r := perRun[run][i]
+			meas.PerRunPerfMs = append(meas.PerRunPerfMs, r.PerfMs)
+			perf = append(perf, r.PerfMs)
+			freq = append(freq, r.MedianFreqMHz)
+			power = append(power, r.MedianPowerW)
+			temp = append(temp, r.MedianTempC)
+			maxP = append(maxP, r.MaxPowerW)
+			maxT = append(maxT, r.MaxTempC)
+			meas.ThermallyLimited = meas.ThermallyLimited || r.ThermallyLimited
+		}
+		meas.PerfMs = stats.Median(perf)
+		meas.FreqMHz = stats.Median(freq)
+		meas.PowerW = stats.Median(power)
+		meas.TempC = stats.Median(temp)
+		meas.MaxPowerW = stats.Max(maxP)
+		meas.MaxTempC = stats.Max(maxT)
+		out[i] = meas
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gpuvar/internal/rng"
+	"gpuvar/internal/stats"
+)
+
+// WriteCSV exports the per-GPU measurements for external analysis
+// (the study's raw data: one row per GPU with the four metrics,
+// location, and ground-truth defect label).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"gpu_id", "node_id", "group", "perf_ms", "freq_mhz", "power_w",
+		"temp_c", "max_power_w", "max_temp_c", "thermally_limited", "defect",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, m := range r.PerAG {
+		rec := []string{
+			m.GPUID, m.Loc.NodeID(), m.Loc.Group(),
+			f(m.PerfMs), f(m.FreqMHz), f(m.PowerW), f(m.TempC),
+			f(m.MaxPowerW), f(m.MaxTempC),
+			strconv.FormatBool(m.ThermallyLimited), m.Defect.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// VariationCI bootstraps a confidence interval around the experiment's
+// performance-variation number (see stats.BootstrapCI). Resampling uses
+// a stream derived from the experiment's seed, so the interval is part
+// of the reproducible record.
+func (r *Result) VariationCI(m Metric, resamples int, confidence float64) stats.CI {
+	src := rng.New(r.Exp.Seed).Split("bootstrap:" + m.String())
+	return stats.VariationCI(r.Values(m), resamples, confidence, src)
+}
+
+// WriteSummaryText renders the experiment's headline numbers the way
+// cmd/gpuvar prints them, for embedding in reports.
+func (r *Result) WriteSummaryText(w io.Writer) error {
+	s := r.Summarize()
+	ci := r.VariationCI(Perf, 300, 0.95)
+	_, err := fmt.Fprintf(w,
+		"%s on %s: %d GPUs\n"+
+			"  perf variation %.1f%% (95%% CI %.1f-%.1f%%), median %.1f ms, %d outliers\n"+
+			"  freq %.1f%%  power %.1f%%  temp %.1f%%\n"+
+			"  rho: perf-freq %+.2f  perf-temp %+.2f  perf-power %+.2f  power-temp %+.2f\n",
+		s.Workload, s.Cluster, s.GPUs,
+		s.PerfVar*100, ci.Lo*100, ci.Hi*100, s.MedianMs, s.NOutliers,
+		s.FreqVar*100, s.PowerVar*100, s.TempVar*100,
+		s.Corr.PerfFreq, s.Corr.PerfTemp, s.Corr.PerfPower, s.Corr.PowerTemp)
+	return err
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuvar/internal/cluster"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := mustRun(t, sgemmExp(cluster.CloudLab(), 6))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+12 { // header + 12 CloudLab GPUs
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "gpu_id,node_id,group,perf_ms") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "cl0-n01-g0") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	// Every data row carries the defect label column.
+	for _, l := range lines[1:] {
+		if !strings.HasSuffix(l, ",none") {
+			t.Fatalf("CloudLab row should be defect-free: %q", l)
+		}
+	}
+}
+
+func TestWriteCSVDefectLabels(t *testing.T) {
+	r := mustRun(t, sgemmExp(cluster.Frontera(), 6))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "clock-stuck"); n != 2 {
+		t.Fatalf("csv carries %d clock-stuck labels, want 2", n)
+	}
+}
+
+func TestVariationCIBracketsPoint(t *testing.T) {
+	r := mustRun(t, sgemmExp(cluster.Longhorn(), 6))
+	ci := r.VariationCI(Perf, 200, 0.95)
+	point := r.Variation(Perf)
+	if ci.Point != point {
+		t.Fatalf("CI point %v != variation %v", ci.Point, point)
+	}
+	if !(ci.Lo <= point && point <= ci.Hi) {
+		t.Fatalf("CI [%v, %v] does not bracket %v", ci.Lo, ci.Hi, point)
+	}
+	// Deterministic: derived from the experiment seed.
+	ci2 := r.VariationCI(Perf, 200, 0.95)
+	if ci.Lo != ci2.Lo || ci.Hi != ci2.Hi {
+		t.Fatal("CI not reproducible")
+	}
+}
+
+func TestWriteSummaryText(t *testing.T) {
+	r := mustRun(t, sgemmExp(cluster.Vortex(), 6))
+	var buf bytes.Buffer
+	if err := r.WriteSummaryText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Vortex", "perf variation", "95% CI", "rho:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

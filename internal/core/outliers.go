@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpuvar/internal/stats"
+)
+
+// OutlierFlag is one metric on which a GPU is a statistical outlier.
+type OutlierFlag struct {
+	Metric Metric
+	Value  float64
+	// Low is true for below-lower-whisker outliers.
+	Low bool
+}
+
+// Suspect is a GPU flagged by the early-warning analysis, with a
+// diagnosis hint derived from its outlier signature. This implements
+// the paper's administrator workflow (§VII "Blacklisting, Maintenance"):
+// the study's data let TACC operators identify and service problem
+// nodes on Frontera and Longhorn.
+type Suspect struct {
+	GPUID     string
+	NodeID    string
+	Flags     []OutlierFlag
+	Diagnosis string
+	// TruthDefect is the injected ground-truth defect, available in
+	// simulation for validating the diagnosis logic.
+	TruthDefect string
+}
+
+// OutlierReport flags every GPU outside the whiskers on any metric and
+// attaches a signature-based diagnosis.
+func (r *Result) OutlierReport() []Suspect {
+	boxes := map[Metric]stats.BoxPlot{}
+	for _, m := range []Metric{Perf, Freq, Power, Temp} {
+		if bp, err := r.Box(m); err == nil {
+			boxes[m] = bp
+		}
+	}
+	var out []Suspect
+	for _, meas := range r.PerAG {
+		var flags []OutlierFlag
+		for _, m := range []Metric{Perf, Freq, Power, Temp} {
+			bp := boxes[m]
+			v := m.Of(meas)
+			switch {
+			case v < bp.LowerWhisker:
+				flags = append(flags, OutlierFlag{Metric: m, Value: v, Low: true})
+			case v > bp.UpperWhisker:
+				flags = append(flags, OutlierFlag{Metric: m, Value: v})
+			}
+		}
+		if len(flags) == 0 {
+			continue
+		}
+		out = append(out, Suspect{
+			GPUID:       meas.GPUID,
+			NodeID:      meas.Loc.NodeID(),
+			Flags:       flags,
+			Diagnosis:   diagnose(flags, boxes, meas),
+			TruthDefect: meas.Defect.String(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GPUID < out[j].GPUID })
+	return out
+}
+
+// diagnose maps an outlier signature to a maintenance hint, following
+// the cluster-specific signatures the paper documents:
+//
+//	slow + low power + normal/low temp + pinned low clock → power brake
+//	slow + low power + max clock                          → stalling chip
+//	slow + hot (near slowdown)                            → cooling path
+//	slow + cold + low power + low clock                   → stuck clock
+func diagnose(flags []OutlierFlag, boxes map[Metric]stats.BoxPlot, meas Measurement) string {
+	has := func(m Metric, low bool) bool {
+		for _, f := range flags {
+			if f.Metric == m && f.Low == low {
+				return true
+			}
+		}
+		return false
+	}
+	slow := has(Perf, false)
+	lowPower := has(Power, true)
+	hot := has(Temp, false)
+	cold := has(Temp, true)
+	lowFreq := has(Freq, true)
+
+	freqBox := boxes[Freq]
+	atMaxFreq := meas.FreqMHz >= freqBox.Q2
+
+	switch {
+	case slow && hot:
+		return "cooling degradation: runs near slowdown temperature; inspect airflow/pump"
+	case slow && lowPower && cold && lowFreq:
+		return "clock stuck low: slower, cooler, and lower power; check board PM state"
+	case slow && lowPower && atMaxFreq:
+		return "chip-internal stalls at full clock: candidate for replacement"
+	case slow && lowPower || lowPower && lowFreq:
+		return "power brake engaged below TDP: check board power delivery/firmware"
+	case lowPower:
+		return "power outlier: verify sensor and board cap"
+	case slow:
+		return "slow outlier: re-benchmark and compare against node peers"
+	case hot:
+		return "temperature outlier: check cooling before performance degrades"
+	default:
+		return "metric outlier: monitor"
+	}
+}
+
+// Format renders the report as an aligned text table.
+func FormatSuspects(sus []Suspect) string {
+	if len(sus) == 0 {
+		return "no outliers flagged\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-20s %-10s %s\n", "GPU", "NODE", "FLAGS", "DIAGNOSIS")
+	for _, s := range sus {
+		var fl []string
+		for _, f := range s.Flags {
+			dir := "high"
+			if f.Low {
+				dir = "low"
+			}
+			fl = append(fl, fmt.Sprintf("%s:%s", f.Metric, dir))
+		}
+		fmt.Fprintf(&b, "%-26s %-20s %-10s %s\n", s.GPUID, s.NodeID, strings.Join(fl, ","), s.Diagnosis)
+	}
+	return b.String()
+}

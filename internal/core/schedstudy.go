@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuvar/internal/rng"
+	"gpuvar/internal/sched"
+	"gpuvar/internal/workload"
+)
+
+// SchedulerStudy quantifies the paper's §VII proposal ("modify
+// schedulers to assign medium- and high-compute intensity workloads on
+// nodes with less variation; memory-bound applications can be run on
+// higher-variation nodes without incurring significant performance
+// loss"): the same job stream placed by a variability-blind policy
+// versus a variability-aware one, with job durations taken from the
+// fleet's measured per-node performance.
+
+// SchedOutcome is one policy's result over the job stream.
+type SchedOutcome struct {
+	Policy sched.Policy
+	// MakespanS is the completion time of the last job.
+	MakespanS float64
+	// MeanJobS is the average effective job duration (nominal duration
+	// scaled by the assigned node's slowdown for compute-bound jobs).
+	MeanJobS float64
+	// SlowNodeHits counts compute-bound jobs placed on a node whose
+	// benchmarked performance is >6% off the fleet's fastest node.
+	SlowNodeHits int
+}
+
+// SchedStudyConfig describes the synthetic job stream.
+type SchedStudyConfig struct {
+	// ComputeJobs and MemoryJobs are the counts of each class.
+	ComputeJobs int
+	MemoryJobs  int
+	// JobS is the nominal job duration at the fastest node.
+	JobS float64
+	// ArrivalGapS is the submission spacing.
+	ArrivalGapS float64
+	// GPUsPerJob is the allocation size.
+	GPUsPerJob int
+}
+
+func (c SchedStudyConfig) withDefaults() SchedStudyConfig {
+	if c.ComputeJobs <= 0 {
+		c.ComputeJobs = 40
+	}
+	if c.MemoryJobs < 0 {
+		c.MemoryJobs = 0
+	}
+	if c.JobS <= 0 {
+		c.JobS = 600
+	}
+	if c.ArrivalGapS <= 0 {
+		c.ArrivalGapS = 5
+	}
+	if c.GPUsPerJob <= 0 {
+		c.GPUsPerJob = 4
+	}
+	return c
+}
+
+// SchedulerStudy benchmarks the fleet with the experiment's workload,
+// scores each node by its slowest GPU, then replays the job stream under
+// each policy. Compute-bound jobs run at the assigned node's pace;
+// memory-bound jobs are insensitive to it (the paper's classification
+// insight).
+func SchedulerStudy(exp Experiment, cfg SchedStudyConfig, policies []sched.Policy) ([]SchedOutcome, error) {
+	cfg = cfg.withDefaults()
+	bench, err := Run(exp)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduler study benchmark: %w", err)
+	}
+	if workload.Classify(exp.Workload.Profile) == workload.MemoryBound {
+		return nil, fmt.Errorf("core: benchmark the fleet with a compute-bound workload")
+	}
+
+	// Node score: slowest GPU's benchmarked duration (the pace a
+	// bulk-synchronous job on that node runs at).
+	nodePerf := map[string]float64{}
+	gpusByNode := map[string][]string{}
+	fastest := 0.0
+	for _, m := range bench.PerAG {
+		id := m.Loc.NodeID()
+		if m.PerfMs > nodePerf[id] {
+			nodePerf[id] = m.PerfMs
+		}
+		gpusByNode[id] = append(gpusByNode[id], m.GPUID)
+		if fastest == 0 || m.PerfMs < fastest {
+			fastest = m.PerfMs
+		}
+	}
+	fastestNode := 0.0
+	for _, p := range nodePerf {
+		if fastestNode == 0 || p < fastestNode {
+			fastestNode = p
+		}
+	}
+
+	var nodes []sched.Node
+	nodeIDs := make([]string, 0, len(nodePerf))
+	for id := range nodePerf {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Strings(nodeIDs)
+	for _, id := range nodeIDs {
+		gpus := gpusByNode[id]
+		sort.Strings(gpus)
+		nodes = append(nodes, sched.Node{
+			ID:        id,
+			GPUs:      gpus,
+			PerfScore: -nodePerf[id], // higher = faster
+		})
+	}
+
+	mkJobs := func() []sched.Job {
+		var jobs []sched.Job
+		id := 0
+		for i := 0; i < cfg.ComputeJobs; i++ {
+			jobs = append(jobs, sched.Job{
+				ID: id, Name: "compute", GPUs: cfg.GPUsPerJob,
+				SubmitS: float64(id) * cfg.ArrivalGapS, DurS: cfg.JobS,
+			})
+			id++
+		}
+		for i := 0; i < cfg.MemoryJobs; i++ {
+			jobs = append(jobs, sched.Job{
+				ID: id, Name: "memory", GPUs: cfg.GPUsPerJob,
+				SubmitS: float64(id) * cfg.ArrivalGapS, DurS: cfg.JobS,
+			})
+			id++
+		}
+		return jobs
+	}
+
+	var out []SchedOutcome
+	for _, policy := range policies {
+		s := sched.New(nodes, policy, rng.New(exp.Seed).Split("schedstudy"))
+		// Two-pass replay: schedule with nominal durations, then scale
+		// compute jobs by the node slowdown and recompute aggregates.
+		jobs := s.Schedule(mkJobs())
+		var totalJobS float64
+		slowHits := 0
+		makespan := 0.0
+		for _, j := range jobs {
+			if j.Rejected {
+				continue
+			}
+			dur := j.DurS
+			slowdown := nodePerf[j.NodeID] / fastestNode
+			if j.Name == "compute" {
+				dur *= slowdown
+				if slowdown > 1.06 {
+					slowHits++
+				}
+			}
+			totalJobS += dur
+			if end := j.StartS + dur; end > makespan {
+				makespan = end
+			}
+		}
+		n := cfg.ComputeJobs + cfg.MemoryJobs
+		out = append(out, SchedOutcome{
+			Policy:       policy,
+			MakespanS:    makespan,
+			MeanJobS:     totalJobS / float64(n),
+			SlowNodeHits: slowHits,
+		})
+	}
+	return out, nil
+}

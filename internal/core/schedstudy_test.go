@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/sched"
+	"gpuvar/internal/workload"
+)
+
+func TestSchedulerStudyAwareBeatsRandom(t *testing.T) {
+	exp := sgemmExp(cluster.Longhorn(), 8)
+	outcomes, err := SchedulerStudy(exp,
+		SchedStudyConfig{ComputeJobs: 30, GPUsPerJob: 4, JobS: 600, ArrivalGapS: 5},
+		[]sched.Policy{sched.Random, sched.BestPerf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[sched.Policy]SchedOutcome{}
+	for _, o := range outcomes {
+		byPolicy[o.Policy] = o
+	}
+	random, aware := byPolicy[sched.Random], byPolicy[sched.BestPerf]
+	if aware.SlowNodeHits >= random.SlowNodeHits {
+		t.Fatalf("variability-aware placement should hit fewer slow nodes: %d vs %d",
+			aware.SlowNodeHits, random.SlowNodeHits)
+	}
+	if aware.MeanJobS >= random.MeanJobS {
+		t.Fatalf("aware mean job time %v should beat random %v",
+			aware.MeanJobS, random.MeanJobS)
+	}
+}
+
+func TestSchedulerStudyMemoryJobsInsensitive(t *testing.T) {
+	// Memory-bound jobs run at nominal duration on any node — the paper's
+	// rationale for sending them to high-variation nodes.
+	exp := sgemmExp(cluster.Longhorn(), 8)
+	outcomes, err := SchedulerStudy(exp,
+		SchedStudyConfig{ComputeJobs: 1, MemoryJobs: 30, GPUsPerJob: 4, JobS: 500},
+		[]sched.Policy{sched.WorstPerf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly all jobs are memory-bound, so the mean stays near nominal
+	// even on the worst nodes.
+	if o := outcomes[0]; o.MeanJobS > 520 {
+		t.Fatalf("memory-bound stream mean %v should stay near the 500 s nominal", o.MeanJobS)
+	}
+}
+
+func TestSchedulerStudyRejectsMemoryBenchmark(t *testing.T) {
+	exp := sgemmExp(cluster.Longhorn(), 4)
+	exp.Workload = workload.PageRank(643994, 6250000, cluster.Longhorn().SKU())
+	exp.Workload.Iterations = 4
+	if _, err := SchedulerStudy(exp, SchedStudyConfig{}, []sched.Policy{sched.Random}); err == nil {
+		t.Fatal("memory-bound benchmark should be rejected")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/dvfs"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/sim"
+	"gpuvar/internal/stats"
+	"gpuvar/internal/thermal"
+	"gpuvar/internal/workload"
+)
+
+// The paper's measurements eliminated spatial and temporal effects by
+// exclusive allocation and staggered runs, and §VII explicitly defers
+// studying them ("We plan to study both spatial and temporal
+// (i.e., variability due to a preceding job run on the same GPU)
+// effects in the future"). This file implements both studies on the
+// model, for the cloud/enterprise sharing scenario the paper names.
+
+// neighborCouplingC is the ambient-temperature rise at a GPU per fully
+// loaded neighbor on the same node, by cooling technology. Air shares
+// chassis airflow; liquid loops isolate the GPUs almost completely.
+func neighborCouplingC(c thermal.Cooling) float64 {
+	switch c {
+	case thermal.Air:
+		return 2.8
+	case thermal.MineralOil:
+		return 1.1
+	default: // water
+		return 0.35
+	}
+}
+
+// SpatialPoint is the fleet outcome with a fixed number of busy
+// neighbors per node.
+type SpatialPoint struct {
+	BusyNeighbors int
+	MedianMs      float64
+	PerfVar       float64
+	MedianTempC   float64
+}
+
+// SpatialStudy reruns the experiment with 0..maxNeighbors co-located
+// jobs heating each measured GPU's inlet air, quantifying how shared
+// nodes would bias the paper's numbers in a cloud-style (non-exclusive)
+// allocation.
+func SpatialStudy(exp Experiment, maxNeighbors int) ([]SpatialPoint, error) {
+	if maxNeighbors < 0 || maxNeighbors >= exp.Cluster.GPUsPerNode {
+		return nil, fmt.Errorf("core: neighbors must be in [0, %d)", exp.Cluster.GPUsPerNode)
+	}
+	coupling := neighborCouplingC(exp.Cluster.Cooling.Cooling)
+	out := make([]SpatialPoint, 0, maxNeighbors+1)
+	for n := 0; n <= maxNeighbors; n++ {
+		e := exp
+		// Neighbor heat enters as an inlet offset; each busy neighbor
+		// is assumed near its TDP (the worst case the paper's exclusive
+		// allocations avoid).
+		e.AmbientOffsetC = exp.AmbientOffsetC + coupling*float64(n)
+		r, err := Run(e)
+		if err != nil {
+			return nil, fmt.Errorf("core: spatial point %d: %w", n, err)
+		}
+		p := SpatialPoint{BusyNeighbors: n, PerfVar: r.Variation(Perf)}
+		if bp, err := r.Box(Perf); err == nil {
+			p.MedianMs = bp.Q2
+		}
+		if bp, err := r.Box(Temp); err == nil {
+			p.MedianTempC = bp.Q2
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// TemporalPoint contrasts a measurement taken right after a preceding
+// job (die still hot) with one taken on an idle-cooled GPU.
+type TemporalPoint struct {
+	GPUID string
+	// ColdFirstKernelMs is the first kernel's duration starting from
+	// ambient temperature.
+	ColdFirstKernelMs float64
+	// HotFirstKernelMs is the first kernel's duration starting from the
+	// preceding job's equilibrium temperature.
+	HotFirstKernelMs float64
+	// SteadyKernelMs is the settled duration (independent of history).
+	SteadyKernelMs float64
+}
+
+// CarryoverPenalty returns the fractional first-kernel slowdown caused
+// by the preceding job's heat.
+func (p TemporalPoint) CarryoverPenalty() float64 {
+	if p.ColdFirstKernelMs == 0 {
+		return 0
+	}
+	return p.HotFirstKernelMs/p.ColdFirstKernelMs - 1
+}
+
+// TemporalStudy measures thermal carryover on a sample of the cluster's
+// GPUs using the transient simulator: the same kernel launched on a
+// cold die versus one still hot from a preceding job. On air-cooled
+// machines the difference persists for the RC time constant (~20 s) and
+// biases short benchmarks; the paper's staggered, warmed-up methodology
+// sidesteps it.
+func TemporalStudy(spec cluster.Spec, seed uint64, sample int) ([]TemporalPoint, error) {
+	if sample < 1 {
+		sample = 1
+	}
+	fleet := spec.Instantiate(seed)
+	if sample > len(fleet.Members) {
+		sample = len(fleet.Members)
+	}
+	wl := workload.SGEMMForCluster(spec.SKU())
+	wl.Iterations = 3
+	wl.WarmupIters = 0
+
+	parent := rng.New(seed).Split("temporal")
+	out := make([]TemporalPoint, 0, sample)
+	for i := 0; i < sample; i++ {
+		m := fleet.Members[i*len(fleet.Members)/sample]
+		run := func(cold bool) []float64 {
+			node := *m.Therm
+			dev := sim.NewDevice(m.Chip, &node, dvfs.DefaultConfig(), 0, parent.SplitIndex("sys", i))
+			res := sim.RunTransient([]*sim.Device{dev}, wl, parent.SplitIndex("job", i),
+				sim.Options{ColdStart: cold})
+			return res.Traces[0].KernelDurationsMs()
+		}
+		coldKs := run(true)
+		hotKs := run(false) // warm start = preceding job's equilibrium
+		if len(coldKs) == 0 || len(hotKs) == 0 {
+			continue
+		}
+		out = append(out, TemporalPoint{
+			GPUID:             m.Chip.ID,
+			ColdFirstKernelMs: coldKs[0],
+			HotFirstKernelMs:  hotKs[0],
+			SteadyKernelMs:    stats.Median(hotKs),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"gpuvar/internal/cluster"
+)
+
+func TestSpatialStudyAirCoupling(t *testing.T) {
+	// Busy neighbors heat the shared airflow: each added neighbor slows
+	// the median compute-bound kernel on an air-cooled cluster.
+	exp := sgemmExp(cluster.Longhorn(), 6)
+	exp.Fraction = 0.5
+	points, err := SpatialStudy(exp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].MedianMs <= points[i-1].MedianMs {
+			t.Errorf("neighbor %d should slow the median: %v vs %v",
+				points[i].BusyNeighbors, points[i].MedianMs, points[i-1].MedianMs)
+		}
+		if points[i].MedianTempC <= points[i-1].MedianTempC {
+			t.Errorf("neighbor %d should heat the die", points[i].BusyNeighbors)
+		}
+	}
+}
+
+func TestSpatialStudyWaterIsolates(t *testing.T) {
+	// Liquid cooling decouples the GPUs: the 3-neighbor penalty on
+	// Vortex must be far smaller than on Longhorn.
+	air := sgemmExp(cluster.Longhorn(), 6)
+	air.Fraction = 0.5
+	airPts, err := SpatialStudy(air, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	water := sgemmExp(cluster.Vortex(), 6)
+	waterPts, err := SpatialStudy(water, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	airPenalty := airPts[3].MedianMs/airPts[0].MedianMs - 1
+	waterPenalty := waterPts[3].MedianMs/waterPts[0].MedianMs - 1
+	if waterPenalty > airPenalty/2 {
+		t.Fatalf("water penalty %v should be well under air penalty %v", waterPenalty, airPenalty)
+	}
+}
+
+func TestSpatialStudyRejectsBadNeighborCount(t *testing.T) {
+	exp := sgemmExp(cluster.Longhorn(), 4)
+	if _, err := SpatialStudy(exp, 4); err == nil { // nodes have 4 GPUs
+		t.Fatal("4 neighbors on a 4-GPU node should be rejected")
+	}
+	if _, err := SpatialStudy(exp, -1); err == nil {
+		t.Fatal("negative neighbors should be rejected")
+	}
+}
+
+func TestTemporalCarryover(t *testing.T) {
+	// A hot die from a preceding job slows the first kernel relative to
+	// a cold start; the steady-state duration is history-independent.
+	points, err := TemporalStudy(cluster.Longhorn(), testSeed, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no temporal points")
+	}
+	for _, p := range points {
+		if pen := p.CarryoverPenalty(); pen <= 0 {
+			t.Errorf("%s: carryover penalty %v should be positive", p.GPUID, pen)
+		} else if pen > 0.25 {
+			t.Errorf("%s: carryover penalty %v implausibly large", p.GPUID, pen)
+		}
+		// The first hot kernel is already near the steady duration; the
+		// cold one is measurably faster.
+		if p.ColdFirstKernelMs >= p.SteadyKernelMs {
+			t.Errorf("%s: cold first kernel %v should beat steady %v",
+				p.GPUID, p.ColdFirstKernelMs, p.SteadyKernelMs)
+		}
+	}
+}

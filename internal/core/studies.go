@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/stats"
+	"gpuvar/internal/workload"
+)
+
+// WeekStudy runs the experiment once per day of the week (§VI-A,
+// Figs. 20–21) and returns the seven results, Monday first.
+func WeekStudy(exp Experiment) ([]*Result, error) {
+	out := make([]*Result, 7)
+	for day := 0; day < 7; day++ {
+		e := exp
+		e.Day = day
+		// A different run phase per day: the same GPUs measured on
+		// different days draw fresh run-level jitter.
+		e.Seed = exp.Seed // fleet identical across days
+		r, err := Run(e)
+		if err != nil {
+			return nil, fmt.Errorf("core: day %d: %w", day, err)
+		}
+		out[day] = r
+	}
+	return out, nil
+}
+
+// DayNames are the week-study labels.
+var DayNames = [7]string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+
+// PowerSweepPoint is one power-limit setting's outcome (§VI-B, Fig. 22).
+type PowerSweepPoint struct {
+	CapW      float64
+	PerfVar   float64
+	MedianMs  float64
+	NOutliers int
+	Result    *Result
+}
+
+// PowerLimitSweep runs the workload at each administrative power cap.
+// The paper sweeps 100–300 W on CloudLab, where the authors had root.
+func PowerLimitSweep(exp Experiment, capsW []float64) ([]PowerSweepPoint, error) {
+	out := make([]PowerSweepPoint, 0, len(capsW))
+	for _, cap := range capsW {
+		e := exp
+		e.AdminCapW = cap
+		r, err := Run(e)
+		if err != nil {
+			return nil, fmt.Errorf("core: cap %v: %w", cap, err)
+		}
+		p := PowerSweepPoint{CapW: cap, PerfVar: r.Variation(Perf), Result: r}
+		if bp, err := r.Box(Perf); err == nil {
+			p.MedianMs = bp.Q2
+			p.NOutliers = len(bp.Outliers)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// AppStudyRow is one workload's variability summary on one cluster —
+// the rows behind the paper's §V cross-application comparison.
+type AppStudyRow struct {
+	Workload string
+	Class    workload.Class
+	PerfVar  float64
+	PowerVar float64
+	FreqVar  float64
+	MedianMs float64
+	PerfFreq float64 // ρ(perf, freq)
+}
+
+// ApplicationStudy runs several workloads on the same cluster and fleet
+// seed and summarizes each, preserving order.
+func ApplicationStudy(base Experiment, wls []workload.Workload) ([]AppStudyRow, error) {
+	out := make([]AppStudyRow, 0, len(wls))
+	for _, wl := range wls {
+		e := base
+		e.Workload = wl
+		r, err := Run(e)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", wl.Name, err)
+		}
+		row := AppStudyRow{
+			Workload: wl.Name,
+			Class:    workload.Classify(wl.Profile),
+			PerfVar:  r.Variation(Perf),
+			PowerVar: r.Variation(Power),
+			FreqVar:  r.Variation(Freq),
+			PerfFreq: r.Correlate().PerfFreq,
+		}
+		if bp, err := r.Box(Perf); err == nil {
+			row.MedianMs = bp.Q2
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// AblationRow quantifies one mechanism's contribution to variability.
+type AblationRow struct {
+	Name    string
+	PerfVar float64
+}
+
+// Ablation reruns the experiment with individual variability mechanisms
+// disabled, attributing the observed variation (an extension beyond the
+// paper: DESIGN.md §5).
+func Ablation(exp Experiment) ([]AblationRow, error) {
+	type variant struct {
+		name string
+		mod  func(*Experiment)
+	}
+	vm := exp.Cluster.Variation
+	variants := []variant{
+		{"full model", func(e *Experiment) {}},
+		{"no defects", func(e *Experiment) { e.NoDefects = true }},
+		{"no V/F-curve spread", func(e *Experiment) {
+			v := vm
+			v.VoltSpread = 0
+			e.VariationOverride = &v
+		}},
+		{"no leakage spread", func(e *Experiment) {
+			v := vm
+			v.LeakSpread = 0
+			e.VariationOverride = &v
+		}},
+		{"no bandwidth spread", func(e *Experiment) {
+			v := vm
+			v.MemBWSpread = 0
+			e.VariationOverride = &v
+		}},
+		{"no manufacturing spread at all", func(e *Experiment) {
+			e.VariationOverride = &gpu.VariationModel{}
+		}},
+	}
+	out := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		e := exp
+		v.mod(&e)
+		r, err := Run(e)
+		if err != nil {
+			return nil, fmt.Errorf("core: ablation %q: %w", v.name, err)
+		}
+		out = append(out, AblationRow{Name: v.name, PerfVar: r.Variation(Perf)})
+	}
+	return out, nil
+}
+
+// SampleSizeCheck verifies the experiment's statistical power per the
+// paper's §III methodology [31]: the number of GPUs measured versus the
+// recommended sample for lambda-accurate mean power at the given
+// confidence. The paper reports a 2.9× margin over the worst case.
+type SampleSizeCheck struct {
+	Measured    int
+	Recommended int
+	MarginX     float64
+}
+
+// CheckSampleSize computes the recommendation from the measured power
+// coefficient of variation.
+func (r *Result) CheckSampleSize(lambda, confidence float64) SampleSizeCheck {
+	power := r.Values(Power)
+	cv := stats.StdDev(power) / stats.Mean(power)
+	rec := stats.RecommendedSampleSize(r.Exp.Cluster.NumGPUs(), cv, lambda, confidence)
+	c := SampleSizeCheck{Measured: len(power), Recommended: rec}
+	if rec > 0 {
+		c.MarginX = float64(c.Measured) / float64(rec)
+	}
+	return c
+}

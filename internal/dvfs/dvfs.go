@@ -1,0 +1,261 @@
+// Package dvfs implements the GPU power-management controllers that the
+// paper identifies as the root of performance variability (§II-B,
+// Fig. 11): local, per-GPU feedback loops that adjust clock frequency to
+// keep power at or below the cap and temperature below the slowdown
+// threshold.
+//
+// Neither AMD nor NVIDIA disclose their controllers; the model here
+// reproduces the externally observable behaviour the paper measured:
+//
+//   - on kernel launch the clock boosts toward maximum,
+//   - as power crosses the cap the clock steps down until the draw
+//     stabilizes just below the cap (Fig. 11: V100s settle 1327–1440 MHz
+//     on a 300 W budget),
+//   - per-chip V/F-curve quality determines each chip's equilibrium,
+//   - nearing the slowdown temperature forces additional throttling
+//     regardless of power (Corona's hot MI60s, §IV-D),
+//   - NVIDIA parts move in fine steps, AMD parts in coarse P-states.
+package dvfs
+
+import "gpuvar/internal/gpu"
+
+// Config tunes controller dynamics. Defaults reproduce the ~1 s settle
+// visible in paper Fig. 11.
+type Config struct {
+	// IntervalMs is the controller's decision period. Vendor controllers
+	// run at O(100 Hz); 10 ms reproduces the observed ramp shapes.
+	IntervalMs float64
+	// Hysteresis is the fractional power headroom below the cap required
+	// before the controller steps back up, preventing limit cycling.
+	Hysteresis float64
+	// ThermalMarginC is how far below the slowdown temperature the
+	// controller starts thermal throttling.
+	ThermalMarginC float64
+	// BoostStepsPerDecision is how many clock states the controller may
+	// climb per decision while boosting (descent is always at least as
+	// fast as ascent).
+	BoostStepsPerDecision int
+	// ProbeIntervalMs is how long the controller waits after a cap
+	// violation before re-probing a higher clock. This prevents limit
+	// cycling between adjacent coarse P-states (one above the cap, one
+	// below) while still tracking slow thermal drift.
+	ProbeIntervalMs float64
+	// ThermalStepIntervalMs rate-limits thermal throttling below the
+	// shutdown emergency: die temperature moves on the multi-second RC
+	// time scale, so reacting every controller period would crash the
+	// clock to the floor long before the die cools.
+	ThermalStepIntervalMs float64
+}
+
+// DefaultConfig returns the controller tuning used for all paper
+// reproductions.
+func DefaultConfig() Config {
+	return Config{
+		IntervalMs:            10,
+		Hysteresis:            0.015,
+		ThermalMarginC:        2.0,
+		BoostStepsPerDecision: 20,
+		ProbeIntervalMs:       1000,
+		ThermalStepIntervalMs: 400,
+	}
+}
+
+// Controller is one GPU's PM feedback loop. It is not safe for
+// concurrent use.
+type Controller struct {
+	chip *gpu.Chip
+	cfg  Config
+
+	// adminCapW is the nvidia-smi-style administrative power limit
+	// (0 = none); the effective cap also honors the board cap, which a
+	// DefectPowerBrake may have lowered.
+	adminCapW float64
+
+	freqMHz     float64
+	accumMs     float64
+	thermalHold bool // currently limited by temperature, not power
+
+	// ceilingMHz is the learned highest safe clock: lowered whenever a
+	// clock violates the cap, slowly re-probed upward. Zero means
+	// "unlearned" (no violation seen yet).
+	ceilingMHz         float64
+	sinceProbeMs       float64
+	sinceThermalStepMs float64
+}
+
+// New returns a controller for chip starting at the idle clock.
+func New(chip *gpu.Chip, cfg Config, adminCapW float64) *Controller {
+	return &Controller{
+		chip:      chip,
+		cfg:       cfg,
+		adminCapW: adminCapW,
+		freqMHz:   chip.SKU.QuantizeClock(chip.SKU.IdleClockMHz),
+	}
+}
+
+// FreqMHz returns the currently selected clock.
+func (c *Controller) FreqMHz() float64 { return c.freqMHz }
+
+// CapW returns the effective power cap the controller enforces.
+func (c *Controller) CapW() float64 { return c.chip.PowerCapW(c.adminCapW) }
+
+// ThermallyLimited reports whether the last decision was forced by
+// temperature rather than power.
+func (c *Controller) ThermallyLimited() bool { return c.thermalHold }
+
+// Park drops the clock to idle (no kernel resident). The learned ceiling
+// is retained: the next kernel on this GPU hits the cap at the same
+// clock, and real controllers warm-start similarly.
+func (c *Controller) Park() {
+	c.freqMHz = c.chip.SKU.QuantizeClock(c.chip.SKU.IdleClockMHz)
+	c.thermalHold = false
+}
+
+// Tick advances the controller by dtMs given the instantaneous power
+// draw and die temperature, and returns the (possibly updated) clock.
+// busy indicates whether a kernel is resident; an idle GPU parks.
+func (c *Controller) Tick(dtMs, powerW, tempC float64, busy bool) float64 {
+	if !busy {
+		c.Park()
+		return c.freqMHz
+	}
+	c.accumMs += dtMs
+	c.sinceProbeMs += dtMs
+	c.sinceThermalStepMs += dtMs
+	if c.accumMs < c.cfg.IntervalMs {
+		return c.freqMHz
+	}
+	c.accumMs = 0
+	c.decide(powerW, tempC)
+	return c.freqMHz
+}
+
+// decide performs one control decision.
+func (c *Controller) decide(powerW, tempC float64) {
+	sku := c.chip.SKU
+	capW := c.CapW()
+	maxClock := c.chip.MaxUsableClockMHz()
+	slowdownStart := sku.SlowdownTempC - c.cfg.ThermalMarginC
+
+	// Thermal protection dominates: approach of the slowdown threshold
+	// forces the clock down no matter the power budget. Throttle one
+	// state per period near the threshold (temperature moves on the
+	// multi-second RC time scale, so gentle steps settle just below the
+	// threshold rather than undershooting) and harder once past it.
+	if tempC >= slowdownStart {
+		c.thermalHold = true
+		// Past the slowdown point itself is an emergency: throttle every
+		// period. Inside the pre-slowdown margin, throttle one state per
+		// thermal interval and let the die cool.
+		emergency := tempC >= sku.SlowdownTempC
+		if emergency || c.sinceThermalStepMs >= c.cfg.ThermalStepIntervalMs {
+			steps := 1
+			if emergency {
+				steps += int(tempC - sku.SlowdownTempC + 1)
+			}
+			for i := 0; i < steps; i++ {
+				c.freqMHz = sku.StepDown(c.freqMHz)
+			}
+			c.sinceThermalStepMs = 0
+			// Learn the thermal ceiling too, so boosting doesn't rush
+			// back over the threshold between probes.
+			c.ceilingMHz = c.freqMHz
+			c.sinceProbeMs = 0
+		}
+		return
+	}
+	c.thermalHold = false
+
+	switch {
+	case powerW > capW:
+		// Over budget: descend proportionally to the overshoot so large
+		// excursions (kernel launch at boost clocks) correct in a few
+		// periods, as in the Fig. 11 timelines. Remember that the
+		// current clock is unsafe so boosting doesn't cycle back.
+		over := (powerW - capW) / capW
+		steps := 1 + int(over*20)
+		for i := 0; i < steps; i++ {
+			c.freqMHz = sku.StepDown(c.freqMHz)
+		}
+		c.ceilingMHz = c.freqMHz
+		c.sinceProbeMs = 0
+	case powerW < capW*(1-c.cfg.Hysteresis) && c.freqMHz < maxClock:
+		// Headroom: boost, but not above the learned ceiling until the
+		// probe timer allows trying one state higher again.
+		limit := maxClock
+		if c.ceilingMHz > 0 && c.ceilingMHz < limit {
+			if c.sinceProbeMs >= c.cfg.ProbeIntervalMs {
+				c.ceilingMHz = sku.StepUp(c.ceilingMHz)
+				c.sinceProbeMs = 0
+			}
+			if c.ceilingMHz < limit {
+				limit = c.ceilingMHz
+			}
+		}
+		for i := 0; i < c.cfg.BoostStepsPerDecision && c.freqMHz < limit; i++ {
+			c.freqMHz = sku.StepUp(c.freqMHz)
+		}
+		if c.freqMHz > limit {
+			c.freqMHz = sku.QuantizeClock(limit)
+		}
+	}
+	// Within the hysteresis band: hold.
+}
+
+// SteadyState computes the equilibrium operating point the controller
+// converges to for a sustained activity level, by jointly solving the
+// power cap, the thermal-slowdown constraint, and the leakage↔
+// temperature fixed point. steadyTempC must be a function returning the
+// equilibrium die temperature at a given sustained power.
+//
+// This is the fast path used for fleet-scale experiments; the transient
+// Tick path is validated against it (see sim package tests).
+func (c *Controller) SteadyState(act gpu.Activity, steadyTempC func(powerW float64) float64) (fMHz, powerW, tempC float64) {
+	sku := c.chip.SKU
+	capW := c.CapW()
+	slowdownStart := sku.SlowdownTempC - c.cfg.ThermalMarginC
+	// Clamp the modeled temperature: a real part cannot run past its
+	// shutdown threshold (it powers off), and an unclamped
+	// leakage↔temperature loop diverges for severely degraded cooling.
+	clamp := func(t float64) float64 {
+		limit := sku.ShutdownTempC + 10
+		if t > limit {
+			return limit
+		}
+		return t
+	}
+
+	// Fixed-point iteration: temperature ← power ← clock ← temperature.
+	tempC = clamp(steadyTempC(capW * 0.9)) // reasonable starting guess
+	fMHz = c.chip.MaxUsableClockMHz()
+	for i := 0; i < 60; i++ {
+		f, p := c.chip.MaxClockUnderCap(capW, tempC, act)
+		// Thermal constraint: step down until the steady temperature at
+		// the resulting power clears the slowdown margin (or the clock
+		// floors out).
+		for clamp(steadyTempC(p)) >= slowdownStart {
+			next := sku.StepDown(f)
+			if next >= f {
+				break
+			}
+			f = next
+			p = c.chip.TotalPower(f, tempC, act)
+		}
+		t := clamp(steadyTempC(p))
+		// Damped update for stability of the leakage feedback.
+		newTemp := tempC + 0.6*(t-tempC)
+		done := abs(newTemp-tempC) < 0.01 && f == fMHz
+		fMHz, powerW, tempC = f, p, newTemp
+		if done {
+			break
+		}
+	}
+	return fMHz, powerW, tempC
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

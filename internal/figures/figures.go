@@ -1,0 +1,194 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from the modeled clusters. Each generator runs the
+// corresponding experiment through internal/core and renders the same
+// rows/series the paper reports (box-plot summaries per group, scatter
+// correlations, time-series slices).
+//
+// Generators are addressed by id ("tab1", "fig1" … "fig26", "impact");
+// cmd/figures exposes them on the command line and the repository-root
+// benchmarks time each one.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+	"gpuvar/internal/workload"
+)
+
+// Config scales the experiments. The zero value is usable: it selects
+// the defaults below, which favor quick regeneration; raise the knobs
+// for full-fidelity runs.
+type Config struct {
+	// Seed selects the fleet instantiation (default 2022).
+	Seed uint64
+	// SummitFraction is the share of Summit's 27,648 GPUs to measure
+	// (default 0.08; 1.0 reproduces the full-scale study).
+	SummitFraction float64
+	// Iterations is the SGEMM repetition count (default 20; the paper
+	// uses 100).
+	Iterations int
+	// MLIterations is the training-iteration count for ResNet/BERT
+	// (default 30; the paper uses 500/250).
+	MLIterations int
+	// Runs is the per-GPU repetition count for repeatability studies
+	// (default 3).
+	Runs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2022
+	}
+	if c.SummitFraction <= 0 || c.SummitFraction > 1 {
+		c.SummitFraction = 0.08
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 20
+	}
+	if c.MLIterations <= 0 {
+		c.MLIterations = 30
+	}
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	return c
+}
+
+// Generator produces one figure or table.
+type Generator struct {
+	ID    string
+	Title string
+	Fn    func(*Session, io.Writer) error
+}
+
+// Session caches experiment results across generators so that, e.g.,
+// Fig. 2 (Longhorn box plots) and Fig. 3 (Longhorn correlations) share
+// one run. Safe for concurrent use.
+type Session struct {
+	Cfg   Config
+	mu    sync.Mutex
+	cache map[string]*core.Result
+}
+
+// NewSession returns a session with the given config.
+func NewSession(cfg Config) *Session {
+	return &Session{Cfg: cfg.withDefaults(), cache: map[string]*core.Result{}}
+}
+
+// run executes (or returns the cached) experiment keyed by a label.
+func (s *Session) run(key string, exp core.Experiment) (*core.Result, error) {
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := core.Run(exp)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// sgemmOn returns the cached SGEMM characterization of a cluster.
+func (s *Session) sgemmOn(spec cluster.Spec, runs int) (*core.Result, error) {
+	wl := workload.SGEMMForCluster(spec.SKU())
+	wl.Iterations = s.Cfg.Iterations
+	exp := core.Experiment{
+		Cluster:  spec,
+		Workload: wl,
+		Seed:     s.Cfg.Seed,
+		Runs:     runs,
+	}
+	if spec.Name == "Summit" {
+		exp.Fraction = s.Cfg.SummitFraction
+	}
+	return s.run(fmt.Sprintf("sgemm:%s:r%d", spec.Name, runs), exp)
+}
+
+// All returns every generator in paper order.
+func All() []Generator {
+	return []Generator{
+		{"tab1", "Table I: clusters studied", genTab1},
+		{"tab2", "Table II: applications studied", genTab2},
+		{"fig1", "Fig 1: normalized SGEMM runtime across clusters", genFig1},
+		{"fig2", "Fig 2: SGEMM on Longhorn (box plots)", genFig2},
+		{"fig3", "Fig 3: SGEMM on Longhorn (correlations)", genFig3},
+		{"fig4", "Fig 4: SGEMM on Summit by row (box plots)", genFig4},
+		{"fig5", "Fig 5: SGEMM on Summit (correlations)", genFig5},
+		{"fig6", "Fig 6: SGEMM on Corona (box plots)", genFig6},
+		{"fig7", "Fig 7: SGEMM on Corona (correlations)", genFig7},
+		{"fig8", "Fig 8: per-GPU repeat variation", genFig8},
+		{"fig9", "Fig 9: SGEMM on Vortex (box plots)", genFig9},
+		{"fig10", "Fig 10: SGEMM on Vortex (correlations)", genFig10},
+		{"fig11", "Fig 11: DVFS frequency/power timelines", genFig11},
+		{"fig12", "Fig 12: SGEMM on Frontera (box plots)", genFig12},
+		{"fig13", "Fig 13: SGEMM on Frontera (correlations)", genFig13},
+		{"fig14", "Fig 14: multi-GPU ResNet-50 on Longhorn", genFig14},
+		{"fig15", "Fig 15: ResNet-50 correlations", genFig15},
+		{"fig16", "Fig 16: single-GPU ResNet-50", genFig16},
+		{"fig17", "Fig 17: multi-GPU BERT on Longhorn", genFig17},
+		{"fig18", "Fig 18: LAMMPS on Longhorn", genFig18},
+		{"fig19", "Fig 19: PageRank on Longhorn", genFig19},
+		{"fig20", "Fig 20: Summit day-of-week study", genFig20},
+		{"fig21", "Fig 21: Longhorn day-of-week study", genFig21},
+		{"fig22", "Fig 22: power-limit sweep on CloudLab", genFig22},
+		{"fig23", "Fig 23: Summit row H by column", genFig23},
+		{"fig24", "Fig 24: Summit row H correlations", genFig24},
+		{"fig25", "Fig 25: power-braked GPU timelines", genFig25},
+		{"fig26", "Fig 26: Summit row H column 36 by node", genFig26},
+		{"impact", "SVII: user impact of slow-GPU allocation", genImpact},
+	}
+}
+
+// AllWithExtensions returns the paper generators followed by the
+// extension studies (DESIGN.md §5).
+func AllWithExtensions() []Generator {
+	return append(All(), extGenerators()...)
+}
+
+// IDs returns all generator ids (paper figures then extensions).
+func IDs() []string {
+	gens := AllWithExtensions()
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.ID
+	}
+	return out
+}
+
+// Generate runs one generator by id (paper figures and extensions).
+func Generate(id string, s *Session, w io.Writer) error {
+	for _, g := range AllWithExtensions() {
+		if g.ID == id {
+			if _, err := fmt.Fprintf(w, "=== %s ===\n", g.Title); err != nil {
+				return err
+			}
+			return g.Fn(s, w)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return fmt.Errorf("figures: unknown id %q (known: %v)", id, known)
+}
+
+// GenerateAll runs every generator in paper order, then the extensions.
+func GenerateAll(s *Session, w io.Writer) error {
+	for _, g := range AllWithExtensions() {
+		if err := Generate(g.ID, s, w); err != nil {
+			return fmt.Errorf("%s: %w", g.ID, err)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

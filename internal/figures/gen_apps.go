@@ -1,0 +1,121 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/report"
+	"gpuvar/internal/workload"
+)
+
+// appResult runs one application workload on Longhorn (all §V studies
+// use Longhorn).
+func (s *Session) appResult(wl workload.Workload) (*core.Result, error) {
+	wl.Iterations = s.Cfg.MLIterations
+	exp := core.Experiment{
+		Cluster:  cluster.Longhorn(),
+		Workload: wl,
+		Seed:     s.Cfg.Seed,
+	}
+	return s.run("app:"+wl.Name, exp)
+}
+
+func genTab2(s *Session, w io.Writer) error {
+	sku := gpu.V100SXM2()
+	wls := []workload.Workload{
+		workload.SGEMM(25536, sku),
+		workload.SGEMM(24576, gpu.MI60()),
+		workload.ResNet50(4, 64, sku),
+		workload.BERT(4, 64, sku),
+		workload.LAMMPS(8, 16, 16, sku),
+		workload.PageRank(643994, 6250000, sku),
+	}
+	var t report.Table
+	t.Header = []string{"Benchmark", "GPUs/job", "Metric", "Class", "FU util", "DRAM util", "Mem stalls %"}
+	for _, wl := range wls {
+		t.AddRow(wl.Name, wl.GPUsPerJob, wl.Metric.String(),
+			workload.Classify(wl.Profile).String(),
+			wl.Profile.FUUtil, wl.Profile.DRAMUtil, wl.Profile.MemStallPct)
+	}
+	return t.Render(w)
+}
+
+func genFig14(s *Session, w io.Writer) error {
+	r, err := s.appResult(workload.ResNet50(4, 64, gpu.V100SXM2()))
+	if err != nil {
+		return err
+	}
+	return fourMetricCharts(r, w)
+}
+
+func genFig15(s *Session, w io.Writer) error {
+	r, err := s.appResult(workload.ResNet50(4, 64, gpu.V100SXM2()))
+	if err != nil {
+		return err
+	}
+	return correlationBlock(r, w)
+}
+
+func genFig16(s *Session, w io.Writer) error {
+	r, err := s.appResult(workload.ResNet50(1, 16, gpu.V100SXM2()))
+	if err != nil {
+		return err
+	}
+	return fourMetricCharts(r, w)
+}
+
+func genFig17(s *Session, w io.Writer) error {
+	r, err := s.appResult(workload.BERT(4, 64, gpu.V100SXM2()))
+	if err != nil {
+		return err
+	}
+	return fourMetricCharts(r, w)
+}
+
+func genFig18(s *Session, w io.Writer) error {
+	r, err := s.appResult(workload.LAMMPS(8, 16, 16, gpu.V100SXM2()))
+	if err != nil {
+		return err
+	}
+	return fourMetricCharts(r, w)
+}
+
+func genFig19(s *Session, w io.Writer) error {
+	r, err := s.appResult(workload.PageRank(643994, 6250000, gpu.V100SXM2()))
+	if err != nil {
+		return err
+	}
+	return fourMetricCharts(r, w)
+}
+
+func genImpact(s *Session, w io.Writer) error {
+	var t report.Table
+	t.Header = []string{"Cluster", "Slow GPUs (>6% off fastest)", "P(1-GPU job hits one)", "P(4-GPU job hits one)"}
+	for _, spec := range []cluster.Spec{cluster.Longhorn(), cluster.Summit()} {
+		r, err := s.sgemmOn(spec, 1)
+		if err != nil {
+			return err
+		}
+		imp := r.Impact(0.06, 4)
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.0f%%", imp.SlowFraction*100),
+			fmt.Sprintf("%.0f%%", imp.PSingleGPU*100),
+			fmt.Sprintf("%.0f%%", imp.PMultiGPU*100))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	// The early-warning report (§VII blacklisting/maintenance).
+	r, err := s.sgemmOn(cluster.Longhorn(), 1)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nearly-warning report (Longhorn):"); err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, core.FormatSuspects(r.OutlierReport()))
+	return err
+}

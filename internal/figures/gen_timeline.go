@@ -1,0 +1,103 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/dvfs"
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/sim"
+	"gpuvar/internal/telemetry"
+	"gpuvar/internal/thermal"
+	"gpuvar/internal/workload"
+)
+
+// traceDevice runs a single-GPU transient SGEMM and returns its trace.
+func traceDevice(chip *gpu.Chip, node *thermal.Node, seed uint64, iters, run int) *telemetry.Trace {
+	parent := rng.New(seed)
+	dev := sim.NewDevice(chip, node, dvfs.DefaultConfig(), 0, parent.Split("sys"))
+	wl := workload.SGEMMForCluster(chip.SKU)
+	wl.Iterations = iters
+	res := sim.RunTransient([]*sim.Device{dev}, wl, parent.Split("job"), sim.Options{Run: run})
+	return res.Traces[0]
+}
+
+// renderTimeline prints a decimated frequency/power time series plus
+// kernel launch markers, the textual equivalent of the paper's
+// time-series plots.
+func renderTimeline(tr *telemetry.Trace, everyMs float64, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "  GPU %s: %d kernels\n", tr.GPUID, len(tr.Kernels)); err != nil {
+		return err
+	}
+	for i, k := range tr.Kernels {
+		if i >= 4 {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "    kernel %d: launch %.0f ms, duration %.0f ms\n",
+			i, k.StartMs, k.DurationMs()); err != nil {
+			return err
+		}
+	}
+	next := 0.0
+	for _, s := range tr.Samples {
+		if s.TimeMs < next {
+			continue
+		}
+		next = s.TimeMs + everyMs
+		if _, err := fmt.Fprintf(w, "    t=%7.0f ms  f=%6.1f MHz  p=%6.1f W  T=%5.1f C\n",
+			s.TimeMs, s.FreqMHz, s.PowerW, s.TempC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func genFig11(s *Session, w io.Writer) error {
+	// Two Vortex GPUs at the extremes of kernel performance (the paper
+	// contrasts a 1327 MHz chip against a 1440 MHz chip). A good and a
+	// bad chip are constructed from the variation tails.
+	fast := gpu.NewChip(gpu.V100SXM2(), "GPU-2", gpu.VariationModel{}, nil)
+	fast.VoltFactor = 1 - 2.2*gpu.DefaultVariation().VoltSpread
+	slow := gpu.NewChip(gpu.V100SXM2(), "GPU-1", gpu.VariationModel{}, nil)
+	slow.VoltFactor = 1 + 2.2*gpu.DefaultVariation().VoltSpread
+
+	for i, chip := range []*gpu.Chip{slow, fast} {
+		node := thermal.NewNode(thermal.WaterParams(), 0.5, nil)
+		tr := traceDevice(chip, node, s.Cfg.Seed+uint64(i), 4, 0)
+		if err := renderTimeline(tr, 500, w); err != nil {
+			return err
+		}
+		f, p, _ := tr.BusyMetricMedians()
+		if _, err := fmt.Fprintf(w, "    medians: %.0f MHz, %.1f W\n", f, p); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "  note: both GPUs ride the 300 W cap; the worse chip crosses it at a lower clock")
+	return err
+}
+
+func genFig25(s *Session, w io.Writer) error {
+	// A power-braked Summit GPU across two runs: the clock pins at the
+	// brake state while power stays well under the cap (the paper's
+	// rowh-col36-n10-3 never exceeds 259 W at a constant 1312 MHz).
+	spec := cluster.Summit()
+	for run := 0; run < 2; run++ {
+		chip := gpu.NewChip(gpu.V100SXM2(), "rowH-col36-n10-g3", spec.Variation, rng.New(s.Cfg.Seed).Split("brake-chip"))
+		chip.InjectDefect(gpu.DefectPowerBrake, rng.New(s.Cfg.Seed).Split("brake-severity"))
+		node := thermal.NewNode(thermal.WaterParams(), 0.5, rng.New(s.Cfg.Seed).Split("brake-node"))
+		tr := traceDevice(chip, node, s.Cfg.Seed, 3, run)
+		if _, err := fmt.Fprintf(w, "  run %d (clock pinned at %.0f MHz):\n", run+1, chip.MaxUsableClockMHz()); err != nil {
+			return err
+		}
+		if err := renderTimeline(tr, 800, w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "    max sampled power: %.1f W (cap %.0f W)\n",
+			tr.MaxPowerW(), chip.SKU.TDPWatts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package globalpm prototypes the paper's closing proposal (§VII "New
+// Hardware and System Design"): coordinated, cluster-level power
+// management in place of today's local-only per-GPU controllers.
+//
+// Current systems give every GPU the same cap (its TDP), so chips with
+// worse V/F curves settle at lower clocks and the fleet's performance
+// spreads. A global coordinator holding the SAME total power budget can
+// instead shift watts from efficient chips (which lose little clock per
+// watt removed) to inefficient ones (which gain a lot per watt added),
+// compressing the performance distribution at zero additional power.
+//
+// The allocator is a greedy marginal-exchange optimizer over the same
+// chip/thermal models the rest of the simulator uses, so its benefit is
+// measured under exactly the physics that create the problem.
+package globalpm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/thermal"
+)
+
+// Member is one GPU under coordinated management.
+type Member struct {
+	Chip  *gpu.Chip
+	Therm *thermal.Node
+}
+
+// Allocation is the coordinator's output for one GPU.
+type Allocation struct {
+	GPUID   string
+	CapW    float64
+	FreqMHz float64
+	PowerW  float64
+	TempC   float64
+	// PerfScale is the relative kernel rate at the allocated operating
+	// point (1.0 = max clock on a nominal chip).
+	PerfScale float64
+}
+
+// Result is a completed allocation round.
+type Result struct {
+	TotalBudgetW float64
+	Allocations  []Allocation
+}
+
+// PerfScales returns the per-GPU performance scales.
+func (r *Result) PerfScales() []float64 {
+	out := make([]float64, len(r.Allocations))
+	for i, a := range r.Allocations {
+		out[i] = a.PerfScale
+	}
+	return out
+}
+
+// Variation returns (max−min)/median of the performance scales — the
+// quantity global PM tries to compress.
+func (r *Result) Variation() float64 {
+	if len(r.Allocations) == 0 {
+		return 0
+	}
+	scales := r.PerfScales()
+	sort.Float64s(scales)
+	med := scales[len(scales)/2]
+	if med == 0 {
+		return math.NaN()
+	}
+	return (scales[len(scales)-1] - scales[0]) / med
+}
+
+// operatingPoint solves one GPU's steady state at a given cap for a
+// sustained activity (compute fraction cf scales performance with
+// clock).
+func operatingPoint(m Member, capW float64, act gpu.Activity, cf float64) Allocation {
+	chip := m.Chip
+	// Leakage↔temperature fixed point at this cap.
+	temp := m.Therm.SteadyTempC(capW*0.9, chip.ThermalResistFactor)
+	var f, p float64
+	for i := 0; i < 40; i++ {
+		f, p = chip.MaxClockUnderCap(capW, temp, act)
+		t := m.Therm.SteadyTempC(p, chip.ThermalResistFactor)
+		if math.Abs(t-temp) < 0.05 {
+			temp = t
+			break
+		}
+		temp += 0.6 * (t - temp)
+	}
+	fn := f / chip.SKU.MaxClockMHz
+	rate := 1 / (cf/(fn*chip.ComputeEff) + (1 - cf))
+	return Allocation{
+		GPUID:     chip.ID,
+		CapW:      capW,
+		FreqMHz:   f,
+		PowerW:    p,
+		TempC:     temp,
+		PerfScale: rate,
+	}
+}
+
+// Config tunes the coordinator.
+type Config struct {
+	// StepW is the exchange granularity (default 5 W).
+	StepW float64
+	// MaxCapW bounds any single GPU's cap (default: SKU TDP — boards
+	// rarely allow exceeding it; set higher to model unlocked boards).
+	MaxCapW float64
+	// MinCapW bounds how far a GPU may be starved (default 0.5×TDP).
+	MinCapW float64
+	// Rounds caps the optimizer's exchange iterations (default 400).
+	Rounds int
+}
+
+func (c Config) withDefaults(tdp float64) Config {
+	if c.StepW <= 0 {
+		c.StepW = 5
+	}
+	if c.MaxCapW <= 0 {
+		c.MaxCapW = tdp
+	}
+	if c.MinCapW <= 0 {
+		c.MinCapW = tdp / 2
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 400
+	}
+	return c
+}
+
+// LocalOnly evaluates today's policy: every GPU capped at budget/n
+// (clamped to the TDP), no coordination.
+func LocalOnly(members []Member, totalBudgetW float64, act gpu.Activity, cf float64) *Result {
+	if len(members) == 0 {
+		return &Result{}
+	}
+	per := totalBudgetW / float64(len(members))
+	res := &Result{TotalBudgetW: totalBudgetW}
+	for _, m := range members {
+		cap := math.Min(per, m.Chip.PowerCapW(0))
+		res.Allocations = append(res.Allocations, operatingPoint(m, cap, act, cf))
+	}
+	return res
+}
+
+// Coordinate allocates totalBudgetW across the members to minimize the
+// performance spread: a greedy exchange that repeatedly moves StepW from
+// the currently fastest GPU to the currently slowest one, as long as the
+// move narrows the max−min performance gap.
+func Coordinate(members []Member, totalBudgetW float64, act gpu.Activity, cf float64, cfg Config) (*Result, error) {
+	if len(members) == 0 {
+		return &Result{}, nil
+	}
+	cfg = cfg.withDefaults(members[0].Chip.SKU.TDPWatts)
+	if totalBudgetW <= 0 {
+		return nil, fmt.Errorf("globalpm: non-positive budget %v", totalBudgetW)
+	}
+	caps := make([]float64, len(members))
+	per := totalBudgetW / float64(len(members))
+	for i := range caps {
+		caps[i] = math.Min(per, cfg.MaxCapW)
+	}
+	evalAll := func() []Allocation {
+		out := make([]Allocation, len(members))
+		for i, m := range members {
+			out[i] = operatingPoint(m, caps[i], act, cf)
+		}
+		return out
+	}
+	allocs := evalAll()
+	spread := func(as []Allocation) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, a := range as {
+			lo = math.Min(lo, a.PerfScale)
+			hi = math.Max(hi, a.PerfScale)
+		}
+		return hi - lo
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		fastest, slowest := 0, 0
+		for i, a := range allocs {
+			if a.PerfScale > allocs[fastest].PerfScale {
+				fastest = i
+			}
+			if a.PerfScale < allocs[slowest].PerfScale {
+				slowest = i
+			}
+		}
+		if fastest == slowest {
+			break
+		}
+		// Donor must stay above the floor; receiver below its ceiling.
+		if caps[fastest]-cfg.StepW < cfg.MinCapW || caps[slowest]+cfg.StepW > cfg.MaxCapW {
+			break
+		}
+		before := spread(allocs)
+		caps[fastest] -= cfg.StepW
+		caps[slowest] += cfg.StepW
+		newFast := operatingPoint(members[fastest], caps[fastest], act, cf)
+		newSlow := operatingPoint(members[slowest], caps[slowest], act, cf)
+		trial := make([]Allocation, len(allocs))
+		copy(trial, allocs)
+		trial[fastest] = newFast
+		trial[slowest] = newSlow
+		if spread(trial) >= before-1e-9 {
+			// No improvement: undo and stop.
+			caps[fastest] += cfg.StepW
+			caps[slowest] -= cfg.StepW
+			break
+		}
+		allocs = trial
+	}
+	return &Result{TotalBudgetW: totalBudgetW, Allocations: allocs}, nil
+}
+
+// TotalPowerW returns the sum of allocated operating powers.
+func (r *Result) TotalPowerW() float64 {
+	var sum float64
+	for _, a := range r.Allocations {
+		sum += a.PowerW
+	}
+	return sum
+}
+
+// MedianPerf returns the median performance scale.
+func (r *Result) MedianPerf() float64 {
+	if len(r.Allocations) == 0 {
+		return 0
+	}
+	s := r.PerfScales()
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,160 @@
+package globalpm
+
+import (
+	"math"
+	"testing"
+
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/thermal"
+)
+
+var sgemmAct = gpu.Activity{Compute: 1.0, Memory: 0.6}
+
+const sgemmCF = 0.97
+
+// fleet samples n V100s with manufacturing spread under water cooling.
+func fleet(n int, seed uint64) []Member {
+	parent := rng.New(seed)
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{
+			Chip:  gpu.NewChip(gpu.V100SXM2(), "g", gpu.DefaultVariation(), parent.SplitIndex("c", i)),
+			Therm: thermal.NewNode(thermal.WaterParams(), float64(i)/float64(n), parent.SplitIndex("t", i)),
+		}
+	}
+	return out
+}
+
+func TestLocalOnlyShowsSpread(t *testing.T) {
+	members := fleet(32, 1)
+	res := LocalOnly(members, 32*300, sgemmAct, sgemmCF)
+	if v := res.Variation(); v < 0.02 {
+		t.Fatalf("local-only fleet should vary: %v", v)
+	}
+}
+
+func TestCoordinateReducesVariation(t *testing.T) {
+	// The paper's thesis: a global budget allocator can compress the
+	// performance spread at the same total power. The interesting regime
+	// is a power-constrained facility (§VI-B: "future exascale machines
+	// operating under a varying power budget"), where the per-GPU share
+	// sits below TDP and the coordinator has headroom to shift watts
+	// toward the worse chips.
+	members := fleet(32, 1)
+	budget := 32.0 * 280 // facility-capped below 32×TDP
+	local := LocalOnly(members, budget, sgemmAct, sgemmCF)
+	global, err := Coordinate(members, budget, sgemmAct, sgemmCF, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Variation() >= local.Variation() {
+		t.Fatalf("coordination did not help: global %v vs local %v",
+			global.Variation(), local.Variation())
+	}
+	if global.Variation() > 0.7*local.Variation() {
+		t.Logf("note: modest improvement %v -> %v", local.Variation(), global.Variation())
+	}
+}
+
+func TestCoordinateNoRoomAtTDPBudget(t *testing.T) {
+	// With every GPU already at its TDP ceiling there is nothing to
+	// exchange: the coordinator must gracefully return the local
+	// allocation instead of violating board limits.
+	members := fleet(8, 9)
+	budget := 8.0 * 300
+	local := LocalOnly(members, budget, sgemmAct, sgemmCF)
+	global, err := Coordinate(members, budget, sgemmAct, sgemmCF, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(global.Variation()-local.Variation()) > 1e-9 {
+		t.Fatalf("TDP-bounded coordination should match local: %v vs %v",
+			global.Variation(), local.Variation())
+	}
+}
+
+func TestCoordinateRespectsBudget(t *testing.T) {
+	members := fleet(16, 2)
+	budget := 16.0 * 280
+	global, err := Coordinate(members, budget, sgemmAct, sgemmCF, Config{MaxCapW: 330})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var capSum float64
+	for _, a := range global.Allocations {
+		capSum += a.CapW
+	}
+	if capSum > budget+1e-6 {
+		t.Fatalf("cap sum %v exceeds budget %v", capSum, budget)
+	}
+	if global.TotalPowerW() > budget+1e-6 {
+		t.Fatalf("power %v exceeds budget %v", global.TotalPowerW(), budget)
+	}
+}
+
+func TestCoordinateRespectsBounds(t *testing.T) {
+	members := fleet(16, 3)
+	cfg := Config{MinCapW: 200, MaxCapW: 320, StepW: 4}
+	global, err := Coordinate(members, 16*280, sgemmAct, sgemmCF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range global.Allocations {
+		if a.CapW < 200-1e-9 || a.CapW > 320+1e-9 {
+			t.Fatalf("cap %v outside [200, 320]", a.CapW)
+		}
+	}
+}
+
+func TestCoordinateMedianNotSacrificed(t *testing.T) {
+	// Compression must come from lifting the tail, not tanking the
+	// median: median performance stays within a few percent of local.
+	members := fleet(32, 4)
+	budget := 32.0 * 300
+	local := LocalOnly(members, budget, sgemmAct, sgemmCF)
+	global, err := Coordinate(members, budget, sgemmAct, sgemmCF, Config{MaxCapW: 340})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.MedianPerf() < 0.95*local.MedianPerf() {
+		t.Fatalf("median perf collapsed: %v vs %v", global.MedianPerf(), local.MedianPerf())
+	}
+}
+
+func TestCoordinateEmptyAndBadInput(t *testing.T) {
+	if res, err := Coordinate(nil, 300, sgemmAct, sgemmCF, Config{}); err != nil || len(res.Allocations) != 0 {
+		t.Fatal("empty fleet should be a no-op")
+	}
+	if _, err := Coordinate(fleet(2, 5), -1, sgemmAct, sgemmCF, Config{}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestOperatingPointConsistency(t *testing.T) {
+	m := fleet(1, 6)[0]
+	a := operatingPoint(m, 300, sgemmAct, sgemmCF)
+	if a.PowerW > 300+1e-6 {
+		t.Fatalf("operating point exceeds cap: %v", a.PowerW)
+	}
+	if a.FreqMHz <= 0 || a.PerfScale <= 0 || a.PerfScale > 1.2 {
+		t.Fatalf("implausible operating point: %+v", a)
+	}
+	// Lower cap → slower.
+	b := operatingPoint(m, 200, sgemmAct, sgemmCF)
+	if b.PerfScale >= a.PerfScale {
+		t.Fatalf("200 W point %v should be slower than 300 W %v", b.PerfScale, a.PerfScale)
+	}
+}
+
+func TestVariationMetric(t *testing.T) {
+	r := &Result{Allocations: []Allocation{
+		{PerfScale: 0.9}, {PerfScale: 1.0}, {PerfScale: 1.1},
+	}}
+	if v := r.Variation(); math.Abs(v-0.2) > 1e-12 {
+		t.Fatalf("variation = %v", v)
+	}
+	if (&Result{}).Variation() != 0 {
+		t.Fatal("empty variation should be 0")
+	}
+}

@@ -1,0 +1,48 @@
+package gpu
+
+// CurvePoint is one row of a chip's operating-curve table.
+type CurvePoint struct {
+	FreqMHz float64
+	VoltV   float64
+	PowerW  float64
+}
+
+// PowerCurve tabulates the chip's total power across its clock grid at
+// the given temperature and activity — the per-chip V/F/P table a
+// PM-information standard would expose (and the quickest way to see why
+// two "identical" chips settle at different clocks under one cap).
+func (c *Chip) PowerCurve(act Activity, tempC float64) []CurvePoint {
+	var out []CurvePoint
+	s := c.SKU
+	f := s.ClockFloorMHz()
+	for {
+		out = append(out, CurvePoint{
+			FreqMHz: f,
+			VoltV:   c.Voltage(f),
+			PowerW:  c.TotalPower(f, tempC, act),
+		})
+		next := s.StepUp(f)
+		if next <= f {
+			break
+		}
+		f = next
+	}
+	return out
+}
+
+// CapCrossing returns the clock grid's boundary around a power cap: the
+// highest point at or under the cap and the first point above it. ok is
+// false when the whole curve sits under the cap (no crossing).
+func (c *Chip) CapCrossing(capW, tempC float64, act Activity) (under, over CurvePoint, ok bool) {
+	curve := c.PowerCurve(act, tempC)
+	for i, p := range curve {
+		if p.PowerW > capW {
+			if i == 0 {
+				return curve[0], curve[0], true
+			}
+			return curve[i-1], p, true
+		}
+	}
+	last := curve[len(curve)-1]
+	return last, last, false
+}

@@ -1,0 +1,87 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpuvar/internal/rng"
+)
+
+func TestPowerCurveMonotone(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	curve := c.PowerCurve(sgemmAct, 60)
+	if len(curve) < 10 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FreqMHz <= curve[i-1].FreqMHz {
+			t.Fatal("frequency not ascending")
+		}
+		if curve[i].PowerW <= curve[i-1].PowerW {
+			t.Fatalf("power not ascending at %v MHz", curve[i].FreqMHz)
+		}
+		if curve[i].VoltV < curve[i-1].VoltV {
+			t.Fatalf("voltage decreasing at %v MHz", curve[i].FreqMHz)
+		}
+	}
+	if curve[len(curve)-1].FreqMHz != c.SKU.MaxClockMHz {
+		t.Fatal("curve does not reach max clock")
+	}
+}
+
+func TestPowerCurveCoarse(t *testing.T) {
+	c := NewChip(MI60(), "g", VariationModel{}, nil)
+	curve := c.PowerCurve(sgemmAct, 70)
+	if len(curve) != len(c.SKU.ClockStatesMHz) {
+		t.Fatalf("coarse curve has %d points, want %d", len(curve), len(c.SKU.ClockStatesMHz))
+	}
+}
+
+func TestCapCrossingBracketsCap(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	under, over, ok := c.CapCrossing(300, 60, sgemmAct)
+	if !ok {
+		t.Fatal("SGEMM on V100 must cross the 300 W cap")
+	}
+	if under.PowerW > 300 || over.PowerW <= 300 {
+		t.Fatalf("crossing wrong: under %v W, over %v W", under.PowerW, over.PowerW)
+	}
+	// The crossing must agree with MaxClockUnderCap.
+	f, _ := c.MaxClockUnderCap(300, 60, sgemmAct)
+	if f != under.FreqMHz {
+		t.Fatalf("crossing %v MHz disagrees with MaxClockUnderCap %v", under.FreqMHz, f)
+	}
+}
+
+func TestCapCrossingNoCrossing(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	lowAct := Activity{Compute: 0.15, Memory: 0.5}
+	_, _, ok := c.CapCrossing(300, 50, lowAct)
+	if ok {
+		t.Fatal("memory-bound activity should not cross the cap")
+	}
+}
+
+// Property: a worse chip's curve dominates a better chip's at every
+// clock (more power everywhere), so its cap crossing is never higher.
+func TestCurveDominanceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		good := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+		bad := NewChip(V100SXM2(), "b", VariationModel{}, nil)
+		bad.VoltFactor = 1 + 0.01 + r.Float64()*0.05
+		gc := good.PowerCurve(sgemmAct, 60)
+		bc := bad.PowerCurve(sgemmAct, 60)
+		for i := range gc {
+			if bc[i].PowerW < gc[i].PowerW {
+				return false
+			}
+		}
+		fg, _ := good.MaxClockUnderCap(300, 60, sgemmAct)
+		fb, _ := bad.MaxClockUnderCap(300, 60, sgemmAct)
+		return fb <= fg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

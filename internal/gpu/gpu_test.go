@@ -1,0 +1,433 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpuvar/internal/rng"
+)
+
+var sgemmAct = Activity{Compute: 1.0, Memory: 0.6}
+
+func TestSKUCatalog(t *testing.T) {
+	for _, s := range []*SKU{V100SXM2(), MI60(), RTX5000()} {
+		if s.TDPWatts <= 0 || s.MaxClockMHz <= s.IdleClockMHz {
+			t.Errorf("%s: implausible datasheet values %+v", s.Name, s)
+		}
+		if s.SlowdownTempC >= s.ShutdownTempC {
+			t.Errorf("%s: slowdown %v >= shutdown %v", s.Name, s.SlowdownTempC, s.ShutdownTempC)
+		}
+	}
+}
+
+func TestPaperThermalThresholds(t *testing.T) {
+	// Paper §III: V100 shutdown/slowdown/max-operating = 90/87/83 °C,
+	// MI60 = 105/100/99, RTX 5000 = 96/93/89.
+	v := V100SXM2()
+	if v.ShutdownTempC != 90 || v.SlowdownTempC != 87 || v.MaxOperatingTempC != 83 {
+		t.Errorf("V100 thresholds wrong: %v/%v/%v", v.ShutdownTempC, v.SlowdownTempC, v.MaxOperatingTempC)
+	}
+	m := MI60()
+	if m.ShutdownTempC != 105 || m.SlowdownTempC != 100 {
+		t.Errorf("MI60 thresholds wrong: %v/%v", m.ShutdownTempC, m.SlowdownTempC)
+	}
+	r := RTX5000()
+	if r.ShutdownTempC != 96 || r.SlowdownTempC != 93 {
+		t.Errorf("RTX5000 thresholds wrong: %v/%v", r.ShutdownTempC, r.SlowdownTempC)
+	}
+}
+
+func TestPaperClockAndTDP(t *testing.T) {
+	// Paper §III: 1530 MHz / 300 W for V100, 1800 MHz / 300 W for MI60,
+	// 230 W TDP for RTX 5000.
+	if v := V100SXM2(); v.MaxClockMHz != 1530 || v.TDPWatts != 300 {
+		t.Errorf("V100 = %v MHz / %v W", v.MaxClockMHz, v.TDPWatts)
+	}
+	if m := MI60(); m.MaxClockMHz != 1800 || m.TDPWatts != 300 {
+		t.Errorf("MI60 = %v MHz / %v W", m.MaxClockMHz, m.TDPWatts)
+	}
+	if r := RTX5000(); r.TDPWatts != 230 {
+		t.Errorf("RTX5000 TDP = %v W", r.TDPWatts)
+	}
+}
+
+func TestQuantizeClockFine(t *testing.T) {
+	s := V100SXM2()
+	if f := s.QuantizeClock(1337); math.Mod(f-s.IdleClockMHz, s.ClockStepMHz) != 0 {
+		t.Errorf("quantized clock %v not on step grid", f)
+	}
+	if f := s.QuantizeClock(99999); f != s.MaxClockMHz {
+		t.Errorf("over-max not clamped: %v", f)
+	}
+	if f := s.QuantizeClock(0); f != s.IdleClockMHz {
+		t.Errorf("under-floor not clamped: %v", f)
+	}
+}
+
+func TestQuantizeClockCoarse(t *testing.T) {
+	s := MI60()
+	if f := s.QuantizeClock(1400); f != 1370 && f != 1440 {
+		t.Errorf("coarse quantize gave %v, want a neighbor state", f)
+	}
+	if f := s.QuantizeClock(5000); f != 1800 {
+		t.Errorf("over-max coarse: %v", f)
+	}
+}
+
+func TestStepDownUp(t *testing.T) {
+	s := V100SXM2()
+	f := s.MaxClockMHz
+	down := s.StepDown(f)
+	if down >= f {
+		t.Fatalf("StepDown(%v) = %v", f, down)
+	}
+	if up := s.StepUp(down); up != f {
+		t.Fatalf("StepUp(StepDown(max)) = %v, want %v", up, f)
+	}
+	// At floor, StepDown stays at floor.
+	if d := s.StepDown(s.ClockFloorMHz()); d != s.ClockFloorMHz() {
+		t.Fatalf("StepDown at floor moved to %v", d)
+	}
+	// At max, StepUp stays at max.
+	if u := s.StepUp(s.MaxClockMHz); u != s.MaxClockMHz {
+		t.Fatalf("StepUp at max moved to %v", u)
+	}
+}
+
+func TestStepDownUpCoarse(t *testing.T) {
+	s := MI60()
+	if d := s.StepDown(1440); d != 1370 {
+		t.Fatalf("MI60 StepDown(1440) = %v", d)
+	}
+	if u := s.StepUp(1370); u != 1440 {
+		t.Fatalf("MI60 StepUp(1370) = %v", u)
+	}
+	if d := s.StepDown(300); d != 300 {
+		t.Fatalf("MI60 StepDown at floor = %v", d)
+	}
+}
+
+func TestNewChipNoSpread(t *testing.T) {
+	c := NewChip(V100SXM2(), "g0", VariationModel{}, rng.New(1))
+	if c.VoltFactor != 1 || c.LeakFactor != 1 || c.MemBWFac != 1 {
+		t.Fatalf("zero spread should give unit factors: %+v", c)
+	}
+	if !c.Healthy() {
+		t.Fatal("new chip should be healthy")
+	}
+}
+
+func TestNewChipDeterministic(t *testing.T) {
+	vm := DefaultVariation()
+	a := NewChip(V100SXM2(), "g0", vm, rng.New(42))
+	b := NewChip(V100SXM2(), "g0", vm, rng.New(42))
+	if a.VoltFactor != b.VoltFactor || a.LeakFactor != b.LeakFactor {
+		t.Fatal("same seed should give same chip")
+	}
+}
+
+func TestChipSpreadStatistics(t *testing.T) {
+	vm := DefaultVariation()
+	parent := rng.New(7)
+	var sum, sumSq float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		c := NewChip(V100SXM2(), "g", vm, parent.SplitIndex("chip", i))
+		sum += c.VoltFactor
+		sumSq += c.VoltFactor * c.VoltFactor
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-1) > 0.005 {
+		t.Errorf("VoltFactor mean = %v", mean)
+	}
+	if math.Abs(sd-vm.VoltSpread) > 0.005 {
+		t.Errorf("VoltFactor spread = %v, want ~%v", sd, vm.VoltSpread)
+	}
+}
+
+func TestVoltageMonotoneInFreq(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	prev := -1.0
+	for f := c.SKU.IdleClockMHz; f <= c.SKU.MaxClockMHz; f += 100 {
+		v := c.Voltage(f)
+		if v <= prev {
+			t.Fatalf("voltage not increasing at %v MHz: %v <= %v", f, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWorseChipNeedsMoreVoltage(t *testing.T) {
+	good := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	bad := NewChip(V100SXM2(), "b", VariationModel{}, nil)
+	bad.VoltFactor = 1.05
+	if bad.Voltage(1400) <= good.Voltage(1400) {
+		t.Fatal("higher VoltFactor should need more voltage")
+	}
+	if bad.DynamicPower(1400, sgemmAct) <= good.DynamicPower(1400, sgemmAct) {
+		t.Fatal("worse chip should draw more dynamic power at same clock")
+	}
+}
+
+func TestDynamicPowerMonotone(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	if c.DynamicPower(1000, sgemmAct) >= c.DynamicPower(1500, sgemmAct) {
+		t.Fatal("dynamic power should grow with frequency")
+	}
+	lowAct := Activity{Compute: 0.2, Memory: 0.2}
+	if c.DynamicPower(1500, lowAct) >= c.DynamicPower(1500, sgemmAct) {
+		t.Fatal("dynamic power should grow with activity")
+	}
+}
+
+func TestLeakageGrowsWithTemp(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	if c.LeakagePower(80) <= c.LeakagePower(40) {
+		t.Fatal("leakage should grow with temperature")
+	}
+	if c.LeakagePower(25) != c.SKU.LeakRefWatts {
+		t.Fatalf("leakage at 25C should be the reference: %v", c.LeakagePower(25))
+	}
+}
+
+func TestSGEMMIsPowerLimitedOnV100(t *testing.T) {
+	// A fully compute-saturating kernel must exceed the TDP at max clock
+	// (otherwise no DVFS throttling, contradicting every figure in §IV).
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	p := c.TotalPower(c.SKU.MaxClockMHz, 60, sgemmAct)
+	if p <= c.SKU.TDPWatts {
+		t.Fatalf("SGEMM at max clock draws %v W <= TDP %v W; must be power-limited", p, c.SKU.TDPWatts)
+	}
+}
+
+func TestMemoryBoundStaysUnderTDP(t *testing.T) {
+	// LAMMPS-like activity: high DRAM, low FU. Paper §V-C: median power
+	// ≤ 180 W on a 300 W V100.
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	act := Activity{Compute: 0.22, Memory: 0.9}
+	p := c.TotalPower(c.SKU.MaxClockMHz, 55, act)
+	if p > 220 {
+		t.Fatalf("memory-bound power %v W too high; should sit well under TDP", p)
+	}
+	if p < 100 {
+		t.Fatalf("memory-bound power %v W implausibly low", p)
+	}
+}
+
+func TestMaxClockUnderCapEquilibriumRange(t *testing.T) {
+	// The nominal V100 running SGEMM at typical air-cooled temperature
+	// must settle in the paper's observed 1300–1460 MHz band (Fig. 2).
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	f, p := c.MaxClockUnderCap(300, 66, sgemmAct)
+	if f < 1300 || f > 1460 {
+		t.Fatalf("SGEMM equilibrium clock %v MHz outside paper band", f)
+	}
+	if p > 300 {
+		t.Fatalf("equilibrium power %v exceeds cap", p)
+	}
+	if p < 280 {
+		t.Fatalf("equilibrium power %v too far below cap; DVFS should run near TDP", p)
+	}
+}
+
+func TestHotterChipSettlesLower(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	fCool, _ := c.MaxClockUnderCap(300, 45, sgemmAct)
+	fHot, _ := c.MaxClockUnderCap(300, 80, sgemmAct)
+	if fHot >= fCool {
+		t.Fatalf("hot chip should throttle lower: hot %v vs cool %v", fHot, fCool)
+	}
+}
+
+func TestWorseChipSettlesLower(t *testing.T) {
+	good := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	bad := NewChip(V100SXM2(), "b", VariationModel{}, nil)
+	bad.VoltFactor = 1.05
+	fGood, _ := good.MaxClockUnderCap(300, 60, sgemmAct)
+	fBad, _ := bad.MaxClockUnderCap(300, 60, sgemmAct)
+	if fBad >= fGood {
+		t.Fatalf("worse chip should settle lower: %v vs %v", fBad, fGood)
+	}
+}
+
+func TestLowerCapSettlesLower(t *testing.T) {
+	// Paper §VI-B: lowering the power limit lowers clocks and increases
+	// variability.
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	f300, _ := c.MaxClockUnderCap(300, 55, sgemmAct)
+	f150, _ := c.MaxClockUnderCap(150, 55, sgemmAct)
+	if f150 >= f300 {
+		t.Fatalf("150 W cap should clock lower than 300 W: %v vs %v", f150, f300)
+	}
+}
+
+func TestMaxClockUnderCapFloorBehavior(t *testing.T) {
+	// With an absurdly low cap the clock hits the floor and power may
+	// exceed the cap (the part cannot halt); must not loop forever.
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	f, _ := c.MaxClockUnderCap(5, 60, sgemmAct)
+	if f != c.SKU.ClockFloorMHz() {
+		t.Fatalf("tiny cap should pin at floor, got %v", f)
+	}
+}
+
+func TestDefectStall(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	c.InjectDefect(DefectStall, rng.New(3))
+	if c.VoltFactor < 1.03 || c.VoltFactor > 1.10 {
+		t.Fatalf("stall V/F penalty out of range: %v", c.VoltFactor)
+	}
+	if c.Healthy() {
+		t.Fatal("defective chip reports healthy")
+	}
+	// The sick chip stays ON the frequency-performance line: it settles
+	// at a visibly lower clock under the power cap than a healthy chip.
+	healthy := NewChip(V100SXM2(), "h", VariationModel{}, nil)
+	fSick, _ := c.MaxClockUnderCap(300, 60, Activity{Compute: 1, Memory: 0.6})
+	fOK, _ := healthy.MaxClockUnderCap(300, 60, Activity{Compute: 1, Memory: 0.6})
+	if fSick >= fOK-30 {
+		t.Fatalf("sick chip clock %v not visibly below healthy %v", fSick, fOK)
+	}
+}
+
+func TestDefectPowerBrake(t *testing.T) {
+	// Summit row-H signature (Appendix B): the brake pins the clock near
+	// 1312 MHz; power then varies per chip (250–285 W on a 300 W part)
+	// while runtime is nearly identical across braked chips.
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	c.InjectDefect(DefectPowerBrake, rng.New(4))
+	pin := c.MaxUsableClockMHz()
+	if pin < 1290 || pin > 1345 {
+		t.Fatalf("brake pin %v MHz outside the ~1312 MHz band", pin)
+	}
+	f, p := c.MaxClockUnderCap(c.PowerCapW(0), 50, sgemmAct)
+	if f != pin {
+		t.Fatalf("braked chip should sit at its pin: %v vs %v", f, pin)
+	}
+	if p < 240 || p > 295 {
+		t.Fatalf("braked chip power %v outside the 250-285 W outlier band", p)
+	}
+	healthy := NewChip(V100SXM2(), "h", VariationModel{}, nil)
+	fh, _ := healthy.MaxClockUnderCap(300, 50, sgemmAct)
+	if f >= fh {
+		t.Fatalf("braked chip should clock below healthy: %v vs %v", f, fh)
+	}
+}
+
+func TestDefectClockStuck(t *testing.T) {
+	c := NewChip(RTX5000(), "g", VariationModel{}, nil)
+	c.InjectDefect(DefectClockStuck, rng.New(5))
+	if c.MaxUsableClockMHz() >= 0.75*c.SKU.MaxClockMHz {
+		t.Fatalf("stuck clock too high: %v", c.MaxUsableClockMHz())
+	}
+	// Frontera c197 signature: slower AND lower power AND cooler.
+	healthy := NewChip(RTX5000(), "h", VariationModel{}, nil)
+	pStuck := c.TotalPower(c.MaxUsableClockMHz(), 60, sgemmAct)
+	pHealthy := healthy.TotalPower(healthy.SKU.MaxClockMHz, 60, sgemmAct)
+	if pStuck >= pHealthy {
+		t.Fatalf("stuck chip should draw less power: %v vs %v", pStuck, pHealthy)
+	}
+}
+
+func TestDefectCooling(t *testing.T) {
+	c := NewChip(MI60(), "g", VariationModel{}, nil)
+	c.InjectDefect(DefectCooling, rng.New(6))
+	if c.ThermalResistFactor < 1.5 {
+		t.Fatalf("cooling defect too mild: %v", c.ThermalResistFactor)
+	}
+}
+
+func TestDefectReset(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	c.InjectDefect(DefectPowerBrake, rng.New(7))
+	c.InjectDefect(DefectNone, rng.New(7))
+	if c.BoardCapW != c.SKU.TDPWatts || !c.Healthy() {
+		t.Fatal("DefectNone should reset the chip")
+	}
+}
+
+func TestPowerCapAdminLimit(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	if got := c.PowerCapW(0); got != 300 {
+		t.Fatalf("default cap = %v", got)
+	}
+	if got := c.PowerCapW(150); got != 150 {
+		t.Fatalf("admin cap ignored: %v", got)
+	}
+	if got := c.PowerCapW(500); got != 300 {
+		t.Fatalf("admin cap above TDP should not raise the limit: %v", got)
+	}
+}
+
+func TestActivityClamped(t *testing.T) {
+	c := NewChip(V100SXM2(), "g", VariationModel{}, nil)
+	p1 := c.DynamicPower(1500, Activity{Compute: 5, Memory: 5})
+	p2 := c.DynamicPower(1500, Activity{Compute: 1, Memory: 1})
+	if p1 != p2 {
+		t.Fatal("activity above 1 should clamp")
+	}
+	if p := c.DynamicPower(1500, Activity{Compute: -1, Memory: -1}); p != 0 {
+		t.Fatalf("negative activity should clamp to zero power: %v", p)
+	}
+}
+
+// Property: quantized clocks round-trip (quantizing a quantized value is
+// the identity) for both fine and coarse SKUs.
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	skus := []*SKU{V100SXM2(), MI60(), RTX5000()}
+	f := func(seed uint64, which uint8) bool {
+		s := skus[int(which)%len(skus)]
+		r := rng.New(seed)
+		fMHz := r.Float64() * 2200
+		q := s.QuantizeClock(fMHz)
+		return s.QuantizeClock(q) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxClockUnderCap respects the cap whenever the returned clock
+// is above the floor.
+func TestCapRespectedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := NewChip(V100SXM2(), "g", DefaultVariation(), r)
+		capW := 100 + r.Float64()*250
+		temp := 30 + r.Float64()*50
+		fMHz, p := c.MaxClockUnderCap(capW, temp, sgemmAct)
+		if fMHz > c.SKU.ClockFloorMHz() {
+			return p <= capW+1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMaxClockUnderCap(b *testing.B) {
+	c := NewChip(V100SXM2(), "g", DefaultVariation(), rng.New(1))
+	for i := 0; i < b.N; i++ {
+		_, _ = c.MaxClockUnderCap(300, 60, sgemmAct)
+	}
+}
+
+func TestA100SKU(t *testing.T) {
+	a := A100SXM4()
+	if a.TDPWatts != 400 || a.MaxClockMHz != 1410 {
+		t.Fatalf("A100 datasheet wrong: %v W / %v MHz", a.TDPWatts, a.MaxClockMHz)
+	}
+	// The 7nm part's leakage share exceeds the 12nm V100's.
+	v := V100SXM2()
+	if a.LeakRefWatts/a.TDPWatts <= v.LeakRefWatts/v.TDPWatts {
+		t.Fatal("A100 should carry a larger leakage share than V100")
+	}
+	// SGEMM must be power-limited on it too.
+	c := NewChip(a, "g", VariationModel{}, nil)
+	if p := c.TotalPower(a.MaxClockMHz, 60, sgemmAct); p <= a.TDPWatts {
+		t.Fatalf("A100 SGEMM at max clock draws %v W <= TDP", p)
+	}
+}

@@ -1,0 +1,293 @@
+// Package gpu models GPU devices at the level that matters for
+// power-management variability studies: clock domains, voltage/frequency
+// curves, dynamic and leakage power, memory bandwidth, and the per-chip
+// manufacturing spread and defect taxonomy that make "identical" SKUs
+// behave differently.
+//
+// The model is deliberately physical rather than curve-fitted: per-chip
+// parameters are sampled once (from a seeded stream), and all observable
+// variation — equilibrium DVFS frequency under a power cap, temperature,
+// power draw — emerges from the interaction of those parameters with the
+// controller and cooling models in sibling packages.
+package gpu
+
+import "fmt"
+
+// Vendor identifies the GPU vendor, which selects the DVFS style
+// (fine-grained stepping for NVIDIA, coarse P-states for AMD).
+type Vendor int
+
+// Vendors studied in the paper.
+const (
+	NVIDIA Vendor = iota
+	AMD
+)
+
+// String returns the vendor name.
+func (v Vendor) String() string {
+	switch v {
+	case NVIDIA:
+		return "NVIDIA"
+	case AMD:
+		return "AMD"
+	default:
+		return fmt.Sprintf("Vendor(%d)", int(v))
+	}
+}
+
+// SKU describes a GPU product: the nominal, datasheet-level parameters
+// shared by every chip of that model. Per-chip deviations live in Chip.
+type SKU struct {
+	Name   string
+	Vendor Vendor
+
+	// Compute configuration.
+	NumSMs       int     // streaming multiprocessors / compute units
+	MaxClockMHz  float64 // maximum boost clock
+	BaseClockMHz float64 // guaranteed base clock
+	IdleClockMHz float64 // clock when no kernel is resident
+	ClockStepMHz float64 // DVFS granularity for fine-grained vendors
+
+	// PeakSPTFLOPS is the single-precision peak at MaxClockMHz, used to
+	// convert kernel FLOP counts into nominal durations.
+	PeakSPTFLOPS float64
+
+	// Memory system.
+	MemBWGBs float64 // peak DRAM bandwidth
+	MemGiB   float64 // device memory capacity
+
+	// Power.
+	TDPWatts     float64 // thermal design power (the PM cap)
+	IdleWatts    float64 // floor power with clocks parked
+	LeakRefWatts float64 // leakage at the 25 °C reference point
+
+	// Voltage curve endpoints: V(f) interpolates VoltMinV at IdleClockMHz
+	// to VoltMaxV at MaxClockMHz (chips deviate via Chip.VoltFactor).
+	VoltMinV float64
+	VoltMaxV float64
+
+	// DynCoeffW is the dynamic-power coefficient A in
+	// P_dyn = A · activity · (f/fmax) · (V/Vmax)², expressed in watts at
+	// full activity, max clock, max voltage. Chosen above TDP headroom so
+	// that compute-saturating kernels are power-limited, as observed on
+	// every cluster in the paper.
+	DynCoeffW float64
+
+	// VFExponent shapes the V/F curve: V = Vmin + ΔV·frac^e. Real curves
+	// are convex (e ≥ 2); Turing's boost region is steeper than Volta's.
+	// Zero means the default exponent of 2.
+	VFExponent float64
+
+	// Thermal thresholds (°C) from paper §III.
+	SlowdownTempC     float64
+	ShutdownTempC     float64
+	MaxOperatingTempC float64
+
+	// ClockStatesMHz, when non-empty, restricts DVFS to these discrete
+	// states (AMD-style coarse P-states). When empty the controller uses
+	// ClockStepMHz increments between IdleClockMHz and MaxClockMHz.
+	ClockStatesMHz []float64
+}
+
+// V100SXM2 returns the NVIDIA Volta V100-SXM2 16 GB SKU used by
+// Longhorn, Vortex, Summit, and CloudLab (paper Table I).
+//
+// Calibration notes: max SM clock 1530 MHz, TDP 300 W, slowdown 87 °C,
+// shutdown 90 °C, max operating 83 °C. DynCoeffW is set so a fully
+// FU-saturating kernel (SGEMM) exceeds the TDP at max clock and settles
+// near 1300–1440 MHz, the range in paper Figs. 2 and 9.
+func V100SXM2() *SKU {
+	return &SKU{
+		Name:              "V100-SXM2",
+		Vendor:            NVIDIA,
+		NumSMs:            80,
+		MaxClockMHz:       1530,
+		BaseClockMHz:      1290,
+		IdleClockMHz:      135,
+		ClockStepMHz:      7.5,
+		PeakSPTFLOPS:      15.7,
+		MemBWGBs:          900,
+		MemGiB:            16,
+		TDPWatts:          300,
+		IdleWatts:         28,
+		LeakRefWatts:      15,
+		VoltMinV:          0.712,
+		VoltMaxV:          1.043,
+		DynCoeffW:         331,
+		SlowdownTempC:     87,
+		ShutdownTempC:     90,
+		MaxOperatingTempC: 83,
+	}
+}
+
+// MI60 returns the AMD Radeon Instinct MI60 SKU used by Corona.
+//
+// Max engine clock 1800 MHz, TDP 300 W, coarse P-states (the paper notes
+// "the MI60s have coarser frequency levels than the NVIDIA V100s").
+// Slowdown 100 °C, shutdown 105 °C, max memory operating 99 °C.
+func MI60() *SKU {
+	return &SKU{
+		Name:         "MI60",
+		Vendor:       AMD,
+		NumSMs:       64,
+		MaxClockMHz:  1800,
+		BaseClockMHz: 1200,
+		IdleClockMHz: 300,
+		ClockStepMHz: 0, // uses ClockStatesMHz
+		ClockStatesMHz: []float64{
+			300, 700, 930, 1090, 1200, 1283, 1370, 1440, 1530, 1630, 1700, 1800,
+		},
+		PeakSPTFLOPS:      14.7,
+		MemBWGBs:          1024,
+		MemGiB:            32,
+		TDPWatts:          300,
+		IdleWatts:         27,
+		LeakRefWatts:      14,
+		VoltMinV:          0.725,
+		VoltMaxV:          1.081,
+		DynCoeffW:         390,
+		SlowdownTempC:     100,
+		ShutdownTempC:     105,
+		MaxOperatingTempC: 99,
+	}
+}
+
+// RTX5000 returns the NVIDIA Turing Quadro RTX 5000 SKU used by Frontera.
+//
+// Turing boosts higher than Volta (paper: "Quadro RTX GPUs have a faster
+// boost clock") with a lower 230 W TDP. Slowdown 93 °C, shutdown 96 °C,
+// max operating 89 °C.
+func RTX5000() *SKU {
+	return &SKU{
+		Name:              "RTX5000",
+		Vendor:            NVIDIA,
+		NumSMs:            48,
+		MaxClockMHz:       1815,
+		BaseClockMHz:      1620,
+		IdleClockMHz:      300,
+		ClockStepMHz:      15,
+		PeakSPTFLOPS:      11.2,
+		MemBWGBs:          448,
+		MemGiB:            16,
+		TDPWatts:          230,
+		IdleWatts:         22,
+		LeakRefWatts:      16,
+		VoltMinV:          0.706,
+		VoltMaxV:          1.068,
+		DynCoeffW:         314,
+		VFExponent:        3.5,
+		SlowdownTempC:     93,
+		ShutdownTempC:     96,
+		MaxOperatingTempC: 89,
+	}
+}
+
+// A100SXM4 returns the NVIDIA Ampere A100-SXM4 40 GB SKU. It is NOT part
+// of the paper's clusters; it backs the forward-looking extension study
+// motivated by the paper's closing remark that variability "may change
+// in future as thermal performance degrades below 14nm": the 7 nm A100
+// carries a larger leakage share at a higher 400 W TDP, so the
+// temperature↔leakage↔DVFS coupling strengthens relative to the 12 nm
+// V100.
+func A100SXM4() *SKU {
+	return &SKU{
+		Name:              "A100-SXM4",
+		Vendor:            NVIDIA,
+		NumSMs:            108,
+		MaxClockMHz:       1410,
+		BaseClockMHz:      1095,
+		IdleClockMHz:      210,
+		ClockStepMHz:      7.5,
+		PeakSPTFLOPS:      19.5,
+		MemBWGBs:          1555,
+		MemGiB:            40,
+		TDPWatts:          400,
+		IdleWatts:         32,
+		LeakRefWatts:      34, // 7 nm: roughly twice the V100's leakage share
+		VoltMinV:          0.700,
+		VoltMaxV:          1.000,
+		DynCoeffW:         492,
+		SlowdownTempC:     85,
+		ShutdownTempC:     92,
+		MaxOperatingTempC: 80,
+	}
+}
+
+// ClockFloorMHz returns the lowest clock DVFS may select.
+func (s *SKU) ClockFloorMHz() float64 {
+	if len(s.ClockStatesMHz) > 0 {
+		return s.ClockStatesMHz[0]
+	}
+	return s.IdleClockMHz
+}
+
+// QuantizeClock snaps a requested frequency onto the SKU's clock grid:
+// the nearest discrete state for coarse-state parts, or the nearest
+// step multiple for fine-grained parts. The result is clamped to
+// [ClockFloorMHz, MaxClockMHz].
+func (s *SKU) QuantizeClock(fMHz float64) float64 {
+	if fMHz > s.MaxClockMHz {
+		fMHz = s.MaxClockMHz
+	}
+	if len(s.ClockStatesMHz) > 0 {
+		best := s.ClockStatesMHz[0]
+		bestDist := abs(fMHz - best)
+		for _, st := range s.ClockStatesMHz[1:] {
+			if d := abs(fMHz - st); d < bestDist {
+				best, bestDist = st, d
+			}
+		}
+		return best
+	}
+	floor := s.ClockFloorMHz()
+	if fMHz < floor {
+		return floor
+	}
+	steps := (fMHz - floor) / s.ClockStepMHz
+	return floor + float64(int(steps+0.5))*s.ClockStepMHz
+}
+
+// StepDown returns the next clock state strictly below fMHz, or the
+// floor if already at or below it.
+func (s *SKU) StepDown(fMHz float64) float64 {
+	if len(s.ClockStatesMHz) > 0 {
+		prev := s.ClockStatesMHz[0]
+		for _, st := range s.ClockStatesMHz {
+			if st >= fMHz-1e-9 {
+				break
+			}
+			prev = st
+		}
+		return prev
+	}
+	f := s.QuantizeClock(fMHz) - s.ClockStepMHz
+	if floor := s.ClockFloorMHz(); f < floor {
+		return floor
+	}
+	return f
+}
+
+// StepUp returns the next clock state strictly above fMHz, or
+// MaxClockMHz if already at or above it.
+func (s *SKU) StepUp(fMHz float64) float64 {
+	if len(s.ClockStatesMHz) > 0 {
+		for _, st := range s.ClockStatesMHz {
+			if st > fMHz+1e-9 {
+				return st
+			}
+		}
+		return s.ClockStatesMHz[len(s.ClockStatesMHz)-1]
+	}
+	f := s.QuantizeClock(fMHz) + s.ClockStepMHz
+	if f > s.MaxClockMHz {
+		return s.MaxClockMHz
+	}
+	return f
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

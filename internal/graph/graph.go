@@ -1,0 +1,259 @@
+// Package graph provides sparse graphs in CSR form, a synthetic
+// generator standing in for the rajat30 circuit-simulation matrix the
+// paper uses for PageRank (643,994 vertices, SuiteSparse collection),
+// and the pull-based PageRank algorithm itself (Pannotia-style SpMV
+// formulation, paper §V-D).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuvar/internal/kernels"
+	"gpuvar/internal/rng"
+)
+
+// Graph is an adjacency structure in CSR form: for vertex v, the
+// out-neighbors are ColIdx[RowPtr[v]:RowPtr[v+1]].
+type Graph struct {
+	NumVertices int
+	RowPtr      []int32
+	ColIdx      []int32
+}
+
+// NumEdges returns the number of stored directed edges.
+func (g *Graph) NumEdges() int { return len(g.ColIdx) }
+
+// OutDegree returns vertex v's out-degree.
+func (g *Graph) OutDegree(v int) int { return int(g.RowPtr[v+1] - g.RowPtr[v]) }
+
+// Neighbors returns vertex v's out-neighbor slice (shared storage; do
+// not mutate).
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.ColIdx[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// FromEdges builds a CSR graph from a directed edge list; duplicate
+// edges are kept (CSR is a multigraph here, matching matrix semantics).
+func FromEdges(n int, edges [][2]int32) *Graph {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e[0]]++
+	}
+	rowPtr := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + deg[i]
+	}
+	col := make([]int32, len(edges))
+	cursor := make([]int32, n)
+	copy(cursor, rowPtr[:n])
+	for _, e := range edges {
+		col[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+	}
+	// Sort each adjacency list for locality and determinism.
+	for v := 0; v < n; v++ {
+		seg := col[rowPtr[v]:rowPtr[v+1]]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+	}
+	return &Graph{NumVertices: n, RowPtr: rowPtr, ColIdx: col}
+}
+
+// Transpose returns the reverse graph (in-edges become out-edges),
+// needed by pull-based PageRank.
+func (g *Graph) Transpose() *Graph {
+	n := g.NumVertices
+	deg := make([]int32, n)
+	for _, c := range g.ColIdx {
+		deg[c]++
+	}
+	rowPtr := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + deg[i]
+	}
+	col := make([]int32, len(g.ColIdx))
+	cursor := make([]int32, n)
+	copy(cursor, rowPtr[:n])
+	for v := 0; v < n; v++ {
+		for _, c := range g.Neighbors(v) {
+			col[cursor[c]] = int32(v)
+			cursor[c]++
+		}
+	}
+	return &Graph{NumVertices: n, RowPtr: rowPtr, ColIdx: col}
+}
+
+// DegreeStats summarizes the out-degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	Isolated int // vertices with out-degree 0 (dangling)
+}
+
+// Degrees computes the out-degree statistics.
+func (g *Graph) Degrees() DegreeStats {
+	st := DegreeStats{Min: 1 << 30}
+	for v := 0; v < g.NumVertices; v++ {
+		d := g.OutDegree(v)
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		if d == 0 {
+			st.Isolated++
+		}
+	}
+	if g.NumVertices > 0 {
+		st.Mean = float64(g.NumEdges()) / float64(g.NumVertices)
+	} else {
+		st.Min = 0
+	}
+	return st
+}
+
+// CircuitGraph generates a rajat30-like circuit-simulation graph:
+// mostly short-range, banded connectivity (components wired to physical
+// neighbors) plus a small fraction of long-range "bus" nets with high
+// fan-out, and symmetric structure (undirected, as rajat30 is). The
+// result has ~9-10 edges per vertex like the original matrix.
+func CircuitGraph(n int, r *rng.Source) *Graph {
+	if n < 8 {
+		n = 8
+	}
+	var edges [][2]int32
+	addUndirected := func(a, b int32) {
+		if a == b {
+			return
+		}
+		edges = append(edges, [2]int32{a, b}, [2]int32{b, a})
+	}
+	// Banded local wiring: each component connects to 3-5 nearby ones.
+	for v := 0; v < n; v++ {
+		k := 3 + r.Intn(3)
+		for i := 0; i < k; i++ {
+			span := 1 + r.Intn(50)
+			u := v + span
+			if u >= n {
+				u -= n
+			}
+			addUndirected(int32(v), int32(u))
+		}
+	}
+	// Bus nets: ~0.1% of vertices fan out widely (power/clock rails).
+	buses := n / 1000
+	if buses < 1 {
+		buses = 1
+	}
+	for b := 0; b < buses; b++ {
+		hub := int32(r.Intn(n))
+		fanout := 100 + r.Intn(400)
+		if fanout > n/2 {
+			fanout = n / 2
+		}
+		for i := 0; i < fanout; i++ {
+			addUndirected(hub, int32(r.Intn(n)))
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Rajat30Vertices is the vertex count of the original rajat30 matrix
+// (paper Table II: 643994 × 643994).
+const Rajat30Vertices = 643994
+
+// PageRankResult carries the converged ranks and iteration count.
+type PageRankResult struct {
+	Ranks      []float32
+	Iterations int
+	Converged  bool
+}
+
+// PageRank runs pull-based PageRank with the given damping until the
+// L1 delta falls below tol or maxIter is reached. The pull formulation
+// is one SpMV per iteration over the transposed, degree-normalized
+// adjacency matrix — exactly the paper's SPMV characterization (§V-D).
+func PageRank(g *Graph, damping float32, tol float64, maxIter int) PageRankResult {
+	n := g.NumVertices
+	if n == 0 {
+		return PageRankResult{Converged: true}
+	}
+	// Build M^T with values 1/outdeg(u) for edge u→v, as CSR over
+	// destinations: rank_new(v) = damping·Σ rank(u)/outdeg(u) + base.
+	gt := g.Transpose()
+	m := &kernels.CSR{
+		NumRows: n,
+		NumCols: n,
+		RowPtr:  gt.RowPtr,
+		ColIdx:  gt.ColIdx,
+		Vals:    make([]float32, gt.NumEdges()),
+	}
+	for v := 0; v < n; v++ {
+		for p := gt.RowPtr[v]; p < gt.RowPtr[v+1]; p++ {
+			src := gt.ColIdx[p]
+			m.Vals[p] = 1 / float32(g.OutDegree(int(src)))
+		}
+	}
+	ranks := make([]float32, n)
+	next := make([]float32, n)
+	for i := range ranks {
+		ranks[i] = 1 / float32(n)
+	}
+	base := (1 - damping) / float32(n)
+	res := PageRankResult{}
+	for it := 0; it < maxIter; it++ {
+		// Dangling mass: rank of zero-out-degree vertices redistributes
+		// uniformly (standard correction).
+		var dangling float32
+		for v := 0; v < n; v++ {
+			if g.OutDegree(v) == 0 {
+				dangling += ranks[v]
+			}
+		}
+		kernels.SpMV(m, ranks, next)
+		redistribute := damping * dangling / float32(n)
+		var delta float64
+		for i := range next {
+			next[i] = damping*next[i] + base + redistribute
+			d := float64(next[i] - ranks[i])
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		ranks, next = next, ranks
+		res.Iterations = it + 1
+		if delta < tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Ranks = ranks
+	return res
+}
+
+// Validate checks CSR structural invariants, returning a descriptive
+// error for the first violation found.
+func (g *Graph) Validate() error {
+	if len(g.RowPtr) != g.NumVertices+1 {
+		return fmt.Errorf("graph: RowPtr length %d, want %d", len(g.RowPtr), g.NumVertices+1)
+	}
+	if g.RowPtr[0] != 0 {
+		return fmt.Errorf("graph: RowPtr[0] = %d", g.RowPtr[0])
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if g.RowPtr[v+1] < g.RowPtr[v] {
+			return fmt.Errorf("graph: RowPtr not monotone at %d", v)
+		}
+	}
+	if int(g.RowPtr[g.NumVertices]) != len(g.ColIdx) {
+		return fmt.Errorf("graph: RowPtr end %d != edges %d", g.RowPtr[g.NumVertices], len(g.ColIdx))
+	}
+	for i, c := range g.ColIdx {
+		if c < 0 || int(c) >= g.NumVertices {
+			return fmt.Errorf("graph: edge %d target %d out of range", i, c)
+		}
+	}
+	return nil
+}

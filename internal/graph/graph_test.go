@@ -1,0 +1,218 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpuvar/internal/rng"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {0, 2}, {1, 2}})
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 1 || g.OutDegree(2) != 0 {
+		t.Fatalf("degrees wrong")
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors(0) = %v", nb)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {0, 2}, {1, 2}})
+	gt := g.Transpose()
+	if gt.OutDegree(0) != 0 || gt.OutDegree(1) != 1 || gt.OutDegree(2) != 2 {
+		t.Fatalf("transpose degrees wrong")
+	}
+	if err := gt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rng.New(1)
+	var edges [][2]int32
+	const n = 50
+	for i := 0; i < 300; i++ {
+		edges = append(edges, [2]int32{int32(r.Intn(n)), int32(r.Intn(n))})
+	}
+	g := FromEdges(n, edges)
+	gtt := g.Transpose().Transpose()
+	if gtt.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", gtt.NumEdges(), g.NumEdges())
+	}
+	for v := 0; v < n; v++ {
+		a, b := g.Neighbors(v), gtt.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree changed at %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("neighbors changed at %d", v)
+			}
+		}
+	}
+}
+
+func TestCircuitGraphShape(t *testing.T) {
+	g := CircuitGraph(10000, rng.New(2))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Degrees()
+	// rajat30-like: mean degree near 9-10, few isolated vertices, and
+	// high-fanout bus hubs.
+	if st.Mean < 6 || st.Mean > 14 {
+		t.Errorf("mean degree %v outside circuit-like range", st.Mean)
+	}
+	if st.Max < 80 {
+		t.Errorf("max degree %v; expected high-fanout bus nets", st.Max)
+	}
+	if st.Isolated > g.NumVertices/100 {
+		t.Errorf("%d isolated vertices", st.Isolated)
+	}
+}
+
+func TestCircuitGraphSymmetric(t *testing.T) {
+	// The circuit matrix is structurally symmetric: transpose must have
+	// identical degree sequence.
+	g := CircuitGraph(2000, rng.New(3))
+	gt := g.Transpose()
+	for v := 0; v < g.NumVertices; v++ {
+		if g.OutDegree(v) != gt.OutDegree(v) {
+			t.Fatalf("asymmetric at vertex %d: %d vs %d", v, g.OutDegree(v), gt.OutDegree(v))
+		}
+	}
+}
+
+func TestCircuitGraphDeterministic(t *testing.T) {
+	a := CircuitGraph(1000, rng.New(7))
+	b := CircuitGraph(1000, rng.New(7))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every vertex has the same rank: 1/n.
+	const n = 10
+	var edges [][2]int32
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int32{int32(i), int32((i + 1) % n)})
+	}
+	g := FromEdges(n, edges)
+	res := PageRank(g, 0.85, 1e-9, 500)
+	if !res.Converged {
+		t.Fatal("cycle PageRank did not converge")
+	}
+	for v, r := range res.Ranks {
+		if math.Abs(float64(r)-1.0/n) > 1e-4 {
+			t.Fatalf("rank[%d] = %v, want %v", v, r, 1.0/n)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := CircuitGraph(5000, rng.New(4))
+	res := PageRank(g, 0.85, 1e-8, 200)
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += float64(r)
+	}
+	if math.Abs(sum-1) > 1e-2 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankHubOutranksLeaf(t *testing.T) {
+	// A vertex with many in-links must outrank one with a single
+	// in-link.
+	var edges [][2]int32
+	// Vertices 1..8 all point at 0; vertex 9 pointed at only by 0.
+	for i := 1; i <= 8; i++ {
+		edges = append(edges, [2]int32{int32(i), 0})
+	}
+	edges = append(edges, [2]int32{0, 9})
+	g := FromEdges(10, edges)
+	res := PageRank(g, 0.85, 1e-9, 500)
+	if res.Ranks[0] <= res.Ranks[9] {
+		t.Fatalf("hub rank %v <= leaf rank %v", res.Ranks[0], res.Ranks[9])
+	}
+}
+
+func TestPageRankDanglingMassConserved(t *testing.T) {
+	// Graph with dangling vertices must still sum to ~1.
+	g := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {1, 3}}) // 2 and 3 dangle
+	res := PageRank(g, 0.85, 1e-9, 500)
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += float64(r)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("dangling graph ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	res := PageRank(&Graph{NumVertices: 0, RowPtr: []int32{0}}, 0.85, 1e-9, 10)
+	if !res.Converged {
+		t.Fatal("empty graph should trivially converge")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}})
+	g.ColIdx[0] = 99
+	if g.Validate() == nil {
+		t.Fatal("out-of-range target not caught")
+	}
+	g2 := FromEdges(3, [][2]int32{{0, 1}})
+	g2.RowPtr[1] = 7
+	if g2.Validate() == nil {
+		t.Fatal("broken RowPtr not caught")
+	}
+}
+
+// Property: PageRank ranks are a probability distribution for arbitrary
+// random graphs.
+func TestPageRankDistributionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(60)
+		var edges [][2]int32
+		m := r.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]int32{int32(r.Intn(n)), int32(r.Intn(n))})
+		}
+		res := PageRank(FromEdges(n, edges), 0.85, 1e-8, 300)
+		var sum float64
+		for _, rank := range res.Ranks {
+			if rank < 0 {
+				return false
+			}
+			sum += float64(rank)
+		}
+		return math.Abs(sum-1) < 5e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPageRankCircuit(b *testing.B) {
+	g := CircuitGraph(20000, rng.New(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRank(g, 0.85, 1e-6, 100)
+	}
+}

@@ -1,0 +1,77 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Attention computes single-head scaled dot-product attention,
+// softmax(Q·Kᵀ/√d)·V — the kernel at the heart of the BERT workload the
+// paper studies (§V-B). Q, K, V are (seqLen × d) matrices; the result is
+// seqLen × d.
+func Attention(q, k, v *Matrix) *Matrix {
+	if q.Cols != k.Cols || k.Rows != v.Rows || q.Rows == 0 {
+		panic(fmt.Sprintf("kernels: attention shape mismatch q %dx%d k %dx%d v %dx%d",
+			q.Rows, q.Cols, k.Rows, k.Cols, v.Rows, v.Cols))
+	}
+	seq, d := q.Rows, q.Cols
+	kSeq := k.Rows
+
+	// scores = Q·Kᵀ / sqrt(d). Build Kᵀ explicitly; the GEMM dominates.
+	kt := NewMatrix(d, kSeq)
+	for i := 0; i < kSeq; i++ {
+		for j := 0; j < d; j++ {
+			kt.Set(j, i, k.At(i, j))
+		}
+	}
+	scores := NewMatrix(seq, kSeq)
+	SGEMM(q, kt, scores)
+	scale := float32(1 / math.Sqrt(float64(d)))
+
+	// Row-wise numerically stable softmax.
+	parallelFor(seq, func(start, end int) {
+		for i := start; i < end; i++ {
+			row := scores.Data[i*kSeq : (i+1)*kSeq]
+			maxV := float32(math.Inf(-1))
+			for j := range row {
+				row[j] *= scale
+				if row[j] > maxV {
+					maxV = row[j]
+				}
+			}
+			var sum float32
+			for j := range row {
+				row[j] = expf(row[j] - maxV)
+				sum += row[j]
+			}
+			inv := 1 / sum
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	})
+
+	out := NewMatrix(seq, v.Cols)
+	SGEMM(scores, v, out)
+	return out
+}
+
+// expf is float32 exp via the float64 path (accurate and simple; the
+// kernel is GEMM-bound anyway).
+func expf(x float32) float32 { return float32(math.Exp(float64(x))) }
+
+// AttentionSignature returns the roofline signature of single-head
+// attention over a seqLen×d problem: two GEMMs (seq×d×seq each) plus
+// the softmax pass.
+func AttentionSignature(seqLen, d int) Signature {
+	s, dd := float64(seqLen), float64(d)
+	gemms := 2 * (2 * s * s * dd) // QKᵀ and scores·V
+	softmax := 5 * s * s          // exp, max, sum, scale per element
+	// Traffic: Q, K, V, scores (twice), out.
+	bytes := (3*s*dd + 2*s*s + s*dd) * 4
+	return Signature{
+		Name:  fmt.Sprintf("attention_%dx%d", seqLen, d),
+		FLOPs: gemms + softmax,
+		Bytes: bytes,
+	}
+}

@@ -1,0 +1,417 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpuvar/internal/rng"
+)
+
+func randMatrix(rows, cols int, r *rng.Source) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(r.Gaussian(0, 1))
+	}
+	return m
+}
+
+func TestSGEMMMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for _, sz := range [][3]int{{5, 7, 3}, {64, 64, 64}, {100, 130, 70}, {129, 65, 67}} {
+		m, k, n := sz[0], sz[1], sz[2]
+		a, b := randMatrix(m, k, r), randMatrix(k, n, r)
+		got, want := NewMatrix(m, n), NewMatrix(m, n)
+		SGEMM(a, b, got)
+		SGEMMNaive(a, b, want)
+		for i := range got.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-3 {
+				t.Fatalf("size %v: mismatch at %d: %v vs %v", sz, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestSGEMMIdentity(t *testing.T) {
+	r := rng.New(2)
+	a := randMatrix(33, 33, r)
+	id := NewMatrix(33, 33)
+	for i := 0; i < 33; i++ {
+		id.Set(i, i, 1)
+	}
+	c := NewMatrix(33, 33)
+	SGEMM(a, id, c)
+	for i := range c.Data {
+		if c.Data[i] != a.Data[i] {
+			t.Fatalf("A·I != A at %d", i)
+		}
+	}
+}
+
+func TestSGEMMPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	SGEMM(NewMatrix(2, 3), NewMatrix(4, 2), NewMatrix(2, 2))
+}
+
+func TestSGEMMOverwritesC(t *testing.T) {
+	r := rng.New(3)
+	a, b := randMatrix(8, 8, r), randMatrix(8, 8, r)
+	c := NewMatrix(8, 8)
+	for i := range c.Data {
+		c.Data[i] = 99
+	}
+	SGEMM(a, b, c)
+	want := NewMatrix(8, 8)
+	SGEMMNaive(a, b, want)
+	for i := range c.Data {
+		if math.Abs(float64(c.Data[i]-want.Data[i])) > 1e-3 {
+			t.Fatal("stale C contents leaked into result")
+		}
+	}
+}
+
+// Property: SGEMM is linear — (A·(B1+B2)) == A·B1 + A·B2.
+func TestSGEMMLinearityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m, k, n := 3+r.Intn(20), 3+r.Intn(20), 3+r.Intn(20)
+		a := randMatrix(m, k, r)
+		b1, b2 := randMatrix(k, n, r), randMatrix(k, n, r)
+		sum := NewMatrix(k, n)
+		for i := range sum.Data {
+			sum.Data[i] = b1.Data[i] + b2.Data[i]
+		}
+		c1, c2, cs := NewMatrix(m, n), NewMatrix(m, n), NewMatrix(m, n)
+		SGEMM(a, b1, c1)
+		SGEMM(a, b2, c2)
+		SGEMM(a, sum, cs)
+		for i := range cs.Data {
+			if math.Abs(float64(cs.Data[i]-(c1.Data[i]+c2.Data[i]))) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpMVDense(t *testing.T) {
+	// A dense matrix stored as CSR must agree with the dense product.
+	r := rng.New(4)
+	const n = 17
+	dense := randMatrix(n, n, r)
+	csr := &CSR{NumRows: n, NumCols: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			csr.ColIdx = append(csr.ColIdx, int32(j))
+			csr.Vals = append(csr.Vals, dense.At(i, j))
+		}
+		csr.RowPtr[i+1] = int32(len(csr.ColIdx))
+	}
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(r.Gaussian(0, 1))
+	}
+	y := make([]float32, n)
+	SpMV(csr, x, y)
+	for i := 0; i < n; i++ {
+		var want float32
+		for j := 0; j < n; j++ {
+			want += dense.At(i, j) * x[j]
+		}
+		if math.Abs(float64(y[i]-want)) > 1e-3 {
+			t.Fatalf("row %d: %v vs %v", i, y[i], want)
+		}
+	}
+}
+
+func TestSpMVEmptyRows(t *testing.T) {
+	csr := &CSR{
+		NumRows: 3, NumCols: 3,
+		RowPtr: []int32{0, 0, 2, 2},
+		ColIdx: []int32{0, 2},
+		Vals:   []float32{2, 3},
+	}
+	y := make([]float32, 3)
+	SpMV(csr, []float32{1, 1, 1}, y)
+	if y[0] != 0 || y[1] != 5 || y[2] != 0 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSpMVAlphaBeta(t *testing.T) {
+	csr := &CSR{
+		NumRows: 2, NumCols: 2,
+		RowPtr: []int32{0, 1, 2},
+		ColIdx: []int32{0, 1},
+		Vals:   []float32{1, 1},
+	}
+	y := []float32{10, 20}
+	SpMVAlphaBeta(csr, 0.5, []float32{2, 4}, 0.1, y)
+	if y[0] != 2 || y[1] != 4 { // 0.5*2 + 0.1*10, 0.5*4 + 0.1*20
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSpMVPanicsOnDimensions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	SpMV(&CSR{NumRows: 2, NumCols: 2, RowPtr: []int32{0, 0, 0}}, []float32{1}, []float32{0, 0})
+}
+
+func TestMDForcesNewtonThirdLaw(t *testing.T) {
+	// Total force must vanish (momentum conservation): every pair
+	// contributes equal and opposite forces.
+	s := NewMDSystem(200, 0.8, rng.New(5))
+	s.ComputeForces()
+	var fx, fy, fz float64
+	for _, f := range s.Force {
+		fx += float64(f[0])
+		fy += float64(f[1])
+		fz += float64(f[2])
+	}
+	// float32 accumulation tolerance scaled to force magnitudes.
+	if math.Abs(fx) > 0.15 || math.Abs(fy) > 0.15 || math.Abs(fz) > 0.15 {
+		t.Fatalf("net force nonzero: (%v, %v, %v)", fx, fy, fz)
+	}
+}
+
+func TestMDEnergyStability(t *testing.T) {
+	// Velocity Verlet at a sane dt must keep total energy bounded
+	// (no explosion) over a few hundred steps.
+	s := NewMDSystem(125, 0.7, rng.New(6))
+	s.ComputeForces()
+	e0 := s.KineticEnergy() + s.Step(0.002)
+	var eN float64
+	for i := 0; i < 300; i++ {
+		pe := s.Step(0.002)
+		eN = s.KineticEnergy() + pe
+	}
+	drift := math.Abs(eN-e0) / (math.Abs(e0) + 1)
+	if drift > 0.25 {
+		t.Fatalf("energy drift %.2f too large: %v -> %v", drift, e0, eN)
+	}
+}
+
+func TestMDParticlesStayInBox(t *testing.T) {
+	s := NewMDSystem(64, 0.6, rng.New(7))
+	s.ComputeForces()
+	for i := 0; i < 50; i++ {
+		s.Step(0.002)
+	}
+	for i, p := range s.Pos {
+		for d := 0; d < 3; d++ {
+			if p[d] < 0 || p[d] >= s.BoxL {
+				t.Fatalf("particle %d escaped the box: %v", i, p)
+			}
+		}
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 1×1×3×3 input of ones, single 2×2 kernel of ones → all outputs 4.
+	in := NewTensor4(1, 1, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	w := NewTensor4(1, 1, 2, 2)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	out := Conv2D(in, w)
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("output shape %dx%d", out.H, out.W)
+	}
+	for i, v := range out.Data {
+		if v != 4 {
+			t.Fatalf("out[%d] = %v, want 4", i, v)
+		}
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	// Verify against a direct nested-loop reference.
+	r := rng.New(8)
+	in := NewTensor4(2, 3, 6, 5)
+	for i := range in.Data {
+		in.Data[i] = float32(r.Gaussian(0, 1))
+	}
+	w := NewTensor4(4, 3, 3, 3)
+	for i := range w.Data {
+		w.Data[i] = float32(r.Gaussian(0, 1))
+	}
+	out := Conv2D(in, w)
+	for n := 0; n < 2; n++ {
+		for co := 0; co < 4; co++ {
+			for y := 0; y < out.H; y++ {
+				for x := 0; x < out.W; x++ {
+					var want float32
+					for ci := 0; ci < 3; ci++ {
+						for ky := 0; ky < 3; ky++ {
+							for kx := 0; kx < 3; kx++ {
+								want += in.At(n, ci, y+ky, x+kx) * w.At(co, ci, ky, kx)
+							}
+						}
+					}
+					if got := out.At(n, co, y, x); math.Abs(float64(got-want)) > 1e-3 {
+						t.Fatalf("conv mismatch at (%d,%d,%d,%d): %v vs %v", n, co, y, x, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	tt := NewTensor4(1, 1, 2, 2)
+	copy(tt.Data, []float32{-1, 2, -3, 4})
+	ReLU(tt)
+	want := []float32{0, 2, 0, 4}
+	for i := range want {
+		if tt.Data[i] != want[i] {
+			t.Fatalf("ReLU wrong: %v", tt.Data)
+		}
+	}
+}
+
+func TestBatchNormInference(t *testing.T) {
+	tt := NewTensor4(1, 2, 1, 2)
+	copy(tt.Data, []float32{1, 3, 10, 20})
+	mean := []float32{2, 15}
+	variance := []float32{1, 25}
+	gamma := []float32{1, 2}
+	beta := []float32{0, 1}
+	BatchNormInference(tt, mean, variance, gamma, beta)
+	// Channel 0: (x−2)/1 → {−1, 1}. Channel 1: 2·(x−15)/5 + 1 → {−1, 3}.
+	want := []float32{-1, 1, -1, 3}
+	for i := range want {
+		if math.Abs(float64(tt.Data[i]-want[i])) > 1e-4 {
+			t.Fatalf("batchnorm = %v, want %v", tt.Data, want)
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	tt := NewTensor4(1, 2, 2, 2)
+	copy(tt.Data, []float32{1, 2, 3, 4, 10, 20, 30, 40})
+	out := GlobalAvgPool(tt)
+	if out.Data[0] != 2.5 || out.Data[1] != 25 {
+		t.Fatalf("pool = %v", out.Data)
+	}
+}
+
+func TestSGEMMSignature(t *testing.T) {
+	// Paper Table II: 25536×25536 SGEMM.
+	sig := SGEMMSignature(25536)
+	wantFLOPs := 2 * math.Pow(25536, 3)
+	if math.Abs(sig.FLOPs-wantFLOPs)/wantFLOPs > 1e-12 {
+		t.Fatalf("FLOPs = %v, want %v", sig.FLOPs, wantFLOPs)
+	}
+	// Heavily compute-bound on a V100-shaped device.
+	if cf := sig.ComputeFraction(14.1, 900); cf < 0.95 {
+		t.Fatalf("SGEMM compute fraction %v, want nearly 1", cf)
+	}
+}
+
+func TestSPMVSignatureMemoryBound(t *testing.T) {
+	sig := SPMVSignature(643994, 6175244)
+	if cf := sig.ComputeFraction(14.1, 900); cf > 0.05 {
+		t.Fatalf("SpMV compute fraction %v, want nearly 0", cf)
+	}
+}
+
+func TestNominalTimeRoofline(t *testing.T) {
+	sig := SGEMMSignature(25536)
+	ms := sig.NominalTimeMs(14.1, 900, 0.95)
+	// 2·25536³ / (14.1e12 · 0.95) ≈ 2.49 s.
+	if ms < 2000 || ms < sig.FLOPs/(14.1e12)*1e3*0.99 || ms > 3500 {
+		t.Fatalf("SGEMM nominal time %v ms implausible", ms)
+	}
+}
+
+func TestConvSignatureComputeBound(t *testing.T) {
+	// A typical mid-network ResNet conv layer is compute-bound.
+	sig := Conv2DSignature(64, 256, 256, 14, 14, 3)
+	if cf := sig.ComputeFraction(14.1, 900); cf < 0.8 {
+		t.Fatalf("conv compute fraction %v, want high", cf)
+	}
+}
+
+func TestElementwiseSignatureMemoryBound(t *testing.T) {
+	sig := ElementwiseSignature("bias_relu", 1<<20, 2, 2)
+	if cf := sig.ComputeFraction(14.1, 900); cf > 0.2 {
+		t.Fatalf("elementwise compute fraction %v, want low", cf)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	hits := make([]int32, 1000)
+	parallelFor(len(hits), func(s, e int) {
+		for i := s; i < e; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForSmallN(t *testing.T) {
+	count := 0
+	parallelFor(1, func(s, e int) { count += e - s })
+	if count != 1 {
+		t.Fatalf("n=1 visited %d", count)
+	}
+	parallelFor(0, func(s, e int) { t.Fatal("n=0 should not call body") })
+}
+
+func BenchmarkSGEMM256(b *testing.B) {
+	r := rng.New(1)
+	a, bb := randMatrix(256, 256, r), randMatrix(256, 256, r)
+	c := NewMatrix(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SGEMM(a, bb, c)
+	}
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	r := rng.New(2)
+	const n, deg = 10000, 10
+	csr := &CSR{NumRows: n, NumCols: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		for d := 0; d < deg; d++ {
+			csr.ColIdx = append(csr.ColIdx, int32(r.Intn(n)))
+			csr.Vals = append(csr.Vals, 1)
+		}
+		csr.RowPtr[i+1] = int32(len(csr.ColIdx))
+	}
+	x, y := make([]float32, n), make([]float32, n)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpMV(csr, x, y)
+	}
+}
+
+func BenchmarkMDStep(b *testing.B) {
+	s := NewMDSystem(1000, 0.8, rng.New(3))
+	s.ComputeForces()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(0.002)
+	}
+}

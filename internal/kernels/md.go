@@ -1,0 +1,211 @@
+package kernels
+
+import (
+	"math"
+
+	"gpuvar/internal/rng"
+)
+
+// MDSystem is a Lennard-Jones particle system with periodic boundaries —
+// the molecular-dynamics stand-in for the paper's LAMMPS REAXC workload.
+// Positions, velocities, and forces are structure-of-arrays float32, as
+// a GPU port would lay them out.
+type MDSystem struct {
+	N          int
+	BoxL       float32 // cubic box edge
+	Cutoff     float32
+	Pos        [][3]float32
+	Vel        [][3]float32
+	Force      [][3]float32
+	cells      [][]int32 // cell list for O(N) neighbor search
+	cellsPerAx int
+}
+
+// NewMDSystem places n particles on a perturbed cubic lattice inside a
+// box sized for the given reduced density (standard LJ melt setup).
+func NewMDSystem(n int, density float64, r *rng.Source) *MDSystem {
+	boxL := float32(math.Cbrt(float64(n) / density))
+	s := &MDSystem{
+		N:      n,
+		BoxL:   boxL,
+		Cutoff: 2.5, // conventional LJ cutoff in reduced units
+		Pos:    make([][3]float32, n),
+		Vel:    make([][3]float32, n),
+		Force:  make([][3]float32, n),
+	}
+	perSide := int(math.Ceil(math.Cbrt(float64(n))))
+	spacing := boxL / float32(perSide)
+	idx := 0
+	for i := 0; i < perSide && idx < n; i++ {
+		for j := 0; j < perSide && idx < n; j++ {
+			for k := 0; k < perSide && idx < n; k++ {
+				jitter := func() float32 { return float32(r.Float64()-0.5) * spacing * 0.1 }
+				s.Pos[idx] = [3]float32{
+					(float32(i) + 0.5) * spacing,
+					(float32(j) + 0.5) * spacing,
+					(float32(k) + 0.5) * spacing,
+				}
+				s.Pos[idx][0] += jitter()
+				s.Pos[idx][1] += jitter()
+				s.Pos[idx][2] += jitter()
+				s.Vel[idx] = [3]float32{
+					float32(r.Gaussian(0, 0.5)),
+					float32(r.Gaussian(0, 0.5)),
+					float32(r.Gaussian(0, 0.5)),
+				}
+				idx++
+			}
+		}
+	}
+	// Remove net momentum so the box does not drift.
+	var px, py, pz float32
+	for _, v := range s.Vel {
+		px += v[0]
+		py += v[1]
+		pz += v[2]
+	}
+	nf := float32(n)
+	for i := range s.Vel {
+		s.Vel[i][0] -= px / nf
+		s.Vel[i][1] -= py / nf
+		s.Vel[i][2] -= pz / nf
+	}
+	return s
+}
+
+// buildCells bins particles into cutoff-sized cells.
+func (s *MDSystem) buildCells() {
+	s.cellsPerAx = int(s.BoxL / s.Cutoff)
+	if s.cellsPerAx < 1 {
+		s.cellsPerAx = 1
+	}
+	nc := s.cellsPerAx * s.cellsPerAx * s.cellsPerAx
+	if len(s.cells) != nc {
+		s.cells = make([][]int32, nc)
+	}
+	for i := range s.cells {
+		s.cells[i] = s.cells[i][:0]
+	}
+	for i := 0; i < s.N; i++ {
+		s.cells[s.cellOf(s.Pos[i])] = append(s.cells[s.cellOf(s.Pos[i])], int32(i))
+	}
+}
+
+func (s *MDSystem) cellOf(p [3]float32) int {
+	cp := s.cellsPerAx
+	cx := int(p[0] / s.BoxL * float32(cp))
+	cy := int(p[1] / s.BoxL * float32(cp))
+	cz := int(p[2] / s.BoxL * float32(cp))
+	cx, cy, cz = wrapCell(cx, cp), wrapCell(cy, cp), wrapCell(cz, cp)
+	return (cx*cp+cy)*cp + cz
+}
+
+func wrapCell(c, n int) int {
+	c %= n
+	if c < 0 {
+		c += n
+	}
+	return c
+}
+
+// minImage returns the minimum-image displacement component.
+func minImage(d, boxL float32) float32 {
+	if d > boxL/2 {
+		return d - boxL
+	}
+	if d < -boxL/2 {
+		return d + boxL
+	}
+	return d
+}
+
+// ComputeForces evaluates Lennard-Jones forces with the cell list and
+// returns the total potential energy. This is the "long kernel" that
+// dominates a LAMMPS step.
+func (s *MDSystem) ComputeForces() float64 {
+	s.buildCells()
+	cut2 := s.Cutoff * s.Cutoff
+	cp := s.cellsPerAx
+	energies := make([]float64, s.N)
+	parallelFor(s.N, func(start, end int) {
+		for i := start; i < end; i++ {
+			var fx, fy, fz float32
+			var e float64
+			pi := s.Pos[i]
+			ci := s.cellOf(pi)
+			cx, cy, cz := ci/(cp*cp), (ci/cp)%cp, ci%cp
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					for dz := -1; dz <= 1; dz++ {
+						cell := s.cells[(wrapCell(cx+dx, cp)*cp+wrapCell(cy+dy, cp))*cp+wrapCell(cz+dz, cp)]
+						for _, j32 := range cell {
+							j := int(j32)
+							if j == i {
+								continue
+							}
+							rx := minImage(pi[0]-s.Pos[j][0], s.BoxL)
+							ry := minImage(pi[1]-s.Pos[j][1], s.BoxL)
+							rz := minImage(pi[2]-s.Pos[j][2], s.BoxL)
+							r2 := rx*rx + ry*ry + rz*rz
+							if r2 >= cut2 || r2 == 0 {
+								continue
+							}
+							inv2 := 1 / r2
+							inv6 := inv2 * inv2 * inv2
+							// LJ: F/r = 24ε(2(σ/r)¹² − (σ/r)⁶)/r², σ=ε=1.
+							fOverR := 24 * inv2 * inv6 * (2*inv6 - 1)
+							fx += fOverR * rx
+							fy += fOverR * ry
+							fz += fOverR * rz
+							// Half the pair energy to each particle.
+							e += 2 * (float64(inv6)*float64(inv6) - float64(inv6))
+						}
+					}
+				}
+			}
+			s.Force[i] = [3]float32{fx, fy, fz}
+			energies[i] = e
+		}
+	})
+	var total float64
+	for _, e := range energies {
+		total += e
+	}
+	return total
+}
+
+// Step advances the system one velocity-Verlet step of size dt and
+// returns the total potential energy after the move.
+func (s *MDSystem) Step(dt float32) float64 {
+	half := dt / 2
+	for i := 0; i < s.N; i++ {
+		s.Vel[i][0] += s.Force[i][0] * half
+		s.Vel[i][1] += s.Force[i][1] * half
+		s.Vel[i][2] += s.Force[i][2] * half
+		for d := 0; d < 3; d++ {
+			s.Pos[i][d] += s.Vel[i][d] * dt
+			// Wrap into the periodic box.
+			if s.Pos[i][d] < 0 {
+				s.Pos[i][d] += s.BoxL
+			} else if s.Pos[i][d] >= s.BoxL {
+				s.Pos[i][d] -= s.BoxL
+			}
+		}
+	}
+	pe := s.ComputeForces()
+	for i := 0; i < s.N; i++ {
+		s.Vel[i][0] += s.Force[i][0] * half
+		s.Vel[i][1] += s.Force[i][1] * half
+		s.Vel[i][2] += s.Force[i][2] * half
+	}
+	return pe
+}
+
+// KineticEnergy returns the total kinetic energy.
+func (s *MDSystem) KineticEnergy() float64 {
+	var ke float64
+	for _, v := range s.Vel {
+		ke += 0.5 * float64(v[0]*v[0]+v[1]*v[1]+v[2]*v[2])
+	}
+	return ke
+}

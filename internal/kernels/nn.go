@@ -1,0 +1,132 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor4 is a dense NCHW float32 tensor, the layout of the convolution
+// layers that dominate ResNet-50.
+type Tensor4 struct {
+	N, C, H, W int
+	Data       []float32
+}
+
+// NewTensor4 allocates a zeroed NCHW tensor.
+func NewTensor4(n, c, h, w int) *Tensor4 {
+	return &Tensor4{N: n, C: c, H: h, W: w, Data: make([]float32, n*c*h*w)}
+}
+
+// At returns the element at (n, c, h, w).
+func (t *Tensor4) At(n, c, h, w int) float32 {
+	return t.Data[((n*t.C+c)*t.H+h)*t.W+w]
+}
+
+// Set assigns the element at (n, c, h, w).
+func (t *Tensor4) Set(n, c, h, w int, v float32) {
+	t.Data[((n*t.C+c)*t.H+h)*t.W+w] = v
+}
+
+// Conv2D computes a stride-1 same-channel-layout 2-D convolution via
+// im2col + SGEMM, the same lowering cuDNN uses for many ResNet layers.
+// Input is N×Ci×H×W, weights are Co×Ci×K×K (square kernel, no padding),
+// output is N×Co×(H−K+1)×(W−K+1).
+func Conv2D(input *Tensor4, weights *Tensor4) *Tensor4 {
+	if input.C != weights.C {
+		panic(fmt.Sprintf("kernels: Conv2D channel mismatch %d vs %d", input.C, weights.C))
+	}
+	k := weights.H
+	if weights.W != k {
+		panic("kernels: Conv2D requires square kernels")
+	}
+	oh, ow := input.H-k+1, input.W-k+1
+	if oh <= 0 || ow <= 0 {
+		panic("kernels: Conv2D kernel larger than input")
+	}
+	co := weights.N
+	out := NewTensor4(input.N, co, oh, ow)
+
+	// Weights as a co × (ci·k·k) matrix (reshape is free: same layout).
+	wm := &Matrix{Rows: co, Cols: input.C * k * k, Data: weights.Data}
+
+	for n := 0; n < input.N; n++ {
+		// im2col: columns matrix is (ci·k·k) × (oh·ow).
+		col := NewMatrix(input.C*k*k, oh*ow)
+		parallelFor(input.C, func(cs, ce int) {
+			for c := cs; c < ce; c++ {
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						row := (c*k+ky)*k + kx
+						for y := 0; y < oh; y++ {
+							for x := 0; x < ow; x++ {
+								col.Data[row*oh*ow+y*ow+x] = input.At(n, c, y+ky, x+kx)
+							}
+						}
+					}
+				}
+			}
+		})
+		res := NewMatrix(co, oh*ow)
+		SGEMM(wm, col, res)
+		copy(out.Data[n*co*oh*ow:], res.Data)
+	}
+	return out
+}
+
+// ReLU applies max(0, x) in place and returns its input.
+func ReLU(t *Tensor4) *Tensor4 {
+	parallelFor(len(t.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			if t.Data[i] < 0 {
+				t.Data[i] = 0
+			}
+		}
+	})
+	return t
+}
+
+// BatchNormInference applies y = gamma·(x−mean)/sqrt(var+eps) + beta per
+// channel, in place.
+func BatchNormInference(t *Tensor4, mean, variance, gamma, beta []float32) *Tensor4 {
+	if len(mean) != t.C || len(variance) != t.C || len(gamma) != t.C || len(beta) != t.C {
+		panic("kernels: BatchNorm parameter length mismatch")
+	}
+	const eps = 1e-5
+	hw := t.H * t.W
+	parallelFor(t.N*t.C, func(s, e int) {
+		for nc := s; nc < e; nc++ {
+			c := nc % t.C
+			scale := gamma[c] / sqrt32(variance[c]+eps)
+			shift := beta[c] - mean[c]*scale
+			base := nc * hw
+			for i := 0; i < hw; i++ {
+				t.Data[base+i] = t.Data[base+i]*scale + shift
+			}
+		}
+	})
+	return t
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}
+
+// GlobalAvgPool reduces H×W to 1×1 per channel.
+func GlobalAvgPool(t *Tensor4) *Tensor4 {
+	out := NewTensor4(t.N, t.C, 1, 1)
+	hw := float32(t.H * t.W)
+	parallelFor(t.N*t.C, func(s, e int) {
+		for nc := s; nc < e; nc++ {
+			var sum float32
+			base := nc * t.H * t.W
+			for i := 0; i < t.H*t.W; i++ {
+				sum += t.Data[base+i]
+			}
+			out.Data[nc] = sum / hw
+		}
+	})
+	return out
+}

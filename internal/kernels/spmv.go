@@ -1,0 +1,49 @@
+package kernels
+
+// CSR is a compressed-sparse-row float32 matrix, the storage format of
+// the PageRank SpMV kernel (Pannotia-style pull-based graph analytics).
+type CSR struct {
+	NumRows int
+	NumCols int
+	RowPtr  []int32   // len NumRows+1
+	ColIdx  []int32   // len nnz
+	Vals    []float32 // len nnz
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// SpMV computes y = M·x in parallel over rows. Rows are independent, so
+// each worker owns a disjoint slice of y. It panics if dimensions do not
+// line up.
+func SpMV(m *CSR, x, y []float32) {
+	if len(x) != m.NumCols || len(y) != m.NumRows {
+		panic("kernels: SpMV dimension mismatch")
+	}
+	parallelFor(m.NumRows, func(start, end int) {
+		for i := start; i < end; i++ {
+			var sum float32
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				sum += m.Vals[p] * x[m.ColIdx[p]]
+			}
+			y[i] = sum
+		}
+	})
+}
+
+// SpMVAlphaBeta computes y = alpha·M·x + beta·y, the general form used
+// by the PageRank iteration (alpha = damping, beta carries teleport).
+func SpMVAlphaBeta(m *CSR, alpha float32, x []float32, beta float32, y []float32) {
+	if len(x) != m.NumCols || len(y) != m.NumRows {
+		panic("kernels: SpMVAlphaBeta dimension mismatch")
+	}
+	parallelFor(m.NumRows, func(start, end int) {
+		for i := start; i < end; i++ {
+			var sum float32
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				sum += m.Vals[p] * x[m.ColIdx[p]]
+			}
+			y[i] = alpha*sum + beta*y[i]
+		}
+	})
+}

@@ -1,0 +1,254 @@
+// Package pmexport prototypes the PM-information standard the paper
+// calls for (§VII "New Hardware and System Design"): a uniform,
+// vendor-neutral way for accelerators to expose power-management state
+// to runtimes and operators. Today that information is scattered across
+// nvidia-smi, rocm-smi, and board firmware; the paper argues the lack of
+// a standard is "a major limiter to further improving efficiency".
+//
+// The package defines the record schema, an HTTP/JSON exporter a node
+// agent would run, and a client plus fleet watcher that consumes it —
+// the plumbing behind the periodic variability benchmarking the paper
+// recommends.
+package pmexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record is the per-GPU PM snapshot: the paper's four metrics plus the
+// PM controller state that today's tools do not expose uniformly.
+type Record struct {
+	GPUID  string `json:"gpu_id"`
+	NodeID string `json:"node_id"`
+
+	FreqMHz float64 `json:"freq_mhz"`
+	PowerW  float64 `json:"power_w"`
+	TempC   float64 `json:"temp_c"`
+	// PerfMs is the most recent benchmark kernel duration, if the node
+	// agent runs the periodic variability benchmark.
+	PerfMs float64 `json:"perf_ms,omitempty"`
+
+	// PM controller state — the part vendors do not expose today.
+	PowerCapW        float64 `json:"power_cap_w"`
+	MaxClockMHz      float64 `json:"max_clock_mhz"`
+	ThermallyLimited bool    `json:"thermally_limited"`
+
+	CollectedAt time.Time `json:"collected_at"`
+}
+
+// Source supplies fleet snapshots to an exporter.
+type Source interface {
+	Snapshot() []Record
+}
+
+// SourceFunc adapts a function to Source.
+type SourceFunc func() []Record
+
+// Snapshot implements Source.
+func (f SourceFunc) Snapshot() []Record { return f() }
+
+// StaticSource serves a fixed snapshot (e.g. a completed experiment's
+// measurements), safe for concurrent use.
+type StaticSource struct {
+	mu      sync.RWMutex
+	records []Record
+}
+
+// NewStaticSource returns a source pre-loaded with records.
+func NewStaticSource(records []Record) *StaticSource {
+	s := &StaticSource{}
+	s.Update(records)
+	return s
+}
+
+// Update replaces the snapshot.
+func (s *StaticSource) Update(records []Record) {
+	cp := append([]Record(nil), records...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].GPUID < cp[j].GPUID })
+	s.mu.Lock()
+	s.records = cp
+	s.mu.Unlock()
+}
+
+// Snapshot implements Source.
+func (s *StaticSource) Snapshot() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Record(nil), s.records...)
+}
+
+// Handler serves the exporter API:
+//
+//	GET /v1/fleet        → JSON array of all Records
+//	GET /v1/gpu/{id}     → one Record (404 if unknown)
+//	GET /v1/summary      → fleet aggregate (count, medians, flags)
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, src.Snapshot())
+	})
+	mux.HandleFunc("/v1/gpu/", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Path[len("/v1/gpu/"):]
+		for _, rec := range src.Snapshot() {
+			if rec.GPUID == id {
+				writeJSON(w, rec)
+				return
+			}
+		}
+		http.Error(w, fmt.Sprintf("unknown gpu %q", id), http.StatusNotFound)
+	})
+	mux.HandleFunc("/v1/summary", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, Summarize(src.Snapshot()))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Summary is the fleet aggregate served at /v1/summary.
+type Summary struct {
+	GPUs             int     `json:"gpus"`
+	MedianFreqMHz    float64 `json:"median_freq_mhz"`
+	MedianPowerW     float64 `json:"median_power_w"`
+	MedianTempC      float64 `json:"median_temp_c"`
+	ThermallyLimited int     `json:"thermally_limited"`
+	BelowCapCount    int     `json:"below_cap_count"` // >5% under their cap while busy
+}
+
+// Summarize aggregates a snapshot.
+func Summarize(records []Record) Summary {
+	s := Summary{GPUs: len(records)}
+	if len(records) == 0 {
+		return s
+	}
+	var freqs, powers, temps []float64
+	for _, r := range records {
+		freqs = append(freqs, r.FreqMHz)
+		powers = append(powers, r.PowerW)
+		temps = append(temps, r.TempC)
+		if r.ThermallyLimited {
+			s.ThermallyLimited++
+		}
+		if r.PowerCapW > 0 && r.PowerW < 0.95*r.PowerCapW {
+			s.BelowCapCount++
+		}
+	}
+	s.MedianFreqMHz = median(freqs)
+	s.MedianPowerW = median(powers)
+	s.MedianTempC = median(temps)
+	return s
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Client fetches exporter data.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the exporter at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Fleet fetches all records.
+func (c *Client) Fleet() ([]Record, error) {
+	var out []Record
+	if err := c.get("/v1/fleet", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GPU fetches one record.
+func (c *Client) GPU(id string) (Record, error) {
+	var out Record
+	err := c.get("/v1/gpu/"+id, &out)
+	return out, err
+}
+
+// Summary fetches the fleet aggregate.
+func (c *Client) Summary() (Summary, error) {
+	var out Summary
+	err := c.get("/v1/summary", &out)
+	return out, err
+}
+
+func (c *Client) get(path string, v interface{}) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("pmexport: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pmexport: %s returned %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("pmexport: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Alert is one watcher finding.
+type Alert struct {
+	GPUID  string
+	Reason string
+}
+
+// CheckFleet applies the paper's early-warning heuristics to a snapshot.
+// The rules are fleet-relative (the paper's point: aberrations only show
+// against the population, which is why cluster-wide benchmarking is
+// needed): thermal limiting, power draw well under the fleet's while
+// slower than the median (power brakes), clocks settling far below the
+// fleet's (bad V/F health), and benchmark times far off the median.
+func CheckFleet(records []Record) []Alert {
+	var alerts []Alert
+	if len(records) == 0 {
+		return alerts
+	}
+	var perfs, powers, freqs []float64
+	for _, r := range records {
+		if r.PerfMs > 0 {
+			perfs = append(perfs, r.PerfMs)
+		}
+		powers = append(powers, r.PowerW)
+		freqs = append(freqs, r.FreqMHz)
+	}
+	medPerf, medPower, medFreq := median(perfs), median(powers), median(freqs)
+	for _, r := range records {
+		switch {
+		case r.ThermallyLimited:
+			alerts = append(alerts, Alert{r.GPUID, "thermal throttling: inspect cooling path"})
+		case r.PowerW < medPower-10 && r.PerfMs > 0 && medPerf > 0 && r.PerfMs > 1.015*medPerf:
+			alerts = append(alerts, Alert{r.GPUID, "slow and below fleet power: possible power brake"})
+		case medFreq > 0 && r.FreqMHz < 0.95*medFreq:
+			alerts = append(alerts, Alert{r.GPUID, "clock settles far below fleet median: verify V/F health"})
+		case medPerf > 0 && r.PerfMs > 1.12*medPerf:
+			alerts = append(alerts, Alert{r.GPUID, "benchmark far above fleet median: investigate"})
+		}
+	}
+	sort.Slice(alerts, func(i, j int) bool { return alerts[i].GPUID < alerts[j].GPUID })
+	return alerts
+}

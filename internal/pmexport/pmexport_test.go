@@ -1,0 +1,146 @@
+package pmexport
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	now := time.Date(2022, 11, 9, 12, 0, 0, 0, time.UTC)
+	return []Record{
+		{GPUID: "c002-n01-g0", NodeID: "c002-n01", FreqMHz: 1380, PowerW: 299, TempC: 66, PerfMs: 2500, PowerCapW: 300, MaxClockMHz: 1530, CollectedAt: now},
+		{GPUID: "c002-n01-g1", NodeID: "c002-n01", FreqMHz: 1312, PowerW: 262, TempC: 48, PerfMs: 2700, PowerCapW: 300, MaxClockMHz: 1312, CollectedAt: now},
+		{GPUID: "c003-n02-g0", NodeID: "c003-n02", FreqMHz: 1095, PowerW: 180, TempC: 97, PerfMs: 3400, PowerCapW: 300, MaxClockMHz: 1530, ThermallyLimited: true, CollectedAt: now},
+		{GPUID: "c003-n02-g1", NodeID: "c003-n02", FreqMHz: 1372, PowerW: 298, TempC: 62, PerfMs: 2510, PowerCapW: 300, MaxClockMHz: 1530, CollectedAt: now},
+	}
+}
+
+func newServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := httptest.NewServer(Handler(NewStaticSource(sampleRecords())))
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL)
+}
+
+func TestFleetEndpoint(t *testing.T) {
+	_, c := newServer(t)
+	recs, err := c.Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("fleet = %d records", len(recs))
+	}
+	// StaticSource sorts by GPU id.
+	if recs[0].GPUID != "c002-n01-g0" || recs[3].GPUID != "c003-n02-g1" {
+		t.Fatalf("ordering wrong: %v", recs)
+	}
+	if recs[1].MaxClockMHz != 1312 {
+		t.Fatal("PM state (clock pin) did not round-trip")
+	}
+}
+
+func TestGPUEndpoint(t *testing.T) {
+	_, c := newServer(t)
+	rec, err := c.GPU("c002-n01-g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PowerW != 262 || rec.FreqMHz != 1312 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if _, err := c.GPU("nope"); err == nil {
+		t.Fatal("unknown GPU should 404")
+	}
+}
+
+func TestSummaryEndpoint(t *testing.T) {
+	_, c := newServer(t)
+	s, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GPUs != 4 {
+		t.Fatalf("summary GPUs = %d", s.GPUs)
+	}
+	if s.ThermallyLimited != 1 {
+		t.Fatalf("thermally limited = %d", s.ThermallyLimited)
+	}
+	if s.BelowCapCount != 2 { // 262 W and 180 W on 300 W caps
+		t.Fatalf("below cap = %d", s.BelowCapCount)
+	}
+	if s.MedianFreqMHz != 1342 { // (1312+1372)/2
+		t.Fatalf("median freq = %v", s.MedianFreqMHz)
+	}
+}
+
+func TestStaticSourceUpdate(t *testing.T) {
+	src := NewStaticSource(sampleRecords())
+	src.Update(sampleRecords()[:1])
+	if n := len(src.Snapshot()); n != 1 {
+		t.Fatalf("after update: %d records", n)
+	}
+	// Snapshot is a copy: mutating it must not corrupt the source.
+	snap := src.Snapshot()
+	snap[0].GPUID = "mutated"
+	if src.Snapshot()[0].GPUID == "mutated" {
+		t.Fatal("snapshot aliases internal storage")
+	}
+}
+
+func TestSourceFunc(t *testing.T) {
+	calls := 0
+	src := SourceFunc(func() []Record {
+		calls++
+		return sampleRecords()
+	})
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if _, err := c.Fleet(); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("source never called")
+	}
+}
+
+func TestCheckFleetFlagsSignatures(t *testing.T) {
+	alerts := CheckFleet(sampleRecords())
+	byID := map[string]string{}
+	for _, a := range alerts {
+		byID[a.GPUID] = a.Reason
+	}
+	if _, ok := byID["c003-n02-g0"]; !ok {
+		t.Error("thermal throttler not flagged")
+	}
+	if reason, ok := byID["c002-n01-g1"]; !ok {
+		t.Error("power brake not flagged")
+	} else if reason == "" {
+		t.Error("empty reason")
+	}
+	if _, ok := byID["c002-n01-g0"]; ok {
+		t.Error("healthy GPU flagged")
+	}
+}
+
+func TestCheckFleetEmpty(t *testing.T) {
+	if alerts := CheckFleet(nil); len(alerts) != 0 {
+		t.Fatal("empty fleet should produce no alerts")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.GPUs != 0 || s.MedianPowerW != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestClientBadURL(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0")
+	if _, err := c.Fleet(); err == nil {
+		t.Fatal("unreachable exporter should error")
+	}
+}

@@ -1,0 +1,254 @@
+// Package report renders experiment results as text: ASCII box plots
+// (the format of nearly every figure in the paper), aligned tables, and
+// CSV series for external plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpuvar/internal/stats"
+)
+
+// BoxPlotRow is one labeled box plot in a chart.
+type BoxPlotRow struct {
+	Label string
+	Box   stats.BoxPlot
+}
+
+// BoxChart renders horizontal ASCII box plots on a shared axis:
+//
+//	label |----[   |   ]-----|   o oo
+//
+// with '-' whiskers, '[ ]' the IQR box, '|' the median, and 'o' outliers.
+type BoxChart struct {
+	Title string
+	Unit  string
+	Rows  []BoxPlotRow
+	// Width is the plot area width in characters (default 60).
+	Width int
+	// ClipOutliers bounds the axis by the whisker extremes (plus 20%
+	// margin) instead of the raw min/max, so one extreme outlier cannot
+	// compress every box into a sliver. Clipped outliers render at the
+	// axis edge.
+	ClipOutliers bool
+}
+
+// Add appends a labeled distribution to the chart.
+func (c *BoxChart) Add(label string, xs []float64) error {
+	bp, err := stats.NewBoxPlot(xs)
+	if err != nil {
+		return fmt.Errorf("report: %s: %w", label, err)
+	}
+	c.Rows = append(c.Rows, BoxPlotRow{Label: label, Box: bp})
+	return nil
+}
+
+// Render writes the chart.
+func (c *BoxChart) Render(w io.Writer) error {
+	if len(c.Rows) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return err
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	lo, hi := c.Rows[0].Box.Min, c.Rows[0].Box.Max
+	for _, r := range c.Rows[1:] {
+		if r.Box.Min < lo {
+			lo = r.Box.Min
+		}
+		if r.Box.Max > hi {
+			hi = r.Box.Max
+		}
+	}
+	if c.ClipOutliers {
+		wLo, wHi := c.Rows[0].Box.LowerWhisker, c.Rows[0].Box.UpperWhisker
+		for _, r := range c.Rows[1:] {
+			if r.Box.LowerWhisker < wLo {
+				wLo = r.Box.LowerWhisker
+			}
+			if r.Box.UpperWhisker > wHi {
+				wHi = r.Box.UpperWhisker
+			}
+		}
+		margin := 0.2 * (wHi - wLo)
+		if v := wLo - margin; v > lo {
+			lo = v
+		}
+		if v := wHi + margin; v < hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	pos := func(v float64) int {
+		p := int(float64(width-1) * (v - lo) / span)
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	labelW := 0
+	for _, r := range c.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+		return err
+	}
+	for _, r := range c.Rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		b := r.Box
+		for i := pos(b.LowerWhisker); i <= pos(b.UpperWhisker); i++ {
+			line[i] = '-'
+		}
+		for i := pos(b.Q1); i <= pos(b.Q3); i++ {
+			line[i] = '='
+		}
+		line[pos(b.Q1)] = '['
+		line[pos(b.Q3)] = ']'
+		line[pos(b.Q2)] = '|'
+		for _, o := range b.Outliers {
+			line[pos(o)] = 'o'
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s %s\n", labelW, r.Label, string(line)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  %-*s %-12s%*s\n", labelW, "",
+		fmt.Sprintf("%.4g%s", lo, c.Unit), width-12, fmt.Sprintf("%.4g%s", hi, c.Unit))
+	return err
+}
+
+// String renders the chart to a string, ignoring write errors (strings
+// cannot fail).
+func (c *BoxChart) String() string {
+	var b strings.Builder
+	_ = c.Render(&b)
+	return b.String()
+}
+
+// Table renders aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'g', 5, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteSeriesCSV writes labeled float series as CSV columns (ragged
+// series are padded with empty cells).
+func WriteSeriesCSV(w io.Writer, series map[string][]float64) error {
+	labels := make([]string, 0, len(series))
+	for l := range series {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(labels); err != nil {
+		return err
+	}
+	maxLen := 0
+	for _, xs := range series {
+		if len(xs) > maxLen {
+			maxLen = len(xs)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, len(labels))
+		for j, l := range labels {
+			if i < len(series[l]) {
+				row[j] = strconv.FormatFloat(series[l][i], 'g', 8, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ScatterSummary describes a metric-pair relationship the way the
+// paper's scatter captions do: the correlation plus the axis ranges.
+func ScatterSummary(name string, xs, ys []float64) string {
+	rho := stats.Pearson(xs, ys)
+	return fmt.Sprintf("%s: rho=%+.2f over %d points (x %.4g..%.4g, y %.4g..%.4g)",
+		name, rho, len(xs), stats.Min(xs), stats.Max(xs), stats.Min(ys), stats.Max(ys))
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBoxChartRender(t *testing.T) {
+	var c BoxChart
+	c.Title = "SGEMM kernel duration"
+	c.Unit = "ms"
+	if err := c.Add("c002", []float64{2400, 2450, 2500, 2550, 2600}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("c003", []float64{2380, 2420, 2480, 2520, 3100}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "SGEMM kernel duration") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "c002") || !strings.Contains(out, "c003") {
+		t.Fatal("missing labels")
+	}
+	if !strings.Contains(out, "[") || !strings.Contains(out, "|") || !strings.Contains(out, "]") {
+		t.Fatal("missing box glyphs")
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("outlier glyph missing (3100 is an outlier)")
+	}
+}
+
+func TestBoxChartEmpty(t *testing.T) {
+	var c BoxChart
+	c.Title = "empty"
+	if out := c.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestBoxChartAddEmptyFails(t *testing.T) {
+	var c BoxChart
+	if err := c.Add("x", nil); err == nil {
+		t.Fatal("adding empty series should fail")
+	}
+}
+
+func TestBoxChartConstantSeries(t *testing.T) {
+	var c BoxChart
+	if err := c.Add("flat", []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if out := c.String(); !strings.Contains(out, "flat") {
+		t.Fatalf("constant series not rendered: %q", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	var tb Table
+	tb.Header = []string{"Cluster", "GPUs", "Variation"}
+	tb.AddRow("Longhorn", 416, 0.09)
+	tb.AddRow("Summit", 27648, 0.08)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Cluster") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "27648") {
+		t.Fatal("row data missing")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, map[string][]float64{
+		"b": {1, 2, 3},
+		"a": {10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q (want sorted)", lines[0])
+	}
+	if lines[1] != "10,1" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != ",2" {
+		t.Fatalf("ragged padding wrong: %q", lines[2])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestScatterSummary(t *testing.T) {
+	s := ScatterSummary("perf vs freq", []float64{1, 2, 3}, []float64{3, 2, 1})
+	if !strings.Contains(s, "rho=-1.00") {
+		t.Fatalf("summary = %q", s)
+	}
+	if !strings.Contains(s, "3 points") {
+		t.Fatalf("summary = %q", s)
+	}
+}

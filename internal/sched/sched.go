@@ -1,0 +1,232 @@
+// Package sched models the cluster-level job scheduling the paper's
+// methodology relies on (§III): exclusive node allocations (no
+// timesharing of nodes or GPUs during collection), staggered run times,
+// and FCFS queueing. It also underpins the §VII analyses: the
+// probability of drawing a slow GPU, and the variability-aware placement
+// policy the paper proposes for future allocation frameworks.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is a schedulable host with its GPUs.
+type Node struct {
+	ID   string
+	GPUs []string
+	// PerfScore optionally carries a measured performance rank for
+	// variability-aware placement (lower = slower GPU median).
+	PerfScore float64
+}
+
+// Job is one submission.
+type Job struct {
+	ID       int
+	Name     string
+	GPUs     int     // GPUs required; allocation is whole-node exclusive
+	SubmitS  float64 // submission time
+	DurS     float64 // execution duration once started
+	StartS   float64 // assigned by the scheduler
+	EndS     float64
+	NodeID   string
+	GPUIDs   []string
+	WaitS    float64
+	Rejected bool // could not fit on any node
+}
+
+// Policy selects among free nodes.
+type Policy int
+
+// Placement policies.
+const (
+	// FirstFit takes the first free node in ID order (what production
+	// FCFS schedulers effectively do with stable node lists).
+	FirstFit Policy = iota
+	// Random takes a uniformly random free node — the user-visible
+	// lottery behind the paper's "18% chance of a slower GPU" analysis.
+	Random
+	// BestPerf places on the free node with the highest PerfScore —
+	// the paper's variability-aware proposal for compute-bound jobs.
+	BestPerf
+	// WorstPerf places on the lowest PerfScore node — appropriate for
+	// memory-bound jobs that tolerate slow GPUs (§VII).
+	WorstPerf
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case Random:
+		return "random"
+	case BestPerf:
+		return "best-perf"
+	case WorstPerf:
+		return "worst-perf"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// randSource is the minimal randomness the scheduler needs; satisfied
+// by rng.Source.
+type randSource interface {
+	Intn(n int) int
+}
+
+// Scheduler runs an event-driven FCFS simulation with exclusive
+// whole-node allocation.
+type Scheduler struct {
+	nodes  []Node
+	policy Policy
+	rand   randSource
+
+	busyUntil map[string]float64
+}
+
+// New returns a scheduler over the given nodes. rand is required only
+// for the Random policy.
+func New(nodes []Node, policy Policy, rand randSource) *Scheduler {
+	ns := append([]Node(nil), nodes...)
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	return &Scheduler{
+		nodes:     ns,
+		policy:    policy,
+		rand:      rand,
+		busyUntil: map[string]float64{},
+	}
+}
+
+// Schedule assigns start times, nodes, and GPUs to jobs, FCFS in
+// submission order. Jobs needing more GPUs than any node has are marked
+// Rejected. The input slice is modified in place and returned.
+func (s *Scheduler) Schedule(jobs []Job) []Job {
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].SubmitS < jobs[j].SubmitS })
+	for i := range jobs {
+		s.place(&jobs[i])
+	}
+	return jobs
+}
+
+// place assigns one job to the node where it can start earliest under
+// the policy's tie-breaking among nodes free at that time.
+func (s *Scheduler) place(j *Job) {
+	var fits []int
+	for i, n := range s.nodes {
+		if len(n.GPUs) >= j.GPUs {
+			fits = append(fits, i)
+		}
+	}
+	if len(fits) == 0 {
+		j.Rejected = true
+		return
+	}
+	// Earliest possible start across fitting nodes.
+	earliest := -1.0
+	for _, i := range fits {
+		t := s.busyUntil[s.nodes[i].ID]
+		if t < j.SubmitS {
+			t = j.SubmitS
+		}
+		if earliest < 0 || t < earliest {
+			earliest = t
+		}
+	}
+	// Candidates free at the earliest start.
+	var cands []int
+	for _, i := range fits {
+		t := s.busyUntil[s.nodes[i].ID]
+		if t < j.SubmitS {
+			t = j.SubmitS
+		}
+		if t <= earliest {
+			cands = append(cands, i)
+		}
+	}
+	pick := cands[0]
+	switch s.policy {
+	case Random:
+		if s.rand != nil {
+			pick = cands[s.rand.Intn(len(cands))]
+		}
+	case BestPerf:
+		for _, i := range cands[1:] {
+			if s.nodes[i].PerfScore > s.nodes[pick].PerfScore {
+				pick = i
+			}
+		}
+	case WorstPerf:
+		for _, i := range cands[1:] {
+			if s.nodes[i].PerfScore < s.nodes[pick].PerfScore {
+				pick = i
+			}
+		}
+	}
+	n := s.nodes[pick]
+	j.NodeID = n.ID
+	j.GPUIDs = append([]string(nil), n.GPUs[:j.GPUs]...)
+	j.StartS = earliest
+	j.EndS = earliest + j.DurS
+	j.WaitS = j.StartS - j.SubmitS
+	s.busyUntil[n.ID] = j.EndS
+}
+
+// Makespan returns the completion time of the last scheduled job.
+func Makespan(jobs []Job) float64 {
+	var m float64
+	for _, j := range jobs {
+		if !j.Rejected && j.EndS > m {
+			m = j.EndS
+		}
+	}
+	return m
+}
+
+// MeanWait returns the average queueing delay of scheduled jobs.
+func MeanWait(jobs []Job) float64 {
+	var sum float64
+	n := 0
+	for _, j := range jobs {
+		if !j.Rejected {
+			sum += j.WaitS
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SlowGPUOdds computes the paper's §VII user-impact numbers: given
+// per-GPU performance medians and a slowness threshold (fraction above
+// the fastest median, e.g. 0.06 for "6% slower than the fastest"),
+// it returns the fraction of slow GPUs and the probability that a
+// k-GPU node allocation contains at least one slow GPU, assuming slow
+// GPUs are spread uniformly across nodes.
+func SlowGPUOdds(perfMs []float64, threshold float64, k int) (slowFrac, pAtLeastOne float64) {
+	if len(perfMs) == 0 || k <= 0 {
+		return 0, 0
+	}
+	fastest := perfMs[0]
+	for _, p := range perfMs[1:] {
+		if p < fastest {
+			fastest = p
+		}
+	}
+	slow := 0
+	for _, p := range perfMs {
+		if p > fastest*(1+threshold) {
+			slow++
+		}
+	}
+	slowFrac = float64(slow) / float64(len(perfMs))
+	pAtLeastOne = 1.0
+	for i := 0; i < k; i++ {
+		pAtLeastOne *= 1 - slowFrac
+	}
+	pAtLeastOne = 1 - pAtLeastOne
+	return slowFrac, pAtLeastOne
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"gpuvar/internal/rng"
+)
+
+func fourNodes() []Node {
+	return []Node{
+		{ID: "n1", GPUs: []string{"n1-g0", "n1-g1", "n1-g2", "n1-g3"}, PerfScore: 1.0},
+		{ID: "n2", GPUs: []string{"n2-g0", "n2-g1", "n2-g2", "n2-g3"}, PerfScore: 0.9},
+		{ID: "n3", GPUs: []string{"n3-g0", "n3-g1", "n3-g2", "n3-g3"}, PerfScore: 1.1},
+		{ID: "n4", GPUs: []string{"n4-g0", "n4-g1", "n4-g2", "n4-g3"}, PerfScore: 0.8},
+	}
+}
+
+func TestFCFSExclusive(t *testing.T) {
+	s := New(fourNodes(), FirstFit, nil)
+	jobs := []Job{
+		{ID: 1, GPUs: 4, SubmitS: 0, DurS: 100},
+		{ID: 2, GPUs: 4, SubmitS: 0, DurS: 100},
+		{ID: 3, GPUs: 4, SubmitS: 0, DurS: 100},
+		{ID: 4, GPUs: 4, SubmitS: 0, DurS: 100},
+		{ID: 5, GPUs: 4, SubmitS: 0, DurS: 100},
+	}
+	out := s.Schedule(jobs)
+	// First four run immediately on distinct nodes; the fifth waits.
+	nodesUsed := map[string]bool{}
+	for _, j := range out[:4] {
+		if j.StartS != 0 {
+			t.Fatalf("job %d delayed to %v", j.ID, j.StartS)
+		}
+		if nodesUsed[j.NodeID] {
+			t.Fatalf("node %s double-booked", j.NodeID)
+		}
+		nodesUsed[j.NodeID] = true
+	}
+	if out[4].StartS != 100 || out[4].WaitS != 100 {
+		t.Fatalf("fifth job should queue: start %v", out[4].StartS)
+	}
+}
+
+func TestSingleGPUJobStillExclusive(t *testing.T) {
+	// Exclusive allocation: a 1-GPU job occupies the whole node (the
+	// paper's collection mode: "no timesharing of our allocated nodes").
+	s := New(fourNodes()[:1], FirstFit, nil)
+	jobs := []Job{
+		{ID: 1, GPUs: 1, SubmitS: 0, DurS: 50},
+		{ID: 2, GPUs: 1, SubmitS: 0, DurS: 50},
+	}
+	out := s.Schedule(jobs)
+	if out[1].StartS != 50 {
+		t.Fatalf("second job should wait for exclusive node: %v", out[1].StartS)
+	}
+}
+
+func TestRejectsOversizedJobs(t *testing.T) {
+	s := New(fourNodes(), FirstFit, nil)
+	out := s.Schedule([]Job{{ID: 1, GPUs: 8, SubmitS: 0, DurS: 10}})
+	if !out[0].Rejected {
+		t.Fatal("8-GPU job on 4-GPU nodes should be rejected")
+	}
+}
+
+func TestGPUAssignmentCount(t *testing.T) {
+	s := New(fourNodes(), FirstFit, nil)
+	out := s.Schedule([]Job{{ID: 1, GPUs: 2, SubmitS: 0, DurS: 10}})
+	if len(out[0].GPUIDs) != 2 {
+		t.Fatalf("assigned %d GPUs, want 2", len(out[0].GPUIDs))
+	}
+}
+
+func TestBestPerfPolicy(t *testing.T) {
+	s := New(fourNodes(), BestPerf, nil)
+	out := s.Schedule([]Job{{ID: 1, GPUs: 4, SubmitS: 0, DurS: 10}})
+	if out[0].NodeID != "n3" { // highest PerfScore 1.1
+		t.Fatalf("BestPerf picked %s", out[0].NodeID)
+	}
+}
+
+func TestWorstPerfPolicy(t *testing.T) {
+	s := New(fourNodes(), WorstPerf, nil)
+	out := s.Schedule([]Job{{ID: 1, GPUs: 4, SubmitS: 0, DurS: 10}})
+	if out[0].NodeID != "n4" { // lowest PerfScore 0.8
+		t.Fatalf("WorstPerf picked %s", out[0].NodeID)
+	}
+}
+
+func TestRandomPolicyCoversNodes(t *testing.T) {
+	r := rng.New(1)
+	hit := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		s := New(fourNodes(), Random, r)
+		out := s.Schedule([]Job{{ID: 1, GPUs: 4, SubmitS: 0, DurS: 10}})
+		hit[out[0].NodeID] = true
+	}
+	if len(hit) != 4 {
+		t.Fatalf("random policy only used %d nodes", len(hit))
+	}
+}
+
+func TestSubmitOrderRespected(t *testing.T) {
+	s := New(fourNodes()[:1], FirstFit, nil)
+	jobs := []Job{
+		{ID: 2, GPUs: 4, SubmitS: 10, DurS: 5},
+		{ID: 1, GPUs: 4, SubmitS: 0, DurS: 5},
+	}
+	out := s.Schedule(jobs)
+	if out[0].ID != 1 || out[1].ID != 2 {
+		t.Fatal("FCFS order not by submission time")
+	}
+	if out[1].StartS != 10 {
+		t.Fatalf("job 2 should start at its submit time: %v", out[1].StartS)
+	}
+}
+
+func TestMakespanAndWait(t *testing.T) {
+	s := New(fourNodes()[:1], FirstFit, nil)
+	jobs := s.Schedule([]Job{
+		{ID: 1, GPUs: 4, SubmitS: 0, DurS: 30},
+		{ID: 2, GPUs: 4, SubmitS: 0, DurS: 20},
+	})
+	if m := Makespan(jobs); m != 50 {
+		t.Fatalf("makespan = %v", m)
+	}
+	if w := MeanWait(jobs); w != 15 { // (0 + 30) / 2
+		t.Fatalf("mean wait = %v", w)
+	}
+}
+
+func TestSlowGPUOdds(t *testing.T) {
+	// 18% of GPUs 6%+ slower than the fastest → paper's Longhorn user
+	// impact: single-GPU job has 18% odds, 4-GPU job 40-55%.
+	perf := make([]float64, 100)
+	for i := range perf {
+		perf[i] = 1000
+	}
+	for i := 0; i < 18; i++ {
+		perf[i] = 1070 // 7% slower
+	}
+	frac, p1 := SlowGPUOdds(perf, 0.06, 1)
+	if math.Abs(frac-0.18) > 1e-9 {
+		t.Fatalf("slow fraction = %v", frac)
+	}
+	if math.Abs(p1-0.18) > 1e-9 {
+		t.Fatalf("P(1 GPU slow) = %v", p1)
+	}
+	_, p4 := SlowGPUOdds(perf, 0.06, 4)
+	want := 1 - math.Pow(0.82, 4) // ≈ 0.548
+	if math.Abs(p4-want) > 1e-9 {
+		t.Fatalf("P(4 GPU slow) = %v, want %v", p4, want)
+	}
+}
+
+func TestSlowGPUOddsEmpty(t *testing.T) {
+	if f, p := SlowGPUOdds(nil, 0.06, 4); f != 0 || p != 0 {
+		t.Fatal("empty input should be zero")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range []Policy{FirstFit, Random, BestPerf, WorstPerf, Policy(9)} {
+		if p.String() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"gpuvar/internal/dvfs"
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/thermal"
+	"gpuvar/internal/workload"
+)
+
+// newJob builds n devices with manufacturing spread.
+func newJob(t *testing.T, n int, seed uint64) []*Device {
+	t.Helper()
+	devs := make([]*Device, n)
+	for i := range devs {
+		devs[i] = newV100Device(t, "g", seed+uint64(i)*31, thermal.AirParams(), gpu.DefaultVariation())
+	}
+	return devs
+}
+
+func TestMultiGPUSteadyMatchesTransient(t *testing.T) {
+	wl := workload.ResNet50(4, 64, gpu.V100SXM2())
+	wl.Iterations = 8
+	wl.WarmupIters = 1
+
+	mkDevs := func() []*Device { return newJob(t, 4, 900) }
+	rt := RunTransient(mkDevs(), wl, rng.New(7), Options{})
+	rs := RunSteady(mkDevs(), wl, rng.New(7), Options{})
+
+	for i := 0; i < 4; i++ {
+		tr, st := rt.Results[i], rs[i]
+		if rel := math.Abs(tr.PerfMs-st.PerfMs) / tr.PerfMs; rel > 0.08 {
+			t.Errorf("gpu %d: iteration time transient %v vs steady %v (%.1f%%)",
+				i, tr.PerfMs, st.PerfMs, rel*100)
+		}
+		// Both paths must report frequency pinned at max (ResNet does
+		// not throttle).
+		if tr.MedianFreqMHz != 1530 || st.MedianFreqMHz != 1530 {
+			t.Errorf("gpu %d: freq transient %v steady %v, want 1530",
+				i, tr.MedianFreqMHz, st.MedianFreqMHz)
+		}
+	}
+}
+
+func TestBERTRunsOnBothPaths(t *testing.T) {
+	wl := workload.BERT(4, 64, gpu.V100SXM2())
+	wl.Iterations = 6
+	wl.WarmupIters = 1
+	mkDevs := func() []*Device { return newJob(t, 4, 1300) }
+	rt := RunTransient(mkDevs(), wl, rng.New(9), Options{})
+	rs := RunSteady(mkDevs(), wl, rng.New(9), Options{})
+	for i := 0; i < 4; i++ {
+		if err := rt.Results[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rs[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(rt.Results[i].PerfMs-rs[i].PerfMs) / rt.Results[i].PerfMs; rel > 0.10 {
+			t.Errorf("gpu %d: BERT iteration transient %v vs steady %v",
+				i, rt.Results[i].PerfMs, rs[i].PerfMs)
+		}
+	}
+}
+
+func TestCommSpreadVariesAcrossJobs(t *testing.T) {
+	// Different jobs draw different NCCL topologies: their iteration
+	// times must differ even on identical hardware.
+	wl := workload.ResNet50(4, 64, gpu.V100SXM2())
+	wl.Iterations = 6
+	wl.WarmupIters = 1
+	a := RunSteady(newJob(t, 4, 500), wl, rng.New(1), Options{})[0].PerfMs
+	b := RunSteady(newJob(t, 4, 500), wl, rng.New(2), Options{})[0].PerfMs
+	if a == b {
+		t.Fatal("job-level comm jitter missing: identical iteration times")
+	}
+}
+
+func TestEnergyAccountingConsistent(t *testing.T) {
+	// Integrate the transient trace: energy must equal avg power × time
+	// within tolerance, and the median power must sit near the cap for
+	// SGEMM.
+	dev := newV100Device(t, "g0", 42, thermal.WaterParams(), gpu.VariationModel{})
+	res := RunTransient([]*Device{dev}, shortSGEMM(4), rng.New(3), Options{})
+	a := res.Traces[0].Analyze(30)
+	if a.EnergyJ <= 0 {
+		t.Fatal("no energy integrated")
+	}
+	implied := a.EnergyJ / (a.DurationMs / 1000)
+	if math.Abs(implied-a.AvgPowerW) > 0.5 {
+		t.Fatalf("energy bookkeeping inconsistent: %v vs %v", implied, a.AvgPowerW)
+	}
+	// SGEMM rides the cap: average power within [0.9, 1.01] × 300.
+	if a.AvgPowerW < 260 || a.AvgPowerW > 303 {
+		t.Fatalf("average power %v implausible for capped SGEMM", a.AvgPowerW)
+	}
+}
+
+func TestThrottleEventsAppearOnCapCrossing(t *testing.T) {
+	// The boost-overshoot-throttle cycle at kernel start must register
+	// as throttle events in the trace analysis (Fig. 11's shape).
+	dev := newV100Device(t, "g0", 43, thermal.WaterParams(), gpu.VariationModel{})
+	res := RunTransient([]*Device{dev}, shortSGEMM(4), rng.New(5), Options{})
+	a := res.Traces[0].Analyze(60)
+	if len(a.ThrottleEvents) == 0 {
+		t.Fatal("no throttle events detected on a power-capped workload")
+	}
+	for _, e := range a.ThrottleEvents {
+		if e.FromMHz <= e.ToMHz {
+			t.Fatalf("throttle event not descending: %v -> %v", e.FromMHz, e.ToMHz)
+		}
+	}
+}
+
+func TestMemoryBoundNoThrottleEvents(t *testing.T) {
+	dev := newV100Device(t, "g0", 44, thermal.WaterParams(), gpu.VariationModel{})
+	wl := workload.LAMMPS(8, 16, 16, gpu.V100SXM2())
+	wl.Iterations = 4
+	res := RunTransient([]*Device{dev}, wl, rng.New(6), Options{})
+	a := res.Traces[0].Analyze(60)
+	// After the initial boost the clock pins at max; no sustained drops.
+	for _, e := range a.ThrottleEvents {
+		if e.StartMs > 2000 {
+			t.Fatalf("memory-bound workload throttled at %v ms: %v -> %v MHz",
+				e.StartMs, e.FromMHz, e.ToMHz)
+		}
+	}
+}
+
+func TestDPMDitherRepeatability(t *testing.T) {
+	// MI60 chips dither one state between runs (the Corona Fig. 8
+	// mechanism): across several runs a chip's perf takes at least two
+	// distinct values, and the spread matches one state gap.
+	parent := rng.New(77)
+	chip := gpu.NewChip(gpu.MI60(), "g", gpu.DefaultVariation(), parent.Split("chip"))
+	node := thermal.NewNode(thermal.AirParams(), 0.5, parent.Split("node"))
+	dev := NewDevice(chip, node, dvfs.DefaultConfig(), 0, parent.Split("sys"))
+	wl := workload.SGEMMForCluster(gpu.MI60())
+	wl.Iterations = 5
+
+	distinct := map[float64]bool{}
+	for run := 0; run < 8; run++ {
+		r := RunSteady([]*Device{dev}, wl, rng.New(11), Options{Run: run})[0]
+		distinct[r.MedianFreqMHz] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("coarse-state part never dithered across runs: %v", distinct)
+	}
+	if len(distinct) > 3 {
+		t.Fatalf("dither spans %d states, want adjacent pair", len(distinct))
+	}
+}
+
+func TestV100NoDither(t *testing.T) {
+	// Fine-stepping parts do not carry the DPM dither: run-to-run
+	// frequency changes stay within a few steps (ambient-driven).
+	dev := newV100Device(t, "g0", 45, thermal.WaterParams(), gpu.DefaultVariation())
+	wl := shortSGEMM(5)
+	var lo, hi float64 = math.Inf(1), 0
+	for run := 0; run < 6; run++ {
+		r := RunSteady([]*Device{dev}, wl, rng.New(12), Options{Run: run})[0]
+		lo = math.Min(lo, r.MedianFreqMHz)
+		hi = math.Max(hi, r.MedianFreqMHz)
+	}
+	if hi-lo > 40 {
+		t.Fatalf("V100 run-to-run frequency swing %v MHz too large", hi-lo)
+	}
+}

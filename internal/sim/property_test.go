@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpuvar/internal/dvfs"
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/thermal"
+	"gpuvar/internal/workload"
+)
+
+// Property: raising the administrative power cap never slows a
+// compute-bound run (performance is monotone in the power budget).
+func TestCapMonotonicityProperty(t *testing.T) {
+	wl := workload.SGEMM(25536, gpu.V100SXM2())
+	wl.Iterations = 3
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		capLo := 140 + r.Float64()*100
+		capHi := capLo + 20 + r.Float64()*100
+
+		mk := func(capW float64) *Device {
+			parent := rng.New(seed)
+			chip := gpu.NewChip(gpu.V100SXM2(), "g", gpu.DefaultVariation(), parent.Split("chip"))
+			node := thermal.NewNode(thermal.AirParams(), 0.5, parent.Split("node"))
+			return NewDevice(chip, node, dvfs.DefaultConfig(), capW, parent.Split("sys"))
+		}
+		lo := RunSteady([]*Device{mk(capLo)}, wl, rng.New(1), Options{})[0].PerfMs
+		hi := RunSteady([]*Device{mk(capHi)}, wl, rng.New(1), Options{})[0].PerfMs
+		return hi <= lo+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at any FIXED clock, degrading compute efficiency slows the
+// kernel and lowers its power draw. (End-to-end the ordering can invert:
+// a mildly stalling chip draws less power, dodges the cap, boosts
+// higher, and may beat a throttled healthy chip — so the clean
+// monotonicity only holds per clock, which is what this checks.)
+func TestComputeEffMonotonicityProperty(t *testing.T) {
+	k := workload.SGEMM(25536, gpu.V100SXM2()).Kernels[0]
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		eff := 0.4 + r.Float64()*0.55
+		fMHz := 1200 + r.Float64()*330
+
+		mk := func(ce float64) *gpu.Chip {
+			chip := gpu.NewChip(gpu.V100SXM2(), "g", gpu.DefaultVariation(), rng.New(seed))
+			chip.ComputeEff = ce
+			return chip
+		}
+		healthy, degraded := mk(1), mk(eff)
+		if progressRate(degraded, k, fMHz) >= progressRate(healthy, k, fMHz) {
+			return false
+		}
+		hp := healthy.DynamicPower(fMHz, effActivity(healthy, k))
+		dp := degraded.DynamicPower(fMHz, effActivity(degraded, k))
+		return dp <= hp+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every steady-run result validates and respects physical
+// bounds (power under cap + sensor noise, frequency within the SKU
+// grid, temperature above ambient) across random fleets and workloads.
+func TestSteadyPhysicalBoundsProperty(t *testing.T) {
+	sku := gpu.V100SXM2()
+	wls := []workload.Workload{
+		workload.SGEMM(25536, sku),
+		workload.LAMMPS(8, 16, 16, sku),
+		workload.PageRank(643994, 6250000, sku),
+	}
+	for i := range wls {
+		wls[i].Iterations = 3
+	}
+	f := func(seed uint64, which uint8) bool {
+		wl := wls[int(which)%len(wls)]
+		parent := rng.New(seed)
+		chip := gpu.NewChip(sku, "g", gpu.DefaultVariation(), parent.Split("chip"))
+		node := thermal.NewNode(thermal.AirParams(), parent.Split("p").Float64(), parent.Split("node"))
+		dev := NewDevice(chip, node, dvfs.DefaultConfig(), 0, parent.Split("sys"))
+		r := RunSteady([]*Device{dev}, wl, rng.New(seed), Options{})[0]
+		if r.Validate() != nil {
+			return false
+		}
+		if r.MedianFreqMHz < sku.ClockFloorMHz() || r.MedianFreqMHz > sku.MaxClockMHz {
+			return false
+		}
+		// Sensor noise is ±~5 W worst case; physics stays under cap.
+		if r.MedianPowerW > sku.TDPWatts+8 {
+			return false
+		}
+		return r.MedianTempC > node.AmbientC-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multi-GPU jobs always report identical iteration times on
+// all their GPUs (bulk-synchronous semantics), for arbitrary fleets.
+func TestBulkSyncAgreementProperty(t *testing.T) {
+	wl := workload.ResNet50(4, 64, gpu.V100SXM2())
+	wl.Iterations = 4
+	wl.WarmupIters = 0
+	f := func(seed uint64) bool {
+		devs := make([]*Device, 4)
+		parent := rng.New(seed)
+		for i := range devs {
+			chip := gpu.NewChip(gpu.V100SXM2(), "g", gpu.DefaultVariation(), parent.SplitIndex("c", i))
+			node := thermal.NewNode(thermal.AirParams(), float64(i)/3, parent.SplitIndex("n", i))
+			devs[i] = NewDevice(chip, node, dvfs.DefaultConfig(), 0, parent.SplitIndex("s", i))
+		}
+		rs := RunSteady(devs, wl, rng.New(seed), Options{})
+		for i := 1; i < 4; i++ {
+			if rs[i].PerfMs != rs[0].PerfMs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/rng"
+	"gpuvar/internal/workload"
+)
+
+// RunSteady executes one run of wl on devs analytically: it solves each
+// device's converged DVFS/thermal operating point per kernel class and
+// synthesizes the same per-run measurements the transient path produces.
+// It is ~10⁴× faster and validated against RunTransient in tests.
+//
+// jobStream seeds job-shared jitter exactly as in RunTransient.
+func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt Options) []GPURunResult {
+	if len(devs) != wl.GPUsPerJob {
+		panic("sim: device count does not match workload GPUsPerJob")
+	}
+	comm := commStream(jobStream, wl, opt.Run)
+	jobCommF := 1.0
+	if wl.CommSpread > 0 {
+		jobCommF = comm.LogNormalMeanSpread(1, wl.CommSpread)
+	}
+
+	type devPlan struct {
+		st    *steadyPoint
+		sysF  map[string]float64
+		runF  float64
+		hostF float64
+		iter  *rng.Source
+	}
+	plans := make([]*devPlan, len(devs))
+	for i, d := range devs {
+		plans[i] = &devPlan{
+			st:    solveSteady(d, wl, opt),
+			sysF:  sysFactors(d, wl),
+			runF:  d.runFactor(wl, opt.Run),
+			hostF: d.HostStallFrac(wl),
+			iter:  d.iterStream(wl, opt.Run),
+		}
+	}
+
+	// Synthesize iterations.
+	results := make([]GPURunResult, len(devs))
+	type perDev struct {
+		kernelDur map[string][]float64
+		iters     []float64
+	}
+	accum := make([]perDev, len(devs))
+	for i := range accum {
+		accum[i].kernelDur = map[string][]float64{}
+	}
+
+	var computeKs, commKs []workload.Kernel
+	for _, k := range wl.Kernels {
+		if k.Comm && wl.MultiGPU() {
+			commKs = append(commKs, k)
+		} else {
+			computeKs = append(computeKs, k)
+		}
+	}
+
+	// Warmup iterations consume the same jitter draws as the transient
+	// path would, keeping streams aligned conceptually (values need not
+	// match the transient's, but warmups must not be free).
+	totalIters := wl.WarmupIters + wl.Iterations
+	for it := 0; it < totalIters; it++ {
+		recording := it >= wl.WarmupIters
+		// Per-device compute time this iteration.
+		computeMs := make([]float64, len(devs))
+		for i, p := range plans {
+			var t, nominal float64
+			for _, k := range computeKs {
+				iterF := 1.0
+				if wl.RunJitter > 0 {
+					iterF = p.iter.LogNormalMeanSpread(1, wl.RunJitter/2)
+				}
+				d := p.st.kernelMs[k.Name] * p.sysF[k.Name] * p.runF * iterF
+				t += d + wl.LaunchGapMs
+				nominal += k.NominalMs
+				if recording {
+					accum[i].kernelDur[k.Name] = append(accum[i].kernelDur[k.Name], d)
+				}
+			}
+			// Host/input-pipeline stall, matching the transient path.
+			if p.hostF > 0 {
+				t += nominal * p.hostF * p.iter.LogNormalMeanSpread(1, 0.20)
+			}
+			computeMs[i] = t
+		}
+		// Barrier: iteration compute phase is the max across the job.
+		maxCompute := 0.0
+		for _, t := range computeMs {
+			if t > maxCompute {
+				maxCompute = t
+			}
+		}
+		// Comm kernels in lockstep.
+		var commMs float64
+		for _, ck := range commKs {
+			durF := jobCommF
+			if wl.RunJitter > 0 {
+				durF *= comm.LogNormalMeanSpread(1, wl.RunJitter)
+			}
+			// Comm kernels progress at each device's own rate; lockstep
+			// completion means the slowest device sets the pace.
+			worst := 0.0
+			for i := range devs {
+				d := ck.NominalMs * durF / progressRateAt(devs[i].Chip, ck, plans[i].st.freqFor(ck))
+				if d > worst {
+					worst = d
+				}
+			}
+			commMs += worst
+			if recording {
+				for i := range devs {
+					accum[i].kernelDur[ck.Name] = append(accum[i].kernelDur[ck.Name], worst)
+				}
+			}
+		}
+		if recording {
+			iterMs := maxCompute + commMs
+			for i := range devs {
+				accum[i].iters = append(accum[i].iters, iterMs)
+			}
+		}
+	}
+
+	// Mean per-iteration phase budget per device, for the sampled-median
+	// model: kernel time, host-stall time, and barrier wait (iteration
+	// minus own busy time).
+	for i, d := range devs {
+		p := plans[i]
+		a := accum[i]
+		r := GPURunResult{
+			GPUID:            d.Chip.ID,
+			IterationsMs:     a.iters,
+			ThermallyLimited: p.st.thermal,
+		}
+		// Flatten kernel durations for the metric.
+		var all []float64
+		for _, ds := range a.kernelDur {
+			all = append(all, ds...)
+		}
+		r.PerfMs = perfFromMeasurements(wl, all, a.kernelDur, a.iters)
+
+		var kernelMs, nominal float64
+		for _, k := range computeKs {
+			kernelMs += p.st.kernelMs[k.Name] * p.sysF[k.Name] * p.runF
+			nominal += k.NominalMs
+		}
+		for _, ck := range commKs {
+			kernelMs += p.st.kernelMs[ck.Name]
+		}
+		hostMs := nominal * p.hostF
+		iterMs := meanOf(a.iters)
+		waitMs := iterMs - kernelMs - hostMs - wl.LaunchGapMs*float64(len(computeKs))
+		if waitMs < 0 {
+			waitMs = 0
+		}
+		r.MedianFreqMHz, r.MedianPowerW, r.MedianTempC = p.st.medians(d, wl, p.sysF, hostMs, waitMs)
+		r.MedianPowerW += d.powerNoiseW(opt.Run)
+		r.MaxPowerW = p.st.maxPower
+		r.MaxTempC = p.st.tempC
+		results[i] = r
+	}
+	return results
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// steadyPoint is a device's converged operating state per kernel class.
+type steadyPoint struct {
+	tempC    float64
+	maxPower float64
+	thermal  bool
+	// Per kernel name: equilibrium clock, power, and duration.
+	freqMHz  map[string]float64
+	powerW   map[string]float64
+	kernelMs map[string]float64
+}
+
+func (s *steadyPoint) freqFor(k workload.Kernel) float64 { return s.freqMHz[k.Name] }
+
+// solveSteady computes the converged operating point of one device.
+func solveSteady(d *Device, wl workload.Workload, opt Options) *steadyPoint {
+	chip := d.Chip
+	ambientShift := opt.AmbientOffsetC
+	steadyTemp := func(powerW float64) float64 {
+		return d.Node.SteadyTempC(powerW, chip.ThermalResistFactor) + ambientShift
+	}
+
+	// Thermal equilibrium under the blended (time-weighted) activity.
+	blended := wl.BlendedActivity()
+	blendedEff := gpu.Activity{Compute: blended.Compute * chip.ComputeEff, Memory: blended.Memory}
+	_, pEq, tEq := d.Ctl.SteadyState(blendedEff, steadyTemp)
+
+	sp := &steadyPoint{
+		tempC:    tEq,
+		freqMHz:  map[string]float64{},
+		powerW:   map[string]float64{},
+		kernelMs: map[string]float64{},
+	}
+	slowdownStart := chip.SKU.SlowdownTempC - 2
+
+	// Coarse-P-state parts (AMD DPM) show run-to-run state hysteresis:
+	// the same chip parks one state lower on some runs depending on the
+	// controller's probe timing. This is the dominant term in Corona's
+	// large per-GPU repeat variation (paper Fig. 8: 6.06% median, versus
+	// 0.44%/0.12% on the fine-stepping V100 clusters) and part of why
+	// Corona's frequency-performance correlation is weaker (−0.76).
+	dpmDither := false
+	if len(chip.SKU.ClockStatesMHz) > 0 {
+		dpmDither = d.sys.SplitIndex("dpm", opt.Run).Bernoulli(0.35)
+	}
+
+	for _, k := range wl.Kernels {
+		act := effActivity(chip, k)
+		f, p := chip.MaxClockUnderCap(d.Ctl.CapW(), tEq, act)
+		if dpmDither && f < chip.MaxUsableClockMHz() {
+			f = chip.SKU.StepDown(f)
+			p = chip.TotalPower(f, tEq, act)
+		}
+		// Thermal constraint at this kernel's own sustained power.
+		for steadyTemp(p) >= slowdownStart {
+			next := chip.SKU.StepDown(f)
+			if next >= f {
+				break
+			}
+			f = next
+			p = chip.TotalPower(f, tEq, act)
+			sp.thermal = true
+		}
+		sp.freqMHz[k.Name] = f
+		sp.powerW[k.Name] = p
+		sp.kernelMs[k.Name] = k.NominalMs / progressRateAt(chip, k, f)
+		if p > sp.maxPower {
+			sp.maxPower = p
+		}
+	}
+	if pEq > sp.maxPower {
+		sp.maxPower = pEq
+	}
+	return sp
+}
+
+// progressRateAt is progressRate with an explicit clock.
+func progressRateAt(chip *gpu.Chip, k workload.Kernel, freqMHz float64) float64 {
+	return progressRate(chip, k, freqMHz)
+}
+
+// medians computes the sampled-median frequency, power, and temperature
+// over one iteration's phases: kernels weighted by their durations plus
+// the host-stall and barrier-wait phases (the profilers sample
+// continuously, so low-activity time pulls the medians down — the
+// mechanism behind the wide ML power spreads of paper Figs. 14–17).
+func (s *steadyPoint) medians(d *Device, wl workload.Workload, sysF map[string]float64, hostMs, waitMs float64) (fMHz, powerW, tempC float64) {
+	var vals, weights, pvals []float64
+	for _, k := range wl.Kernels {
+		dur := s.kernelMs[k.Name]
+		if f, ok := sysF[k.Name]; ok {
+			dur *= f
+		}
+		vals = append(vals, s.freqMHz[k.Name])
+		pvals = append(pvals, s.powerW[k.Name])
+		weights = append(weights, dur)
+	}
+	maxClock := d.Chip.SKU.QuantizeClock(d.Chip.MaxUsableClockMHz())
+	if hostMs > 0 {
+		// Host stall: clock stays boosted (the controller sees headroom),
+		// power drops to near idle.
+		vals = append(vals, maxClock)
+		pvals = append(pvals, d.Chip.TotalPower(maxClock, s.tempC, gapActivity))
+		weights = append(weights, hostMs)
+	}
+	if waitMs > 0 {
+		vals = append(vals, maxClock)
+		pvals = append(pvals, d.Chip.TotalPower(maxClock, s.tempC, waitActivity))
+		weights = append(weights, waitMs)
+	}
+	fMHz = weightedMedian(vals, weights)
+	powerW = weightedMedian(pvals, weights)
+	return fMHz, powerW, s.tempC
+}

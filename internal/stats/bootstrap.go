@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"gpuvar/internal/rng"
+)
+
+// Bootstrap resampling for confidence intervals on the paper's
+// variability metric. The paper argues statistical significance via the
+// sample-size methodology of [31]; bootstrap intervals give per-number
+// error bars without distributional assumptions, which matters when the
+// statistic (whisker range over median) has no closed-form variance.
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point      float64
+	Lo, Hi     float64
+	Confidence float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Width returns Hi − Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }
+
+// BootstrapCI estimates a confidence interval for stat over xs using
+// the percentile bootstrap with resamples draws from r. stat must be
+// scale-free or otherwise well-defined on resamples of xs (it receives
+// a scratch slice it may not retain). Returns a NaN interval when xs is
+// empty or resamples < 2.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, confidence float64, r *rng.Source) CI {
+	out := CI{Point: math.NaN(), Lo: math.NaN(), Hi: math.NaN(), Confidence: confidence}
+	if len(xs) == 0 || resamples < 2 || r == nil {
+		return out
+	}
+	out.Point = stat(xs)
+	scratch := make([]float64, len(xs))
+	estimates := make([]float64, 0, resamples)
+	for b := 0; b < resamples; b++ {
+		for i := range scratch {
+			scratch[i] = xs[r.Intn(len(xs))]
+		}
+		if v := stat(scratch); !math.IsNaN(v) {
+			estimates = append(estimates, v)
+		}
+	}
+	if len(estimates) < 2 {
+		return out
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - confidence) / 2
+	lo := int(alpha * float64(len(estimates)))
+	hi := int((1 - alpha) * float64(len(estimates)))
+	if hi >= len(estimates) {
+		hi = len(estimates) - 1
+	}
+	out.Lo, out.Hi = estimates[lo], estimates[hi]
+	return out
+}
+
+// VariationCI bootstraps the paper's range/median variation metric.
+func VariationCI(xs []float64, resamples int, confidence float64, r *rng.Source) CI {
+	return BootstrapCI(xs, Variation, resamples, confidence, r)
+}
+
+// CoV returns the coefficient of variation (stddev/mean), the quantity
+// the sample-size methodology consumes. NaN for empty or zero-mean data.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 || math.IsNaN(m) {
+		return math.NaN()
+	}
+	return StdDev(xs) / m
+}
+
+// TrimmedMean returns the mean of xs after discarding the given fraction
+// from each tail (e.g. 0.05 drops the top and bottom 5%). It is the
+// robust location estimate operators use when one-off profiler glitches
+// contaminate a series.
+func TrimmedMean(xs []float64, trimFrac float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if trimFrac <= 0 {
+		return Mean(xs)
+	}
+	if trimFrac >= 0.5 {
+		return Median(xs)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	k := int(trimFrac * float64(len(s)))
+	s = s[k : len(s)-k]
+	return Mean(s)
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"gpuvar/internal/rng"
+)
+
+func gaussianSample(n int, mean, sd float64, seed uint64) []float64 {
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Gaussian(mean, sd)
+	}
+	return xs
+}
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	// The CI for the mean of a known Gaussian should usually contain the
+	// true mean and have width ~ 2·z·sd/sqrt(n).
+	xs := gaussianSample(400, 2400, 50, 1)
+	ci := BootstrapCI(xs, Mean, 500, 0.95, rng.New(2))
+	if !ci.Contains(2400) {
+		t.Fatalf("CI [%v, %v] misses the true mean", ci.Lo, ci.Hi)
+	}
+	wantWidth := 2 * 1.96 * 50 / math.Sqrt(400)
+	if ci.Width() < wantWidth/2 || ci.Width() > wantWidth*2 {
+		t.Fatalf("CI width %v, want ~%v", ci.Width(), wantWidth)
+	}
+	if ci.Point != Mean(xs) {
+		t.Fatal("point estimate should be the full-sample statistic")
+	}
+}
+
+func TestBootstrapCIOrdering(t *testing.T) {
+	xs := gaussianSample(100, 10, 2, 3)
+	ci := BootstrapCI(xs, Median, 300, 0.9, rng.New(4))
+	if !(ci.Lo <= ci.Point && ci.Point <= ci.Hi) {
+		t.Fatalf("interval [%v, %v] does not bracket point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	if ci := BootstrapCI(nil, Mean, 100, 0.95, rng.New(1)); !math.IsNaN(ci.Point) {
+		t.Fatal("empty input should give NaN")
+	}
+	if ci := BootstrapCI([]float64{1, 2}, Mean, 1, 0.95, rng.New(1)); !math.IsNaN(ci.Lo) {
+		t.Fatal("too few resamples should give NaN bounds")
+	}
+	if ci := BootstrapCI([]float64{1, 2}, Mean, 100, 0.95, nil); !math.IsNaN(ci.Point) {
+		t.Fatal("nil rng should give NaN")
+	}
+}
+
+func TestVariationCIOnFleetLikeData(t *testing.T) {
+	// A fleet-like SGEMM distribution: the variation CI should be a
+	// tightish band around the point estimate.
+	xs := gaussianSample(416, 2500, 55, 5)
+	ci := VariationCI(xs, 400, 0.95, rng.New(6))
+	if math.IsNaN(ci.Point) || ci.Point <= 0 {
+		t.Fatalf("point = %v", ci.Point)
+	}
+	if ci.Width() > ci.Point {
+		t.Fatalf("CI width %v too wide relative to point %v", ci.Width(), ci.Point)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := gaussianSample(50, 0, 1, 7)
+	a := BootstrapCI(xs, Mean, 200, 0.95, rng.New(8))
+	b := BootstrapCI(xs, Mean, 200, 0.95, rng.New(8))
+	if a.Lo != b.Lo || a.Hi != b.Hi {
+		t.Fatal("same seed should reproduce the interval")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	xs := []float64{90, 100, 110}
+	if c := CoV(xs); math.Abs(c-0.1) > 0.01 {
+		t.Fatalf("CoV = %v", c)
+	}
+	if !math.IsNaN(CoV(nil)) || !math.IsNaN(CoV([]float64{0, 0})) {
+		t.Fatal("degenerate CoV should be NaN")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000}
+	plain := Mean(xs)
+	trimmed := TrimmedMean(xs, 0.1) // drops 1 and 1000
+	if trimmed >= plain {
+		t.Fatalf("trimming should remove the outlier's pull: %v vs %v", trimmed, plain)
+	}
+	if math.Abs(trimmed-5.5) > 1e-9 {
+		t.Fatalf("trimmed mean = %v, want 5.5", trimmed)
+	}
+	if TrimmedMean(xs, 0) != plain {
+		t.Fatal("zero trim should be the mean")
+	}
+	if TrimmedMean(xs, 0.5) != Median(xs) {
+		t.Fatal("full trim should be the median")
+	}
+	if !math.IsNaN(TrimmedMean(nil, 0.1)) {
+		t.Fatal("empty trimmed mean should be NaN")
+	}
+}

@@ -1,0 +1,463 @@
+// Package stats implements the statistical machinery of the paper's
+// analysis: quartiles, IQR box-and-whisker summaries with outlier
+// classification, range/median variation, correlation coefficients, and
+// the power-measurement sample-size methodology.
+//
+// The paper (§III "IQR & Variability") defines:
+//
+//	IQR     = Q3 − Q1
+//	whiskers = [Q1 − 1.5·IQR, Q3 + 1.5·IQR], clamped to observed data
+//	range   = upper whisker − lower whisker
+//	variation = range / Q2 (median), outliers excluded
+//	outliers = points beyond the whiskers
+//
+// All functions treat the input slice as read-only.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a computation needs at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or NaN if empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN if n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs, or NaN if empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN if empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default, and
+// what the paper's matplotlib box plots use). Returns NaN on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return xs[0]
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted computes a type-7 quantile on already-sorted data.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// BoxPlot is the five-number summary plus outlier classification used
+// throughout the paper's figures.
+type BoxPlot struct {
+	N        int     // number of samples
+	Min, Max float64 // extreme observed values (including outliers)
+	Q1       float64 // first quartile
+	Q2       float64 // median
+	Q3       float64 // third quartile
+	IQR      float64 // Q3 − Q1
+	// LowerWhisker and UpperWhisker are the most extreme data points
+	// still within [Q1 − 1.5·IQR, Q3 + 1.5·IQR] (matplotlib convention).
+	LowerWhisker float64
+	UpperWhisker float64
+	Outliers     []float64 // points beyond the whiskers, ascending
+}
+
+// NewBoxPlot computes the box-and-whisker summary of xs.
+func NewBoxPlot(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	bp := BoxPlot{
+		N:   len(sorted),
+		Min: sorted[0],
+		Max: sorted[len(sorted)-1],
+		Q1:  quantileSorted(sorted, 0.25),
+		Q2:  quantileSorted(sorted, 0.50),
+		Q3:  quantileSorted(sorted, 0.75),
+	}
+	bp.IQR = bp.Q3 - bp.Q1
+	loFence := bp.Q1 - 1.5*bp.IQR
+	hiFence := bp.Q3 + 1.5*bp.IQR
+
+	// Whiskers extend to the most extreme data point within the fences.
+	bp.LowerWhisker = bp.Q1
+	bp.UpperWhisker = bp.Q3
+	for _, v := range sorted {
+		if v >= loFence {
+			bp.LowerWhisker = v
+			break
+		}
+	}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if sorted[i] <= hiFence {
+			bp.UpperWhisker = sorted[i]
+			break
+		}
+	}
+	// Whiskers extend outward from the box. At tiny sample sizes an
+	// interpolated quartile can fall past the nearest in-fence data
+	// point; clamp to the box edge, as drawn box plots do.
+	if bp.LowerWhisker > bp.Q1 {
+		bp.LowerWhisker = bp.Q1
+	}
+	if bp.UpperWhisker < bp.Q3 {
+		bp.UpperWhisker = bp.Q3
+	}
+	for _, v := range sorted {
+		if v < loFence || v > hiFence {
+			bp.Outliers = append(bp.Outliers, v)
+		}
+	}
+	return bp, nil
+}
+
+// Range returns the paper's "range": upper whisker − lower whisker.
+func (b BoxPlot) Range() float64 { return b.UpperWhisker - b.LowerWhisker }
+
+// Variation returns the paper's variability metric range/Q2. Outliers are
+// excluded by construction since the range uses whiskers. Returns NaN if
+// the median is zero.
+func (b BoxPlot) Variation() float64 {
+	if b.Q2 == 0 {
+		return math.NaN()
+	}
+	return b.Range() / b.Q2
+}
+
+// Variation is a convenience that computes range/median directly from a
+// sample. Returns NaN on empty input or zero median.
+func Variation(xs []float64) float64 {
+	bp, err := NewBoxPlot(xs)
+	if err != nil {
+		return math.NaN()
+	}
+	return bp.Variation()
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// Returns NaN if the lengths differ, n < 2, or either side is constant.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient, robust to
+// the monotone-but-nonlinear relationships seen between frequency and
+// runtime under coarse DVFS states.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks assigns average ranks (1-based) with ties averaged.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram computes an equal-width histogram. nbins must be > 0.
+func NewHistogram(xs []float64, nbins int) Histogram {
+	h := Histogram{Counts: make([]int, nbins)}
+	if len(xs) == 0 || nbins <= 0 {
+		return h
+	}
+	h.Lo, h.Hi = Min(xs), Max(xs)
+	if h.Hi == h.Lo {
+		h.Counts[0] = len(xs)
+		return h
+	}
+	w := (h.Hi - h.Lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - h.Lo) / w)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// RecommendedSampleSize implements the power-measurement methodology of
+// Scogland et al. [31] as used in paper §III: the number of units to
+// sample so that the mean is within fractional accuracy lambda of the
+// population mean with the given confidence, for a finite population of
+// size N with coefficient of variation cv.
+//
+// It is the standard finite-population-corrected formula
+//
+//	n0 = (z · cv / lambda)²       (infinite population)
+//	n  = n0 / (1 + (n0 − 1)/N)    (finite correction)
+//
+// The paper used lambda = 0.5% accuracy at 95% confidence and observed a
+// sample 2.9× larger than the worst-case recommendation.
+func RecommendedSampleSize(population int, cv, lambda, confidence float64) int {
+	if population <= 0 || cv <= 0 || lambda <= 0 {
+		return 0
+	}
+	z := zScore(confidence)
+	n0 := (z * cv / lambda) * (z * cv / lambda)
+	n := n0 / (1 + (n0-1)/float64(population))
+	out := int(math.Ceil(n))
+	if out > population {
+		out = population
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// zScore returns the two-sided standard normal critical value for the
+// given confidence level via bisection on the normal CDF.
+func zScore(confidence float64) float64 {
+	if confidence <= 0 {
+		return 0
+	}
+	if confidence >= 1 {
+		return math.Inf(1)
+	}
+	target := 1 - (1-confidence)/2 // upper-tail quantile
+	lo, hi := 0.0, 10.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if normCDF(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns the standard normal quantile (inverse CDF).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if normCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ProjectedRangeAtScale projects the expected whisker-to-whisker range of
+// a normal distribution fitted to xs when the sample size grows to n.
+// Used by the paper (§IV-D) to compare Longhorn's spread scaled to a
+// Summit-sized cluster: with larger n the whiskers creep closer to the
+// 1.5·IQR fences, so the projected variation grows slightly (the paper
+// projects Longhorn's 9% to 9.4% at Summit scale).
+//
+// The whisker is the largest observation that is still inside the fence,
+// so its expectation is the (1 − 1/(m+1)) quantile of the fence-truncated
+// normal, where m = n·P(X ≤ fence) is the expected count inside.
+func ProjectedRangeAtScale(xs []float64, n int) float64 {
+	if len(xs) < 2 || n < 2 {
+		return math.NaN()
+	}
+	sigma := StdDev(xs)
+	if sigma == 0 {
+		return 0
+	}
+	// Standard-normal fence positions for a fitted normal.
+	zQ1, zQ3 := NormalQuantile(0.25), NormalQuantile(0.75)
+	zFence := zQ3 + 1.5*(zQ3-zQ1) // ≈ 2.698 sigma, symmetric
+	pInside := normCDF(zFence)    // one-sided: P(X ≤ upper fence)
+	m := float64(n) * pInside
+	// Expected largest order statistic among the m points inside the
+	// fence, expressed as an unconditional quantile.
+	p := pInside * (1 - 1/(m+1))
+	zWhisker := NormalQuantile(p)
+	// Symmetric distribution: lower whisker mirrors the upper.
+	return 2 * sigma * zWhisker
+}
+
+// ProjectedVariationAtScale is ProjectedRangeAtScale divided by the
+// sample median, matching the paper's variation metric.
+func ProjectedVariationAtScale(xs []float64, n int) float64 {
+	med := Median(xs)
+	if med == 0 {
+		return math.NaN()
+	}
+	return ProjectedRangeAtScale(xs, n) / med
+}
+
+// Summary bundles the descriptive statistics most experiments report.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Q1, Median, Q3 float64
+	Variation      float64 // range/median per the paper
+	NumOutliers    int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	bp, err := NewBoxPlot(xs)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		N:           bp.N,
+		Mean:        Mean(xs),
+		Std:         StdDev(xs),
+		Min:         bp.Min,
+		Max:         bp.Max,
+		Q1:          bp.Q1,
+		Median:      bp.Q2,
+		Q3:          bp.Q3,
+		Variation:   bp.Variation(),
+		NumOutliers: len(bp.Outliers),
+	}, nil
+}
+
+// Normalize returns xs divided by its median, the normalization used in
+// paper Fig. 1 ("normalized to a median runtime of 1").
+func Normalize(xs []float64) []float64 {
+	med := Median(xs)
+	out := make([]float64, len(xs))
+	if med == 0 || math.IsNaN(med) {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / med
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Analysis derives the quantities operators and schedulers consume from
+// a raw trace: throttle episodes, energy, and frequency residency. The
+// paper reads these off its time-series plots (Figs. 11, 25); here they
+// are computed.
+type Analysis struct {
+	// DurationMs is the sampled time span.
+	DurationMs float64
+	// EnergyJ is the integral of power over the trace.
+	EnergyJ float64
+	// AvgPowerW is EnergyJ over the span.
+	AvgPowerW float64
+	// ThrottleEvents are sustained frequency drops (DVFS reining the
+	// chip in after a cap or thermal violation).
+	ThrottleEvents []ThrottleEvent
+	// Residency maps frequency (MHz) to the fraction of time spent
+	// there.
+	Residency map[float64]float64
+}
+
+// ThrottleEvent is one sustained downward frequency excursion.
+type ThrottleEvent struct {
+	StartMs   float64
+	EndMs     float64
+	FromMHz   float64
+	ToMHz     float64
+	PeakDropW float64 // power shed across the event
+}
+
+// DurationMs returns the event length.
+func (e ThrottleEvent) DurationMs() float64 { return e.EndMs - e.StartMs }
+
+// Analyze computes the trace analysis. minDropMHz sets the sensitivity
+// of throttle detection (drops smaller than this are DVFS dither, not
+// throttling); 30 MHz suits fine-stepping parts, 60+ the coarse ones.
+func (t *Trace) Analyze(minDropMHz float64) Analysis {
+	a := Analysis{Residency: map[float64]float64{}}
+	n := len(t.Samples)
+	if n == 0 {
+		return a
+	}
+	if n == 1 {
+		a.Residency[t.Samples[0].FreqMHz] = 1
+		return a
+	}
+	a.DurationMs = t.Samples[n-1].TimeMs - t.Samples[0].TimeMs
+
+	// Trapezoidal energy integral and residency accumulation.
+	residencyMs := map[float64]float64{}
+	for i := 1; i < n; i++ {
+		prev, cur := t.Samples[i-1], t.Samples[i]
+		dt := cur.TimeMs - prev.TimeMs
+		if dt <= 0 {
+			continue
+		}
+		a.EnergyJ += (prev.PowerW + cur.PowerW) / 2 * dt / 1000
+		residencyMs[prev.FreqMHz] += dt
+	}
+	if a.DurationMs > 0 {
+		a.AvgPowerW = a.EnergyJ / (a.DurationMs / 1000)
+		for f, ms := range residencyMs {
+			a.Residency[f] = ms / a.DurationMs
+		}
+	}
+
+	// Throttle events: a monotone-descending frequency run whose total
+	// drop exceeds the threshold. Dither (single small steps that
+	// recover immediately) is excluded by the threshold.
+	i := 1
+	for i < n {
+		if t.Samples[i].FreqMHz < t.Samples[i-1].FreqMHz {
+			start := i - 1
+			peakPower := t.Samples[start].PowerW
+			for i < n && t.Samples[i].FreqMHz <= t.Samples[i-1].FreqMHz {
+				i++
+			}
+			end := i - 1
+			drop := t.Samples[start].FreqMHz - t.Samples[end].FreqMHz
+			if drop >= minDropMHz {
+				a.ThrottleEvents = append(a.ThrottleEvents, ThrottleEvent{
+					StartMs:   t.Samples[start].TimeMs,
+					EndMs:     t.Samples[end].TimeMs,
+					FromMHz:   t.Samples[start].FreqMHz,
+					ToMHz:     t.Samples[end].FreqMHz,
+					PeakDropW: peakPower - t.Samples[end].PowerW,
+				})
+			}
+		} else {
+			i++
+		}
+	}
+	return a
+}
+
+// TopResidency returns the k most-occupied frequencies, highest share
+// first.
+func (a Analysis) TopResidency(k int) []float64 {
+	freqs := make([]float64, 0, len(a.Residency))
+	for f := range a.Residency {
+		freqs = append(freqs, f)
+	}
+	sort.Slice(freqs, func(i, j int) bool {
+		if a.Residency[freqs[i]] != a.Residency[freqs[j]] {
+			return a.Residency[freqs[i]] > a.Residency[freqs[j]]
+		}
+		return freqs[i] > freqs[j]
+	})
+	if k < len(freqs) {
+		freqs = freqs[:k]
+	}
+	return freqs
+}
+
+// EnergyPerKernelJ apportions trace energy to each completed kernel by
+// integrating power over the kernel's mark window.
+func (t *Trace) EnergyPerKernelJ() map[string]float64 {
+	out := map[string]float64{}
+	for _, k := range t.Kernels {
+		if k.EndMs <= k.StartMs {
+			continue
+		}
+		var joules float64
+		samples := t.Slice(k.StartMs, k.EndMs)
+		for i := 1; i < len(samples); i++ {
+			dt := samples[i].TimeMs - samples[i-1].TimeMs
+			joules += (samples[i-1].PowerW + samples[i].PowerW) / 2 * dt / 1000
+		}
+		out[k.Name] += joules
+	}
+	return out
+}
+
+// String summarizes the analysis.
+func (a Analysis) String() string {
+	return fmt.Sprintf("%.1f s sampled, %.0f J (avg %.1f W), %d throttle events",
+		a.DurationMs/1000, a.EnergyJ, a.AvgPowerW, len(a.ThrottleEvents))
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// rampTrace builds a trace: steady at 1530, a throttle to 1380, then
+// steady again.
+func rampTrace() *Trace {
+	r := NewRecorder("g", 1)
+	tm := 0.0
+	emit := func(n int, f, p float64) {
+		for i := 0; i < n; i++ {
+			r.Record(tm, f, p, 60)
+			tm++
+		}
+	}
+	emit(100, 1530, 320) // over cap
+	// throttle: descending run
+	for f := 1522.5; f >= 1380; f -= 7.5 {
+		r.Record(tm, f, 320-(1530-f), 60)
+		tm++
+	}
+	emit(300, 1380, 298)
+	return r.Trace()
+}
+
+func TestAnalyzeDetectsThrottle(t *testing.T) {
+	a := rampTrace().Analyze(30)
+	if len(a.ThrottleEvents) != 1 {
+		t.Fatalf("throttle events = %d, want 1", len(a.ThrottleEvents))
+	}
+	e := a.ThrottleEvents[0]
+	if e.FromMHz != 1530 || e.ToMHz != 1380 {
+		t.Fatalf("event %v -> %v", e.FromMHz, e.ToMHz)
+	}
+	if e.DurationMs() <= 0 {
+		t.Fatal("event has no duration")
+	}
+	if e.PeakDropW <= 0 {
+		t.Fatal("no power shed recorded")
+	}
+}
+
+func TestAnalyzeIgnoresDither(t *testing.T) {
+	r := NewRecorder("g", 1)
+	f := 1440.0
+	for tm := 0.0; tm < 200; tm++ {
+		// ±7.5 MHz dither around the operating point.
+		if int(tm)%2 == 0 {
+			f = 1440
+		} else {
+			f = 1432.5
+		}
+		r.Record(tm, f, 299, 60)
+	}
+	a := r.Trace().Analyze(30)
+	if len(a.ThrottleEvents) != 0 {
+		t.Fatalf("dither misclassified as %d throttle events", len(a.ThrottleEvents))
+	}
+}
+
+func TestAnalyzeEnergy(t *testing.T) {
+	r := NewRecorder("g", 1)
+	for tm := 0.0; tm <= 1000; tm++ {
+		r.Record(tm, 1400, 300, 60)
+	}
+	a := r.Trace().Analyze(30)
+	// 300 W for 1 s = 300 J.
+	if math.Abs(a.EnergyJ-300) > 1 {
+		t.Fatalf("energy = %v J, want ~300", a.EnergyJ)
+	}
+	if math.Abs(a.AvgPowerW-300) > 0.5 {
+		t.Fatalf("avg power = %v", a.AvgPowerW)
+	}
+}
+
+func TestResidencySumsToOne(t *testing.T) {
+	a := rampTrace().Analyze(30)
+	var sum float64
+	for _, share := range a.Residency {
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("residency sums to %v", sum)
+	}
+	top := a.TopResidency(1)
+	if len(top) != 1 || top[0] != 1380 {
+		t.Fatalf("top residency = %v, want the 1380 plateau", top)
+	}
+}
+
+func TestTopResidencyBounds(t *testing.T) {
+	a := rampTrace().Analyze(30)
+	if got := a.TopResidency(1000); len(got) != len(a.Residency) {
+		t.Fatalf("TopResidency over-asked = %d entries", len(got))
+	}
+}
+
+func TestAnalyzeEmptyAndSingle(t *testing.T) {
+	empty := (&Trace{}).Analyze(30)
+	if empty.EnergyJ != 0 || len(empty.ThrottleEvents) != 0 {
+		t.Fatal("empty trace should analyze to zeros")
+	}
+	r := NewRecorder("g", 1)
+	r.Record(0, 1400, 299, 60)
+	one := r.Trace().Analyze(30)
+	if one.Residency[1400] != 1 {
+		t.Fatalf("single-sample residency = %v", one.Residency)
+	}
+}
+
+func TestEnergyPerKernel(t *testing.T) {
+	r := NewRecorder("g", 1)
+	r.BeginKernel("a", 0)
+	for tm := 0.0; tm <= 100; tm++ {
+		r.Record(tm, 1400, 300, 60)
+	}
+	r.EndKernel(100)
+	r.BeginKernel("b", 100)
+	for tm := 101.0; tm <= 200; tm++ {
+		r.Record(tm, 1530, 150, 55)
+	}
+	r.EndKernel(200)
+	e := r.Trace().EnergyPerKernelJ()
+	// Kernel a: 300 W × 0.1 s = 30 J; kernel b: 150 W × ~0.1 s = ~15 J.
+	if math.Abs(e["a"]-30) > 1.5 {
+		t.Fatalf("kernel a energy = %v", e["a"])
+	}
+	if math.Abs(e["b"]-15) > 1.5 {
+		t.Fatalf("kernel b energy = %v", e["b"])
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	s := rampTrace().Analyze(30).String()
+	if !strings.Contains(s, "throttle events") {
+		t.Fatalf("summary = %q", s)
+	}
+}

@@ -1,0 +1,266 @@
+// Package telemetry is the profiler substrate: the stand-in for the
+// vendor tools (nvprof, rocm-smi) the paper used to collect kernel
+// runtimes, SM frequency, power, and temperature.
+//
+// Like the real profilers it samples at a fixed interval with a 1 ms
+// floor (paper §III: "1ms is the minimum sampling interval for these
+// profilers") and records kernel start/end markers. Aggregation follows
+// the paper: the median of each metric per run, to avoid one-off
+// outliers.
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// MinIntervalMs is the profiler's minimum sampling interval.
+const MinIntervalMs = 1.0
+
+// Sample is one profiler reading.
+type Sample struct {
+	TimeMs  float64
+	FreqMHz float64
+	PowerW  float64
+	TempC   float64
+}
+
+// KernelMark records one kernel execution.
+type KernelMark struct {
+	Name    string
+	StartMs float64
+	EndMs   float64
+}
+
+// DurationMs returns the kernel's measured duration.
+func (k KernelMark) DurationMs() float64 { return k.EndMs - k.StartMs }
+
+// Trace is the telemetry of one GPU over one run.
+type Trace struct {
+	GPUID   string
+	Samples []Sample
+	Kernels []KernelMark
+}
+
+// Recorder collects a Trace at a fixed sampling interval.
+type Recorder struct {
+	trace      Trace
+	intervalMs float64
+	nextMs     float64
+	openKernel int // index into trace.Kernels, -1 when none open
+}
+
+// NewRecorder returns a recorder for gpuID sampling every intervalMs
+// (clamped up to the 1 ms profiler floor).
+func NewRecorder(gpuID string, intervalMs float64) *Recorder {
+	if intervalMs < MinIntervalMs {
+		intervalMs = MinIntervalMs
+	}
+	return &Recorder{
+		trace:      Trace{GPUID: gpuID},
+		intervalMs: intervalMs,
+		openKernel: -1,
+	}
+}
+
+// Record offers a reading at simulation time tMs; it is stored only if
+// the sampling interval has elapsed since the last stored sample.
+func (r *Recorder) Record(tMs, freqMHz, powerW, tempC float64) {
+	if tMs < r.nextMs {
+		return
+	}
+	r.trace.Samples = append(r.trace.Samples, Sample{
+		TimeMs: tMs, FreqMHz: freqMHz, PowerW: powerW, TempC: tempC,
+	})
+	r.nextMs = tMs + r.intervalMs
+}
+
+// BeginKernel marks a kernel launch. Kernels may not nest (GPUs execute
+// our modeled kernels serially); beginning a new kernel closes any open
+// one at the same timestamp.
+func (r *Recorder) BeginKernel(name string, tMs float64) {
+	if r.openKernel >= 0 {
+		r.trace.Kernels[r.openKernel].EndMs = tMs
+	}
+	r.trace.Kernels = append(r.trace.Kernels, KernelMark{Name: name, StartMs: tMs, EndMs: tMs})
+	r.openKernel = len(r.trace.Kernels) - 1
+}
+
+// EndKernel marks the completion of the open kernel.
+func (r *Recorder) EndKernel(tMs float64) {
+	if r.openKernel < 0 {
+		return
+	}
+	r.trace.Kernels[r.openKernel].EndMs = tMs
+	r.openKernel = -1
+}
+
+// Trace returns the collected trace. The recorder retains ownership; do
+// not mutate while recording continues.
+func (r *Recorder) Trace() *Trace { return &r.trace }
+
+// medianOf returns the median of xs (NaN-free input assumed, 0 if empty).
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MedianFreqMHz returns the median sampled frequency.
+func (t *Trace) MedianFreqMHz() float64 {
+	return medianOf(t.metric(func(s Sample) float64 { return s.FreqMHz }))
+}
+
+// MedianPowerW returns the median sampled power.
+func (t *Trace) MedianPowerW() float64 {
+	return medianOf(t.metric(func(s Sample) float64 { return s.PowerW }))
+}
+
+// MedianTempC returns the median sampled temperature.
+func (t *Trace) MedianTempC() float64 {
+	return medianOf(t.metric(func(s Sample) float64 { return s.TempC }))
+}
+
+// MaxPowerW returns the maximum sampled power.
+func (t *Trace) MaxPowerW() float64 {
+	m := 0.0
+	for _, s := range t.Samples {
+		if s.PowerW > m {
+			m = s.PowerW
+		}
+	}
+	return m
+}
+
+// MaxTempC returns the maximum sampled temperature.
+func (t *Trace) MaxTempC() float64 {
+	m := 0.0
+	for _, s := range t.Samples {
+		if s.TempC > m {
+			m = s.TempC
+		}
+	}
+	return m
+}
+
+func (t *Trace) metric(f func(Sample) float64) []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = f(s)
+	}
+	return out
+}
+
+// BusyMetricMedians returns the median frequency, power, and temperature
+// over samples taken while a kernel was resident — the paper's profilers
+// attribute samples to kernels, and idle gaps would bias medians low.
+func (t *Trace) BusyMetricMedians() (freqMHz, powerW, tempC float64) {
+	var fs, ps, ts []float64
+	ki := 0
+	for _, s := range t.Samples {
+		for ki < len(t.Kernels) && t.Kernels[ki].EndMs < s.TimeMs {
+			ki++
+		}
+		if ki < len(t.Kernels) && s.TimeMs >= t.Kernels[ki].StartMs && s.TimeMs <= t.Kernels[ki].EndMs {
+			fs = append(fs, s.FreqMHz)
+			ps = append(ps, s.PowerW)
+			ts = append(ts, s.TempC)
+		}
+	}
+	return medianOf(fs), medianOf(ps), medianOf(ts)
+}
+
+// KernelDurationsMs returns the measured duration of every completed
+// kernel, in launch order.
+func (t *Trace) KernelDurationsMs() []float64 {
+	out := make([]float64, 0, len(t.Kernels))
+	for _, k := range t.Kernels {
+		if k.EndMs > k.StartMs {
+			out = append(out, k.DurationMs())
+		}
+	}
+	return out
+}
+
+// MedianKernelMs returns the median completed-kernel duration.
+func (t *Trace) MedianKernelMs() float64 { return medianOf(t.KernelDurationsMs()) }
+
+// KernelDurationsByName returns durations grouped by kernel name.
+func (t *Trace) KernelDurationsByName() map[string][]float64 {
+	out := map[string][]float64{}
+	for _, k := range t.Kernels {
+		if k.EndMs > k.StartMs {
+			out[k.Name] = append(out[k.Name], k.DurationMs())
+		}
+	}
+	return out
+}
+
+// Slice returns the samples with t0 ≤ TimeMs < t1, for time-series
+// figures (paper Figs. 11 and 25 examine 10 s windows).
+func (t *Trace) Slice(t0, t1 float64) []Sample {
+	lo := sort.Search(len(t.Samples), func(i int) bool { return t.Samples[i].TimeMs >= t0 })
+	hi := sort.Search(len(t.Samples), func(i int) bool { return t.Samples[i].TimeMs >= t1 })
+	return t.Samples[lo:hi]
+}
+
+// WriteCSV writes the sample stream as CSV (time_ms, freq_mhz, power_w,
+// temp_c) with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_ms", "freq_mhz", "power_w", "temp_c"}); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		rec := []string{
+			strconv.FormatFloat(s.TimeMs, 'f', 3, 64),
+			strconv.FormatFloat(s.FreqMHz, 'f', 1, 64),
+			strconv.FormatFloat(s.PowerW, 'f', 2, 64),
+			strconv.FormatFloat(s.TempC, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteKernelCSV writes the kernel marks as CSV (name, start_ms, end_ms,
+// duration_ms).
+func (t *Trace) WriteKernelCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "start_ms", "end_ms", "duration_ms"}); err != nil {
+		return err
+	}
+	for _, k := range t.Kernels {
+		rec := []string{
+			k.Name,
+			strconv.FormatFloat(k.StartMs, 'f', 3, 64),
+			strconv.FormatFloat(k.EndMs, 'f', 3, 64),
+			strconv.FormatFloat(k.DurationMs(), 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String summarizes the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace[%s]: %d samples, %d kernels, median %.0f MHz / %.1f W / %.1f C",
+		t.GPUID, len(t.Samples), len(t.Kernels),
+		t.MedianFreqMHz(), t.MedianPowerW(), t.MedianTempC())
+}

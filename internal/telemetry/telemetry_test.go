@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorderSamplesAtInterval(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	for tm := 0.0; tm < 10; tm += 0.25 {
+		r.Record(tm, 1500, 290, 60)
+	}
+	// 0.25 ms offers, 1 ms interval: stores at 0, 1, 2, ..., 9 = 10.
+	if n := len(r.Trace().Samples); n != 10 {
+		t.Fatalf("stored %d samples, want 10", n)
+	}
+}
+
+func TestRecorderEnforcesFloor(t *testing.T) {
+	r := NewRecorder("g0", 0.01) // below the 1 ms profiler floor
+	for tm := 0.0; tm < 5; tm += 0.1 {
+		r.Record(tm, 1500, 290, 60)
+	}
+	if n := len(r.Trace().Samples); n > 6 {
+		t.Fatalf("sub-millisecond sampling not clamped: %d samples", n)
+	}
+}
+
+func TestKernelMarks(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	r.BeginKernel("sgemm", 10)
+	r.EndKernel(2510)
+	r.BeginKernel("sgemm", 2520)
+	r.EndKernel(5030)
+	ds := r.Trace().KernelDurationsMs()
+	if len(ds) != 2 || ds[0] != 2500 || ds[1] != 2510 {
+		t.Fatalf("durations = %v", ds)
+	}
+	if m := r.Trace().MedianKernelMs(); m != 2505 {
+		t.Fatalf("median kernel = %v", m)
+	}
+}
+
+func TestBeginKernelClosesOpen(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	r.BeginKernel("a", 0)
+	r.BeginKernel("b", 100) // implicitly closes a at t=100
+	r.EndKernel(250)
+	ds := r.Trace().KernelDurationsMs()
+	if len(ds) != 2 || ds[0] != 100 || ds[1] != 150 {
+		t.Fatalf("durations = %v", ds)
+	}
+}
+
+func TestEndKernelWithoutOpenIsNoop(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	r.EndKernel(50) // must not panic
+	if len(r.Trace().Kernels) != 0 {
+		t.Fatal("phantom kernel recorded")
+	}
+}
+
+func TestMedians(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	r.Record(0, 1000, 100, 40)
+	r.Record(1, 1400, 200, 50)
+	r.Record(2, 1500, 300, 60)
+	tr := r.Trace()
+	if tr.MedianFreqMHz() != 1400 || tr.MedianPowerW() != 200 || tr.MedianTempC() != 50 {
+		t.Fatalf("medians wrong: %v %v %v", tr.MedianFreqMHz(), tr.MedianPowerW(), tr.MedianTempC())
+	}
+	if tr.MaxPowerW() != 300 || tr.MaxTempC() != 60 {
+		t.Fatalf("maxima wrong")
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	r.Record(0, 1000, 100, 40)
+	r.Record(1, 1400, 200, 50)
+	if m := r.Trace().MedianPowerW(); m != 150 {
+		t.Fatalf("even-count median = %v", m)
+	}
+}
+
+func TestBusyMetricMedians(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	// Idle samples at low power, then a kernel at high power.
+	r.Record(0, 135, 30, 35)
+	r.Record(1, 135, 30, 35)
+	r.BeginKernel("k", 2)
+	r.Record(2, 1450, 295, 60)
+	r.Record(3, 1440, 296, 61)
+	r.Record(4, 1440, 297, 62)
+	r.EndKernel(4.5)
+	r.Record(5, 135, 30, 55)
+
+	_, busyPower, _ := r.Trace().BusyMetricMedians()
+	if busyPower != 296 {
+		t.Fatalf("busy power median = %v, want 296 (idle samples excluded)", busyPower)
+	}
+	if all := r.Trace().MedianPowerW(); all >= 296 {
+		t.Fatalf("sanity: overall median %v should be dragged down by idle", all)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	for tm := 0.0; tm < 100; tm++ {
+		r.Record(tm, 1400, 290, 60)
+	}
+	s := r.Trace().Slice(10, 20)
+	if len(s) != 10 {
+		t.Fatalf("slice has %d samples, want 10", len(s))
+	}
+	if s[0].TimeMs != 10 || s[9].TimeMs != 19 {
+		t.Fatalf("slice bounds wrong: %v..%v", s[0].TimeMs, s[9].TimeMs)
+	}
+}
+
+func TestKernelDurationsByName(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	r.BeginKernel("conv", 0)
+	r.EndKernel(10)
+	r.BeginKernel("gemm", 10)
+	r.EndKernel(30)
+	r.BeginKernel("conv", 30)
+	r.EndKernel(45)
+	by := r.Trace().KernelDurationsByName()
+	if len(by["conv"]) != 2 || len(by["gemm"]) != 1 {
+		t.Fatalf("grouping wrong: %v", by)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	r.Record(0, 1500, 290.5, 60.25)
+	r.Record(1, 1492.5, 291, 60.5)
+	var buf bytes.Buffer
+	if err := r.Trace().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "time_ms,freq_mhz,power_w,temp_c" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.000,1500.0,290.50,60.25") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteKernelCSV(t *testing.T) {
+	r := NewRecorder("g0", 1)
+	r.BeginKernel("sgemm", 5)
+	r.EndKernel(2505)
+	var buf bytes.Buffer
+	if err := r.Trace().WriteKernelCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sgemm,5.000,2505.000,2500.000") {
+		t.Fatalf("kernel csv = %q", buf.String())
+	}
+}
+
+func TestEmptyTraceMedians(t *testing.T) {
+	tr := &Trace{GPUID: "g"}
+	if tr.MedianFreqMHz() != 0 || tr.MedianKernelMs() != 0 {
+		t.Fatal("empty trace medians should be 0")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	r := NewRecorder("gpu-7", 1)
+	r.Record(0, 1500, 290, 60)
+	if s := r.Trace().String(); !strings.Contains(s, "gpu-7") || !strings.Contains(s, "1 samples") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	// Roll the recorder over periodically so the benchmark measures the
+	// Record call, not unbounded slice growth.
+	r := NewRecorder("g", 1)
+	for i := 0; i < b.N; i++ {
+		j := i % 1_000_000
+		if j == 0 {
+			r = NewRecorder("g", 1)
+		}
+		r.Record(float64(j), 1400, 290, 60)
+	}
+}

@@ -1,0 +1,201 @@
+// Package thermal models the cooling path between a GPU die and its
+// environment for the three cooling technologies studied in the paper:
+// forced air (Longhorn, Corona, CloudLab), facility water (Vortex,
+// Summit), and immersion mineral oil (Frontera).
+//
+// Each GPU gets a first-order RC thermal node:
+//
+//	C · dT/dt = P − (T − T_ambient)/R
+//
+// so the steady-state die temperature is T_ambient + P·R and transients
+// settle with time constant R·C. Cooling technology determines the
+// distribution of R and ambient (inlet) temperature across the fleet:
+// air has both a large mean spread and position-dependent gradients,
+// water is tight, oil sits between with a high baseline (paper
+// Takeaway 3 and §IV-F).
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"gpuvar/internal/rng"
+)
+
+// Cooling identifies the heat-removal technology.
+type Cooling int
+
+// Cooling technologies from paper Table I.
+const (
+	Air Cooling = iota
+	Water
+	MineralOil
+)
+
+// String returns the cooling name as used in paper Table I.
+func (c Cooling) String() string {
+	switch c {
+	case Air:
+		return "air"
+	case Water:
+		return "water"
+	case MineralOil:
+		return "mineral oil"
+	default:
+		return fmt.Sprintf("Cooling(%d)", int(c))
+	}
+}
+
+// Params describes the fleet-level distribution of thermal conditions
+// for one cluster. Individual nodes are sampled from these.
+type Params struct {
+	Cooling Cooling
+
+	// ResistCPerW is the mean die-to-ambient thermal resistance.
+	ResistCPerW float64
+	// ResistSpread is the lognormal coefficient of variation of the
+	// resistance (heatsink seating, airflow shadowing, pump balance).
+	ResistSpread float64
+
+	// AmbientC is the mean inlet/coolant temperature at the GPU.
+	AmbientC float64
+	// AmbientSpreadC is the Gaussian stddev of inlet temperature across
+	// the fleet (hot aisles, rack position, loop order).
+	AmbientSpreadC float64
+	// PositionGradientC biases ambient temperature by normalized fleet
+	// position (0..1), modeling hot rows / top-of-rack effects in
+	// air-cooled rooms. Zero for liquid cooling.
+	PositionGradientC float64
+
+	// TimeConstantS is the R·C settling time constant.
+	TimeConstantS float64
+
+	// RunDriftC is the Gaussian stddev of run-to-run inlet temperature
+	// drift at one GPU (facility load, time of day). It drives the
+	// repeat-measurement variation of paper Fig. 8 — and is the knob
+	// that makes coarse-P-state parts (Corona) flip states between
+	// runs.
+	RunDriftC float64
+}
+
+// AirParams returns calibrated air-cooling parameters. Air-cooled
+// clusters show a ≥30 °C fleet temperature range (paper Takeaway 1).
+func AirParams() Params {
+	return Params{
+		Cooling:           Air,
+		ResistCPerW:       0.115,
+		ResistSpread:      0.12,
+		AmbientC:          33,
+		AmbientSpreadC:    4.8,
+		PositionGradientC: 7,
+		TimeConstantS:     18,
+		RunDriftC:         1.3,
+	}
+}
+
+// WaterParams returns calibrated facility-water parameters. Water keeps
+// both the mean and the spread low (Vortex median 46 °C, Summit
+// 40–62 °C).
+func WaterParams() Params {
+	return Params{
+		Cooling:           Water,
+		ResistCPerW:       0.082,
+		ResistSpread:      0.06,
+		AmbientC:          22,
+		AmbientSpreadC:    1.8,
+		PositionGradientC: 0,
+		TimeConstantS:     10,
+		RunDriftC:         0.35,
+	}
+}
+
+// OilParams returns calibrated mineral-oil immersion parameters: a high
+// baseline (Frontera median 76 °C) with a narrow spread
+// (Q3−Q1 = 4 °C, paper §IV-F).
+func OilParams() Params {
+	return Params{
+		Cooling:           MineralOil,
+		ResistCPerW:       0.225,
+		ResistSpread:      0.035,
+		AmbientC:          26,
+		AmbientSpreadC:    1.2,
+		PositionGradientC: 0,
+		TimeConstantS:     35,
+		RunDriftC:         0.5,
+	}
+}
+
+// ParamsFor returns the default parameters for a cooling technology.
+func ParamsFor(c Cooling) Params {
+	switch c {
+	case Air:
+		return AirParams()
+	case Water:
+		return WaterParams()
+	case MineralOil:
+		return OilParams()
+	default:
+		panic(fmt.Sprintf("thermal: unknown cooling %d", int(c)))
+	}
+}
+
+// Node is one GPU's sampled thermal environment plus its transient
+// state. The zero value is not useful; create with NewNode.
+type Node struct {
+	// ResistCPerW is this node's die-to-ambient resistance (before any
+	// chip-level cooling-defect multiplier).
+	ResistCPerW float64
+	// AmbientC is this node's inlet temperature.
+	AmbientC float64
+	// CapJPerC is the thermal capacitance (J/°C).
+	CapJPerC float64
+
+	// TempC is the current die temperature.
+	TempC float64
+}
+
+// NewNode samples a thermal node for a GPU at normalized fleet position
+// pos (0..1). The node starts at its idle-equilibrium temperature for
+// zero power (= ambient).
+func NewNode(p Params, pos float64, r *rng.Source) *Node {
+	amb := p.AmbientC + p.PositionGradientC*(pos-0.5)
+	if r != nil {
+		if p.AmbientSpreadC > 0 {
+			amb += r.Gaussian(0, p.AmbientSpreadC)
+		}
+	}
+	res := p.ResistCPerW
+	if r != nil && p.ResistSpread > 0 {
+		res = r.LogNormalMeanSpread(p.ResistCPerW, p.ResistSpread)
+	}
+	capacity := 150.0
+	if res > 0 && p.TimeConstantS > 0 {
+		capacity = p.TimeConstantS / res
+	}
+	return &Node{
+		ResistCPerW: res,
+		AmbientC:    amb,
+		CapJPerC:    capacity,
+		TempC:       amb,
+	}
+}
+
+// SteadyTempC returns the equilibrium die temperature at sustained power
+// p (watts) with an extra resistance multiplier (1 for healthy cooling).
+func (n *Node) SteadyTempC(powerW, resistFactor float64) float64 {
+	return n.AmbientC + powerW*n.ResistCPerW*resistFactor
+}
+
+// Step advances the die temperature by dtS seconds at power powerW with
+// the given resistance multiplier, using the exact exponential solution
+// of the RC equation over the step (stable for any dt).
+func (n *Node) Step(dtS, powerW, resistFactor float64) {
+	target := n.SteadyTempC(powerW, resistFactor)
+	tau := n.ResistCPerW * resistFactor * n.CapJPerC
+	if tau <= 0 {
+		n.TempC = target
+		return
+	}
+	// Exact first-order decay toward the target over dt.
+	n.TempC = target + (n.TempC-target)*math.Exp(-dtS/tau)
+}

@@ -1,0 +1,206 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpuvar/internal/rng"
+	"gpuvar/internal/stats"
+)
+
+func TestCoolingString(t *testing.T) {
+	if Air.String() != "air" || Water.String() != "water" || MineralOil.String() != "mineral oil" {
+		t.Fatal("cooling names wrong")
+	}
+}
+
+func TestParamsFor(t *testing.T) {
+	for _, c := range []Cooling{Air, Water, MineralOil} {
+		p := ParamsFor(c)
+		if p.Cooling != c {
+			t.Errorf("ParamsFor(%v) has cooling %v", c, p.Cooling)
+		}
+		if p.ResistCPerW <= 0 || p.TimeConstantS <= 0 {
+			t.Errorf("ParamsFor(%v) implausible: %+v", c, p)
+		}
+	}
+}
+
+func TestSteadyTemp(t *testing.T) {
+	n := &Node{ResistCPerW: 0.1, AmbientC: 30, CapJPerC: 100, TempC: 30}
+	if got := n.SteadyTempC(300, 1); got != 60 {
+		t.Fatalf("steady = %v, want 60", got)
+	}
+	if got := n.SteadyTempC(300, 2); got != 90 {
+		t.Fatalf("steady with defect = %v, want 90", got)
+	}
+}
+
+func TestStepConvergesToSteady(t *testing.T) {
+	n := &Node{ResistCPerW: 0.1, AmbientC: 30, CapJPerC: 100, TempC: 30}
+	for i := 0; i < 20000; i++ {
+		n.Step(0.01, 250, 1)
+	}
+	want := n.SteadyTempC(250, 1)
+	if math.Abs(n.TempC-want) > 0.01 {
+		t.Fatalf("did not converge: %v vs %v", n.TempC, want)
+	}
+}
+
+func TestStepMonotoneApproach(t *testing.T) {
+	n := &Node{ResistCPerW: 0.1, AmbientC: 30, CapJPerC: 100, TempC: 30}
+	prev := n.TempC
+	for i := 0; i < 100; i++ {
+		n.Step(0.1, 250, 1)
+		if n.TempC < prev-1e-12 {
+			t.Fatalf("temperature decreased while heating at step %d", i)
+		}
+		prev = n.TempC
+	}
+	// Never overshoots the steady state regardless of dt.
+	n2 := &Node{ResistCPerW: 0.1, AmbientC: 30, CapJPerC: 100, TempC: 30}
+	n2.Step(1e6, 250, 1)
+	if n2.TempC > n.SteadyTempC(250, 1)+1e-9 {
+		t.Fatalf("huge dt overshot steady state: %v", n2.TempC)
+	}
+}
+
+func TestStepCoolsWhenIdle(t *testing.T) {
+	n := &Node{ResistCPerW: 0.1, AmbientC: 30, CapJPerC: 100, TempC: 80}
+	n.Step(1000, 0, 1)
+	if math.Abs(n.TempC-30) > 0.01 {
+		t.Fatalf("idle GPU should cool to ambient: %v", n.TempC)
+	}
+}
+
+func TestNewNodeStartsAtAmbient(t *testing.T) {
+	n := NewNode(WaterParams(), 0.5, rng.New(1))
+	if n.TempC != n.AmbientC {
+		t.Fatalf("node should start at ambient: %v vs %v", n.TempC, n.AmbientC)
+	}
+}
+
+func TestNewNodeDeterministic(t *testing.T) {
+	a := NewNode(AirParams(), 0.3, rng.New(9))
+	b := NewNode(AirParams(), 0.3, rng.New(9))
+	if a.ResistCPerW != b.ResistCPerW || a.AmbientC != b.AmbientC {
+		t.Fatal("same seed should sample same node")
+	}
+}
+
+func TestPositionGradient(t *testing.T) {
+	p := AirParams()
+	p.AmbientSpreadC = 0 // isolate the gradient
+	cold := NewNode(p, 0, nil)
+	hot := NewNode(p, 1, nil)
+	if hot.AmbientC-cold.AmbientC != p.PositionGradientC {
+		t.Fatalf("gradient = %v, want %v", hot.AmbientC-cold.AmbientC, p.PositionGradientC)
+	}
+}
+
+// fleetTempSpread samples a fleet at the given sustained power and
+// returns the box-plot of steady temperatures.
+func fleetTempSpread(t *testing.T, p Params, powerW float64, n int) stats.BoxPlot {
+	t.Helper()
+	parent := rng.New(1234)
+	temps := make([]float64, n)
+	for i := range temps {
+		node := NewNode(p, float64(i)/float64(n-1), parent.SplitIndex("n", i))
+		temps[i] = node.SteadyTempC(powerW, 1)
+	}
+	bp, err := stats.NewBoxPlot(temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestCoolingOrderingMatchesPaper(t *testing.T) {
+	// Paper Takeaway 3 + §IV-F: air has the widest temperature spread,
+	// water the narrowest, oil in between; oil has the hottest median,
+	// water the coolest.
+	const power = 295
+	air := fleetTempSpread(t, AirParams(), power, 400)
+	water := fleetTempSpread(t, WaterParams(), power, 400)
+	oil := fleetTempSpread(t, OilParams(), power, 400)
+
+	if !(air.Range() > oil.Range() && oil.Range() > water.Range()) {
+		t.Fatalf("spread ordering wrong: air %v, oil %v, water %v",
+			air.Range(), oil.Range(), water.Range())
+	}
+	if !(oil.Q2 > air.Q2 && air.Q2 > water.Q2) {
+		t.Fatalf("median ordering wrong: oil %v, air %v, water %v",
+			oil.Q2, air.Q2, water.Q2)
+	}
+}
+
+func TestAirSpreadMagnitude(t *testing.T) {
+	// Paper Fig 2: air-cooled Longhorn has a ≥30 °C temperature range at
+	// SGEMM power, with medians in the 60s.
+	bp := fleetTempSpread(t, AirParams(), 295, 400)
+	if bp.Range() < 30 {
+		t.Errorf("air range %v °C, want ≥ 30", bp.Range())
+	}
+	if bp.Q2 < 55 || bp.Q2 > 75 {
+		t.Errorf("air median %v °C, want around 66", bp.Q2)
+	}
+}
+
+func TestWaterSpreadMagnitude(t *testing.T) {
+	// Paper Fig 9: Vortex (water) median ~46 °C, Q3−Q1 ≈ 10 °C or less.
+	bp := fleetTempSpread(t, WaterParams(), 297, 400)
+	if bp.Q2 < 40 || bp.Q2 > 55 {
+		t.Errorf("water median %v °C, want around 46", bp.Q2)
+	}
+	if iqr := bp.Q3 - bp.Q1; iqr > 11 {
+		t.Errorf("water IQR %v °C too wide", iqr)
+	}
+}
+
+func TestOilSpreadMagnitude(t *testing.T) {
+	// Paper §IV-F: Frontera (oil) median 76 °C at ~225 W with
+	// Q3−Q1 = 4 °C.
+	bp := fleetTempSpread(t, OilParams(), 222, 400)
+	if bp.Q2 < 70 || bp.Q2 > 82 {
+		t.Errorf("oil median %v °C, want around 76", bp.Q2)
+	}
+	if iqr := bp.Q3 - bp.Q1; iqr > 6.5 {
+		t.Errorf("oil IQR %v °C too wide, want ~4", iqr)
+	}
+}
+
+// Property: Step never crosses the steady-state target from either side.
+func TestStepNoOvershootProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := &Node{
+			ResistCPerW: 0.05 + r.Float64()*0.3,
+			AmbientC:    15 + r.Float64()*25,
+			CapJPerC:    50 + r.Float64()*300,
+		}
+		n.TempC = n.AmbientC + r.Float64()*60
+		power := r.Float64() * 320
+		target := n.SteadyTempC(power, 1)
+		for i := 0; i < 50; i++ {
+			before := n.TempC
+			n.Step(r.Float64()*5, power, 1)
+			// Must move toward target, never past it.
+			if (before <= target && (n.TempC < before-1e-9 || n.TempC > target+1e-9)) ||
+				(before >= target && (n.TempC > before+1e-9 || n.TempC < target-1e-9)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	n := NewNode(AirParams(), 0.5, rng.New(1))
+	for i := 0; i < b.N; i++ {
+		n.Step(0.001, 290, 1)
+	}
+}

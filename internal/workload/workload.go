@@ -1,0 +1,431 @@
+// Package workload models the five applications of the paper's study
+// (Table II) as sequences of GPU kernels with roofline-derived nominal
+// durations and power-activity levels:
+//
+//	SGEMM     — compute-bound single kernel (cuBLAS/hipBLAS), §IV
+//	ResNet-50 — compute-heavy multi-GPU training iterations, §V-A
+//	BERT      — mixed-intensity multi-GPU pre-training, §V-B
+//	LAMMPS    — memory-bound molecular dynamics (REAXC), §V-C
+//	PageRank  — memory-bound irregular SpMV (rajat30), §V-D
+//
+// Kernel nominal durations come from the signatures in
+// internal/kernels, evaluated against the target SKU's peak FLOP rate
+// and bandwidth — not from hard-coding the paper's measured times.
+package workload
+
+import (
+	"fmt"
+
+	"gpuvar/internal/gpu"
+	"gpuvar/internal/kernels"
+)
+
+// Kernel is one GPU kernel in a workload's iteration.
+type Kernel struct {
+	Name string
+	// NominalMs is the duration at max clock and nominal bandwidth on
+	// the target SKU.
+	NominalMs float64
+	// ComputeFrac is the fraction of NominalMs that scales with
+	// 1/frequency (the rest scales with 1/bandwidth).
+	ComputeFrac float64
+	// Act is the power activity while this kernel is resident.
+	Act gpu.Activity
+	// Comm marks communication kernels (allreduce) that execute after
+	// the iteration barrier in multi-GPU jobs.
+	Comm bool
+}
+
+// PerfMetric selects how a run's performance number is derived, matching
+// the paper's per-application choices (§V).
+type PerfMetric int
+
+// Performance metrics.
+const (
+	// MetricMedianKernel: median kernel duration (SGEMM, PageRank).
+	MetricMedianKernel PerfMetric = iota
+	// MetricIterationDuration: median duration of one full iteration
+	// (ResNet-50, BERT — §V-A: "we use iteration duration instead").
+	MetricIterationDuration
+	// MetricSumLongKernels: sum of long-kernel durations per iteration
+	// (LAMMPS — §V-C: "sum of all large kernel durations").
+	MetricSumLongKernels
+)
+
+// String names the metric.
+func (m PerfMetric) String() string {
+	switch m {
+	case MetricMedianKernel:
+		return "median kernel duration"
+	case MetricIterationDuration:
+		return "iteration duration"
+	case MetricSumLongKernels:
+		return "sum of long kernel durations"
+	default:
+		return fmt.Sprintf("PerfMetric(%d)", int(m))
+	}
+}
+
+// ProfileSignature is the profiler-derived characterization the paper
+// uses to classify applications (§V, §VII): FU utilization on nvprof's
+// 0–10 scale, DRAM utilization 0–10, and the share of memory-dependency
+// stalls.
+type ProfileSignature struct {
+	FUUtil      float64
+	DRAMUtil    float64
+	MemStallPct float64
+}
+
+// Class is the coarse application class used by the paper's
+// "application-aware frameworks" discussion.
+type Class int
+
+// Application classes.
+const (
+	ComputeBound Class = iota
+	Balanced
+	MemoryBound
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ComputeBound:
+		return "compute-bound"
+	case Balanced:
+		return "balanced"
+	case MemoryBound:
+		return "memory-bound"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classify maps a profile signature to a class with the thresholds the
+// paper's discussion implies (SGEMM FU 10 → compute; LAMMPS/PageRank
+// stalls/DRAM-heavy → memory; ResNet/BERT in between).
+func Classify(p ProfileSignature) Class {
+	switch {
+	case p.FUUtil >= 7 && p.MemStallPct < 20:
+		return ComputeBound
+	case p.MemStallPct >= 40 || (p.DRAMUtil >= 6 && p.FUUtil < 4):
+		return MemoryBound
+	default:
+		return Balanced
+	}
+}
+
+// Workload is one benchmark configuration.
+type Workload struct {
+	Name       string
+	GPUsPerJob int
+	// WarmupIters iterations run before measurement (the paper performs
+	// one warm-up run to absorb cuDNN/startup costs).
+	WarmupIters int
+	// Iterations measured per run (e.g. 100 SGEMM repetitions).
+	Iterations int
+	// Kernels executed per iteration, in order.
+	Kernels []Kernel
+	// LaunchGapMs is the host-side gap between kernel launches.
+	LaunchGapMs float64
+	Metric      PerfMetric
+	Profile     ProfileSignature
+	// SysSpread is the per-GPU lognormal coefficient of variation of
+	// iteration time from non-PM sources (input pipeline, cuDNN
+	// algorithm selection, NCCL topology). Near zero for single-kernel
+	// benchmarks, significant for full ML stacks — the paper finds
+	// ResNet variability is application-specific and NOT
+	// frequency-correlated (§V-A, ρ = −0.01).
+	SysSpread float64
+	// RunJitter is the per-run lognormal CoV on top of SysSpread.
+	RunJitter float64
+	// LongKernelMinMs is the threshold for MetricSumLongKernels.
+	LongKernelMinMs float64
+
+	// HostStallMean is the mean per-iteration host/input-pipeline stall,
+	// as a fraction of GPU compute time. ML training stacks spend real
+	// wall time in data loading, framework dispatch, and Python glue;
+	// during it the GPU idles at low power with clocks still boosted.
+	// This is the mechanism behind the paper's §V observation of large
+	// ML power variability at pinned frequency (slow ResNet runs drawing
+	// as little as 76 W at 1530 MHz).
+	HostStallMean float64
+	// HostStallSpread is the per-GPU lognormal CoV of the stall fraction
+	// (input pipelines are node-local: NFS placement, CPU contention).
+	HostStallSpread float64
+	// CommSpread is the per-job lognormal CoV of communication-kernel
+	// time (NCCL ring topology, link congestion) for multi-GPU jobs.
+	CommSpread float64
+}
+
+// IterationNominalMs returns the nominal duration of one iteration at
+// max clocks, including launch gaps.
+func (w Workload) IterationNominalMs() float64 {
+	var total float64
+	for _, k := range w.Kernels {
+		total += k.NominalMs + w.LaunchGapMs
+	}
+	return total
+}
+
+// BlendedActivity returns the time-weighted average power activity over
+// one iteration, used by the steady-state thermal solver.
+func (w Workload) BlendedActivity() gpu.Activity {
+	var total, c, m float64
+	for _, k := range w.Kernels {
+		total += k.NominalMs
+		c += k.Act.Compute * k.NominalMs
+		m += k.Act.Memory * k.NominalMs
+	}
+	if total == 0 {
+		return gpu.Activity{}
+	}
+	return gpu.Activity{Compute: c / total, Memory: m / total}
+}
+
+// DominantKernel returns the kernel occupying the most iteration time.
+func (w Workload) DominantKernel() Kernel {
+	best := Kernel{}
+	for _, k := range w.Kernels {
+		if k.NominalMs > best.NominalMs {
+			best = k
+		}
+	}
+	return best
+}
+
+// MultiGPU reports whether the workload runs bulk-synchronous across
+// multiple GPUs.
+func (w Workload) MultiGPU() bool { return w.GPUsPerJob > 1 }
+
+// achievable kernel efficiencies relative to peak, per kernel family.
+const (
+	sgemmEff = 0.93 // cuBLAS-class dense GEMM efficiency
+	convEff  = 0.62 // implicit-GEMM convolution efficiency
+	spmvEff  = 0.14 // irregular gather-limited SpMV bandwidth fraction
+	mdEff    = 0.55 // neighbor-list force kernels
+)
+
+// SGEMM returns the paper's cross-cluster benchmark: 100 repetitions of
+// one n×n single-precision matrix multiply (Table II: 25536 for V100
+// clusters, 24576 for MI60). The kernel is sized so every SM is busy and
+// DVFS reaches steady state (§IV-A).
+func SGEMM(n int, sku *gpu.SKU) Workload {
+	sig := kernels.SGEMMSignature(n)
+	return Workload{
+		Name:        fmt.Sprintf("SGEMM-%d", n),
+		GPUsPerJob:  1,
+		WarmupIters: 1,
+		Iterations:  100,
+		Kernels: []Kernel{{
+			Name:        "sgemm",
+			NominalMs:   sig.NominalTimeMs(sku.PeakSPTFLOPS, sku.MemBWGBs, sgemmEff),
+			ComputeFrac: sig.ComputeFraction(sku.PeakSPTFLOPS, sku.MemBWGBs),
+			Act:         gpu.Activity{Compute: 1.0, Memory: 0.6},
+		}},
+		LaunchGapMs: 4,
+		Metric:      MetricMedianKernel,
+		Profile:     ProfileSignature{FUUtil: 10, DRAMUtil: 3.5, MemStallPct: 3},
+		SysSpread:   0.002,
+		RunJitter:   0.001,
+	}
+}
+
+// SGEMMForCluster picks the paper's matrix size for the SKU vendor.
+func SGEMMForCluster(sku *gpu.SKU) Workload {
+	if sku.Vendor == gpu.AMD {
+		return SGEMM(24576, sku)
+	}
+	return SGEMM(25536, sku)
+}
+
+// ResNet50 returns the ResNet-50 training workload (§V-A): batch 64
+// across gpus GPUs, ~85 unique kernels folded into three representative
+// classes (convolution GEMMs, elementwise/batch-norm, gradient
+// allreduce). Nominal times scale with the per-GPU batch share.
+func ResNet50(gpus, batchPerGPU int, sku *gpu.SKU) Workload {
+	// Representative mid-network conv layer; its roofline time is scaled
+	// up to the network's total convolution FLOPs so the bookkeeping
+	// stays anchored to the layer signature rather than hand-picked
+	// milliseconds. ResNet-50 forward ≈ 4 GFLOPs/image (2·MACs), fwd+bwd
+	// ≈ 3× forward, convolutions ≈ 88% of that.
+	conv := kernels.Conv2DSignature(batchPerGPU, 256, 256, 14, 14, 3)
+	totalConvFLOPs := 4e9 * 3 * 0.88 * float64(batchPerGPU)
+	convMs := conv.NominalTimeMs(sku.PeakSPTFLOPS, sku.MemBWGBs, convEff) * totalConvFLOPs / conv.FLOPs
+	elem := kernels.ElementwiseSignature("bn_relu", batchPerGPU*256*56*56, 3, 4)
+	elemMs := elem.NominalTimeMs(sku.PeakSPTFLOPS, sku.MemBWGBs, 0.75) * 20
+	// Multi-GPU training pushes harder on the input pipeline (4 readers
+	// per node share the filesystem and host CPUs), so its stall
+	// fraction is higher than a lone single-GPU job's.
+	hostStallMean := 0.10
+	hostStallSpread := 0.30
+	if gpus > 1 {
+		hostStallMean = 0.22
+		hostStallSpread = 0.32
+	}
+
+	ks := []Kernel{
+		{
+			Name:        "conv_gemm",
+			NominalMs:   convMs,
+			ComputeFrac: 0.93,
+			Act:         gpu.Activity{Compute: 0.72, Memory: 0.50},
+		},
+		{
+			Name:        "bn_relu_elem",
+			NominalMs:   elemMs,
+			ComputeFrac: 0.12,
+			Act:         gpu.Activity{Compute: 0.25, Memory: 0.85},
+		},
+	}
+	if gpus > 1 {
+		ks = append(ks, Kernel{
+			Name:        "nccl_allreduce",
+			NominalMs:   16,
+			ComputeFrac: 0.05,
+			Act:         gpu.Activity{Compute: 0.06, Memory: 0.35},
+			Comm:        true,
+		})
+	}
+	return Workload{
+		Name:        fmt.Sprintf("ResNet50-%dgpu-b%d", gpus, batchPerGPU),
+		GPUsPerJob:  gpus,
+		WarmupIters: 5,
+		Iterations:  500,
+		Kernels:     ks,
+		LaunchGapMs: 0.4,
+		Metric:      MetricIterationDuration,
+		// Paper: ResNet FU util 5.4 vs SGEMM's 10; LAMMPS has 42× its
+		// DRAM utilization.
+		Profile:         ProfileSignature{FUUtil: 5.4, DRAMUtil: 0.2, MemStallPct: 12},
+		SysSpread:       0.012,
+		RunJitter:       0.015,
+		HostStallMean:   hostStallMean,
+		HostStallSpread: hostStallSpread,
+		CommSpread:      0.35,
+	}
+}
+
+// BERT returns BERT-large pre-training (§V-B): batch 64 across gpus
+// GPUs. Its GEMMs occupy 30–65% of runtime but only 40–50% of the GPU
+// (paper's Megatron/Demystifying-BERT citations), so both power and
+// performance variability sit below ResNet's.
+func BERT(gpus, batchPerGPU int, sku *gpu.SKU) Workload {
+	// Attention + MLP GEMMs: modest utilization at training sequence
+	// lengths.
+	// Kernel mix for one encoder pass over the batch, scaled from a
+	// reference GEMM signature. GEMMs are ~55% of compute time at 40–50%
+	// utilization (paper §V-B citations); the rest is softmax, GELU, and
+	// layer norms at much lower power. Because the GEMM and non-GEMM
+	// halves are nearly balanced, each GPU's sampled power median lands
+	// on one side or the other of a bimodal distribution — the origin of
+	// BERT's large power variability at modest performance variability.
+	gemm := kernels.SGEMMSignature(2048)
+	unit := gemm.NominalTimeMs(sku.PeakSPTFLOPS, sku.MemBWGBs, 0.45) * float64(batchPerGPU) / 4 / 54
+	gemmAct := gpu.Activity{Compute: 0.48, Memory: 0.55}
+	ks := []Kernel{
+		{Name: "qkv_gemm", NominalMs: 14 * unit, ComputeFrac: 0.85, Act: gemmAct},
+		{Name: "attn_softmax", NominalMs: 9 * unit, ComputeFrac: 0.15, Act: gpu.Activity{Compute: 0.20, Memory: 0.75}},
+		{Name: "proj_gemm", NominalMs: 10 * unit, ComputeFrac: 0.85, Act: gemmAct},
+		{Name: "ffn_gemm1", NominalMs: 15 * unit, ComputeFrac: 0.85, Act: gpu.Activity{Compute: 0.50, Memory: 0.55}},
+		{Name: "gelu", NominalMs: 7 * unit, ComputeFrac: 0.12, Act: gpu.Activity{Compute: 0.18, Memory: 0.70}},
+		{Name: "ffn_gemm2", NominalMs: 15 * unit, ComputeFrac: 0.85, Act: gpu.Activity{Compute: 0.50, Memory: 0.55}},
+		{Name: "layernorm", NominalMs: 8 * unit, ComputeFrac: 0.15, Act: gpu.Activity{Compute: 0.16, Memory: 0.80}},
+	}
+	if gpus > 1 {
+		ks = append(ks, Kernel{
+			Name:        "nccl_allreduce",
+			NominalMs:   22 * unit,
+			ComputeFrac: 0.05,
+			Act:         gpu.Activity{Compute: 0.06, Memory: 0.35},
+			Comm:        true,
+		})
+	}
+	return Workload{
+		Name:            fmt.Sprintf("BERT-%dgpu-b%d", gpus, batchPerGPU),
+		GPUsPerJob:      gpus,
+		WarmupIters:     5,
+		Iterations:      250,
+		Kernels:         ks,
+		LaunchGapMs:     0.4,
+		Metric:          MetricIterationDuration,
+		Profile:         ProfileSignature{FUUtil: 4.2, DRAMUtil: 1.5, MemStallPct: 22},
+		SysSpread:       0.02,
+		RunJitter:       0.008,
+		HostStallMean:   0.08,
+		HostStallSpread: 0.15,
+		CommSpread:      0.15,
+	}
+}
+
+// LAMMPS returns the REAXC molecular-dynamics workload (§V-C) with the
+// paper's (x, y, z) = (8, 16, 16) input: memory-bound, with 4 unique
+// long kernels interspersed with short ones; long kernels are 98% of
+// runtime.
+func LAMMPS(x, y, z int, sku *gpu.SKU) Workload {
+	atoms := x * y * z * 540 // REAXC HNS cell ≈ 540 atoms
+	// ReaxFF force fields cost far more than the plain Lennard-Jones
+	// pass the signature describes: bond-order terms, three- and
+	// four-body interactions, and the iterative charge-equilibration
+	// solver multiply both the arithmetic and the traffic per pair.
+	const reaxcCostFactor = 170
+	force := kernels.MDForceSignature(atoms, 40)
+	force.FLOPs *= reaxcCostFactor
+	force.Bytes *= reaxcCostFactor
+	longMs := force.NominalTimeMs(sku.PeakSPTFLOPS, sku.MemBWGBs, mdEff) / 4
+	act := gpu.Activity{Compute: 0.22, Memory: 0.90}
+	ks := []Kernel{
+		{Name: "pair_reaxc", NominalMs: longMs * 2.0, ComputeFrac: 0.18, Act: act},
+		{Name: "fix_qeq", NominalMs: longMs * 1.2, ComputeFrac: 0.15, Act: act},
+		{Name: "bonds", NominalMs: longMs * 0.5, ComputeFrac: 0.20, Act: act},
+		{Name: "angles_torsions", NominalMs: longMs * 0.3, ComputeFrac: 0.20, Act: act},
+		// Short bookkeeping kernels (≤ 60 µs in the paper; a single
+		// aggregate stands in, below the long-kernel threshold).
+		{Name: "short_misc", NominalMs: longMs * 0.08, ComputeFrac: 0.3, Act: gpu.Activity{Compute: 0.15, Memory: 0.5}},
+	}
+	return Workload{
+		Name:            fmt.Sprintf("LAMMPS-%d-%d-%d", x, y, z),
+		GPUsPerJob:      1,
+		WarmupIters:     1,
+		Iterations:      60,
+		Kernels:         ks,
+		LaunchGapMs:     0.3,
+		Metric:          MetricSumLongKernels,
+		LongKernelMinMs: longMs * 0.2,
+		// Paper: 42× ResNet's DRAM utilization, 7% memory stalls, FU
+		// 4.3× lower than ResNet.
+		Profile:   ProfileSignature{FUUtil: 1.3, DRAMUtil: 8.4, MemStallPct: 7},
+		SysSpread: 0.002,
+		RunJitter: 0.001,
+	}
+}
+
+// PageRank returns the pull-based PageRank workload (§V-D) on a graph
+// with the given vertex and edge counts (defaults matching the rajat30
+// input are in internal/graph). Irregular gathers keep DRAM utilization
+// below LAMMPS (by ~4.24×) while memory-dependency stalls dominate
+// (61% in the paper).
+func PageRank(vertices, edges int, sku *gpu.SKU) Workload {
+	sig := kernels.SPMVSignature(vertices, edges)
+	// One measured kernel is a fused batch of 8 power-iteration sweeps:
+	// a single SpMV on rajat30 completes in under the profilers' 1 ms
+	// sampling floor, and the paper sizes inputs so kernels exceed it.
+	const sweepsPerKernel = 8
+	return Workload{
+		Name:        fmt.Sprintf("PageRank-%dv", vertices),
+		GPUsPerJob:  1,
+		WarmupIters: 1,
+		Iterations:  100,
+		Kernels: []Kernel{{
+			Name:        "spmv_pull",
+			NominalMs:   sig.NominalTimeMs(sku.PeakSPTFLOPS, sku.MemBWGBs, spmvEff) * sweepsPerKernel,
+			ComputeFrac: 0.05,
+			Act:         gpu.Activity{Compute: 0.12, Memory: 0.28},
+		}},
+		LaunchGapMs: 2,
+		Metric:      MetricMedianKernel,
+		Profile:     ProfileSignature{FUUtil: 0.9, DRAMUtil: 2.0, MemStallPct: 61},
+		SysSpread:   0.003,
+		RunJitter:   0.0015,
+	}
+}
