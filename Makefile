@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test verify bench bench-smoke figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate plus the cheap perf guards: vet and a
+# one-iteration benchmark smoke run that catches harness regressions
+# (a benchmark that panics or no longer compiles) without paying for a
+# full timing pass. scripts/verify.sh is a thin wrapper over this
+# target, so the command sequence lives only here.
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(MAKE) bench-smoke
+
+# bench records the full benchmark suite into BENCH_1.json
+# (name → ns/op, B/op, allocs/op). Pass BENCH='regexp' to restrict, e.g.
+#   make bench BENCH='Fig04|ExtCampaign' COUNT=3
+BENCH ?= .
+COUNT ?= 1
+bench:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -out BENCH_1.json
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
+
+figures:
+	$(GO) run ./cmd/figures

@@ -28,8 +28,11 @@ func benchConfig() figures.Config {
 	}
 }
 
-// benchFigure runs one generator per iteration on a fresh session (no
-// cross-iteration caching, so the timing covers the experiment itself).
+// benchFigure runs one generator per iteration on a fresh session:
+// experiment results are not cached across iterations, so the timing
+// covers the experiment itself. Fleet instantiation does amortize across
+// iterations through cluster.DefaultFleetCache — the same once-per-fleet
+// cost profile a real session sees.
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {

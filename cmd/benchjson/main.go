@@ -1,0 +1,147 @@
+// Command benchjson runs the repository benchmarks and writes a
+// machine-readable summary (benchmark name → ns/op, B/op, allocs/op),
+// so successive PRs accumulate a comparable performance trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                        # all benchmarks → BENCH.json
+//	go run ./cmd/benchjson -bench 'Fig04|ExtCampaign' -count 3
+//	go run ./cmd/benchjson -out BENCH_1.json -baseline seed_bench.json
+//
+// With -baseline, the named file's "benchmarks" section is embedded
+// under "baseline" for side-by-side before/after records.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Entry is one benchmark's result. When -count > 1, values are the
+// minimum across repetitions (the least-noise estimate).
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Summary is the file schema.
+type Summary struct {
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Bench      string           `json:"bench_regexp"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Baseline carries a previous run's benchmarks for before/after
+	// comparison (populated via -baseline).
+	Baseline map[string]Entry `json:"baseline,omitempty"`
+}
+
+// benchLine matches `go test -bench -benchmem` output rows, e.g.
+// BenchmarkFig04SGEMMSummit  80  14103702 ns/op  2741793 B/op  48725 allocs/op
+// The name is matched non-greedily so the -GOMAXPROCS suffix Go appends
+// on multi-core machines is stripped, keeping keys machine-independent.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		bench    = flag.String("bench", ".", "benchmark regexp passed to go test")
+		count    = flag.Int("count", 1, "repetitions per benchmark (minimum is kept)")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (e.g. 10x, 2s)")
+		pkg      = flag.String("pkg", ".", "package to benchmark")
+		out      = flag.String("out", "BENCH.json", "output file")
+		baseline = flag.String("baseline", "", "previous summary to embed under \"baseline\"")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+
+	sum := Summary{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Bench:      *bench,
+		Benchmarks: map[string]Entry{},
+	}
+	var echoed bytes.Buffer
+	sc := bufio.NewScanner(outPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(&echoed, line)
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		e := Entry{}
+		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		name := m[1]
+		if prev, ok := sum.Benchmarks[name]; !ok || e.NsPerOp < prev.NsPerOp {
+			sum.Benchmarks[name] = e
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test failed: %w", err))
+	}
+	if len(sum.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed from output:\n%s", echoed.String()))
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base Summary
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("parsing baseline %s: %w", *baseline, err))
+		}
+		sum.Baseline = base.Benchmarks
+	}
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(sum.Benchmarks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestBenchLineStripsGOMAXPROCSSuffix(t *testing.T) {
+	cases := []struct {
+		line, name string
+	}{
+		// Single-core machines emit no suffix.
+		{"BenchmarkFig04SGEMMSummit \t      80\t  14103702 ns/op\t 2741793 B/op\t   48725 allocs/op",
+			"BenchmarkFig04SGEMMSummit"},
+		// Multi-core machines append -GOMAXPROCS; keys must stay
+		// machine-independent.
+		{"BenchmarkFig04SGEMMSummit-8 \t      80\t  14103702 ns/op\t 2741793 B/op\t   48725 allocs/op",
+			"BenchmarkFig04SGEMMSummit"},
+		{"BenchmarkExtCampaign-128 \t     135\t   9599982 ns/op",
+			"BenchmarkExtCampaign"},
+	}
+	for _, c := range cases {
+		m := benchLine.FindStringSubmatch(c.line)
+		if m == nil {
+			t.Fatalf("no match for %q", c.line)
+		}
+		if m[1] != c.name {
+			t.Errorf("parsed name %q, want %q (line %q)", m[1], c.name, c.line)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	figures                 # everything, quick settings
 //	figures -fig fig2       # one figure
 //	figures -list           # available ids
+//	figures -parallel -1    # everything, generators run concurrently
 //	figures -full           # full-fidelity settings (slow): 100 SGEMM
 //	                        # reps, all 27,648 Summit GPUs
 package main
@@ -20,11 +21,12 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure/table id to regenerate (empty = all)")
-		list  = flag.Bool("list", false, "list available ids")
-		seed  = flag.Uint64("seed", 2022, "fleet instantiation seed")
-		full  = flag.Bool("full", false, "full-fidelity settings (paper-scale iterations and Summit coverage)")
-		iters = flag.Int("iterations", 0, "override SGEMM repetitions")
+		fig      = flag.String("fig", "", "figure/table id to regenerate (empty = all)")
+		list     = flag.Bool("list", false, "list available ids")
+		seed     = flag.Uint64("seed", 2022, "fleet instantiation seed")
+		full     = flag.Bool("full", false, "full-fidelity settings (paper-scale iterations and Summit coverage)")
+		iters    = flag.Int("iterations", 0, "override SGEMM repetitions")
+		parallel = flag.Int("parallel", 0, "regenerate figures concurrently with this many workers (-1 = GOMAXPROCS); output order is unchanged")
 	)
 	flag.Parse()
 
@@ -48,10 +50,13 @@ func main() {
 	s := figures.NewSession(cfg)
 
 	var err error
-	if *fig == "" {
-		err = figures.GenerateAll(s, os.Stdout)
-	} else {
+	switch {
+	case *fig != "":
 		err = figures.Generate(*fig, s, os.Stdout)
+	case *parallel != 0:
+		err = figures.GenerateAllParallel(s, os.Stdout, *parallel)
+	default:
+		err = figures.GenerateAll(s, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)

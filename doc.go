@@ -11,4 +11,59 @@
 // directory for runnable entry points. The benchmarks in bench_test.go
 // regenerate every table and figure of the paper's evaluation; the same
 // generators are exposed interactively by cmd/figures.
+//
+// # Performance
+//
+// The experiment hot path is
+//
+//	fleet instantiate → steady-state solve → iteration synthesis → aggregation
+//
+// and each stage has a reuse layer in front of it:
+//
+//   - Fleet instantiation (internal/cluster) samples every chip and
+//     thermal node of a cluster — 27,648 of each for Summit — and is a
+//     pure function of (Spec, seed). cluster.FleetCache memoizes it by
+//     (Spec fingerprint, seed); core.Run goes through the process-wide
+//     cluster.DefaultFleetCache, so a session pays the cost once per
+//     distinct fleet instead of once per experiment. The ablation knobs
+//     (NoDefects, VariationOverride) rewrite the spec before the lookup
+//     and therefore hash to their own entries: cached fleets are never
+//     mutated. Jobs still receive private thermal-node copies, so runs
+//     cannot leak heat into each other. core.RunFresh bypasses the cache;
+//     the golden tests in internal/core assert both paths are
+//     bit-identical.
+//
+//   - The steady-state solve (internal/sim) converges each device's
+//     DVFS/thermal operating point per kernel class — the math.Exp-heavy
+//     part of the profile. Devices memoize solved points keyed by
+//     (workload, ambient offset, P-state dither, chip defect generation),
+//     which collapses the benchmarking-campaign loop (the same GPU
+//     re-benchmarked every coverage period) to one solve per GPU.
+//
+//   - Iteration synthesis (sim.RunSteady) addresses all per-kernel state
+//     through a kernelIndex — kernel names interned to dense slice
+//     indices once per run — instead of string-keyed maps, and
+//     preallocates every accumulator to its exact final size.
+//
+//   - Figure regeneration (internal/figures) builds its ID→generator
+//     registry once, deduplicates shared experiments through a
+//     singleflight session cache, and offers GenerateAllParallel
+//     (cmd/figures -parallel) to run independent generators concurrently
+//     with byte-identical output order.
+//
+// Every layer is required to be bit-exact: golden-output tests in
+// internal/core and internal/campaign pin the full measurement stream
+// (IEEE-754 bit patterns) against the original implementation, and
+// TestGenerateAllParallelMatchesSerial pins the parallel catalog against
+// the serial one.
+//
+// To profile the pipeline:
+//
+//	go test -run '^$' -bench BenchmarkFig04SGEMMSummit -cpuprofile cpu.out .
+//	go tool pprof -top cpu.out
+//
+// and to record the benchmark trajectory across PRs:
+//
+//	make bench            # full suite → BENCH_1.json (ns/op, B/op, allocs/op)
+//	make verify           # tier-1 tests + vet + benchmark smoke run
 package gpuvar

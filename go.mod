@@ -1,0 +1,3 @@
+module gpuvar
+
+go 1.24

@@ -216,6 +216,25 @@ func Simulate(spec cluster.Spec, seed uint64, days int, planCfg PlanConfig, monC
 		DetectionDay:   -1,
 	}
 
+	// One Device per GPU, built on first benchmark and reused across the
+	// campaign's slots: the device's split streams are position-insensitive
+	// (each run's draws come from run-indexed child streams), so reuse is
+	// bit-identical to rebuilding — and it lets the simulator's steady-point
+	// memo skip re-solving the same operating point every coverage period.
+	// Defect injection bumps the chip's defect generation, which
+	// invalidates the memoized point for the affected GPUs.
+	devs := make(map[string]*sim.Device, len(ids))
+	deviceFor := func(m *cluster.Member) *sim.Device {
+		if dev, ok := devs[m.Chip.ID]; ok {
+			return dev
+		}
+		node := *m.Therm
+		dev := sim.NewDevice(m.Chip, &node, dvfs.DefaultConfig(), 0,
+			parent.Split("sys:"+m.Chip.ID))
+		devs[m.Chip.ID] = dev
+		return dev
+	}
+
 	injected := false
 	for _, slot := range slots {
 		if !injected && inj.NodeID != "" && slot.Day >= inj.Day {
@@ -225,10 +244,7 @@ func Simulate(spec cluster.Spec, seed uint64, days int, planCfg PlanConfig, monC
 			injected = true
 		}
 		for gi, m := range nodes[slot.NodeID] {
-			node := *m.Therm
-			dev := sim.NewDevice(m.Chip, &node, dvfs.DefaultConfig(), 0,
-				parent.Split("sys:"+m.Chip.ID))
-			res := sim.RunSteady([]*sim.Device{dev}, wl,
+			res := sim.RunSteady([]*sim.Device{deviceFor(m)}, wl,
 				parent.SplitIndex("job:"+slot.NodeID, gi), sim.Options{Run: slot.Day})
 			if alert := mon.Observe(m.Chip.ID, slot.Day, res[0].PerfMs); alert != nil {
 				rep.Alerts = append(rep.Alerts, *alert)

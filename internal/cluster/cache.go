@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Fleet instantiation is the most expensive fixed cost of the experiment
+// pipeline: Summit alone samples 27,648 chips and thermal nodes. Because
+// Instantiate is a pure function of (Spec, seed), the result can be
+// computed once and shared by every experiment that asks for the same
+// fleet — the ablation knobs (NoDefects, VariationOverride) edit the
+// spec before instantiation, so each variant hashes to its own cache
+// entry and the base fleet is never mutated (copy-on-write at the spec
+// level).
+//
+// Shared fleets impose one discipline on consumers: Members are
+// read-only. Simulation state must live in per-run copies — internal/core
+// already gives every job a private thermal-node copy, and the sim layer
+// never writes through *gpu.Chip. Code that mutates chips in place
+// (campaign defect injection, serialization round-trips) must keep using
+// Instantiate directly.
+
+// Fingerprint returns a deterministic key capturing every spec field
+// that affects Instantiate's output, including the SKU's full parameter
+// set and the planted-defect list. Two specs with equal fingerprints
+// instantiate identical fleets from the same seed.
+func (s Spec) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|gpn=%d|cool=%+v|var=%+v|defects=%+v|obs=%d",
+		s.Name, s.GPUsPerNode, s.Cooling, s.Variation, s.Defects, s.ObservedGPUs)
+	fmt.Fprintf(&b, "|cab=%v/%d|rows=%v/%d/%d",
+		s.CabinetLabels, s.CabinetNodes, s.Rows, s.Cols, s.NodesPerCol)
+	if s.SKU != nil {
+		fmt.Fprintf(&b, "|sku=%+v", *s.SKU())
+	}
+	return b.String()
+}
+
+type fleetKey struct {
+	fp   string
+	seed uint64
+}
+
+// fleetEntry lets concurrent requests for the same fleet share one
+// instantiation without serializing requests for different fleets.
+type fleetEntry struct {
+	once  sync.Once
+	fleet *Fleet
+}
+
+// FleetCache memoizes Instantiate by (Spec fingerprint, seed). Safe for
+// concurrent use. Fleets returned from the cache are shared: treat their
+// members as read-only (see the package note above).
+type FleetCache struct {
+	mu     sync.Mutex
+	fleets map[fleetKey]*fleetEntry
+}
+
+// NewFleetCache returns an empty cache.
+func NewFleetCache() *FleetCache {
+	return &FleetCache{fleets: map[fleetKey]*fleetEntry{}}
+}
+
+// DefaultFleetCache is the process-wide cache used by internal/core for
+// experiment runs. Fleets are deterministic, so process-lifetime sharing
+// is safe; memory is bounded by the number of distinct (spec, seed)
+// pairs a session touches.
+var DefaultFleetCache = NewFleetCache()
+
+// Instantiate returns the cached fleet for (s, seed), instantiating it
+// on first use. A nil cache degrades to a plain Instantiate, so callers
+// can thread an optional cache without branching.
+func (c *FleetCache) Instantiate(s Spec, seed uint64) *Fleet {
+	if c == nil {
+		return s.Instantiate(seed)
+	}
+	key := fleetKey{fp: s.Fingerprint(), seed: seed}
+	c.mu.Lock()
+	e, ok := c.fleets[key]
+	if !ok {
+		e = &fleetEntry{}
+		c.fleets[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.fleet = s.Instantiate(seed) })
+	return e.fleet
+}
+
+// Len returns the number of cached fleets.
+func (c *FleetCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.fleets)
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"gpuvar/internal/gpu"
+)
+
+func TestFleetCacheReturnsSameFleet(t *testing.T) {
+	c := NewFleetCache()
+	a := c.Instantiate(Longhorn(), 7)
+	b := c.Instantiate(Longhorn(), 7)
+	if a != b {
+		t.Fatal("same (spec, seed) should share one cached fleet")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d fleets, want 1", c.Len())
+	}
+}
+
+func TestFleetCacheDistinguishesSeeds(t *testing.T) {
+	c := NewFleetCache()
+	if c.Instantiate(Longhorn(), 7) == c.Instantiate(Longhorn(), 8) {
+		t.Fatal("different seeds must not share a fleet")
+	}
+}
+
+func TestFleetCacheDistinguishesSpecVariants(t *testing.T) {
+	c := NewFleetCache()
+	base := Longhorn()
+	noDefects := base
+	noDefects.Defects = nil
+	varied := base
+	varied.Variation = gpu.VariationModel{VoltSpread: 0.05}
+
+	f0 := c.Instantiate(base, 7)
+	f1 := c.Instantiate(noDefects, 7)
+	f2 := c.Instantiate(varied, 7)
+	if f0 == f1 || f0 == f2 || f1 == f2 {
+		t.Fatal("ablation spec variants must each get their own fleet")
+	}
+	if len(f0.Defective()) == 0 {
+		t.Fatal("base fleet lost its planted defects")
+	}
+	if len(f1.Defective()) != 0 {
+		t.Fatal("NoDefects variant leaked defects from the base fleet")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d fleets, want 3", c.Len())
+	}
+}
+
+func TestFleetCacheMatchesDirectInstantiate(t *testing.T) {
+	cached := NewFleetCache().Instantiate(Frontera(), 42)
+	fresh := Frontera().Instantiate(42)
+	if len(cached.Members) != len(fresh.Members) {
+		t.Fatal("member count mismatch")
+	}
+	for i := range cached.Members {
+		if !reflect.DeepEqual(cached.Members[i], fresh.Members[i]) {
+			t.Fatalf("member %d differs between cached and fresh instantiation", i)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesSKU(t *testing.T) {
+	base := Longhorn()
+	swapped := base.WithSKU("Longhorn", gpu.A100SXM4)
+	swapped.Defects = base.Defects // isolate the SKU difference
+	if base.Fingerprint() == swapped.Fingerprint() {
+		t.Fatal("fingerprint must include the SKU parameters")
+	}
+}
+
+func TestFleetCacheConcurrentAccess(t *testing.T) {
+	c := NewFleetCache()
+	var wg sync.WaitGroup
+	fleets := make([]*Fleet, 16)
+	for i := range fleets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fleets[i] = c.Instantiate(Vortex(), 3)
+		}(i)
+	}
+	wg.Wait()
+	for _, f := range fleets[1:] {
+		if f != fleets[0] {
+			t.Fatal("concurrent requests for the same fleet must share one instance")
+		}
+	}
+}
+
+func TestNilFleetCacheFallsBack(t *testing.T) {
+	var c *FleetCache
+	f := c.Instantiate(CloudLab(), 1)
+	if f == nil || len(f.Members) != CloudLab().NumGPUs() {
+		t.Fatal("nil cache must degrade to a plain Instantiate")
+	}
+}

@@ -84,8 +84,29 @@ type Result struct {
 	PerAG []Measurement // one entry per measured GPU, in fleet order
 }
 
-// Run executes the experiment.
+// Run executes the experiment. Fleet instantiation goes through the
+// process-wide cluster.DefaultFleetCache: the fleet for a given
+// (spec, seed) is sampled once and shared read-only across experiments
+// (each job still gets private thermal-node copies, so runs cannot leak
+// heat into each other). The ablation knobs (NoDefects,
+// VariationOverride) rewrite the spec before the cache lookup, so each
+// variant instantiates its own fleet and the base fleet is never
+// mutated.
 func Run(exp Experiment) (*Result, error) {
+	return RunWithCache(exp, cluster.DefaultFleetCache)
+}
+
+// RunFresh executes the experiment with a freshly instantiated,
+// uncached fleet. Results are bit-identical to Run's (the determinism
+// tests assert this); it exists for callers that want to bound memory
+// or cross-check the cache.
+func RunFresh(exp Experiment) (*Result, error) {
+	return RunWithCache(exp, nil)
+}
+
+// RunWithCache executes the experiment against the given fleet cache
+// (nil = instantiate fresh).
+func RunWithCache(exp Experiment, fleets *cluster.FleetCache) (*Result, error) {
 	if exp.Workload.GPUsPerJob < 1 {
 		return nil, fmt.Errorf("core: workload %q has no GPUs per job", exp.Workload.Name)
 	}
@@ -107,7 +128,7 @@ func Run(exp Experiment) (*Result, error) {
 		spec.Variation = *exp.VariationOverride
 	}
 
-	fleet := spec.Instantiate(exp.Seed)
+	fleet := fleets.Instantiate(spec, exp.Seed)
 	members := subsample(fleet.Observed(), exp.Fraction, exp.Seed)
 
 	jobs := partitionJobs(members, exp.Workload.GPUsPerJob)
@@ -127,6 +148,11 @@ func Run(exp Experiment) (*Result, error) {
 	wg.Wait()
 
 	res := &Result{Exp: exp}
+	total := 0
+	for _, ms := range results {
+		total += len(ms)
+	}
+	res.PerAG = make([]Measurement, 0, total)
 	for _, ms := range results {
 		res.PerAG = append(res.PerAG, ms...)
 	}
@@ -238,13 +264,25 @@ func runJob(exp Experiment, spec cluster.Spec, job []*cluster.Member, jobIdx int
 	}
 
 	out := make([]Measurement, len(job))
+	// Aggregation scratch, reused across the job's GPUs: the stats
+	// helpers treat their input as read-only, so one buffer per metric
+	// serves every member. PerRunPerfMs is retained by the Measurement
+	// and stays a per-member allocation.
+	perf := make([]float64, 0, exp.Runs)
+	freq := make([]float64, 0, exp.Runs)
+	power := make([]float64, 0, exp.Runs)
+	temp := make([]float64, 0, exp.Runs)
+	maxP := make([]float64, 0, exp.Runs)
+	maxT := make([]float64, 0, exp.Runs)
 	for i, m := range job {
 		meas := Measurement{
-			GPUID:  m.Chip.ID,
-			Loc:    m.Loc,
-			Defect: m.Chip.Defect,
+			GPUID:        m.Chip.ID,
+			Loc:          m.Loc,
+			Defect:       m.Chip.Defect,
+			PerRunPerfMs: make([]float64, 0, exp.Runs),
 		}
-		var perf, freq, power, temp, maxP, maxT []float64
+		perf, freq, power = perf[:0], freq[:0], power[:0]
+		temp, maxP, maxT = temp[:0], maxP[:0], maxT[:0]
 		for run := 0; run < exp.Runs; run++ {
 			r := perRun[run][i]
 			meas.PerRunPerfMs = append(meas.PerRunPerfMs, r.PerfMs)

@@ -107,7 +107,9 @@ func TemporalStudy(spec cluster.Spec, seed uint64, sample int) ([]TemporalPoint,
 	if sample < 1 {
 		sample = 1
 	}
-	fleet := spec.Instantiate(seed)
+	// The study only reads members (each probe gets a private thermal-node
+	// copy), so it can share the process-wide fleet cache.
+	fleet := cluster.DefaultFleetCache.Instantiate(spec, seed)
 	if sample > len(fleet.Members) {
 		sample = len(fleet.Members)
 	}

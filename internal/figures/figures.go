@@ -10,8 +10,10 @@
 package figures
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -68,34 +70,50 @@ type Generator struct {
 
 // Session caches experiment results across generators so that, e.g.,
 // Fig. 2 (Longhorn box plots) and Fig. 3 (Longhorn correlations) share
-// one run. Safe for concurrent use.
+// one run. Safe for concurrent use: concurrent generators asking for the
+// same experiment share a single execution (the cache is a singleflight,
+// which is what lets GenerateAllParallel deduplicate shared experiments
+// instead of racing to run them twice). Fleet instantiation is shared
+// further still, through the session's fleet cache.
 type Session struct {
-	Cfg   Config
-	mu    sync.Mutex
-	cache map[string]*core.Result
+	Cfg Config
+	// fleets is the fleet cache threaded into every core run. Defaults
+	// to the process-wide cache so sessions with the same seed share
+	// instantiations.
+	fleets *cluster.FleetCache
+	mu     sync.Mutex
+	cache  map[string]*sessionEntry
 }
 
-// NewSession returns a session with the given config.
+// sessionEntry is one experiment's singleflight slot.
+type sessionEntry struct {
+	once sync.Once
+	res  *core.Result
+	err  error
+}
+
+// NewSession returns a session with the given config, backed by the
+// process-wide fleet cache.
 func NewSession(cfg Config) *Session {
-	return &Session{Cfg: cfg.withDefaults(), cache: map[string]*core.Result{}}
+	return &Session{
+		Cfg:    cfg.withDefaults(),
+		fleets: cluster.DefaultFleetCache,
+		cache:  map[string]*sessionEntry{},
+	}
 }
 
 // run executes (or returns the cached) experiment keyed by a label.
+// Concurrent callers with the same key block on one execution.
 func (s *Session) run(key string, exp core.Experiment) (*core.Result, error) {
 	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return r, nil
+	e, ok := s.cache[key]
+	if !ok {
+		e = &sessionEntry{}
+		s.cache[key] = e
 	}
 	s.mu.Unlock()
-	r, err := core.Run(exp)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.cache[key] = r
-	s.mu.Unlock()
-	return r, nil
+	e.once.Do(func() { e.res, e.err = core.RunWithCache(exp, s.fleets) })
+	return e.res, e.err
 }
 
 // sgemmOn returns the cached SGEMM characterization of a cluster.
@@ -165,28 +183,93 @@ func IDs() []string {
 	return out
 }
 
+// The generator registry is fixed at compile time, so the ID→Generator
+// map is built once instead of linear-scanning AllWithExtensions() on
+// every Generate call.
+var (
+	registryOnce sync.Once
+	registryByID map[string]Generator
+)
+
+func registry() map[string]Generator {
+	registryOnce.Do(func() {
+		gens := AllWithExtensions()
+		registryByID = make(map[string]Generator, len(gens))
+		for _, g := range gens {
+			registryByID[g.ID] = g
+		}
+	})
+	return registryByID
+}
+
+// generate renders one generator: title header, then the body.
+func generate(g Generator, s *Session, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "=== %s ===\n", g.Title); err != nil {
+		return err
+	}
+	return g.Fn(s, w)
+}
+
 // Generate runs one generator by id (paper figures and extensions).
 func Generate(id string, s *Session, w io.Writer) error {
-	for _, g := range AllWithExtensions() {
-		if g.ID == id {
-			if _, err := fmt.Fprintf(w, "=== %s ===\n", g.Title); err != nil {
-				return err
-			}
-			return g.Fn(s, w)
-		}
+	g, ok := registry()[id]
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return fmt.Errorf("figures: unknown id %q (known: %v)", id, known)
 	}
-	known := IDs()
-	sort.Strings(known)
-	return fmt.Errorf("figures: unknown id %q (known: %v)", id, known)
+	return generate(g, s, w)
 }
 
 // GenerateAll runs every generator in paper order, then the extensions.
 func GenerateAll(s *Session, w io.Writer) error {
 	for _, g := range AllWithExtensions() {
-		if err := Generate(g.ID, s, w); err != nil {
+		if err := generate(g, s, w); err != nil {
 			return fmt.Errorf("%s: %w", g.ID, err)
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateAllParallel runs every generator concurrently (bounded by
+// workers; ≤ 0 means GOMAXPROCS) and writes their outputs to w in the
+// same order GenerateAll would. Generators are independent — they share
+// experiments only through the session's singleflight cache, which
+// ensures each shared experiment runs exactly once no matter how many
+// generators wait on it. Output is byte-identical to GenerateAll's.
+func GenerateAllParallel(s *Session, w io.Writer, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	gens := AllWithExtensions()
+	bufs := make([]bytes.Buffer, len(gens))
+	errs := make([]error, len(gens))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, g := range gens {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, g Generator) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := generate(g, s, &bufs[i]); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", g.ID, err)
+				return
+			}
+			fmt.Fprintln(&bufs[i])
+		}(i, g)
+	}
+	wg.Wait()
+
+	for i := range gens {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
 			return err
 		}
 	}

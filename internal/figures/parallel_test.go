@@ -1,0 +1,105 @@
+package figures
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+)
+
+// tinyConfig keeps the full-catalog comparison affordable: every
+// generator still runs end-to-end, just with minimal repetitions and a
+// small Summit sample.
+func tinyConfig() Config {
+	return Config{
+		Seed:           2022,
+		SummitFraction: 0.01,
+		Iterations:     2,
+		MLIterations:   3,
+		Runs:           2,
+	}
+}
+
+func TestGenerateAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog twice is slow")
+	}
+	var serial, parallel bytes.Buffer
+	if err := GenerateAll(NewSession(tinyConfig()), &serial); err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if err := GenerateAllParallel(NewSession(tinyConfig()), &parallel, 8); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		sl := strings.Split(serial.String(), "\n")
+		pl := strings.Split(parallel.String(), "\n")
+		for i := range sl {
+			if i >= len(pl) || sl[i] != pl[i] {
+				t.Fatalf("parallel output diverges from serial at line %d:\n serial:   %q\n parallel: %q",
+					i, sl[i], pl[i])
+			}
+		}
+		t.Fatal("parallel output diverges from serial (length mismatch)")
+	}
+}
+
+func TestSessionSingleflightDeduplicates(t *testing.T) {
+	// 16 goroutines asking the session for the same experiment must
+	// trigger exactly one core run and all observe the same Result.
+	s := NewSession(tinyConfig())
+	wl := s.sgemmWorkload(cluster.CloudLab())
+	exp := core.Experiment{Cluster: cluster.CloudLab(), Workload: wl, Seed: s.Cfg.Seed}
+
+	var wg sync.WaitGroup
+	results := make([]*core.Result, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.run("dedup-test", exp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	// The singleflight guarantees one execution; pointer identity of the
+	// returned Results is the observable proof.
+	for _, r := range results[1:] {
+		if r != results[0] {
+			t.Fatal("concurrent session runs returned distinct results")
+		}
+	}
+}
+
+func TestGenerateAllParallelPropagatesErrors(t *testing.T) {
+	// A generator that fails must surface its error; a session with an
+	// impossible workload config triggers one through the normal path.
+	s := NewSession(tinyConfig())
+	// Poison the session cache with an entry whose experiment errors.
+	_, err := s.run("poison", core.Experiment{})
+	if err == nil {
+		t.Fatal("empty experiment should error")
+	}
+	// And the cached error must be returned again, not re-run.
+	_, err2 := s.run("poison", core.Experiment{})
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("cached error not propagated: %v vs %v", err, err2)
+	}
+}
+
+func BenchmarkGenerateAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSession(tinyConfig())
+		if err := GenerateAllParallel(s, io.Discard, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

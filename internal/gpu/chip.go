@@ -111,6 +111,11 @@ type Chip struct {
 	// ThermalResistFactor scales the cooling model's thermal resistance;
 	// >1 for DefectCooling.
 	ThermalResistFactor float64
+
+	// defectGen counts InjectDefect applications. Steady-state caches
+	// keyed on a chip use it to invalidate solutions when a defect lands
+	// mid-stream (campaign injections).
+	defectGen uint32
 }
 
 // NewChip samples a chip from the SKU's manufacturing distribution.
@@ -145,6 +150,7 @@ func NewChip(sku *SKU, id string, vm VariationModel, r *rng.Source) *Chip {
 // ranges are calibrated to the outlier magnitudes reported in the paper.
 func (c *Chip) InjectDefect(kind DefectKind, r *rng.Source) {
 	c.Defect = kind
+	c.defectGen++
 	switch kind {
 	case DefectNone:
 		// Reset to healthy.
@@ -192,6 +198,10 @@ func (c *Chip) InjectDefect(kind DefectKind, r *rng.Source) {
 
 // Healthy reports whether the chip has no injected defect.
 func (c *Chip) Healthy() bool { return c.Defect == DefectNone }
+
+// DefectGen returns the number of defect injections this chip has seen,
+// for cache invalidation in the simulation layer.
+func (c *Chip) DefectGen() uint32 { return c.defectGen }
 
 // EffMemBWGBs returns the chip's effective DRAM bandwidth.
 func (c *Chip) EffMemBWGBs() float64 { return c.SKU.MemBWGBs * c.MemBWFac }

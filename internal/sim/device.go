@@ -36,6 +36,16 @@ type Device struct {
 	// sys is the device's deterministic noise stream; per-workload
 	// system factors are split from it by workload name.
 	sys *rng.Source
+
+	// steady memoizes solved operating points (see steadyPlan), allocated
+	// lazily on first solve. The key identifies the workload by Name, so
+	// the memo assumes (a) one workload definition per name within the
+	// device's lifetime — true for every current caller, where a device
+	// lives inside a single experiment or campaign — and (b) the chip is
+	// not mutated behind the device's back: defect injection through
+	// Chip.InjectDefect bumps the chip's defect generation, which is part
+	// of the key, but direct field writes are not detected.
+	steady map[steadyKey]*steadyPoint
 }
 
 // NewDevice assembles a device. adminCapW is the administrative power
@@ -69,6 +79,19 @@ func sysFactors(d *Device, wl workload.Workload) map[string]float64 {
 	out := make(map[string]float64, len(wl.Kernels))
 	for _, k := range wl.Kernels {
 		out[k.Name] = d.SysFactor(wl, k.Name)
+	}
+	return out
+}
+
+// sysFactorsIndexed samples the same per-kernel system factors into a
+// dense slice addressed by the workload's kernel index (the steady
+// path's allocation-lean equivalent of sysFactors). Kernels sharing a
+// name share a slot and draw from the same split stream, so the values
+// coincide with the map version's.
+func sysFactorsIndexed(d *Device, wl workload.Workload, ki *kernelIndex) []float64 {
+	out := make([]float64, ki.n())
+	for _, k := range wl.Kernels {
+		out[ki.of(k.Name)] = d.SysFactor(wl, k.Name)
 	}
 	return out
 }

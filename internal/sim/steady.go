@@ -6,6 +6,36 @@ import (
 	"gpuvar/internal/workload"
 )
 
+// kernelIndex interns a workload's kernel names to dense indices, so the
+// steady-state hot loop addresses per-kernel state by slice index instead
+// of string-keyed map lookups. Kernels sharing a name share one slot
+// (matching the map semantics the index replaced).
+type kernelIndex struct {
+	names  []string
+	byName map[string]int
+}
+
+func newKernelIndex(ks []workload.Kernel) *kernelIndex {
+	ki := &kernelIndex{byName: make(map[string]int, len(ks))}
+	for _, k := range ks {
+		if _, ok := ki.byName[k.Name]; !ok {
+			ki.byName[k.Name] = len(ki.names)
+			ki.names = append(ki.names, k.Name)
+		}
+	}
+	return ki
+}
+
+func (ki *kernelIndex) n() int           { return len(ki.names) }
+func (ki *kernelIndex) of(name string) int { return ki.byName[name] }
+
+// planKernel pairs a kernel with its dense index so the iteration loop
+// never touches the name map.
+type planKernel struct {
+	k  workload.Kernel
+	di int
+}
+
 // RunSteady executes one run of wl on devs analytically: it solves each
 // device's converged DVFS/thermal operating point per kernel class and
 // synthesizes the same per-run measurements the transient path produces.
@@ -22,9 +52,11 @@ func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt 
 		jobCommF = comm.LogNormalMeanSpread(1, wl.CommSpread)
 	}
 
+	ki := newKernelIndex(wl.Kernels)
+
 	type devPlan struct {
 		st    *steadyPoint
-		sysF  map[string]float64
+		sysF  []float64 // dense kernel index → persistent system factor
 		runF  float64
 		hostF float64
 		iter  *rng.Source
@@ -32,33 +64,46 @@ func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt 
 	plans := make([]*devPlan, len(devs))
 	for i, d := range devs {
 		plans[i] = &devPlan{
-			st:    solveSteady(d, wl, opt),
-			sysF:  sysFactors(d, wl),
+			st:    d.steadyPlan(wl, ki, opt),
+			sysF:  sysFactorsIndexed(d, wl, ki),
 			runF:  d.runFactor(wl, opt.Run),
 			hostF: d.HostStallFrac(wl),
 			iter:  d.iterStream(wl, opt.Run),
 		}
 	}
 
-	// Synthesize iterations.
+	// Partition kernels once, carrying dense indices into the loop.
+	var computeKs, commKs []planKernel
+	recordsPerIter := make([]int, ki.n())
+	for _, k := range wl.Kernels {
+		pk := planKernel{k: k, di: ki.of(k.Name)}
+		if k.Comm && wl.MultiGPU() {
+			commKs = append(commKs, pk)
+		} else {
+			computeKs = append(computeKs, pk)
+		}
+		recordsPerIter[pk.di]++
+	}
+
+	// Synthesize iterations. Accumulators are preallocated to their exact
+	// final sizes: each kernel slot records once per sharing kernel per
+	// recorded iteration.
 	results := make([]GPURunResult, len(devs))
 	type perDev struct {
-		kernelDur map[string][]float64
+		kernelDur [][]float64 // dense kernel index → recorded durations
 		iters     []float64
 	}
 	accum := make([]perDev, len(devs))
 	for i := range accum {
-		accum[i].kernelDur = map[string][]float64{}
+		accum[i].kernelDur = make([][]float64, ki.n())
+		for di, nrec := range recordsPerIter {
+			accum[i].kernelDur[di] = make([]float64, 0, nrec*wl.Iterations)
+		}
+		accum[i].iters = make([]float64, 0, wl.Iterations)
 	}
 
-	var computeKs, commKs []workload.Kernel
-	for _, k := range wl.Kernels {
-		if k.Comm && wl.MultiGPU() {
-			commKs = append(commKs, k)
-		} else {
-			computeKs = append(computeKs, k)
-		}
-	}
+	// Per-device compute scratch, hoisted out of the iteration loop.
+	computeMs := make([]float64, len(devs))
 
 	// Warmup iterations consume the same jitter draws as the transient
 	// path would, keeping streams aligned conceptually (values need not
@@ -67,19 +112,18 @@ func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt 
 	for it := 0; it < totalIters; it++ {
 		recording := it >= wl.WarmupIters
 		// Per-device compute time this iteration.
-		computeMs := make([]float64, len(devs))
 		for i, p := range plans {
 			var t, nominal float64
-			for _, k := range computeKs {
+			for _, pk := range computeKs {
 				iterF := 1.0
 				if wl.RunJitter > 0 {
 					iterF = p.iter.LogNormalMeanSpread(1, wl.RunJitter/2)
 				}
-				d := p.st.kernelMs[k.Name] * p.sysF[k.Name] * p.runF * iterF
+				d := p.st.kernelMs[pk.di] * p.sysF[pk.di] * p.runF * iterF
 				t += d + wl.LaunchGapMs
-				nominal += k.NominalMs
+				nominal += pk.k.NominalMs
 				if recording {
-					accum[i].kernelDur[k.Name] = append(accum[i].kernelDur[k.Name], d)
+					accum[i].kernelDur[pk.di] = append(accum[i].kernelDur[pk.di], d)
 				}
 			}
 			// Host/input-pipeline stall, matching the transient path.
@@ -97,7 +141,7 @@ func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt 
 		}
 		// Comm kernels in lockstep.
 		var commMs float64
-		for _, ck := range commKs {
+		for _, pk := range commKs {
 			durF := jobCommF
 			if wl.RunJitter > 0 {
 				durF *= comm.LogNormalMeanSpread(1, wl.RunJitter)
@@ -106,7 +150,7 @@ func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt 
 			// completion means the slowest device sets the pace.
 			worst := 0.0
 			for i := range devs {
-				d := ck.NominalMs * durF / progressRateAt(devs[i].Chip, ck, plans[i].st.freqFor(ck))
+				d := pk.k.NominalMs * durF / progressRateAt(devs[i].Chip, pk.k, plans[i].st.freqMHz[pk.di])
 				if d > worst {
 					worst = d
 				}
@@ -114,7 +158,7 @@ func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt 
 			commMs += worst
 			if recording {
 				for i := range devs {
-					accum[i].kernelDur[ck.Name] = append(accum[i].kernelDur[ck.Name], worst)
+					accum[i].kernelDur[pk.di] = append(accum[i].kernelDur[pk.di], worst)
 				}
 			}
 		}
@@ -138,19 +182,23 @@ func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt 
 			ThermallyLimited: p.st.thermal,
 		}
 		// Flatten kernel durations for the metric.
-		var all []float64
+		var total int
+		for _, ds := range a.kernelDur {
+			total += len(ds)
+		}
+		all := make([]float64, 0, total)
 		for _, ds := range a.kernelDur {
 			all = append(all, ds...)
 		}
-		r.PerfMs = perfFromMeasurements(wl, all, a.kernelDur, a.iters)
+		r.PerfMs = perfFromPlan(wl, ki, all, a.kernelDur, a.iters)
 
 		var kernelMs, nominal float64
-		for _, k := range computeKs {
-			kernelMs += p.st.kernelMs[k.Name] * p.sysF[k.Name] * p.runF
-			nominal += k.NominalMs
+		for _, pk := range computeKs {
+			kernelMs += p.st.kernelMs[pk.di] * p.sysF[pk.di] * p.runF
+			nominal += pk.k.NominalMs
 		}
-		for _, ck := range commKs {
-			kernelMs += p.st.kernelMs[ck.Name]
+		for _, pk := range commKs {
+			kernelMs += p.st.kernelMs[pk.di]
 		}
 		hostMs := nominal * p.hostF
 		iterMs := meanOf(a.iters)
@@ -158,13 +206,53 @@ func RunSteady(devs []*Device, wl workload.Workload, jobStream *rng.Source, opt 
 		if waitMs < 0 {
 			waitMs = 0
 		}
-		r.MedianFreqMHz, r.MedianPowerW, r.MedianTempC = p.st.medians(d, wl, p.sysF, hostMs, waitMs)
+		r.MedianFreqMHz, r.MedianPowerW, r.MedianTempC = p.st.medians(d, wl, ki, p.sysF, hostMs, waitMs)
 		r.MedianPowerW += d.powerNoiseW(opt.Run)
 		r.MaxPowerW = p.st.maxPower
 		r.MaxTempC = p.st.tempC
 		results[i] = r
 	}
 	return results
+}
+
+// perfFromPlan derives the workload's performance metric from the dense
+// accumulators. It is the single metric implementation: the transient
+// path reaches it through perfFromMeasurements.
+func perfFromPlan(wl workload.Workload, ki *kernelIndex, kernelMs []float64, byIdx [][]float64, itersMs []float64) float64 {
+	switch wl.Metric {
+	case workload.MetricIterationDuration:
+		return medianFloat(itersMs)
+	case workload.MetricSumLongKernels:
+		// Per the paper (§V-C): sum of long-kernel durations within one
+		// iteration; aggregate across iterations by median. Approximate
+		// by summing per-kernel medians of long kernels.
+		var sum float64
+		for _, k := range wl.Kernels {
+			if k.NominalMs >= wl.LongKernelMinMs {
+				sum += medianFloat(byIdx[ki.of(k.Name)])
+			}
+		}
+		return sum
+	default: // MetricMedianKernel
+		// Exclude comm kernels: the paper measures the compute kernel.
+		var total int
+		for _, k := range wl.Kernels {
+			if !k.Comm {
+				total += len(byIdx[ki.of(k.Name)])
+			}
+		}
+		ds := make([]float64, 0, total)
+		for _, k := range wl.Kernels {
+			if k.Comm {
+				continue
+			}
+			ds = append(ds, byIdx[ki.of(k.Name)]...)
+		}
+		if len(ds) == 0 {
+			ds = kernelMs
+		}
+		return medianFloat(ds)
+	}
 }
 
 func meanOf(xs []float64) float64 {
@@ -179,20 +267,62 @@ func meanOf(xs []float64) float64 {
 }
 
 // steadyPoint is a device's converged operating state per kernel class.
+// The per-kernel slices are indexed by the workload's kernelIndex. A
+// steadyPoint is immutable once solved, so devices memoize and share it
+// across runs (see Device.steadyPlan).
 type steadyPoint struct {
 	tempC    float64
 	maxPower float64
 	thermal  bool
-	// Per kernel name: equilibrium clock, power, and duration.
-	freqMHz  map[string]float64
-	powerW   map[string]float64
-	kernelMs map[string]float64
+	// Per dense kernel index: equilibrium clock, power, and duration.
+	freqMHz  []float64
+	powerW   []float64
+	kernelMs []float64
 }
 
-func (s *steadyPoint) freqFor(k workload.Kernel) float64 { return s.freqMHz[k.Name] }
+// steadyKey identifies a converged operating point. The workload is
+// identified by Name — callers must not reuse one Device across two
+// different workload definitions sharing a name (see Device.steady).
+// The defect generation invalidates memoized points when a defect is
+// injected mid-stream (campaign simulations).
+type steadyKey struct {
+	wlName    string
+	ambientC  float64
+	dither    bool
+	defectGen uint32
+}
+
+// steadyPlan returns the device's converged operating point for this
+// workload and run, memoized per device. The coarse-P-state dither draw
+// happens before the lookup, so the RNG stream consumption is identical
+// whether or not the memo hits — and the dither outcome is part of the
+// key, so runs that park one state lower get their own solution.
+func (d *Device) steadyPlan(wl workload.Workload, ki *kernelIndex, opt Options) *steadyPoint {
+	dither := false
+	if len(d.Chip.SKU.ClockStatesMHz) > 0 {
+		dither = d.sys.SplitIndex("dpm", opt.Run).Bernoulli(0.35)
+	}
+	key := steadyKey{
+		wlName:    wl.Name,
+		ambientC:  opt.AmbientOffsetC,
+		dither:    dither,
+		defectGen: d.Chip.DefectGen(),
+	}
+	if sp, ok := d.steady[key]; ok {
+		return sp
+	}
+	sp := solveSteady(d, wl, ki, opt, dither)
+	if d.steady == nil {
+		d.steady = make(map[steadyKey]*steadyPoint, 4)
+	}
+	d.steady[key] = sp
+	return sp
+}
 
 // solveSteady computes the converged operating point of one device.
-func solveSteady(d *Device, wl workload.Workload, opt Options) *steadyPoint {
+// dpmDither is drawn by the caller (see steadyPlan) so the memo key and
+// the solution stay consistent.
+func solveSteady(d *Device, wl workload.Workload, ki *kernelIndex, opt Options, dpmDither bool) *steadyPoint {
 	chip := d.Chip
 	ambientShift := opt.AmbientOffsetC
 	steadyTemp := func(powerW float64) float64 {
@@ -206,26 +336,21 @@ func solveSteady(d *Device, wl workload.Workload, opt Options) *steadyPoint {
 
 	sp := &steadyPoint{
 		tempC:    tEq,
-		freqMHz:  map[string]float64{},
-		powerW:   map[string]float64{},
-		kernelMs: map[string]float64{},
+		freqMHz:  make([]float64, ki.n()),
+		powerW:   make([]float64, ki.n()),
+		kernelMs: make([]float64, ki.n()),
 	}
 	slowdownStart := chip.SKU.SlowdownTempC - 2
-
-	// Coarse-P-state parts (AMD DPM) show run-to-run state hysteresis:
-	// the same chip parks one state lower on some runs depending on the
-	// controller's probe timing. This is the dominant term in Corona's
-	// large per-GPU repeat variation (paper Fig. 8: 6.06% median, versus
-	// 0.44%/0.12% on the fine-stepping V100 clusters) and part of why
-	// Corona's frequency-performance correlation is weaker (−0.76).
-	dpmDither := false
-	if len(chip.SKU.ClockStatesMHz) > 0 {
-		dpmDither = d.sys.SplitIndex("dpm", opt.Run).Bernoulli(0.35)
-	}
 
 	for _, k := range wl.Kernels {
 		act := effActivity(chip, k)
 		f, p := chip.MaxClockUnderCap(d.Ctl.CapW(), tEq, act)
+		// Coarse-P-state parts (AMD DPM) show run-to-run state hysteresis:
+		// the same chip parks one state lower on some runs depending on the
+		// controller's probe timing. This is the dominant term in Corona's
+		// large per-GPU repeat variation (paper Fig. 8: 6.06% median, versus
+		// 0.44%/0.12% on the fine-stepping V100 clusters) and part of why
+		// Corona's frequency-performance correlation is weaker (−0.76).
 		if dpmDither && f < chip.MaxUsableClockMHz() {
 			f = chip.SKU.StepDown(f)
 			p = chip.TotalPower(f, tEq, act)
@@ -240,9 +365,10 @@ func solveSteady(d *Device, wl workload.Workload, opt Options) *steadyPoint {
 			p = chip.TotalPower(f, tEq, act)
 			sp.thermal = true
 		}
-		sp.freqMHz[k.Name] = f
-		sp.powerW[k.Name] = p
-		sp.kernelMs[k.Name] = k.NominalMs / progressRateAt(chip, k, f)
+		di := ki.of(k.Name)
+		sp.freqMHz[di] = f
+		sp.powerW[di] = p
+		sp.kernelMs[di] = k.NominalMs / progressRateAt(chip, k, f)
 		if p > sp.maxPower {
 			sp.maxPower = p
 		}
@@ -263,15 +389,16 @@ func progressRateAt(chip *gpu.Chip, k workload.Kernel, freqMHz float64) float64 
 // the host-stall and barrier-wait phases (the profilers sample
 // continuously, so low-activity time pulls the medians down — the
 // mechanism behind the wide ML power spreads of paper Figs. 14–17).
-func (s *steadyPoint) medians(d *Device, wl workload.Workload, sysF map[string]float64, hostMs, waitMs float64) (fMHz, powerW, tempC float64) {
-	var vals, weights, pvals []float64
+func (s *steadyPoint) medians(d *Device, wl workload.Workload, ki *kernelIndex, sysF []float64, hostMs, waitMs float64) (fMHz, powerW, tempC float64) {
+	n := len(wl.Kernels) + 2
+	vals := make([]float64, 0, n)
+	weights := make([]float64, 0, n)
+	pvals := make([]float64, 0, n)
 	for _, k := range wl.Kernels {
-		dur := s.kernelMs[k.Name]
-		if f, ok := sysF[k.Name]; ok {
-			dur *= f
-		}
-		vals = append(vals, s.freqMHz[k.Name])
-		pvals = append(pvals, s.powerW[k.Name])
+		di := ki.of(k.Name)
+		dur := s.kernelMs[di] * sysF[di]
+		vals = append(vals, s.freqMHz[di])
+		pvals = append(pvals, s.powerW[di])
 		weights = append(weights, dur)
 	}
 	maxClock := d.Chip.SKU.QuantizeClock(d.Chip.MaxUsableClockMHz())

@@ -65,6 +65,7 @@ func RunTransient(devs []*Device, wl workload.Workload, jobStream *rng.Source, o
 		}
 	}
 
+	ki := newKernelIndex(wl.Kernels)
 	states := make([]*devState, len(devs))
 	for i, d := range devs {
 		st := &devState{
@@ -83,7 +84,7 @@ func RunTransient(devs []*Device, wl workload.Workload, jobStream *rng.Source, o
 		if opt.ColdStart {
 			d.Node.TempC = d.Node.AmbientC + opt.AmbientOffsetC
 		} else {
-			d.Node.TempC = solveSteady(d, wl, opt).tempC
+			d.Node.TempC = d.steadyPlan(wl, ki, opt).tempC
 		}
 		states[i] = st
 	}
@@ -265,36 +266,19 @@ func (st *devState) finish(wl workload.Workload) GPURunResult {
 	return r
 }
 
-// perfFromMeasurements derives the workload's performance metric.
+// perfFromMeasurements derives the workload's performance metric from
+// name-keyed durations by viewing them through a kernel index and
+// delegating to perfFromPlan — one metric implementation for both the
+// steady and transient paths.
 func perfFromMeasurements(wl workload.Workload, kernelMs []float64, byName map[string][]float64, itersMs []float64) float64 {
-	switch wl.Metric {
-	case workload.MetricIterationDuration:
-		return medianFloat(itersMs)
-	case workload.MetricSumLongKernels:
-		// Per the paper (§V-C): sum of long-kernel durations within one
-		// iteration; aggregate across iterations by median. Approximate
-		// by summing per-kernel medians of long kernels.
-		var sum float64
-		for _, k := range wl.Kernels {
-			if k.NominalMs >= wl.LongKernelMinMs {
-				sum += medianFloat(byName[k.Name])
-			}
+	ki := newKernelIndex(wl.Kernels)
+	byIdx := make([][]float64, ki.n())
+	for name, ds := range byName {
+		if di, ok := ki.byName[name]; ok {
+			byIdx[di] = ds
 		}
-		return sum
-	default: // MetricMedianKernel
-		// Exclude comm kernels: the paper measures the compute kernel.
-		var ds []float64
-		for _, k := range wl.Kernels {
-			if k.Comm {
-				continue
-			}
-			ds = append(ds, byName[k.Name]...)
-		}
-		if len(ds) == 0 {
-			ds = kernelMs
-		}
-		return medianFloat(ds)
 	}
+	return perfFromPlan(wl, ki, kernelMs, byIdx, itersMs)
 }
 
 func medianFloat(xs []float64) float64 {

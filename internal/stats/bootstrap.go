@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"gpuvar/internal/rng"
 )
@@ -26,6 +27,29 @@ func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
 // Width returns Hi − Lo.
 func (c CI) Width() float64 { return c.Hi - c.Lo }
 
+// bootstrapBuf holds the resample scratch and estimate accumulator for
+// one BootstrapCI call. Pooled so that repeated bootstrap rounds (the
+// figure generators compute one CI per group per metric) reuse the same
+// two allocations instead of paying them per call.
+type bootstrapBuf struct {
+	scratch   []float64
+	estimates []float64
+}
+
+var bootstrapPool = sync.Pool{New: func() any { return &bootstrapBuf{} }}
+
+// grow returns the buffers sized for n samples and r resamples, reusing
+// pooled capacity when it suffices.
+func (b *bootstrapBuf) grow(n, r int) (scratch, estimates []float64) {
+	if cap(b.scratch) < n {
+		b.scratch = make([]float64, n)
+	}
+	if cap(b.estimates) < r {
+		b.estimates = make([]float64, 0, r)
+	}
+	return b.scratch[:n], b.estimates[:0]
+}
+
 // BootstrapCI estimates a confidence interval for stat over xs using
 // the percentile bootstrap with resamples draws from r. stat must be
 // scale-free or otherwise well-defined on resamples of xs (it receives
@@ -37,8 +61,9 @@ func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, conf
 		return out
 	}
 	out.Point = stat(xs)
-	scratch := make([]float64, len(xs))
-	estimates := make([]float64, 0, resamples)
+	buf := bootstrapPool.Get().(*bootstrapBuf)
+	defer bootstrapPool.Put(buf)
+	scratch, estimates := buf.grow(len(xs), resamples)
 	for b := 0; b < resamples; b++ {
 		for i := range scratch {
 			scratch[i] = xs[r.Intn(len(xs))]
@@ -47,6 +72,7 @@ func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, conf
 			estimates = append(estimates, v)
 		}
 	}
+	buf.estimates = estimates // retain any growth for the next round
 	if len(estimates) < 2 {
 		return out
 	}

@@ -105,3 +105,17 @@ func TestTrimmedMean(t *testing.T) {
 		t.Fatal("empty trimmed mean should be NaN")
 	}
 }
+
+func TestBootstrapCIBufferReuse(t *testing.T) {
+	// Pooled scratch: steady-state BootstrapCI rounds should not allocate
+	// per call (the stat here, Mean, is allocation-free). A small bound
+	// absorbs sync.Pool slow-path noise.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	r := rng.New(1)
+	avg := testing.AllocsPerRun(50, func() {
+		BootstrapCI(xs, Mean, 64, 0.95, r)
+	})
+	if avg > 2 {
+		t.Fatalf("BootstrapCI allocates %.1f objects/call; scratch should be pooled", avg)
+	}
+}

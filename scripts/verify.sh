@@ -1,0 +1,6 @@
+#!/bin/sh
+# Tier-1 verification plus the cheap perf guards (vet + a one-iteration
+# benchmark smoke run). The command sequence lives in the Makefile's
+# verify target; this wrapper exists for CI hooks that expect a script.
+set -eu
+exec make -C "$(dirname "$0")/.." verify
