@@ -1,33 +1,79 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke figures
+.PHONY: help build vet test verify race bench bench-smoke bench-compare figures serve loadgen
+
+# help lists the targets. Serving quick-reference:
+#   make serve    starts cmd/gpuvard on :8080 — the experiment service.
+#     A request passes through (1) the service's fingerprint-keyed LRU
+#     response cache with singleflight coalescing, (2) the figures
+#     session cache (one run per shared experiment), (3) the process-wide
+#     fleet cache (one instantiation per (spec, seed)), and (4) per-device
+#     steady-point memoization. Identical requests are byte-identical.
+#   make loadgen  hammers a running gpuvard with concurrent identical
+#     requests, checks byte-identity, and reports req/s + p50/p99.
+# CI gates a PR must clear (.github/workflows/ci.yml):
+#   make verify   build + vet + test + bench-smoke + bench-compare
+#   make race     go test -race -short ./...
+help:
+	@awk '/^[a-z][a-z-]*:/ {sub(/:.*/,""); print "  make " $$0} /^# / {sub(/^# /,""); print}' $(MAKEFILE_LIST)
 
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
-# verify is the tier-1 gate plus the cheap perf guards: vet and a
-# one-iteration benchmark smoke run that catches harness regressions
-# (a benchmark that panics or no longer compiles) without paying for a
-# full timing pass. scripts/verify.sh is a thin wrapper over this
-# target, so the command sequence lives only here.
-verify: build
-	$(GO) vet ./...
-	$(GO) test ./...
-	$(MAKE) bench-smoke
+# verify is the tier-1 gate plus the cheap perf guards: vet, a
+# one-iteration benchmark smoke run, and the benchmark-regression gate
+# against the committed trajectory (BENCH_2.json). The stage sequence
+# lives in scripts/verify.sh, which reports which stage failed.
+verify:
+	scripts/verify.sh
 
-# bench records the full benchmark suite into BENCH_1.json
-# (name → ns/op, B/op, allocs/op). Pass BENCH='regexp' to restrict, e.g.
+# race runs the race-detector pass CI runs: short mode skips the two
+# full-catalog golden tests (see testing.Short guards) but still drives
+# the whole stack — including the concurrent service catalog test —
+# under the detector.
+race:
+	$(GO) test -race -short ./...
+
+# bench records the full benchmark suite into BENCH_2.json with PR 1's
+# BENCH_1.json embedded as the baseline (name → ns/op, B/op, allocs/op).
+# Pass BENCH='regexp' to restrict, e.g.
 #   make bench BENCH='Fig04|ExtCampaign' COUNT=3
 BENCH ?= .
 COUNT ?= 1
 bench:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -out BENCH_1.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_1.json -out BENCH_2.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
 
+# bench-compare is the benchmark-regression gate: re-measure the gate
+# benchmarks and fail if ns/op regressed past BENCH_TOLERANCE or
+# allocs/op past BENCH_ALLOC_TOLERANCE against the committed
+# BENCH_2.json. GATE_BENCH keeps the gate fast and focused on the two
+# perf wins PR 1 banked. The alloc gate stays tight everywhere (alloc
+# counts are machine-independent); CI loosens only BENCH_TOLERANCE
+# because absolute ns/op is not comparable across host machines.
+GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign
+BENCH_TOLERANCE ?= 0.25
+BENCH_ALLOC_TOLERANCE ?= 0.25
+bench-compare:
+	$(GO) run ./cmd/benchjson -bench '$(GATE_BENCH)' -count 3 -benchtime 30x \
+		-out /tmp/bench_gate.json -compare BENCH_2.json \
+		-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
+
 figures:
 	$(GO) run ./cmd/figures
+
+# serve runs the experiment service (cmd/gpuvard) on :8080.
+serve:
+	$(GO) run ./cmd/gpuvard
+
+# loadgen hammers a running gpuvard (start one with `make serve`).
+loadgen:
+	$(GO) run ./cmd/loadgen

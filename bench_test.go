@@ -11,9 +11,11 @@ package gpuvar
 
 import (
 	"io"
+	"net/http/httptest"
 	"testing"
 
 	"gpuvar/internal/figures"
+	"gpuvar/internal/service"
 )
 
 // benchConfig keeps per-iteration cost moderate while exercising the
@@ -83,3 +85,27 @@ func BenchmarkExtGlobalPM(b *testing.B)  { benchFigure(b, "ext-globalpm") }
 func BenchmarkExtScheduler(b *testing.B) { benchFigure(b, "ext-scheduler") }
 func BenchmarkExtCampaign(b *testing.B)  { benchFigure(b, "ext-campaign") }
 func BenchmarkExtNextGen(b *testing.B)   { benchFigure(b, "ext-nextgen") }
+
+// BenchmarkServiceFigureHit measures the serving hot path of
+// internal/service: a fully cached figure request (fingerprint lookup +
+// byte replay through the HTTP stack). This is the per-request cost the
+// server pays once a result is warm — the number that bounds peak
+// cache-hit throughput.
+func BenchmarkServiceFigureHit(b *testing.B) {
+	srv := service.New(service.Options{Figures: benchConfig()})
+	warm := httptest.NewRequest("GET", "/v1/figures/tab1", nil)
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, warm)
+	if rr.Code != 200 {
+		b.Fatalf("warmup status %d", rr.Code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/figures/tab1", nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

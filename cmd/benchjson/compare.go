@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Regression is one benchmark metric that got worse than the baseline
+// by more than the tolerance.
+type Regression struct {
+	Name   string  // benchmark name
+	Metric string  // "ns/op" or "allocs/op"
+	Old    float64 // baseline value
+	New    float64 // current value
+	Ratio  float64 // New/Old
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.0f -> %.0f (%.2fx)", r.Name, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// compareSummaries returns every benchmark in cur whose ns/op exceeds
+// its baseline value by more than nsTol, or whose allocs/op exceeds it
+// by more than allocTol (0.25 = 25% worse fails). The tolerances are
+// separate because the metrics have different noise profiles: allocs/op
+// is machine-independent and deterministic, while ns/op varies with the
+// host (CI loosens nsTol for cross-machine runs but keeps allocTol
+// tight). Benchmarks present on only one side are ignored — a new
+// benchmark has no baseline and a retired one no current value, and
+// neither is a regression. Results are sorted by name for stable CI
+// logs.
+func compareSummaries(base, cur map[string]Entry, nsTol, allocTol float64) []Regression {
+	var regs []Regression
+	for name, c := range cur {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+nsTol) {
+			regs = append(regs, Regression{
+				Name: name, Metric: "ns/op",
+				Old: b.NsPerOp, New: c.NsPerOp, Ratio: c.NsPerOp / b.NsPerOp,
+			})
+		}
+		if b.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+allocTol) {
+			regs = append(regs, Regression{
+				Name: name, Metric: "allocs/op",
+				Old: float64(b.AllocsPerOp), New: float64(c.AllocsPerOp),
+				Ratio: float64(c.AllocsPerOp) / float64(b.AllocsPerOp),
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// reportComparison prints the gate's verdict and returns whether the
+// current results pass (no regression beyond tolerance). compared is
+// the number of benchmarks present on both sides; a zero overlap is a
+// configuration error the caller should treat as a failure.
+func reportComparison(w io.Writer, base, cur map[string]Entry, nsTol, allocTol float64) (pass bool, compared int) {
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			compared++
+		}
+	}
+	regs := compareSummaries(base, cur, nsTol, allocTol)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) within tolerance (ns/op %.0f%%, allocs/op %.0f%%)\n",
+			compared, nsTol*100, allocTol*100)
+		return true, compared
+	}
+	fmt.Fprintf(w, "benchjson: %d regression(s) beyond tolerance (ns/op %.0f%%, allocs/op %.0f%%):\n",
+		len(regs), nsTol*100, allocTol*100)
+	for _, r := range regs {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	return false, compared
+}

@@ -7,9 +7,18 @@
 //	go run ./cmd/benchjson                        # all benchmarks → BENCH.json
 //	go run ./cmd/benchjson -bench 'Fig04|ExtCampaign' -count 3
 //	go run ./cmd/benchjson -out BENCH_1.json -baseline seed_bench.json
+//	go run ./cmd/benchjson -bench 'Fig04|ExtCampaign' -count 3 -benchtime 3x \
+//	    -out /tmp/check.json -compare BENCH_2.json -tolerance 0.25
 //
 // With -baseline, the named file's "benchmarks" section is embedded
 // under "baseline" for side-by-side before/after records.
+//
+// With -compare, the freshly measured results are additionally gated
+// against the named summary: if any benchmark's ns/op or allocs/op is
+// worse than its baseline value by more than -tolerance (default 0.25 =
+// 25%), every regression is listed and the process exits nonzero. This
+// is the benchmark-regression gate make verify and CI run against the
+// committed trajectory file.
 package main
 
 import (
@@ -54,12 +63,15 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 
 func main() {
 	var (
-		bench    = flag.String("bench", ".", "benchmark regexp passed to go test")
-		count    = flag.Int("count", 1, "repetitions per benchmark (minimum is kept)")
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test")
+		count     = flag.Int("count", 1, "repetitions per benchmark (minimum is kept)")
 		benchtime = flag.String("benchtime", "", "go test -benchtime value (e.g. 10x, 2s)")
-		pkg      = flag.String("pkg", ".", "package to benchmark")
-		out      = flag.String("out", "BENCH.json", "output file")
-		baseline = flag.String("baseline", "", "previous summary to embed under \"baseline\"")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "BENCH.json", "output file")
+		baseline  = flag.String("baseline", "", "previous summary to embed under \"baseline\"")
+		compare   = flag.String("compare", "", "summary file to gate the fresh results against")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before -compare fails")
+		allocTol  = flag.Float64("alloc-tolerance", -1, "allowed fractional allocs/op growth (-1 = same as -tolerance)")
 	)
 	flag.Parse()
 
@@ -119,15 +131,7 @@ func main() {
 	}
 
 	if *baseline != "" {
-		data, err := os.ReadFile(*baseline)
-		if err != nil {
-			fatal(err)
-		}
-		var base Summary
-		if err := json.Unmarshal(data, &base); err != nil {
-			fatal(fmt.Errorf("parsing baseline %s: %w", *baseline, err))
-		}
-		sum.Baseline = base.Benchmarks
+		sum.Baseline = readSummary(*baseline).Benchmarks
 	}
 
 	data, err := json.MarshalIndent(sum, "", "  ")
@@ -139,6 +143,33 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(sum.Benchmarks))
+
+	if *compare != "" {
+		if *allocTol < 0 {
+			*allocTol = *tolerance
+		}
+		gate := readSummary(*compare)
+		pass, compared := reportComparison(os.Stderr, gate.Benchmarks, sum.Benchmarks, *tolerance, *allocTol)
+		if compared == 0 {
+			fatal(fmt.Errorf("no benchmarks in common with %s — wrong -bench regexp?", *compare))
+		}
+		if !pass {
+			os.Exit(1)
+		}
+	}
+}
+
+// readSummary loads a summary file or dies.
+func readSummary(path string) Summary {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	return s
 }
 
 func fatal(err error) {

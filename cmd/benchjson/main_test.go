@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestBenchLineStripsGOMAXPROCSSuffix(t *testing.T) {
 	cases := []struct {
@@ -24,5 +27,79 @@ func TestBenchLineStripsGOMAXPROCSSuffix(t *testing.T) {
 		if m[1] != c.name {
 			t.Errorf("parsed name %q, want %q (line %q)", m[1], c.name, c.line)
 		}
+	}
+}
+
+// TestCompareCatchesInjectedSlowdown is the regression gate's
+// acceptance check: a benchmark whose ns/op doubles against the
+// baseline must be reported and fail the gate at 25% tolerance.
+func TestCompareCatchesInjectedSlowdown(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkFig04SGEMMSummit": {NsPerOp: 13_000_000, AllocsPerOp: 49_000},
+		"BenchmarkExtCampaign":      {NsPerOp: 9_200_000, AllocsPerOp: 78_000},
+	}
+	cur := map[string]Entry{
+		"BenchmarkFig04SGEMMSummit": {NsPerOp: 26_000_000, AllocsPerOp: 49_000}, // injected 2x slowdown
+		"BenchmarkExtCampaign":      {NsPerOp: 9_300_000, AllocsPerOp: 78_000},
+	}
+	regs := compareSummaries(base, cur, 0.25, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the injected slowdown", regs)
+	}
+	r := regs[0]
+	if r.Name != "BenchmarkFig04SGEMMSummit" || r.Metric != "ns/op" || r.Ratio != 2.0 {
+		t.Errorf("regression = %+v, want Fig04 ns/op at 2.0x", r)
+	}
+
+	var out strings.Builder
+	pass, compared := reportComparison(&out, base, cur, 0.25, 0.25)
+	if pass {
+		t.Error("reportComparison passed a 2x slowdown")
+	}
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2", compared)
+	}
+	if !strings.Contains(out.String(), "2.00x") {
+		t.Errorf("report does not show the 2x ratio:\n%s", out.String())
+	}
+}
+
+// TestCompareCatchesAllocRegression: allocs/op is gated independently
+// of ns/op (an alloc explosion can hide inside timing noise).
+func TestCompareCatchesAllocRegression(t *testing.T) {
+	base := map[string]Entry{"BenchmarkX": {NsPerOp: 1000, AllocsPerOp: 100}}
+	cur := map[string]Entry{"BenchmarkX": {NsPerOp: 1001, AllocsPerOp: 200}}
+	regs := compareSummaries(base, cur, 0.25, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %v, want one allocs/op finding", regs)
+	}
+}
+
+// TestComparePassesWithinTolerance: noise inside the band and
+// benchmarks without a counterpart must not fail the gate.
+func TestComparePassesWithinTolerance(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkX":       {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkRetired": {NsPerOp: 500, AllocsPerOp: 50},
+	}
+	cur := map[string]Entry{
+		"BenchmarkX":   {NsPerOp: 1200, AllocsPerOp: 110}, // +20%, within 25%
+		"BenchmarkNew": {NsPerOp: 9999, AllocsPerOp: 9999},
+	}
+	if regs := compareSummaries(base, cur, 0.25, 0.25); len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
+	}
+	pass, compared := reportComparison(&strings.Builder{}, base, cur, 0.25, 0.25)
+	if !pass || compared != 1 {
+		t.Errorf("pass=%v compared=%d, want pass with 1 overlapping benchmark", pass, compared)
+	}
+}
+
+// TestCompareImprovementPasses: getting faster is never a regression.
+func TestCompareImprovementPasses(t *testing.T) {
+	base := map[string]Entry{"BenchmarkX": {NsPerOp: 1000, AllocsPerOp: 100}}
+	cur := map[string]Entry{"BenchmarkX": {NsPerOp: 400, AllocsPerOp: 10}}
+	if regs := compareSummaries(base, cur, 0.25, 0.25); len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none for an improvement", regs)
 	}
 }

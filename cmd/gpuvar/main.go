@@ -15,34 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/core"
 	"gpuvar/internal/report"
 	"gpuvar/internal/workload"
 )
-
-func workloadByName(name string, spec cluster.Spec) (workload.Workload, error) {
-	sku := spec.SKU()
-	switch strings.ToLower(name) {
-	case "sgemm":
-		return workload.SGEMMForCluster(sku), nil
-	case "resnet-multi", "resnet":
-		return workload.ResNet50(4, 64, sku), nil
-	case "resnet-single":
-		return workload.ResNet50(1, 16, sku), nil
-	case "bert":
-		return workload.BERT(4, 64, sku), nil
-	case "lammps":
-		return workload.LAMMPS(8, 16, 16, sku), nil
-	case "pagerank":
-		return workload.PageRank(643994, 6250000, sku), nil
-	default:
-		return workload.Workload{}, fmt.Errorf(
-			"unknown workload %q (sgemm, resnet-multi, resnet-single, bert, lammps, pagerank)", name)
-	}
-}
 
 func main() {
 	var (
@@ -64,7 +42,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gpuvar: unknown cluster %q\n", *clusterName)
 		os.Exit(2)
 	}
-	wl, err := workloadByName(*wlName, spec)
+	wl, err := workload.ByName(*wlName, spec.SKU())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpuvar:", err)
 		os.Exit(2)

@@ -1,0 +1,83 @@
+// Command gpuvard serves the characterization suite over HTTP: the full
+// figure/table catalog, ad-hoc experiments, and campaign simulations as
+// JSON (see internal/service for the routes and caching layers).
+//
+// Usage:
+//
+//	gpuvard                         # listen on :8080, quick settings
+//	gpuvard -addr :9090 -seed 7
+//	gpuvard -summit-fraction 1.0    # full-scale Summit figures (slow)
+//
+// Probe it with curl or hammer it with cmd/loadgen:
+//
+//	curl localhost:8080/v1/figures
+//	curl localhost:8080/v1/figures/fig2
+//	curl 'localhost:8080/v1/experiments/sgemm?cluster=CloudLab&runs=3'
+//	curl -X POST -d '{"cluster":"Vortex","injection":{"day":4,"node_id":"v003-n01","kind":"power-brake"}}' localhost:8080/v1/campaign
+//	curl localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpuvar/internal/figures"
+	"gpuvar/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		seed    = flag.Uint64("seed", 2022, "default fleet instantiation seed")
+		iters   = flag.Int("iterations", 0, "default SGEMM repetitions (0 = quick setting)")
+		summit  = flag.Float64("summit-fraction", 0, "default Summit coverage fraction (0 = quick setting)")
+		respLRU = flag.Int("response-cache", 256, "response LRU size (entries)")
+		sessLRU = flag.Int("session-cache", 4, "figure-session LRU size (distinct configs)")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		Figures: figures.Config{
+			Seed:           *seed,
+			Iterations:     *iters,
+			SummitFraction: *summit,
+		},
+		ResponseCacheSize: *respLRU,
+		SessionCacheSize:  *sessLRU,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "gpuvard: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "gpuvard:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "gpuvard: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "gpuvard: drained, bye")
+	}
+}

@@ -1,0 +1,179 @@
+// Command loadgen hammers a running gpuvard with concurrent identical
+// requests and verifies the service's core contract: every response for
+// the same request is byte-identical regardless of which worker asked,
+// whether it was computed, coalesced, or replayed from the cache.
+//
+// It reports throughput (req/s), latency percentiles (p50/p99), the
+// cold-vs-warm latency ratio for the first path, and the server's
+// X-Cache hit/miss split. It exits nonzero if any response diverges
+// from the first response for its path or is not HTTP 200.
+//
+// Usage:
+//
+//	loadgen                                     # 32 workers, 512 reqs, /v1/figures/fig2
+//	loadgen -c 64 -n 2048 -paths /v1/figures/fig2,/v1/experiments/sgemm?cluster=CloudLab
+//	loadgen -url http://localhost:9090 -c 8
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type sample struct {
+	path  string
+	d     time.Duration
+	cache string // X-Cache header: hit, miss, coalesced, or ""
+}
+
+// p50 returns the median of ds in milliseconds (ds must be sorted).
+func p50ms(ds []time.Duration) float64 {
+	return float64(ds[len(ds)/2].Microseconds()) / 1000
+}
+
+func main() {
+	var (
+		base  = flag.String("url", "http://localhost:8080", "server base URL")
+		paths = flag.String("paths", "/v1/figures/fig2", "comma-separated request paths")
+		conc  = flag.Int("c", 32, "concurrent workers")
+		total = flag.Int("n", 512, "total requests (split across workers, round-robin over paths)")
+	)
+	flag.Parse()
+
+	ps := strings.Split(*paths, ",")
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Cold pass: one priming request per path, timed separately. This
+	// also pins the reference body every later response must match.
+	ref := make(map[string][32]byte, len(ps))
+	coldMs := make(map[string]float64, len(ps))
+	for _, p := range ps {
+		t0 := time.Now()
+		body, cacheHdr, err := get(client, *base+p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		coldMs[p] = float64(time.Since(t0).Microseconds()) / 1000
+		ref[p] = sha256.Sum256(body)
+		fmt.Printf("prime %-60s %8.1f ms  (%d bytes, X-Cache: %s)\n", p, coldMs[p], len(body), cacheHdr)
+	}
+
+	// Hot pass: all workers, round-robin over paths, every body checked
+	// against the reference hash.
+	var (
+		mu       sync.Mutex
+		samples  = make([]sample, 0, *total)
+		mismatch atomic.Int64
+		next     atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *total {
+					return
+				}
+				p := ps[i%len(ps)]
+				t0 := time.Now()
+				body, cacheHdr, err := get(client, *base+p)
+				d := time.Since(t0)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "loadgen:", err)
+					mismatch.Add(1)
+					continue
+				}
+				if sha256.Sum256(body) != ref[p] {
+					fmt.Fprintf(os.Stderr, "loadgen: response for %s diverged from reference\n", p)
+					mismatch.Add(1)
+					continue
+				}
+				mu.Lock()
+				samples = append(samples, sample{path: p, d: d, cache: cacheHdr})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no successful requests")
+		os.Exit(1)
+	}
+	durs := make([]time.Duration, len(samples))
+	byPath := make(map[string][]time.Duration, len(ps))
+	hits := 0
+	for i, s := range samples {
+		durs[i] = s.d
+		byPath[s.path] = append(byPath[s.path], s.d)
+		if s.cache == "hit" {
+			hits++
+		}
+	}
+	sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(durs)-1))
+		return float64(durs[i].Microseconds()) / 1000
+	}
+	reqs := float64(len(samples))
+	fmt.Printf("\n%d requests, %d workers, %.2fs\n", len(samples), *conc, elapsed.Seconds())
+	fmt.Printf("throughput: %.0f req/s\n", reqs/elapsed.Seconds())
+	fmt.Printf("latency:    p50 %.2f ms  p99 %.2f ms\n", pct(0.50), pct(0.99))
+	fmt.Printf("cache:      %d/%d hits (%.0f%%)\n", hits, len(samples), 100*float64(hits)/reqs)
+	for _, p := range ps {
+		ds := byPath[p]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		if warm := p50ms(ds); warm > 0 {
+			fmt.Printf("cold/warm:  %-60s %.1fx (cold %.1f ms vs warm p50 %.2f ms)\n",
+				p, coldMs[p]/warm, coldMs[p], warm)
+		}
+	}
+	if n := mismatch.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d mismatched or failed responses\n", n)
+		os.Exit(1)
+	}
+	fmt.Println("byte-identity: OK (every response matched its path's reference)")
+}
+
+// get fetches a URL, requiring HTTP 200, and returns the body and
+// X-Cache header.
+func get(client *http.Client, url string) ([]byte, string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, firstLine(body))
+	}
+	return body, resp.Header.Get("X-Cache"), nil
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -64,6 +64,47 @@
 //
 // and to record the benchmark trajectory across PRs:
 //
-//	make bench            # full suite → BENCH_1.json (ns/op, B/op, allocs/op)
-//	make verify           # tier-1 tests + vet + benchmark smoke run
+//	make bench            # full suite → BENCH_2.json (ns/op, B/op, allocs/op)
+//	make verify           # tier-1 tests + vet + bench smoke + regression gate
+//
+// # Serving
+//
+// The same catalog is served concurrently over HTTP by internal/service
+// (run it with cmd/gpuvard, default :8080):
+//
+//	GET  /v1/figures            catalog of figure/table generators
+//	GET  /v1/figures/{id}       one rendered figure (config via query)
+//	GET  /v1/experiments/{name} one experiment summary (params via query)
+//	POST /v1/campaign           one campaign simulation (params via body)
+//	GET  /v1/stats              cache/session counters
+//
+// A request descends through four reuse layers, each of which may
+// short-circuit it: (1) the service's fingerprint-keyed LRU response
+// cache with singleflight coalescing — N concurrent identical requests
+// cost one computation, and repeats replay stored bytes; (2) the figure
+// session cache, which runs each shared experiment once per config;
+// (3) the process-wide fleet cache, one instantiation per (spec, seed);
+// (4) per-device steady-point memoization inside the simulator. The
+// whole stack is deterministic, so identical requests are byte-identical
+// no matter which layer answers — cmd/loadgen hammers a running server
+// with concurrent workers and verifies exactly that while measuring
+// req/s and p50/p99 latency:
+//
+//	make serve                  # gpuvard on :8080
+//	go run ./cmd/loadgen -c 32  # 32 workers, byte-identity + latency report
+//
+// Concurrency model: cross-request shared state is confined to
+// internally locked caches (response LRU, session pool, figures
+// singleflight, fleet cache); every mutable simulation object
+// (sim.Device, rng streams, thermal-node copies) is created inside the
+// owning goroutine and never escapes it. go test -race covers the full
+// stack, including a concurrent catalog run through the server.
+//
+// # CI gates
+//
+// Every PR must clear .github/workflows/ci.yml: the verify job
+// (scripts/verify.sh — build, vet, tests, benchmark smoke run, and the
+// cmd/benchjson -compare regression gate, which re-measures the banked
+// perf wins and fails on >25% ns/op or allocs/op growth against the
+// committed BENCH_2.json) and the race job (go test -race -short ./...).
 package gpuvar

@@ -11,6 +11,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -154,6 +155,11 @@ func (m *Monitor) Observe(gpuID string, day int, perfMs float64) *DriftAlert {
 // Baseline exposes a GPU's current baseline (0 if unseen).
 func (m *Monitor) Baseline(gpuID string) float64 { return m.baselines[gpuID] }
 
+// ErrUnknownNode reports an injection targeting a node the cluster does
+// not have — a caller mistake (errors.Is-matchable so the service can
+// answer 400 instead of 500).
+var ErrUnknownNode = errors.New("campaign: unknown injection node")
+
 // Injection describes a degradation to plant mid-campaign.
 type Injection struct {
 	Day    int
@@ -201,7 +207,7 @@ func Simulate(spec cluster.Spec, seed uint64, days int, planCfg PlanConfig, monC
 		return nil, err
 	}
 	if _, ok := nodes[inj.NodeID]; !ok && inj.NodeID != "" {
-		return nil, fmt.Errorf("campaign: unknown injection node %q", inj.NodeID)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, inj.NodeID)
 	}
 
 	wl := workload.SGEMMForCluster(spec.SKU())

@@ -1,0 +1,38 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuvar/internal/gpu"
+)
+
+// defectKinds enumerates every injectable defect class once; the wire
+// names are the kinds' String() forms, so the mapping cannot drift from
+// the type.
+var defectKinds = []gpu.DefectKind{
+	gpu.DefectNone, gpu.DefectStall, gpu.DefectPowerBrake,
+	gpu.DefectCooling, gpu.DefectClockStuck,
+}
+
+// DefectKindNames lists the accepted wire names for ParseDefectKind.
+func DefectKindNames() []string {
+	out := make([]string, len(defectKinds))
+	for i, k := range defectKinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// ParseDefectKind maps a wire name ("stall", "power-brake", …) back to
+// its gpu.DefectKind — the inverse of DefectKind.String, used by the
+// campaign service endpoint to decode injection requests.
+func ParseDefectKind(name string) (gpu.DefectKind, error) {
+	for _, k := range defectKinds {
+		if name == k.String() {
+			return k, nil
+		}
+	}
+	return gpu.DefectNone, fmt.Errorf("campaign: unknown defect kind %q (known: %s)",
+		name, strings.Join(DefectKindNames(), ", "))
+}

@@ -247,6 +247,16 @@ func (s Spec) WithSKU(name string, sku func() *gpu.SKU) Spec {
 	return out
 }
 
+// Names lists the study's cluster names in Table I order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
 // ByName returns the named spec (case-sensitive) or false.
 func ByName(name string) (Spec, bool) {
 	for _, s := range All() {

@@ -92,6 +92,13 @@ type Result struct {
 // VariationOverride) rewrite the spec before the cache lookup, so each
 // variant instantiates its own fleet and the base fleet is never
 // mutated.
+//
+// Run is safe for concurrent use: the fleet cache is internally locked,
+// cached fleet members are treated as read-only, and every mutable
+// simulation object (sim.Device, its RNG streams, the thermal-node
+// copies, aggregation scratch) is created inside the owning job's
+// goroutine and never escapes it. The experiment service relies on this
+// to run independent requests in parallel.
 func Run(exp Experiment) (*Result, error) {
 	return RunWithCache(exp, cluster.DefaultFleetCache)
 }

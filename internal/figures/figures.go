@@ -183,6 +183,13 @@ func IDs() []string {
 	return out
 }
 
+// Normalized returns the config with defaults applied — the canonical
+// form NewSession stores. Cache keys (the experiment service keys its
+// session and response caches by config) must be derived from the
+// normalized value so that, e.g., the zero config and an explicit
+// {Seed: 2022} config share one entry.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 // The generator registry is fixed at compile time, so the ID→Generator
 // map is built once instead of linear-scanning AllWithExtensions() on
 // every Generate call.
@@ -210,9 +217,17 @@ func generate(g Generator, s *Session, w io.Writer) error {
 	return g.Fn(s, w)
 }
 
+// Lookup returns the generator registered under id (paper figures and
+// extensions), letting callers distinguish unknown ids before paying for
+// a run (the service's 404 path).
+func Lookup(id string) (Generator, bool) {
+	g, ok := registry()[id]
+	return g, ok
+}
+
 // Generate runs one generator by id (paper figures and extensions).
 func Generate(id string, s *Session, w io.Writer) error {
-	g, ok := registry()[id]
+	g, ok := Lookup(id)
 	if !ok {
 		known := IDs()
 		sort.Strings(known)

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cachedResponse is one fully rendered response body, ready to replay to
+// any client that asks the same question. Bodies are immutable once
+// stored; handlers must not append to them.
+type cachedResponse struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// flightCall is one in-progress computation that concurrent identical
+// requests wait on instead of recomputing.
+type flightCall struct {
+	wg  sync.WaitGroup
+	res *cachedResponse
+	err error
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters, exposed
+// by GET /v1/stats and asserted by the coalescing tests.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// resultCache is a fingerprint-keyed LRU of rendered responses with
+// singleflight request coalescing: N concurrent requests for the same
+// fingerprint cost one computation — the leader computes, the followers
+// block on its flightCall — and later requests replay the stored bytes.
+// Errors are never cached (a failed computation should be retryable),
+// and a follower that joined a failing flight gets the leader's error.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // key → element whose Value is *lruEntry
+	flight  map[string]*flightCall
+	stats   CacheStats
+}
+
+type lruEntry struct {
+	key string
+	res *cachedResponse
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flight:  make(map[string]*flightCall),
+	}
+}
+
+// do returns the cached response for key, computing it at most once no
+// matter how many goroutines ask concurrently. state reports how the
+// response was obtained — "hit" (replayed from the LRU), "coalesced"
+// (waited on another request's in-flight computation), or "miss"
+// (computed by this call).
+func (c *resultCache) do(key string, compute func() (*cachedResponse, error)) (res *cachedResponse, state string, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		res = el.Value.(*lruEntry).res
+		c.mu.Unlock()
+		return res, "hit", nil
+	}
+	if fc, ok := c.flight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		fc.wg.Wait()
+		return fc.res, "coalesced", fc.err
+	}
+	fc := &flightCall{}
+	fc.wg.Add(1)
+	c.flight[key] = fc
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	fc.res, fc.err = compute()
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if fc.err == nil {
+		c.insert(key, fc.res)
+	}
+	c.mu.Unlock()
+	fc.wg.Done()
+	return fc.res, "miss", fc.err
+}
+
+// insert adds an entry and evicts from the tail past capacity. Caller
+// holds c.mu.
+func (c *resultCache) insert(key string, res *cachedResponse) {
+	if el, ok := c.entries[key]; ok { // lost a benign race with a re-add
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*lruEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

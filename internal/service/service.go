@@ -1,0 +1,321 @@
+// Package service exposes the characterization suite as a long-running
+// HTTP service: the full figure/table catalog, ad-hoc experiments, and
+// campaign simulations, all as JSON.
+//
+// Routes (all under /v1):
+//
+//	GET  /v1/figures            catalog of figure/table generators
+//	GET  /v1/figures/{id}       one rendered figure (config via query)
+//	GET  /v1/experiments/{name} one experiment summary (params via query)
+//	POST /v1/campaign           one campaign simulation (params via body)
+//	GET  /v1/stats              cache/session counters for observability
+//
+// Every expensive response is produced through a fingerprint-keyed LRU
+// result cache with singleflight coalescing (resultCache): the
+// fingerprint canonicalizes the request (route + normalized parameters),
+// identical concurrent requests share one computation, and repeats
+// replay stored bytes. Below the response cache sit the reuse layers
+// PR 1 built — the figures session singleflight, the process-wide fleet
+// cache, and per-device steady-point memoization — so even a cache-miss
+// request pays only for what no earlier request has computed.
+//
+// Concurrency audit (the contract go test -race enforces end to end):
+// cross-request shared state is confined to internally locked caches
+// (resultCache, sessionPool, figures.Session, cluster.FleetCache); all
+// mutable simulation state (sim.Device, rng streams, thermal-node
+// copies) is created per job inside the owning goroutine and never
+// escapes it. Handlers therefore run with no global lock.
+package service
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gpuvar/internal/figures"
+)
+
+// Options configures a server. The zero value serves the quick-settings
+// catalog with modest cache bounds.
+type Options struct {
+	// Figures is the default figure configuration; per-request query
+	// parameters override individual fields.
+	Figures figures.Config
+	// ResponseCacheSize bounds the rendered-response LRU (default 256).
+	ResponseCacheSize int
+	// SessionCacheSize bounds the number of live figure sessions, one
+	// per distinct config (default 4). Sessions hold experiment results,
+	// so this is the server's main memory knob.
+	SessionCacheSize int
+}
+
+// Server answers catalog queries. Create with New; it is an
+// http.Handler.
+type Server struct {
+	opts     Options
+	cache    *resultCache
+	sessions *sessionPool
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// New assembles a server.
+func New(opts Options) *Server {
+	if opts.ResponseCacheSize <= 0 {
+		opts.ResponseCacheSize = 256
+	}
+	if opts.SessionCacheSize <= 0 {
+		opts.SessionCacheSize = 4
+	}
+	opts.Figures = opts.Figures.Normalized()
+	s := &Server{
+		opts:     opts,
+		cache:    newResultCache(opts.ResponseCacheSize),
+		sessions: newSessionPool(opts.SessionCacheSize),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	s.mux.HandleFunc("GET /v1/figures", s.handleFigureList)
+	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// CacheStats exposes the response-cache counters (used by tests and the
+// stats endpoint).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusError carries an HTTP status through the cache's error path,
+// letting a computation classify its own failure (e.g. a bad injection
+// node is the client's mistake, not a server fault).
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// serveCached runs one computation through the response cache and
+// replays the result, tagging it with an X-Cache header (hit, miss, or
+// coalesced) so clients and the load generator can tell the layers
+// apart. A compute error returning a *statusError keeps its status;
+// anything else is a 500.
+func (s *Server) serveCached(w http.ResponseWriter, key string, compute func() (*cachedResponse, error)) {
+	res, state, err := s.cache.do(key, compute)
+	if err != nil {
+		var se *statusError
+		if errors.As(err, &se) {
+			writeError(w, se.status, "%v", se.err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", res.contentType)
+	w.Header().Set("X-Cache", state)
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// jsonResponse marshals v into a cacheable 200 response.
+func jsonResponse(v any) (*cachedResponse, error) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return &cachedResponse{
+		status:      http.StatusOK,
+		contentType: "application/json",
+		body:        append(body, '\n'),
+	}, nil
+}
+
+// figureInfo is one catalog row.
+type figureInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(w, "figures-list", func() (*cachedResponse, error) {
+		gens := figures.AllWithExtensions()
+		out := make([]figureInfo, len(gens))
+		for i, g := range gens {
+			out[i] = figureInfo{ID: g.ID, Title: g.Title}
+		}
+		return jsonResponse(struct {
+			Figures []figureInfo `json:"figures"`
+		}{out})
+	})
+}
+
+// figureResponse is one rendered figure.
+type figureResponse struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	Config figures.Config `json:"config"`
+	Output string         `json:"output"`
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g, ok := figures.Lookup(id)
+	if !ok {
+		known := figures.IDs()
+		sort.Strings(known)
+		writeError(w, http.StatusNotFound, "unknown figure id %q (known: %v)", id, known)
+		return
+	}
+	cfg, err := s.figureConfig(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := fmt.Sprintf("figure|%s|%+v", id, cfg)
+	s.serveCached(w, key, func() (*cachedResponse, error) {
+		var buf bytes.Buffer
+		if err := figures.Generate(id, s.sessions.get(cfg), &buf); err != nil {
+			return nil, err
+		}
+		return jsonResponse(figureResponse{
+			ID:     id,
+			Title:  g.Title,
+			Config: cfg,
+			Output: buf.String(),
+		})
+	})
+}
+
+// figureConfig builds the request's normalized figure config: server
+// defaults overridden field-by-field from the query string.
+func (s *Server) figureConfig(r *http.Request) (figures.Config, error) {
+	cfg := s.opts.Figures
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+		cfg.Seed = n
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{
+		{"iterations", &cfg.Iterations},
+		{"ml_iterations", &cfg.MLIterations},
+		{"runs", &cfg.Runs},
+	} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return cfg, fmt.Errorf("bad %s %q: want a positive integer", p.name, v)
+			}
+			*p.dst = n
+		}
+	}
+	if v := q.Get("summit_fraction"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return cfg, fmt.Errorf("bad summit_fraction %q: want 0 < f <= 1", v)
+		}
+		cfg.SummitFraction = f
+	}
+	return cfg.Normalized(), nil
+}
+
+// statsResponse is the observability snapshot.
+type statsResponse struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Cache         CacheStats `json:"cache"`
+	Sessions      int        `json:"sessions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Cache:         s.cache.Stats(),
+		Sessions:      s.sessions.len(),
+	})
+}
+
+// sessionPool is the LRU of live figure sessions, keyed by normalized
+// config. Sessions are where experiment results accumulate, so bounding
+// them bounds the server's working set; the process-wide fleet cache
+// (cluster.DefaultFleetCache) persists across evictions, so a re-created
+// session re-runs experiments but never re-instantiates fleets.
+type sessionPool struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List               // front = most recently used
+	byKey map[string]*list.Element // key → element holding *sessionSlot
+}
+
+type sessionSlot struct {
+	key     string
+	session *figures.Session
+}
+
+func newSessionPool(max int) *sessionPool {
+	if max < 1 {
+		max = 1
+	}
+	return &sessionPool{max: max, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the session for a normalized config, creating (and
+// possibly evicting) under the lock — session construction is cheap;
+// the expensive work happens inside the session's own singleflight.
+func (p *sessionPool) get(cfg figures.Config) *figures.Session {
+	key := fmt.Sprintf("%+v", cfg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		p.ll.MoveToFront(el)
+		return el.Value.(*sessionSlot).session
+	}
+	slot := &sessionSlot{key: key, session: figures.NewSession(cfg)}
+	p.byKey[key] = p.ll.PushFront(slot)
+	for p.ll.Len() > p.max {
+		tail := p.ll.Back()
+		p.ll.Remove(tail)
+		delete(p.byKey, tail.Value.(*sessionSlot).key)
+	}
+	return slot.session
+}
+
+func (p *sessionPool) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ll.Len()
+}

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpuvar/internal/figures"
+)
+
+// testServer returns a server with cheap settings: tiny iteration
+// counts and minimal Summit coverage keep every handler affordable in
+// unit tests while exercising the full pipeline.
+func testServer() *Server {
+	return New(Options{
+		Figures: figures.Config{Iterations: 2, MLIterations: 2, Runs: 2, SummitFraction: 0.01},
+	})
+}
+
+// campaignBody is a small, fast campaign request (CloudLab has 6 nodes).
+const campaignBody = `{"cluster":"CloudLab","days":3,"plan":{"overhead_frac":0.05,"bench_seconds":600},"injection":{"day":1,"node_id":"cl0-n01","kind":"power-brake"}}`
+
+func doReq(t *testing.T, h http.Handler, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestRoutes(t *testing.T) {
+	srv := testServer()
+	tests := []struct {
+		name       string
+		method     string
+		target     string
+		body       string
+		wantStatus int
+		wantIn     string // substring the response body must contain
+	}{
+		{"figure list", "GET", "/v1/figures", "", 200, `"tab1"`},
+		{"figure list wrong method", "POST", "/v1/figures", "", 405, ""},
+		{"figure ok", "GET", "/v1/figures/tab1", "", 200, "Table I"},
+		{"figure with config", "GET", "/v1/figures/tab2?seed=7", "", 200, "Table II"},
+		{"figure unknown id", "GET", "/v1/figures/fig99", "", 404, "unknown figure id"},
+		{"figure bad seed", "GET", "/v1/figures/tab1?seed=x", "", 400, "bad seed"},
+		{"figure bad fraction", "GET", "/v1/figures/tab1?summit_fraction=2", "", 400, "summit_fraction"},
+		{"figure wrong method", "DELETE", "/v1/figures/tab1", "", 405, ""},
+		{"experiment ok", "GET", "/v1/experiments/sgemm?cluster=CloudLab&iterations=2", "", 200, `"summary"`},
+		{"experiment groups", "GET", "/v1/experiments/sgemm?cluster=CloudLab&iterations=2&detail=groups", "", 200, `"groups"`},
+		{"experiment gpus", "GET", "/v1/experiments/sgemm?cluster=CloudLab&iterations=2&detail=gpus", "", 200, `"gpu_id"`},
+		{"experiment unknown workload", "GET", "/v1/experiments/doom", "", 404, "unknown workload"},
+		{"experiment unknown cluster", "GET", "/v1/experiments/sgemm?cluster=Atlantis", "", 404, "unknown cluster"},
+		{"experiment bad fraction", "GET", "/v1/experiments/sgemm?cluster=CloudLab&fraction=0", "", 400, "bad fraction"},
+		{"experiment bad runs", "GET", "/v1/experiments/sgemm?cluster=CloudLab&runs=-1", "", 400, "bad runs"},
+		{"experiment bad detail", "GET", "/v1/experiments/sgemm?cluster=CloudLab&detail=everything", "", 400, "bad detail"},
+		{"experiment wrong method", "POST", "/v1/experiments/sgemm", "", 405, ""},
+		{"campaign ok", "POST", "/v1/campaign", campaignBody, 200, `"detection_day"`},
+		{"campaign defaults", "POST", "/v1/campaign", `{"cluster":"CloudLab","days":2}`, 200, `"coverage_period_days"`},
+		{"campaign bad json", "POST", "/v1/campaign", `{"cluster":`, 400, "decoding body"},
+		{"campaign unknown field", "POST", "/v1/campaign", `{"clutser":"CloudLab"}`, 400, "decoding body"},
+		{"campaign unknown cluster", "POST", "/v1/campaign", `{"cluster":"Atlantis"}`, 404, "unknown cluster"},
+		{"campaign unknown kind", "POST", "/v1/campaign", `{"cluster":"CloudLab","days":2,"injection":{"kind":"rust"}}`, 400, "unknown defect kind"},
+		{"campaign unknown node", "POST", "/v1/campaign", `{"cluster":"CloudLab","days":2,"injection":{"day":1,"node_id":"nope-n99","kind":"stall"}}`, 400, "unknown injection node"},
+		{"campaign wrong method", "GET", "/v1/campaign", "", 405, ""},
+		{"stats", "GET", "/v1/stats", "", 200, `"cache"`},
+		{"health", "GET", "/healthz", "", 200, `"ok"`},
+		{"unknown route", "GET", "/v1/nope", "", 404, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rr := doReq(t, srv, tt.method, tt.target, tt.body)
+			if rr.Code != tt.wantStatus {
+				t.Fatalf("status = %d, want %d; body: %s", rr.Code, tt.wantStatus, rr.Body.String())
+			}
+			if tt.wantIn != "" && !strings.Contains(rr.Body.String(), tt.wantIn) {
+				t.Errorf("body does not contain %q:\n%s", tt.wantIn, rr.Body.String())
+			}
+		})
+	}
+}
+
+// TestCacheHitMissAndByteIdentity pins the caching contract: the first
+// request computes (X-Cache: miss), the repeat replays (X-Cache: hit),
+// and the bodies are byte-identical. A config change misses again.
+func TestCacheHitMissAndByteIdentity(t *testing.T) {
+	srv := testServer()
+	const target = "/v1/experiments/sgemm?cluster=CloudLab&iterations=2&runs=2"
+
+	first := doReq(t, srv, "GET", target, "")
+	if first.Code != 200 || first.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first request: status %d, X-Cache %q; want 200 miss", first.Code, first.Header().Get("X-Cache"))
+	}
+	second := doReq(t, srv, "GET", target, "")
+	if second.Code != 200 || second.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second request: status %d, X-Cache %q; want 200 hit", second.Code, second.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cache hit returned different bytes than the original computation")
+	}
+	third := doReq(t, srv, "GET", target+"&seed=7", "")
+	if third.Code != 200 || third.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("changed-config request: status %d, X-Cache %q; want 200 miss", third.Code, third.Header().Get("X-Cache"))
+	}
+	if bytes.Equal(first.Body.Bytes(), third.Body.Bytes()) {
+		t.Fatal("different seed produced identical measurements — fingerprint too coarse")
+	}
+
+	s := srv.CacheStats()
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 misses and 1 hit", s)
+	}
+}
+
+// TestCampaignFingerprintNormalization: two spellings of the same
+// campaign (explicit defaults vs omitted) must share one cache entry.
+func TestCampaignFingerprintNormalization(t *testing.T) {
+	srv := testServer()
+	explicit := `{"cluster":"CloudLab","seed":2022,"days":2,"plan":{"overhead_frac":0.02,"bench_seconds":600,"day_seconds":86400},"monitor":{"alpha":0.3,"drift_frac":0.05,"confirmations":1}}`
+	omitted := `{"cluster":"CloudLab","days":2}`
+
+	first := doReq(t, srv, "POST", "/v1/campaign", explicit)
+	if first.Code != 200 {
+		t.Fatalf("explicit: status %d: %s", first.Code, first.Body.String())
+	}
+	second := doReq(t, srv, "POST", "/v1/campaign", omitted)
+	if second.Code != 200 {
+		t.Fatalf("omitted: status %d: %s", second.Code, second.Body.String())
+	}
+	if second.Header().Get("X-Cache") != "hit" {
+		t.Errorf("equivalent campaign request did not hit the cache (X-Cache %q)", second.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("equivalent campaign spellings returned different bytes")
+	}
+}
+
+// TestCoalescing launches a wave of identical concurrent requests and
+// asserts the singleflight contract: exactly one computation, identical
+// bytes for every waiter, and every non-leader either coalesced onto
+// the in-flight call or hit the stored result.
+func TestCoalescing(t *testing.T) {
+	srv := testServer()
+	const workers = 16
+	const target = "/v1/experiments/sgemm?cluster=CloudLab&iterations=2&runs=3"
+
+	bodies := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr := doReq(t, srv, "GET", target, "")
+			if rr.Code != 200 {
+				t.Errorf("worker %d: status %d: %s", i, rr.Code, rr.Body.String())
+				return
+			}
+			bodies[i] = rr.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < workers; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("worker %d received different bytes than worker 0", i)
+		}
+	}
+	s := srv.CacheStats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 computation for %d identical requests", s.Misses, workers)
+	}
+	if s.Hits+s.Coalesced != workers-1 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want %d", s.Hits, s.Coalesced, s.Hits+s.Coalesced, workers-1)
+	}
+}
+
+// TestConcurrentCatalog drives a representative slice of the catalog —
+// figures, experiments, campaigns, stats — through the server from many
+// goroutines at once. Its real assertion is go test -race: it proves the
+// whole stack (response cache, session pool, figures singleflight, fleet
+// cache, per-job devices) is data-race-free under concurrent traffic.
+func TestConcurrentCatalog(t *testing.T) {
+	srv := testServer()
+	paths := []string{
+		"/v1/figures",
+		"/v1/figures/tab1",
+		"/v1/figures/tab2",
+		"/v1/figures/fig2",
+		"/v1/figures/fig3", // shares fig2's experiment through the session singleflight
+		"/v1/experiments/sgemm?cluster=CloudLab&iterations=2",
+		"/v1/experiments/sgemm?cluster=CloudLab&iterations=2&detail=gpus",
+		"/v1/stats",
+	}
+	const rounds = 3
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for _, p := range paths {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				rr := doReq(t, srv, "GET", p, "")
+				if rr.Code != 200 {
+					t.Errorf("GET %s: status %d: %s", p, rr.Code, rr.Body.String())
+				}
+			}(p)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rr := doReq(t, srv, "POST", "/v1/campaign", campaignBody)
+			if rr.Code != 200 {
+				t.Errorf("POST /v1/campaign: status %d: %s", rr.Code, rr.Body.String())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStatsEndpoint sanity-checks the observability schema.
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer()
+	doReq(t, srv, "GET", "/v1/figures/tab1", "")
+	doReq(t, srv, "GET", "/v1/figures/tab1", "")
+	rr := doReq(t, srv, "GET", "/v1/stats", "")
+	var got statsResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("stats unmarshal: %v", err)
+	}
+	if got.Cache.Misses != 1 || got.Cache.Hits != 1 || got.Sessions != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 1 hit, 1 session", got)
+	}
+}
+
+// TestResultCacheLRU pins the eviction policy: capacity 2, three keys,
+// the least recently used entry is evicted and recomputed on return.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	computes := map[string]int{}
+	get := func(key string) {
+		t.Helper()
+		res, _, err := c.do(key, func() (*cachedResponse, error) {
+			computes[key]++
+			return &cachedResponse{status: 200, body: []byte(key)}, nil
+		})
+		if err != nil || string(res.body) != key {
+			t.Fatalf("do(%q) = %q, %v", key, res.body, err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a; b is now LRU
+	get("c") // evicts b
+	get("a") // still cached
+	get("b") // recomputed
+	if computes["a"] != 1 || computes["b"] != 2 || computes["c"] != 1 {
+		t.Errorf("computes = %v, want a:1 b:2 c:1", computes)
+	}
+	s := c.Stats()
+	if s.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2 (b then a or c)", s.Evictions)
+	}
+}
+
+// TestResultCacheErrorNotCached: failed computations must be retried,
+// not replayed.
+func TestResultCacheErrorNotCached(t *testing.T) {
+	c := newResultCache(4)
+	calls := 0
+	fail := func() (*cachedResponse, error) {
+		calls++
+		return nil, fmt.Errorf("boom %d", calls)
+	}
+	if _, _, err := c.do("k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, _, err := c.do("k", fail); err == nil || !strings.Contains(err.Error(), "boom 2") {
+		t.Fatalf("second call err = %v, want fresh boom 2", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (errors not cached)", calls)
+	}
+}

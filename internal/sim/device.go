@@ -28,6 +28,15 @@ import (
 
 // Device is one simulated GPU: immutable chip parameters plus its
 // thermal environment, PM controller, and private noise stream.
+//
+// A Device is confined to a single goroutine: its noise stream and its
+// steady-point memo are stateful and unsynchronized. The concurrent
+// layers above respect this by construction — internal/core builds a
+// fresh device set per job inside the job's goroutine, and
+// internal/campaign reuses devices only within one (single-goroutine)
+// Simulate call — so devices are never shared across goroutines, and
+// the whole stack stays race-free without a lock on the simulation hot
+// path.
 type Device struct {
 	Chip *gpu.Chip
 	Node *thermal.Node

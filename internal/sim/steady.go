@@ -26,7 +26,7 @@ func newKernelIndex(ks []workload.Kernel) *kernelIndex {
 	return ki
 }
 
-func (ki *kernelIndex) n() int           { return len(ki.names) }
+func (ki *kernelIndex) n() int             { return len(ki.names) }
 func (ki *kernelIndex) of(name string) int { return ki.byName[name] }
 
 // planKernel pairs a kernel with its dense index so the iteration loop

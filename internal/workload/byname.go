@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuvar/internal/gpu"
+)
+
+// Names lists the workload names ByName accepts, in the paper's order.
+// "resnet" is accepted as an alias for "resnet-multi".
+func Names() []string {
+	return []string{"sgemm", "resnet-multi", "resnet-single", "bert", "lammps", "pagerank"}
+}
+
+// ByName constructs the named study workload for a target SKU with the
+// paper's job shapes (4-GPU data-parallel training, LAMMPS's 8M-atom
+// REAXC deck, the rajat30 SpMV). It is the single name→workload mapping
+// shared by cmd/gpuvar and the experiment service, so the two front ends
+// cannot drift.
+func ByName(name string, sku *gpu.SKU) (Workload, error) {
+	switch strings.ToLower(name) {
+	case "sgemm":
+		return SGEMMForCluster(sku), nil
+	case "resnet-multi", "resnet":
+		return ResNet50(4, 64, sku), nil
+	case "resnet-single":
+		return ResNet50(1, 16, sku), nil
+	case "bert":
+		return BERT(4, 64, sku), nil
+	case "lammps":
+		return LAMMPS(8, 16, 16, sku), nil
+	case "pagerank":
+		return PageRank(643994, 6250000, sku), nil
+	default:
+		return Workload{}, fmt.Errorf("unknown workload %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}

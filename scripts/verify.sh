@@ -1,6 +1,27 @@
-#!/bin/sh
-# Tier-1 verification plus the cheap perf guards (vet + a one-iteration
-# benchmark smoke run). The command sequence lives in the Makefile's
-# verify target; this wrapper exists for CI hooks that expect a script.
-set -eu
-exec make -C "$(dirname "$0")/.." verify
+#!/usr/bin/env bash
+# Tier-1 verification plus the cheap perf guards. Runs each stage
+# separately so a partial failure is attributed to its stage instead of
+# silently truncating the run (set -Eeuo pipefail stops at the first
+# failing stage; the ERR trap names it, -E so it fires inside run()).
+set -Eeuo pipefail
+cd "$(dirname "$0")/.."
+
+stage="(startup)"
+trap 'echo "verify: FAILED at stage: $stage" >&2' ERR
+
+# Each stage delegates to its make target so the command definitions
+# (gate regexp, tolerances, bench flags) live only in the Makefile;
+# GATE_BENCH / BENCH_TOLERANCE / BENCH_ALLOC_TOLERANCE flow through the
+# environment.
+run() {
+	stage="$1"
+	echo "==> verify: $stage"
+	make --no-print-directory "$stage"
+}
+
+run build
+run vet
+run test
+run bench-smoke
+run bench-compare
+echo "verify: all stages passed"
