@@ -1,34 +1,61 @@
 GO ?= go
 
-.PHONY: help build vet test verify race bench bench-smoke bench-compare figures serve loadgen
+.PHONY: help build fmt vet test cover cover-summary verify race bench bench-smoke bench-compare figures serve loadgen
 
 # help lists the targets. Serving quick-reference:
 #   make serve    starts cmd/gpuvard on :8080 — the experiment service.
 #     A request passes through (1) the service's fingerprint-keyed LRU
-#     response cache with singleflight coalescing, (2) the figures
-#     session cache (one run per shared experiment), (3) the process-wide
-#     fleet cache (one instantiation per (spec, seed)), and (4) per-device
-#     steady-point memoization. Identical requests are byte-identical.
+#     response cache with cancellation-safe singleflight coalescing,
+#     (2) the figures session cache (one run per shared experiment),
+#     (3) the process-wide fleet cache (one instantiation per
+#     (spec, seed)), and (4) per-device steady-point memoization.
+#     Identical requests are byte-identical. Every computation runs on
+#     internal/engine under a per-request deadline (gpuvard -timeout,
+#     default 30s); client disconnects abort work mid-run.
 #   make loadgen  hammers a running gpuvard with concurrent identical
-#     requests, checks byte-identity, and reports req/s + p50/p99.
+#     requests, checks byte-identity, and reports req/s + p50/p99
+#     (loadgen -duration 30s for time-based runs, -sweep '...' to mix in
+#     POST /v1/sweep).
 # CI gates a PR must clear (.github/workflows/ci.yml):
-#   make verify   build + vet + test + bench-smoke + bench-compare
+#   make verify   build + fmt + vet + test + bench-smoke + bench-compare
 #   make race     go test -race -short ./...
+#   make cover    test suite with a coverage summary
 help:
 	@awk '/^[a-z][a-z-]*:/ {sub(/:.*/,""); print "  make " $$0} /^# / {sub(/^# /,""); print}' $(MAKEFILE_LIST)
 
 build:
 	$(GO) build ./...
 
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
 
+# test runs the tier-1 suite. TESTFLAGS lets CI fold the coverage
+# profile into this single run instead of running the suite twice
+# (TESTFLAGS='-coverprofile /tmp/gpuvar_cover.out').
+TESTFLAGS ?=
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
-# verify is the tier-1 gate plus the cheap perf guards: vet, a
+# cover runs the test suite with coverage and prints the total coverage
+# summary (profile left in /tmp/gpuvar_cover.out for
+# `go tool cover -html`).
+cover:
+	$(GO) test -coverprofile /tmp/gpuvar_cover.out ./...
+	$(GO) tool cover -func /tmp/gpuvar_cover.out | tail -1
+
+# cover-summary prints the total from an existing profile (CI uses this
+# after `make verify TESTFLAGS=-coverprofile...` so the suite runs once).
+cover-summary:
+	$(GO) tool cover -func /tmp/gpuvar_cover.out | tail -1
+
+# verify is the tier-1 gate plus the cheap perf guards: gofmt, vet, a
 # one-iteration benchmark smoke run, and the benchmark-regression gate
-# against the committed trajectory (BENCH_2.json). The stage sequence
+# against the committed trajectory (BENCH_3.json). The stage sequence
 # lives in scripts/verify.sh, which reports which stage failed.
 verify:
 	scripts/verify.sh
@@ -40,14 +67,14 @@ verify:
 race:
 	$(GO) test -race -short ./...
 
-# bench records the full benchmark suite into BENCH_2.json with PR 1's
-# BENCH_1.json embedded as the baseline (name → ns/op, B/op, allocs/op).
+# bench records the full benchmark suite into BENCH_3.json with PR 2's
+# BENCH_2.json embedded as the baseline (name → ns/op, B/op, allocs/op).
 # Pass BENCH='regexp' to restrict, e.g.
 #   make bench BENCH='Fig04|ExtCampaign' COUNT=3
 BENCH ?= .
 COUNT ?= 1
 bench:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_1.json -out BENCH_2.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_2.json -out BENCH_3.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
@@ -55,16 +82,17 @@ bench-smoke:
 # bench-compare is the benchmark-regression gate: re-measure the gate
 # benchmarks and fail if ns/op regressed past BENCH_TOLERANCE or
 # allocs/op past BENCH_ALLOC_TOLERANCE against the committed
-# BENCH_2.json. GATE_BENCH keeps the gate fast and focused on the two
-# perf wins PR 1 banked. The alloc gate stays tight everywhere (alloc
-# counts are machine-independent); CI loosens only BENCH_TOLERANCE
-# because absolute ns/op is not comparable across host machines.
-GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign
+# BENCH_3.json. GATE_BENCH keeps the gate fast and focused on the two
+# perf wins PR 1 banked plus the PR 3 engine-backed sweep surface. The
+# alloc gate stays tight everywhere (alloc counts are
+# machine-independent); CI loosens only BENCH_TOLERANCE because
+# absolute ns/op is not comparable across host machines.
+GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep
 BENCH_TOLERANCE ?= 0.25
 BENCH_ALLOC_TOLERANCE ?= 0.25
 bench-compare:
 	$(GO) run ./cmd/benchjson -bench '$(GATE_BENCH)' -count 3 -benchtime 30x \
-		-out /tmp/bench_gate.json -compare BENCH_2.json \
+		-out /tmp/bench_gate.json -compare BENCH_3.json \
 		-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 figures:

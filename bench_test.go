@@ -10,8 +10,10 @@ package gpuvar
 // the paper-scale versions.
 
 import (
+	"context"
 	"io"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"gpuvar/internal/figures"
@@ -39,7 +41,7 @@ func benchFigure(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		s := figures.NewSession(benchConfig())
-		if err := figures.Generate(id, s, io.Discard); err != nil {
+		if err := figures.Generate(context.Background(), id, s, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,6 +87,25 @@ func BenchmarkExtGlobalPM(b *testing.B)  { benchFigure(b, "ext-globalpm") }
 func BenchmarkExtScheduler(b *testing.B) { benchFigure(b, "ext-scheduler") }
 func BenchmarkExtCampaign(b *testing.B)  { benchFigure(b, "ext-campaign") }
 func BenchmarkExtNextGen(b *testing.B)   { benchFigure(b, "ext-nextgen") }
+
+// BenchmarkServiceSweep measures the new POST /v1/sweep surface cold:
+// a 4-cap power sweep on CloudLab computed as one engine job graph per
+// iteration (fresh server, so the response cache never hits; the fleet
+// cache amortizes across iterations exactly as a restarted server
+// would against the process-wide cache).
+func BenchmarkServiceSweep(b *testing.B) {
+	const body = `{"cluster":"CloudLab","iterations":6,"caps_w":[300,250,200,150]}`
+	for i := 0; i < b.N; i++ {
+		srv := service.New(service.Options{Figures: benchConfig()})
+		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
 
 // BenchmarkServiceFigureHit measures the serving hot path of
 // internal/service: a fully cached figure request (fingerprint lookup +

@@ -12,9 +12,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gpuvar/internal/figures"
 )
@@ -49,16 +53,25 @@ func main() {
 	}
 	s := figures.NewSession(cfg)
 
+	// Ctrl-C aborts the regeneration cooperatively: the engine stops
+	// dispatching experiment shards and the command exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch {
 	case *fig != "":
-		err = figures.Generate(*fig, s, os.Stdout)
+		err = figures.Generate(ctx, *fig, s, os.Stdout)
 	case *parallel != 0:
-		err = figures.GenerateAllParallel(s, os.Stdout, *parallel)
+		err = figures.GenerateAllParallel(ctx, s, os.Stdout, *parallel)
 	default:
-		err = figures.GenerateAll(s, os.Stdout)
+		err = figures.GenerateAll(ctx, s, os.Stdout)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "figures: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}

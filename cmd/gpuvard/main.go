@@ -14,7 +14,12 @@
 //	curl localhost:8080/v1/figures/fig2
 //	curl 'localhost:8080/v1/experiments/sgemm?cluster=CloudLab&runs=3'
 //	curl -X POST -d '{"cluster":"Vortex","injection":{"day":4,"node_id":"v003-n01","kind":"power-brake"}}' localhost:8080/v1/campaign
+//	curl -X POST -d '{"cluster":"CloudLab","caps_w":[300,250,200,150,100]}' localhost:8080/v1/sweep
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/healthz
+//
+// Every computation is deadline-bounded (-timeout, default 30s) and
+// cancels mid-run when the client disconnects.
 package main
 
 import (
@@ -40,6 +45,7 @@ func main() {
 		summit  = flag.Float64("summit-fraction", 0, "default Summit coverage fraction (0 = quick setting)")
 		respLRU = flag.Int("response-cache", 256, "response LRU size (entries)")
 		sessLRU = flag.Int("session-cache", 4, "figure-session LRU size (distinct configs)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request computation deadline (negative disables)")
 	)
 	flag.Parse()
 
@@ -51,6 +57,7 @@ func main() {
 		},
 		ResponseCacheSize: *respLRU,
 		SessionCacheSize:  *sessLRU,
+		RequestTimeout:    *timeout,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -5,13 +5,19 @@
 //
 // It reports throughput (req/s), latency percentiles (p50/p99), the
 // cold-vs-warm latency ratio for the first path, and the server's
-// X-Cache hit/miss split. It exits nonzero if any response diverges
-// from the first response for its path or is not HTTP 200.
+// X-Cache hit/miss split. Server-aborted responses — 504 (request
+// deadline exceeded) and 499 (request canceled) — are counted
+// separately from failures: under an aggressive -timeout they are the
+// server shedding load as designed, not a bug. It exits nonzero if any
+// response diverges from the first response for its path or fails
+// outright.
 //
 // Usage:
 //
 //	loadgen                                     # 32 workers, 512 reqs, /v1/figures/fig2
 //	loadgen -c 64 -n 2048 -paths /v1/figures/fig2,/v1/experiments/sgemm?cluster=CloudLab
+//	loadgen -duration 30s                       # time-based instead of count-based
+//	loadgen -sweep '{"cluster":"CloudLab","caps_w":[300,250,200,150]}'
 //	loadgen -url http://localhost:9090 -c 8
 package main
 
@@ -29,8 +35,16 @@ import (
 	"time"
 )
 
+// target is one request in the round-robin mix.
+type target struct {
+	label  string // method + path, used in reports and as reference key
+	method string
+	path   string
+	body   string
+}
+
 type sample struct {
-	path  string
+	label string
 	d     time.Duration
 	cache string // X-Cache header: hit, miss, coalesced, or ""
 }
@@ -42,40 +56,58 @@ func p50ms(ds []time.Duration) float64 {
 
 func main() {
 	var (
-		base  = flag.String("url", "http://localhost:8080", "server base URL")
-		paths = flag.String("paths", "/v1/figures/fig2", "comma-separated request paths")
-		conc  = flag.Int("c", 32, "concurrent workers")
-		total = flag.Int("n", 512, "total requests (split across workers, round-robin over paths)")
+		base     = flag.String("url", "http://localhost:8080", "server base URL")
+		paths    = flag.String("paths", "/v1/figures/fig2", "comma-separated GET request paths")
+		sweep    = flag.String("sweep", "", "JSON body to POST to /v1/sweep as part of the mix (empty = no sweep requests)")
+		conc     = flag.Int("c", 32, "concurrent workers")
+		total    = flag.Int("n", 512, "total requests (split across workers, round-robin over paths)")
+		duration = flag.Duration("duration", 0, "run for this long instead of a fixed -n (0 = use -n)")
 	)
 	flag.Parse()
 
-	ps := strings.Split(*paths, ",")
+	var targets []target
+	for _, p := range strings.Split(*paths, ",") {
+		targets = append(targets, target{label: "GET " + p, method: "GET", path: p})
+	}
+	if *sweep != "" {
+		targets = append(targets, target{label: "POST /v1/sweep", method: "POST", path: "/v1/sweep", body: *sweep})
+	}
 	client := &http.Client{Timeout: 5 * time.Minute}
 
-	// Cold pass: one priming request per path, timed separately. This
+	// Cold pass: one priming request per target, timed separately. This
 	// also pins the reference body every later response must match.
-	ref := make(map[string][32]byte, len(ps))
-	coldMs := make(map[string]float64, len(ps))
-	for _, p := range ps {
+	ref := make(map[string][32]byte, len(targets))
+	coldMs := make(map[string]float64, len(targets))
+	for _, tg := range targets {
 		t0 := time.Now()
-		body, cacheHdr, err := get(client, *base+p)
+		body, cacheHdr, aborted, err := do(client, *base, tg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			os.Exit(1)
 		}
-		coldMs[p] = float64(time.Since(t0).Microseconds()) / 1000
-		ref[p] = sha256.Sum256(body)
-		fmt.Printf("prime %-60s %8.1f ms  (%d bytes, X-Cache: %s)\n", p, coldMs[p], len(body), cacheHdr)
+		if aborted {
+			fmt.Fprintf(os.Stderr, "loadgen: priming %s was server-aborted; raise the server -timeout or shrink the request\n", tg.label)
+			os.Exit(1)
+		}
+		coldMs[tg.label] = float64(time.Since(t0).Microseconds()) / 1000
+		ref[tg.label] = sha256.Sum256(body)
+		fmt.Printf("prime %-60s %8.1f ms  (%d bytes, X-Cache: %s)\n", tg.label, coldMs[tg.label], len(body), cacheHdr)
 	}
 
-	// Hot pass: all workers, round-robin over paths, every body checked
-	// against the reference hash.
+	// Hot pass: all workers, round-robin over targets, every completed
+	// body checked against the reference hash. In duration mode workers
+	// run until the deadline; otherwise until -n requests are done.
 	var (
 		mu       sync.Mutex
-		samples  = make([]sample, 0, *total)
+		samples  []sample
 		mismatch atomic.Int64
+		aborts   atomic.Int64
 		next     atomic.Int64
 	)
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *conc; w++ {
@@ -84,25 +116,33 @@ func main() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= *total {
+				if deadline.IsZero() {
+					if i >= *total {
+						return
+					}
+				} else if time.Now().After(deadline) {
 					return
 				}
-				p := ps[i%len(ps)]
+				tg := targets[i%len(targets)]
 				t0 := time.Now()
-				body, cacheHdr, err := get(client, *base+p)
+				body, cacheHdr, aborted, err := do(client, *base, tg)
 				d := time.Since(t0)
+				if aborted {
+					aborts.Add(1)
+					continue
+				}
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "loadgen:", err)
 					mismatch.Add(1)
 					continue
 				}
-				if sha256.Sum256(body) != ref[p] {
-					fmt.Fprintf(os.Stderr, "loadgen: response for %s diverged from reference\n", p)
+				if sha256.Sum256(body) != ref[tg.label] {
+					fmt.Fprintf(os.Stderr, "loadgen: response for %s diverged from reference\n", tg.label)
 					mismatch.Add(1)
 					continue
 				}
 				mu.Lock()
-				samples = append(samples, sample{path: p, d: d, cache: cacheHdr})
+				samples = append(samples, sample{label: tg.label, d: d, cache: cacheHdr})
 				mu.Unlock()
 			}
 		}()
@@ -115,11 +155,11 @@ func main() {
 		os.Exit(1)
 	}
 	durs := make([]time.Duration, len(samples))
-	byPath := make(map[string][]time.Duration, len(ps))
+	byLabel := make(map[string][]time.Duration, len(targets))
 	hits := 0
 	for i, s := range samples {
 		durs[i] = s.d
-		byPath[s.path] = append(byPath[s.path], s.d)
+		byLabel[s.label] = append(byLabel[s.label], s.d)
 		if s.cache == "hit" {
 			hits++
 		}
@@ -134,40 +174,58 @@ func main() {
 	fmt.Printf("throughput: %.0f req/s\n", reqs/elapsed.Seconds())
 	fmt.Printf("latency:    p50 %.2f ms  p99 %.2f ms\n", pct(0.50), pct(0.99))
 	fmt.Printf("cache:      %d/%d hits (%.0f%%)\n", hits, len(samples), 100*float64(hits)/reqs)
-	for _, p := range ps {
-		ds := byPath[p]
+	if n := aborts.Load(); n > 0 {
+		fmt.Printf("aborted:    %d responses shed by the server (deadline/cancel), not counted as failures\n", n)
+	}
+	for _, tg := range targets {
+		ds := byLabel[tg.label]
 		if len(ds) == 0 {
 			continue
 		}
 		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
 		if warm := p50ms(ds); warm > 0 {
 			fmt.Printf("cold/warm:  %-60s %.1fx (cold %.1f ms vs warm p50 %.2f ms)\n",
-				p, coldMs[p]/warm, coldMs[p], warm)
+				tg.label, coldMs[tg.label]/warm, coldMs[tg.label], warm)
 		}
 	}
 	if n := mismatch.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d mismatched or failed responses\n", n)
 		os.Exit(1)
 	}
-	fmt.Println("byte-identity: OK (every response matched its path's reference)")
+	fmt.Println("byte-identity: OK (every response matched its target's reference)")
 }
 
-// get fetches a URL, requiring HTTP 200, and returns the body and
-// X-Cache header.
-func get(client *http.Client, url string) ([]byte, string, error) {
-	resp, err := client.Get(url)
+// do performs one request. aborted reports a server-shed response —
+// 504 (deadline exceeded) or 499 (client canceled) — which callers
+// account separately from failures.
+func do(client *http.Client, base string, tg target) (body []byte, cacheHdr string, aborted bool, err error) {
+	var rd io.Reader
+	if tg.body != "" {
+		rd = strings.NewReader(tg.body)
+	}
+	req, err := http.NewRequest(tg.method, base+tg.path, rd)
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
+	}
+	if tg.body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, "", false, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
+	}
+	if resp.StatusCode == http.StatusGatewayTimeout || resp.StatusCode == 499 {
+		return nil, "", true, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, firstLine(body))
+		return nil, "", false, fmt.Errorf("%s %s: %s: %s", tg.method, base+tg.path, resp.Status, firstLine(body))
 	}
-	return body, resp.Header.Get("X-Cache"), nil
+	return body, resp.Header.Get("X-Cache"), false, nil
 }
 
 func firstLine(b []byte) string {

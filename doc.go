@@ -57,6 +57,41 @@
 // TestGenerateAllParallelMatchesSerial pins the parallel catalog against
 // the serial one.
 //
+// # Execution engine
+//
+// All compute fan-out runs on one shared executor, internal/engine,
+// instead of per-layer worker pools:
+//
+//	engine.Map(ctx, n, workers, fn)  — sharded job: bounded pool sized
+//	                                   once, results in shard order,
+//	                                   per-shard panic recovery,
+//	                                   cooperative ctx checks between
+//	                                   shards, progress counters
+//	engine.Group[V].Do(ctx, key, fn) — cancellation-safe singleflight:
+//	                                   the execution belongs to its set
+//	                                   of waiters, not to the caller
+//	                                   that started it
+//
+// core.RunCtx shards an experiment over its jobs; campaign.SimulateCtx
+// shards each benchmarking day over its node slots (the monitor then
+// folds measurements sequentially — EWMA state is order-sensitive);
+// figures.GenerateAllParallel shards the catalog over generators; the
+// week/power/spatial studies shard over their variants. Deterministic
+// shard→result ordering is what keeps every one of these bit-identical
+// to the serial loops they replaced.
+//
+// The cancellation contract: every entry point takes a context and
+// returns ctx.Err() promptly when it ends — workers stop pulling shards,
+// in-flight shards finish (they are ms-scale), and no goroutines leak.
+// Cache layers only ever store complete results: a canceled
+// singleflight leader hands the in-flight computation to the remaining
+// waiters (engine.Group refcounts them) rather than poisoning the key,
+// and a computation nobody waits for anymore is itself canceled. The
+// fleet cache is the one deliberate exception — instantiation is a pure
+// memoizable function, so an abandoned instantiate runs to completion
+// in the background and is cached for the next request, while the
+// abandoning caller still returns immediately.
+//
 // To profile the pipeline:
 //
 //	go test -run '^$' -bench BenchmarkFig04SGEMMSummit -cpuprofile cpu.out .
@@ -76,35 +111,47 @@
 //	GET  /v1/figures/{id}       one rendered figure (config via query)
 //	GET  /v1/experiments/{name} one experiment summary (params via query)
 //	POST /v1/campaign           one campaign simulation (params via body)
-//	GET  /v1/stats              cache/session counters
+//	POST /v1/sweep              a bounded batch of experiment variants
+//	                            (power-cap sweep) as one engine job graph
+//	GET  /v1/stats              cache/session/engine counters
+//	GET  /v1/healthz            liveness + the same counters
 //
 // A request descends through four reuse layers, each of which may
 // short-circuit it: (1) the service's fingerprint-keyed LRU response
-// cache with singleflight coalescing — N concurrent identical requests
-// cost one computation, and repeats replay stored bytes; (2) the figure
-// session cache, which runs each shared experiment once per config;
-// (3) the process-wide fleet cache, one instantiation per (spec, seed);
-// (4) per-device steady-point memoization inside the simulator. The
-// whole stack is deterministic, so identical requests are byte-identical
-// no matter which layer answers — cmd/loadgen hammers a running server
-// with concurrent workers and verifies exactly that while measuring
-// req/s and p50/p99 latency:
+// cache with cancellation-safe singleflight coalescing — N concurrent
+// identical requests cost one computation, and repeats replay stored
+// bytes; (2) the figure session cache, which runs each shared
+// experiment once per config; (3) the process-wide fleet cache, one
+// instantiation per (spec, seed); (4) per-device steady-point
+// memoization inside the simulator. The whole stack is deterministic,
+// so identical requests are byte-identical no matter which layer
+// answers — cmd/loadgen hammers a running server with concurrent
+// workers and verifies exactly that while measuring req/s and p50/p99
+// latency:
 //
 //	make serve                  # gpuvard on :8080
 //	go run ./cmd/loadgen -c 32  # 32 workers, byte-identity + latency report
+//
+// Every handler bounds its computation with a per-request deadline
+// (gpuvard -timeout, default 30s) and aborts it mid-run on client
+// disconnect; the server answers 504 (deadline) or 499 (canceled), and
+// loadgen reports such server-shed responses separately from failures.
 //
 // Concurrency model: cross-request shared state is confined to
 // internally locked caches (response LRU, session pool, figures
 // singleflight, fleet cache); every mutable simulation object
 // (sim.Device, rng streams, thermal-node copies) is created inside the
 // owning goroutine and never escapes it. go test -race covers the full
-// stack, including a concurrent catalog run through the server.
+// stack, including a concurrent catalog run and an in-flight request
+// cancellation through the server.
 //
 // # CI gates
 //
 // Every PR must clear .github/workflows/ci.yml: the verify job
-// (scripts/verify.sh — build, vet, tests, benchmark smoke run, and the
-// cmd/benchjson -compare regression gate, which re-measures the banked
-// perf wins and fails on >25% ns/op or allocs/op growth against the
-// committed BENCH_2.json) and the race job (go test -race -short ./...).
+// (scripts/verify.sh — build, gofmt check, vet, tests, benchmark smoke
+// run, and the cmd/benchjson -compare regression gate, which
+// re-measures the banked perf wins and fails on >25% ns/op or allocs/op
+// growth against the committed BENCH_3.json, then a coverage summary)
+// and the race job (go test -race -short ./...). Superseded CI runs on
+// the same ref are canceled (concurrency: cancel-in-progress).
 package gpuvar

@@ -11,6 +11,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/dvfs"
+	"gpuvar/internal/engine"
 	"gpuvar/internal/gpu"
 	"gpuvar/internal/rng"
 	"gpuvar/internal/sim"
@@ -196,6 +198,24 @@ func (r Report) DetectionLatencyDays(inj Injection) int {
 // repetition count (a real campaign would not spend 100 repetitions of
 // a 2.5 s kernel per GPU).
 func Simulate(spec cluster.Spec, seed uint64, days int, planCfg PlanConfig, monCfg MonitorConfig, inj Injection) (*Report, error) {
+	return SimulateCtx(context.Background(), spec, seed, days, planCfg, monCfg, inj)
+}
+
+// observation is one GPU's benchmark measurement within a slot, carried
+// from the parallel measurement phase to the sequential monitor fold.
+type observation struct {
+	gpuID  string
+	nodeID string
+	perfMs float64
+}
+
+// SimulateCtx runs the campaign with cooperative cancellation. Each
+// day's benchmark slots target distinct nodes (the planner rotates the
+// cursor and never revisits a node within a day), so the day's
+// measurements run as one engine job — slot order preserved — and the
+// drift monitor then folds them in sequentially, exactly as the serial
+// loop did. The golden campaign test pins this refactor bit-exact.
+func SimulateCtx(ctx context.Context, spec cluster.Spec, seed uint64, days int, planCfg PlanConfig, monCfg MonitorConfig, inj Injection) (*Report, error) {
 	fleet := spec.Instantiate(seed)
 	nodes := fleet.Nodes()
 	ids := make([]string, 0, len(nodes))
@@ -228,7 +248,9 @@ func Simulate(spec cluster.Spec, seed uint64, days int, planCfg PlanConfig, monC
 	// bit-identical to rebuilding — and it lets the simulator's steady-point
 	// memo skip re-solving the same operating point every coverage period.
 	// Defect injection bumps the chip's defect generation, which
-	// invalidates the memoized point for the affected GPUs.
+	// invalidates the memoized point for the affected GPUs. Devices are
+	// created here, before the parallel phase, so the map is read-only
+	// while shards run; a device is touched by at most one shard per day.
 	devs := make(map[string]*sim.Device, len(ids))
 	deviceFor := func(m *cluster.Member) *sim.Device {
 		if dev, ok := devs[m.Chip.ID]; ok {
@@ -242,24 +264,56 @@ func Simulate(spec cluster.Spec, seed uint64, days int, planCfg PlanConfig, monC
 	}
 
 	injected := false
-	for _, slot := range slots {
-		if !injected && inj.NodeID != "" && slot.Day >= inj.Day {
+	for start := 0; start < len(slots); {
+		day := slots[start].Day
+		end := start
+		for end < len(slots) && slots[end].Day == day {
+			end++
+		}
+		daySlots := slots[start:end]
+		start = end
+
+		if !injected && inj.NodeID != "" && day >= inj.Day {
 			for _, m := range nodes[inj.NodeID] {
 				m.Chip.InjectDefect(inj.Kind, parent.Split("inject"))
 			}
 			injected = true
 		}
-		for gi, m := range nodes[slot.NodeID] {
-			res := sim.RunSteady([]*sim.Device{deviceFor(m)}, wl,
-				parent.SplitIndex("job:"+slot.NodeID, gi), sim.Options{Run: slot.Day})
-			if alert := mon.Observe(m.Chip.ID, slot.Day, res[0].PerfMs); alert != nil {
-				rep.Alerts = append(rep.Alerts, *alert)
-				if m.Loc.NodeID() == inj.NodeID {
-					if rep.DetectionDay < 0 {
-						rep.DetectionDay = slot.Day
+		for _, slot := range daySlots {
+			for _, m := range nodes[slot.NodeID] {
+				deviceFor(m)
+			}
+		}
+
+		obs, err := engine.Map(ctx, len(daySlots), 0,
+			func(_ context.Context, si int) ([]observation, error) {
+				slot := daySlots[si]
+				members := nodes[slot.NodeID]
+				out := make([]observation, len(members))
+				for gi, m := range members {
+					res := sim.RunSteady([]*sim.Device{devs[m.Chip.ID]}, wl,
+						parent.SplitIndex("job:"+slot.NodeID, gi), sim.Options{Run: slot.Day})
+					out[gi] = observation{gpuID: m.Chip.ID, nodeID: m.Loc.NodeID(), perfMs: res[0].PerfMs}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+
+		// Sequential monitor fold in slot order — EWMA baselines and
+		// alert streaks are order-sensitive state.
+		for _, slotObs := range obs {
+			for _, o := range slotObs {
+				if alert := mon.Observe(o.gpuID, day, o.perfMs); alert != nil {
+					rep.Alerts = append(rep.Alerts, *alert)
+					if o.nodeID == inj.NodeID {
+						if rep.DetectionDay < 0 {
+							rep.DetectionDay = day
+						}
+					} else {
+						rep.FalseAlerts++
 					}
-				} else {
-					rep.FalseAlerts++
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -44,10 +45,26 @@ type fleetKey struct {
 }
 
 // fleetEntry lets concurrent requests for the same fleet share one
-// instantiation without serializing requests for different fleets.
+// instantiation without serializing requests for different fleets. The
+// instantiation runs on its own goroutine: a caller abandoning it
+// (context canceled mid-instantiate) returns immediately while the
+// sampling runs to completion and is cached — the result is pure, so
+// only complete fleets ever enter the cache and the next request for
+// the same key pays nothing.
 type fleetEntry struct {
 	once  sync.Once
+	done  chan struct{}
 	fleet *Fleet
+}
+
+// start launches the instantiation exactly once.
+func (e *fleetEntry) start(s Spec, seed uint64) {
+	e.once.Do(func() {
+		go func() {
+			e.fleet = s.Instantiate(seed)
+			close(e.done)
+		}()
+	})
 }
 
 // FleetCache memoizes Instantiate by (Spec fingerprint, seed). Safe for
@@ -76,16 +93,48 @@ func (c *FleetCache) Instantiate(s Spec, seed uint64) *Fleet {
 	if c == nil {
 		return s.Instantiate(seed)
 	}
+	e := c.entry(s, seed)
+	<-e.done
+	return e.fleet
+}
+
+// Get is the context-aware instantiate path the service stack runs on:
+// it returns the cached fleet for (s, seed), sharing one in-progress
+// instantiation among concurrent callers, but abandons the wait the
+// moment ctx ends. The instantiation itself always runs to completion
+// (it is a pure function worth caching for the next request), so a
+// canceled caller never leaves a partial fleet behind.
+func (c *FleetCache) Get(ctx context.Context, s Spec, seed uint64) (*Fleet, error) {
+	if c == nil {
+		// No cache to amortize into: check before paying for a full
+		// instantiation, which is not interruptible.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return s.Instantiate(seed), nil
+	}
+	e := c.entry(s, seed)
+	select {
+	case <-e.done:
+		return e.fleet, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// entry returns (creating if needed) the key's slot with its
+// instantiation started.
+func (c *FleetCache) entry(s Spec, seed uint64) *fleetEntry {
 	key := fleetKey{fp: s.Fingerprint(), seed: seed}
 	c.mu.Lock()
 	e, ok := c.fleets[key]
 	if !ok {
-		e = &fleetEntry{}
+		e = &fleetEntry{done: make(chan struct{})}
 		c.fleets[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.fleet = s.Instantiate(seed) })
-	return e.fleet
+	e.start(s, seed)
+	return e
 }
 
 // Len returns the number of cached fleets.

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -98,5 +100,59 @@ func TestNilFleetCacheFallsBack(t *testing.T) {
 	f := c.Instantiate(CloudLab(), 1)
 	if f == nil || len(f.Members) != CloudLab().NumGPUs() {
 		t.Fatal("nil cache must degrade to a plain Instantiate")
+	}
+}
+
+// TestFleetCacheGetCancellation pins the context-aware instantiate
+// path: a canceled caller returns promptly, the instantiation still
+// completes and is cached, and later callers (ctx-bound or not) share
+// the completed fleet.
+func TestFleetCacheGetCancellation(t *testing.T) {
+	c := NewFleetCache()
+
+	// Pre-canceled context: the wait is abandoned immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, Summit(), 99); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get with canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// The abandoned instantiation runs to completion in the background
+	// and lands in the cache; a fresh Get shares it.
+	f, err := c.Get(context.Background(), Summit(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 := c.Instantiate(Summit(), 99); f2 != f {
+		t.Fatal("Get and Instantiate must share one cached fleet")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d fleets, want 1", c.Len())
+	}
+}
+
+// TestFleetCacheGetMatchesInstantiate: the ctx path returns the exact
+// same fleet object as the blocking path.
+func TestFleetCacheGetMatchesInstantiate(t *testing.T) {
+	c := NewFleetCache()
+	f1 := c.Instantiate(Vortex(), 7)
+	f2, err := c.Get(context.Background(), Vortex(), 7)
+	if err != nil || f2 != f1 {
+		t.Fatalf("Get = (%p, %v), want the cached %p", f2, err, f1)
+	}
+}
+
+// TestNilFleetCacheGetChecksContext: without a cache there is nothing
+// to amortize into, so a dead context refuses to pay for instantiation.
+func TestNilFleetCacheGetChecksContext(t *testing.T) {
+	var c *FleetCache
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, CloudLab(), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	f, err := c.Get(context.Background(), CloudLab(), 1)
+	if err != nil || f == nil || len(f.Members) != CloudLab().NumGPUs() {
+		t.Fatalf("nil-cache Get = (%v, %v), want a fresh fleet", f, err)
 	}
 }

@@ -9,13 +9,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/dvfs"
+	"gpuvar/internal/engine"
 	"gpuvar/internal/gpu"
 	"gpuvar/internal/rng"
 	"gpuvar/internal/sim"
@@ -103,6 +103,14 @@ func Run(exp Experiment) (*Result, error) {
 	return RunWithCache(exp, cluster.DefaultFleetCache)
 }
 
+// RunCtx is Run with cooperative cancellation: the per-job fan-out goes
+// through the shared execution engine, which stops dispatching jobs and
+// returns ctx.Err() as soon as ctx ends. A successful RunCtx is
+// bit-identical to Run (the engine preserves job-order results).
+func RunCtx(ctx context.Context, exp Experiment) (*Result, error) {
+	return RunWithCacheCtx(ctx, exp, cluster.DefaultFleetCache)
+}
+
 // RunFresh executes the experiment with a freshly instantiated,
 // uncached fleet. Results are bit-identical to Run's (the determinism
 // tests assert this); it exists for callers that want to bound memory
@@ -114,6 +122,12 @@ func RunFresh(exp Experiment) (*Result, error) {
 // RunWithCache executes the experiment against the given fleet cache
 // (nil = instantiate fresh).
 func RunWithCache(exp Experiment, fleets *cluster.FleetCache) (*Result, error) {
+	return RunWithCacheCtx(context.Background(), exp, fleets)
+}
+
+// RunWithCacheCtx executes the experiment against the given fleet cache
+// (nil = instantiate fresh), aborting between jobs when ctx ends.
+func RunWithCacheCtx(ctx context.Context, exp Experiment, fleets *cluster.FleetCache) (*Result, error) {
 	if exp.Workload.GPUsPerJob < 1 {
 		return nil, fmt.Errorf("core: workload %q has no GPUs per job", exp.Workload.Name)
 	}
@@ -135,24 +149,20 @@ func RunWithCache(exp Experiment, fleets *cluster.FleetCache) (*Result, error) {
 		spec.Variation = *exp.VariationOverride
 	}
 
-	fleet := fleets.Instantiate(spec, exp.Seed)
+	fleet, err := fleets.Get(ctx, spec, exp.Seed)
+	if err != nil {
+		return nil, err
+	}
 	members := subsample(fleet.Observed(), exp.Fraction, exp.Seed)
 
 	jobs := partitionJobs(members, exp.Workload.GPUsPerJob)
-	results := make([][]Measurement, len(jobs))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ji, job := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ji int, job []*cluster.Member) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[ji] = runJob(exp, spec, job, ji)
-		}(ji, job)
+	results, err := engine.Map(ctx, len(jobs), 0,
+		func(_ context.Context, ji int) ([]Measurement, error) {
+			return runJob(exp, spec, jobs[ji], ji), nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	res := &Result{Exp: exp}
 	total := 0

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -68,8 +69,14 @@ func (c SchedStudyConfig) withDefaults() SchedStudyConfig {
 // memory-bound jobs are insensitive to it (the paper's classification
 // insight).
 func SchedulerStudy(exp Experiment, cfg SchedStudyConfig, policies []sched.Policy) ([]SchedOutcome, error) {
+	return SchedulerStudyCtx(context.Background(), exp, cfg, policies)
+}
+
+// SchedulerStudyCtx is SchedulerStudy with cooperative cancellation of
+// the fleet benchmark (the replay itself is microseconds).
+func SchedulerStudyCtx(ctx context.Context, exp Experiment, cfg SchedStudyConfig, policies []sched.Policy) ([]SchedOutcome, error) {
 	cfg = cfg.withDefaults()
-	bench, err := Run(exp)
+	bench, err := RunCtx(ctx, exp)
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduler study benchmark: %w", err)
 	}

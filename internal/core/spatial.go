@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/dvfs"
+	"gpuvar/internal/engine"
 	"gpuvar/internal/rng"
 	"gpuvar/internal/sim"
 	"gpuvar/internal/stats"
@@ -47,20 +49,25 @@ type SpatialPoint struct {
 // nodes would bias the paper's numbers in a cloud-style (non-exclusive)
 // allocation.
 func SpatialStudy(exp Experiment, maxNeighbors int) ([]SpatialPoint, error) {
+	return SpatialStudyCtx(context.Background(), exp, maxNeighbors)
+}
+
+// SpatialStudyCtx runs the neighbor variants as one engine job, results
+// in neighbor-count order.
+func SpatialStudyCtx(ctx context.Context, exp Experiment, maxNeighbors int) ([]SpatialPoint, error) {
 	if maxNeighbors < 0 || maxNeighbors >= exp.Cluster.GPUsPerNode {
 		return nil, fmt.Errorf("core: neighbors must be in [0, %d)", exp.Cluster.GPUsPerNode)
 	}
 	coupling := neighborCouplingC(exp.Cluster.Cooling.Cooling)
-	out := make([]SpatialPoint, 0, maxNeighbors+1)
-	for n := 0; n <= maxNeighbors; n++ {
+	return engine.Map(ctx, maxNeighbors+1, 0, func(ctx context.Context, n int) (SpatialPoint, error) {
 		e := exp
 		// Neighbor heat enters as an inlet offset; each busy neighbor
 		// is assumed near its TDP (the worst case the paper's exclusive
 		// allocations avoid).
 		e.AmbientOffsetC = exp.AmbientOffsetC + coupling*float64(n)
-		r, err := Run(e)
+		r, err := RunCtx(ctx, e)
 		if err != nil {
-			return nil, fmt.Errorf("core: spatial point %d: %w", n, err)
+			return SpatialPoint{}, fmt.Errorf("core: spatial point %d: %w", n, err)
 		}
 		p := SpatialPoint{BusyNeighbors: n, PerfVar: r.Variation(Perf)}
 		if bp, err := r.Box(Perf); err == nil {
@@ -69,9 +76,8 @@ func SpatialStudy(exp Experiment, maxNeighbors int) ([]SpatialPoint, error) {
 		if bp, err := r.Box(Temp); err == nil {
 			p.MedianTempC = bp.Q2
 		}
-		out = append(out, p)
-	}
-	return out, nil
+		return p, nil
+	})
 }
 
 // TemporalPoint contrasts a measurement taken right after a preceding
@@ -104,12 +110,21 @@ func (p TemporalPoint) CarryoverPenalty() float64 {
 // biases short benchmarks; the paper's staggered, warmed-up methodology
 // sidesteps it.
 func TemporalStudy(spec cluster.Spec, seed uint64, sample int) ([]TemporalPoint, error) {
+	return TemporalStudyCtx(context.Background(), spec, seed, sample)
+}
+
+// TemporalStudyCtx runs the sampled cold/hot probes as one engine job,
+// preserving sample order.
+func TemporalStudyCtx(ctx context.Context, spec cluster.Spec, seed uint64, sample int) ([]TemporalPoint, error) {
 	if sample < 1 {
 		sample = 1
 	}
 	// The study only reads members (each probe gets a private thermal-node
 	// copy), so it can share the process-wide fleet cache.
-	fleet := cluster.DefaultFleetCache.Instantiate(spec, seed)
+	fleet, err := cluster.DefaultFleetCache.Get(ctx, spec, seed)
+	if err != nil {
+		return nil, err
+	}
 	if sample > len(fleet.Members) {
 		sample = len(fleet.Members)
 	}
@@ -118,8 +133,7 @@ func TemporalStudy(spec cluster.Spec, seed uint64, sample int) ([]TemporalPoint,
 	wl.WarmupIters = 0
 
 	parent := rng.New(seed).Split("temporal")
-	out := make([]TemporalPoint, 0, sample)
-	for i := 0; i < sample; i++ {
+	points, err := engine.Map(ctx, sample, 0, func(_ context.Context, i int) (*TemporalPoint, error) {
 		m := fleet.Members[i*len(fleet.Members)/sample]
 		run := func(cold bool) []float64 {
 			node := *m.Therm
@@ -131,14 +145,23 @@ func TemporalStudy(spec cluster.Spec, seed uint64, sample int) ([]TemporalPoint,
 		coldKs := run(true)
 		hotKs := run(false) // warm start = preceding job's equilibrium
 		if len(coldKs) == 0 || len(hotKs) == 0 {
-			continue
+			return nil, nil // skipped samples are filtered below
 		}
-		out = append(out, TemporalPoint{
+		return &TemporalPoint{
 			GPUID:             m.Chip.ID,
 			ColdFirstKernelMs: coldKs[0],
 			HotFirstKernelMs:  hotKs[0],
 			SteadyKernelMs:    stats.Median(hotKs),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TemporalPoint, 0, sample)
+	for _, p := range points {
+		if p != nil {
+			out = append(out, *p)
+		}
 	}
 	return out, nil
 }

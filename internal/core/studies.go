@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"gpuvar/internal/engine"
 	"gpuvar/internal/gpu"
 	"gpuvar/internal/stats"
 	"gpuvar/internal/workload"
@@ -11,18 +13,27 @@ import (
 // WeekStudy runs the experiment once per day of the week (§VI-A,
 // Figs. 20–21) and returns the seven results, Monday first.
 func WeekStudy(exp Experiment) ([]*Result, error) {
-	out := make([]*Result, 7)
-	for day := 0; day < 7; day++ {
+	return WeekStudyCtx(context.Background(), exp)
+}
+
+// WeekStudyCtx is WeekStudy as one engine job: the seven day-variants
+// share the cached fleet and run concurrently, each day's result landing
+// at its index (Monday first, identical to the serial order).
+func WeekStudyCtx(ctx context.Context, exp Experiment) ([]*Result, error) {
+	out, err := engine.Map(ctx, 7, 0, func(ctx context.Context, day int) (*Result, error) {
 		e := exp
 		e.Day = day
 		// A different run phase per day: the same GPUs measured on
 		// different days draw fresh run-level jitter.
 		e.Seed = exp.Seed // fleet identical across days
-		r, err := Run(e)
+		r, err := RunCtx(ctx, e)
 		if err != nil {
 			return nil, fmt.Errorf("core: day %d: %w", day, err)
 		}
-		out[day] = r
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -42,22 +53,31 @@ type PowerSweepPoint struct {
 // PowerLimitSweep runs the workload at each administrative power cap.
 // The paper sweeps 100–300 W on CloudLab, where the authors had root.
 func PowerLimitSweep(exp Experiment, capsW []float64) ([]PowerSweepPoint, error) {
-	out := make([]PowerSweepPoint, 0, len(capsW))
-	for _, cap := range capsW {
+	return PowerLimitSweepCtx(context.Background(), exp, capsW)
+}
+
+// PowerLimitSweepCtx runs the sweep as one engine job graph: every cap
+// variant is a shard sharing the same cached fleet (the cap is applied
+// at simulation time, not instantiation time, so all variants hit one
+// fleet entry), and the variants' own per-GPU jobs nest inside. This is
+// the computation behind the service's POST /v1/sweep. Results keep
+// capsW order.
+func PowerLimitSweepCtx(ctx context.Context, exp Experiment, capsW []float64) ([]PowerSweepPoint, error) {
+	return engine.Map(ctx, len(capsW), 0, func(ctx context.Context, i int) (PowerSweepPoint, error) {
+		capW := capsW[i]
 		e := exp
-		e.AdminCapW = cap
-		r, err := Run(e)
+		e.AdminCapW = capW
+		r, err := RunCtx(ctx, e)
 		if err != nil {
-			return nil, fmt.Errorf("core: cap %v: %w", cap, err)
+			return PowerSweepPoint{}, fmt.Errorf("core: cap %v: %w", capW, err)
 		}
-		p := PowerSweepPoint{CapW: cap, PerfVar: r.Variation(Perf), Result: r}
+		p := PowerSweepPoint{CapW: capW, PerfVar: r.Variation(Perf), Result: r}
 		if bp, err := r.Box(Perf); err == nil {
 			p.MedianMs = bp.Q2
 			p.NOutliers = len(bp.Outliers)
 		}
-		out = append(out, p)
-	}
-	return out, nil
+		return p, nil
+	})
 }
 
 // AppStudyRow is one workload's variability summary on one cluster —
@@ -75,11 +95,17 @@ type AppStudyRow struct {
 // ApplicationStudy runs several workloads on the same cluster and fleet
 // seed and summarizes each, preserving order.
 func ApplicationStudy(base Experiment, wls []workload.Workload) ([]AppStudyRow, error) {
+	return ApplicationStudyCtx(context.Background(), base, wls)
+}
+
+// ApplicationStudyCtx is ApplicationStudy with cooperative cancellation
+// (each workload's run is an engine job that honors ctx).
+func ApplicationStudyCtx(ctx context.Context, base Experiment, wls []workload.Workload) ([]AppStudyRow, error) {
 	out := make([]AppStudyRow, 0, len(wls))
 	for _, wl := range wls {
 		e := base
 		e.Workload = wl
-		r, err := Run(e)
+		r, err := RunCtx(ctx, e)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", wl.Name, err)
 		}
@@ -109,6 +135,11 @@ type AblationRow struct {
 // disabled, attributing the observed variation (an extension beyond the
 // paper: DESIGN.md §5).
 func Ablation(exp Experiment) ([]AblationRow, error) {
+	return AblationCtx(context.Background(), exp)
+}
+
+// AblationCtx is Ablation with cooperative cancellation.
+func AblationCtx(ctx context.Context, exp Experiment) ([]AblationRow, error) {
 	type variant struct {
 		name string
 		mod  func(*Experiment)
@@ -140,7 +171,7 @@ func Ablation(exp Experiment) ([]AblationRow, error) {
 	for _, v := range variants {
 		e := exp
 		v.mod(&e)
-		r, err := Run(e)
+		r, err := RunCtx(ctx, e)
 		if err != nil {
 			return nil, fmt.Errorf("core: ablation %q: %w", v.name, err)
 		}

@@ -1,0 +1,164 @@
+// Package engine is the shared execution layer under every compute
+// entry point of the suite: core experiment fan-out, campaign
+// benchmarking days, figure-catalog regeneration, and the HTTP
+// service's request computations all run their shards through Map and
+// coalesce duplicate work through Group.
+//
+// The contract it standardizes (previously re-implemented, differently,
+// by three ad-hoc worker pools):
+//
+//   - Bounded parallelism: one worker pool per job, sized once at
+//     submission (Workers, default GOMAXPROCS), pulling shards from a
+//     shared cursor — no per-shard goroutine churn.
+//   - Deterministic ordering: results[i] always holds shard i's value,
+//     no matter which worker ran it or when it finished, so callers that
+//     must be bit-identical to a serial loop just iterate the slice.
+//   - Cooperative cancellation: workers check the context between
+//     shards and stop pulling new work the moment it is canceled; Map
+//     returns ctx.Err() promptly (in-flight shards finish — shard
+//     functions that run long should check ctx themselves).
+//   - Panic containment: a panicking shard fails the job with a
+//     stack-annotated error instead of crashing the process; the
+//     remaining workers drain and exit.
+//   - Observability: package-level progress counters (jobs in flight,
+//     shards completed, cancellations) that the service exports.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// counters is the package-wide progress ledger. Everything is atomic:
+// jobs from any layer (core runs, campaigns, figure catalogs, service
+// sweeps) fold into one view of what the process is computing.
+var counters struct {
+	jobsStarted     atomic.Uint64
+	jobsCompleted   atomic.Uint64
+	jobsCanceled    atomic.Uint64
+	jobsFailed      atomic.Uint64
+	shardsCompleted atomic.Uint64
+	inFlightJobs    atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the engine's progress counters,
+// exposed by the service's /v1/stats and /v1/healthz endpoints.
+type Stats struct {
+	JobsStarted     uint64 `json:"jobs_started"`
+	JobsCompleted   uint64 `json:"jobs_completed"`
+	JobsCanceled    uint64 `json:"jobs_canceled"`
+	JobsFailed      uint64 `json:"jobs_failed"`
+	ShardsCompleted uint64 `json:"shards_completed"`
+	InFlightJobs    int64  `json:"in_flight_jobs"`
+}
+
+// Snapshot reads the counters.
+func Snapshot() Stats {
+	return Stats{
+		JobsStarted:     counters.jobsStarted.Load(),
+		JobsCompleted:   counters.jobsCompleted.Load(),
+		JobsCanceled:    counters.jobsCanceled.Load(),
+		JobsFailed:      counters.jobsFailed.Load(),
+		ShardsCompleted: counters.shardsCompleted.Load(),
+		InFlightJobs:    counters.inFlightJobs.Load(),
+	}
+}
+
+// Map runs fn for every shard in [0, n) on a bounded worker pool and
+// returns the results in shard order: results[i] is fn(ctx, i). workers
+// <= 0 selects GOMAXPROCS; the pool never exceeds n.
+//
+// The first shard error (or panic, converted to an error) fails the
+// job: workers stop pulling new shards, in-flight shards finish, and
+// Map returns nil results with that error. Cancellation is cooperative:
+// workers re-check ctx between shards, so a canceled job returns
+// ctx.Err() after at most the in-flight shards' residual work. fn
+// receives the job's context and should check it inside long shards.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, shard int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	counters.jobsStarted.Add(1)
+	counters.inFlightJobs.Add(1)
+	defer counters.inFlightJobs.Add(-1)
+
+	results := make([]T, n)
+	var (
+		cursor   atomic.Int64
+		failedFl atomic.Bool // lock-free fast path for the workers' loop check
+		mu       sync.Mutex
+		firstErr error
+		errShard = n // shard index of firstErr; lowest wins, like the serial loop
+	)
+	fail := func(shard int, err error) {
+		mu.Lock()
+		// Keep the lowest-index shard's error, not the temporally first:
+		// when several shards fail, the serial loops this executor
+		// replaced always surfaced the earliest iteration's error, and
+		// deterministic errors keep tests and logs stable.
+		if firstErr == nil || shard < errShard {
+			firstErr = err
+			errShard = shard
+		}
+		mu.Unlock()
+		failedFl.Store(true)
+	}
+	runShard := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(i, fmt.Errorf("engine: shard %d panicked: %v\n%s", i, r, debug.Stack()))
+			}
+		}()
+		v, err := fn(ctx, i)
+		if err != nil {
+			fail(i, err)
+			return
+		}
+		results[i] = v
+		counters.shardsCompleted.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					fail(n, err) // rank below any real shard failure
+					return
+				}
+				if failedFl.Load() {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runShard(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		if ctx.Err() != nil {
+			counters.jobsCanceled.Add(1)
+		} else {
+			counters.jobsFailed.Add(1)
+		}
+		return nil, firstErr
+	}
+	counters.jobsCompleted.Add(1)
+	return results, nil
+}

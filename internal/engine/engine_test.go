@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering: results land at their shard's index regardless of
+// completion order, matching what a serial loop would produce.
+func TestMapOrdering(t *testing.T) {
+	const n = 100
+	got, err := Map(context.Background(), n, 8, func(_ context.Context, i int) (int, error) {
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond) // scramble completion order
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapZeroShards(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(context.Context, int) (int, error) {
+		t.Fatal("fn called for empty job")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("Map(0 shards) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestMapBoundsWorkers: no more than the requested worker count runs
+// concurrently.
+func TestMapBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), 64, workers, func(context.Context, int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent shards, want <= %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorStopsJob(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 1000, 2, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d shards ran despite an early error", n)
+	}
+}
+
+// TestMapLowestShardErrorWins: among shards that fail, the error
+// surfaced is the lowest-index one — what the serial loops the engine
+// replaced would have returned — not whichever worker lost the race.
+// All shards run concurrently behind a barrier so every failure is in
+// flight when the winner is chosen.
+func TestMapLowestShardErrorWins(t *testing.T) {
+	const n = 8
+	for round := 0; round < 20; round++ {
+		var arrived atomic.Int64
+		barrier := make(chan struct{})
+		_, err := Map(context.Background(), n, n, func(_ context.Context, i int) (int, error) {
+			if arrived.Add(1) == n {
+				close(barrier)
+			}
+			<-barrier
+			if i%2 == 1 { // shards 1, 3, 5, 7 all fail
+				if i == 1 {
+					time.Sleep(time.Millisecond) // shard 1 reports last
+				}
+				return 0, fmt.Errorf("shard %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "shard 1 failed" {
+			t.Fatalf("round %d: err = %v, want the lowest failing shard's error", round, err)
+		}
+	}
+}
+
+func TestMapPanicRecovered(t *testing.T) {
+	_, err := Map(context.Background(), 8, 4, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			panic("shard exploded")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard 5 panicked") ||
+		!strings.Contains(err.Error(), "shard exploded") {
+		t.Fatalf("panic not converted to a descriptive error: %v", err)
+	}
+}
+
+// TestMapCancellation: canceling mid-job returns ctx.Err() promptly,
+// stops pulling new shards, and leaks no goroutines.
+func TestMapCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 1000, 4, func(_ context.Context, i int) (int, error) {
+			if started.Add(1) == 4 {
+				cancel() // cancel while the first wave is in flight
+			}
+			<-release
+			return i, nil
+		})
+		done <- err
+	}()
+	// Let the first wave of shards start and observe the cancel, then
+	// release them; Map must return without running the remaining ~996.
+	for started.Load() < 4 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if n := started.Load(); n > 8 {
+		t.Fatalf("%d shards started after cancellation (want only the in-flight wave)", n)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestMapCanceledBeforeStart: an already-dead context runs nothing.
+func TestMapCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(ctx, 100, 4, func(context.Context, int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d shards ran under a pre-canceled context", ran.Load())
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	beforeStats := Snapshot()
+	if _, err := Map(context.Background(), 10, 2, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Map(ctx, 10, 2, func(_ context.Context, i int) (int, error) { return i, nil }); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	s := Snapshot()
+	if s.JobsStarted-beforeStats.JobsStarted != 2 {
+		t.Errorf("jobs started delta = %d, want 2", s.JobsStarted-beforeStats.JobsStarted)
+	}
+	if s.JobsCompleted-beforeStats.JobsCompleted != 1 {
+		t.Errorf("jobs completed delta = %d, want 1", s.JobsCompleted-beforeStats.JobsCompleted)
+	}
+	if s.JobsCanceled-beforeStats.JobsCanceled != 1 {
+		t.Errorf("jobs canceled delta = %d, want 1", s.JobsCanceled-beforeStats.JobsCanceled)
+	}
+	if s.ShardsCompleted-beforeStats.ShardsCompleted != 10 {
+		t.Errorf("shards completed delta = %d, want 10", s.ShardsCompleted-beforeStats.ShardsCompleted)
+	}
+	if s.InFlightJobs != 0 {
+		t.Errorf("in-flight jobs = %d after all jobs returned, want 0", s.InFlightJobs)
+	}
+}
+
+// waitForGoroutines retries until the goroutine count returns to (near)
+// its starting point, failing the test if it never does — the leak
+// check behind every cancellation test.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestMapNestedJobs: a shard may itself submit a Map job (the sweep
+// endpoint nests variant jobs over core's per-experiment jobs).
+func TestMapNestedJobs(t *testing.T) {
+	got, err := Map(context.Background(), 4, 2, func(ctx context.Context, i int) (int, error) {
+		inner, err := Map(ctx, 8, 2, func(_ context.Context, j int) (int, error) {
+			return i * j, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := i * 28; v != want {
+			t.Fatalf("nested results[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestMapShardErrorVerbatim(t *testing.T) {
+	// Shard errors must pass through unwrapped so errors.Is/As work on
+	// sentinel and typed errors (the service's statusError relies on it).
+	sentinel := fmt.Errorf("typed: %w", context.DeadlineExceeded)
+	_, err := Map(context.Background(), 1, 1, func(context.Context, int) (int, error) {
+		return 0, sentinel
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped DeadlineExceeded to survive", err)
+	}
+}

@@ -11,14 +11,16 @@ package figures
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/core"
+	"gpuvar/internal/engine"
 	"gpuvar/internal/workload"
 )
 
@@ -61,20 +63,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Generator produces one figure or table.
+// Generator produces one figure or table. Fn receives the caller's
+// context and must abandon work when it ends — every experiment helper
+// on Session already does.
 type Generator struct {
 	ID    string
 	Title string
-	Fn    func(*Session, io.Writer) error
+	Fn    func(context.Context, *Session, io.Writer) error
 }
 
 // Session caches experiment results across generators so that, e.g.,
 // Fig. 2 (Longhorn box plots) and Fig. 3 (Longhorn correlations) share
 // one run. Safe for concurrent use: concurrent generators asking for the
-// same experiment share a single execution (the cache is a singleflight,
-// which is what lets GenerateAllParallel deduplicate shared experiments
-// instead of racing to run them twice). Fleet instantiation is shared
-// further still, through the session's fleet cache.
+// same experiment share a single execution through a cancellation-safe
+// engine.Group flight (which is what lets GenerateAllParallel
+// deduplicate shared experiments instead of racing to run them twice),
+// and only complete outcomes enter the result map — a canceled run
+// leaves no entry, so the next request recomputes instead of replaying
+// ctx.Err() forever. Fleet instantiation is shared further still,
+// through the session's fleet cache.
 type Session struct {
 	Cfg Config
 	// fleets is the fleet cache threaded into every core run. Defaults
@@ -82,14 +89,15 @@ type Session struct {
 	// instantiations.
 	fleets *cluster.FleetCache
 	mu     sync.Mutex
-	cache  map[string]*sessionEntry
+	done   map[string]*sessionEntry
+	flight engine.Group[*core.Result]
 }
 
-// sessionEntry is one experiment's singleflight slot.
+// sessionEntry is one experiment's completed outcome (result or a
+// deterministic error; never a cancellation).
 type sessionEntry struct {
-	once sync.Once
-	res  *core.Result
-	err  error
+	res *core.Result
+	err error
 }
 
 // NewSession returns a session with the given config, backed by the
@@ -98,26 +106,43 @@ func NewSession(cfg Config) *Session {
 	return &Session{
 		Cfg:    cfg.withDefaults(),
 		fleets: cluster.DefaultFleetCache,
-		cache:  map[string]*sessionEntry{},
+		done:   map[string]*sessionEntry{},
 	}
 }
 
 // run executes (or returns the cached) experiment keyed by a label.
-// Concurrent callers with the same key block on one execution.
-func (s *Session) run(key string, exp core.Experiment) (*core.Result, error) {
+// Concurrent callers with the same key share one execution; a caller
+// whose ctx ends returns immediately while the execution continues for
+// the rest, and is itself canceled only when nobody is left waiting.
+// Complete outcomes — results and deterministic errors — are cached;
+// cancellations are not.
+func (s *Session) run(ctx context.Context, key string, exp core.Experiment) (*core.Result, error) {
 	s.mu.Lock()
-	e, ok := s.cache[key]
-	if !ok {
-		e = &sessionEntry{}
-		s.cache[key] = e
-	}
+	e, ok := s.done[key]
 	s.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = core.RunWithCache(exp, s.fleets) })
-	return e.res, e.err
+	if ok {
+		return e.res, e.err
+	}
+	res, _, err := s.flight.Do(ctx, key, func(fctx context.Context) (*core.Result, error) {
+		r, err := core.RunWithCacheCtx(fctx, exp, s.fleets)
+		if err == nil || !isCancellation(err) {
+			s.mu.Lock()
+			s.done[key] = &sessionEntry{res: r, err: err}
+			s.mu.Unlock()
+		}
+		return r, err
+	})
+	return res, err
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline rather than a deterministic computation outcome.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // sgemmOn returns the cached SGEMM characterization of a cluster.
-func (s *Session) sgemmOn(spec cluster.Spec, runs int) (*core.Result, error) {
+func (s *Session) sgemmOn(ctx context.Context, spec cluster.Spec, runs int) (*core.Result, error) {
 	wl := workload.SGEMMForCluster(spec.SKU())
 	wl.Iterations = s.Cfg.Iterations
 	exp := core.Experiment{
@@ -129,7 +154,7 @@ func (s *Session) sgemmOn(spec cluster.Spec, runs int) (*core.Result, error) {
 	if spec.Name == "Summit" {
 		exp.Fraction = s.Cfg.SummitFraction
 	}
-	return s.run(fmt.Sprintf("sgemm:%s:r%d", spec.Name, runs), exp)
+	return s.run(ctx, fmt.Sprintf("sgemm:%s:r%d", spec.Name, runs), exp)
 }
 
 // All returns every generator in paper order.
@@ -210,11 +235,11 @@ func registry() map[string]Generator {
 }
 
 // generate renders one generator: title header, then the body.
-func generate(g Generator, s *Session, w io.Writer) error {
+func generate(ctx context.Context, g Generator, s *Session, w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "=== %s ===\n", g.Title); err != nil {
 		return err
 	}
-	return g.Fn(s, w)
+	return g.Fn(ctx, s, w)
 }
 
 // Lookup returns the generator registered under id (paper figures and
@@ -226,20 +251,23 @@ func Lookup(id string) (Generator, bool) {
 }
 
 // Generate runs one generator by id (paper figures and extensions).
-func Generate(id string, s *Session, w io.Writer) error {
+func Generate(ctx context.Context, id string, s *Session, w io.Writer) error {
 	g, ok := Lookup(id)
 	if !ok {
 		known := IDs()
 		sort.Strings(known)
 		return fmt.Errorf("figures: unknown id %q (known: %v)", id, known)
 	}
-	return generate(g, s, w)
+	return generate(ctx, g, s, w)
 }
 
 // GenerateAll runs every generator in paper order, then the extensions.
-func GenerateAll(s *Session, w io.Writer) error {
+func GenerateAll(ctx context.Context, s *Session, w io.Writer) error {
 	for _, g := range AllWithExtensions() {
-		if err := generate(g, s, w); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := generate(ctx, g, s, w); err != nil {
 			return fmt.Errorf("%s: %w", g.ID, err)
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
@@ -249,36 +277,31 @@ func GenerateAll(s *Session, w io.Writer) error {
 	return nil
 }
 
-// GenerateAllParallel runs every generator concurrently (bounded by
-// workers; ≤ 0 means GOMAXPROCS) and writes their outputs to w in the
-// same order GenerateAll would. Generators are independent — they share
-// experiments only through the session's singleflight cache, which
-// ensures each shared experiment runs exactly once no matter how many
-// generators wait on it. Output is byte-identical to GenerateAll's.
-func GenerateAllParallel(s *Session, w io.Writer, workers int) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// GenerateAllParallel runs every generator concurrently through the
+// execution engine (bounded by workers; ≤ 0 means GOMAXPROCS) and
+// writes their outputs to w in the same order GenerateAll would.
+// Generators are independent — they share experiments only through the
+// session's singleflight flights, which ensure each shared experiment
+// runs exactly once no matter how many generators wait on it. Output is
+// byte-identical to GenerateAll's; like GenerateAll, every generator
+// runs even if an earlier one fails, and the first failure in catalog
+// order is returned.
+func GenerateAllParallel(ctx context.Context, s *Session, w io.Writer, workers int) error {
 	gens := AllWithExtensions()
 	bufs := make([]bytes.Buffer, len(gens))
 	errs := make([]error, len(gens))
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, g := range gens {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, g Generator) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := generate(g, s, &bufs[i]); err != nil {
-				errs[i] = fmt.Errorf("%s: %w", g.ID, err)
-				return
+	if _, err := engine.Map(ctx, len(gens), workers,
+		func(ctx context.Context, i int) (struct{}, error) {
+			if err := generate(ctx, gens[i], s, &bufs[i]); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", gens[i].ID, err)
+				return struct{}{}, nil // collected in order below, not first-to-fail
 			}
 			fmt.Fprintln(&bufs[i])
-		}(i, g)
+			return struct{}{}, nil
+		}); err != nil {
+		return err
 	}
-	wg.Wait()
 
 	for i := range gens {
 		if errs[i] != nil {

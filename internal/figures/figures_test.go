@@ -2,6 +2,7 @@ package figures
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -41,7 +42,7 @@ func TestGenerateAllEndToEnd(t *testing.T) {
 	}
 	s := quickSession()
 	var buf bytes.Buffer
-	if err := GenerateAll(s, &buf); err != nil {
+	if err := GenerateAll(context.Background(), s, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -58,14 +59,14 @@ func TestGenerateAllEndToEnd(t *testing.T) {
 
 func TestUnknownIDRejected(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("fig99", quickSession(), &buf); err == nil {
+	if err := Generate(context.Background(), "fig99", quickSession(), &buf); err == nil {
 		t.Fatal("unknown figure id accepted")
 	}
 }
 
 func TestTab1MatchesPaper(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("tab1", quickSession(), &buf); err != nil {
+	if err := Generate(context.Background(), "tab1", quickSession(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -78,7 +79,7 @@ func TestTab1MatchesPaper(t *testing.T) {
 
 func TestTab2ListsAllApplications(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("tab2", quickSession(), &buf); err != nil {
+	if err := Generate(context.Background(), "tab2", quickSession(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -92,7 +93,7 @@ func TestTab2ListsAllApplications(t *testing.T) {
 func TestFig1RendersAllClusters(t *testing.T) {
 	s := quickSession()
 	var buf bytes.Buffer
-	if err := Generate("fig1", s, &buf); err != nil {
+	if err := Generate(context.Background(), "fig1", s, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -109,25 +110,25 @@ func TestFig1RendersAllClusters(t *testing.T) {
 func TestSessionCachesResults(t *testing.T) {
 	s := quickSession()
 	var buf bytes.Buffer
-	if err := Generate("fig2", s, &buf); err != nil {
+	if err := Generate(context.Background(), "fig2", s, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.cache) == 0 {
+	if len(s.done) == 0 {
 		t.Fatal("session cache empty after fig2")
 	}
-	before := len(s.cache)
+	before := len(s.done)
 	// fig3 reuses fig2's experiment.
-	if err := Generate("fig3", s, &buf); err != nil {
+	if err := Generate(context.Background(), "fig3", s, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.cache) != before {
+	if len(s.done) != before {
 		t.Error("fig3 should reuse fig2's cached run")
 	}
 }
 
 func TestFig8ReportsPerGPUVariation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("fig8", quickSession(), &buf); err != nil {
+	if err := Generate(context.Background(), "fig8", quickSession(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "median per-GPU variation") {
@@ -137,7 +138,7 @@ func TestFig8ReportsPerGPUVariation(t *testing.T) {
 
 func TestFig11ShowsTwoGPUs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("fig11", quickSession(), &buf); err != nil {
+	if err := Generate(context.Background(), "fig11", quickSession(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -151,7 +152,7 @@ func TestFig11ShowsTwoGPUs(t *testing.T) {
 
 func TestFig22SweepsCaps(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("fig22", quickSession(), &buf); err != nil {
+	if err := Generate(context.Background(), "fig22", quickSession(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -164,7 +165,7 @@ func TestFig22SweepsCaps(t *testing.T) {
 
 func TestFig25ShowsBrakeSignature(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("fig25", quickSession(), &buf); err != nil {
+	if err := Generate(context.Background(), "fig25", quickSession(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -178,7 +179,7 @@ func TestFig25ShowsBrakeSignature(t *testing.T) {
 
 func TestImpactTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("impact", quickSession(), &buf); err != nil {
+	if err := Generate(context.Background(), "impact", quickSession(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -194,7 +195,7 @@ func TestAppFigures(t *testing.T) {
 	s := quickSession()
 	for _, id := range []string{"fig14", "fig16", "fig17", "fig18", "fig19"} {
 		var buf bytes.Buffer
-		if err := Generate(id, s, &buf); err != nil {
+		if err := Generate(context.Background(), id, s, &buf); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if !strings.Contains(buf.String(), "variation:") {

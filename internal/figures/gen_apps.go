@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,17 +14,17 @@ import (
 
 // appResult runs one application workload on Longhorn (all §V studies
 // use Longhorn).
-func (s *Session) appResult(wl workload.Workload) (*core.Result, error) {
+func (s *Session) appResult(ctx context.Context, wl workload.Workload) (*core.Result, error) {
 	wl.Iterations = s.Cfg.MLIterations
 	exp := core.Experiment{
 		Cluster:  cluster.Longhorn(),
 		Workload: wl,
 		Seed:     s.Cfg.Seed,
 	}
-	return s.run("app:"+wl.Name, exp)
+	return s.run(ctx, "app:"+wl.Name, exp)
 }
 
-func genTab2(s *Session, w io.Writer) error {
+func genTab2(ctx context.Context, s *Session, w io.Writer) error {
 	sku := gpu.V100SXM2()
 	wls := []workload.Workload{
 		workload.SGEMM(25536, sku),
@@ -43,59 +44,59 @@ func genTab2(s *Session, w io.Writer) error {
 	return t.Render(w)
 }
 
-func genFig14(s *Session, w io.Writer) error {
-	r, err := s.appResult(workload.ResNet50(4, 64, gpu.V100SXM2()))
+func genFig14(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.appResult(ctx, workload.ResNet50(4, 64, gpu.V100SXM2()))
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig15(s *Session, w io.Writer) error {
-	r, err := s.appResult(workload.ResNet50(4, 64, gpu.V100SXM2()))
+func genFig15(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.appResult(ctx, workload.ResNet50(4, 64, gpu.V100SXM2()))
 	if err != nil {
 		return err
 	}
 	return correlationBlock(r, w)
 }
 
-func genFig16(s *Session, w io.Writer) error {
-	r, err := s.appResult(workload.ResNet50(1, 16, gpu.V100SXM2()))
+func genFig16(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.appResult(ctx, workload.ResNet50(1, 16, gpu.V100SXM2()))
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig17(s *Session, w io.Writer) error {
-	r, err := s.appResult(workload.BERT(4, 64, gpu.V100SXM2()))
+func genFig17(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.appResult(ctx, workload.BERT(4, 64, gpu.V100SXM2()))
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig18(s *Session, w io.Writer) error {
-	r, err := s.appResult(workload.LAMMPS(8, 16, 16, gpu.V100SXM2()))
+func genFig18(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.appResult(ctx, workload.LAMMPS(8, 16, 16, gpu.V100SXM2()))
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig19(s *Session, w io.Writer) error {
-	r, err := s.appResult(workload.PageRank(643994, 6250000, gpu.V100SXM2()))
+func genFig19(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.appResult(ctx, workload.PageRank(643994, 6250000, gpu.V100SXM2()))
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genImpact(s *Session, w io.Writer) error {
+func genImpact(ctx context.Context, s *Session, w io.Writer) error {
 	var t report.Table
 	t.Header = []string{"Cluster", "Slow GPUs (>6% off fastest)", "P(1-GPU job hits one)", "P(4-GPU job hits one)"}
 	for _, spec := range []cluster.Spec{cluster.Longhorn(), cluster.Summit()} {
-		r, err := s.sgemmOn(spec, 1)
+		r, err := s.sgemmOn(ctx, spec, 1)
 		if err != nil {
 			return err
 		}
@@ -109,7 +110,7 @@ func genImpact(s *Session, w io.Writer) error {
 		return err
 	}
 	// The early-warning report (§VII blacklisting/maintenance).
-	r, err := s.sgemmOn(cluster.Longhorn(), 1)
+	r, err := s.sgemmOn(ctx, cluster.Longhorn(), 1)
 	if err != nil {
 		return err
 	}

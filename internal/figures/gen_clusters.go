@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -80,7 +81,7 @@ func correlationBlock(r *core.Result, w io.Writer) error {
 	return nil
 }
 
-func genTab1(s *Session, w io.Writer) error {
+func genTab1(ctx context.Context, s *Session, w io.Writer) error {
 	var t report.Table
 	t.Header = []string{"Cluster", "GPU", "#GPUs", "#Nodes", "Cooling"}
 	for _, spec := range cluster.All() {
@@ -90,7 +91,7 @@ func genTab1(s *Session, w io.Writer) error {
 	return t.Render(w)
 }
 
-func genFig1(s *Session, w io.Writer) error {
+func genFig1(ctx context.Context, s *Session, w io.Writer) error {
 	chart := report.BoxChart{
 		Title:        "Normalized SGEMM runtime (median = 1)",
 		Unit:         "x",
@@ -100,7 +101,7 @@ func genFig1(s *Session, w io.Writer) error {
 		cluster.Longhorn(), cluster.Summit(), cluster.Corona(),
 		cluster.Vortex(), cluster.Frontera(),
 	} {
-		r, err := s.sgemmOn(spec, 1)
+		r, err := s.sgemmOn(ctx, spec, 1)
 		if err != nil {
 			return err
 		}
@@ -111,62 +112,62 @@ func genFig1(s *Session, w io.Writer) error {
 	return chart.Render(w)
 }
 
-func genFig2(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Longhorn(), 1)
+func genFig2(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Longhorn(), 1)
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig3(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Longhorn(), 1)
+func genFig3(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Longhorn(), 1)
 	if err != nil {
 		return err
 	}
 	return correlationBlock(r, w)
 }
 
-func genFig4(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Summit(), 1)
+func genFig4(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Summit(), 1)
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig5(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Summit(), 1)
+func genFig5(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Summit(), 1)
 	if err != nil {
 		return err
 	}
 	return correlationBlock(r, w)
 }
 
-func genFig6(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Corona(), 1)
+func genFig6(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Corona(), 1)
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig7(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Corona(), 1)
+func genFig7(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Corona(), 1)
 	if err != nil {
 		return err
 	}
 	return correlationBlock(r, w)
 }
 
-func genFig8(s *Session, w io.Writer) error {
+func genFig8(ctx context.Context, s *Session, w io.Writer) error {
 	chart := report.BoxChart{
 		Title:        "Per-GPU repeat variation (t_max - t_min)/t_median",
 		Unit:         "",
 		ClipOutliers: true,
 	}
 	for _, spec := range []cluster.Spec{cluster.Longhorn(), cluster.Summit(), cluster.Corona()} {
-		r, err := s.sgemmOn(spec, s.Cfg.Runs)
+		r, err := s.sgemmOn(ctx, spec, s.Cfg.Runs)
 		if err != nil {
 			return err
 		}
@@ -182,48 +183,52 @@ func genFig8(s *Session, w io.Writer) error {
 	return chart.Render(w)
 }
 
-func genFig9(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Vortex(), 1)
+func genFig9(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Vortex(), 1)
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig10(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Vortex(), 1)
+func genFig10(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Vortex(), 1)
 	if err != nil {
 		return err
 	}
 	return correlationBlock(r, w)
 }
 
-func genFig12(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Frontera(), 1)
+func genFig12(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Frontera(), 1)
 	if err != nil {
 		return err
 	}
 	return fourMetricCharts(r, w)
 }
 
-func genFig13(s *Session, w io.Writer) error {
-	r, err := s.sgemmOn(cluster.Frontera(), 1)
+func genFig13(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.sgemmOn(ctx, cluster.Frontera(), 1)
 	if err != nil {
 		return err
 	}
 	return correlationBlock(r, w)
 }
 
-func genFig20(s *Session, w io.Writer) error { return weekStudy(s, cluster.Summit(), w) }
-func genFig21(s *Session, w io.Writer) error { return weekStudy(s, cluster.Longhorn(), w) }
+func genFig20(ctx context.Context, s *Session, w io.Writer) error {
+	return weekStudy(ctx, s, cluster.Summit(), w)
+}
+func genFig21(ctx context.Context, s *Session, w io.Writer) error {
+	return weekStudy(ctx, s, cluster.Longhorn(), w)
+}
 
-func weekStudy(s *Session, spec cluster.Spec, w io.Writer) error {
+func weekStudy(ctx context.Context, s *Session, spec cluster.Spec, w io.Writer) error {
 	wl := s.sgemmWorkload(spec)
 	exp := core.Experiment{Cluster: spec, Workload: wl, Seed: s.Cfg.Seed}
 	if spec.Name == "Summit" {
 		exp.Fraction = s.Cfg.SummitFraction
 	}
-	days, err := core.WeekStudy(exp)
+	days, err := core.WeekStudyCtx(ctx, exp)
 	if err != nil {
 		return err
 	}
@@ -250,10 +255,10 @@ func weekStudy(s *Session, spec cluster.Spec, w io.Writer) error {
 	return t.Render(w)
 }
 
-func genFig22(s *Session, w io.Writer) error {
+func genFig22(ctx context.Context, s *Session, w io.Writer) error {
 	wl := s.sgemmWorkload(cluster.CloudLab())
 	exp := core.Experiment{Cluster: cluster.CloudLab(), Workload: wl, Seed: s.Cfg.Seed, Runs: s.Cfg.Runs}
-	points, err := core.PowerLimitSweep(exp, []float64{300, 250, 200, 150, 100})
+	points, err := core.PowerLimitSweepCtx(ctx, exp, []float64{300, 250, 200, 150, 100})
 	if err != nil {
 		return err
 	}
@@ -266,8 +271,8 @@ func genFig22(s *Session, w io.Writer) error {
 	return t.Render(w)
 }
 
-func genFig23(s *Session, w io.Writer) error {
-	r, err := s.rowH()
+func genFig23(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.rowH(ctx)
 	if err != nil {
 		return err
 	}
@@ -290,8 +295,8 @@ func genFig23(s *Session, w io.Writer) error {
 	return chart.Render(w)
 }
 
-func genFig24(s *Session, w io.Writer) error {
-	r, err := s.rowH()
+func genFig24(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.rowH(ctx)
 	if err != nil {
 		return err
 	}
@@ -308,8 +313,8 @@ func genFig24(s *Session, w io.Writer) error {
 	return correlationBlock(lowPower, w)
 }
 
-func genFig26(s *Session, w io.Writer) error {
-	r, err := s.rowH()
+func genFig26(ctx context.Context, s *Session, w io.Writer) error {
+	r, err := s.rowH(ctx)
 	if err != nil {
 		return err
 	}
@@ -337,10 +342,10 @@ func genFig26(s *Session, w io.Writer) error {
 }
 
 // rowH measures all of Summit's row H (the Appendix B deep dive).
-func (s *Session) rowH() (*core.Result, error) {
+func (s *Session) rowH(ctx context.Context) (*core.Result, error) {
 	wl := s.sgemmWorkload(cluster.Summit())
 	exp := core.Experiment{Cluster: cluster.Summit(), Workload: wl, Seed: s.Cfg.Seed}
-	r, err := s.run("summit-rowH", exp)
+	r, err := s.run(ctx, "summit-rowH", exp)
 	if err != nil {
 		return nil, err
 	}

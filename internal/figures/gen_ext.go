@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,7 +34,7 @@ func extGenerators() []Generator {
 	}
 }
 
-func genExtNextGen(s *Session, w io.Writer) error {
+func genExtNextGen(ctx context.Context, s *Session, w io.Writer) error {
 	// The same air-cooled cluster and seed populated with V100s versus
 	// 7 nm A100s (no planted defects on either side, isolating the
 	// silicon generation). The paper closes §VII noting application-aware
@@ -53,7 +54,7 @@ func genExtNextGen(s *Session, w io.Writer) error {
 		spec := base.WithSKU(cfg.name, cfg.sku)
 		wl := workload.SGEMMForCluster(spec.SKU())
 		wl.Iterations = s.Cfg.Iterations
-		r, err := s.run("nextgen:"+cfg.name, core.Experiment{
+		r, err := s.run(ctx, "nextgen:"+cfg.name, core.Experiment{
 			Cluster: spec, Workload: wl, Seed: s.Cfg.Seed,
 		})
 		if err != nil {
@@ -74,9 +75,9 @@ func genExtNextGen(s *Session, w io.Writer) error {
 	return err
 }
 
-func genExtScheduler(s *Session, w io.Writer) error {
+func genExtScheduler(ctx context.Context, s *Session, w io.Writer) error {
 	wl := s.sgemmWorkload(cluster.Longhorn())
-	outcomes, err := core.SchedulerStudy(core.Experiment{
+	outcomes, err := core.SchedulerStudyCtx(ctx, core.Experiment{
 		Cluster:  cluster.Longhorn(),
 		Workload: wl,
 		Seed:     s.Cfg.Seed,
@@ -99,9 +100,9 @@ func genExtScheduler(s *Session, w io.Writer) error {
 	return err
 }
 
-func genExtCampaign(s *Session, w io.Writer) error {
+func genExtCampaign(ctx context.Context, s *Session, w io.Writer) error {
 	inj := campaign.Injection{Day: 4, NodeID: "v003-n01", Kind: gpu.DefectPowerBrake}
-	rep, err := campaign.Simulate(cluster.Vortex(), s.Cfg.Seed, 12,
+	rep, err := campaign.SimulateCtx(ctx, cluster.Vortex(), s.Cfg.Seed, 12,
 		campaign.PlanConfig{OverheadFrac: 0.02, BenchSeconds: 600},
 		campaign.MonitorConfig{DriftFrac: 0.03}, inj)
 	if err != nil {
@@ -127,9 +128,9 @@ func genExtCampaign(s *Session, w io.Writer) error {
 	return err
 }
 
-func genExtAblation(s *Session, w io.Writer) error {
+func genExtAblation(ctx context.Context, s *Session, w io.Writer) error {
 	wl := s.sgemmWorkload(cluster.Longhorn())
-	rows, err := core.Ablation(core.Experiment{
+	rows, err := core.AblationCtx(ctx, core.Experiment{
 		Cluster:  cluster.Longhorn(),
 		Workload: wl,
 		Seed:     s.Cfg.Seed,
@@ -150,12 +151,12 @@ func genExtAblation(s *Session, w io.Writer) error {
 	return err
 }
 
-func genExtSpatial(s *Session, w io.Writer) error {
+func genExtSpatial(ctx context.Context, s *Session, w io.Writer) error {
 	var t report.Table
 	t.Header = []string{"Cluster", "Busy neighbors", "Median ms", "Median temp C", "Perf var %"}
 	for _, spec := range []cluster.Spec{cluster.Longhorn(), cluster.Vortex()} {
 		wl := s.sgemmWorkload(spec)
-		points, err := core.SpatialStudy(core.Experiment{
+		points, err := core.SpatialStudyCtx(ctx, core.Experiment{
 			Cluster:  spec,
 			Workload: wl,
 			Seed:     s.Cfg.Seed,
@@ -179,8 +180,8 @@ func genExtSpatial(s *Session, w io.Writer) error {
 	return err
 }
 
-func genExtTemporal(s *Session, w io.Writer) error {
-	points, err := core.TemporalStudy(cluster.Longhorn(), s.Cfg.Seed, 6)
+func genExtTemporal(ctx context.Context, s *Session, w io.Writer) error {
+	points, err := core.TemporalStudyCtx(ctx, cluster.Longhorn(), s.Cfg.Seed, 6)
 	if err != nil {
 		return err
 	}
@@ -200,7 +201,7 @@ func genExtTemporal(s *Session, w io.Writer) error {
 	return err
 }
 
-func genExtGlobalPM(s *Session, w io.Writer) error {
+func genExtGlobalPM(ctx context.Context, s *Session, w io.Writer) error {
 	// A facility-capped 32-GPU pool (per-GPU share below TDP) under
 	// local-only vs coordinated power management.
 	parent := rng.New(s.Cfg.Seed).Split("globalpm")

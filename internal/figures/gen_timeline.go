@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -54,7 +55,7 @@ func renderTimeline(tr *telemetry.Trace, everyMs float64, w io.Writer) error {
 	return nil
 }
 
-func genFig11(s *Session, w io.Writer) error {
+func genFig11(ctx context.Context, s *Session, w io.Writer) error {
 	// Two Vortex GPUs at the extremes of kernel performance (the paper
 	// contrasts a 1327 MHz chip against a 1440 MHz chip). A good and a
 	// bad chip are constructed from the variation tails.
@@ -78,7 +79,7 @@ func genFig11(s *Session, w io.Writer) error {
 	return err
 }
 
-func genFig25(s *Session, w io.Writer) error {
+func genFig25(ctx context.Context, s *Session, w io.Writer) error {
 	// A power-braked Summit GPU across two runs: the clock pins at the
 	// brake state while power stays well under the cap (the paper's
 	// rowh-col36-n10-3 never exceeds 259 W at a constant 1312 MHz).

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"sync"
@@ -29,10 +30,10 @@ func TestGenerateAllParallelMatchesSerial(t *testing.T) {
 		t.Skip("full catalog twice is slow")
 	}
 	var serial, parallel bytes.Buffer
-	if err := GenerateAll(NewSession(tinyConfig()), &serial); err != nil {
+	if err := GenerateAll(context.Background(), NewSession(tinyConfig()), &serial); err != nil {
 		t.Fatalf("serial: %v", err)
 	}
-	if err := GenerateAllParallel(NewSession(tinyConfig()), &parallel, 8); err != nil {
+	if err := GenerateAllParallel(context.Background(), NewSession(tinyConfig()), &parallel, 8); err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
 	if serial.String() != parallel.String() {
@@ -61,7 +62,7 @@ func TestSessionSingleflightDeduplicates(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := s.run("dedup-test", exp)
+			r, err := s.run(context.Background(), "dedup-test", exp)
 			if err != nil {
 				t.Error(err)
 				return
@@ -84,12 +85,12 @@ func TestGenerateAllParallelPropagatesErrors(t *testing.T) {
 	// impossible workload config triggers one through the normal path.
 	s := NewSession(tinyConfig())
 	// Poison the session cache with an entry whose experiment errors.
-	_, err := s.run("poison", core.Experiment{})
+	_, err := s.run(context.Background(), "poison", core.Experiment{})
 	if err == nil {
 		t.Fatal("empty experiment should error")
 	}
 	// And the cached error must be returned again, not re-run.
-	_, err2 := s.run("poison", core.Experiment{})
+	_, err2 := s.run(context.Background(), "poison", core.Experiment{})
 	if err2 == nil || err2.Error() != err.Error() {
 		t.Fatalf("cached error not propagated: %v vs %v", err, err2)
 	}
@@ -98,8 +99,47 @@ func TestGenerateAllParallelPropagatesErrors(t *testing.T) {
 func BenchmarkGenerateAllParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := NewSession(tinyConfig())
-		if err := GenerateAllParallel(s, io.Discard, 0); err != nil {
+		if err := GenerateAllParallel(context.Background(), s, io.Discard, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestSessionRunCanceledNotCached: a canceled experiment must not enter
+// the session's result map — the next caller recomputes instead of
+// replaying ctx.Err() forever. (Deterministic errors ARE cached; see
+// TestGenerateAllParallelPropagatesErrors.)
+func TestSessionRunCanceledNotCached(t *testing.T) {
+	s := NewSession(tinyConfig())
+	wl := s.sgemmWorkload(cluster.CloudLab())
+	exp := core.Experiment{Cluster: cluster.CloudLab(), Workload: wl, Seed: s.Cfg.Seed}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.run(ctx, "cancel-test", exp); err == nil {
+		t.Fatal("canceled run should error")
+	}
+	s.mu.Lock()
+	_, cached := s.done["cancel-test"]
+	s.mu.Unlock()
+	if cached {
+		t.Fatal("cancellation outcome was cached in the session result map")
+	}
+	// A live context computes the real result.
+	r, err := s.run(context.Background(), "cancel-test", exp)
+	if err != nil || r == nil {
+		t.Fatalf("retry after cancellation = (%v, %v), want a result", r, err)
+	}
+}
+
+// TestGenerateCanceled: a dead context aborts a generator through the
+// whole stack and reports the cancellation.
+func TestGenerateCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := Generate(ctx, "fig2", NewSession(tinyConfig()), &buf)
+	if err == nil {
+		t.Fatal("want cancellation error")
 	}
 }

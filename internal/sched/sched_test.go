@@ -167,3 +167,58 @@ func TestPolicyStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestSlowGPUOddsEdgeCases pins the boundary behavior of the §VII
+// user-impact computation: degenerate allocation sizes and thresholds
+// outside the observed performance range.
+func TestSlowGPUOddsEdgeCases(t *testing.T) {
+	perf := []float64{1000, 1000, 1070, 1200} // 2 of 4 are >6% off the fastest
+
+	// k=0: no GPUs allocated — cannot draw a slow one. The guard treats
+	// it (and negative k) like the empty-input case.
+	if f, p := SlowGPUOdds(perf, 0.06, 0); f != 0 || p != 0 {
+		t.Errorf("k=0: got (%v, %v), want (0, 0)", f, p)
+	}
+	if f, p := SlowGPUOdds(perf, 0.06, -3); f != 0 || p != 0 {
+		t.Errorf("k<0: got (%v, %v), want (0, 0)", f, p)
+	}
+
+	// k greater than the fleet: the model assumes sampling with
+	// replacement across nodes, so the probability keeps compounding
+	// toward (but never reaching) 1 and stays a valid probability.
+	f, p := SlowGPUOdds(perf, 0.06, len(perf)*10)
+	if f != 0.5 {
+		t.Errorf("slow fraction = %v, want 0.5", f)
+	}
+	want := 1 - math.Pow(0.5, float64(len(perf)*10))
+	if math.Abs(p-want) > 1e-12 || p < 0 || p > 1 {
+		t.Errorf("k>fleet: P = %v, want %v in [0,1]", p, want)
+	}
+
+	// Threshold above the whole observed spread: nobody is slow.
+	if f, p := SlowGPUOdds(perf, 10.0, 4); f != 0 || p != 0 {
+		t.Errorf("huge threshold: got (%v, %v), want (0, 0)", f, p)
+	}
+
+	// Threshold zero: everything but the fastest ties is slow.
+	f, p = SlowGPUOdds(perf, 0, 4)
+	if f != 0.5 {
+		t.Errorf("zero threshold: slow fraction = %v, want 0.5 (two at the fastest)", f)
+	}
+	if want := 1 - math.Pow(0.5, 4); math.Abs(p-want) > 1e-12 {
+		t.Errorf("zero threshold: P = %v, want %v", p, want)
+	}
+
+	// Negative threshold: the cutoff drops below the fastest median, so
+	// every GPU — including the fastest — counts slow and a 1-GPU draw
+	// is certain to hit one.
+	f, p = SlowGPUOdds(perf, -0.5, 1)
+	if f != 1 || p != 1 {
+		t.Errorf("negative threshold: got (%v, %v), want (1, 1)", f, p)
+	}
+
+	// Single-GPU fleet: it is the fastest, so nothing is slow.
+	if f, p := SlowGPUOdds([]float64{1234}, 0.06, 1); f != 0 || p != 0 {
+		t.Errorf("single GPU: got (%v, %v), want (0, 0)", f, p)
+	}
+}

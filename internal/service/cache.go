@@ -2,7 +2,10 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"sync"
+
+	"gpuvar/internal/engine"
 )
 
 // cachedResponse is one fully rendered response body, ready to replay to
@@ -14,36 +17,33 @@ type cachedResponse struct {
 	body        []byte
 }
 
-// flightCall is one in-progress computation that concurrent identical
-// requests wait on instead of recomputing.
-type flightCall struct {
-	wg  sync.WaitGroup
-	res *cachedResponse
-	err error
-}
-
 // CacheStats is a point-in-time snapshot of a cache's counters, exposed
-// by GET /v1/stats and asserted by the coalescing tests.
+// by GET /v1/stats and /v1/healthz and asserted by the coalescing tests.
 type CacheStats struct {
 	Entries   int    `json:"entries"`
+	InFlight  int    `json:"in_flight"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
+	Aborted   uint64 `json:"aborted"`
 	Evictions uint64 `json:"evictions"`
 }
 
 // resultCache is a fingerprint-keyed LRU of rendered responses with
-// singleflight request coalescing: N concurrent requests for the same
-// fingerprint cost one computation — the leader computes, the followers
-// block on its flightCall — and later requests replay the stored bytes.
-// Errors are never cached (a failed computation should be retryable),
-// and a follower that joined a failing flight gets the leader's error.
+// cancellation-safe singleflight coalescing (engine.Group): N concurrent
+// requests for the same fingerprint cost one computation, later requests
+// replay the stored bytes, and a caller abandoning the wait (deadline,
+// client disconnect) neither kills the computation for the others nor
+// poisons the key — the flight is canceled only when nobody is waiting,
+// and only complete results are inserted. Errors are never cached (a
+// failed computation should be retryable); every waiter of a failing
+// flight gets its error.
 type resultCache struct {
 	mu      sync.Mutex
 	max     int
 	ll      *list.List               // front = most recently used
 	entries map[string]*list.Element // key → element whose Value is *lruEntry
-	flight  map[string]*flightCall
+	flight  engine.Group[*cachedResponse]
 	stats   CacheStats
 }
 
@@ -60,16 +60,31 @@ func newResultCache(max int) *resultCache {
 		max:     max,
 		ll:      list.New(),
 		entries: make(map[string]*list.Element),
-		flight:  make(map[string]*flightCall),
 	}
+}
+
+// lookup probes the LRU without touching the flight layer — the serving
+// hot path for warm keys, kept free of context construction so a cache
+// hit costs a lock and a list splice.
+func (c *resultCache) lookup(key string) (*cachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*lruEntry).res, true
+	}
+	return nil, false
 }
 
 // do returns the cached response for key, computing it at most once no
 // matter how many goroutines ask concurrently. state reports how the
 // response was obtained — "hit" (replayed from the LRU), "coalesced"
 // (waited on another request's in-flight computation), or "miss"
-// (computed by this call).
-func (c *resultCache) do(key string, compute func() (*cachedResponse, error)) (res *cachedResponse, state string, err error) {
+// (computation started for this call). compute receives the flight's
+// context: it outlives any single request and is canceled only when
+// every interested request has gone.
+func (c *resultCache) do(ctx context.Context, key string, compute func(ctx context.Context) (*cachedResponse, error)) (res *cachedResponse, state string, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -78,28 +93,35 @@ func (c *resultCache) do(key string, compute func() (*cachedResponse, error)) (r
 		c.mu.Unlock()
 		return res, "hit", nil
 	}
-	if fc, ok := c.flight[key]; ok {
-		c.stats.Coalesced++
-		c.mu.Unlock()
-		fc.wg.Wait()
-		return fc.res, "coalesced", fc.err
-	}
-	fc := &flightCall{}
-	fc.wg.Add(1)
-	c.flight[key] = fc
-	c.stats.Misses++
 	c.mu.Unlock()
 
-	fc.res, fc.err = compute()
+	res, shared, err := c.flight.Do(ctx, key, func(fctx context.Context) (*cachedResponse, error) {
+		r, err := compute(fctx)
+		if err == nil {
+			// Insert before the flight completes so a request arriving in
+			// the done/release window finds the LRU entry, never a gap.
+			c.mu.Lock()
+			c.insert(key, r)
+			c.mu.Unlock()
+		}
+		return r, err
+	})
 
+	state = "miss"
+	if shared {
+		state = "coalesced"
+	}
 	c.mu.Lock()
-	delete(c.flight, key)
-	if fc.err == nil {
-		c.insert(key, fc.res)
+	if shared {
+		c.stats.Coalesced++
+	} else {
+		c.stats.Misses++
+	}
+	if err != nil && ctx.Err() != nil {
+		c.stats.Aborted++
 	}
 	c.mu.Unlock()
-	fc.wg.Done()
-	return fc.res, "miss", fc.err
+	return res, state, err
 }
 
 // insert adds an entry and evicts from the tail past capacity. Caller
@@ -125,5 +147,6 @@ func (c *resultCache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = c.ll.Len()
+	s.InFlight = c.flight.Len()
 	return s
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -86,8 +87,8 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	// The fingerprint is the normalized struct, not the raw body:
 	// reordered keys or omitted defaults coalesce onto one entry.
 	key := fmt.Sprintf("campaign|%+v", req)
-	s.serveCached(w, key, func() (*cachedResponse, error) {
-		rep, err := campaign.Simulate(spec, req.Seed, req.Days,
+	s.serveCached(w, r, key, func(ctx context.Context) (*cachedResponse, error) {
+		rep, err := campaign.SimulateCtx(ctx, spec, req.Seed, req.Days,
 			campaign.PlanConfig{
 				OverheadFrac: req.Plan.OverheadFrac,
 				BenchSeconds: req.Plan.BenchSeconds,

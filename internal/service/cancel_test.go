@@ -1,0 +1,223 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpuvar/internal/engine"
+	"gpuvar/internal/figures"
+)
+
+// TestCacheCanceledLeaderHandsOff pins the PR-3 coalescing contract at
+// the cache layer: the request that started a computation canceling
+// must not poison the coalesced followers — they still receive the
+// complete result, and the complete result (only) is cached.
+func TestCacheCanceledLeaderHandsOff(t *testing.T) {
+	c := newResultCache(8)
+	computing := make(chan struct{})
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	compute := func(fctx context.Context) (*cachedResponse, error) {
+		calls.Add(1)
+		close(computing)
+		select {
+		case <-gate:
+			return &cachedResponse{status: 200, body: []byte("complete")}, nil
+		case <-fctx.Done():
+			return nil, fctx.Err()
+		}
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(leaderCtx, "k", compute)
+		leaderDone <- err
+	}()
+	<-computing
+
+	followerDone := make(chan struct {
+		body  string
+		state string
+		err   error
+	}, 1)
+	go func() {
+		res, state, err := c.do(context.Background(), "k", compute)
+		body := ""
+		if res != nil {
+			body = string(res.body)
+		}
+		followerDone <- struct {
+			body  string
+			state string
+			err   error
+		}{body, state, err}
+	}()
+	// The follower must have joined the flight before the leader bails.
+	waitFor(t, func() bool { return c.flight.Waiters("k") >= 2 })
+
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+
+	close(gate)
+	f := <-followerDone
+	if f.err != nil || f.body != "complete" || f.state != "coalesced" {
+		t.Fatalf("follower got (%q, %q, %v), want the complete coalesced result", f.body, f.state, f.err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1 (handoff, not restart)", calls.Load())
+	}
+	// The complete result was cached: a third request replays it.
+	res, state, err := c.do(context.Background(), "k", compute)
+	if err != nil || state != "hit" || string(res.body) != "complete" {
+		t.Fatalf("post-handoff request = (%v, %q, %v), want cached hit", res, state, err)
+	}
+}
+
+// TestCacheCanceledFlightNotCached: when every waiter abandons a
+// computation it is canceled, nothing is cached, and the next request
+// computes afresh instead of replaying ctx.Err() forever.
+func TestCacheCanceledFlightNotCached(t *testing.T) {
+	c := newResultCache(8)
+	var calls atomic.Int64
+	blockUntilCanceled := func(fctx context.Context) (*cachedResponse, error) {
+		calls.Add(1)
+		<-fctx.Done()
+		return nil, fctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(ctx, "k", blockUntilCanceled)
+		done <- err
+	}()
+	waitFor(t, func() bool { return c.flight.Len() > 0 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return c.flight.Len() == 0 })
+	if s := c.Stats(); s.Entries != 0 || s.Aborted != 1 {
+		t.Fatalf("stats after abandoned flight = %+v, want 0 entries, 1 aborted", s)
+	}
+	// Fresh request: computes (and this time completes).
+	res, state, err := c.do(context.Background(), "k", func(context.Context) (*cachedResponse, error) {
+		return &cachedResponse{status: 200, body: []byte("fresh")}, nil
+	})
+	if err != nil || state != "miss" || string(res.body) != "fresh" {
+		t.Fatalf("retry = (%v, %q, %v), want a fresh miss", res, state, err)
+	}
+}
+
+// TestRequestDeadlineAborts drives the deadline through the real
+// handler stack: a server whose request budget is 1ns must answer 504 —
+// the engine refuses to dispatch shards under a dead context — and must
+// not cache the aborted computation, so a patient server later computes
+// the same request fine.
+func TestRequestDeadlineAborts(t *testing.T) {
+	impatient := New(Options{
+		Figures:        figures.Config{Iterations: 2, MLIterations: 2, Runs: 2, SummitFraction: 0.01},
+		RequestTimeout: time.Nanosecond,
+	})
+	const target = "/v1/experiments/sgemm?cluster=CloudLab&iterations=2"
+	rr := doReq(t, impatient, "GET", target, "")
+	if rr.Code != 504 {
+		t.Fatalf("status = %d, want 504; body: %s", rr.Code, rr.Body.String())
+	}
+	if !strings.Contains(rr.Body.String(), "deadline") {
+		t.Errorf("504 body does not mention the deadline: %s", rr.Body.String())
+	}
+	if s := impatient.CacheStats(); s.Entries != 0 {
+		t.Errorf("aborted computation was cached: %+v", s)
+	}
+	// The request itself was fine — a server with the default budget
+	// computes it.
+	patient := testServer()
+	if rr := doReq(t, patient, "GET", target, ""); rr.Code != 200 {
+		t.Fatalf("patient server: status = %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+// TestCancelInFlightServiceRequest cancels a request mid-computation
+// through a real HTTP server and asserts the service's whole compute
+// stack unwinds: the client returns promptly, the abandoned flight is
+// canceled, and the engine drains to zero in-flight jobs.
+func TestCancelInFlightServiceRequest(t *testing.T) {
+	srv := testServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A 3650-day campaign is far too slow to finish before the cancel
+	// below; its per-day measurement batches all run through the engine.
+	const heavy = `{"cluster":"CloudLab","days":3650,"plan":{"overhead_frac":0.05,"bench_seconds":600}}`
+	ctx, cancel := context.WithCancel(context.Background())
+	reqDone := make(chan error, 1)
+	go func() {
+		req, err := newPost(ctx, ts.URL+"/v1/campaign", heavy)
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = errors.New("request completed despite cancellation")
+		}
+		reqDone <- err
+	}()
+
+	// Wait until the computation is actually in flight, then cancel.
+	waitFor(t, func() bool { return srv.CacheStats().InFlight > 0 })
+	cancel()
+	select {
+	case err := <-reqDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled request did not return")
+	}
+
+	// The server must unwind: no flights, no in-flight engine jobs.
+	waitFor(t, func() bool { return srv.CacheStats().InFlight == 0 })
+	waitFor(t, func() bool { return engine.Snapshot().InFlightJobs == 0 })
+
+	// And it still serves fresh work afterwards.
+	if rr := doReq(t, srv, "POST", "/v1/campaign", campaignBody); rr.Code != 200 {
+		t.Fatalf("post-cancel request: status %d: %s", rr.Code, rr.Body.String())
+	}
+	if s := srv.CacheStats(); s.Aborted == 0 {
+		t.Errorf("aborted counter not incremented: %+v", s)
+	}
+}
+
+// newPost builds a context-bound POST with a JSON body.
+func newPost(ctx context.Context, url, body string) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", url, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return req, nil
+}
+
+// waitFor polls cond for up to 10s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 10s")
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -78,8 +79,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("experiment|%+v", req)
-	s.serveCached(w, key, func() (*cachedResponse, error) {
-		res, err := core.Run(exp)
+	s.serveCached(w, r, key, func(ctx context.Context) (*cachedResponse, error) {
+		res, err := core.RunCtx(ctx, exp)
 		if err != nil {
 			return nil, err
 		}

@@ -8,16 +8,31 @@
 //	GET  /v1/figures/{id}       one rendered figure (config via query)
 //	GET  /v1/experiments/{name} one experiment summary (params via query)
 //	POST /v1/campaign           one campaign simulation (params via body)
-//	GET  /v1/stats              cache/session counters for observability
+//	POST /v1/sweep              a bounded batch of experiment variants
+//	GET  /v1/stats              cache/session/engine counters
+//	GET  /v1/healthz            liveness + the same counters
 //
 // Every expensive response is produced through a fingerprint-keyed LRU
-// result cache with singleflight coalescing (resultCache): the
-// fingerprint canonicalizes the request (route + normalized parameters),
-// identical concurrent requests share one computation, and repeats
-// replay stored bytes. Below the response cache sit the reuse layers
-// PR 1 built — the figures session singleflight, the process-wide fleet
-// cache, and per-device steady-point memoization — so even a cache-miss
-// request pays only for what no earlier request has computed.
+// result cache with cancellation-safe singleflight coalescing
+// (resultCache): the fingerprint canonicalizes the request (route +
+// normalized parameters), identical concurrent requests share one
+// computation, and repeats replay stored bytes. Below the response
+// cache sit the reuse layers PR 1 built — the figures session
+// singleflight, the process-wide fleet cache, and per-device
+// steady-point memoization — so even a cache-miss request pays only for
+// what no earlier request has computed.
+//
+// Cancellation contract (PR 3): every handler derives a per-request
+// deadline (Options.RequestTimeout, default 30s) from the client's
+// context, and the whole compute stack under it — figures, core,
+// campaign, sweeps — runs on the shared execution engine
+// (internal/engine), which stops dispatching work shards the moment the
+// context ends. A client disconnect or deadline therefore aborts the
+// computation mid-run. Coalescing survives cancellation: a computation
+// belongs to the set of requests waiting on it, not to the request that
+// started it — the first requester canceling hands the flight to the
+// remaining waiters, the last waiter canceling aborts it, and only
+// complete results are ever cached.
 //
 // Concurrency audit (the contract go test -race enforces end to end):
 // cross-request shared state is confined to internally locked caches
@@ -30,6 +45,7 @@ package service
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +55,7 @@ import (
 	"sync"
 	"time"
 
+	"gpuvar/internal/engine"
 	"gpuvar/internal/figures"
 )
 
@@ -54,6 +71,10 @@ type Options struct {
 	// per distinct config (default 4). Sessions hold experiment results,
 	// so this is the server's main memory knob.
 	SessionCacheSize int
+	// RequestTimeout bounds each request's computation (default 30s;
+	// negative disables). The deadline composes with the client's own
+	// context, so a disconnect aborts even earlier.
+	RequestTimeout time.Duration
 }
 
 // Server answers catalog queries. Create with New; it is an
@@ -74,6 +95,9 @@ func New(opts Options) *Server {
 	if opts.SessionCacheSize <= 0 {
 		opts.SessionCacheSize = 4
 	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
 	opts.Figures = opts.Figures.Normalized()
 	s := &Server{
 		opts:     opts,
@@ -86,11 +110,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
-	})
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz) // legacy path
 	return s
 }
 
@@ -124,20 +147,56 @@ type statusError struct {
 func (e *statusError) Error() string { return e.err.Error() }
 func (e *statusError) Unwrap() error { return e.err }
 
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we could answer" — no standard code exists. loadgen
+// counts it (and 504) as aborted rather than failed.
+const statusClientClosedRequest = 499
+
+// requestContext derives the per-request compute context: the client's
+// context (so a disconnect cancels the work) bounded by the server's
+// request timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+}
+
 // serveCached runs one computation through the response cache and
 // replays the result, tagging it with an X-Cache header (hit, miss, or
 // coalesced) so clients and the load generator can tell the layers
-// apart. A compute error returning a *statusError keeps its status;
-// anything else is a 500.
-func (s *Server) serveCached(w http.ResponseWriter, key string, compute func() (*cachedResponse, error)) {
-	res, state, err := s.cache.do(key, compute)
+// apart. The computation runs under the request's deadline-bounded
+// context; if it is cut short, the request answers 504 (deadline) or
+// 499 (client disconnect) while the shared flight lives on for any
+// remaining waiters. A compute error returning a *statusError keeps its
+// status; anything else is a 500.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (*cachedResponse, error)) {
+	// Warm keys replay without paying for a deadline context.
+	if res, ok := s.cache.lookup(key); ok {
+		w.Header().Set("Content-Type", res.contentType)
+		w.Header().Set("X-Cache", "hit")
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, state, err := s.cache.do(ctx, key, compute)
 	if err != nil {
-		var se *statusError
-		if errors.As(err, &se) {
-			writeError(w, se.status, "%v", se.err)
-			return
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout,
+				"computation exceeded the request deadline (%s)", s.opts.RequestTimeout)
+		case errors.Is(err, context.Canceled):
+			writeError(w, statusClientClosedRequest, "request canceled")
+		default:
+			var se *statusError
+			if errors.As(err, &se) {
+				writeError(w, se.status, "%v", se.err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", res.contentType)
@@ -166,7 +225,7 @@ type figureInfo struct {
 }
 
 func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
-	s.serveCached(w, "figures-list", func() (*cachedResponse, error) {
+	s.serveCached(w, r, "figures-list", func(context.Context) (*cachedResponse, error) {
 		gens := figures.AllWithExtensions()
 		out := make([]figureInfo, len(gens))
 		for i, g := range gens {
@@ -201,9 +260,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("figure|%s|%+v", id, cfg)
-	s.serveCached(w, key, func() (*cachedResponse, error) {
+	s.serveCached(w, r, key, func(ctx context.Context) (*cachedResponse, error) {
 		var buf bytes.Buffer
-		if err := figures.Generate(id, s.sessions.get(cfg), &buf); err != nil {
+		if err := figures.Generate(ctx, id, s.sessions.get(cfg), &buf); err != nil {
 			return nil, err
 		}
 		return jsonResponse(figureResponse{
@@ -253,20 +312,43 @@ func (s *Server) figureConfig(r *http.Request) (figures.Config, error) {
 	return cfg.Normalized(), nil
 }
 
-// statsResponse is the observability snapshot.
+// statsResponse is the observability snapshot: response-cache counters
+// (hit/miss/coalesced/aborted, in-flight flights), live sessions, and
+// the execution engine's job/shard progress — enough for loadgen and
+// ops to see what the server is computing right now.
 type statsResponse struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Cache         CacheStats `json:"cache"`
-	Sessions      int        `json:"sessions"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Cache         CacheStats   `json:"cache"`
+	Sessions      int          `json:"sessions"`
+	Engine        engine.Stats `json:"engine"`
+}
+
+func (s *Server) snapshot() statsResponse {
+	return statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Cache:         s.cache.Stats(),
+		Sessions:      s.sessions.len(),
+		Engine:        engine.Snapshot(),
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(statsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Cache:         s.cache.Stats(),
-		Sessions:      s.sessions.len(),
-	})
+	_ = json.NewEncoder(w).Encode(s.snapshot())
+}
+
+// healthzResponse wraps the counters with a liveness bit.
+type healthzResponse struct {
+	OK bool `json:"ok"`
+	statsResponse
+}
+
+// handleHealthz answers liveness probes and exposes the same counters
+// as /v1/stats, so a single probe shows both that the server is up and
+// whether the engine is draining or wedged.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(healthzResponse{OK: true, statsResponse: s.snapshot()})
 }
 
 // sessionPool is the LRU of live figure sessions, keyed by normalized

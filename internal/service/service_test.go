@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"gpuvar/internal/figures"
@@ -73,8 +75,19 @@ func TestRoutes(t *testing.T) {
 		{"campaign unknown kind", "POST", "/v1/campaign", `{"cluster":"CloudLab","days":2,"injection":{"kind":"rust"}}`, 400, "unknown defect kind"},
 		{"campaign unknown node", "POST", "/v1/campaign", `{"cluster":"CloudLab","days":2,"injection":{"day":1,"node_id":"nope-n99","kind":"stall"}}`, 400, "unknown injection node"},
 		{"campaign wrong method", "GET", "/v1/campaign", "", 405, ""},
+		{"sweep ok", "POST", "/v1/sweep", `{"cluster":"CloudLab","iterations":2,"caps_w":[300,200]}`, 200, `"variants"`},
+		{"sweep defaults", "POST", "/v1/sweep", `{"caps_w":[250]}`, 200, `"cap_w"`},
+		{"sweep missing caps", "POST", "/v1/sweep", `{"cluster":"CloudLab"}`, 400, "caps_w is required"},
+		{"sweep too many caps", "POST", "/v1/sweep", `{"caps_w":[` + strings.Repeat("100,", 33) + `100]}`, 400, "max 32"},
+		{"sweep negative cap", "POST", "/v1/sweep", `{"caps_w":[-5]}`, 400, "bad cap"},
+		{"sweep unknown cluster", "POST", "/v1/sweep", `{"cluster":"Atlantis","caps_w":[250]}`, 404, "unknown cluster"},
+		{"sweep unknown workload", "POST", "/v1/sweep", `{"workload":"doom","caps_w":[250]}`, 404, "unknown workload"},
+		{"sweep bad json", "POST", "/v1/sweep", `{"caps_w":`, 400, "decoding body"},
+		{"sweep wrong method", "GET", "/v1/sweep", "", 405, ""},
 		{"stats", "GET", "/v1/stats", "", 200, `"cache"`},
+		{"stats engine counters", "GET", "/v1/stats", "", 200, `"in_flight_jobs"`},
 		{"health", "GET", "/healthz", "", 200, `"ok"`},
+		{"health v1", "GET", "/v1/healthz", "", 200, `"in_flight_jobs"`},
 		{"unknown route", "GET", "/v1/nope", "", 404, ""},
 	}
 	for _, tt := range tests {
@@ -245,11 +258,14 @@ func TestStatsEndpoint(t *testing.T) {
 // the least recently used entry is evicted and recomputed on return.
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
+	var mu sync.Mutex
 	computes := map[string]int{}
 	get := func(key string) {
 		t.Helper()
-		res, _, err := c.do(key, func() (*cachedResponse, error) {
+		res, _, err := c.do(context.Background(), key, func(context.Context) (*cachedResponse, error) {
+			mu.Lock()
 			computes[key]++
+			mu.Unlock()
 			return &cachedResponse{status: 200, body: []byte(key)}, nil
 		})
 		if err != nil || string(res.body) != key {
@@ -275,18 +291,17 @@ func TestResultCacheLRU(t *testing.T) {
 // not replayed.
 func TestResultCacheErrorNotCached(t *testing.T) {
 	c := newResultCache(4)
-	calls := 0
-	fail := func() (*cachedResponse, error) {
-		calls++
-		return nil, fmt.Errorf("boom %d", calls)
+	var calls atomic.Int64
+	fail := func(context.Context) (*cachedResponse, error) {
+		return nil, fmt.Errorf("boom %d", calls.Add(1))
 	}
-	if _, _, err := c.do("k", fail); err == nil {
+	if _, _, err := c.do(context.Background(), "k", fail); err == nil {
 		t.Fatal("want error")
 	}
-	if _, _, err := c.do("k", fail); err == nil || !strings.Contains(err.Error(), "boom 2") {
+	if _, _, err := c.do(context.Background(), "k", fail); err == nil || !strings.Contains(err.Error(), "boom 2") {
 		t.Fatalf("second call err = %v, want fresh boom 2", err)
 	}
-	if calls != 2 {
-		t.Fatalf("calls = %d, want 2 (errors not cached)", calls)
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (errors not cached)", calls.Load())
 	}
 }

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+	"gpuvar/internal/workload"
+)
+
+// The sweep endpoint runs a bounded batch of experiment variants — a
+// power-cap sweep, the paper's §VI-B study (Fig. 22) — as ONE engine
+// job graph: each cap is a shard of a core.PowerLimitSweepCtx job, the
+// variants' own per-GPU jobs nest inside, and every variant shares one
+// cached fleet instantiation (the cap applies at simulation time, not
+// fleet-sampling time). Before the engine existed this was too
+// expensive to expose: N caps ran as N sequential full experiments on a
+// request goroutine with no way to abort. Now a sweep is
+// deadline-bounded, cancelable mid-variant, and coalesced like every
+// other response.
+
+// maxSweepVariants bounds one request's batch; a sweep is a study, not
+// a denial of service.
+const maxSweepVariants = 32
+
+// maxSweepBody bounds the request body (a cap list plus a few knobs).
+const maxSweepBody = 1 << 16
+
+// sweepRequest is the POST /v1/sweep body. The normalized struct
+// (defaults filled, names resolved) is the cache fingerprint.
+type sweepRequest struct {
+	Workload   string    `json:"workload"`
+	Cluster    string    `json:"cluster"`
+	Seed       uint64    `json:"seed"`
+	Fraction   float64   `json:"fraction"`
+	Runs       int       `json:"runs"`
+	Iterations int       `json:"iterations"`
+	CapsW      []float64 `json:"caps_w"`
+}
+
+// sweepVariant is one cap's outcome.
+type sweepVariant struct {
+	CapW     float64 `json:"cap_w"`
+	GPUs     int     `json:"gpus"`
+	MedianMs float64 `json:"median_ms"`
+	PerfVar  float64 `json:"perf_variation"`
+	Outliers int     `json:"outliers"`
+}
+
+// sweepResponse is one completed sweep.
+type sweepResponse struct {
+	Request  sweepRequest   `json:"request"`
+	Variants []sweepVariant `json:"variants"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSweepBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req sweepRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	exp, status, err := normalizeSweep(&req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	key := fmt.Sprintf("sweep|%+v", req)
+	s.serveCached(w, r, key, func(ctx context.Context) (*cachedResponse, error) {
+		points, err := core.PowerLimitSweepCtx(ctx, exp, req.CapsW)
+		if err != nil {
+			return nil, err
+		}
+		out := sweepResponse{Request: req, Variants: make([]sweepVariant, len(points))}
+		for i, p := range points {
+			out.Variants[i] = sweepVariant{
+				CapW:     p.CapW,
+				GPUs:     len(p.Result.PerAG),
+				MedianMs: p.MedianMs,
+				PerfVar:  p.PerfVar,
+				Outliers: p.NOutliers,
+			}
+		}
+		return jsonResponse(out)
+	})
+}
+
+// normalizeSweep validates the request, resolves names, and fills every
+// defaulted field so the struct is a canonical fingerprint.
+func normalizeSweep(req *sweepRequest) (core.Experiment, int, error) {
+	if len(req.CapsW) == 0 {
+		return core.Experiment{}, http.StatusBadRequest,
+			fmt.Errorf("caps_w is required: the list of power caps (W) to sweep")
+	}
+	if len(req.CapsW) > maxSweepVariants {
+		return core.Experiment{}, http.StatusBadRequest,
+			fmt.Errorf("caps_w has %d variants (max %d per sweep)", len(req.CapsW), maxSweepVariants)
+	}
+	for _, c := range req.CapsW {
+		if c < 0 {
+			return core.Experiment{}, http.StatusBadRequest,
+				fmt.Errorf("bad cap %v: want >= 0 (0 = TDP)", c)
+		}
+	}
+	if req.Cluster == "" {
+		req.Cluster = "CloudLab" // the paper had root (and power-cap rights) here
+	}
+	spec, ok := cluster.ByName(req.Cluster)
+	if !ok {
+		return core.Experiment{}, http.StatusNotFound,
+			fmt.Errorf("unknown cluster %q (known: %v)", req.Cluster, cluster.Names())
+	}
+	if req.Workload == "" {
+		req.Workload = "sgemm"
+	}
+	wl, err := workload.ByName(req.Workload, spec.SKU())
+	if err != nil {
+		return core.Experiment{}, http.StatusNotFound, err
+	}
+	req.Workload = wl.Name
+	if req.Seed == 0 {
+		req.Seed = 2022
+	}
+	if req.Fraction <= 0 || req.Fraction > 1 {
+		req.Fraction = 1
+	}
+	if req.Runs < 1 {
+		req.Runs = 1
+	}
+	if req.Iterations < 0 {
+		return core.Experiment{}, http.StatusBadRequest,
+			fmt.Errorf("bad iterations %d: want >= 0 (0 = workload default)", req.Iterations)
+	}
+	if req.Iterations > 0 {
+		wl.Iterations = req.Iterations
+	}
+	req.Iterations = wl.Iterations
+	return core.Experiment{
+		Cluster:  spec,
+		Workload: wl,
+		Seed:     req.Seed,
+		Fraction: req.Fraction,
+		Runs:     req.Runs,
+	}, 0, nil
+}

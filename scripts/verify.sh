@@ -20,6 +20,7 @@ run() {
 }
 
 run build
+run fmt
 run vet
 run test
 run bench-smoke
