@@ -1,24 +1,39 @@
 GO ?= go
 
-.PHONY: help build fmt vet test cover cover-summary verify race bench bench-smoke bench-compare figures serve loadgen
+.PHONY: help build fmt vet staticcheck test cover cover-summary verify race bench bench-smoke bench-compare smoke figures serve loadgen
 
 # help lists the targets. Serving quick-reference:
 #   make serve    starts cmd/gpuvard on :8080 — the experiment service.
 #     A request passes through (1) the service's fingerprint-keyed LRU
 #     response cache with cancellation-safe singleflight coalescing,
 #     (2) the figures session cache (one run per shared experiment),
-#     (3) the process-wide fleet cache (one instantiation per
-#     (spec, seed)), and (4) per-device steady-point memoization.
-#     Identical requests are byte-identical. Every computation runs on
-#     internal/engine under a per-request deadline (gpuvard -timeout,
-#     default 30s); client disconnects abort work mid-run.
+#     (3) the LRU-bounded process-wide fleet cache (one instantiation
+#     per (spec, seed), cap via gpuvard -fleet-cache), and (4)
+#     per-device steady-point memoization. Identical requests are
+#     byte-identical. Every computation runs on internal/engine under a
+#     per-request deadline (gpuvard -timeout, default 30s); client
+#     disconnects abort work mid-run.
+#     Heavy work runs asynchronously instead of on a held connection:
+#       POST /v1/jobs {"kind":"sweep","sweep":{...}}  -> 202 + poll URL
+#       GET  /v1/jobs/{id}          lifecycle + shards done/total
+#       GET  /v1/jobs/{id}/result   finished bytes (identical to sync)
+#       DELETE /v1/jobs/{id}        cancel
+#     Sweeps take a variant axis: {"axis":"powercap|seed|ambient|
+#     fraction","values":[...]} (caps_w remains as the legacy powercap
+#     spelling).
 #   make loadgen  hammers a running gpuvard with concurrent identical
 #     requests, checks byte-identity, and reports req/s + p50/p99
 #     (loadgen -duration 30s for time-based runs, -sweep '...' to mix in
-#     POST /v1/sweep).
+#     POST /v1/sweep, -jobs to drive the async submit/poll/result path
+#     and require its bytes to match the synchronous sweep).
+#   make smoke    builds gpuvard, boots it, and runs a short loadgen mix
+#     (figures + sweep + async jobs) asserting zero failures and
+#     byte-identity — the end-to-end serving gate CI runs.
 # CI gates a PR must clear (.github/workflows/ci.yml):
-#   make verify   build + fmt + vet + test + bench-smoke + bench-compare
+#   make verify   build + fmt + vet + staticcheck + test + bench-smoke
+#                 + bench-compare
 #   make race     go test -race -short ./...
+#   make smoke    end-to-end serving smoke (see above)
 #   make cover    test suite with a coverage summary
 help:
 	@awk '/^[a-z][a-z-]*:/ {sub(/:.*/,""); print "  make " $$0} /^# / {sub(/^# /,""); print}' $(MAKEFILE_LIST)
@@ -33,6 +48,24 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs the pinned honnef.co/go/tools linter. The version is
+# pinned so CI and dev machines agree; `go run pkg@version` resolves
+# through the module cache, so after the first download the stage is
+# offline-friendly. On a dev machine with no network and no cached copy
+# the stage skips with a notice; in CI ($CI set) an unresolvable
+# staticcheck FAILS the stage — a silent skip there would disable the
+# gate exactly where it matters.
+STATICCHECK_VERSION ?= 2025.1.1
+staticcheck:
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./... ; \
+	elif [ -n "$$CI" ]; then \
+		echo "staticcheck: $(STATICCHECK_VERSION) failed to resolve in CI; failing the stage" >&2; \
+		exit 1; \
+	else \
+		echo "staticcheck: $(STATICCHECK_VERSION) unavailable (offline and not in the module cache); skipping"; \
+	fi
 
 # test runs the tier-1 suite. TESTFLAGS lets CI fold the coverage
 # profile into this single run instead of running the suite twice
@@ -67,14 +100,14 @@ verify:
 race:
 	$(GO) test -race -short ./...
 
-# bench records the full benchmark suite into BENCH_3.json with PR 2's
-# BENCH_2.json embedded as the baseline (name → ns/op, B/op, allocs/op).
+# bench records the full benchmark suite into BENCH_4.json with PR 3's
+# BENCH_3.json embedded as the baseline (name → ns/op, B/op, allocs/op).
 # Pass BENCH='regexp' to restrict, e.g.
 #   make bench BENCH='Fig04|ExtCampaign' COUNT=3
 BENCH ?= .
 COUNT ?= 1
 bench:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_2.json -out BENCH_3.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_3.json -out BENCH_4.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
@@ -82,17 +115,18 @@ bench-smoke:
 # bench-compare is the benchmark-regression gate: re-measure the gate
 # benchmarks and fail if ns/op regressed past BENCH_TOLERANCE or
 # allocs/op past BENCH_ALLOC_TOLERANCE against the committed
-# BENCH_3.json. GATE_BENCH keeps the gate fast and focused on the two
-# perf wins PR 1 banked plus the PR 3 engine-backed sweep surface. The
-# alloc gate stays tight everywhere (alloc counts are
-# machine-independent); CI loosens only BENCH_TOLERANCE because
-# absolute ns/op is not comparable across host machines.
-GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep
+# BENCH_4.json. GATE_BENCH keeps the gate fast and focused on the two
+# perf wins PR 1 banked, the engine-backed sweep surfaces (both axis
+# forms), and the PR 4 async-job plumbing. The alloc gate stays tight
+# everywhere (alloc counts are machine-independent); CI loosens only
+# BENCH_TOLERANCE because absolute ns/op is not comparable across host
+# machines.
+GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceJobSubmitPoll
 BENCH_TOLERANCE ?= 0.25
 BENCH_ALLOC_TOLERANCE ?= 0.25
 bench-compare:
 	$(GO) run ./cmd/benchjson -bench '$(GATE_BENCH)' -count 3 -benchtime 30x \
-		-out /tmp/bench_gate.json -compare BENCH_3.json \
+		-out /tmp/bench_gate.json -compare BENCH_4.json \
 		-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 figures:
@@ -105,3 +139,9 @@ serve:
 # loadgen hammers a running gpuvard (start one with `make serve`).
 loadgen:
 	$(GO) run ./cmd/loadgen
+
+# smoke is the end-to-end serving gate: build gpuvard, boot it, drive a
+# short loadgen mix (figures + variant-axis sweep + async jobs) against
+# it, and fail on any response failure or byte divergence.
+smoke:
+	scripts/smoke.sh

@@ -11,10 +11,12 @@ package gpuvar
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"gpuvar/internal/figures"
 	"gpuvar/internal/service"
@@ -88,8 +90,8 @@ func BenchmarkExtScheduler(b *testing.B) { benchFigure(b, "ext-scheduler") }
 func BenchmarkExtCampaign(b *testing.B)  { benchFigure(b, "ext-campaign") }
 func BenchmarkExtNextGen(b *testing.B)   { benchFigure(b, "ext-nextgen") }
 
-// BenchmarkServiceSweep measures the new POST /v1/sweep surface cold:
-// a 4-cap power sweep on CloudLab computed as one engine job graph per
+// BenchmarkServiceSweep measures the POST /v1/sweep surface cold: a
+// 4-cap power sweep on CloudLab computed as one engine job graph per
 // iteration (fresh server, so the response cache never hits; the fleet
 // cache amortizes across iterations exactly as a restarted server
 // would against the process-wide cache).
@@ -104,6 +106,85 @@ func BenchmarkServiceSweep(b *testing.B) {
 		if rec.Code != 200 {
 			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 		}
+	}
+}
+
+// BenchmarkServiceSweepFractionAxis measures the generalized
+// variant-axis sweep cold: a 4-value coverage-fraction ladder on
+// CloudLab, the same engine job-graph shape as the power-cap sweep but
+// through the normalized axis/values schema.
+func BenchmarkServiceSweepFractionAxis(b *testing.B) {
+	const body = `{"cluster":"CloudLab","iterations":6,"axis":"fraction","values":[1,0.75,0.5,0.25]}`
+	for i := 0; i < b.N; i++ {
+		srv := service.New(service.Options{Figures: benchConfig()})
+		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// benchRunJob drives one submit → poll-to-done → fetch-result round
+// trip through the server.
+func benchRunJob(b *testing.B, srv *service.Server, body string) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 202 {
+		b.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+	}
+	var view struct {
+		State string `json:"state"`
+		URL   string `json:"url"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		b.Fatal(err)
+	}
+	for view.State != "done" {
+		if view.State == "failed" || view.State == "canceled" {
+			b.Fatalf("job ended %s", view.State)
+		}
+		// A real client paces its polls; a zero-sleep loop here would
+		// only measure lock contention between the poller and the
+		// manager.
+		time.Sleep(50 * time.Microsecond)
+		poll := httptest.NewRequest("GET", view.URL, nil)
+		rec = httptest.NewRecorder()
+		srv.ServeHTTP(rec, poll)
+		if rec.Code != 200 {
+			b.Fatalf("poll status %d", rec.Code)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+			b.Fatal(err)
+		}
+	}
+	res := httptest.NewRequest("GET", view.URL+"/result", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, res)
+	if rec.Code != 200 {
+		b.Fatalf("result status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServiceJobSubmitPoll measures the async-job plumbing: one
+// submit → poll → fetch-result round trip per iteration against a
+// single server whose sweep result is warmed before the timer starts,
+// so the timing isolates the job lifecycle itself (202 + manager
+// bookkeeping + status polls + result replay) — the per-job overhead a
+// client pays on top of the computation — independent of the iteration
+// count.
+func BenchmarkServiceJobSubmitPoll(b *testing.B) {
+	srv := service.New(service.Options{Figures: benchConfig()})
+	const body = `{"kind":"sweep","sweep":{"cluster":"CloudLab","iterations":6,"axis":"powercap","values":[300,250]}}`
+	benchRunJob(b, srv, body) // warm the underlying sweep computation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRunJob(b, srv, body)
 	}
 }
 

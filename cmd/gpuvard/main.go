@@ -14,12 +14,23 @@
 //	curl localhost:8080/v1/figures/fig2
 //	curl 'localhost:8080/v1/experiments/sgemm?cluster=CloudLab&runs=3'
 //	curl -X POST -d '{"cluster":"Vortex","injection":{"day":4,"node_id":"v003-n01","kind":"power-brake"}}' localhost:8080/v1/campaign
-//	curl -X POST -d '{"cluster":"CloudLab","caps_w":[300,250,200,150,100]}' localhost:8080/v1/sweep
+//	curl -X POST -d '{"cluster":"CloudLab","axis":"powercap","values":[300,250,200,150,100]}' localhost:8080/v1/sweep
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/v1/healthz
 //
-// Every computation is deadline-bounded (-timeout, default 30s) and
-// cancels mid-run when the client disconnects.
+// Heavy computations can be submitted asynchronously instead of held
+// on the connection — 202 + a poll URL, progress, result, and cancel:
+//
+//	curl -X POST -d '{"kind":"sweep","sweep":{"cluster":"Summit","axis":"fraction","values":[0.02,0.05,0.1]}}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/<id>           # state + shards done/total
+//	curl localhost:8080/v1/jobs/<id>/result    # the finished response
+//	curl -X DELETE localhost:8080/v1/jobs/<id> # cancel
+//
+// Every synchronous computation is deadline-bounded (-timeout, default
+// 30s) and cancels mid-run when the client disconnects; async jobs get
+// the batch budget (-job-timeout, default 10m) and bounded concurrency
+// (-max-jobs). The fleet cache's LRU bound (-fleet-cache) caps how many
+// distinct (spec, seed) fleets the server retains.
 package main
 
 import (
@@ -33,22 +44,28 @@ import (
 	"syscall"
 	"time"
 
+	"gpuvar/internal/cluster"
 	"gpuvar/internal/figures"
 	"gpuvar/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		seed    = flag.Uint64("seed", 2022, "default fleet instantiation seed")
-		iters   = flag.Int("iterations", 0, "default SGEMM repetitions (0 = quick setting)")
-		summit  = flag.Float64("summit-fraction", 0, "default Summit coverage fraction (0 = quick setting)")
-		respLRU = flag.Int("response-cache", 256, "response LRU size (entries)")
-		sessLRU = flag.Int("session-cache", 4, "figure-session LRU size (distinct configs)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request computation deadline (negative disables)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		seed       = flag.Uint64("seed", 2022, "default fleet instantiation seed")
+		iters      = flag.Int("iterations", 0, "default SGEMM repetitions (0 = quick setting)")
+		summit     = flag.Float64("summit-fraction", 0, "default Summit coverage fraction (0 = quick setting)")
+		respLRU    = flag.Int("response-cache", 256, "response LRU size (entries)")
+		sessLRU    = flag.Int("session-cache", 4, "figure-session LRU size (distinct configs)")
+		fleetLRU   = flag.Int("fleet-cache", cluster.DefaultFleetCacheCap, "fleet LRU size (distinct (spec, seed) instantiations)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request computation deadline (negative disables)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-async-job computation deadline (negative disables)")
+		maxJobs    = flag.Int("max-jobs", 2, "async jobs executing concurrently")
+		jobTTL     = flag.Duration("job-ttl", 10*time.Minute, "finished-job retention before results expire")
 	)
 	flag.Parse()
 
+	cluster.DefaultFleetCache.SetCap(*fleetLRU)
 	srv := service.New(service.Options{
 		Figures: figures.Config{
 			Seed:           *seed,
@@ -58,6 +75,9 @@ func main() {
 		ResponseCacheSize: *respLRU,
 		SessionCacheSize:  *sessLRU,
 		RequestTimeout:    *timeout,
+		JobTimeout:        *jobTimeout,
+		MaxRunningJobs:    *maxJobs,
+		JobTTL:            *jobTTL,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

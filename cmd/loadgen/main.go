@@ -12,17 +12,26 @@
 // response diverges from the first response for its path or fails
 // outright.
 //
+// With -jobs, the -sweep body is additionally exercised through the
+// async path: each such "request" is a full POST /v1/jobs submission
+// (202 + job URL), a poll loop over GET /v1/jobs/{id} asserting the
+// reported shard progress never goes backwards, and a GET of
+// /v1/jobs/{id}/result — whose bytes must match the synchronous
+// POST /v1/sweep reference exactly (the async path's core contract).
+//
 // Usage:
 //
 //	loadgen                                     # 32 workers, 512 reqs, /v1/figures/fig2
 //	loadgen -c 64 -n 2048 -paths /v1/figures/fig2,/v1/experiments/sgemm?cluster=CloudLab
 //	loadgen -duration 30s                       # time-based instead of count-based
-//	loadgen -sweep '{"cluster":"CloudLab","caps_w":[300,250,200,150]}'
+//	loadgen -sweep '{"cluster":"CloudLab","axis":"powercap","values":[300,250,200,150]}'
+//	loadgen -sweep '{"axis":"seed","values":[1,2,3]}' -jobs
 //	loadgen -url http://localhost:9090 -c 8
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -59,18 +68,29 @@ func main() {
 		base     = flag.String("url", "http://localhost:8080", "server base URL")
 		paths    = flag.String("paths", "/v1/figures/fig2", "comma-separated GET request paths")
 		sweep    = flag.String("sweep", "", "JSON body to POST to /v1/sweep as part of the mix (empty = no sweep requests)")
+		jobsMode = flag.Bool("jobs", false, "also run the -sweep body through the async job path (submit, poll progress, fetch result) and require the result bytes to match the synchronous sweep response")
 		conc     = flag.Int("c", 32, "concurrent workers")
 		total    = flag.Int("n", 512, "total requests (split across workers, round-robin over paths)")
 		duration = flag.Duration("duration", 0, "run for this long instead of a fixed -n (0 = use -n)")
 	)
 	flag.Parse()
+	if *jobsMode && *sweep == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -jobs requires -sweep (the job payload)")
+		os.Exit(1)
+	}
 
+	const sweepLabel = "POST /v1/sweep"
+	const jobLabel = "JOB  /v1/jobs (sweep)"
 	var targets []target
 	for _, p := range strings.Split(*paths, ",") {
 		targets = append(targets, target{label: "GET " + p, method: "GET", path: p})
 	}
 	if *sweep != "" {
-		targets = append(targets, target{label: "POST /v1/sweep", method: "POST", path: "/v1/sweep", body: *sweep})
+		targets = append(targets, target{label: sweepLabel, method: "POST", path: "/v1/sweep", body: *sweep})
+	}
+	if *jobsMode {
+		targets = append(targets, target{label: jobLabel, method: methodJob, path: "/v1/jobs",
+			body: `{"kind":"sweep","sweep":` + *sweep + `}`})
 	}
 	client := &http.Client{Timeout: 5 * time.Minute}
 
@@ -92,6 +112,11 @@ func main() {
 		coldMs[tg.label] = float64(time.Since(t0).Microseconds()) / 1000
 		ref[tg.label] = sha256.Sum256(body)
 		fmt.Printf("prime %-60s %8.1f ms  (%d bytes, X-Cache: %s)\n", tg.label, coldMs[tg.label], len(body), cacheHdr)
+	}
+	// The async path must return the synchronous sweep's exact bytes.
+	if *jobsMode && ref[jobLabel] != ref[sweepLabel] {
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL: async job result diverged from the synchronous /v1/sweep response")
+		os.Exit(1)
 	}
 
 	// Hot pass: all workers, round-robin over targets, every completed
@@ -195,10 +220,94 @@ func main() {
 	fmt.Println("byte-identity: OK (every response matched its target's reference)")
 }
 
+// methodJob marks a target that runs through the async job path
+// instead of a single HTTP request.
+const methodJob = "JOB"
+
+// doJob drives one submission through the whole async lifecycle:
+// submit (202 + URL), poll status until terminal (asserting progress
+// monotonicity), fetch the result.
+func doJob(client *http.Client, base string, tg target) (body []byte, err error) {
+	resp, err := client.Post(base+tg.path, "application/json", strings.NewReader(tg.body))
+	if err != nil {
+		return nil, err
+	}
+	sub, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("POST %s: %s: %s", tg.path, resp.Status, firstLine(sub))
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Done  int64  `json:"shards_done"`
+		Total int64  `json:"shards_total"`
+		URL   string `json:"url"`
+	}
+	if err := json.Unmarshal(sub, &job); err != nil {
+		return nil, fmt.Errorf("POST %s: decoding 202 body: %v", tg.path, err)
+	}
+
+	// Poll until terminal; shard progress must never go backwards.
+	var lastDone, lastTotal int64
+	deadline := time.Now().Add(4 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s did not finish within 4m", job.ID)
+		}
+		resp, err := client.Get(base + job.URL)
+		if err != nil {
+			return nil, err
+		}
+		st, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s: %s", job.URL, resp.Status, firstLine(st))
+		}
+		if err := json.Unmarshal(st, &job); err != nil {
+			return nil, fmt.Errorf("GET %s: decoding status: %v", job.URL, err)
+		}
+		if job.Done < lastDone || job.Total < lastTotal {
+			return nil, fmt.Errorf("job %s progress went backwards: %d/%d after %d/%d",
+				job.ID, job.Done, job.Total, lastDone, lastTotal)
+		}
+		lastDone, lastTotal = job.Done, job.Total
+		switch job.State {
+		case "done":
+			resp, err := client.Get(base + job.URL + "/result")
+			if err != nil {
+				return nil, err
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("GET %s/result: %s: %s", job.URL, resp.Status, firstLine(body))
+			}
+			return body, nil
+		case "failed", "canceled":
+			return nil, fmt.Errorf("job %s ended %s", job.ID, job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // do performs one request. aborted reports a server-shed response —
 // 504 (deadline exceeded) or 499 (client canceled) — which callers
 // account separately from failures.
 func do(client *http.Client, base string, tg target) (body []byte, cacheHdr string, aborted bool, err error) {
+	if tg.method == methodJob {
+		body, err := doJob(client, base, tg)
+		return body, "job", false, err
+	}
 	var rd io.Reader
 	if tg.body != "" {
 		rd = strings.NewReader(tg.body)

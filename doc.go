@@ -88,9 +88,14 @@
 // waiters (engine.Group refcounts them) rather than poisoning the key,
 // and a computation nobody waits for anymore is itself canceled. The
 // fleet cache is the one deliberate exception — instantiation is a pure
-// memoizable function, so an abandoned instantiate runs to completion
-// in the background and is cached for the next request, while the
-// abandoning caller still returns immediately.
+// memoizable function, so once sampling has begun an abandoned
+// instantiate runs to completion and is cached for the next request,
+// while the abandoning caller still returns immediately. But an
+// instantiate whose every waiter is gone before sampling begins is
+// never started (the admission rule), and completed fleets live in an
+// LRU bounded at gpuvard -fleet-cache (default 16) with eviction and
+// admission-skip counters on /v1/healthz — so seed-scanning clients
+// cannot grow the server's fleet working set without limit.
 //
 // To profile the pipeline:
 //
@@ -107,14 +112,81 @@
 // The same catalog is served concurrently over HTTP by internal/service
 // (run it with cmd/gpuvard, default :8080):
 //
-//	GET  /v1/figures            catalog of figure/table generators
-//	GET  /v1/figures/{id}       one rendered figure (config via query)
-//	GET  /v1/experiments/{name} one experiment summary (params via query)
-//	POST /v1/campaign           one campaign simulation (params via body)
-//	POST /v1/sweep              a bounded batch of experiment variants
-//	                            (power-cap sweep) as one engine job graph
-//	GET  /v1/stats              cache/session/engine counters
-//	GET  /v1/healthz            liveness + the same counters
+//	GET    /v1/figures            catalog of figure/table generators
+//	GET    /v1/figures/{id}       one rendered figure (config via query)
+//	GET    /v1/experiments/{name} one experiment summary (params via query)
+//	POST   /v1/campaign           one campaign simulation (params via body)
+//	POST   /v1/sweep              a bounded variant-axis sweep as one
+//	                              engine job graph (see below)
+//	POST   /v1/jobs               async submission → 202 + poll URL
+//	GET    /v1/jobs               list live jobs
+//	GET    /v1/jobs/{id}          job state + per-shard progress
+//	GET    /v1/jobs/{id}/result   finished job's response (replayable)
+//	DELETE /v1/jobs/{id}          cancel (active) / forget (terminal)
+//	GET    /v1/stats              cache/session/engine/job counters
+//	GET    /v1/healthz            liveness + the same counters
+//
+// # Variant-axis sweeps
+//
+// A sweep runs the same experiment once per value of one knob — its
+// variant axis — as a single engine job graph (each value a shard, the
+// values' own per-GPU jobs nested inside). The normalized request
+// schema covers every axis the studies need:
+//
+//	{
+//	  "workload":   "sgemm",         // default sgemm
+//	  "cluster":    "CloudLab",      // default CloudLab
+//	  "axis":       "powercap",      // powercap | seed | ambient | fraction
+//	  "values":     [300, 250, 200], // ≤ 32 values, validated per axis
+//	  "seed": 2022, "fraction": 1, "runs": 1, "iterations": 0
+//	}
+//
+// powercap sweeps the administrative W cap (the paper's §VI-B study;
+// 0 = TDP), seed sweeps fleet instantiation seeds (uncertainty bands),
+// ambient sweeps inlet-temperature offsets in °C within ±25 (facility
+// what-ifs), and fraction sweeps measurement coverage in (0, 1] (cost
+// ladders). The legacy power-cap spelling {"caps_w": [...]} still
+// works: it normalizes to axis=powercap, shares the same cache entry,
+// and returns byte-identical bodies. core.VariantSweepCtx implements
+// all four axes once; core.PowerLimitSweep remains as its golden-tested
+// powercap façade.
+//
+// # Async jobs
+//
+// Summit-scale sweeps and long campaigns outlive any sane request
+// deadline, so the service also accepts them asynchronously: POST
+// /v1/jobs with {"kind": "sweep"|"campaign", "<kind>": <the sync
+// endpoint's body>} answers 202 with a poll URL instead of holding the
+// connection. The lifecycle (internal/jobs):
+//
+//	queued ──► running ──► done
+//	   │          │    ├──► failed
+//	   └──────────┴───────► canceled
+//
+// A job is queued until one of the manager's execution slots frees
+// (gpuvard -max-jobs bounds batch-class concurrency so jobs cannot
+// starve interactive requests), running while it computes under its
+// own budget (-job-timeout, default 10m), and terminal afterwards.
+// GET /v1/jobs/{id} reports the state plus per-shard progress —
+// shards_done / shards_total, fed by the engine's shard counters
+// through the job's context, with the total growing as nested jobs are
+// discovered and both counters monotone while it runs. (A job that
+// coalesces onto an identical in-flight computation, or replays a
+// cached result, shows 0/0 — the work is not its own — and just
+// completes when the shared flight does.) DELETE cancels:
+// the engine stops dispatching the job's shards and its workers drain
+// promptly.
+//
+// Retention: GET /v1/jobs/{id}/result replays the finished bytes on
+// every fetch (fetching never consumes) until the job ages past its
+// TTL (-job-ttl, default 10m) or the retained set exceeds its LRU cap,
+// after which the job answers 404; canceled jobs answer 410, unfinished
+// ones 409 + Retry-After. A job's computation runs through the same
+// response cache and singleflight as the synchronous handlers, which
+// guarantees its result is byte-identical to the held-connection
+// response for the same body — and primes the cache for later
+// synchronous requests. cmd/loadgen -jobs drives this whole lifecycle
+// under load and asserts exactly that identity.
 //
 // A request descends through four reuse layers, each of which may
 // short-circuit it: (1) the service's fingerprint-keyed LRU response
@@ -148,10 +220,15 @@
 // # CI gates
 //
 // Every PR must clear .github/workflows/ci.yml: the verify job
-// (scripts/verify.sh — build, gofmt check, vet, tests, benchmark smoke
-// run, and the cmd/benchjson -compare regression gate, which
-// re-measures the banked perf wins and fails on >25% ns/op or allocs/op
-// growth against the committed BENCH_3.json, then a coverage summary)
-// and the race job (go test -race -short ./...). Superseded CI runs on
-// the same ref are canceled (concurrency: cancel-in-progress).
+// (scripts/verify.sh — build, gofmt check, vet, a pinned staticcheck
+// pass, tests, benchmark smoke run, and the cmd/benchjson -compare
+// regression gate, which re-measures the banked perf wins plus the
+// sweep and async-job serving paths and fails on >25% ns/op or
+// allocs/op growth against the committed BENCH_4.json, then a coverage
+// summary), the race job (go test -race -short ./...), and the smoke
+// job (make smoke — build gpuvard, boot it, and drive a concurrent
+// loadgen mix over figures, variant-axis sweeps, and the async job
+// lifecycle, asserting zero failures and byte-identity end to end).
+// Superseded CI runs on the same ref are canceled (concurrency:
+// cancel-in-progress).
 package gpuvar

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"strings"
@@ -15,6 +16,17 @@ import (
 // spec before instantiation, so each variant hashes to its own cache
 // entry and the base fleet is never mutated (copy-on-write at the spec
 // level).
+//
+// The cache is bounded: (spec, seed) is client-controlled through the
+// service, so an unbounded map would let a seed-scanning client make
+// the server instantiate and retain fleets without limit. Completed
+// fleets live in an LRU capped at the cache's capacity (default
+// DefaultFleetCacheCap; evictions are counted and exported via
+// /v1/healthz), and a detached instantiation whose every waiter is
+// already gone before sampling begins is never started at all — the
+// admission rule. Once sampling has begun it always runs to completion
+// and is cached (the result is pure and worth keeping for the next
+// request), even if the last waiter leaves mid-instantiate.
 //
 // Shared fleets impose one discipline on consumers: Members are
 // read-only. Simulation state must live in per-run copies — internal/core
@@ -46,44 +58,91 @@ type fleetKey struct {
 
 // fleetEntry lets concurrent requests for the same fleet share one
 // instantiation without serializing requests for different fleets. The
-// instantiation runs on its own goroutine: a caller abandoning it
-// (context canceled mid-instantiate) returns immediately while the
-// sampling runs to completion and is cached — the result is pure, so
-// only complete fleets ever enter the cache and the next request for
-// the same key pays nothing.
+// instantiation runs on its own goroutine; waiters is the refcount of
+// callers blocked on done, and the goroutine consults it exactly once,
+// before sampling begins: if every waiter has already abandoned the
+// entry (admission rule), the instantiation never starts and the key is
+// released. After that point the sampling runs to completion and is
+// cached no matter who is still listening.
 type fleetEntry struct {
-	once  sync.Once
-	done  chan struct{}
-	fleet *Fleet
+	key     fleetKey
+	waiters int  // guarded by the cache mutex
+	started bool // sampling began; guarded by the cache mutex
+	done    chan struct{}
+	fleet   *Fleet        // nil iff admission-skipped
+	el      *list.Element // LRU position once completed
 }
 
-// start launches the instantiation exactly once.
-func (e *fleetEntry) start(s Spec, seed uint64) {
-	e.once.Do(func() {
-		go func() {
-			e.fleet = s.Instantiate(seed)
-			close(e.done)
-		}()
-	})
+// FleetCacheStats is a point-in-time snapshot of the cache counters,
+// exported by the service's /v1/stats and /v1/healthz.
+type FleetCacheStats struct {
+	// Entries counts cached fleets plus in-flight instantiations.
+	Entries  int `json:"entries"`
+	InFlight int `json:"in_flight"`
+	// Hits counts lookups that found an entry (completed or in
+	// flight); Misses counts lookups that had to create one.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts completed fleets dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// AdmissionSkips counts instantiations never started because every
+	// waiter was gone before sampling began.
+	AdmissionSkips uint64 `json:"admission_skips"`
 }
 
-// FleetCache memoizes Instantiate by (Spec fingerprint, seed). Safe for
-// concurrent use. Fleets returned from the cache are shared: treat their
-// members as read-only (see the package note above).
+// DefaultFleetCacheCap is the default bound on cached fleets. Summit
+// fleets weigh tens of megabytes each, so the default keeps a busy
+// server's fleet working set in the hundreds of megabytes; tune with
+// NewFleetCacheSize or SetCap (gpuvard -fleet-cache).
+const DefaultFleetCacheCap = 16
+
+// FleetCache memoizes Instantiate by (Spec fingerprint, seed) with an
+// LRU bound on completed fleets. Safe for concurrent use. Fleets
+// returned from the cache are shared: treat their members as read-only
+// (see the package note above). Evicting a fleet never invalidates
+// copies already handed out — callers keep their reference; the next
+// request for that key re-instantiates.
 type FleetCache struct {
 	mu     sync.Mutex
+	max    int
+	ll     *list.List // completed entries, front = most recently used
 	fleets map[fleetKey]*fleetEntry
+	stats  FleetCacheStats
 }
 
-// NewFleetCache returns an empty cache.
+// NewFleetCache returns an empty cache bounded at DefaultFleetCacheCap.
 func NewFleetCache() *FleetCache {
-	return &FleetCache{fleets: map[fleetKey]*fleetEntry{}}
+	return NewFleetCacheSize(DefaultFleetCacheCap)
+}
+
+// NewFleetCacheSize returns an empty cache retaining at most max
+// completed fleets (minimum 1).
+func NewFleetCacheSize(max int) *FleetCache {
+	if max < 1 {
+		max = 1
+	}
+	return &FleetCache{
+		max:    max,
+		ll:     list.New(),
+		fleets: map[fleetKey]*fleetEntry{},
+	}
+}
+
+// SetCap rebounds the LRU (minimum 1), evicting immediately if the
+// cache is over the new cap. gpuvard exposes it as -fleet-cache.
+func (c *FleetCache) SetCap(max int) {
+	if max < 1 {
+		max = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = max
+	c.evictLocked()
 }
 
 // DefaultFleetCache is the process-wide cache used by internal/core for
 // experiment runs. Fleets are deterministic, so process-lifetime sharing
-// is safe; memory is bounded by the number of distinct (spec, seed)
-// pairs a session touches.
+// is safe; memory is bounded by the LRU cap.
 var DefaultFleetCache = NewFleetCache()
 
 // Instantiate returns the cached fleet for (s, seed), instantiating it
@@ -93,17 +152,20 @@ func (c *FleetCache) Instantiate(s Spec, seed uint64) *Fleet {
 	if c == nil {
 		return s.Instantiate(seed)
 	}
-	e := c.entry(s, seed)
+	e := c.acquire(s, seed)
 	<-e.done
+	c.release(e)
 	return e.fleet
 }
 
 // Get is the context-aware instantiate path the service stack runs on:
 // it returns the cached fleet for (s, seed), sharing one in-progress
 // instantiation among concurrent callers, but abandons the wait the
-// moment ctx ends. The instantiation itself always runs to completion
-// (it is a pure function worth caching for the next request), so a
-// canceled caller never leaves a partial fleet behind.
+// moment ctx ends. An instantiation whose sampling has begun always
+// runs to completion and is cached (it is pure and worth keeping for
+// the next request); one abandoned by every waiter before sampling
+// begins is skipped entirely (the admission rule), so a burst of
+// canceled requests cannot queue up detached work nobody wants.
 func (c *FleetCache) Get(ctx context.Context, s Spec, seed uint64) (*Fleet, error) {
 	if c == nil {
 		// No cache to amortize into: check before paying for a full
@@ -113,33 +175,107 @@ func (c *FleetCache) Get(ctx context.Context, s Spec, seed uint64) (*Fleet, erro
 		}
 		return s.Instantiate(seed), nil
 	}
-	e := c.entry(s, seed)
+	e := c.acquire(s, seed)
 	select {
 	case <-e.done:
+		c.release(e)
+		if e.fleet == nil {
+			// Admission-skipped just as we joined (we raced the check);
+			// retry with a fresh entry — our context is still live.
+			return c.Get(ctx, s, seed)
+		}
 		return e.fleet, nil
 	case <-ctx.Done():
+		c.release(e)
 		return nil, ctx.Err()
 	}
 }
 
-// entry returns (creating if needed) the key's slot with its
-// instantiation started.
-func (c *FleetCache) entry(s Spec, seed uint64) *fleetEntry {
+// acquire returns the key's entry with this caller registered as a
+// waiter, creating the entry (and launching its instantiation
+// goroutine) on first use.
+func (c *FleetCache) acquire(s Spec, seed uint64) *fleetEntry {
 	key := fleetKey{fp: s.Fingerprint(), seed: seed}
 	c.mu.Lock()
 	e, ok := c.fleets[key]
-	if !ok {
-		e = &fleetEntry{done: make(chan struct{})}
-		c.fleets[key] = e
+	if ok {
+		c.stats.Hits++
+		if e.el != nil {
+			c.ll.MoveToFront(e.el)
+		}
+		e.waiters++
+		c.mu.Unlock()
+		return e
 	}
+	c.stats.Misses++
+	e = &fleetEntry{key: key, waiters: 1, done: make(chan struct{})}
+	c.fleets[key] = e
 	c.mu.Unlock()
-	e.start(s, seed)
+
+	go func() {
+		c.mu.Lock()
+		if e.waiters == 0 {
+			// Admission rule: every waiter left before sampling began,
+			// so don't start work nobody wants. Release the key; the
+			// next request creates a fresh entry.
+			if c.fleets[key] == e {
+				delete(c.fleets, key)
+			}
+			c.stats.AdmissionSkips++
+			c.mu.Unlock()
+			close(e.done)
+			return
+		}
+		e.started = true
+		c.mu.Unlock()
+
+		f := s.Instantiate(seed)
+
+		c.mu.Lock()
+		e.fleet = f
+		if c.fleets[key] == e {
+			e.el = c.ll.PushFront(e)
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+		close(e.done)
+	}()
 	return e
 }
 
-// Len returns the number of cached fleets.
+// release drops the caller's waiter registration.
+func (c *FleetCache) release(e *fleetEntry) {
+	c.mu.Lock()
+	e.waiters--
+	c.mu.Unlock()
+}
+
+// evictLocked enforces the LRU bound on completed fleets. Caller holds
+// c.mu. In-flight instantiations are not evictable (their waiters hold
+// them); they join the LRU on completion.
+func (c *FleetCache) evictLocked() {
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		e := tail.Value.(*fleetEntry)
+		c.ll.Remove(tail)
+		delete(c.fleets, e.key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of cached or in-flight fleets.
 func (c *FleetCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.fleets)
+}
+
+// Stats snapshots the counters.
+func (c *FleetCache) Stats() FleetCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.fleets)
+	s.InFlight = len(c.fleets) - c.ll.Len()
+	return s
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"gpuvar/internal/gpu"
 )
@@ -104,9 +105,8 @@ func TestNilFleetCacheFallsBack(t *testing.T) {
 }
 
 // TestFleetCacheGetCancellation pins the context-aware instantiate
-// path: a canceled caller returns promptly, the instantiation still
-// completes and is cached, and later callers (ctx-bound or not) share
-// the completed fleet.
+// path: a canceled caller returns promptly with ctx.Err(), and later
+// callers (ctx-bound or not) share one completed, cached fleet.
 func TestFleetCacheGetCancellation(t *testing.T) {
 	c := NewFleetCache()
 
@@ -117,8 +117,8 @@ func TestFleetCacheGetCancellation(t *testing.T) {
 		t.Fatalf("Get with canceled ctx: err = %v, want context.Canceled", err)
 	}
 
-	// The abandoned instantiation runs to completion in the background
-	// and lands in the cache; a fresh Get shares it.
+	// A fresh Get instantiates (or joins) and caches the fleet; the
+	// blocking path shares it.
 	f, err := c.Get(context.Background(), Summit(), 99)
 	if err != nil {
 		t.Fatal(err)
@@ -128,6 +128,114 @@ func TestFleetCacheGetCancellation(t *testing.T) {
 	}
 	if c.Len() != 1 {
 		t.Fatalf("cache holds %d fleets, want 1", c.Len())
+	}
+}
+
+// TestFleetCacheAdmissionRule pins the detached-instantiate admission
+// rule: when every waiter is gone before sampling begins, the
+// instantiation never starts, the key is released, and the skip is
+// counted. (A waiter leaving after sampling begins still lets the
+// instantiation complete and cache — that path is covered by
+// TestFleetCacheGetCancellation whenever the goroutine wins the race.)
+func TestFleetCacheAdmissionRule(t *testing.T) {
+	c := NewFleetCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The sole waiter abandons immediately; the entry's goroutine then
+	// finds no one interested and must skip the instantiate.
+	if _, err := c.Get(ctx, Summit(), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := c.Stats()
+		if s.AdmissionSkips == 1 && s.Entries == 0 {
+			break
+		}
+		if s.AdmissionSkips == 0 && s.Entries == 0 {
+			// The goroutine won the race and started sampling before the
+			// waiter left — legal, but then the fleet must end up cached.
+			if time.Now().After(deadline) {
+				t.Fatalf("neither admission skip nor cached fleet appeared: %+v", s)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if s.Entries == 1 && s.InFlight <= 1 {
+			if s.AdmissionSkips != 0 {
+				t.Fatalf("both skipped and cached: %+v", s)
+			}
+			return // started before abandonment: ran to completion, cached
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission rule not settled: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Skipped: the next caller starts fresh and succeeds.
+	f, err := c.Get(context.Background(), Summit(), 1)
+	if err != nil || f == nil {
+		t.Fatalf("post-skip Get = (%v, %v), want a fresh fleet", f, err)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("stats after recovery = %+v, want 1 entry", s)
+	}
+}
+
+// TestFleetCacheLRUBound: completed fleets past the cap are evicted
+// least-recently-used first, evictions are counted, and an evicted key
+// re-instantiates on return.
+func TestFleetCacheLRUBound(t *testing.T) {
+	c := NewFleetCacheSize(2)
+	f1 := c.Instantiate(CloudLab(), 1)
+	c.Instantiate(CloudLab(), 2)
+	c.Instantiate(CloudLab(), 1) // refresh seed 1; seed 2 is now LRU
+	c.Instantiate(CloudLab(), 3) // evicts seed 2
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d fleets, want 2", c.Len())
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if got := c.Instantiate(CloudLab(), 1); got != f1 {
+		t.Fatal("refreshed entry was evicted instead of the LRU one")
+	}
+	// Seed 2 was evicted: returning to it instantiates a fresh fleet
+	// (new object) and evicts again.
+	c.Instantiate(CloudLab(), 2)
+	if s := c.Stats(); s.Evictions != 2 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 2 evictions, 2 entries", s)
+	}
+}
+
+// TestFleetCacheSetCap: shrinking the cap evicts immediately.
+func TestFleetCacheSetCap(t *testing.T) {
+	c := NewFleetCacheSize(4)
+	for seed := uint64(1); seed <= 3; seed++ {
+		c.Instantiate(CloudLab(), seed)
+	}
+	c.SetCap(1)
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d fleets after SetCap(1), want 1", c.Len())
+	}
+	if s := c.Stats(); s.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", s.Evictions)
+	}
+}
+
+// TestFleetCacheStatsCounters: hits and misses are attributed per
+// lookup.
+func TestFleetCacheStatsCounters(t *testing.T) {
+	c := NewFleetCache()
+	c.Instantiate(CloudLab(), 1)
+	c.Instantiate(CloudLab(), 1)
+	if _, err := c.Get(context.Background(), CloudLab(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 2 || s.Entries != 1 || s.InFlight != 0 {
+		t.Fatalf("stats = %+v, want 1 miss, 2 hits, 1 entry", s)
 	}
 }
 

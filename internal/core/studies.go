@@ -56,28 +56,29 @@ func PowerLimitSweep(exp Experiment, capsW []float64) ([]PowerSweepPoint, error)
 	return PowerLimitSweepCtx(context.Background(), exp, capsW)
 }
 
-// PowerLimitSweepCtx runs the sweep as one engine job graph: every cap
-// variant is a shard sharing the same cached fleet (the cap is applied
-// at simulation time, not instantiation time, so all variants hit one
-// fleet entry), and the variants' own per-GPU jobs nest inside. This is
-// the computation behind the service's POST /v1/sweep. Results keep
-// capsW order.
+// PowerLimitSweepCtx runs the sweep as one engine job graph. It is the
+// AxisPowerCap instance of the generalized VariantSweepCtx (every cap
+// variant is a shard sharing the same cached fleet — the cap applies at
+// simulation time, not instantiation time), kept as a named façade
+// because it is the paper's §VI-B study. Results keep capsW order and
+// are bit-identical to the pre-generalization implementation (the
+// golden test in variants_test.go pins this).
 func PowerLimitSweepCtx(ctx context.Context, exp Experiment, capsW []float64) ([]PowerSweepPoint, error) {
-	return engine.Map(ctx, len(capsW), 0, func(ctx context.Context, i int) (PowerSweepPoint, error) {
-		capW := capsW[i]
-		e := exp
-		e.AdminCapW = capW
-		r, err := RunCtx(ctx, e)
-		if err != nil {
-			return PowerSweepPoint{}, fmt.Errorf("core: cap %v: %w", capW, err)
+	pts, err := VariantSweepCtx(ctx, exp, AxisPowerCap, capsW)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PowerSweepPoint, len(pts))
+	for i, p := range pts {
+		out[i] = PowerSweepPoint{
+			CapW:      p.Value,
+			PerfVar:   p.PerfVar,
+			MedianMs:  p.MedianMs,
+			NOutliers: p.NOutliers,
+			Result:    p.Result,
 		}
-		p := PowerSweepPoint{CapW: capW, PerfVar: r.Variation(Perf), Result: r}
-		if bp, err := r.Box(Perf); err == nil {
-			p.MedianMs = bp.Q2
-			p.NOutliers = len(bp.Outliers)
-		}
-		return p, nil
-	})
+	}
+	return out, nil
 }
 
 // AppStudyRow is one workload's variability summary on one cluster —

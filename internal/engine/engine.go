@@ -45,6 +45,44 @@ var counters struct {
 	inFlightJobs    atomic.Int64
 }
 
+// Progress accumulates shard progress for one logical job tree. Attach
+// it to a context with WithProgress and every Map that runs under that
+// context — including nested jobs (a sweep's variants each fan out
+// their own per-GPU jobs) — adds its shards to Total at submission and
+// to Done as they complete. Both counters are monotonically
+// non-decreasing while work runs, so a poller sees Done/Total advance;
+// Total grows as nested jobs are discovered, reaching its final value
+// only when the tree finishes. The zero value is ready to use, and a
+// Progress may be read concurrently with the work it observes.
+type Progress struct {
+	total atomic.Int64
+	done  atomic.Int64
+}
+
+// Snapshot reads the counters: shards completed and shards scheduled so
+// far.
+func (p *Progress) Snapshot() (done, total int64) {
+	// done is loaded first so a racing shard completion can only make
+	// the pair look older (done lagging total), never done > total.
+	return p.done.Load(), p.total.Load()
+}
+
+// progressKey carries a *Progress through a context.
+type progressKey struct{}
+
+// WithProgress returns a context whose engine jobs report their shard
+// counts into p. Nested contexts inherit it; the service's job manager
+// uses this to expose per-job progress for async submissions.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// progressFrom extracts the context's progress sink, if any.
+func progressFrom(ctx context.Context) *Progress {
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}
+
 // Stats is a point-in-time snapshot of the engine's progress counters,
 // exposed by the service's /v1/stats and /v1/healthz endpoints.
 type Stats struct {
@@ -91,6 +129,10 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	counters.jobsStarted.Add(1)
 	counters.inFlightJobs.Add(1)
 	defer counters.inFlightJobs.Add(-1)
+	prog := progressFrom(ctx)
+	if prog != nil {
+		prog.total.Add(int64(n))
+	}
 
 	results := make([]T, n)
 	var (
@@ -126,6 +168,9 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 		}
 		results[i] = v
 		counters.shardsCompleted.Add(1)
+		if prog != nil {
+			prog.done.Add(1)
+		}
 	}
 
 	var wg sync.WaitGroup

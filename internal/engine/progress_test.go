@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestProgressCountsShards: a Map under WithProgress reports its shard
+// count at submission and every completion.
+func TestProgressCountsShards(t *testing.T) {
+	var p Progress
+	ctx := WithProgress(context.Background(), &p)
+	_, err := Map(ctx, 10, 2, func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, total := p.Snapshot(); done != 10 || total != 10 {
+		t.Fatalf("progress = %d/%d, want 10/10", done, total)
+	}
+}
+
+// TestProgressNestedJobs: nested Maps (a sweep variant fanning out its
+// own per-GPU jobs) all report into the same Progress through the
+// context.
+func TestProgressNestedJobs(t *testing.T) {
+	var p Progress
+	ctx := WithProgress(context.Background(), &p)
+	_, err := Map(ctx, 3, 0, func(ctx context.Context, _ int) (int, error) {
+		_, err := Map(ctx, 4, 0, func(context.Context, int) (int, error) { return 0, nil })
+		return 0, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 outer shards + 3×4 nested shards.
+	if done, total := p.Snapshot(); done != 15 || total != 15 {
+		t.Fatalf("progress = %d/%d, want 15/15", done, total)
+	}
+}
+
+// TestProgressMonotonicMidRun gates shards so intermediate snapshots
+// are deterministic: progress is visible mid-run and never decreases.
+func TestProgressMonotonicMidRun(t *testing.T) {
+	var p Progress
+	ctx := WithProgress(context.Background(), &p)
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	var once sync.Once
+
+	mapDone := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 4, 1, func(_ context.Context, i int) (int, error) {
+			if i > 0 {
+				once.Do(func() { close(firstDone) })
+				<-release
+			}
+			return 0, nil
+		})
+		mapDone <- err
+	}()
+
+	<-firstDone // shard 0 completed; shard 1 is blocked
+	done, total := p.Snapshot()
+	if done < 1 || total != 4 {
+		t.Fatalf("mid-run progress = %d/%d, want >=1 done of 4", done, total)
+	}
+	close(release)
+	if err := <-mapDone; err != nil {
+		t.Fatal(err)
+	}
+	if d2, t2 := p.Snapshot(); d2 < done || t2 < total || d2 != 4 {
+		t.Fatalf("final progress = %d/%d after %d/%d: must be monotonic and complete", d2, t2, done, total)
+	}
+}
+
+// TestProgressCanceledJobLeavesGap: shards never dispatched stay
+// undone — done < total tells a poller the job did not finish.
+func TestProgressCanceledJobLeavesGap(t *testing.T) {
+	var p Progress
+	ctx, cancel := context.WithCancel(WithProgress(context.Background(), &p))
+	defer cancel()
+	_, err := Map(ctx, 100, 1, func(_ context.Context, i int) (int, error) {
+		if i == 0 {
+			cancel() // the single worker stops pulling after this shard
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("want ctx.Err() from the canceled job")
+	}
+	if done, total := p.Snapshot(); total != 100 || done >= 100 {
+		t.Fatalf("progress = %d/%d, want an incomplete job (done < 100 of 100)", done, total)
+	}
+}
+
+// TestProgressAbsentIsFree: Map without a progress sink behaves as
+// before.
+func TestProgressAbsentIsFree(t *testing.T) {
+	out, err := Map(context.Background(), 3, 0, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("Map = (%v, %v)", out, err)
+	}
+}

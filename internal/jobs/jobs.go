@@ -1,0 +1,398 @@
+// Package jobs turns engine-backed computations into asynchronous,
+// pollable jobs: submit a function, get back an ID, poll its lifecycle
+// state and per-shard progress, fetch the result when it is done, and
+// cancel it at any point. It exists because the heaviest computations
+// of the suite (full campaigns, Summit-scale variant sweeps) outlive
+// any reasonable HTTP request deadline — the service exposes this
+// manager as POST /v1/jobs (202 + poll URL) instead of holding the
+// connection.
+//
+// Lifecycle:
+//
+//	queued ──► running ──► done
+//	   │          │    ├──► failed
+//	   └──────────┴───────► canceled
+//
+// A job is queued until one of the manager's MaxRunning slots frees,
+// running while its function executes, and terminal afterwards.
+// Cancellation is cooperative and prompt: Cancel ends the job's
+// context, the engine under it stops dispatching shards, and the
+// workers drain; a job canceled while still queued never runs at all.
+//
+// Progress comes from the engine's existing shard counters: the job's
+// context carries an engine.Progress (engine.WithProgress), so every
+// engine.Map in the job's call tree — including nested jobs — reports
+// shards scheduled and shards completed, and a poller watches
+// done/total advance while the job runs.
+//
+// Retention: terminal jobs are kept for polling until they age past
+// TTL or the retained set exceeds MaxRetained (oldest-finished evicted
+// first, LRU-style); active jobs are never evicted. Fetching a result
+// does not consume it — repeated fetches replay the same value until
+// the job is evicted or deleted.
+package jobs
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"gpuvar/internal/engine"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Options configures a Manager. The zero value gets modest defaults.
+type Options struct {
+	// MaxRunning bounds concurrently executing jobs (default 2); queued
+	// jobs wait for a slot in submission order of slot acquisition.
+	MaxRunning int
+	// MaxRetained bounds terminal jobs kept for polling (default 64).
+	MaxRetained int
+	// TTL bounds how long a terminal job stays pollable (default 10
+	// minutes; negative disables age-based eviction).
+	TTL time.Duration
+	// Timeout bounds one job's computation (0 = no per-job deadline; a
+	// job that exceeds it fails with context.DeadlineExceeded).
+	Timeout time.Duration
+	// Now is the clock (default time.Now; tests inject a fake).
+	Now func() time.Time
+}
+
+// Snapshot is a point-in-time view of one job, shaped for the service's
+// status endpoint.
+type Snapshot struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// ShardsDone / ShardsTotal are the engine's per-job progress:
+	// shards completed vs shards scheduled so far across the job's
+	// whole call tree. Total grows as nested jobs are discovered.
+	ShardsDone  int64     `json:"shards_done"`
+	ShardsTotal int64     `json:"shards_total"`
+	CreatedAt   time.Time `json:"created_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// Stats is the manager's counter snapshot, folded into the service's
+// /v1/stats and /v1/healthz.
+type Stats struct {
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	// Evicted counts terminal jobs dropped from retention (TTL, the
+	// MaxRetained cap, or an explicit Delete).
+	Evicted  uint64 `json:"evicted"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Retained int    `json:"retained"`
+}
+
+// job is one submission's record.
+type job[V any] struct {
+	id       string
+	state    State
+	progress engine.Progress
+	cancel   context.CancelFunc
+	val      V
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	el       *list.Element // retention-list position once terminal
+}
+
+// Manager owns a set of jobs. Create with New; safe for concurrent use.
+type Manager[V any] struct {
+	opts Options
+	sem  chan struct{}
+
+	mu    sync.Mutex
+	jobs  map[string]*job[V]
+	done  *list.List // terminal jobs, front = most recently finished
+	stats Stats
+}
+
+// New returns a manager with the given options.
+func New[V any](opts Options) *Manager[V] {
+	if opts.MaxRunning < 1 {
+		opts.MaxRunning = 2
+	}
+	if opts.MaxRetained < 1 {
+		opts.MaxRetained = 64
+	}
+	if opts.TTL == 0 {
+		opts.TTL = 10 * time.Minute
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Manager[V]{
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxRunning),
+		jobs: map[string]*job[V]{},
+		done: list.New(),
+	}
+}
+
+// newID returns a fresh, unguessable job ID.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("jobs: crypto/rand unavailable: " + err.Error())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit registers fn as a new job and returns its ID immediately. fn
+// runs on its own goroutine under a context that carries the job's
+// progress sink and is canceled by Cancel (and bounded by
+// Options.Timeout, if set). fn's error classifies the terminal state:
+// nil → done, a context cancellation → canceled, anything else →
+// failed.
+func (m *Manager[V]) Submit(fn func(ctx context.Context) (V, error)) string {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job[V]{id: newID(), state: StateQueued, cancel: cancel}
+	ctx = engine.WithProgress(ctx, &j.progress)
+
+	m.mu.Lock()
+	j.created = m.opts.Now()
+	m.pruneLocked()
+	m.jobs[j.id] = j
+	m.stats.Submitted++
+	m.mu.Unlock()
+
+	go m.run(ctx, j, fn)
+	return j.id
+}
+
+// run waits for an execution slot, runs fn, and records the outcome.
+func (m *Manager[V]) run(ctx context.Context, j *job[V], fn func(ctx context.Context) (V, error)) {
+	var zero V
+	select {
+	case m.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Canceled while queued: terminal without ever running.
+		m.finish(j, zero, ctx.Err())
+		return
+	}
+	defer func() { <-m.sem }()
+
+	m.mu.Lock()
+	j.state = StateRunning
+	j.started = m.opts.Now()
+	m.mu.Unlock()
+
+	if t := m.opts.Timeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	v, err := fn(ctx)
+	m.finish(j, v, err)
+}
+
+// finish records the terminal state and moves the job into retention.
+func (m *Manager[V]) finish(j *job[V], v V, err error) {
+	m.mu.Lock()
+	j.finished = m.opts.Now()
+	switch {
+	case err == nil:
+		j.state, j.val = StateDone, v
+		m.stats.Done++
+	case errors.Is(err, context.Canceled):
+		j.state, j.err = StateCanceled, err
+		m.stats.Canceled++
+	default:
+		j.state, j.err = StateFailed, err
+		m.stats.Failed++
+	}
+	j.el = m.done.PushFront(j)
+	m.evictLocked()
+	m.mu.Unlock()
+	// Release the context's resources; the engine under it has already
+	// returned.
+	j.cancel()
+}
+
+// Get returns the job's snapshot.
+func (m *Manager[V]) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pruneLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return m.snapshotLocked(j), true
+}
+
+// Result returns the job's value alongside its snapshot. The value is
+// meaningful only when the snapshot's state is StateDone; callers
+// branch on the state (and on snap.Error for failures). Fetching does
+// not consume the result — repeats replay the same value until the job
+// ages out or is deleted.
+func (m *Manager[V]) Result(id string) (V, Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pruneLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		var zero V
+		return zero, Snapshot{}, false
+	}
+	return j.val, m.snapshotLocked(j), true
+}
+
+// Err returns the terminal error of a failed or canceled job (nil
+// otherwise), so callers can classify failures beyond the snapshot's
+// string form.
+func (m *Manager[V]) Err(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		return j.err
+	}
+	return nil
+}
+
+// Cancel requests cancellation of an active job — the job's context
+// ends, the engine stops dispatching its shards, and the job turns
+// canceled once its workers drain (poll Get to observe the
+// transition). Canceling a terminal job is a no-op. The returned
+// snapshot is the state at call time.
+func (m *Manager[V]) Cancel(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Snapshot{}, false
+	}
+	snap := m.snapshotLocked(j)
+	m.mu.Unlock()
+	j.cancel()
+	return snap, true
+}
+
+// Delete cancels the job if active and drops it from retention if
+// terminal, freeing its result. It reports whether the ID existed.
+func (m *Manager[V]) Delete(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Snapshot{}, false
+	}
+	snap := m.snapshotLocked(j)
+	if j.state.Terminal() {
+		m.removeLocked(j)
+	}
+	m.mu.Unlock()
+	j.cancel()
+	return snap, true
+}
+
+// Snapshots lists every live job, most recently created first (ID as
+// tiebreak).
+func (m *Manager[V]) Snapshots() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pruneLocked()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.snapshotLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].CreatedAt.Equal(out[k].CreatedAt) {
+			return out[i].CreatedAt.After(out[k].CreatedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Stats snapshots the counters.
+func (m *Manager[V]) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pruneLocked()
+	s := m.stats
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		}
+	}
+	s.Retained = m.done.Len()
+	return s
+}
+
+// snapshotLocked builds a Snapshot. Caller holds m.mu.
+func (m *Manager[V]) snapshotLocked(j *job[V]) Snapshot {
+	done, total := j.progress.Snapshot()
+	s := Snapshot{
+		ID:          j.id,
+		State:       j.state,
+		ShardsDone:  done,
+		ShardsTotal: total,
+		CreatedAt:   j.created,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// pruneLocked drops terminal jobs older than TTL. Caller holds m.mu.
+func (m *Manager[V]) pruneLocked() {
+	if m.opts.TTL <= 0 {
+		return
+	}
+	cutoff := m.opts.Now().Add(-m.opts.TTL)
+	for el := m.done.Back(); el != nil; el = m.done.Back() {
+		j := el.Value.(*job[V])
+		if j.finished.After(cutoff) {
+			break
+		}
+		m.removeLocked(j)
+	}
+}
+
+// evictLocked enforces the MaxRetained cap. Caller holds m.mu.
+func (m *Manager[V]) evictLocked() {
+	for m.done.Len() > m.opts.MaxRetained {
+		m.removeLocked(m.done.Back().Value.(*job[V]))
+	}
+}
+
+// removeLocked drops one terminal job from retention. Caller holds m.mu.
+func (m *Manager[V]) removeLocked(j *job[V]) {
+	m.done.Remove(j.el)
+	delete(m.jobs, j.id)
+	m.stats.Evicted++
+}

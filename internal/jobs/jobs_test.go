@@ -1,0 +1,301 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpuvar/internal/engine"
+)
+
+// waitFor polls cond for up to 10s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 10s")
+}
+
+// await polls until the job reaches a terminal state and returns its
+// snapshot.
+func await(t *testing.T, m *Manager[string], id string) Snapshot {
+	t.Helper()
+	var snap Snapshot
+	waitFor(t, func() bool {
+		s, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished while awaited", id)
+		}
+		snap = s
+		return s.State.Terminal()
+	})
+	return snap
+}
+
+// TestLifecycleSubmitPollFetch pins the happy path: queued → running →
+// done, engine progress visible, result fetchable twice with the same
+// value.
+func TestLifecycleSubmitPollFetch(t *testing.T) {
+	m := New[string](Options{})
+	id := m.Submit(func(ctx context.Context) (string, error) {
+		_, err := engine.Map(ctx, 8, 2, func(context.Context, int) (int, error) { return 0, nil })
+		return "payload", err
+	})
+	snap := await(t, m, id)
+	if snap.State != StateDone || snap.Error != "" {
+		t.Fatalf("terminal snapshot = %+v, want done", snap)
+	}
+	if snap.ShardsDone != 8 || snap.ShardsTotal != 8 {
+		t.Fatalf("progress = %d/%d, want 8/8", snap.ShardsDone, snap.ShardsTotal)
+	}
+	if snap.CreatedAt.IsZero() || snap.StartedAt.IsZero() || snap.FinishedAt.IsZero() {
+		t.Fatalf("lifecycle timestamps missing: %+v", snap)
+	}
+	for i := 0; i < 2; i++ { // double fetch replays, never consumes
+		v, s, ok := m.Result(id)
+		if !ok || s.State != StateDone || v != "payload" {
+			t.Fatalf("Result fetch %d = (%q, %+v, %v), want the retained payload", i, v, s, ok)
+		}
+	}
+	st := m.Stats()
+	if st.Submitted != 1 || st.Done != 1 || st.Retained != 1 {
+		t.Fatalf("stats = %+v, want 1 submitted/done/retained", st)
+	}
+}
+
+// TestProgressMonotonicWhilePolling gates shards one by one and
+// asserts every observed snapshot's progress is non-decreasing.
+func TestProgressMonotonicWhilePolling(t *testing.T) {
+	m := New[string](Options{})
+	const shards = 5
+	step := make(chan struct{})
+	id := m.Submit(func(ctx context.Context) (string, error) {
+		_, err := engine.Map(ctx, shards, 1, func(context.Context, int) (int, error) {
+			<-step
+			return 0, nil
+		})
+		return "ok", err
+	})
+	var lastDone, lastTotal int64
+	for i := 0; i < shards; i++ {
+		step <- struct{}{}
+		waitFor(t, func() bool {
+			s, _ := m.Get(id)
+			return s.ShardsDone >= int64(i) // shard i's completion lands
+		})
+		s, _ := m.Get(id)
+		if s.ShardsDone < lastDone || s.ShardsTotal < lastTotal {
+			t.Fatalf("progress went backwards: %d/%d after %d/%d", s.ShardsDone, s.ShardsTotal, lastDone, lastTotal)
+		}
+		lastDone, lastTotal = s.ShardsDone, s.ShardsTotal
+	}
+	snap := await(t, m, id)
+	if snap.ShardsDone != shards || snap.ShardsTotal != shards {
+		t.Fatalf("final progress = %d/%d, want %d/%d", snap.ShardsDone, snap.ShardsTotal, shards, shards)
+	}
+}
+
+// TestCancelMidRunFreesWorkers: canceling a running job ends its
+// context, the engine under it drains, the job turns canceled, and no
+// goroutines leak.
+func TestCancelMidRunFreesWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := New[string](Options{})
+	running := make(chan struct{})
+	var once sync.Once
+	id := m.Submit(func(ctx context.Context) (string, error) {
+		_, err := engine.Map(ctx, 64, 4, func(ctx context.Context, _ int) (int, error) {
+			once.Do(func() { close(running) })
+			<-ctx.Done() // a long shard that honors cancellation
+			return 0, ctx.Err()
+		})
+		return "", err
+	})
+	<-running
+	if _, ok := m.Cancel(id); !ok {
+		t.Fatal("Cancel: job not found")
+	}
+	snap := await(t, m, id)
+	if snap.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", snap.State)
+	}
+	if !strings.Contains(snap.Error, "canceled") {
+		t.Fatalf("snapshot error %q does not name the cancellation", snap.Error)
+	}
+	waitFor(t, func() bool { return engine.Snapshot().InFlightJobs == 0 })
+	// Goroutine-leak check: everything spawned for the job unwinds.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
+	if st := m.Stats(); st.Canceled != 1 {
+		t.Fatalf("stats = %+v, want 1 canceled", st)
+	}
+}
+
+// TestCancelQueuedNeverRuns: with one execution slot occupied, a
+// second job is canceled while still queued and its function never
+// executes.
+func TestCancelQueuedNeverRuns(t *testing.T) {
+	m := New[string](Options{MaxRunning: 1})
+	block := make(chan struct{})
+	first := m.Submit(func(ctx context.Context) (string, error) {
+		<-block
+		return "first", nil
+	})
+	waitFor(t, func() bool { s, _ := m.Get(first); return s.State == StateRunning })
+	var ran atomic.Bool
+	second := m.Submit(func(ctx context.Context) (string, error) {
+		ran.Store(true)
+		return "second", nil
+	})
+	if s, _ := m.Get(second); s.State != StateQueued {
+		t.Fatalf("second job state = %s, want queued behind the slot", s.State)
+	}
+	m.Cancel(second)
+	if snap := await(t, m, second); snap.State != StateCanceled {
+		t.Fatalf("second job state = %s, want canceled", snap.State)
+	}
+	if ran.Load() {
+		t.Fatal("canceled queued job must never run")
+	}
+	close(block)
+	if snap := await(t, m, first); snap.State != StateDone {
+		t.Fatalf("first job state = %s, want done", snap.State)
+	}
+}
+
+// TestFailureClassification: a non-context error fails the job; the
+// error is retained for result mapping.
+func TestFailureClassification(t *testing.T) {
+	m := New[string](Options{})
+	boom := errors.New("boom")
+	id := m.Submit(func(context.Context) (string, error) { return "", boom })
+	snap := await(t, m, id)
+	if snap.State != StateFailed || snap.Error != "boom" {
+		t.Fatalf("snapshot = %+v, want failed/boom", snap)
+	}
+	if err := m.Err(id); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want the retained boom", err)
+	}
+}
+
+// TestTimeoutFailsJob: a job exceeding Options.Timeout fails with
+// DeadlineExceeded instead of running forever.
+func TestTimeoutFailsJob(t *testing.T) {
+	m := New[string](Options{Timeout: 5 * time.Millisecond})
+	id := m.Submit(func(ctx context.Context) (string, error) {
+		<-ctx.Done()
+		return "", ctx.Err()
+	})
+	snap := await(t, m, id)
+	if snap.State != StateFailed || !errors.Is(m.Err(id), context.DeadlineExceeded) {
+		t.Fatalf("snapshot = %+v (err %v), want failed with DeadlineExceeded", snap, m.Err(id))
+	}
+}
+
+// fakeClock is a manual clock for retention tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTTLEviction: terminal jobs age out after TTL; active jobs are
+// untouched.
+func TestTTLEviction(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m := New[string](Options{TTL: time.Minute, Now: clk.Now})
+	id := m.Submit(func(context.Context) (string, error) { return "v", nil })
+	await(t, m, id)
+
+	clk.Advance(30 * time.Second)
+	if _, ok := m.Get(id); !ok {
+		t.Fatal("job evicted before its TTL")
+	}
+	clk.Advance(31 * time.Second)
+	if _, ok := m.Get(id); ok {
+		t.Fatal("job still pollable past its TTL")
+	}
+	if st := m.Stats(); st.Evicted != 1 || st.Retained != 0 {
+		t.Fatalf("stats = %+v, want 1 evicted, 0 retained", st)
+	}
+}
+
+// TestRetentionCap: the oldest-finished terminal jobs are evicted past
+// MaxRetained.
+func TestRetentionCap(t *testing.T) {
+	m := New[string](Options{MaxRetained: 2})
+	ids := make([]string, 3)
+	for i := range ids {
+		i := i
+		ids[i] = m.Submit(func(context.Context) (string, error) { return fmt.Sprint(i), nil })
+		await(t, m, ids[i]) // serialize so finish order is deterministic
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Fatal("oldest job survived past the retention cap")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := m.Get(id); !ok {
+			t.Fatalf("recent job %s evicted while under the cap", id)
+		}
+	}
+	if st := m.Stats(); st.Evicted != 1 || st.Retained != 2 {
+		t.Fatalf("stats = %+v, want 1 evicted, 2 retained", st)
+	}
+}
+
+// TestDeleteForgetsTerminal: Delete drops a finished job so its result
+// is no longer fetchable.
+func TestDeleteForgetsTerminal(t *testing.T) {
+	m := New[string](Options{})
+	id := m.Submit(func(context.Context) (string, error) { return "v", nil })
+	await(t, m, id)
+	if snap, ok := m.Delete(id); !ok || snap.State != StateDone {
+		t.Fatalf("Delete = (%+v, %v), want the done snapshot", snap, ok)
+	}
+	if _, _, ok := m.Result(id); ok {
+		t.Fatal("deleted job still fetchable")
+	}
+}
+
+// TestSnapshotsOrdered: the listing is newest-first.
+func TestSnapshotsOrdered(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m := New[string](Options{Now: clk.Now})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id := m.Submit(func(context.Context) (string, error) { return "", nil })
+		await(t, m, id)
+		ids = append(ids, id)
+		clk.Advance(time.Second)
+	}
+	snaps := m.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for i, id := range []string{ids[2], ids[1], ids[0]} {
+		if snaps[i].ID != id {
+			t.Fatalf("snapshots[%d] = %s, want %s (newest first)", i, snaps[i].ID, id)
+		}
+	}
+}

@@ -78,16 +78,28 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
 		return
 	}
-	spec, kind, status, err := normalizeCampaign(&req)
+	key, compute, status, err := campaignComputation(&req)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
+	s.serveCached(w, r, key, compute)
+}
+
+// campaignComputation normalizes the request and returns the cache key
+// plus the computation that renders the response — shared by the
+// synchronous handler and the async job path.
+func campaignComputation(reqp *campaignRequest) (string, func(ctx context.Context) (*cachedResponse, error), int, error) {
+	spec, kind, status, err := normalizeCampaign(reqp)
+	if err != nil {
+		return "", nil, status, err
+	}
+	req := *reqp
 	inj := campaign.Injection{Day: req.Injection.Day, NodeID: req.Injection.NodeID, Kind: kind}
 	// The fingerprint is the normalized struct, not the raw body:
 	// reordered keys or omitted defaults coalesce onto one entry.
 	key := fmt.Sprintf("campaign|%+v", req)
-	s.serveCached(w, r, key, func(ctx context.Context) (*cachedResponse, error) {
+	compute := func(ctx context.Context) (*cachedResponse, error) {
 		rep, err := campaign.SimulateCtx(ctx, spec, req.Seed, req.Days,
 			campaign.PlanConfig{
 				OverheadFrac: req.Plan.OverheadFrac,
@@ -126,7 +138,8 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return jsonResponse(out)
-	})
+	}
+	return key, compute, 0, nil
 }
 
 // normalizeCampaign validates the request and fills every defaulted

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"gpuvar/internal/jobs"
+)
+
+// Async jobs: the heaviest computations of the suite (Summit-scale
+// variant sweeps, long campaigns) outlive any reasonable request
+// deadline, so instead of a held connection the service accepts the
+// same payloads as asynchronous jobs:
+//
+//	POST   /v1/jobs              submit → 202 + poll URL
+//	GET    /v1/jobs              list live jobs
+//	GET    /v1/jobs/{id}         lifecycle state + per-shard progress
+//	GET    /v1/jobs/{id}/result  the finished response (replayable)
+//	DELETE /v1/jobs/{id}         cancel (active) / forget (terminal)
+//
+// A job's computation is the synchronous handler's computation, run
+// through the same response cache and singleflight under the job's own
+// context instead of a request deadline. That sharing is the
+// byte-identity guarantee: a finished job's result is exactly the body
+// the synchronous endpoint would have returned (and the job primes the
+// cache, so a later synchronous request replays it as a hit). Progress
+// comes from the engine's shard counters via the job's context, with
+// one consequence of the sharing: a job that COALESCES onto an
+// already-in-flight identical computation (or replays a cached result)
+// reports 0/0 progress — the shards belong to the flight that started
+// first — and simply completes when that flight does. Its state, not
+// its shard counters, is the liveness signal.
+
+// maxJobBody bounds the submission body (an envelope around one of the
+// POST payloads).
+const maxJobBody = 1 << 16
+
+// jobRequest is the POST /v1/jobs envelope: the kind of computation
+// plus its payload, which uses the exact schema of the corresponding
+// synchronous endpoint.
+type jobRequest struct {
+	// Kind selects the payload: "sweep" (POST /v1/sweep's body) or
+	// "campaign" (POST /v1/campaign's body).
+	Kind     string           `json:"kind"`
+	Sweep    *sweepRequest    `json:"sweep,omitempty"`
+	Campaign *campaignRequest `json:"campaign,omitempty"`
+}
+
+// jobView is one job in wire form: the manager's snapshot plus the
+// URLs a client polls and fetches.
+type jobView struct {
+	jobs.Snapshot
+	URL       string `json:"url"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+func jobURL(id string) string { return "/v1/jobs/" + id }
+
+func (s *Server) jobView(snap jobs.Snapshot) jobView {
+	v := jobView{Snapshot: snap, URL: jobURL(snap.ID)}
+	if snap.State == jobs.StateDone {
+		v.ResultURL = jobURL(snap.ID) + "/result"
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxJobBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req jobRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+
+	// Validation and normalization happen synchronously, so a malformed
+	// submission is rejected with 400/404 up front; only well-formed
+	// computations become jobs.
+	var (
+		key     string
+		compute func(ctx context.Context) (*cachedResponse, error)
+		status  int
+	)
+	switch req.Kind {
+	case "sweep":
+		if req.Sweep == nil {
+			writeError(w, http.StatusBadRequest, `kind "sweep" requires a "sweep" payload (the POST /v1/sweep body)`)
+			return
+		}
+		key, compute, status, err = sweepComputation(req.Sweep)
+	case "campaign":
+		if req.Campaign == nil {
+			writeError(w, http.StatusBadRequest, `kind "campaign" requires a "campaign" payload (the POST /v1/campaign body)`)
+			return
+		}
+		key, compute, status, err = campaignComputation(req.Campaign)
+	default:
+		writeError(w, http.StatusBadRequest, `bad kind %q: want "sweep" or "campaign"`, req.Kind)
+		return
+	}
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	// The job runs the computation through the response cache: it
+	// coalesces with identical synchronous requests and other jobs, and
+	// its complete result lands in the LRU for both paths to replay.
+	id := s.jobs.Submit(func(ctx context.Context) (*cachedResponse, error) {
+		res, _, err := s.cache.do(ctx, key, compute)
+		return res, err
+	})
+	snap, _ := s.jobs.Get(id)
+	w.Header().Set("Location", jobURL(id))
+	writeJSON(w, http.StatusAccepted, s.jobView(snap))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.Snapshots()
+	out := struct {
+		Jobs []jobView `json:"jobs"`
+	}{Jobs: make([]jobView, len(snaps))}
+	for i, snap := range snaps {
+		out.Jobs[i] = s.jobView(snap)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q (finished jobs expire after their TTL)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(snap))
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, snap, ok := s.jobs.Result(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q (finished jobs expire after their TTL)", id)
+		return
+	}
+	switch snap.State {
+	case jobs.StateDone:
+		// Replay the stored bytes — the same bytes the synchronous
+		// endpoint serves, replayable on every fetch until the job
+		// expires.
+		w.Header().Set("Content-Type", res.contentType)
+		w.Header().Set("X-Cache", "job")
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+	case jobs.StateCanceled:
+		writeError(w, http.StatusGone, "job %s was canceled", id)
+	case jobs.StateFailed:
+		err := s.jobs.Err(id)
+		var se *statusError
+		switch {
+		case errors.As(err, &se):
+			writeError(w, se.status, "%v", se.err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "job %s exceeded the job deadline (%s)", id, s.opts.JobTimeout)
+		default:
+			writeError(w, http.StatusInternalServerError, "job %s failed: %s", id, snap.Error)
+		}
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %s is %s; poll %s until it is done", id, snap.State, jobURL(id))
+	}
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.jobs.Delete(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(snap))
+}

@@ -4,13 +4,20 @@
 //
 // Routes (all under /v1):
 //
-//	GET  /v1/figures            catalog of figure/table generators
-//	GET  /v1/figures/{id}       one rendered figure (config via query)
-//	GET  /v1/experiments/{name} one experiment summary (params via query)
-//	POST /v1/campaign           one campaign simulation (params via body)
-//	POST /v1/sweep              a bounded batch of experiment variants
-//	GET  /v1/stats              cache/session/engine counters
-//	GET  /v1/healthz            liveness + the same counters
+//	GET    /v1/figures            catalog of figure/table generators
+//	GET    /v1/figures/{id}       one rendered figure (config via query)
+//	GET    /v1/experiments/{name} one experiment summary (params via query)
+//	POST   /v1/campaign           one campaign simulation (params via body)
+//	POST   /v1/sweep              a bounded variant-axis sweep (powercap,
+//	                              seed, ambient, or fraction)
+//	POST   /v1/jobs               async submission of a sweep/campaign →
+//	                              202 + poll URL (see jobs.go)
+//	GET    /v1/jobs               list live jobs
+//	GET    /v1/jobs/{id}          job state + per-shard progress
+//	GET    /v1/jobs/{id}/result   finished job's response (replayable)
+//	DELETE /v1/jobs/{id}          cancel / forget a job
+//	GET    /v1/stats              cache/session/engine/job counters
+//	GET    /v1/healthz            liveness + the same counters
 //
 // Every expensive response is produced through a fingerprint-keyed LRU
 // result cache with cancellation-safe singleflight coalescing
@@ -55,8 +62,10 @@ import (
 	"sync"
 	"time"
 
+	"gpuvar/internal/cluster"
 	"gpuvar/internal/engine"
 	"gpuvar/internal/figures"
+	"gpuvar/internal/jobs"
 )
 
 // Options configures a server. The zero value serves the quick-settings
@@ -75,6 +84,24 @@ type Options struct {
 	// negative disables). The deadline composes with the client's own
 	// context, so a disconnect aborts even earlier.
 	RequestTimeout time.Duration
+	// JobTimeout bounds one async job's computation (default 10m;
+	// negative disables). Async jobs exist precisely because heavy
+	// computations outlive RequestTimeout, so this budget is the
+	// longer, batch-class one.
+	JobTimeout time.Duration
+	// MaxRunningJobs bounds concurrently executing async jobs (default
+	// 2), keeping batch work from starving interactive requests of
+	// engine workers.
+	MaxRunningJobs int
+	// MaxRetainedJobs bounds finished jobs kept for polling (default
+	// 256; oldest evicted first). The default leaves generous headroom
+	// so a submitter briefly descheduled between its 202 and its first
+	// poll cannot have its job evicted out from under it by a burst of
+	// faster jobs.
+	MaxRetainedJobs int
+	// JobTTL bounds how long a finished job's result stays fetchable
+	// (default 10m; negative disables age-based expiry).
+	JobTTL time.Duration
 }
 
 // Server answers catalog queries. Create with New; it is an
@@ -83,6 +110,7 @@ type Server struct {
 	opts     Options
 	cache    *resultCache
 	sessions *sessionPool
+	jobs     *jobs.Manager[*cachedResponse]
 	mux      *http.ServeMux
 	started  time.Time
 }
@@ -98,19 +126,45 @@ func New(opts Options) *Server {
 	if opts.RequestTimeout == 0 {
 		opts.RequestTimeout = 30 * time.Second
 	}
+	if opts.JobTimeout == 0 {
+		opts.JobTimeout = 10 * time.Minute
+	}
+	if opts.JobTimeout < 0 {
+		opts.JobTimeout = 0 // jobs.Options reads 0 as "no deadline"
+	}
+	if opts.MaxRunningJobs <= 0 {
+		opts.MaxRunningJobs = 2
+	}
+	if opts.MaxRetainedJobs <= 0 {
+		opts.MaxRetainedJobs = 256
+	}
+	if opts.JobTTL == 0 {
+		opts.JobTTL = 10 * time.Minute
+	}
 	opts.Figures = opts.Figures.Normalized()
 	s := &Server{
 		opts:     opts,
 		cache:    newResultCache(opts.ResponseCacheSize),
 		sessions: newSessionPool(opts.SessionCacheSize),
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
+		jobs: jobs.New[*cachedResponse](jobs.Options{
+			MaxRunning:  opts.MaxRunningJobs,
+			MaxRetained: opts.MaxRetainedJobs,
+			TTL:         opts.JobTTL,
+			Timeout:     opts.JobTimeout,
+		}),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
 	}
 	s.mux.HandleFunc("GET /v1/figures", s.handleFigureList)
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz) // legacy path
@@ -313,14 +367,18 @@ func (s *Server) figureConfig(r *http.Request) (figures.Config, error) {
 }
 
 // statsResponse is the observability snapshot: response-cache counters
-// (hit/miss/coalesced/aborted, in-flight flights), live sessions, and
-// the execution engine's job/shard progress — enough for loadgen and
-// ops to see what the server is computing right now.
+// (hit/miss/coalesced/aborted, in-flight flights), live sessions, the
+// execution engine's job/shard progress, the async-job manager's
+// lifecycle counters, and the fleet cache's occupancy/eviction counters
+// — enough for loadgen and ops to see what the server is computing
+// right now and what memory the caches hold.
 type statsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Cache         CacheStats   `json:"cache"`
-	Sessions      int          `json:"sessions"`
-	Engine        engine.Stats `json:"engine"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Cache         CacheStats              `json:"cache"`
+	Sessions      int                     `json:"sessions"`
+	Engine        engine.Stats            `json:"engine"`
+	Jobs          jobs.Stats              `json:"jobs"`
+	FleetCache    cluster.FleetCacheStats `json:"fleet_cache"`
 }
 
 func (s *Server) snapshot() statsResponse {
@@ -329,6 +387,8 @@ func (s *Server) snapshot() statsResponse {
 		Cache:         s.cache.Stats(),
 		Sessions:      s.sessions.len(),
 		Engine:        engine.Snapshot(),
+		Jobs:          s.jobs.Stats(),
+		FleetCache:    cluster.DefaultFleetCache.Stats(),
 	}
 }
 

@@ -13,43 +13,65 @@ import (
 	"gpuvar/internal/workload"
 )
 
-// The sweep endpoint runs a bounded batch of experiment variants — a
-// power-cap sweep, the paper's §VI-B study (Fig. 22) — as ONE engine
-// job graph: each cap is a shard of a core.PowerLimitSweepCtx job, the
-// variants' own per-GPU jobs nest inside, and every variant shares one
-// cached fleet instantiation (the cap applies at simulation time, not
-// fleet-sampling time). Before the engine existed this was too
-// expensive to expose: N caps ran as N sequential full experiments on a
-// request goroutine with no way to abort. Now a sweep is
-// deadline-bounded, cancelable mid-variant, and coalesced like every
-// other response.
+// The sweep endpoint runs a bounded batch of experiment variants as ONE
+// engine job graph: each variant is a shard of a core.VariantSweepCtx
+// job, the variants' own per-GPU jobs nest inside, and variants that
+// leave the fleet untouched share one cached instantiation. The request
+// names the knob being varied — its "variant axis" — and the values to
+// run it at:
+//
+//	axis: powercap   administrative power caps in W (the paper's §VI-B
+//	                 study, Fig. 22; 0 = TDP)
+//	axis: seed       fleet instantiation seeds (uncertainty bands)
+//	axis: ambient    inlet-temperature offsets in °C (facility what-ifs)
+//	axis: fraction   coverage fractions in (0, 1] (cost ladders)
+//
+// The legacy power-cap-only spelling (caps_w) is still accepted and
+// normalizes to axis=powercap, so both spellings share one cache entry
+// and return byte-identical bodies. A sweep is deadline-bounded,
+// cancelable mid-variant, coalesced like every other response — and,
+// since the sweep body is also a job payload (POST /v1/jobs), the same
+// computation can run asynchronously with polling instead of a held
+// connection.
 
 // maxSweepVariants bounds one request's batch; a sweep is a study, not
 // a denial of service.
 const maxSweepVariants = 32
 
-// maxSweepBody bounds the request body (a cap list plus a few knobs).
+// maxSweepBody bounds the request body (a value list plus a few knobs).
 const maxSweepBody = 1 << 16
 
-// sweepRequest is the POST /v1/sweep body. The normalized struct
-// (defaults filled, names resolved) is the cache fingerprint.
+// sweepRequest is the POST /v1/sweep body (and the "sweep" payload of
+// POST /v1/jobs). The normalized struct (defaults filled, names
+// resolved, caps_w folded into axis/values) is the cache fingerprint.
 type sweepRequest struct {
-	Workload   string    `json:"workload"`
-	Cluster    string    `json:"cluster"`
-	Seed       uint64    `json:"seed"`
-	Fraction   float64   `json:"fraction"`
-	Runs       int       `json:"runs"`
-	Iterations int       `json:"iterations"`
-	CapsW      []float64 `json:"caps_w"`
+	Workload   string  `json:"workload"`
+	Cluster    string  `json:"cluster"`
+	Seed       uint64  `json:"seed"`
+	Fraction   float64 `json:"fraction"`
+	Runs       int     `json:"runs"`
+	Iterations int     `json:"iterations"`
+	// Axis names the knob the sweep varies; Values are the settings to
+	// run it at, in response order.
+	Axis   string    `json:"axis,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+	// CapsW is the legacy power-cap-only spelling, normalized into
+	// Axis="powercap" + Values before fingerprinting.
+	CapsW []float64 `json:"caps_w,omitempty"`
 }
 
-// sweepVariant is one cap's outcome.
+// sweepVariant is one axis value's outcome. CapW duplicates Value on
+// powercap sweeps only: it is the response field's pre-generalization
+// name, kept so clients written against the caps_w-era schema keep
+// parsing (both request spellings share one cache entry, so the field
+// must appear for the axis, not per spelling).
 type sweepVariant struct {
-	CapW     float64 `json:"cap_w"`
-	GPUs     int     `json:"gpus"`
-	MedianMs float64 `json:"median_ms"`
-	PerfVar  float64 `json:"perf_variation"`
-	Outliers int     `json:"outliers"`
+	Value    float64  `json:"value"`
+	CapW     *float64 `json:"cap_w,omitempty"`
+	GPUs     int      `json:"gpus"`
+	MedianMs float64  `json:"median_ms"`
+	PerfVar  float64  `json:"perf_variation"`
+	Outliers int      `json:"outliers"`
 }
 
 // sweepResponse is one completed sweep.
@@ -71,46 +93,83 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
 		return
 	}
-	exp, status, err := normalizeSweep(&req)
+	key, compute, status, err := sweepComputation(&req)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
-	key := fmt.Sprintf("sweep|%+v", req)
-	s.serveCached(w, r, key, func(ctx context.Context) (*cachedResponse, error) {
-		points, err := core.PowerLimitSweepCtx(ctx, exp, req.CapsW)
+	s.serveCached(w, r, key, compute)
+}
+
+// sweepComputation normalizes the request and returns the cache key
+// plus the computation that renders the response — shared verbatim by
+// the synchronous handler and the async job path, which is what makes
+// a job's result byte-identical to the held-connection response.
+func sweepComputation(req *sweepRequest) (key string, compute func(ctx context.Context) (*cachedResponse, error), status int, err error) {
+	exp, axis, status, err := normalizeSweep(req)
+	if err != nil {
+		return "", nil, status, err
+	}
+	r := *req
+	key = fmt.Sprintf("sweep|%+v", r)
+	compute = func(ctx context.Context) (*cachedResponse, error) {
+		points, err := core.VariantSweepCtx(ctx, exp, axis, r.Values)
 		if err != nil {
 			return nil, err
 		}
-		out := sweepResponse{Request: req, Variants: make([]sweepVariant, len(points))}
+		out := sweepResponse{Request: r, Variants: make([]sweepVariant, len(points))}
 		for i, p := range points {
-			out.Variants[i] = sweepVariant{
-				CapW:     p.CapW,
+			v := sweepVariant{
+				Value:    p.Value,
 				GPUs:     len(p.Result.PerAG),
 				MedianMs: p.MedianMs,
 				PerfVar:  p.PerfVar,
 				Outliers: p.NOutliers,
 			}
+			if axis == core.AxisPowerCap {
+				val := p.Value
+				v.CapW = &val
+			}
+			out.Variants[i] = v
 		}
 		return jsonResponse(out)
-	})
+	}
+	return key, compute, 0, nil
 }
 
-// normalizeSweep validates the request, resolves names, and fills every
-// defaulted field so the struct is a canonical fingerprint.
-func normalizeSweep(req *sweepRequest) (core.Experiment, int, error) {
-	if len(req.CapsW) == 0 {
-		return core.Experiment{}, http.StatusBadRequest,
-			fmt.Errorf("caps_w is required: the list of power caps (W) to sweep")
+// normalizeSweep validates the request, resolves names, folds the
+// legacy caps_w spelling into axis/values, and fills every defaulted
+// field so the struct is a canonical fingerprint.
+func normalizeSweep(req *sweepRequest) (core.Experiment, core.VariantAxis, int, error) {
+	if len(req.CapsW) > 0 {
+		if req.Axis != "" && req.Axis != string(core.AxisPowerCap) {
+			return core.Experiment{}, "", http.StatusBadRequest,
+				fmt.Errorf("caps_w is the legacy spelling of axis=powercap and cannot combine with axis %q", req.Axis)
+		}
+		if len(req.Values) > 0 {
+			return core.Experiment{}, "", http.StatusBadRequest,
+				fmt.Errorf("give either caps_w or values, not both")
+		}
+		req.Axis, req.Values, req.CapsW = string(core.AxisPowerCap), req.CapsW, nil
 	}
-	if len(req.CapsW) > maxSweepVariants {
-		return core.Experiment{}, http.StatusBadRequest,
-			fmt.Errorf("caps_w has %d variants (max %d per sweep)", len(req.CapsW), maxSweepVariants)
+	if req.Axis == "" {
+		req.Axis = string(core.AxisPowerCap)
 	}
-	for _, c := range req.CapsW {
-		if c < 0 {
-			return core.Experiment{}, http.StatusBadRequest,
-				fmt.Errorf("bad cap %v: want >= 0 (0 = TDP)", c)
+	axis, err := core.ParseVariantAxis(req.Axis)
+	if err != nil {
+		return core.Experiment{}, "", http.StatusBadRequest, err
+	}
+	if len(req.Values) == 0 {
+		return core.Experiment{}, "", http.StatusBadRequest,
+			fmt.Errorf("values is required: the list of %s settings to sweep", axis)
+	}
+	if len(req.Values) > maxSweepVariants {
+		return core.Experiment{}, "", http.StatusBadRequest,
+			fmt.Errorf("values has %d variants (max %d per sweep)", len(req.Values), maxSweepVariants)
+	}
+	for _, v := range req.Values {
+		if err := axis.Validate(v); err != nil {
+			return core.Experiment{}, "", http.StatusBadRequest, err
 		}
 	}
 	if req.Cluster == "" {
@@ -118,7 +177,7 @@ func normalizeSweep(req *sweepRequest) (core.Experiment, int, error) {
 	}
 	spec, ok := cluster.ByName(req.Cluster)
 	if !ok {
-		return core.Experiment{}, http.StatusNotFound,
+		return core.Experiment{}, "", http.StatusNotFound,
 			fmt.Errorf("unknown cluster %q (known: %v)", req.Cluster, cluster.Names())
 	}
 	if req.Workload == "" {
@@ -126,7 +185,7 @@ func normalizeSweep(req *sweepRequest) (core.Experiment, int, error) {
 	}
 	wl, err := workload.ByName(req.Workload, spec.SKU())
 	if err != nil {
-		return core.Experiment{}, http.StatusNotFound, err
+		return core.Experiment{}, "", http.StatusNotFound, err
 	}
 	req.Workload = wl.Name
 	if req.Seed == 0 {
@@ -139,7 +198,7 @@ func normalizeSweep(req *sweepRequest) (core.Experiment, int, error) {
 		req.Runs = 1
 	}
 	if req.Iterations < 0 {
-		return core.Experiment{}, http.StatusBadRequest,
+		return core.Experiment{}, "", http.StatusBadRequest,
 			fmt.Errorf("bad iterations %d: want >= 0 (0 = workload default)", req.Iterations)
 	}
 	if req.Iterations > 0 {
@@ -152,5 +211,5 @@ func normalizeSweep(req *sweepRequest) (core.Experiment, int, error) {
 		Seed:     req.Seed,
 		Fraction: req.Fraction,
 		Runs:     req.Runs,
-	}, 0, nil
+	}, axis, 0, nil
 }

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke: build gpuvard, boot it, and drive a short
+# concurrent loadgen mix — figures, a variant-axis sweep, and the async
+# job path (submit → poll progress → fetch result) — asserting zero
+# failed responses and byte-identity across every path. CI runs this as
+# its integration job so the serving stack is exercised by a real
+# server process, not just httptest.
+set -Eeuo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+DURATION="${SMOKE_DURATION:-8s}"
+BIN="$(mktemp -d)/gpuvard"
+LOG="$(mktemp)"
+
+echo "==> smoke: building gpuvard and loadgen"
+go build -o "$BIN" ./cmd/gpuvard
+go build -o "${BIN%/*}/loadgen" ./cmd/loadgen
+
+echo "==> smoke: booting gpuvard on $ADDR"
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+SERVER_PID=$!
+cleanup() {
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Wait for the listener (no curl dependency: bash opens the TCP port).
+for i in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}") 2>/dev/null; then
+        exec 3>&- 3<&- || true
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "smoke: gpuvard died during startup:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+    if [ "$i" = 100 ]; then
+        echo "smoke: gpuvard did not start listening on $ADDR" >&2
+        exit 1
+    fi
+done
+
+echo "==> smoke: loadgen mix (figures + sweep + async jobs) for $DURATION"
+"${BIN%/*}/loadgen" -url "http://$ADDR" \
+    -paths /v1/figures/fig2,/v1/figures/tab1,/v1/experiments/sgemm?cluster=CloudLab \
+    -sweep '{"cluster":"CloudLab","axis":"powercap","values":[300,250,200]}' \
+    -jobs \
+    -c 16 -duration "$DURATION"
+
+echo "==> smoke: exercising the remaining axes synchronously"
+"${BIN%/*}/loadgen" -url "http://$ADDR" \
+    -paths /v1/figures/tab1 \
+    -sweep '{"cluster":"CloudLab","axis":"seed","values":[7,8]}' \
+    -c 4 -n 32
+"${BIN%/*}/loadgen" -url "http://$ADDR" \
+    -paths /v1/figures/tab1 \
+    -sweep '{"cluster":"CloudLab","axis":"ambient","values":[-2,2]}' \
+    -c 4 -n 32
+"${BIN%/*}/loadgen" -url "http://$ADDR" \
+    -paths /v1/figures/tab1 \
+    -sweep '{"cluster":"CloudLab","axis":"fraction","values":[1,0.5]}' \
+    -c 4 -n 32
+
+echo "smoke: OK"

@@ -22,6 +22,7 @@ run() {
 run build
 run fmt
 run vet
+run staticcheck
 run test
 run bench-smoke
 run bench-compare
