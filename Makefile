@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build fmt vet staticcheck test cover cover-summary verify race bench bench-smoke bench-compare smoke figures serve loadgen
+.PHONY: help build fmt vet staticcheck test cover cover-summary cover-floor fuzz fuzz-smoke verify race bench bench-smoke bench-compare smoke figures serve loadgen
 
 # help lists the targets. Serving quick-reference:
 #   make serve    starts cmd/gpuvard on :8080 — the experiment service.
@@ -12,9 +12,20 @@ GO ?= go
 #     per-device steady-point memoization. Identical requests are
 #     byte-identical. Every computation runs on internal/engine under a
 #     per-request deadline (gpuvard -timeout, default 30s); client
-#     disconnects abort work mid-run.
+#     disconnects abort work mid-run. Elastic worker pools draw from a
+#     process-wide weighted token budget (gpuvard -budget, default
+#     GOMAXPROCS) with an interactive reserve, so batch floods cannot
+#     starve interactive requests.
+#     Long results stream instead of buffering — NDJSON, one line per
+#     shard, payloads reassembling byte-identically to the sync body:
+#       GET /v1/stream/sweep?axis=...&values=...   one line per variant
+#       GET /v1/stream/experiments/{name}?...      one line per shard
 #     Heavy work runs asynchronously instead of on a held connection:
-#       POST /v1/jobs {"kind":"sweep","sweep":{...}}  -> 202 + poll URL
+#       POST /v1/jobs {"kind":"sweep","class":"batch","sweep":{...}}
+#                                   -> 202 + poll URL (class defaults to
+#                                      batch; "interactive" jumps ahead;
+#                                      full batch queues shed with 429,
+#                                      bound via gpuvard -max-queued-jobs)
 #       GET  /v1/jobs/{id}          lifecycle + shards done/total
 #       GET  /v1/jobs/{id}/result   finished bytes (identical to sync)
 #       DELETE /v1/jobs/{id}        cancel
@@ -24,14 +35,20 @@ GO ?= go
 #   make loadgen  hammers a running gpuvard with concurrent identical
 #     requests, checks byte-identity, and reports req/s + p50/p99
 #     (loadgen -duration 30s for time-based runs, -sweep '...' to mix in
-#     POST /v1/sweep, -jobs to drive the async submit/poll/result path
-#     and require its bytes to match the synchronous sweep).
+#     POST /v1/sweep, -jobs to drive the async submit/poll/result path,
+#     -stream to reassemble the streaming endpoints and require their
+#     payloads to match the synchronous bytes while reporting
+#     time-to-first-line).
 #   make smoke    builds gpuvard, boots it, and runs a short loadgen mix
-#     (figures + sweep + async jobs) asserting zero failures and
-#     byte-identity — the end-to-end serving gate CI runs.
+#     (figures + sweep + async jobs + streams) asserting zero failures
+#     and byte-identity — the end-to-end serving gate CI runs.
+#   make fuzz     full native-fuzz sessions (FUZZTIME each, default 60s)
+#     over the service's request normalization: FuzzSweepRequest (body
+#     decode + variant-axis parsing/validation) and FuzzJobEnvelope
+#     (kind/class routing + payload normalization).
 # CI gates a PR must clear (.github/workflows/ci.yml):
-#   make verify   build + fmt + vet + staticcheck + test + bench-smoke
-#                 + bench-compare
+#   make verify   build + fmt + vet + staticcheck + test + cover-floor
+#                 + fuzz-smoke + bench-smoke + bench-compare
 #   make race     go test -race -short ./...
 #   make smoke    end-to-end serving smoke (see above)
 #   make cover    test suite with a coverage summary
@@ -86,9 +103,37 @@ cover:
 cover-summary:
 	$(GO) tool cover -func /tmp/gpuvar_cover.out | tail -1
 
-# verify is the tier-1 gate plus the cheap perf guards: gofmt, vet, a
+# cover-floor is the coverage-regression gate: it reads the profile the
+# verify test stage wrote and fails if total coverage dropped below the
+# committed baseline (78.6% when the gate landed, floored with ~1.5
+# points of headroom for coverage jitter in concurrency-dependent
+# paths). Raise the floor when coverage genuinely grows; never lower it
+# to make a PR pass.
+COVERAGE_FLOOR ?= 77.0
+cover-floor:
+	@total=$$($(GO) tool cover -func /tmp/gpuvar_cover.out | tail -1 | awk '{print $$NF}' | tr -d '%'); \
+	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { \
+		if (t+0 < f+0) { printf "coverage %.1f%% fell below the committed floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
+
+# fuzz runs the full native-fuzz sessions (one -fuzz flag per package
+# invocation, as go test requires). Corpus additions land in the build
+# cache; crashers land in internal/service/testdata/fuzz and should be
+# committed as regression seeds.
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzSweepRequest$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzJobEnvelope$$' -fuzztime $(FUZZTIME) ./internal/service
+
+# fuzz-smoke is the short per-verify pass: long enough to catch shallow
+# normalization regressions, short enough for every CI run.
+fuzz-smoke:
+	$(MAKE) --no-print-directory fuzz FUZZTIME=5s
+
+# verify is the tier-1 gate plus the cheap guards: gofmt, vet,
+# staticcheck, tests with the coverage floor, a fuzz smoke, a
 # one-iteration benchmark smoke run, and the benchmark-regression gate
-# against the committed trajectory (BENCH_3.json). The stage sequence
+# against the committed trajectory (BENCH_5.json). The stage sequence
 # lives in scripts/verify.sh, which reports which stage failed.
 verify:
 	scripts/verify.sh
@@ -100,14 +145,14 @@ verify:
 race:
 	$(GO) test -race -short ./...
 
-# bench records the full benchmark suite into BENCH_4.json with PR 3's
-# BENCH_3.json embedded as the baseline (name → ns/op, B/op, allocs/op).
+# bench records the full benchmark suite into BENCH_5.json with PR 4's
+# BENCH_4.json embedded as the baseline (name → ns/op, B/op, allocs/op).
 # Pass BENCH='regexp' to restrict, e.g.
 #   make bench BENCH='Fig04|ExtCampaign' COUNT=3
 BENCH ?= .
 COUNT ?= 1
 bench:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_3.json -out BENCH_4.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_4.json -out BENCH_5.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
@@ -115,18 +160,18 @@ bench-smoke:
 # bench-compare is the benchmark-regression gate: re-measure the gate
 # benchmarks and fail if ns/op regressed past BENCH_TOLERANCE or
 # allocs/op past BENCH_ALLOC_TOLERANCE against the committed
-# BENCH_4.json. GATE_BENCH keeps the gate fast and focused on the two
+# BENCH_5.json. GATE_BENCH keeps the gate fast and focused on the two
 # perf wins PR 1 banked, the engine-backed sweep surfaces (both axis
-# forms), and the PR 4 async-job plumbing. The alloc gate stays tight
-# everywhere (alloc counts are machine-independent); CI loosens only
-# BENCH_TOLERANCE because absolute ns/op is not comparable across host
-# machines.
-GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceJobSubmitPoll
+# forms), the PR 4 async-job plumbing, and the PR 5 streaming and
+# classed-scheduler paths. The alloc gate stays tight everywhere (alloc
+# counts are machine-independent); CI loosens only BENCH_TOLERANCE
+# because absolute ns/op is not comparable across host machines.
+GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceJobSubmitPoll|ServiceStreamSweep|EngineClassedMap
 BENCH_TOLERANCE ?= 0.25
 BENCH_ALLOC_TOLERANCE ?= 0.25
 bench-compare:
 	$(GO) run ./cmd/benchjson -bench '$(GATE_BENCH)' -count 3 -benchtime 30x \
-		-out /tmp/bench_gate.json -compare BENCH_4.json \
+		-out /tmp/bench_gate.json -compare BENCH_5.json \
 		-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 figures:

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"gpuvar/internal/engine"
 	"gpuvar/internal/figures"
 	"gpuvar/internal/service"
 )
@@ -185,6 +186,43 @@ func BenchmarkServiceJobSubmitPoll(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchRunJob(b, srv, body)
+	}
+}
+
+// BenchmarkServiceStreamSweep measures GET /v1/stream/sweep end to
+// end: a 2-variant power sweep streamed as NDJSON per iteration —
+// normalization, the per-shard sink, chunk rendering, line framing, the
+// terminal checksum, and the identity verification against the
+// synchronous renderer. Streams recompute by design (they bypass the
+// response cache on the way in), so this is the steady-state cost of a
+// warm-fleet streamed request.
+func BenchmarkServiceStreamSweep(b *testing.B) {
+	srv := service.New(service.Options{Figures: benchConfig()})
+	const target = "/v1/stream/sweep?cluster=CloudLab&iterations=6&axis=powercap&values=300,250"
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", target, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkEngineClassedMap measures the elastic scheduler's pure
+// overhead: a 64-shard no-op Map drawing its workers from the
+// process-wide token budget under the batch class — cursor, recruit
+// loop, token acquire/release, and counters, with no simulation cost to
+// hide behind. This is the per-job price every engine computation pays
+// for priority-aware elastic sizing.
+func BenchmarkEngineClassedMap(b *testing.B) {
+	ctx := engine.WithClass(context.Background(), engine.Batch)
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Map(ctx, 64, 0, func(context.Context, int) (int, error) {
+			return 0, nil
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -18,8 +18,17 @@
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/v1/healthz
 //
+// Long computations stream instead of buffering — NDJSON, one line per
+// completed shard, whose concatenated payloads are byte-identical to
+// the synchronous response:
+//
+//	curl -N 'localhost:8080/v1/stream/sweep?cluster=CloudLab&axis=powercap&values=300,250,200'
+//	curl -N 'localhost:8080/v1/stream/experiments/sgemm?cluster=CloudLab'
+//
 // Heavy computations can be submitted asynchronously instead of held
-// on the connection — 202 + a poll URL, progress, result, and cancel:
+// on the connection — 202 + a poll URL, progress, result, and cancel.
+// "class" selects the scheduling class (batch by default; interactive
+// jumps saturated batch queues):
 //
 //	curl -X POST -d '{"kind":"sweep","sweep":{"cluster":"Summit","axis":"fraction","values":[0.02,0.05,0.1]}}' localhost:8080/v1/jobs
 //	curl localhost:8080/v1/jobs/<id>           # state + shards done/total
@@ -27,10 +36,15 @@
 //	curl -X DELETE localhost:8080/v1/jobs/<id> # cancel
 //
 // Every synchronous computation is deadline-bounded (-timeout, default
-// 30s) and cancels mid-run when the client disconnects; async jobs get
-// the batch budget (-job-timeout, default 10m) and bounded concurrency
-// (-max-jobs). The fleet cache's LRU bound (-fleet-cache) caps how many
-// distinct (spec, seed) fleets the server retains.
+// 30s) and cancels mid-run when the client disconnects; async jobs and
+// streams get the batch budget (-job-timeout, default 10m), jobs run
+// with bounded per-class concurrency (-max-jobs) behind a bounded batch
+// queue (-max-queued-jobs; past it, submissions shed with 429). All
+// elastic worker pools draw from one process-wide weighted token budget
+// (-budget, default GOMAXPROCS) with an interactive reserve, so nested
+// job graphs cannot oversubscribe the scheduler. The fleet cache's LRU
+// bound (-fleet-cache) caps how many distinct (spec, seed) fleets the
+// server retains.
 package main
 
 import (
@@ -45,6 +59,7 @@ import (
 	"time"
 
 	"gpuvar/internal/cluster"
+	"gpuvar/internal/engine"
 	"gpuvar/internal/figures"
 	"gpuvar/internal/service"
 )
@@ -59,13 +74,16 @@ func main() {
 		sessLRU    = flag.Int("session-cache", 4, "figure-session LRU size (distinct configs)")
 		fleetLRU   = flag.Int("fleet-cache", cluster.DefaultFleetCacheCap, "fleet LRU size (distinct (spec, seed) instantiations)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request computation deadline (negative disables)")
-		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-async-job computation deadline (negative disables)")
-		maxJobs    = flag.Int("max-jobs", 2, "async jobs executing concurrently")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-async-job (and per-stream) computation deadline (negative disables)")
+		maxJobs    = flag.Int("max-jobs", 2, "async jobs executing concurrently, per scheduling class")
+		maxQueued  = flag.Int("max-queued-jobs", 16, "batch-class jobs queued before submissions shed with 429 (negative disables)")
 		jobTTL     = flag.Duration("job-ttl", 10*time.Minute, "finished-job retention before results expire")
+		budget     = flag.Int("budget", 0, "worker-token budget for elastic engine pools (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	cluster.DefaultFleetCache.SetCap(*fleetLRU)
+	engine.SetBudgetCapacity(*budget)
 	srv := service.New(service.Options{
 		Figures: figures.Config{
 			Seed:           *seed,
@@ -77,6 +95,7 @@ func main() {
 		RequestTimeout:    *timeout,
 		JobTimeout:        *jobTimeout,
 		MaxRunningJobs:    *maxJobs,
+		MaxQueuedJobs:     *maxQueued,
 		JobTTL:            *jobTTL,
 	})
 	hs := &http.Server{

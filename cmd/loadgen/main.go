@@ -19,6 +19,15 @@
 // /v1/jobs/{id}/result — whose bytes must match the synchronous
 // POST /v1/sweep reference exactly (the async path's core contract).
 //
+// With -stream, the streaming endpoints are verified against their
+// synchronous twins: the -sweep body is replayed as GET
+// /v1/stream/sweep (query-parameter spelling) and every -paths entry
+// under /v1/experiments/ as GET /v1/stream/experiments/..., reading the
+// NDJSON incrementally. The concatenated line payloads must hash
+// identically to the synchronous reference, the terminal summary's
+// declared sha256 must match, and the time to the first line is
+// measured and reported — the stream's reason to exist.
+//
 // Usage:
 //
 //	loadgen                                     # 32 workers, 512 reqs, /v1/figures/fig2
@@ -26,18 +35,24 @@
 //	loadgen -duration 30s                       # time-based instead of count-based
 //	loadgen -sweep '{"cluster":"CloudLab","axis":"powercap","values":[300,250,200,150]}'
 //	loadgen -sweep '{"axis":"seed","values":[1,2,3]}' -jobs
+//	loadgen -sweep '{"axis":"fraction","values":[0.5,1]}' -stream
 //	loadgen -url http://localhost:9090 -c 8
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +84,7 @@ func main() {
 		paths    = flag.String("paths", "/v1/figures/fig2", "comma-separated GET request paths")
 		sweep    = flag.String("sweep", "", "JSON body to POST to /v1/sweep as part of the mix (empty = no sweep requests)")
 		jobsMode = flag.Bool("jobs", false, "also run the -sweep body through the async job path (submit, poll progress, fetch result) and require the result bytes to match the synchronous sweep response")
+		stream   = flag.Bool("stream", false, "also verify the streaming endpoints: reassembled NDJSON payloads must be byte-identical to the synchronous responses; reports time-to-first-line")
 		conc     = flag.Int("c", 32, "concurrent workers")
 		total    = flag.Int("n", 512, "total requests (split across workers, round-robin over paths)")
 		duration = flag.Duration("duration", 0, "run for this long instead of a fixed -n (0 = use -n)")
@@ -117,6 +133,48 @@ func main() {
 	if *jobsMode && ref[jobLabel] != ref[sweepLabel] {
 		fmt.Fprintln(os.Stderr, "loadgen: FAIL: async job result diverged from the synchronous /v1/sweep response")
 		os.Exit(1)
+	}
+
+	// Streaming verification: every stream must reassemble to its
+	// synchronous reference, byte for byte, with the first line well
+	// ahead of completion.
+	if *stream {
+		type streamTarget struct {
+			label string
+			url   string
+			ref   [32]byte
+		}
+		var sts []streamTarget
+		if *sweep != "" {
+			u, err := sweepStreamURL(*base, *sweep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: -stream:", err)
+				os.Exit(1)
+			}
+			sts = append(sts, streamTarget{label: "STREAM /v1/stream/sweep", url: u, ref: ref[sweepLabel]})
+		}
+		for _, p := range strings.Split(*paths, ",") {
+			if strings.HasPrefix(p, "/v1/experiments/") {
+				sts = append(sts, streamTarget{
+					label: "STREAM /v1/stream" + p[len("/v1"):],
+					url:   *base + strings.Replace(p, "/v1/experiments/", "/v1/stream/experiments/", 1),
+					ref:   ref["GET "+p],
+				})
+			}
+		}
+		if len(sts) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -stream needs -sweep or a /v1/experiments/ path to stream")
+			os.Exit(1)
+		}
+		for _, st := range sts {
+			ttfl, total, lines, err := streamVerify(client, st.url, st.ref)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: FAIL: %s: %v\n", st.label, err)
+				os.Exit(1)
+			}
+			fmt.Printf("stream %-55s %d lines, first line %8.1f ms, done %8.1f ms, byte-identity OK\n",
+				st.label, lines, float64(ttfl.Microseconds())/1000, float64(total.Microseconds())/1000)
+		}
 	}
 
 	// Hot pass: all workers, round-robin over targets, every completed
@@ -224,21 +282,150 @@ func main() {
 // instead of a single HTTP request.
 const methodJob = "JOB"
 
+// sweepStreamURL converts the -sweep JSON body into the streaming
+// endpoint's query-parameter spelling (values/caps_w comma-joined), so
+// both spellings describe the identical normalized request.
+func sweepStreamURL(base, body string) (string, error) {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		return "", fmt.Errorf("parsing -sweep body: %v", err)
+	}
+	num := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	q := url.Values{}
+	for k, v := range m {
+		switch vv := v.(type) {
+		case string:
+			q.Set(k, vv)
+		case float64:
+			q.Set(k, num(vv))
+		case []any:
+			parts := make([]string, len(vv))
+			for i, e := range vv {
+				f, ok := e.(float64)
+				if !ok {
+					return "", fmt.Errorf("-sweep field %q element %d is not a number", k, i)
+				}
+				parts[i] = num(f)
+			}
+			q.Set(k, strings.Join(parts, ","))
+		default:
+			return "", fmt.Errorf("-sweep field %q has unstreamable type %T", k, v)
+		}
+	}
+	return base + "/v1/stream/sweep?" + q.Encode(), nil
+}
+
+// streamLine is the NDJSON line schema of the streaming endpoints (the
+// subset loadgen verifies).
+type streamLine struct {
+	Kind    string `json:"kind"`
+	Shard   int    `json:"shard"`
+	Shards  int    `json:"shards"`
+	Payload string `json:"payload"`
+	Bytes   int    `json:"bytes"`
+	SHA256  string `json:"sha256"`
+	Error   string `json:"error"`
+}
+
+// streamVerify reads one streaming response line by line as it arrives
+// and checks the stream contract: a start line, ordered shard lines, a
+// terminal summary whose declared sha256 matches the reassembled
+// payload, and payload bytes hashing to the synchronous reference.
+func streamVerify(client *http.Client, target string, ref [32]byte) (ttfl, total time.Duration, lines int, err error) {
+	t0 := time.Now()
+	resp, err := client.Get(target)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return 0, 0, 0, fmt.Errorf("GET %s: %s: %s", target, resp.Status, firstLine(body))
+	}
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	h := sha256.New()
+	var last streamLine
+	nextShard := 0
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(raw)) > 0 {
+			if lines == 0 {
+				ttfl = time.Since(t0)
+			}
+			lines++
+			var l streamLine
+			if uerr := json.Unmarshal(raw, &l); uerr != nil {
+				return ttfl, 0, lines, fmt.Errorf("line %d is not valid JSON: %v", lines, uerr)
+			}
+			switch l.Kind {
+			case "error":
+				return ttfl, 0, lines, fmt.Errorf("server reported in-band error: %s", l.Error)
+			case "shard":
+				if l.Shard != nextShard {
+					return ttfl, 0, lines, fmt.Errorf("shard line out of order: got %d, want %d", l.Shard, nextShard)
+				}
+				nextShard++
+			}
+			h.Write([]byte(l.Payload))
+			last = l
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return ttfl, 0, lines, rerr
+		}
+	}
+	total = time.Since(t0)
+	if last.Kind != "summary" {
+		return ttfl, total, lines, fmt.Errorf("stream ended on %q, want a terminal summary line", last.Kind)
+	}
+	var got [32]byte
+	h.Sum(got[:0])
+	if hex.EncodeToString(got[:]) != last.SHA256 {
+		return ttfl, total, lines, fmt.Errorf("summary sha256 does not match the reassembled payload")
+	}
+	if got != ref {
+		return ttfl, total, lines, fmt.Errorf("reassembled stream diverged from the synchronous reference")
+	}
+	return ttfl, total, lines, nil
+}
+
 // doJob drives one submission through the whole async lifecycle:
-// submit (202 + URL), poll status until terminal (asserting progress
+// submit (202 + URL, honoring 429 + Retry-After backpressure by
+// retrying — shedding is the server working as designed, not a
+// failure), poll status until terminal (asserting progress
 // monotonicity), fetch the result.
 func doJob(client *http.Client, base string, tg target) (body []byte, err error) {
-	resp, err := client.Post(base+tg.path, "application/json", strings.NewReader(tg.body))
-	if err != nil {
-		return nil, err
-	}
-	sub, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return nil, fmt.Errorf("POST %s: %s: %s", tg.path, resp.Status, firstLine(sub))
+	var sub []byte
+	deadline := time.Now().Add(4 * time.Minute)
+	for {
+		resp, err := client.Post(base+tg.path, "application/json", strings.NewReader(tg.body))
+		if err != nil {
+			return nil, err
+		}
+		sub, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("POST %s: still shed (429) after 4m", tg.path)
+			}
+			wait := 100 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return nil, fmt.Errorf("POST %s: %s: %s", tg.path, resp.Status, firstLine(sub))
+		}
+		break
 	}
 	var job struct {
 		ID    string `json:"id"`
@@ -251,9 +438,10 @@ func doJob(client *http.Client, base string, tg target) (body []byte, err error)
 		return nil, fmt.Errorf("POST %s: decoding 202 body: %v", tg.path, err)
 	}
 
-	// Poll until terminal; shard progress must never go backwards.
+	// Poll until terminal; shard progress must never go backwards. The
+	// submit deadline carries over: backpressure waits and polling
+	// share one 4-minute budget.
 	var lastDone, lastTotal int64
-	deadline := time.Now().Add(4 * time.Minute)
 	for {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("job %s did not finish within 4m", job.ID)

@@ -118,12 +118,18 @@
 //	POST   /v1/campaign           one campaign simulation (params via body)
 //	POST   /v1/sweep              a bounded variant-axis sweep as one
 //	                              engine job graph (see below)
+//	GET    /v1/stream/sweep       the same sweep streamed as NDJSON,
+//	                              one line per variant (see below)
+//	GET    /v1/stream/experiments/{name}
+//	                              an experiment streamed as NDJSON,
+//	                              one line per shard
 //	POST   /v1/jobs               async submission → 202 + poll URL
-//	GET    /v1/jobs               list live jobs
+//	GET    /v1/jobs               list live jobs, in creation order
 //	GET    /v1/jobs/{id}          job state + per-shard progress
 //	GET    /v1/jobs/{id}/result   finished job's response (replayable)
 //	DELETE /v1/jobs/{id}          cancel (active) / forget (terminal)
-//	GET    /v1/stats              cache/session/engine/job counters
+//	GET    /v1/stats              cache/session/engine/job counters,
+//	                              per-class queues, budget occupancy
 //	GET    /v1/healthz            liveness + the same counters
 //
 // # Variant-axis sweeps
@@ -151,6 +157,56 @@
 // all four axes once; core.PowerLimitSweep remains as its golden-tested
 // powercap façade.
 //
+// # Streaming results
+//
+// The engine completes shards in deterministic order, so the service
+// does not have to buffer a whole computation before answering: the
+// /v1/stream endpoints flush one NDJSON line per completed top-level
+// shard — a sweep variant, a per-GPU measurement job — with the first
+// byte on the wire in milliseconds even for Summit-scale runs. The
+// mechanism is engine.WithSink: an ordered per-shard sink carried via
+// context (like engine.Progress), consumed by the next Map to run,
+// which emits each shard's value the moment it and every lower-indexed
+// shard have completed while nested jobs compute silently.
+//
+// Every line is {"kind", "shard", "shards", "payload", ...}: "start"
+// (the body's prefix, sent immediately), "shard" (one completed shard,
+// in order), and a terminal "summary" (the closing chunk plus the
+// body's length and sha256) or in-band "error". The payloads are a
+// progressive encoding of the SYNCHRONOUS response: concatenated in
+// order they are byte-identical to the corresponding POST /v1/sweep or
+// GET /v1/experiments body — golden tests pin this for all four sweep
+// axes and both endpoints, and a completed stream deposits its verified
+// body into the response cache so the synchronous twin replays it as a
+// hit. Streams run under the batch-length deadline (-job-timeout) and
+// abort mid-shard on client disconnect; cmd/loadgen -stream reassembles
+// them under load, asserts identity, and reports time-to-first-line.
+//
+// # Scheduling classes
+//
+// All elastic worker pools draw from one process-wide weighted token
+// budget (gpuvard -budget, default GOMAXPROCS) instead of sizing
+// per-job from GOMAXPROCS, so nested job graphs (sweep → experiment →
+// per-GPU jobs) cannot oversubscribe the scheduler under heavy
+// traffic. Every elastic Map runs one worker inline on its caller's
+// goroutine — progress is guaranteed with zero tokens, which makes the
+// scheduler deadlock-free under nesting — and recruits extra workers
+// non-blockingly as shards complete, growing the pool the moment
+// another job releases tokens.
+//
+// Work is classed interactive or batch (engine.WithClass, carried on
+// the context): synchronous handlers and streams run interactive;
+// async jobs default to batch, overridable per submission with
+// {"class": "interactive"}. Interactive may occupy the whole budget;
+// batch is capped below it (an interactive reserve of at least one
+// token), and the jobs layer gives each class its own execution slots
+// and queue — so an interactive request completes even while the batch
+// side is saturated, a contract the engine and service test suites pin.
+// Saturation is observable (/v1/healthz, /v1/stats: per-class queue
+// depth and budget occupancy) and bounded: batch submissions past the
+// queue bound (-max-queued-jobs) shed with 429 + Retry-After instead of
+// growing an unbounded backlog.
+//
 // # Async jobs
 //
 // Summit-scale sweeps and long campaigns outlive any sane request
@@ -163,9 +219,9 @@
 //	   │          │    ├──► failed
 //	   └──────────┴───────► canceled
 //
-// A job is queued until one of the manager's execution slots frees
-// (gpuvard -max-jobs bounds batch-class concurrency so jobs cannot
-// starve interactive requests), running while it computes under its
+// A job is queued until one of its class's execution slots frees
+// (gpuvard -max-jobs bounds per-class concurrency so batch jobs cannot
+// starve interactive ones), running while it computes under its
 // own budget (-job-timeout, default 10m), and terminal afterwards.
 // GET /v1/jobs/{id} reports the state plus per-shard progress —
 // shards_done / shards_total, fed by the engine's shard counters
@@ -221,14 +277,17 @@
 //
 // Every PR must clear .github/workflows/ci.yml: the verify job
 // (scripts/verify.sh — build, gofmt check, vet, a pinned staticcheck
-// pass, tests, benchmark smoke run, and the cmd/benchjson -compare
-// regression gate, which re-measures the banked perf wins plus the
-// sweep and async-job serving paths and fails on >25% ns/op or
-// allocs/op growth against the committed BENCH_4.json, then a coverage
-// summary), the race job (go test -race -short ./...), and the smoke
-// job (make smoke — build gpuvard, boot it, and drive a concurrent
-// loadgen mix over figures, variant-axis sweeps, and the async job
-// lifecycle, asserting zero failures and byte-identity end to end).
-// Superseded CI runs on the same ref are canceled (concurrency:
-// cancel-in-progress).
+// pass, tests with a coverage-floor gate that fails if total coverage
+// drops below the committed baseline, a short native-fuzz smoke of the
+// request-normalization targets (FuzzSweepRequest, FuzzJobEnvelope; the
+// full sessions run via make fuzz), a benchmark smoke run, and the
+// cmd/benchjson -compare regression gate, which re-measures the banked
+// perf wins plus the sweep, async-job, streaming, and classed-engine
+// serving paths and fails on >25% ns/op or allocs/op growth against the
+// committed BENCH_5.json), the race job (go test -race -short ./...),
+// and the smoke job (make smoke — build gpuvard, boot it, and drive a
+// concurrent loadgen mix over figures, variant-axis sweeps, the async
+// job lifecycle, and the streaming endpoints, asserting zero failures
+// and byte-identity end to end). Superseded CI runs on the same ref are
+// canceled (concurrency: cancel-in-progress).
 package gpuvar

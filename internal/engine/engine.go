@@ -7,12 +7,22 @@
 // The contract it standardizes (previously re-implemented, differently,
 // by three ad-hoc worker pools):
 //
-//   - Bounded parallelism: one worker pool per job, sized once at
-//     submission (Workers, default GOMAXPROCS), pulling shards from a
-//     shared cursor — no per-shard goroutine churn.
+//   - Bounded parallelism: workers > 0 pins a fixed pool of exactly
+//     that many workers pulling shards from a shared cursor — no
+//     per-shard goroutine churn. workers <= 0 selects elastic mode: one
+//     worker always runs inline on the caller's goroutine, and extra
+//     workers are recruited from the process-wide weighted token budget
+//     (see sched.go) as shards complete, instead of sizing every pool
+//     from GOMAXPROCS — so nested job graphs cannot oversubscribe the
+//     scheduler, and an interactive job keeps its reserved headroom no
+//     matter how much batch work is in flight.
 //   - Deterministic ordering: results[i] always holds shard i's value,
 //     no matter which worker ran it or when it finished, so callers that
 //     must be bit-identical to a serial loop just iterate the slice.
+//   - Streaming: a ShardSink attached via WithSink receives each
+//     shard's value as soon as it and all lower-indexed shards have
+//     completed (see stream.go) — incremental results in the same order
+//     the finished slice would have.
 //   - Cooperative cancellation: workers check the context between
 //     shards and stop pulling new work the moment it is canceled; Map
 //     returns ctx.Err() promptly (in-flight shards finish — shard
@@ -21,13 +31,13 @@
 //     stack-annotated error instead of crashing the process; the
 //     remaining workers drain and exit.
 //   - Observability: package-level progress counters (jobs in flight,
-//     shards completed, cancellations) that the service exports.
+//     shards completed, cancellations) and the budget's per-class
+//     occupancy, exported by the service.
 package engine
 
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -83,15 +93,17 @@ func progressFrom(ctx context.Context) *Progress {
 	return p
 }
 
-// Stats is a point-in-time snapshot of the engine's progress counters,
-// exposed by the service's /v1/stats and /v1/healthz endpoints.
+// Stats is a point-in-time snapshot of the engine's progress counters
+// and worker-token budget, exposed by the service's /v1/stats and
+// /v1/healthz endpoints.
 type Stats struct {
-	JobsStarted     uint64 `json:"jobs_started"`
-	JobsCompleted   uint64 `json:"jobs_completed"`
-	JobsCanceled    uint64 `json:"jobs_canceled"`
-	JobsFailed      uint64 `json:"jobs_failed"`
-	ShardsCompleted uint64 `json:"shards_completed"`
-	InFlightJobs    int64  `json:"in_flight_jobs"`
+	JobsStarted     uint64      `json:"jobs_started"`
+	JobsCompleted   uint64      `json:"jobs_completed"`
+	JobsCanceled    uint64      `json:"jobs_canceled"`
+	JobsFailed      uint64      `json:"jobs_failed"`
+	ShardsCompleted uint64      `json:"shards_completed"`
+	InFlightJobs    int64       `json:"in_flight_jobs"`
+	Budget          BudgetStats `json:"budget"`
 }
 
 // Snapshot reads the counters.
@@ -103,12 +115,19 @@ func Snapshot() Stats {
 		JobsFailed:      counters.jobsFailed.Load(),
 		ShardsCompleted: counters.shardsCompleted.Load(),
 		InFlightJobs:    counters.inFlightJobs.Load(),
+		Budget:          defaultBudget.stats(),
 	}
 }
 
 // Map runs fn for every shard in [0, n) on a bounded worker pool and
-// returns the results in shard order: results[i] is fn(ctx, i). workers
-// <= 0 selects GOMAXPROCS; the pool never exceeds n.
+// returns the results in shard order: results[i] is fn(ctx, i).
+// workers > 0 pins a fixed pool of exactly that many workers (never
+// exceeding n); workers <= 0 selects elastic mode — the caller's
+// goroutine runs one worker inline and extra workers are drawn from the
+// process-wide token budget under the context's scheduling class (see
+// sched.go), re-solicited as shards complete. The inline worker makes
+// elastic Maps deadlock-free under nesting and guarantees progress even
+// with the budget fully drained.
 //
 // The first shard error (or panic, converted to an error) fails the
 // job: workers stop pulling new shards, in-flight shards finish, and
@@ -120,12 +139,11 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	elastic := workers <= 0
 	if workers > n {
 		workers = n
 	}
+	class := ClassFrom(ctx)
 	counters.jobsStarted.Add(1)
 	counters.inFlightJobs.Add(1)
 	defer counters.inFlightJobs.Add(-1)
@@ -135,6 +153,14 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	}
 
 	results := make([]T, n)
+	// This Map consumes the context's sink (if any): shards run with it
+	// stripped so nested jobs never double-emit.
+	fnCtx := ctx
+	var emit *orderedEmitter
+	if sink := sinkFrom(ctx); sink != nil {
+		fnCtx = WithSink(ctx, nil)
+		emit = newOrderedEmitter(sink, n, func(i int) any { return results[i] })
+	}
 	var (
 		cursor   atomic.Int64
 		failedFl atomic.Bool // lock-free fast path for the workers' loop check
@@ -161,7 +187,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 				fail(i, fmt.Errorf("engine: shard %d panicked: %v\n%s", i, r, debug.Stack()))
 			}
 		}()
-		v, err := fn(ctx, i)
+		v, err := fn(fnCtx, i)
 		if err != nil {
 			fail(i, err)
 			return
@@ -171,16 +197,48 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 		if prog != nil {
 			prog.done.Add(1)
 		}
+		if emit != nil {
+			emit.complete(i)
+		}
 	}
 
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
+	if !elastic {
+		// Fixed pool: exactly `workers` goroutines, independent of the
+		// budget — the deterministic-concurrency knob tests and callers
+		// with their own sizing policy rely on.
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					if err := ctx.Err(); err != nil {
+						fail(n, err) // rank below any real shard failure
+						return
+					}
+					if failedFl.Load() {
+						return
+					}
+					i := int(cursor.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runShard(i)
+				}
+			}()
+		}
+	} else {
+		// Elastic: the caller's goroutine works inline; helpers hold one
+		// budget token each and are re-solicited after every completed
+		// shard, so the pool grows the moment tokens free up elsewhere.
+		var (
+			live    atomic.Int64 // current workers, inline included
+			recruit func()
+		)
+		loop := func() {
 			for {
 				if err := ctx.Err(); err != nil {
-					fail(n, err) // rank below any real shard failure
+					fail(n, err)
 					return
 				}
 				if failedFl.Load() {
@@ -191,8 +249,38 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 					return
 				}
 				runShard(i)
+				recruit()
 			}
-		}()
+		}
+		recruit = func() {
+			for {
+				if int(cursor.Load()) >= n { // every shard already claimed
+					return
+				}
+				l := live.Load()
+				if l >= int64(n) {
+					return
+				}
+				if !live.CompareAndSwap(l, l+1) {
+					continue
+				}
+				if !defaultBudget.tryAcquire(class) {
+					live.Add(-1)
+					return
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer defaultBudget.release(class)
+					defer live.Add(-1)
+					loop()
+				}()
+			}
+		}
+		live.Store(1)
+		recruit()
+		loop()
+		live.Add(-1)
 	}
 	wg.Wait()
 

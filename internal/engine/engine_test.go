@@ -4,11 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"gpuvar/internal/testutil"
 )
 
 // TestMapOrdering: results land at their shard's index regardless of
@@ -129,7 +130,7 @@ func TestMapPanicRecovered(t *testing.T) {
 // TestMapCancellation: canceling mid-job returns ctx.Err() promptly,
 // stops pulling new shards, and leaks no goroutines.
 func TestMapCancellation(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leak := testutil.LeakCheck(t, 0)
 	ctx, cancel := context.WithCancel(context.Background())
 	release := make(chan struct{})
 	var started atomic.Int64
@@ -161,7 +162,7 @@ func TestMapCancellation(t *testing.T) {
 	if n := started.Load(); n > 8 {
 		t.Fatalf("%d shards started after cancellation (want only the in-flight wave)", n)
 	}
-	waitForGoroutines(t, before)
+	leak()
 }
 
 // TestMapCanceledBeforeStart: an already-dead context runs nothing.
@@ -209,24 +210,6 @@ func TestSnapshotCounters(t *testing.T) {
 	if s.InFlightJobs != 0 {
 		t.Errorf("in-flight jobs = %d after all jobs returned, want 0", s.InFlightJobs)
 	}
-}
-
-// waitForGoroutines retries until the goroutine count returns to (near)
-// its starting point, failing the test if it never does — the leak
-// check behind every cancellation test.
-func waitForGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		runtime.Gosched()
-		time.Sleep(time.Millisecond)
-	}
-	buf := make([]byte, 1<<16)
-	t.Fatalf("goroutine leak: %d before, %d after\n%s",
-		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 }
 
 // TestMapNestedJobs: a shard may itself submit a Map job (the sweep

@@ -3,11 +3,12 @@ package engine
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"gpuvar/internal/testutil"
 )
 
 // TestGroupCoalesces: N concurrent callers share one execution.
@@ -124,7 +125,7 @@ func TestGroupCanceledCallerHandsOff(t *testing.T) {
 // flight, its context is canceled and the key is released so the next
 // request starts fresh.
 func TestGroupLastWaiterCancelsFlight(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leak := testutil.LeakCheck(t, 0)
 	var g Group[int]
 	ctx, cancel := context.WithCancel(context.Background())
 	flightCanceled := make(chan struct{})
@@ -157,7 +158,7 @@ func TestGroupLastWaiterCancelsFlight(t *testing.T) {
 	if err != nil || v != 7 || shared {
 		t.Fatalf("fresh Do after abandoned flight = %d, shared=%v, %v; want 7, false, nil", v, shared, err)
 	}
-	waitForGoroutines(t, before)
+	leak()
 }
 
 // TestGroupErrorPropagatesToAllWaiters: a failed execution hands its

@@ -1,0 +1,189 @@
+package engine
+
+// Priority-aware elastic scheduling: instead of sizing every worker
+// pool from GOMAXPROCS — which lets N concurrent jobs (and nested job
+// graphs: a sweep's variants each fanning out per-GPU jobs) spawn N ×
+// GOMAXPROCS runnable goroutines — elastic Maps draw their extra
+// workers from one process-wide token budget, weighted by scheduling
+// class:
+//
+//   - Every elastic Map runs at least one worker inline on the caller's
+//     goroutine. That worker needs no token, which makes the scheduler
+//     deadlock-free by construction (a nested Map inside a shard always
+//     makes progress on its parent worker's goroutine, even with the
+//     budget fully drained) and guarantees an interactive request
+//     completes no matter how saturated the batch side is.
+//   - Additional workers each hold one token while they live. Tokens
+//     are acquired non-blockingly and re-solicited as shards complete,
+//     so a job that started while the budget was drained grows its pool
+//     the moment another job releases tokens — elastic sizing instead
+//     of a once-per-job GOMAXPROCS decision.
+//   - Interactive may occupy the whole budget; Batch is capped below it
+//     (capacity minus a reserve of max(1, capacity/4)), so batch floods
+//     can never take the tokens an interactive burst needs.
+//
+// The class travels on the context (WithClass; absent = Interactive):
+// the service's synchronous and streaming handlers run interactive,
+// async jobs default to batch, and nested jobs inherit their root's
+// class automatically.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Class is a scheduling class: the priority tier a job's workers draw
+// their budget tokens from.
+type Class int8
+
+const (
+	// Interactive is the default class: latency-sensitive work (held
+	// HTTP connections, streams) that may occupy the whole budget.
+	Interactive Class = iota
+	// Batch is throughput work (async jobs, long sweeps) capped below
+	// the full budget so it cannot starve interactive requests.
+	Batch
+	numClasses
+)
+
+// NumClasses is the number of scheduling classes. Layers that keep
+// per-class state (the jobs manager's slots and queues) size their
+// arrays from it, so adding a class here resizes them at compile time
+// instead of failing at runtime.
+const NumClasses = int(numClasses)
+
+// String returns the wire spelling used by the service's class field
+// and the stats endpoints.
+func (c Class) String() string {
+	if c == Batch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParseClass resolves a wire spelling; the empty string is Interactive
+// (the default class).
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	}
+	return 0, fmt.Errorf("unknown scheduling class %q (want interactive or batch)", s)
+}
+
+// classKey carries a Class through a context.
+type classKey struct{}
+
+// WithClass returns a context whose elastic engine jobs (and their
+// nested jobs) draw workers from c's share of the budget.
+func WithClass(ctx context.Context, c Class) context.Context {
+	return context.WithValue(ctx, classKey{}, c)
+}
+
+// ClassFrom extracts the context's scheduling class (Interactive when
+// absent).
+func ClassFrom(ctx context.Context) Class {
+	c, _ := ctx.Value(classKey{}).(Class)
+	return c
+}
+
+// BudgetStats is a point-in-time snapshot of the worker-token budget,
+// folded into Stats for /v1/stats and /v1/healthz: occupancy per class
+// against the capacity and the batch cap.
+type BudgetStats struct {
+	Capacity         int `json:"capacity"`
+	BatchCap         int `json:"batch_cap"`
+	InUseInteractive int `json:"in_use_interactive"`
+	InUseBatch       int `json:"in_use_batch"`
+}
+
+// budget is the weighted token pool elastic Maps recruit helpers from.
+type budget struct {
+	// free mirrors capacity - total in-use so recruit loops can bail
+	// without the lock when the budget is drained — the common state on
+	// a busy server, checked once per completed shard.
+	free atomic.Int64
+
+	mu       sync.Mutex
+	capacity int
+	batchCap int
+	inUse    [numClasses]int
+}
+
+// defaultBudget is the process-wide pool. Capacity defaults to
+// GOMAXPROCS (the parallelism the host actually has); gpuvard -budget
+// and tests resize it via SetBudgetCapacity.
+var defaultBudget = newBudget(0)
+
+func newBudget(capacity int) *budget {
+	b := &budget{}
+	b.setCapacity(capacity)
+	return b
+}
+
+// SetBudgetCapacity resizes the process-wide budget (<= 0 restores the
+// GOMAXPROCS default). Shrinking below current occupancy is safe:
+// acquisition stops until enough tokens are released.
+func SetBudgetCapacity(n int) { defaultBudget.setCapacity(n) }
+
+func (b *budget) setCapacity(capacity int) {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	b.mu.Lock()
+	b.capacity = capacity
+	reserve := capacity / 4
+	if reserve < 1 {
+		reserve = 1
+	}
+	b.batchCap = capacity - reserve // 0 when capacity == 1: batch runs inline only
+	b.free.Store(int64(capacity - b.inUse[Interactive] - b.inUse[Batch]))
+	b.mu.Unlock()
+}
+
+// tryAcquire takes one token for class c, never blocking: elasticity
+// comes from re-soliciting as shards complete, not from queued waiters
+// (queueing lives in the jobs layer, where it is observable and
+// sheddable).
+func (b *budget) tryAcquire(c Class) bool {
+	if b.free.Load() <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.inUse[Interactive] + b.inUse[Batch]
+	if total >= b.capacity {
+		return false
+	}
+	if c == Batch && b.inUse[Batch] >= b.batchCap {
+		return false
+	}
+	b.inUse[c]++
+	b.free.Store(int64(b.capacity - total - 1))
+	return true
+}
+
+// release returns one token.
+func (b *budget) release(c Class) {
+	b.mu.Lock()
+	b.inUse[c]--
+	b.free.Store(int64(b.capacity - b.inUse[Interactive] - b.inUse[Batch]))
+	b.mu.Unlock()
+}
+
+// stats snapshots the budget.
+func (b *budget) stats() BudgetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BudgetStats{
+		Capacity:         b.capacity,
+		BatchCap:         b.batchCap,
+		InUseInteractive: b.inUse[Interactive],
+		InUseBatch:       b.inUse[Batch],
+	}
+}

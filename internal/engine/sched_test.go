@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpuvar/internal/testutil"
+)
+
+// withBudgetCapacity resizes the process-wide budget for one test and
+// restores it afterwards. Tests in this package run sequentially, so
+// the swap is safe.
+func withBudgetCapacity(t *testing.T, n int) {
+	t.Helper()
+	old := Snapshot().Budget.Capacity
+	SetBudgetCapacity(n)
+	t.Cleanup(func() { SetBudgetCapacity(old) })
+}
+
+func TestParseClass(t *testing.T) {
+	for _, tt := range []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", Interactive, true},
+		{"interactive", Interactive, true},
+		{"batch", Batch, true},
+		{"Batch", 0, false},
+		{"realtime", 0, false},
+	} {
+		got, err := ParseClass(tt.in)
+		if (err == nil) != tt.ok || (tt.ok && got != tt.want) {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v, ok=%v", tt.in, got, err, tt.want, tt.ok)
+		}
+	}
+	if Interactive.String() != "interactive" || Batch.String() != "batch" {
+		t.Errorf("String() spellings changed: %q, %q", Interactive, Batch)
+	}
+}
+
+// TestClassFromContext: absent = Interactive; WithClass travels to
+// nested contexts.
+func TestClassFromContext(t *testing.T) {
+	if c := ClassFrom(context.Background()); c != Interactive {
+		t.Fatalf("default class = %v, want Interactive", c)
+	}
+	ctx := WithClass(context.Background(), Batch)
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if c := ClassFrom(child); c != Batch {
+		t.Fatalf("nested class = %v, want Batch", c)
+	}
+}
+
+// TestBudgetShares pins the weighting: batch acquisition stops at the
+// batch cap (capacity minus the reserve), while interactive may drain
+// the budget completely.
+func TestBudgetShares(t *testing.T) {
+	b := newBudget(8) // reserve = 2, batchCap = 6
+	batch := 0
+	for b.tryAcquire(Batch) {
+		batch++
+	}
+	if batch != 6 {
+		t.Fatalf("batch acquired %d tokens of capacity 8, want the 6-token batch cap", batch)
+	}
+	inter := 0
+	for b.tryAcquire(Interactive) {
+		inter++
+	}
+	if inter != 2 {
+		t.Fatalf("interactive acquired %d tokens with batch saturated, want the 2-token reserve", inter)
+	}
+	s := b.stats()
+	if s.Capacity != 8 || s.BatchCap != 6 || s.InUseBatch != 6 || s.InUseInteractive != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Releasing a batch token does not let batch exceed its cap via
+	// interactive's share.
+	b.release(Interactive)
+	if !b.tryAcquire(Interactive) {
+		t.Fatal("released interactive token not reacquirable")
+	}
+	b.release(Batch)
+	if !b.tryAcquire(Batch) {
+		t.Fatal("released batch token not reacquirable")
+	}
+	if b.tryAcquire(Batch) {
+		t.Fatal("batch exceeded its cap")
+	}
+}
+
+// TestBudgetSingleToken: capacity 1 leaves batch with zero helper
+// tokens — batch jobs still run, purely inline.
+func TestBudgetSingleToken(t *testing.T) {
+	b := newBudget(1)
+	if b.tryAcquire(Batch) {
+		t.Fatal("batch acquired the only token; the reserve must keep it for interactive")
+	}
+	if !b.tryAcquire(Interactive) {
+		t.Fatal("interactive denied the only token")
+	}
+	ctx := WithClass(context.Background(), Batch)
+	// A batch elastic Map must still complete with zero tokens available.
+	got, err := Map(ctx, 4, 0, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 4 {
+		t.Fatalf("inline-only batch Map = %v, %v", got, err)
+	}
+	b.release(Interactive)
+}
+
+// TestElasticMapBoundedByBudget: an elastic Map's concurrency never
+// exceeds the inline worker plus the class's token share.
+func TestElasticMapBoundedByBudget(t *testing.T) {
+	withBudgetCapacity(t, 4) // batchCap = 3
+	ctx := WithClass(context.Background(), Batch)
+	var inFlight, peak atomic.Int64
+	_, err := Map(ctx, 64, 0, func(context.Context, int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 4 { // inline + 3 batch tokens
+		t.Fatalf("observed %d concurrent shards, want <= 4 (inline + batch cap)", p)
+	}
+	if s := Snapshot().Budget; s.InUseBatch != 0 || s.InUseInteractive != 0 {
+		t.Fatalf("tokens leaked after the job drained: %+v", s)
+	}
+}
+
+// TestFixedPoolBypassesBudget: an explicit workers count neither
+// consumes tokens nor is limited by an empty budget.
+func TestFixedPoolBypassesBudget(t *testing.T) {
+	withBudgetCapacity(t, 1)
+	var inFlight, peak atomic.Int64
+	barrier := make(chan struct{})
+	var arrived atomic.Int64
+	_, err := Map(context.Background(), 3, 3, func(context.Context, int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		if arrived.Add(1) == 3 {
+			close(barrier)
+		}
+		<-barrier // all three workers must be live at once
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p != 3 {
+		t.Fatalf("fixed pool ran %d concurrent shards, want exactly 3 despite a 1-token budget", p)
+	}
+}
+
+// TestInteractiveCompletesWhileBatchSaturated is the scheduling
+// acceptance scenario: with batch work holding its entire token share
+// (and more queued), an interactive elastic Map still completes
+// promptly on its inline worker plus the interactive reserve.
+func TestInteractiveCompletesWhileBatchSaturated(t *testing.T) {
+	leak := testutil.LeakCheck(t, 0)
+	withBudgetCapacity(t, 4) // batchCap = 3 → the gated batch job runs 1 inline + 3 helpers
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	batchDone := make(chan error, 1)
+	go func() {
+		ctx := WithClass(context.Background(), Batch)
+		_, err := Map(ctx, 16, 0, func(ctx context.Context, i int) (int, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return i, nil
+		})
+		batchDone <- err
+	}()
+	// Wait until batch occupies every worker it can get: inline + the
+	// full 3-token batch share, all gated mid-shard.
+	for i := 0; i < 4; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("batch job never saturated its share")
+		}
+	}
+	if s := Snapshot().Budget; s.InUseBatch != 3 {
+		t.Fatalf("batch holds %d tokens, want its full 3-token cap", s.InUseBatch)
+	}
+
+	// The interactive job must complete while batch is wedged.
+	interactiveDone := make(chan error, 1)
+	go func() {
+		got, err := Map(context.Background(), 8, 0, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err == nil {
+			for i, v := range got {
+				if v != i*i {
+					err = fmt.Errorf("results[%d] = %d, want %d", i, v, i*i)
+					break
+				}
+			}
+		}
+		interactiveDone <- err
+	}()
+	select {
+	case err := <-interactiveDone:
+		if err != nil {
+			t.Fatalf("interactive Map failed under batch saturation: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("interactive Map did not complete while the batch budget was saturated")
+	}
+
+	close(release)
+	if err := <-batchDone; err != nil {
+		t.Fatalf("batch job failed: %v", err)
+	}
+	leak()
+}

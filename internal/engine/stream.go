@@ -1,0 +1,72 @@
+package engine
+
+// Streaming: an ordered per-shard result sink carried via context, like
+// Progress. Attach one with WithSink and the NEXT Map to run under that
+// context — and only it — emits each shard's value as soon as it and
+// every lower-indexed shard have completed. The service's streaming
+// handlers attach a sink just before calling a sweep or experiment, so
+// the top-level job's shards (the variants, the per-GPU jobs) flush to
+// the client incrementally while nested jobs keep computing silently.
+
+import (
+	"context"
+	"sync"
+)
+
+// ShardSink receives completed shard values from one Map. The engine
+// guarantees calls are serialized and strictly ordered: shard 0 first,
+// then 1, and so on — exactly the order the finished results slice
+// would have — no matter which worker finished which shard when. total
+// is the Map's shard count. A sink is only invoked for successful
+// shards; on failure or cancellation emissions simply stop at the last
+// contiguous completed prefix, and the Map's returned error is the
+// authoritative outcome.
+type ShardSink func(shard, total int, v any)
+
+// sinkKey carries a ShardSink through a context.
+type sinkKey struct{}
+
+// WithSink returns a context whose next Map streams its shard results
+// into s. The sink is consumed by that Map: shards run under a context
+// with the sink stripped, so nested jobs never double-emit.
+func WithSink(ctx context.Context, s ShardSink) context.Context {
+	return context.WithValue(ctx, sinkKey{}, s)
+}
+
+// sinkFrom extracts the context's sink, if any.
+func sinkFrom(ctx context.Context) ShardSink {
+	s, _ := ctx.Value(sinkKey{}).(ShardSink)
+	return s
+}
+
+// orderedEmitter re-sequences out-of-order shard completions into
+// in-order sink calls: completions mark shards ready, and the
+// contiguous completed prefix past the frontier is flushed under one
+// lock (which also serializes the sink itself).
+type orderedEmitter struct {
+	sink  ShardSink
+	n     int
+	value func(shard int) any // reads results[shard]; only called for completed shards
+
+	mu    sync.Mutex
+	next  int // frontier: lowest shard not yet emitted
+	ready []bool
+}
+
+func newOrderedEmitter(sink ShardSink, n int, value func(int) any) *orderedEmitter {
+	return &orderedEmitter{sink: sink, n: n, value: value, ready: make([]bool, n)}
+}
+
+// complete marks shard done and flushes every newly contiguous shard.
+// Workers that would emit block here while the sink writes (they have
+// finished their shard; the other workers keep computing), which is
+// what bounds the stream's buffering to the out-of-order window.
+func (e *orderedEmitter) complete(shard int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ready[shard] = true
+	for e.next < e.n && e.ready[e.next] {
+		e.sink(e.next, e.n, e.value(e.next))
+		e.next++
+	}
+}

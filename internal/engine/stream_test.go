@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// sinkRecorder collects emissions and asserts the ordering contract.
+type sinkRecorder struct {
+	mu     sync.Mutex
+	shards []int
+	values []any
+	totals []int
+}
+
+func (r *sinkRecorder) sink(shard, total int, v any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shards = append(r.shards, shard)
+	r.values = append(r.values, v)
+	r.totals = append(r.totals, total)
+}
+
+// TestSinkOrderedEmission: shards completing out of order are emitted
+// strictly in shard order, each as soon as its contiguous prefix is
+// complete.
+func TestSinkOrderedEmission(t *testing.T) {
+	var rec sinkRecorder
+	const n = 6
+	// Shard 0 is gated until every other shard has finished, so the
+	// whole emission happens in one contiguous flush — the maximal
+	// out-of-order case.
+	gate := make(chan struct{})
+	var otherDone sync.WaitGroup
+	otherDone.Add(n - 1)
+	go func() {
+		otherDone.Wait()
+		close(gate)
+	}()
+	got, err := Map(WithSink(context.Background(), rec.sink), n, n,
+		func(_ context.Context, i int) (int, error) {
+			if i == 0 {
+				<-gate
+			} else {
+				defer otherDone.Done()
+			}
+			return i * 10, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.shards) != n {
+		t.Fatalf("emitted %d shards, want %d", len(rec.shards), n)
+	}
+	for i := 0; i < n; i++ {
+		if rec.shards[i] != i || rec.values[i].(int) != i*10 || rec.totals[i] != n {
+			t.Fatalf("emission %d = shard %d value %v total %d, want shard %d value %d total %d",
+				i, rec.shards[i], rec.values[i], rec.totals[i], i, i*10, n)
+		}
+		if got[i] != i*10 {
+			t.Fatalf("results[%d] = %d, want %d", i, got[i], i*10)
+		}
+	}
+}
+
+// TestSinkConsumedByFirstMap: the sink belongs to the Map that finds
+// it; nested jobs run with it stripped and never double-emit.
+func TestSinkConsumedByFirstMap(t *testing.T) {
+	var rec sinkRecorder
+	_, err := Map(WithSink(context.Background(), rec.sink), 3, 1,
+		func(ctx context.Context, i int) (int, error) {
+			inner, err := Map(ctx, 4, 1, func(context.Context, int) (int, error) { return 1, nil })
+			if err != nil {
+				return 0, err
+			}
+			return len(inner), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.shards) != 3 {
+		t.Fatalf("sink saw %d emissions, want 3 (outer shards only, nested jobs silent)", len(rec.shards))
+	}
+	for i, s := range rec.shards {
+		if s != i || rec.values[i].(int) != 4 {
+			t.Fatalf("emission %d = shard %d value %v", i, s, rec.values[i])
+		}
+	}
+}
+
+// TestSinkStopsAtFailure: a failing shard ends emissions at the last
+// contiguous completed prefix — the failed shard and everything after
+// it are never emitted.
+func TestSinkStopsAtFailure(t *testing.T) {
+	var rec sinkRecorder
+	boom := errors.New("boom")
+	_, err := Map(WithSink(context.Background(), rec.sink), 8, 1,
+		func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(rec.shards) != 3 {
+		t.Fatalf("sink saw %d emissions after a shard-3 failure, want shards 0..2 only", len(rec.shards))
+	}
+	for i, s := range rec.shards {
+		if s != i {
+			t.Fatalf("emission %d = shard %d, want %d", i, s, i)
+		}
+	}
+}
+
+// TestSinkWithCancellation: cancellation mid-job stops emissions at the
+// frontier; already-emitted shards stay emitted exactly once.
+func TestSinkWithCancellation(t *testing.T) {
+	var rec sinkRecorder
+	ctx, cancel := context.WithCancel(WithSink(context.Background(), rec.sink))
+	defer cancel()
+	_, err := Map(ctx, 100, 1, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rec.shards) == 0 || len(rec.shards) > 3 {
+		t.Fatalf("sink saw %d emissions, want the completed prefix (1..3 shards)", len(rec.shards))
+	}
+	for i, s := range rec.shards {
+		if s != i {
+			t.Fatalf("emission %d = shard %d, want %d", i, s, i)
+		}
+	}
+}
+
+// TestSinkAbsentIsFree: Map without a sink behaves exactly as before.
+func TestSinkAbsentIsFree(t *testing.T) {
+	got, err := Map(context.Background(), 3, 0, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Map = (%v, %v)", got, err)
+	}
+}

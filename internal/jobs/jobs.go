@@ -13,11 +13,20 @@
 //	   │          │    ├──► failed
 //	   └──────────┴───────► canceled
 //
-// A job is queued until one of the manager's MaxRunning slots frees,
+// A job is queued until one of its class's MaxRunning slots frees,
 // running while its function executes, and terminal afterwards.
 // Cancellation is cooperative and prompt: Cancel ends the job's
 // context, the engine under it stops dispatching shards, and the
 // workers drain; a job canceled while still queued never runs at all.
+//
+// Scheduling classes: every job carries an engine.Class. Each class has
+// its own execution slots and queue, so saturated batch work never
+// blocks an interactive job from starting, and the job's context
+// carries the class down to the engine, where elastic worker pools draw
+// from the class's share of the process-wide token budget. The batch
+// queue is bounded (MaxQueuedBatch): a submission past the bound is
+// shed with ErrQueueFull instead of growing an unbounded backlog — the
+// service maps that to 429 + Retry-After.
 //
 // Progress comes from the engine's existing shard counters: the job's
 // context carries an engine.Progress (engine.WithProgress), so every
@@ -61,11 +70,23 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// ErrQueueFull reports a shed submission: the batch queue is at its
+// bound and the job was rejected rather than enqueued.
+var ErrQueueFull = errors.New("jobs: batch queue is saturated")
+
 // Options configures a Manager. The zero value gets modest defaults.
 type Options struct {
-	// MaxRunning bounds concurrently executing jobs (default 2); queued
-	// jobs wait for a slot in submission order of slot acquisition.
+	// MaxRunning bounds concurrently executing jobs per class (default
+	// 2); queued jobs wait for a slot in submission order of slot
+	// acquisition. Classes have independent slot sets, so batch
+	// saturation never delays an interactive job.
 	MaxRunning int
+	// MaxQueuedBatch bounds batch-class jobs waiting for a slot
+	// (default 16; negative disables shedding). A batch submission past
+	// the bound fails with ErrQueueFull. Interactive submissions are
+	// never shed — the interactive queue only grows as fast as clients
+	// ask for priority work.
+	MaxQueuedBatch int
 	// MaxRetained bounds terminal jobs kept for polling (default 64).
 	MaxRetained int
 	// TTL bounds how long a terminal job stays pollable (default 10
@@ -83,6 +104,8 @@ type Options struct {
 type Snapshot struct {
 	ID    string `json:"id"`
 	State State  `json:"state"`
+	// Class is the job's scheduling class ("interactive" or "batch").
+	Class string `json:"class"`
 	// ShardsDone / ShardsTotal are the engine's per-job progress:
 	// shards completed vs shards scheduled so far across the job's
 	// whole call tree. Total grows as nested jobs are discovered.
@@ -103,16 +126,26 @@ type Stats struct {
 	Canceled  uint64 `json:"canceled"`
 	// Evicted counts terminal jobs dropped from retention (TTL, the
 	// MaxRetained cap, or an explicit Delete).
-	Evicted  uint64 `json:"evicted"`
+	Evicted uint64 `json:"evicted"`
+	// Shed counts batch submissions rejected because the batch queue
+	// was at its bound (the service's 429s).
+	Shed     uint64 `json:"shed"`
 	Queued   int    `json:"queued"`
 	Running  int    `json:"running"`
 	Retained int    `json:"retained"`
+	// Per-class queue depth and occupancy — the saturation signals the
+	// service exports via /v1/healthz and /v1/stats.
+	QueuedInteractive  int `json:"queued_interactive"`
+	QueuedBatch        int `json:"queued_batch"`
+	RunningInteractive int `json:"running_interactive"`
+	RunningBatch       int `json:"running_batch"`
 }
 
 // job is one submission's record.
 type job[V any] struct {
 	id       string
 	state    State
+	class    engine.Class
 	progress engine.Progress
 	cancel   context.CancelFunc
 	val      V
@@ -126,18 +159,23 @@ type job[V any] struct {
 // Manager owns a set of jobs. Create with New; safe for concurrent use.
 type Manager[V any] struct {
 	opts Options
-	sem  chan struct{}
+	sem  [engine.NumClasses]chan struct{} // per-class execution slots
 
-	mu    sync.Mutex
-	jobs  map[string]*job[V]
-	done  *list.List // terminal jobs, front = most recently finished
-	stats Stats
+	mu      sync.Mutex
+	jobs    map[string]*job[V]
+	done    *list.List // terminal jobs, front = most recently finished
+	queued  [engine.NumClasses]int
+	running [engine.NumClasses]int
+	stats   Stats
 }
 
 // New returns a manager with the given options.
 func New[V any](opts Options) *Manager[V] {
 	if opts.MaxRunning < 1 {
 		opts.MaxRunning = 2
+	}
+	if opts.MaxQueuedBatch == 0 {
+		opts.MaxQueuedBatch = 16
 	}
 	if opts.MaxRetained < 1 {
 		opts.MaxRetained = 64
@@ -148,12 +186,15 @@ func New[V any](opts Options) *Manager[V] {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	return &Manager[V]{
+	m := &Manager[V]{
 		opts: opts,
-		sem:  make(chan struct{}, opts.MaxRunning),
 		jobs: map[string]*job[V]{},
 		done: list.New(),
 	}
+	for c := range m.sem {
+		m.sem[c] = make(chan struct{}, opts.MaxRunning)
+	}
+	return m
 }
 
 // newID returns a fresh, unguessable job ID.
@@ -165,41 +206,55 @@ func newID() string {
 	return "j" + hex.EncodeToString(b[:])
 }
 
-// Submit registers fn as a new job and returns its ID immediately. fn
-// runs on its own goroutine under a context that carries the job's
-// progress sink and is canceled by Cancel (and bounded by
-// Options.Timeout, if set). fn's error classifies the terminal state:
-// nil → done, a context cancellation → canceled, anything else →
-// failed.
-func (m *Manager[V]) Submit(fn func(ctx context.Context) (V, error)) string {
+// Submit registers fn as a new job of the given scheduling class and
+// returns its ID immediately. fn runs on its own goroutine under a
+// context that carries the job's class and progress sink and is
+// canceled by Cancel (and bounded by Options.Timeout, if set). fn's
+// error classifies the terminal state: nil → done, a context
+// cancellation → canceled, anything else → failed.
+//
+// A batch submission is shed with ErrQueueFull when the batch queue is
+// already at MaxQueuedBatch — backpressure instead of unbounded
+// backlog; the caller should retry later.
+func (m *Manager[V]) Submit(class engine.Class, fn func(ctx context.Context) (V, error)) (string, error) {
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job[V]{id: newID(), state: StateQueued, cancel: cancel}
-	ctx = engine.WithProgress(ctx, &j.progress)
+	j := &job[V]{id: newID(), state: StateQueued, class: class, cancel: cancel}
+	ctx = engine.WithClass(engine.WithProgress(ctx, &j.progress), class)
 
 	m.mu.Lock()
-	j.created = m.opts.Now()
 	m.pruneLocked()
+	if class == engine.Batch && m.opts.MaxQueuedBatch > 0 && m.queued[engine.Batch] >= m.opts.MaxQueuedBatch {
+		m.stats.Shed++
+		m.mu.Unlock()
+		cancel()
+		return "", ErrQueueFull
+	}
+	j.created = m.opts.Now()
 	m.jobs[j.id] = j
+	m.queued[class]++
 	m.stats.Submitted++
 	m.mu.Unlock()
 
 	go m.run(ctx, j, fn)
-	return j.id
+	return j.id, nil
 }
 
-// run waits for an execution slot, runs fn, and records the outcome.
+// run waits for the class's execution slot, runs fn, and records the
+// outcome.
 func (m *Manager[V]) run(ctx context.Context, j *job[V], fn func(ctx context.Context) (V, error)) {
 	var zero V
 	select {
-	case m.sem <- struct{}{}:
+	case m.sem[j.class] <- struct{}{}:
 	case <-ctx.Done():
 		// Canceled while queued: terminal without ever running.
 		m.finish(j, zero, ctx.Err())
 		return
 	}
-	defer func() { <-m.sem }()
+	defer func() { <-m.sem[j.class] }()
 
 	m.mu.Lock()
+	m.queued[j.class]--
+	m.running[j.class]++
 	j.state = StateRunning
 	j.started = m.opts.Now()
 	m.mu.Unlock()
@@ -216,6 +271,12 @@ func (m *Manager[V]) run(ctx context.Context, j *job[V], fn func(ctx context.Con
 // finish records the terminal state and moves the job into retention.
 func (m *Manager[V]) finish(j *job[V], v V, err error) {
 	m.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		m.queued[j.class]--
+	case StateRunning:
+		m.running[j.class]--
+	}
 	j.finished = m.opts.Now()
 	switch {
 	case err == nil:
@@ -313,8 +374,10 @@ func (m *Manager[V]) Delete(id string) (Snapshot, bool) {
 	return snap, true
 }
 
-// Snapshots lists every live job, most recently created first (ID as
-// tiebreak).
+// Snapshots lists every live job in deterministic creation order:
+// oldest first, ID as the tiebreak for equal timestamps. The listing
+// order is a wire contract (GET /v1/jobs) pinned by tests — it must
+// never depend on map iteration order or sort instability.
 func (m *Manager[V]) Snapshots() []Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -325,7 +388,7 @@ func (m *Manager[V]) Snapshots() []Snapshot {
 	}
 	sort.Slice(out, func(i, k int) bool {
 		if !out[i].CreatedAt.Equal(out[k].CreatedAt) {
-			return out[i].CreatedAt.After(out[k].CreatedAt)
+			return out[i].CreatedAt.Before(out[k].CreatedAt)
 		}
 		return out[i].ID < out[k].ID
 	})
@@ -338,14 +401,12 @@ func (m *Manager[V]) Stats() Stats {
 	defer m.mu.Unlock()
 	m.pruneLocked()
 	s := m.stats
-	for _, j := range m.jobs {
-		switch j.state {
-		case StateQueued:
-			s.Queued++
-		case StateRunning:
-			s.Running++
-		}
-	}
+	s.QueuedInteractive = m.queued[engine.Interactive]
+	s.QueuedBatch = m.queued[engine.Batch]
+	s.RunningInteractive = m.running[engine.Interactive]
+	s.RunningBatch = m.running[engine.Batch]
+	s.Queued = s.QueuedInteractive + s.QueuedBatch
+	s.Running = s.RunningInteractive + s.RunningBatch
 	s.Retained = m.done.Len()
 	return s
 }
@@ -356,6 +417,7 @@ func (m *Manager[V]) snapshotLocked(j *job[V]) Snapshot {
 	s := Snapshot{
 		ID:          j.id,
 		State:       j.state,
+		Class:       j.class.String(),
 		ShardsDone:  done,
 		ShardsTotal: total,
 		CreatedAt:   j.created,

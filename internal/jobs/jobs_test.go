@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -12,7 +12,19 @@ import (
 	"time"
 
 	"gpuvar/internal/engine"
+	"gpuvar/internal/testutil"
 )
+
+// mustSubmit submits a job and fails the test on a shed (tests that
+// exercise shedding call Submit directly).
+func mustSubmit(t *testing.T, m *Manager[string], class engine.Class, fn func(ctx context.Context) (string, error)) string {
+	t.Helper()
+	id, err := m.Submit(class, fn)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	return id
+}
 
 // waitFor polls cond for up to 10s.
 func waitFor(t *testing.T, cond func() bool) {
@@ -48,7 +60,7 @@ func await(t *testing.T, m *Manager[string], id string) Snapshot {
 // value.
 func TestLifecycleSubmitPollFetch(t *testing.T) {
 	m := New[string](Options{})
-	id := m.Submit(func(ctx context.Context) (string, error) {
+	id := mustSubmit(t, m, engine.Batch, func(ctx context.Context) (string, error) {
 		_, err := engine.Map(ctx, 8, 2, func(context.Context, int) (int, error) { return 0, nil })
 		return "payload", err
 	})
@@ -80,7 +92,7 @@ func TestProgressMonotonicWhilePolling(t *testing.T) {
 	m := New[string](Options{})
 	const shards = 5
 	step := make(chan struct{})
-	id := m.Submit(func(ctx context.Context) (string, error) {
+	id := mustSubmit(t, m, engine.Batch, func(ctx context.Context) (string, error) {
 		_, err := engine.Map(ctx, shards, 1, func(context.Context, int) (int, error) {
 			<-step
 			return 0, nil
@@ -110,11 +122,11 @@ func TestProgressMonotonicWhilePolling(t *testing.T) {
 // context, the engine under it drains, the job turns canceled, and no
 // goroutines leak.
 func TestCancelMidRunFreesWorkers(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leak := testutil.LeakCheck(t, 2)
 	m := New[string](Options{})
 	running := make(chan struct{})
 	var once sync.Once
-	id := m.Submit(func(ctx context.Context) (string, error) {
+	id := mustSubmit(t, m, engine.Batch, func(ctx context.Context) (string, error) {
 		_, err := engine.Map(ctx, 64, 4, func(ctx context.Context, _ int) (int, error) {
 			once.Do(func() { close(running) })
 			<-ctx.Done() // a long shard that honors cancellation
@@ -135,7 +147,7 @@ func TestCancelMidRunFreesWorkers(t *testing.T) {
 	}
 	waitFor(t, func() bool { return engine.Snapshot().InFlightJobs == 0 })
 	// Goroutine-leak check: everything spawned for the job unwinds.
-	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
+	leak()
 	if st := m.Stats(); st.Canceled != 1 {
 		t.Fatalf("stats = %+v, want 1 canceled", st)
 	}
@@ -147,13 +159,13 @@ func TestCancelMidRunFreesWorkers(t *testing.T) {
 func TestCancelQueuedNeverRuns(t *testing.T) {
 	m := New[string](Options{MaxRunning: 1})
 	block := make(chan struct{})
-	first := m.Submit(func(ctx context.Context) (string, error) {
+	first := mustSubmit(t, m, engine.Batch, func(ctx context.Context) (string, error) {
 		<-block
 		return "first", nil
 	})
 	waitFor(t, func() bool { s, _ := m.Get(first); return s.State == StateRunning })
 	var ran atomic.Bool
-	second := m.Submit(func(ctx context.Context) (string, error) {
+	second := mustSubmit(t, m, engine.Batch, func(ctx context.Context) (string, error) {
 		ran.Store(true)
 		return "second", nil
 	})
@@ -178,7 +190,7 @@ func TestCancelQueuedNeverRuns(t *testing.T) {
 func TestFailureClassification(t *testing.T) {
 	m := New[string](Options{})
 	boom := errors.New("boom")
-	id := m.Submit(func(context.Context) (string, error) { return "", boom })
+	id := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "", boom })
 	snap := await(t, m, id)
 	if snap.State != StateFailed || snap.Error != "boom" {
 		t.Fatalf("snapshot = %+v, want failed/boom", snap)
@@ -192,7 +204,7 @@ func TestFailureClassification(t *testing.T) {
 // DeadlineExceeded instead of running forever.
 func TestTimeoutFailsJob(t *testing.T) {
 	m := New[string](Options{Timeout: 5 * time.Millisecond})
-	id := m.Submit(func(ctx context.Context) (string, error) {
+	id := mustSubmit(t, m, engine.Batch, func(ctx context.Context) (string, error) {
 		<-ctx.Done()
 		return "", ctx.Err()
 	})
@@ -225,7 +237,7 @@ func (c *fakeClock) Advance(d time.Duration) {
 func TestTTLEviction(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1000, 0)}
 	m := New[string](Options{TTL: time.Minute, Now: clk.Now})
-	id := m.Submit(func(context.Context) (string, error) { return "v", nil })
+	id := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "v", nil })
 	await(t, m, id)
 
 	clk.Advance(30 * time.Second)
@@ -248,7 +260,7 @@ func TestRetentionCap(t *testing.T) {
 	ids := make([]string, 3)
 	for i := range ids {
 		i := i
-		ids[i] = m.Submit(func(context.Context) (string, error) { return fmt.Sprint(i), nil })
+		ids[i] = mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return fmt.Sprint(i), nil })
 		await(t, m, ids[i]) // serialize so finish order is deterministic
 	}
 	if _, ok := m.Get(ids[0]); ok {
@@ -268,7 +280,7 @@ func TestRetentionCap(t *testing.T) {
 // is no longer fetchable.
 func TestDeleteForgetsTerminal(t *testing.T) {
 	m := New[string](Options{})
-	id := m.Submit(func(context.Context) (string, error) { return "v", nil })
+	id := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "v", nil })
 	await(t, m, id)
 	if snap, ok := m.Delete(id); !ok || snap.State != StateDone {
 		t.Fatalf("Delete = (%+v, %v), want the done snapshot", snap, ok)
@@ -278,13 +290,16 @@ func TestDeleteForgetsTerminal(t *testing.T) {
 	}
 }
 
-// TestSnapshotsOrdered: the listing is newest-first.
+// TestSnapshotsOrdered pins the listing's wire contract: deterministic
+// creation order (oldest first), with the ID breaking ties — never map
+// iteration order. The fake clock freezes time across a batch of
+// submissions so the ID tiebreak is actually exercised.
 func TestSnapshotsOrdered(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1000, 0)}
 	m := New[string](Options{Now: clk.Now})
 	var ids []string
 	for i := 0; i < 3; i++ {
-		id := m.Submit(func(context.Context) (string, error) { return "", nil })
+		id := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "", nil })
 		await(t, m, id)
 		ids = append(ids, id)
 		clk.Advance(time.Second)
@@ -293,9 +308,115 @@ func TestSnapshotsOrdered(t *testing.T) {
 	if len(snaps) != 3 {
 		t.Fatalf("got %d snapshots, want 3", len(snaps))
 	}
-	for i, id := range []string{ids[2], ids[1], ids[0]} {
+	for i, id := range ids {
 		if snaps[i].ID != id {
-			t.Fatalf("snapshots[%d] = %s, want %s (newest first)", i, snaps[i].ID, id)
+			t.Fatalf("snapshots[%d] = %s, want %s (creation order, oldest first)", i, snaps[i].ID, id)
 		}
+	}
+}
+
+// TestSnapshotsTiebreakByID: jobs created at the identical instant are
+// ordered by ID — the listing stays deterministic even when the clock
+// cannot distinguish them. Repeated rounds would flush out any reliance
+// on map iteration order.
+func TestSnapshotsTiebreakByID(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)} // never advanced: all CreatedAt equal
+	m := New[string](Options{Now: clk.Now})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		id := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "", nil })
+		await(t, m, id)
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for round := 0; round < 5; round++ {
+		snaps := m.Snapshots()
+		if len(snaps) != len(ids) {
+			t.Fatalf("round %d: got %d snapshots, want %d", round, len(snaps), len(ids))
+		}
+		for i, id := range ids {
+			if snaps[i].ID != id {
+				t.Fatalf("round %d: snapshots[%d] = %s, want %s (ID tiebreak)", round, i, snaps[i].ID, id)
+			}
+		}
+	}
+}
+
+// TestPerClassSlotsAndShedding pins the priority scheduling contract:
+// with every batch slot busy and the batch queue at its bound, (a) a
+// further batch submission is shed with ErrQueueFull, and (b) an
+// interactive job still starts and completes — batch saturation never
+// blocks the interactive class.
+func TestPerClassSlotsAndShedding(t *testing.T) {
+	m := New[string](Options{MaxRunning: 1, MaxQueuedBatch: 1})
+	block := make(chan struct{})
+	runningBatch := mustSubmit(t, m, engine.Batch, func(ctx context.Context) (string, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return "batch-1", nil
+	})
+	waitFor(t, func() bool { s, _ := m.Get(runningBatch); return s.State == StateRunning })
+	queuedBatch := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "batch-2", nil })
+	if s, _ := m.Get(queuedBatch); s.State != StateQueued {
+		t.Fatalf("second batch job state = %s, want queued", s.State)
+	}
+
+	// The batch queue is full: the next batch submission is shed.
+	if _, err := m.Submit(engine.Batch, func(context.Context) (string, error) { return "", nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit past the batch queue bound = %v, want ErrQueueFull", err)
+	}
+	st := m.Stats()
+	if st.Shed != 1 || st.QueuedBatch != 1 || st.RunningBatch != 1 {
+		t.Fatalf("stats = %+v, want shed=1, queued_batch=1, running_batch=1", st)
+	}
+
+	// Interactive has its own slots and is never shed: it runs to
+	// completion while batch is saturated.
+	inter := mustSubmit(t, m, engine.Interactive, func(ctx context.Context) (string, error) {
+		if engine.ClassFrom(ctx) != engine.Interactive {
+			return "", errors.New("job context lost its class")
+		}
+		return "priority", nil
+	})
+	snap := await(t, m, inter)
+	if snap.State != StateDone || snap.Class != "interactive" {
+		t.Fatalf("interactive job = %+v, want done with class interactive", snap)
+	}
+	if v, _, _ := m.Result(inter); v != "priority" {
+		t.Fatalf("interactive result = %q", v)
+	}
+
+	close(block)
+	await(t, m, runningBatch)
+	if snap := await(t, m, queuedBatch); snap.State != StateDone || snap.Class != "batch" {
+		t.Fatalf("queued batch job = %+v, want done with class batch", snap)
+	}
+}
+
+// TestShedQueueReopensAfterDrain: shedding is a transient signal — once
+// the queued batch job gets its slot, submissions are accepted again.
+func TestShedQueueReopensAfterDrain(t *testing.T) {
+	m := New[string](Options{MaxRunning: 1, MaxQueuedBatch: 1})
+	block := make(chan struct{})
+	first := mustSubmit(t, m, engine.Batch, func(ctx context.Context) (string, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return "", nil
+	})
+	waitFor(t, func() bool { s, _ := m.Get(first); return s.State == StateRunning })
+	second := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "", nil })
+	if _, err := m.Submit(engine.Batch, func(context.Context) (string, error) { return "", nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull while the queue is at its bound, got %v", err)
+	}
+	close(block)
+	await(t, m, first)
+	await(t, m, second)
+	third := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "", nil })
+	if snap := await(t, m, third); snap.State != StateDone {
+		t.Fatalf("post-drain submission ended %s, want done", snap.State)
 	}
 }

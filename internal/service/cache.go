@@ -141,6 +141,16 @@ func (c *resultCache) insert(key string, res *cachedResponse) {
 	}
 }
 
+// prime inserts a complete response that was assembled outside the
+// flight layer — the streaming handlers build their bodies
+// incrementally and deposit the verified result here, so a later
+// synchronous request for the same fingerprint replays it as a hit.
+func (c *resultCache) prime(key string, res *cachedResponse) {
+	c.mu.Lock()
+	c.insert(key, res)
+	c.mu.Unlock()
+}
+
 // Stats snapshots the counters.
 func (c *resultCache) Stats() CacheStats {
 	c.mu.Lock()

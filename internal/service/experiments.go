@@ -72,13 +72,20 @@ type experimentResponse struct {
 	GPUs    []gpuView         `json:"gpus,omitempty"`
 }
 
+// experimentCacheKey fingerprints a normalized experiment request —
+// shared by the synchronous handler and the streaming handler so either
+// primes the other's cache entry.
+func experimentCacheKey(req experimentRequest) string {
+	return fmt.Sprintf("experiment|%+v", req)
+}
+
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	req, exp, status, err := parseExperiment(r)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
-	key := fmt.Sprintf("experiment|%+v", req)
+	key := experimentCacheKey(req)
 	s.serveCached(w, r, key, func(ctx context.Context) (*cachedResponse, error) {
 		res, err := core.RunCtx(ctx, exp)
 		if err != nil {
@@ -123,7 +130,9 @@ func parseExperiment(r *http.Request) (experimentRequest, core.Experiment, int, 
 	}
 	if v := q.Get("fraction"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 || f > 1 {
+		// !(f > 0 && f <= 1) so NaN — which query strings can spell,
+		// unlike JSON bodies — fails too.
+		if err != nil || !(f > 0 && f <= 1) {
 			return req, core.Experiment{}, http.StatusBadRequest,
 				fmt.Errorf("bad fraction %q: want 0 < f <= 1", v)
 		}

@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 
+	"gpuvar/internal/engine"
 	"gpuvar/internal/jobs"
 )
 
@@ -45,9 +47,51 @@ const maxJobBody = 1 << 16
 type jobRequest struct {
 	// Kind selects the payload: "sweep" (POST /v1/sweep's body) or
 	// "campaign" (POST /v1/campaign's body).
-	Kind     string           `json:"kind"`
+	Kind string `json:"kind"`
+	// Class selects the scheduling class: "batch" (the default — async
+	// jobs are throughput work) or "interactive" to jump ahead of
+	// saturated batch queues and draw from the interactive share of the
+	// engine's worker budget.
+	Class    string           `json:"class,omitempty"`
 	Sweep    *sweepRequest    `json:"sweep,omitempty"`
 	Campaign *campaignRequest `json:"campaign,omitempty"`
+}
+
+// jobComputation validates and normalizes a job envelope into its cache
+// key, scheduling class, and computation — shared by the submit handler
+// and the envelope fuzz target so they can never drift. status is the
+// HTTP code to use when err != nil.
+func jobComputation(req *jobRequest) (key string, class engine.Class, compute func(ctx context.Context) (*cachedResponse, error), status int, err error) {
+	// Async jobs default to the batch class; the empty spelling of
+	// ParseClass means interactive, so map it explicitly.
+	class = engine.Batch
+	if req.Class != "" {
+		class, err = engine.ParseClass(req.Class)
+		if err != nil {
+			return "", 0, nil, http.StatusBadRequest, err
+		}
+	}
+	switch req.Kind {
+	case "sweep":
+		if req.Sweep == nil {
+			return "", 0, nil, http.StatusBadRequest,
+				errors.New(`kind "sweep" requires a "sweep" payload (the POST /v1/sweep body)`)
+		}
+		key, compute, status, err = sweepComputation(req.Sweep)
+	case "campaign":
+		if req.Campaign == nil {
+			return "", 0, nil, http.StatusBadRequest,
+				errors.New(`kind "campaign" requires a "campaign" payload (the POST /v1/campaign body)`)
+		}
+		key, compute, status, err = campaignComputation(req.Campaign)
+	default:
+		return "", 0, nil, http.StatusBadRequest,
+			fmt.Errorf(`bad kind %q: want "sweep" or "campaign"`, req.Kind)
+	}
+	if err != nil {
+		return "", 0, nil, status, err
+	}
+	return key, class, compute, 0, nil
 }
 
 // jobView is one job in wire form: the manager's snapshot plus the
@@ -93,28 +137,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// Validation and normalization happen synchronously, so a malformed
 	// submission is rejected with 400/404 up front; only well-formed
 	// computations become jobs.
-	var (
-		key     string
-		compute func(ctx context.Context) (*cachedResponse, error)
-		status  int
-	)
-	switch req.Kind {
-	case "sweep":
-		if req.Sweep == nil {
-			writeError(w, http.StatusBadRequest, `kind "sweep" requires a "sweep" payload (the POST /v1/sweep body)`)
-			return
-		}
-		key, compute, status, err = sweepComputation(req.Sweep)
-	case "campaign":
-		if req.Campaign == nil {
-			writeError(w, http.StatusBadRequest, `kind "campaign" requires a "campaign" payload (the POST /v1/campaign body)`)
-			return
-		}
-		key, compute, status, err = campaignComputation(req.Campaign)
-	default:
-		writeError(w, http.StatusBadRequest, `bad kind %q: want "sweep" or "campaign"`, req.Kind)
-		return
-	}
+	key, class, compute, status, err := jobComputation(&req)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
@@ -123,10 +146,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// The job runs the computation through the response cache: it
 	// coalesces with identical synchronous requests and other jobs, and
 	// its complete result lands in the LRU for both paths to replay.
-	id := s.jobs.Submit(func(ctx context.Context) (*cachedResponse, error) {
+	id, err := s.jobs.Submit(class, func(ctx context.Context) (*cachedResponse, error) {
 		res, _, err := s.cache.do(ctx, key, compute)
 		return res, err
 	})
+	if errors.Is(err, jobs.ErrQueueFull) {
+		// Shedding: the batch queue is saturated. 429 + Retry-After is
+		// backpressure, not failure — the client should resubmit (or
+		// use class "interactive" for genuinely urgent work).
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusTooManyRequests,
+			"batch job queue is full (%d queued); retry later or submit with class \"interactive\"",
+			s.jobs.Stats().QueuedBatch)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	snap, _ := s.jobs.Get(id)
 	w.Header().Set("Location", jobURL(id))
 	writeJSON(w, http.StatusAccepted, s.jobView(snap))

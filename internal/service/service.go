@@ -10,13 +10,22 @@
 //	POST   /v1/campaign           one campaign simulation (params via body)
 //	POST   /v1/sweep              a bounded variant-axis sweep (powercap,
 //	                              seed, ambient, or fraction)
+//	GET    /v1/stream/sweep       the same sweep streamed as NDJSON, one
+//	                              line per variant (see stream.go)
+//	GET    /v1/stream/experiments/{name}
+//	                              an experiment streamed as NDJSON, one
+//	                              line per shard
 //	POST   /v1/jobs               async submission of a sweep/campaign →
-//	                              202 + poll URL (see jobs.go)
-//	GET    /v1/jobs               list live jobs
+//	                              202 + poll URL (see jobs.go); "class"
+//	                              selects interactive or batch (default)
+//	                              scheduling, and saturated batch queues
+//	                              shed with 429 + Retry-After
+//	GET    /v1/jobs               list live jobs (creation order)
 //	GET    /v1/jobs/{id}          job state + per-shard progress
 //	GET    /v1/jobs/{id}/result   finished job's response (replayable)
 //	DELETE /v1/jobs/{id}          cancel / forget a job
-//	GET    /v1/stats              cache/session/engine/job counters
+//	GET    /v1/stats              cache/session/engine/job counters,
+//	                              per-class queue depth, budget occupancy
 //	GET    /v1/healthz            liveness + the same counters
 //
 // Every expensive response is produced through a fingerprint-keyed LRU
@@ -89,10 +98,15 @@ type Options struct {
 	// computations outlive RequestTimeout, so this budget is the
 	// longer, batch-class one.
 	JobTimeout time.Duration
-	// MaxRunningJobs bounds concurrently executing async jobs (default
-	// 2), keeping batch work from starving interactive requests of
-	// engine workers.
+	// MaxRunningJobs bounds concurrently executing async jobs per
+	// scheduling class (default 2). Classes have independent slots, so
+	// batch saturation never delays an interactive-class job.
 	MaxRunningJobs int
+	// MaxQueuedJobs bounds batch-class jobs waiting for an execution
+	// slot (default 16; negative disables shedding). A batch submission
+	// past the bound answers 429 + Retry-After instead of growing an
+	// unbounded backlog.
+	MaxQueuedJobs int
 	// MaxRetainedJobs bounds finished jobs kept for polling (default
 	// 256; oldest evicted first). The default leaves generous headroom
 	// so a submitter briefly descheduled between its 202 and its first
@@ -135,6 +149,9 @@ func New(opts Options) *Server {
 	if opts.MaxRunningJobs <= 0 {
 		opts.MaxRunningJobs = 2
 	}
+	if opts.MaxQueuedJobs == 0 {
+		opts.MaxQueuedJobs = 16
+	}
 	if opts.MaxRetainedJobs <= 0 {
 		opts.MaxRetainedJobs = 256
 	}
@@ -147,10 +164,11 @@ func New(opts Options) *Server {
 		cache:    newResultCache(opts.ResponseCacheSize),
 		sessions: newSessionPool(opts.SessionCacheSize),
 		jobs: jobs.New[*cachedResponse](jobs.Options{
-			MaxRunning:  opts.MaxRunningJobs,
-			MaxRetained: opts.MaxRetainedJobs,
-			TTL:         opts.JobTTL,
-			Timeout:     opts.JobTimeout,
+			MaxRunning:     opts.MaxRunningJobs,
+			MaxQueuedBatch: opts.MaxQueuedJobs,
+			MaxRetained:    opts.MaxRetainedJobs,
+			TTL:            opts.JobTTL,
+			Timeout:        opts.JobTimeout,
 		}),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
@@ -160,6 +178,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/stream/sweep", s.handleStreamSweep)
+	s.mux.HandleFunc("GET /v1/stream/experiments/{name}", s.handleStreamExperiment)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)

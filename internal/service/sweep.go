@@ -6,7 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/core"
@@ -101,6 +105,40 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, key, compute)
 }
 
+// sweepCacheKey fingerprints a NORMALIZED sweep request. The
+// synchronous handler, the async job path, and the streaming handler
+// all key the response cache with it, so any of them primes the others.
+func sweepCacheKey(r sweepRequest) string { return fmt.Sprintf("sweep|%+v", r) }
+
+// sweepVariantView projects one variant point into the wire schema —
+// shared by the synchronous renderer and the streaming handler's
+// per-shard chunks, which is one half of the stream's byte-identity
+// guarantee.
+func sweepVariantView(axis core.VariantAxis, p core.VariantPoint) sweepVariant {
+	v := sweepVariant{
+		Value:    p.Value,
+		GPUs:     len(p.Result.PerAG),
+		MedianMs: p.MedianMs,
+		PerfVar:  p.PerfVar,
+		Outliers: p.NOutliers,
+	}
+	if axis == core.AxisPowerCap {
+		val := p.Value
+		v.CapW = &val
+	}
+	return v
+}
+
+// renderSweep marshals a completed sweep into the synchronous response
+// body.
+func renderSweep(req sweepRequest, axis core.VariantAxis, points []core.VariantPoint) (*cachedResponse, error) {
+	out := sweepResponse{Request: req, Variants: make([]sweepVariant, len(points))}
+	for i, p := range points {
+		out.Variants[i] = sweepVariantView(axis, p)
+	}
+	return jsonResponse(out)
+}
+
 // sweepComputation normalizes the request and returns the cache key
 // plus the computation that renders the response — shared verbatim by
 // the synchronous handler and the async job path, which is what makes
@@ -111,30 +149,89 @@ func sweepComputation(req *sweepRequest) (key string, compute func(ctx context.C
 		return "", nil, status, err
 	}
 	r := *req
-	key = fmt.Sprintf("sweep|%+v", r)
+	key = sweepCacheKey(r)
 	compute = func(ctx context.Context) (*cachedResponse, error) {
 		points, err := core.VariantSweepCtx(ctx, exp, axis, r.Values)
 		if err != nil {
 			return nil, err
 		}
-		out := sweepResponse{Request: r, Variants: make([]sweepVariant, len(points))}
-		for i, p := range points {
-			v := sweepVariant{
-				Value:    p.Value,
-				GPUs:     len(p.Result.PerAG),
-				MedianMs: p.MedianMs,
-				PerfVar:  p.PerfVar,
-				Outliers: p.NOutliers,
-			}
-			if axis == core.AxisPowerCap {
-				val := p.Value
-				v.CapW = &val
-			}
-			out.Variants[i] = v
-		}
-		return jsonResponse(out)
+		return renderSweep(r, axis, points)
 	}
 	return key, compute, 0, nil
+}
+
+// sweepRequestFromQuery builds a sweep request from URL query
+// parameters — the GET /v1/stream/sweep spelling of the POST body.
+// Validation and defaulting happen in normalizeSweep, exactly as for
+// the synchronous endpoint, so both spellings share one fingerprint —
+// and unknown parameters are rejected with the same strictness the
+// POST body gets from DisallowUnknownFields (a typoed knob must fail,
+// not silently compute with the default).
+func sweepRequestFromQuery(q url.Values) (sweepRequest, error) {
+	var req sweepRequest
+	for k := range q {
+		switch k {
+		case "workload", "cluster", "axis", "seed", "fraction", "runs", "iterations", "values", "caps_w":
+		default:
+			return req, fmt.Errorf("unknown parameter %q", k)
+		}
+	}
+	req.Workload = q.Get("workload")
+	req.Cluster = q.Get("cluster")
+	req.Axis = q.Get("axis")
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+		req.Seed = n
+	}
+	if v := q.Get("fraction"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		// Unlike JSON bodies, query strings can spell NaN/Inf — reject
+		// them here as the client error they are.
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			return req, fmt.Errorf("bad fraction %q: want a finite number", v)
+		}
+		req.Fraction = f
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"runs", &req.Runs}, {"iterations", &req.Iterations}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return req, fmt.Errorf("bad %s %q: %v", p.name, v, err)
+			}
+			*p.dst = n
+		}
+	}
+	var err error
+	if req.Values, err = parseFloatList(q.Get("values")); err != nil {
+		return req, fmt.Errorf("bad values: %v", err)
+	}
+	if req.CapsW, err = parseFloatList(q.Get("caps_w")); err != nil {
+		return req, fmt.Errorf("bad caps_w: %v", err)
+	}
+	return req, nil
+}
+
+// parseFloatList parses a comma-separated float list ("" = nil).
+func parseFloatList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("element %d %q is not a number", i, p)
+		}
+		out[i] = f
+	}
+	return out, nil
 }
 
 // normalizeSweep validates the request, resolves names, folds the
@@ -191,7 +288,7 @@ func normalizeSweep(req *sweepRequest) (core.Experiment, core.VariantAxis, int, 
 	if req.Seed == 0 {
 		req.Seed = 2022
 	}
-	if req.Fraction <= 0 || req.Fraction > 1 {
+	if !(req.Fraction > 0 && req.Fraction <= 1) { // written so NaN folds to the default too
 		req.Fraction = 1
 	}
 	if req.Runs < 1 {

@@ -1,0 +1,42 @@
+// Package testutil holds helpers shared by the test suites of the
+// concurrent layers (engine, jobs, service). Production packages must
+// not import it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the current goroutine count and returns a check
+// function that fails t if the count has not returned to the baseline
+// (plus slack) within 5 seconds. It is the goroutine-leak assertion
+// behind every cancellation, streaming, and mid-stream-disconnect test:
+//
+//	leak := testutil.LeakCheck(t, 0)
+//	... spawn and cancel work ...
+//	leak()
+//
+// slack allows for goroutines that legitimately outlive the scenario
+// for a moment (e.g. an http.Server's per-connection goroutine draining
+// after the client went away). On failure the full stack dump of every
+// live goroutine is included, so the leaked one is identifiable.
+func LeakCheck(t testing.TB, slack int) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before+slack {
+				return
+			}
+			runtime.Gosched()
+			time.Sleep(time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak: %d before, %d after (slack %d)\n%s",
+			before, runtime.NumGoroutine(), slack, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -33,6 +33,17 @@ func ByName(name string, sku *gpu.SKU) (Workload, error) {
 	case "pagerank":
 		return PageRank(643994, 6250000, sku), nil
 	default:
+		// Also accept a workload's resolved display name (e.g. the
+		// "SGEMM-25536" a normalized request echoes back in its request
+		// section), so the canonical form every endpoint emits is itself
+		// a valid input: request normalization stays idempotent, which
+		// FuzzSweepRequest pins. Display names are distinct per shape,
+		// so the lookup is unambiguous.
+		for _, n := range Names() {
+			if wl, err := ByName(n, sku); err == nil && strings.EqualFold(wl.Name, name) {
+				return wl, nil
+			}
+		}
 		return Workload{}, fmt.Errorf("unknown workload %q (known: %s)",
 			name, strings.Join(Names(), ", "))
 	}

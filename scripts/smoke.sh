@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end serving smoke: build gpuvard, boot it, and drive a short
-# concurrent loadgen mix — figures, a variant-axis sweep, and the async
-# job path (submit → poll progress → fetch result) — asserting zero
+# concurrent loadgen mix — figures, a variant-axis sweep, the async job
+# path (submit → poll progress → fetch result), and the streaming
+# endpoints (NDJSON reassembled and checked byte-identical to the
+# synchronous responses, time-to-first-line reported) — asserting zero
 # failed responses and byte-identity across every path. CI runs this as
 # its integration job so the serving stack is exercised by a real
 # server process, not just httptest.
@@ -44,25 +46,25 @@ for i in $(seq 1 100); do
     fi
 done
 
-echo "==> smoke: loadgen mix (figures + sweep + async jobs) for $DURATION"
+echo "==> smoke: loadgen mix (figures + sweep + async jobs + streams) for $DURATION"
 "${BIN%/*}/loadgen" -url "http://$ADDR" \
     -paths /v1/figures/fig2,/v1/figures/tab1,/v1/experiments/sgemm?cluster=CloudLab \
     -sweep '{"cluster":"CloudLab","axis":"powercap","values":[300,250,200]}' \
-    -jobs \
+    -jobs -stream \
     -c 16 -duration "$DURATION"
 
-echo "==> smoke: exercising the remaining axes synchronously"
+echo "==> smoke: exercising the remaining axes synchronously and streamed"
 "${BIN%/*}/loadgen" -url "http://$ADDR" \
     -paths /v1/figures/tab1 \
     -sweep '{"cluster":"CloudLab","axis":"seed","values":[7,8]}' \
-    -c 4 -n 32
+    -stream -c 4 -n 32
 "${BIN%/*}/loadgen" -url "http://$ADDR" \
     -paths /v1/figures/tab1 \
     -sweep '{"cluster":"CloudLab","axis":"ambient","values":[-2,2]}' \
-    -c 4 -n 32
+    -stream -c 4 -n 32
 "${BIN%/*}/loadgen" -url "http://$ADDR" \
     -paths /v1/figures/tab1 \
     -sweep '{"cluster":"CloudLab","axis":"fraction","values":[1,0.5]}' \
-    -c 4 -n 32
+    -stream -c 4 -n 32
 
 echo "smoke: OK"
