@@ -35,6 +35,17 @@ func benchConfig() figures.Config {
 	}
 }
 
+// benchServer assembles a journal-less bench server (New cannot fail
+// without a data dir).
+func benchServer(b *testing.B) *service.Server {
+	b.Helper()
+	srv, err := service.New(service.Options{Figures: benchConfig()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
 // benchFigure runs one generator per iteration on a fresh session:
 // experiment results are not cached across iterations, so the timing
 // covers the experiment itself. Fleet instantiation does amortize across
@@ -99,7 +110,7 @@ func BenchmarkExtNextGen(b *testing.B)   { benchFigure(b, "ext-nextgen") }
 func BenchmarkServiceSweep(b *testing.B) {
 	const body = `{"cluster":"CloudLab","iterations":6,"caps_w":[300,250,200,150]}`
 	for i := 0; i < b.N; i++ {
-		srv := service.New(service.Options{Figures: benchConfig()})
+		srv := benchServer(b)
 		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
 		req.Header.Set("Content-Type", "application/json")
 		rec := httptest.NewRecorder()
@@ -117,7 +128,7 @@ func BenchmarkServiceSweep(b *testing.B) {
 func BenchmarkServiceSweepFractionAxis(b *testing.B) {
 	const body = `{"cluster":"CloudLab","iterations":6,"axis":"fraction","values":[1,0.75,0.5,0.25]}`
 	for i := 0; i < b.N; i++ {
-		srv := service.New(service.Options{Figures: benchConfig()})
+		srv := benchServer(b)
 		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
 		req.Header.Set("Content-Type", "application/json")
 		rec := httptest.NewRecorder()
@@ -180,7 +191,7 @@ func benchRunJob(b *testing.B, srv *service.Server, body string) {
 // client pays on top of the computation — independent of the iteration
 // count.
 func BenchmarkServiceJobSubmitPoll(b *testing.B) {
-	srv := service.New(service.Options{Figures: benchConfig()})
+	srv := benchServer(b)
 	const body = `{"kind":"sweep","sweep":{"cluster":"CloudLab","iterations":6,"axis":"powercap","values":[300,250]}}`
 	benchRunJob(b, srv, body) // warm the underlying sweep computation
 	b.ResetTimer()
@@ -197,7 +208,7 @@ func BenchmarkServiceJobSubmitPoll(b *testing.B) {
 // response cache on the way in), so this is the steady-state cost of a
 // warm-fleet streamed request.
 func BenchmarkServiceStreamSweep(b *testing.B) {
-	srv := service.New(service.Options{Figures: benchConfig()})
+	srv := benchServer(b)
 	const target = "/v1/stream/sweep?cluster=CloudLab&iterations=6&axis=powercap&values=300,250"
 	for i := 0; i < b.N; i++ {
 		req := httptest.NewRequest("GET", target, nil)
@@ -226,13 +237,33 @@ func BenchmarkEngineClassedMap(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRetryOverhead measures what an ARMED retry policy
+// costs when nothing fails: the same 64-shard no-op Map as
+// BenchmarkEngineClassedMap, but with a 3-attempt retry policy on the
+// context. The fault-free delta against EngineClassedMap is the entire
+// price of the resilience layer in production — by design a policy
+// resolution per Map plus one disarmed fault-registry check (a single
+// atomic load) per shard attempt, so the two benchmarks should be
+// within noise of each other.
+func BenchmarkEngineRetryOverhead(b *testing.B) {
+	ctx := engine.WithClass(context.Background(), engine.Batch)
+	ctx = engine.WithRetry(ctx, engine.RetryPolicy{MaxAttempts: 3})
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Map(ctx, 64, 0, func(context.Context, int) (int, error) {
+			return 0, nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServiceFigureHit measures the serving hot path of
 // internal/service: a fully cached figure request (fingerprint lookup +
 // byte replay through the HTTP stack). This is the per-request cost the
 // server pays once a result is warm — the number that bounds peak
 // cache-hit throughput.
 func BenchmarkServiceFigureHit(b *testing.B) {
-	srv := service.New(service.Options{Figures: benchConfig()})
+	srv := benchServer(b)
 	warm := httptest.NewRequest("GET", "/v1/figures/tab1", nil)
 	rr := httptest.NewRecorder()
 	srv.ServeHTTP(rr, warm)

@@ -45,6 +45,21 @@
 // job graphs cannot oversubscribe the scheduler. The fleet cache's LRU
 // bound (-fleet-cache) caps how many distinct (spec, seed) fleets the
 // server retains.
+//
+// Resilience (see the doc.go "Resilience" section for the full story):
+//
+//	-retries 3 -retry-backoff 1ms   per-shard retry of transient failures
+//	-hedge-after 200ms              duplicate straggling shard attempts
+//	-data-dir /var/lib/gpuvar       crash-safe async jobs: lifecycle +
+//	                                results journaled and replayed on boot
+//	-journal-sync terminal          journal fsync policy (terminal,
+//	                                always, never)
+//	-faults 'engine.shard.pre=error:0.3'
+//	                                arm fault injection for chaos drills
+//	                                (also $GPUVARD_FAULTS); sites and
+//	                                trigger counts appear on /v1/healthz,
+//	                                which reports status "degraded" while
+//	                                armed
 package main
 
 import (
@@ -60,7 +75,9 @@ import (
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/engine"
+	"gpuvar/internal/faults"
 	"gpuvar/internal/figures"
+	"gpuvar/internal/jobs"
 	"gpuvar/internal/service"
 )
 
@@ -79,12 +96,41 @@ func main() {
 		maxQueued  = flag.Int("max-queued-jobs", 16, "batch-class jobs queued before submissions shed with 429 (negative disables)")
 		jobTTL     = flag.Duration("job-ttl", 10*time.Minute, "finished-job retention before results expire")
 		budget     = flag.Int("budget", 0, "worker-token budget for elastic engine pools (0 = GOMAXPROCS)")
+
+		retries      = flag.Int("retries", 3, "total attempts per engine shard for transient failures (<=1 disables retry)")
+		retryBackoff = flag.Duration("retry-backoff", time.Millisecond, "base backoff before a shard retry (jittered, doubling, capped at 100x)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "duplicate a shard attempt still running after this long (0 disables hedging)")
+		dataDir      = flag.String("data-dir", "", "directory for the crash-safe job journal (empty = jobs are in-memory only)")
+		journalSync  = flag.String("journal-sync", "terminal", "job-journal fsync policy: terminal, always, or never")
+		faultSpec    = flag.String("faults", "", "fault-injection spec, e.g. 'engine.shard.pre=error:0.3' (also $GPUVARD_FAULTS)")
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the fault registry's per-site RNG streams")
 	)
 	flag.Parse()
 
 	cluster.DefaultFleetCache.SetCap(*fleetLRU)
 	engine.SetBudgetCapacity(*budget)
-	srv := service.New(service.Options{
+	engine.SetRetryPolicy(engine.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *retryBackoff})
+	engine.SetHedgePolicy(engine.HedgePolicy{After: *hedgeAfter})
+
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("GPUVARD_FAULTS")
+	}
+	faults.SetSeed(*faultSeed)
+	if err := faults.Arm(spec); err != nil {
+		fmt.Fprintln(os.Stderr, "gpuvard:", err)
+		os.Exit(2)
+	}
+	if spec != "" {
+		fmt.Fprintf(os.Stderr, "gpuvard: fault injection armed: %s\n", spec)
+	}
+
+	sync, err := jobs.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuvard:", err)
+		os.Exit(2)
+	}
+	srv, err := service.New(service.Options{
 		Figures: figures.Config{
 			Seed:           *seed,
 			Iterations:     *iters,
@@ -97,7 +143,14 @@ func main() {
 		MaxRunningJobs:    *maxJobs,
 		MaxQueuedJobs:     *maxQueued,
 		JobTTL:            *jobTTL,
+		DataDir:           *dataDir,
+		JournalSync:       sync,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuvard:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

@@ -186,7 +186,15 @@ func main() {
 		mismatch atomic.Int64
 		aborts   atomic.Int64
 		next     atomic.Int64
+		// firstBad captures the first diverging or failed request for
+		// triage: under chaos testing "1 of 512 mismatched" is useless
+		// without knowing which request and how the bytes differed.
+		firstBad atomic.Pointer[mismatchReport]
 	)
+	recordBad := func(r *mismatchReport) {
+		firstBad.CompareAndSwap(nil, r)
+		mismatch.Add(1)
+	}
 	deadline := time.Time{}
 	if *duration > 0 {
 		deadline = time.Now().Add(*duration)
@@ -216,12 +224,16 @@ func main() {
 				}
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "loadgen:", err)
-					mismatch.Add(1)
+					recordBad(&mismatchReport{request: i, label: tg.label, err: err})
 					continue
 				}
-				if sha256.Sum256(body) != ref[tg.label] {
+				if got := sha256.Sum256(body); got != ref[tg.label] {
 					fmt.Fprintf(os.Stderr, "loadgen: response for %s diverged from reference\n", tg.label)
-					mismatch.Add(1)
+					recordBad(&mismatchReport{
+						request: i, label: tg.label,
+						wantSHA: ref[tg.label], gotSHA: got,
+						body: body,
+					})
 					continue
 				}
 				mu.Lock()
@@ -273,9 +285,43 @@ func main() {
 	}
 	if n := mismatch.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d mismatched or failed responses\n", n)
+		if r := firstBad.Load(); r != nil {
+			r.print(os.Stderr)
+		}
 		os.Exit(1)
 	}
 	fmt.Println("byte-identity: OK (every response matched its target's reference)")
+}
+
+// mismatchReport is the triage record for the first bad response of a
+// run: which request diverged, the expected and observed hashes, and
+// the head of the observed body (enough to tell a wrong result from an
+// error envelope at a glance).
+type mismatchReport struct {
+	request int
+	label   string
+	err     error // request failed outright (mutually exclusive with a hash divergence)
+	wantSHA [32]byte
+	gotSHA  [32]byte
+	body    []byte
+}
+
+func (r *mismatchReport) print(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: first failure: request #%d (%s)\n", r.request, r.label)
+	if r.err != nil {
+		fmt.Fprintf(w, "loadgen:   error: %v\n", r.err)
+		return
+	}
+	fmt.Fprintf(w, "loadgen:   want sha256 %s\n", hex.EncodeToString(r.wantSHA[:]))
+	fmt.Fprintf(w, "loadgen:   got  sha256 %s\n", hex.EncodeToString(r.gotSHA[:]))
+	snippet := r.body
+	const maxSnippet = 512
+	truncated := ""
+	if len(snippet) > maxSnippet {
+		snippet = snippet[:maxSnippet]
+		truncated = fmt.Sprintf(" ... (%d bytes total)", len(r.body))
+	}
+	fmt.Fprintf(w, "loadgen:   got body: %s%s\n", strings.TrimSpace(string(snippet)), truncated)
 }
 
 // methodJob marks a target that runs through the async job path

@@ -273,6 +273,76 @@
 // stack, including a concurrent catalog run and an in-flight request
 // cancellation through the server.
 //
+// # Resilience
+//
+// The serving stack is built to keep answering — with the right bytes —
+// while individual shard executions misbehave, and to prove it on
+// demand. internal/faults is a process-wide fault-injection registry
+// with named sites compiled into the hot paths:
+//
+//	engine.shard.pre    before a shard attempt executes
+//	engine.shard.post   after a shard attempt returns
+//	cache.fleet.get     fleet-cache lookups
+//	jobs.persist        job-journal appends
+//
+// Each site can be armed (gpuvard -faults, or $GPUVARD_FAULTS) with a
+// behavior and probability — 'site=error:p', 'panic:p', 'stall:p'
+// (block until the context ends), or 'slow:p:dur' — e.g.
+//
+//	gpuvard -faults 'engine.shard.pre=error:0.3,cache.fleet.get=slow:0.1:5ms'
+//
+// Injections draw from per-site RNG streams seeded by -fault-seed, so a
+// chaos run is reproducible. A disarmed registry costs one atomic load
+// per site check. Armed sites and their check/injection counters appear
+// on /v1/healthz and /v1/stats.
+//
+// Failures are classified (engine.ClassifyError): context
+// cancellation/deadline is Canceled, errors marked transient — by
+// engine.MarkTransient or by implementing IsTransient() bool, as
+// injected faults do — are Transient, everything else (including
+// contained shard panics) is Permanent. Under a retry policy
+// (engine.WithRetry on the context, or the process default from
+// gpuvard -retries) a transiently failing shard re-executes up to
+// MaxAttempts times with jittered doubling backoff, aborting promptly
+// if the context ends; Permanent and Canceled failures never retry.
+// A hedge policy (engine.WithHedge, gpuvard -hedge-after) additionally
+// arms a per-shard watchdog: an attempt still running after the
+// threshold is raced by a duplicate execution and the first result
+// wins. Shards are pure functions of their inputs, so a duplicate's
+// result is the original's, and responses stay byte-identical — the
+// golden chaos tests pin exactly that: sweep and campaign bytes under
+// 30% injected transient shard faults equal the fault-free bytes.
+// Retry/hedge/fault counters surface in engine.Stats and on /v1/stats.
+//
+// Jobs survive crashes: with gpuvard -data-dir set, internal/jobs
+// appends a write-ahead journal of JSON lines (submit records and
+// terminal transitions, done results' bytes included) under the data
+// directory, fsynced per -journal-sync (terminal fsyncs terminal
+// records — the default; always and never trade durability against
+// throughput). On boot the journal replays: finished jobs answer
+// GET /v1/jobs/{id}/result with their exact pre-crash bytes, and jobs
+// interrupted mid-run resolve to failed with an explicit interruption
+// reason instead of vanishing. Recovery tolerates corruption — a torn
+// or garbage tail is truncated at the last decodable record and
+// counted (skipped_records, truncated_bytes on /v1/stats) — and each
+// replay compacts the file to the retained set so it tracks retention
+// instead of growing without bound.
+//
+// Degraded serving: when a synchronous computation fails server-side
+// (5xx) and a previously evicted copy of that exact response is still
+// held in the cache's stale store, the service answers 200 with the
+// stale bytes and X-Degraded: stale (plus X-Cache: stale) instead of
+// the error — responses are pure functions of the request fingerprint,
+// so a stale copy is never wrong, merely evicted. Client errors (4xx)
+// are never masked. /v1/healthz reports status "degraded" (with ok
+// still true — liveness is unaffected) while faults are armed or
+// within a minute of a stale serve; degraded_serves counts them.
+//
+// scripts/smoke.sh drives all of this against a real server: a chaos
+// stage (30% injected shard faults, retries armed, byte-identity to
+// the fault-free run with zero 5xx) and a crash stage (kill -9
+// mid-jobs, reboot over the same -data-dir, journal replay asserted).
+//
 // # CI gates
 //
 // Every PR must clear .github/workflows/ci.yml: the verify job
@@ -283,11 +353,14 @@
 // full sessions run via make fuzz), a benchmark smoke run, and the
 // cmd/benchjson -compare regression gate, which re-measures the banked
 // perf wins plus the sweep, async-job, streaming, and classed-engine
-// serving paths and fails on >25% ns/op or allocs/op growth against the
-// committed BENCH_5.json), the race job (go test -race -short ./...),
-// and the smoke job (make smoke — build gpuvard, boot it, and drive a
-// concurrent loadgen mix over figures, variant-axis sweeps, the async
-// job lifecycle, and the streaming endpoints, asserting zero failures
-// and byte-identity end to end). Superseded CI runs on the same ref are
-// canceled (concurrency: cancel-in-progress).
+// serving paths — plus the retry-overhead guard (a fault-free run with
+// retries armed must stay free) — and fails on >25% ns/op or allocs/op
+// growth against the committed BENCH_6.json), the race job (go test
+// -race -short ./...), and the smoke job (make smoke — build gpuvard,
+// boot it, and drive a concurrent loadgen mix over figures,
+// variant-axis sweeps, the async job lifecycle, and the streaming
+// endpoints, asserting zero failures and byte-identity end to end,
+// then the chaos and crash-recovery stages described under
+// Resilience). Superseded CI runs on the same ref are canceled
+// (concurrency: cancel-in-progress).
 package gpuvar

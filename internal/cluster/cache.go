@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"gpuvar/internal/faults"
 )
 
 // Fleet instantiation is the most expensive fixed cost of the experiment
@@ -167,6 +169,12 @@ func (c *FleetCache) Instantiate(s Spec, seed uint64) *Fleet {
 // begins is skipped entirely (the admission rule), so a burst of
 // canceled requests cannot queue up detached work nobody wants.
 func (c *FleetCache) Get(ctx context.Context, s Spec, seed uint64) (*Fleet, error) {
+	// Chaos seam: an armed cache.fleet.get site fails (or stalls/slows)
+	// the lookup before any sharing happens. Injected errors are
+	// transient, so the engine's per-shard retry policy recovers them.
+	if err := faults.Inject(ctx, faults.SiteFleetGet); err != nil {
+		return nil, err
+	}
 	if c == nil {
 		// No cache to amortize into: check before paying for a full
 		// instantiation, which is not interruptible.

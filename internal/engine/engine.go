@@ -30,6 +30,12 @@
 //   - Panic containment: a panicking shard fails the job with a
 //     stack-annotated error instead of crashing the process; the
 //     remaining workers drain and exit.
+//   - Failure-domain semantics: shard errors are classified
+//     (Transient / Permanent / Canceled), transient failures re-run
+//     under the resolved RetryPolicy with jittered backoff, and a
+//     straggling attempt races a hedged duplicate under the
+//     HedgePolicy — shards are pure, so a retried or hedged shard's
+//     output is bit-identical to a first-try success (see retry.go).
 //   - Observability: package-level progress counters (jobs in flight,
 //     shards completed, cancellations) and the budget's per-class
 //     occupancy, exported by the service.
@@ -41,6 +47,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"gpuvar/internal/faults"
 )
 
 // counters is the package-wide progress ledger. Everything is atomic:
@@ -53,6 +61,13 @@ var counters struct {
 	jobsFailed      atomic.Uint64
 	shardsCompleted atomic.Uint64
 	inFlightJobs    atomic.Int64
+	// Resilience counters (see retry.go): transient attempt failures
+	// observed, re-executions, hedged duplicates launched, and hedged
+	// duplicates whose result won.
+	transientShardErrors atomic.Uint64
+	shardRetries         atomic.Uint64
+	shardHedges          atomic.Uint64
+	hedgeWins            atomic.Uint64
 }
 
 // Progress accumulates shard progress for one logical job tree. Attach
@@ -97,25 +112,38 @@ func progressFrom(ctx context.Context) *Progress {
 // and worker-token budget, exposed by the service's /v1/stats and
 // /v1/healthz endpoints.
 type Stats struct {
-	JobsStarted     uint64      `json:"jobs_started"`
-	JobsCompleted   uint64      `json:"jobs_completed"`
-	JobsCanceled    uint64      `json:"jobs_canceled"`
-	JobsFailed      uint64      `json:"jobs_failed"`
-	ShardsCompleted uint64      `json:"shards_completed"`
-	InFlightJobs    int64       `json:"in_flight_jobs"`
-	Budget          BudgetStats `json:"budget"`
+	JobsStarted     uint64 `json:"jobs_started"`
+	JobsCompleted   uint64 `json:"jobs_completed"`
+	JobsCanceled    uint64 `json:"jobs_canceled"`
+	JobsFailed      uint64 `json:"jobs_failed"`
+	ShardsCompleted uint64 `json:"shards_completed"`
+	InFlightJobs    int64  `json:"in_flight_jobs"`
+	// TransientShardErrors counts shard attempts that failed with a
+	// transient (retryable) error — injected faults included; Retries
+	// counts the re-executions the retry policy spent on them; Hedges
+	// counts straggler duplicates launched by the hedge watchdog, and
+	// HedgeWins the ones whose result was used.
+	TransientShardErrors uint64      `json:"transient_shard_errors"`
+	Retries              uint64      `json:"retries"`
+	Hedges               uint64      `json:"hedges"`
+	HedgeWins            uint64      `json:"hedge_wins"`
+	Budget               BudgetStats `json:"budget"`
 }
 
 // Snapshot reads the counters.
 func Snapshot() Stats {
 	return Stats{
-		JobsStarted:     counters.jobsStarted.Load(),
-		JobsCompleted:   counters.jobsCompleted.Load(),
-		JobsCanceled:    counters.jobsCanceled.Load(),
-		JobsFailed:      counters.jobsFailed.Load(),
-		ShardsCompleted: counters.shardsCompleted.Load(),
-		InFlightJobs:    counters.inFlightJobs.Load(),
-		Budget:          defaultBudget.stats(),
+		JobsStarted:          counters.jobsStarted.Load(),
+		JobsCompleted:        counters.jobsCompleted.Load(),
+		JobsCanceled:         counters.jobsCanceled.Load(),
+		JobsFailed:           counters.jobsFailed.Load(),
+		ShardsCompleted:      counters.shardsCompleted.Load(),
+		InFlightJobs:         counters.inFlightJobs.Load(),
+		TransientShardErrors: counters.transientShardErrors.Load(),
+		Retries:              counters.shardRetries.Load(),
+		Hedges:               counters.shardHedges.Load(),
+		HedgeWins:            counters.hedgeWins.Load(),
+		Budget:               defaultBudget.stats(),
 	}
 }
 
@@ -144,6 +172,14 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 		workers = n
 	}
 	class := ClassFrom(ctx)
+	// Resolve the resilience policies once per Map, not per shard: they
+	// cannot change mid-job, and the fault-free hot path should pay two
+	// context walks per job, not 2n. When nothing is armed — no retry,
+	// no hedge, no fault sites — shards skip the resilient wrapper
+	// entirely, so the disarmed cost is one atomic load per Map.
+	retryPolicy := RetryFrom(ctx)
+	hedgePolicy := HedgeFrom(ctx)
+	resilient := retryPolicy.enabled() || hedgePolicy.enabled() || faults.Armed()
 	counters.jobsStarted.Add(1)
 	counters.inFlightJobs.Add(1)
 	defer counters.inFlightJobs.Add(-1)
@@ -187,7 +223,15 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 				fail(i, fmt.Errorf("engine: shard %d panicked: %v\n%s", i, r, debug.Stack()))
 			}
 		}()
-		v, err := fn(fnCtx, i)
+		var (
+			v   T
+			err error
+		)
+		if resilient {
+			v, err = runShardResilient(fnCtx, i, retryPolicy, hedgePolicy, fn)
+		} else {
+			v, err = fn(fnCtx, i)
+		}
 		if err != nil {
 			fail(i, err)
 			return

@@ -1,0 +1,339 @@
+package engine
+
+// Failure-domain semantics for shard execution: the paper's machines
+// misbehave (slow GPUs, throttling, injected defects), so the engine
+// that reproduces them must assume its own execution can too. Three
+// mechanisms, all per shard and all policy-driven:
+//
+//   - Classification. Every shard error is Transient, Permanent, or
+//     Canceled (ClassifyError). Only transients are worth re-running;
+//     cancellation must stay prompt; permanent failures (bad input,
+//     panics) fail fast.
+//   - Retry. A RetryPolicy re-runs a transiently failed shard up to
+//     MaxAttempts times with jittered exponential backoff, re-checking
+//     the context before each attempt. Shards are pure functions of
+//     (ctx, index), so a retried shard's output is bit-identical to a
+//     first-try success — the golden chaos tests pin exactly that.
+//   - Hedging. A HedgePolicy arms a per-shard watchdog: an attempt
+//     still running after After gets a duplicate execution racing it,
+//     and the first success wins (purity again makes either result
+//     correct). The loser's goroutine drains on its own time — it only
+//     writes into a buffered channel — and a duplicate's panic is
+//     contained and cannot override a primary success.
+//
+// Policies resolve once per Map: a context-attached policy (WithRetry /
+// WithHedge) wins; otherwise the process defaults (SetRetryPolicy /
+// SetHedgePolicy, wired to gpuvard -retries / -hedge-after) apply; the
+// zero policy disables the mechanism. With nothing armed — no policy,
+// no fault sites — Map bypasses this file entirely (one atomic load per
+// Map); the fault-free overhead of an armed retry policy is the
+// per-attempt classification branches — see
+// BenchmarkEngineRetryOverhead, which runs with retries armed and is
+// gated against BenchmarkEngineClassedMap-level cost.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"gpuvar/internal/faults"
+)
+
+// ErrClass partitions shard errors by what the engine should do about
+// them.
+type ErrClass int
+
+const (
+	// Permanent errors fail the job immediately: bad input, panics,
+	// logic errors — re-running cannot help.
+	Permanent ErrClass = iota
+	// Transient errors are worth re-running: injected faults, wedged
+	// caches, anything marked via MarkTransient or an IsTransient
+	// method.
+	Transient
+	// Canceled errors are the context's: the caller is gone or out of
+	// time, and retrying would fight the cancellation contract.
+	Canceled
+)
+
+// String names the class.
+func (c ErrClass) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Canceled:
+		return "canceled"
+	}
+	return "permanent"
+}
+
+// transient is the marker interface an error implements to classify as
+// Transient (faults.Error does; MarkTransient wraps arbitrary errors
+// with it).
+type transient interface{ IsTransient() bool }
+
+// ClassifyError assigns a non-nil shard error its class: context
+// cancellation and deadline errors are Canceled, errors carrying
+// IsTransient() == true anywhere in their chain are Transient,
+// everything else is Permanent.
+func ClassifyError(err error) ErrClass {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Canceled
+	}
+	var t transient
+	if errors.As(err, &t) && t.IsTransient() {
+		return Transient
+	}
+	return Permanent
+}
+
+// transientError is MarkTransient's wrapper.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string     { return e.err.Error() }
+func (e *transientError) Unwrap() error     { return e.err }
+func (e *transientError) IsTransient() bool { return true }
+
+// MarkTransient wraps err so ClassifyError returns Transient for it —
+// the seam by which lower layers (a flaky backend, a wedged cache fill)
+// opt their failures into the retry policy. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// RetryPolicy bounds per-shard re-execution of transient failures. The
+// zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions per shard (first try
+	// included); <= 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the pre-jitter delay before attempt 2; each further
+	// attempt doubles it, capped at MaxBackoff. Defaults to 1ms when
+	// retries are enabled.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
+}
+
+// enabled reports whether the policy retries at all.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// backoff returns the jittered delay before the given retry (retry 1 is
+// the first re-execution). Jitter is ±50%, so synchronized shard
+// failures do not re-arrive in lockstep.
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 100 * time.Millisecond
+	}
+	d := base << uint(retry-1)
+	if d > maxB || d <= 0 { // d <= 0 guards shift overflow
+		d = maxB
+	}
+	// Scale by a factor in [0.5, 1.5).
+	return time.Duration((0.5 + rand.Float64()) * float64(d))
+}
+
+// HedgePolicy arms the per-shard straggler watchdog. The zero value
+// disables hedging.
+type HedgePolicy struct {
+	// After is how long one attempt may run before a duplicate execution
+	// is hedged against it; <= 0 disables.
+	After time.Duration
+}
+
+func (p HedgePolicy) enabled() bool { return p.After > 0 }
+
+type retryKey struct{}
+type hedgeKey struct{}
+
+// WithRetry attaches a retry policy to the context; Maps under it (and
+// their nested jobs) apply it per shard, overriding the process
+// default.
+func WithRetry(ctx context.Context, p RetryPolicy) context.Context {
+	return context.WithValue(ctx, retryKey{}, p)
+}
+
+// WithHedge attaches a hedge policy to the context, overriding the
+// process default.
+func WithHedge(ctx context.Context, p HedgePolicy) context.Context {
+	return context.WithValue(ctx, hedgeKey{}, p)
+}
+
+// Process-default policies (gpuvard -retries / -retry-backoff /
+// -hedge-after). Stored behind atomic pointers so the per-Map read is
+// one load, mutex-free.
+var (
+	defaultRetry atomic.Pointer[RetryPolicy]
+	defaultHedge atomic.Pointer[HedgePolicy]
+)
+
+// SetRetryPolicy installs the process-default retry policy applied to
+// every Map whose context carries none. The zero policy disables
+// retries.
+func SetRetryPolicy(p RetryPolicy) { defaultRetry.Store(&p) }
+
+// SetHedgePolicy installs the process-default hedge policy. The zero
+// policy disables hedging.
+func SetHedgePolicy(p HedgePolicy) { defaultHedge.Store(&p) }
+
+// RetryFrom resolves the effective retry policy: context override
+// first, then the process default.
+func RetryFrom(ctx context.Context) RetryPolicy {
+	if p, ok := ctx.Value(retryKey{}).(RetryPolicy); ok {
+		return p
+	}
+	if p := defaultRetry.Load(); p != nil {
+		return *p
+	}
+	return RetryPolicy{}
+}
+
+// HedgeFrom resolves the effective hedge policy: context override
+// first, then the process default.
+func HedgeFrom(ctx context.Context) HedgePolicy {
+	if p, ok := ctx.Value(hedgeKey{}).(HedgePolicy); ok {
+		return p
+	}
+	if p := defaultHedge.Load(); p != nil {
+		return *p
+	}
+	return HedgePolicy{}
+}
+
+// shardOutcome is one attempt's result on the hedge channel.
+type shardOutcome[T any] struct {
+	v   T
+	err error
+	dup bool // true when produced by the hedged duplicate
+}
+
+// attemptShard runs one execution of shard i: the pre-attempt fault
+// site, the shard function, and the post-attempt fault site. Injected
+// faults surface as ordinary errors and classify like any other.
+func attemptShard[T any](ctx context.Context, i int, fn func(ctx context.Context, shard int) (T, error)) (T, error) {
+	var zero T
+	if err := faults.Inject(ctx, faults.SiteShardPre); err != nil {
+		return zero, err
+	}
+	v, err := fn(ctx, i)
+	if err != nil {
+		return zero, err
+	}
+	if err := faults.Inject(ctx, faults.SiteShardPost); err != nil {
+		return zero, err
+	}
+	return v, nil
+}
+
+// runShardResilient executes shard i under the resolved retry and hedge
+// policies: hedged attempts race a duplicate after the watchdog
+// deadline; transient failures re-run with jittered backoff; permanent
+// and canceled errors (and panics, which the caller's recover converts)
+// fail fast.
+func runShardResilient[T any](ctx context.Context, i int, rp RetryPolicy, hp HedgePolicy, fn func(ctx context.Context, shard int) (T, error)) (T, error) {
+	var zero T
+	attempts := rp.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			counters.shardRetries.Add(1)
+			t := time.NewTimer(rp.backoff(attempt))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return zero, ctx.Err()
+			}
+		}
+		var (
+			v   T
+			err error
+		)
+		if hp.enabled() {
+			v, err = runHedged(ctx, i, hp, fn)
+		} else {
+			v, err = attemptShard(ctx, i, fn)
+		}
+		if err == nil {
+			return v, nil
+		}
+		if ClassifyError(err) != Transient {
+			return zero, err
+		}
+		counters.transientShardErrors.Add(1)
+		lastErr = err
+	}
+	return zero, lastErr
+}
+
+// runHedged races one attempt against a duplicate hedged After into the
+// run. First success wins; a failure waits for the remaining attempt
+// (the duplicate exists precisely because the primary may never
+// return); when both fail, the first-observed error stands. Losing
+// attempts finish detached — they only write into the buffered channel
+// — and a panicking attempt (primary or duplicate) is converted to a
+// permanent error rather than escaping its goroutine.
+func runHedged[T any](ctx context.Context, i int, hp HedgePolicy, fn func(ctx context.Context, shard int) (T, error)) (T, error) {
+	var zero T
+	ch := make(chan shardOutcome[T], 2)
+	launch := func(dup bool) {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					ch <- shardOutcome[T]{
+						err: fmt.Errorf("engine: shard %d panicked: %v\n%s", i, r, debug.Stack()),
+						dup: dup,
+					}
+				}
+			}()
+			v, err := attemptShard(ctx, i, fn)
+			ch <- shardOutcome[T]{v: v, err: err, dup: dup}
+		}()
+	}
+	launch(false)
+	watchdog := time.NewTimer(hp.After)
+	defer watchdog.Stop()
+	launched, settled := 1, 0
+	var firstErr error
+	for {
+		select {
+		case out := <-ch:
+			settled++
+			if out.err == nil {
+				if out.dup {
+					counters.hedgeWins.Add(1)
+				}
+				return out.v, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if settled == launched {
+				return zero, firstErr
+			}
+		case <-watchdog.C:
+			if launched == 1 {
+				launched = 2
+				counters.shardHedges.Add(1)
+				launch(true)
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// arm installs a spec for one test and restores the disarmed registry
+// afterwards (the registry is process-global).
+func arm(t *testing.T, spec string) {
+	t.Helper()
+	if err := Arm(spec); err != nil {
+		t.Fatalf("Arm(%q) = %v", spec, err)
+	}
+	t.Cleanup(Reset)
+}
+
+func TestArmValidation(t *testing.T) {
+	bad := []string{
+		"engine.shard.pre",                   // no behavior
+		"nosuch.site=error:0.5",              // unknown site
+		"engine.shard.pre=explode:0.5",       // unknown behavior
+		"engine.shard.pre=error",             // missing probability
+		"engine.shard.pre=error:0",           // p out of range
+		"engine.shard.pre=error:1.5",         // p out of range
+		"engine.shard.pre=error:x",           // non-numeric p
+		"engine.shard.pre=error:0.5:10ms",    // extra arg on error
+		"engine.shard.pre=slow:0.5",          // slow without duration
+		"engine.shard.pre=slow:0.5:banana",   // bad duration
+		"engine.shard.pre=slow:0.5:-3ms",     // non-positive duration
+		"jobs.persist=error:0.1,bogus=x:0.1", // one bad clause poisons all
+	}
+	for _, spec := range bad {
+		if err := Arm(spec); err == nil {
+			Reset()
+			t.Errorf("Arm(%q) accepted a bad spec", spec)
+		}
+		// A rejected spec must leave the registry disarmed.
+		if Armed() {
+			Reset()
+			t.Fatalf("Arm(%q) failed but left the registry armed", spec)
+		}
+	}
+	if err := Arm(""); err != nil {
+		t.Errorf("Arm(\"\") = %v, want nil (empty spec = disarmed)", err)
+	}
+}
+
+func TestInjectDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Inject(context.Background(), SiteShardPre); err != nil {
+		t.Fatalf("disarmed Inject = %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() = true on a reset registry")
+	}
+	if Snapshot() != nil {
+		t.Fatalf("Snapshot() = %v on a reset registry, want nil", Snapshot())
+	}
+}
+
+func TestInjectErrorIsTransientAndCounted(t *testing.T) {
+	arm(t, "engine.shard.pre=error:1")
+	err := Inject(context.Background(), SiteShardPre)
+	if err == nil {
+		t.Fatal("p=1 error site injected nothing")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != SiteShardPre {
+		t.Fatalf("injected error = %#v, want *Error for %s", err, SiteShardPre)
+	}
+	if !fe.IsTransient() {
+		t.Fatal("injected error is not transient")
+	}
+	// A different site stays quiet.
+	if err := Inject(context.Background(), SiteJobsPersist); err != nil {
+		t.Fatalf("unarmed site injected: %v", err)
+	}
+	snap := Snapshot()
+	if len(snap) != 1 || snap[0].Site != SiteShardPre || snap[0].Checks != 1 || snap[0].Injected != 1 {
+		t.Fatalf("Snapshot() = %+v, want one site with checks=1 injected=1", snap)
+	}
+}
+
+func TestInjectPanic(t *testing.T) {
+	arm(t, "engine.shard.pre=panic:1")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("p=1 panic site did not panic")
+		}
+		if !strings.Contains(r.(string), SiteShardPre) {
+			t.Fatalf("panic value %q does not name the site", r)
+		}
+	}()
+	_ = Inject(context.Background(), SiteShardPre)
+}
+
+func TestInjectStallHonorsContext(t *testing.T) {
+	arm(t, "cache.fleet.get=stall:1")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Inject(ctx, SiteFleetGet)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stall returned %v, want the context's deadline error", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall did not release on context end")
+	}
+}
+
+func TestInjectSlowDelaysThenProceeds(t *testing.T) {
+	arm(t, "engine.shard.post=slow:1:20ms")
+	start := time.Now()
+	if err := Inject(context.Background(), SiteShardPost); err != nil {
+		t.Fatalf("slow site returned %v, want nil after the delay", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("slow site returned after %v, want ~20ms", d)
+	}
+}
+
+// TestDeterminism pins the chaos-reproducibility contract: the same
+// seed + spec + call sequence fires the same injections.
+func TestDeterminism(t *testing.T) {
+	t.Cleanup(func() { SetSeed(1) })
+	sequence := func(seed uint64) []bool {
+		SetSeed(seed)
+		arm(t, "engine.shard.pre=error:0.3")
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Inject(context.Background(), SiteShardPre) != nil
+		}
+		Reset()
+		return out
+	}
+	a := sequence(42)
+	b := sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := sequence(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-call sequences")
+	}
+	// ~30% of 200 calls should fire; allow a generous band.
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 95 {
+		t.Fatalf("p=0.3 fired %d/200 times, outside the plausible band", fired)
+	}
+}

@@ -139,6 +139,9 @@ type Stats struct {
 	QueuedBatch        int `json:"queued_batch"`
 	RunningInteractive int `json:"running_interactive"`
 	RunningBatch       int `json:"running_batch"`
+	// Journal is the write-ahead journal's counters (appends, write
+	// errors, boot recovery); nil when the manager runs without one.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // job is one submission's record.
@@ -167,6 +170,7 @@ type Manager[V any] struct {
 	queued  [engine.NumClasses]int
 	running [engine.NumClasses]int
 	stats   Stats
+	journal *journalState[V] // nil until AttachJournal
 }
 
 // New returns a manager with the given options.
@@ -233,7 +237,16 @@ func (m *Manager[V]) Submit(class engine.Class, fn func(ctx context.Context) (V,
 	m.jobs[j.id] = j
 	m.queued[class]++
 	m.stats.Submitted++
+	jr := m.journal
 	m.mu.Unlock()
+
+	// Journal the submission before the job runs, so a crash between
+	// here and the terminal record replays as an explicit "interrupted"
+	// failure rather than a vanished ID. Outside the manager lock: an
+	// fsyncing journal must not serialize the whole manager.
+	if jr != nil {
+		_ = jr.j.append(journalRecord{Op: "submit", ID: j.id, Class: class.String(), T: j.created}, false)
+	}
 
 	go m.run(ctx, j, fn)
 	return j.id, nil
@@ -291,10 +304,17 @@ func (m *Manager[V]) finish(j *job[V], v V, err error) {
 	}
 	j.el = m.done.PushFront(j)
 	m.evictLocked()
+	jr := m.journal
 	m.mu.Unlock()
 	// Release the context's resources; the engine under it has already
 	// returned.
 	j.cancel()
+	// Journal the terminal transition (with the result bytes for done
+	// jobs) outside the lock; the terminal record is the one the sync
+	// policy fsyncs by default.
+	if jr != nil {
+		m.journalFinish(jr, j)
+	}
 }
 
 // Get returns the job's snapshot.
@@ -408,6 +428,10 @@ func (m *Manager[V]) Stats() Stats {
 	s.Queued = s.QueuedInteractive + s.QueuedBatch
 	s.Running = s.RunningInteractive + s.RunningBatch
 	s.Retained = m.done.Len()
+	if m.journal != nil {
+		js := m.journal.j.Stats()
+		s.Journal = &js
+	}
 	return s
 }
 

@@ -1,0 +1,441 @@
+package jobs
+
+// Crash safety: without persistence, a gpuvard restart silently
+// discards every async job — a client holding a poll URL gets a 404 for
+// work the server finished seconds before dying. The Journal is a
+// write-ahead log of job lifecycle transitions (JSON lines, one file
+// under the server's data directory):
+//
+//	{"op":"submit","id":"j...","class":"batch","t":"..."}
+//	{"op":"done","id":"j...","t":"...","result":"<base64>"}
+//	{"op":"failed","id":"j...","t":"...","error":"..."}
+//	{"op":"canceled","id":"j...","t":"..."}
+//
+// Submissions are journaled before the job runs; terminal transitions
+// are journaled with the encoded result bytes (done) or the error. On
+// boot the manager replays the journal (AttachJournal): terminal jobs
+// are restored into retention with their exact result bytes, and a
+// submit with no terminal record — a job the crash interrupted — is
+// restored as failed with an explicit "interrupted by server restart"
+// reason instead of vanishing. After replay the journal is compacted to
+// just the restored jobs, so the file tracks retention instead of
+// growing forever.
+//
+// Recovery is corruption-tolerant: a torn tail (the crash hit mid-write)
+// or any undecodable record truncates the journal at the first bad
+// byte, counting the skipped records and truncated bytes in
+// JournalStats rather than refusing to boot. Every append passes the
+// jobs.persist fault site first, so a failing data directory is
+// rehearsable; append errors degrade persistence (counted, job
+// unaffected) rather than failing the job.
+//
+// Fsync policy: SyncTerminal (the default) syncs terminal records only
+// — the submit record of a job lost to an ill-timed crash reconstructs
+// as "interrupted", which is exactly what it was; SyncAlways syncs
+// every record; SyncNever leaves durability to the OS.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"gpuvar/internal/engine"
+	"gpuvar/internal/faults"
+)
+
+// SyncPolicy selects when the journal fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncTerminal fsyncs terminal records (the ones carrying results)
+	// and leaves submit records to the OS — the default.
+	SyncTerminal SyncPolicy = iota
+	// SyncAlways fsyncs every record.
+	SyncAlways
+	// SyncNever never fsyncs explicitly.
+	SyncNever
+)
+
+// ParseSyncPolicy resolves the wire/flag spelling ("" = terminal).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "terminal":
+		return SyncTerminal, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("jobs: unknown journal sync policy %q (want terminal, always, or never)", s)
+}
+
+// JournalStats counts the journal's work, folded into the manager's
+// Stats (and from there /v1/stats and /v1/healthz).
+type JournalStats struct {
+	// Appended counts records written this process lifetime.
+	Appended uint64 `json:"appended"`
+	// WriteErrors counts appends that failed (injected jobs.persist
+	// faults included); the affected job still completes in memory.
+	WriteErrors uint64 `json:"write_errors"`
+	// RecoveredTerminal counts terminal jobs restored on boot with their
+	// result bytes; RecoveredInterrupted counts submitted-but-unfinished
+	// jobs restored as failed("interrupted by server restart").
+	RecoveredTerminal    uint64 `json:"recovered_terminal"`
+	RecoveredInterrupted uint64 `json:"recovered_interrupted"`
+	// SkippedRecords and TruncatedBytes describe corruption recovery:
+	// records dropped (torn tail, undecodable lines, undecodable result
+	// payloads) and the bytes cut from the file's tail.
+	SkippedRecords uint64 `json:"skipped_records"`
+	TruncatedBytes int64  `json:"truncated_bytes"`
+}
+
+// journalRecord is one JSON line.
+type journalRecord struct {
+	Op    string    `json:"op"` // submit | done | failed | canceled
+	ID    string    `json:"id"`
+	Class string    `json:"class,omitempty"`
+	T     time.Time `json:"t"`
+	Error string    `json:"error,omitempty"`
+	// Result is the codec-encoded value of a done job (base64 in the
+	// JSON encoding).
+	Result []byte `json:"result,omitempty"`
+}
+
+// Journal is the append-only lifecycle log. Open one with OpenJournal
+// and hand it to Manager.AttachJournal; safe for concurrent appends.
+type Journal struct {
+	path string
+	sync SyncPolicy
+
+	mu    sync.Mutex
+	f     *os.File
+	stats JournalStats
+}
+
+// OpenJournal opens (creating if needed) the journal file at path,
+// creating parent directories as required.
+func OpenJournal(path string, policy SyncPolicy) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating journal directory: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	return &Journal{path: path, sync: policy, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// append writes one record. Errors (and injected jobs.persist faults)
+// are counted and returned; callers treat them as degraded persistence,
+// not job failure.
+func (j *Journal) append(rec journalRecord, terminal bool) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.mu.Lock()
+		j.stats.WriteErrors++
+		j.mu.Unlock()
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := faults.Inject(context.Background(), faults.SiteJobsPersist); err != nil {
+		j.stats.WriteErrors++
+		return err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.stats.WriteErrors++
+		return err
+	}
+	if j.sync == SyncAlways || (j.sync == SyncTerminal && terminal) {
+		if err := j.f.Sync(); err != nil {
+			j.stats.WriteErrors++
+			return err
+		}
+	}
+	j.stats.Appended++
+	return nil
+}
+
+// replay reads every decodable record from the start of the file. At
+// the first undecodable line — a torn tail from a crash mid-write, or
+// plain corruption — the file is truncated there: everything after the
+// last good record is dropped and counted, because a journal suffix of
+// unknown integrity is worse than an honest gap.
+func (j *Journal) replay() ([]journalRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading journal: %w", err)
+	}
+	var (
+		recs []journalRecord
+		good int // byte offset past the last decodable record
+	)
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No trailing newline: a torn final record.
+			break
+		}
+		line := data[off : off+nl]
+		var rec journalRecord
+		if len(bytes.TrimSpace(line)) > 0 {
+			if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" || rec.Op == "" {
+				break
+			}
+			recs = append(recs, rec)
+		}
+		off += nl + 1
+		good = off
+	}
+	if good < len(data) {
+		// Count the dropped suffix: its newline-separated chunks are the
+		// records we are abandoning.
+		tail := data[good:]
+		skipped := uint64(0)
+		for _, chunk := range bytes.Split(tail, []byte{'\n'}) {
+			if len(bytes.TrimSpace(chunk)) > 0 {
+				skipped++
+			}
+		}
+		j.stats.SkippedRecords += skipped
+		j.stats.TruncatedBytes += int64(len(data) - good)
+		if err := j.f.Truncate(int64(good)); err != nil {
+			return nil, fmt.Errorf("jobs: truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// rewrite atomically replaces the journal's contents with the given
+// records (the post-replay compaction): write a temp file, fsync,
+// rename over the journal.
+func (j *Journal) rewrite(recs []journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		return err
+	}
+	old := j.f
+	j.f = f
+	old.Close()
+	return nil
+}
+
+// journalState is the manager's journaling hook-up (nil when detached).
+type journalState[V any] struct {
+	j   *Journal
+	enc func(V) ([]byte, error)
+}
+
+// AttachJournal wires j into the manager and replays its records:
+// terminal jobs are restored into retention with their decoded results,
+// interrupted jobs (submit without terminal) are restored as failed
+// with an explicit reason, and the journal is compacted to the restored
+// set. enc and dec translate the manager's value type to and from the
+// journal's result bytes. Attach before the first Submit; replayed jobs
+// respect TTL and MaxRetained exactly like jobs that finished in this
+// process.
+func (m *Manager[V]) AttachJournal(j *Journal, enc func(V) ([]byte, error), dec func([]byte) (V, error)) error {
+	recs, err := j.replay()
+	if err != nil {
+		return err
+	}
+
+	// Fold records into per-job state, preserving first-seen order.
+	type folded struct {
+		submit   *journalRecord
+		terminal *journalRecord
+	}
+	byID := map[string]*folded{}
+	var order []string
+	for i := range recs {
+		rec := &recs[i]
+		f, ok := byID[rec.ID]
+		if !ok {
+			f = &folded{}
+			byID[rec.ID] = f
+			order = append(order, rec.ID)
+		}
+		if rec.Op == "submit" {
+			f.submit = rec
+		} else {
+			f.terminal = rec
+		}
+	}
+
+	now := m.opts.Now()
+	var restored []*job[V]
+	for _, id := range order {
+		f := byID[id]
+		jb := &job[V]{id: id, cancel: func() {}}
+		switch {
+		case f.submit != nil:
+			jb.created = f.submit.T
+			if c, err := engine.ParseClass(f.submit.Class); err == nil {
+				jb.class = c
+			}
+		case f.terminal != nil:
+			jb.created = f.terminal.T
+		}
+		if f.terminal == nil {
+			// The crash interrupted this job between submit and finish:
+			// surface that instead of silently dropping it.
+			jb.state = StateFailed
+			jb.err = fmt.Errorf("interrupted by server restart before completing")
+			jb.finished = now
+			j.mu.Lock()
+			j.stats.RecoveredInterrupted++
+			j.mu.Unlock()
+		} else {
+			jb.finished = f.terminal.T
+			jb.started = jb.created
+			switch f.terminal.Op {
+			case "done":
+				v, err := dec(f.terminal.Result)
+				if err != nil {
+					j.mu.Lock()
+					j.stats.SkippedRecords++
+					j.mu.Unlock()
+					continue
+				}
+				jb.state, jb.val = StateDone, v
+			case "failed":
+				jb.state = StateFailed
+				jb.err = fmt.Errorf("%s", f.terminal.Error)
+			case "canceled":
+				jb.state = StateCanceled
+				jb.err = context.Canceled
+			default:
+				j.mu.Lock()
+				j.stats.SkippedRecords++
+				j.mu.Unlock()
+				continue
+			}
+			j.mu.Lock()
+			j.stats.RecoveredTerminal++
+			j.mu.Unlock()
+		}
+		restored = append(restored, jb)
+	}
+
+	// Insert oldest-finished first so the retention list's back is the
+	// eviction end, exactly as live finishes maintain it.
+	sort.SliceStable(restored, func(a, b int) bool {
+		return restored[a].finished.Before(restored[b].finished)
+	})
+	m.mu.Lock()
+	for _, jb := range restored {
+		if _, exists := m.jobs[jb.id]; exists {
+			continue
+		}
+		m.jobs[jb.id] = jb
+		jb.el = m.done.PushFront(jb)
+	}
+	m.evictLocked()
+	m.pruneLocked()
+
+	// Compact: the journal restarts as exactly the records that
+	// reconstruct the retained set.
+	compacted := make([]journalRecord, 0, 2*m.done.Len())
+	for el := m.done.Back(); el != nil; el = el.Prev() {
+		jb := el.Value.(*job[V])
+		compacted = append(compacted, journalRecord{Op: "submit", ID: jb.id, Class: jb.class.String(), T: jb.created})
+		rec := journalRecord{ID: jb.id, T: jb.finished}
+		switch jb.state {
+		case StateDone:
+			rec.Op = "done"
+			if b, err := enc(jb.val); err == nil {
+				rec.Result = b
+			}
+		case StateCanceled:
+			rec.Op = "canceled"
+		default:
+			rec.Op = "failed"
+			if jb.err != nil {
+				rec.Error = jb.err.Error()
+			}
+		}
+		compacted = append(compacted, rec)
+	}
+	m.journal = &journalState[V]{j: j, enc: enc}
+	m.mu.Unlock()
+	return j.rewrite(compacted)
+}
+
+// journalFinish logs a terminal transition with its result bytes
+// (best-effort: errors degrade persistence, counted in JournalStats,
+// and never affect the in-memory job).
+func (m *Manager[V]) journalFinish(jr *journalState[V], j *job[V]) {
+	rec := journalRecord{ID: j.id, T: j.finished}
+	switch j.state {
+	case StateDone:
+		rec.Op = "done"
+		b, err := jr.enc(j.val)
+		if err != nil {
+			// An unencodable result persists as a failure: replaying it as
+			// "done" with no bytes would be a lie a client can fetch.
+			rec.Op = "failed"
+			rec.Error = "journal: result not persistable: " + err.Error()
+		} else {
+			rec.Result = b
+		}
+	case StateCanceled:
+		rec.Op = "canceled"
+	default:
+		rec.Op = "failed"
+		if j.err != nil {
+			rec.Error = j.err.Error()
+		}
+	}
+	_ = jr.j.append(rec, true)
+}

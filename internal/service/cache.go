@@ -27,6 +27,11 @@ type CacheStats struct {
 	Coalesced uint64 `json:"coalesced"`
 	Aborted   uint64 `json:"aborted"`
 	Evictions uint64 `json:"evictions"`
+	// StaleEntries counts evicted responses still held for degraded
+	// serving; StaleServed counts the times one stood in for a failed
+	// recompute (the X-Degraded: stale responses).
+	StaleEntries int    `json:"stale_entries"`
+	StaleServed  uint64 `json:"stale_served"`
 }
 
 // resultCache is a fingerprint-keyed LRU of rendered responses with
@@ -43,6 +48,14 @@ type resultCache struct {
 	max     int
 	ll      *list.List               // front = most recently used
 	entries map[string]*list.Element // key → element whose Value is *lruEntry
+	// The stale store holds responses the primary LRU evicted, for
+	// degraded serving: when a recompute fails server-side, the last
+	// known-good bytes (which were correct when cached — every response
+	// here is a pure function of its fingerprint) beat a 5xx. Bounded by
+	// the same cap as the primary; a key promoted back into the primary
+	// leaves the stale store.
+	staleLL *list.List
+	stale   map[string]*list.Element
 	flight  engine.Group[*cachedResponse]
 	stats   CacheStats
 }
@@ -60,6 +73,8 @@ func newResultCache(max int) *resultCache {
 		max:     max,
 		ll:      list.New(),
 		entries: make(map[string]*list.Element),
+		staleLL: list.New(),
+		stale:   make(map[string]*list.Element),
 	}
 }
 
@@ -132,13 +147,42 @@ func (c *resultCache) insert(key string, res *cachedResponse) {
 		c.ll.MoveToFront(el)
 		return
 	}
+	// A fresh primary entry supersedes any stale copy of the same key.
+	if el, ok := c.stale[key]; ok {
+		c.staleLL.Remove(el)
+		delete(c.stale, key)
+	}
 	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
 	for c.ll.Len() > c.max {
 		tail := c.ll.Back()
+		e := tail.Value.(*lruEntry)
 		c.ll.Remove(tail)
-		delete(c.entries, tail.Value.(*lruEntry).key)
+		delete(c.entries, e.key)
 		c.stats.Evictions++
+		// Demote to the stale store instead of discarding: the bytes stay
+		// correct forever (pure computation), so they remain a valid
+		// degraded answer if the recompute ever fails.
+		c.stale[e.key] = c.staleLL.PushFront(e)
+		for c.staleLL.Len() > c.max {
+			st := c.staleLL.Back()
+			c.staleLL.Remove(st)
+			delete(c.stale, st.Value.(*lruEntry).key)
+		}
 	}
+}
+
+// staleLookup probes the stale store — the degraded-serving path taken
+// only after a compute failure, so a hit counts as a stale serve.
+func (c *resultCache) staleLookup(key string) (*cachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.stale[key]
+	if !ok {
+		return nil, false
+	}
+	c.staleLL.MoveToFront(el)
+	c.stats.StaleServed++
+	return el.Value.(*lruEntry).res, true
 }
 
 // prime inserts a complete response that was assembled outside the
@@ -158,5 +202,6 @@ func (c *resultCache) Stats() CacheStats {
 	s := c.stats
 	s.Entries = c.ll.Len()
 	s.InFlight = c.flight.Len()
+	s.StaleEntries = c.staleLL.Len()
 	return s
 }

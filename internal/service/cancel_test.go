@@ -123,7 +123,7 @@ func TestCacheCanceledFlightNotCached(t *testing.T) {
 // not cache the aborted computation, so a patient server later computes
 // the same request fine.
 func TestRequestDeadlineAborts(t *testing.T) {
-	impatient := New(Options{
+	impatient := mustNew(Options{
 		Figures:        figures.Config{Iterations: 2, MLIterations: 2, Runs: 2, SummitFraction: 0.01},
 		RequestTimeout: time.Nanosecond,
 	})

@@ -229,7 +229,9 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	snap, ok := s.jobs.Delete(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		// Same envelope and message as the status/result 404s: a client
+		// cleaning up an expired job learns why the ID is gone.
+		writeError(w, http.StatusNotFound, "unknown job %q (finished jobs expire after their TTL)", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobView(snap))

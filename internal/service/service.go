@@ -66,13 +66,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/engine"
+	"gpuvar/internal/faults"
 	"gpuvar/internal/figures"
 	"gpuvar/internal/jobs"
 )
@@ -116,6 +119,15 @@ type Options struct {
 	// JobTTL bounds how long a finished job's result stays fetchable
 	// (default 10m; negative disables age-based expiry).
 	JobTTL time.Duration
+	// DataDir, when set, makes async jobs crash-safe: lifecycle
+	// transitions and result bytes are journaled to
+	// <DataDir>/jobs.journal and replayed on the next boot, so finished
+	// jobs survive a restart (and interrupted ones resurface as explicit
+	// failures instead of vanished IDs). Empty keeps jobs in-memory only.
+	DataDir string
+	// JournalSync selects the journal's fsync policy (default
+	// jobs.SyncTerminal). Only meaningful with DataDir.
+	JournalSync jobs.SyncPolicy
 }
 
 // Server answers catalog queries. Create with New; it is an
@@ -125,12 +137,19 @@ type Server struct {
 	cache    *resultCache
 	sessions *sessionPool
 	jobs     *jobs.Manager[*cachedResponse]
+	journal  *jobs.Journal // nil without Options.DataDir
 	mux      *http.ServeMux
 	started  time.Time
+	// degradedServes counts responses answered from the stale store
+	// after a compute failure; lastDegraded (unix nanos) drives the
+	// healthz ok|degraded status.
+	degradedServes atomic.Uint64
+	lastDegraded   atomic.Int64
 }
 
-// New assembles a server.
-func New(opts Options) *Server {
+// New assembles a server. It errors only when Options.DataDir is set
+// and the job journal there cannot be opened or replayed.
+func New(opts Options) (*Server, error) {
 	if opts.ResponseCacheSize <= 0 {
 		opts.ResponseCacheSize = 256
 	}
@@ -173,6 +192,17 @@ func New(opts Options) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	if opts.DataDir != "" {
+		j, err := jobs.OpenJournal(filepath.Join(opts.DataDir, "jobs.journal"), opts.JournalSync)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.jobs.AttachJournal(j, encodeCachedResponse, decodeCachedResponse); err != nil {
+			j.Close()
+			return nil, err
+		}
+		s.journal = j
+	}
 	s.mux.HandleFunc("GET /v1/figures", s.handleFigureList)
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
@@ -188,11 +218,90 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz) // legacy path
-	return s
+	return s, nil
+}
+
+// Close releases the server's persistent resources (the job journal).
+// Safe on a journal-less server.
+func (s *Server) Close() error {
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+// journaledResponse is cachedResponse's persistent form (the job
+// journal's result payload).
+type journaledResponse struct {
+	Status      int    `json:"status"`
+	ContentType string `json:"content_type"`
+	Body        []byte `json:"body"`
+}
+
+func encodeCachedResponse(res *cachedResponse) ([]byte, error) {
+	if res == nil {
+		return nil, errors.New("service: nil response")
+	}
+	return json.Marshal(journaledResponse{Status: res.status, ContentType: res.contentType, Body: res.body})
+}
+
+func decodeCachedResponse(b []byte) (*cachedResponse, error) {
+	var jr journaledResponse
+	if err := json.Unmarshal(b, &jr); err != nil {
+		return nil, err
+	}
+	if jr.Status == 0 {
+		return nil, errors.New("service: journaled response missing status")
+	}
+	return &cachedResponse{status: jr.Status, contentType: jr.ContentType, body: jr.Body}, nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		// No route matched: net/http would answer plain text. Run the
+		// mux's own fallback against a throwaway recorder to learn what it
+		// decided (404, or 405 with an Allow set), then answer with that
+		// status in the same JSON error envelope as every other non-2xx
+		// response on this API.
+		h, _ := s.mux.Handler(r)
+		var rec statusRecorder
+		rec.h = http.Header{}
+		h.ServeHTTP(&rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusNotFound
+		}
+		if allow := rec.h.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		if status == http.StatusMethodNotAllowed {
+			writeError(w, status, "method %s not allowed for %s", r.Method, r.URL.Path)
+		} else {
+			writeError(w, status, "unknown route %s %s", r.Method, r.URL.Path)
+		}
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// statusRecorder captures the status and headers the mux's fallback
+// handler would have sent, discarding its plain-text body.
+type statusRecorder struct {
+	h      http.Header
+	status int
+}
+
+func (r *statusRecorder) Header() http.Header { return r.h }
+func (r *statusRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+}
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return len(b), nil
 }
 
 // CacheStats exposes the response-cache counters (used by tests and the
@@ -257,20 +366,40 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	defer cancel()
 	res, state, err := s.cache.do(ctx, key, compute)
 	if err != nil {
+		status := http.StatusInternalServerError
+		msg := err.Error()
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout,
-				"computation exceeded the request deadline (%s)", s.opts.RequestTimeout)
+			status = http.StatusGatewayTimeout
+			msg = fmt.Sprintf("computation exceeded the request deadline (%s)", s.opts.RequestTimeout)
 		case errors.Is(err, context.Canceled):
-			writeError(w, statusClientClosedRequest, "request canceled")
+			status = statusClientClosedRequest
+			msg = "request canceled"
 		default:
 			var se *statusError
 			if errors.As(err, &se) {
-				writeError(w, se.status, "%v", se.err)
+				status, msg = se.status, se.err.Error()
+			}
+		}
+		// Degraded serving: a server-side failure (5xx) of a key whose
+		// last good bytes still sit in the stale store answers those bytes
+		// instead — the computation is pure, so "stale" is merely
+		// "evicted", not "wrong". Client errors (4xx) and cancellations
+		// (499) stay errors: the stale bytes are not what that client is
+		// owed.
+		if status >= 500 {
+			if stale, ok := s.cache.staleLookup(key); ok {
+				s.degradedServes.Add(1)
+				s.lastDegraded.Store(time.Now().UnixNano())
+				w.Header().Set("Content-Type", stale.contentType)
+				w.Header().Set("X-Cache", "stale")
+				w.Header().Set("X-Degraded", "stale")
+				w.WriteHeader(stale.status)
+				_, _ = w.Write(stale.body)
 				return
 			}
-			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
+		writeError(w, status, "%s", msg)
 		return
 	}
 	w.Header().Set("Content-Type", res.contentType)
@@ -399,16 +528,24 @@ type statsResponse struct {
 	Engine        engine.Stats            `json:"engine"`
 	Jobs          jobs.Stats              `json:"jobs"`
 	FleetCache    cluster.FleetCacheStats `json:"fleet_cache"`
+	// DegradedServes counts responses answered from the stale store
+	// after a compute failure (the X-Degraded: stale responses); Faults
+	// lists the armed fault-injection sites with their trigger counters
+	// (absent in normal serving).
+	DegradedServes uint64             `json:"degraded_serves"`
+	Faults         []faults.SiteStats `json:"faults,omitempty"`
 }
 
 func (s *Server) snapshot() statsResponse {
 	return statsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Cache:         s.cache.Stats(),
-		Sessions:      s.sessions.len(),
-		Engine:        engine.Snapshot(),
-		Jobs:          s.jobs.Stats(),
-		FleetCache:    cluster.DefaultFleetCache.Stats(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Cache:          s.cache.Stats(),
+		Sessions:       s.sessions.len(),
+		Engine:         engine.Snapshot(),
+		Jobs:           s.jobs.Stats(),
+		FleetCache:     cluster.DefaultFleetCache.Stats(),
+		DegradedServes: s.degradedServes.Load(),
+		Faults:         faults.Snapshot(),
 	}
 }
 
@@ -417,10 +554,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(s.snapshot())
 }
 
-// healthzResponse wraps the counters with a liveness bit.
+// healthzResponse wraps the counters with a liveness bit and the
+// serving status: "ok" in normal operation, "degraded" while the
+// fault-injection registry is armed (chaos is by definition not normal
+// serving) or within degradedWindow of a stale-store serve. Degraded is
+// still alive — OK stays true, so orchestration liveness probes do not
+// restart a server that is successfully riding out failures.
 type healthzResponse struct {
-	OK bool `json:"ok"`
+	OK     bool   `json:"ok"`
+	Status string `json:"status"`
 	statsResponse
+}
+
+// degradedWindow is how long a stale serve keeps healthz reporting
+// degraded — long enough for a scraper on a coarse interval to see it.
+const degradedWindow = 60 * time.Second
+
+func (s *Server) healthStatus() string {
+	if faults.Armed() {
+		return "degraded"
+	}
+	if last := s.lastDegraded.Load(); last != 0 && time.Since(time.Unix(0, last)) < degradedWindow {
+		return "degraded"
+	}
+	return "ok"
 }
 
 // handleHealthz answers liveness probes and exposes the same counters
@@ -428,7 +585,7 @@ type healthzResponse struct {
 // whether the engine is draining or wedged.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(healthzResponse{OK: true, statsResponse: s.snapshot()})
+	_ = json.NewEncoder(w).Encode(healthzResponse{OK: true, Status: s.healthStatus(), statsResponse: s.snapshot()})
 }
 
 // sessionPool is the LRU of live figure sessions, keyed by normalized

@@ -20,9 +20,18 @@ import (
 // counts and minimal Summit coverage keep every handler affordable in
 // unit tests while exercising the full pipeline.
 func testServer() *Server {
-	return New(Options{
+	return mustNew(Options{
 		Figures: figures.Config{Iterations: 2, MLIterations: 2, Runs: 2, SummitFraction: 0.01},
 	})
+}
+
+// mustNew wraps New for tests whose options cannot fail (no data dir).
+func mustNew(opts Options) *Server {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // campaignBody is a small, fast campaign request (CloudLab has 6 nodes).

@@ -378,7 +378,7 @@ func TestStreamErrorMidStream(t *testing.T) {
 // queue full, a further batch submission answers 429 + Retry-After,
 // while an interactive-class job completes end to end.
 func TestJobClassSheddingAndPriority(t *testing.T) {
-	srv := New(Options{
+	srv := mustNew(Options{
 		Figures:        testServer().opts.Figures,
 		MaxRunningJobs: 1,
 		MaxQueuedJobs:  1,

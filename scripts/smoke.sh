@@ -7,64 +7,198 @@
 # failed responses and byte-identity across every path. CI runs this as
 # its integration job so the serving stack is exercised by a real
 # server process, not just httptest.
+#
+# Two resilience stages follow the clean run:
+#   chaos    reboot gpuvard with 30% transient shard faults injected
+#            (-faults 'engine.shard.pre=error:0.3') and retries armed,
+#            assert the sweep bytes match the fault-free run exactly,
+#            drive the loadgen mix with zero 5xx, and check /v1/healthz
+#            reports status "degraded" while the registry is armed.
+#   crash    boot with a -data-dir job journal, finish a job, submit a
+#            burst more, kill -9 mid-flight, reboot over the same data
+#            dir, and assert the finished job replays byte-identically
+#            while every interrupted job resolves to an explicit
+#            terminal state instead of a vanished ID.
 set -Eeuo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
 DURATION="${SMOKE_DURATION:-8s}"
-BIN="$(mktemp -d)/gpuvard"
-LOG="$(mktemp)"
+WORK="$(mktemp -d)"
+BIN="$WORK/gpuvard"
+LOG="$WORK/gpuvard.log"
+SERVER_PID=""
 
 echo "==> smoke: building gpuvard and loadgen"
 go build -o "$BIN" ./cmd/gpuvard
-go build -o "${BIN%/*}/loadgen" ./cmd/loadgen
+go build -o "$WORK/loadgen" ./cmd/loadgen
 
-echo "==> smoke: booting gpuvard on $ADDR"
-"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
-SERVER_PID=$!
-cleanup() {
+stop_server() {
+    [ -n "$SERVER_PID" ] || return 0
     kill "$SERVER_PID" 2>/dev/null || true
     wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
 }
-trap cleanup EXIT
+trap stop_server EXIT
 
-# Wait for the listener (no curl dependency: bash opens the TCP port).
-for i in $(seq 1 100); do
-    if (exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}") 2>/dev/null; then
-        exec 3>&- 3<&- || true
-        break
-    fi
-    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-        echo "smoke: gpuvard died during startup:" >&2
-        cat "$LOG" >&2
-        exit 1
-    fi
-    sleep 0.1
-    if [ "$i" = 100 ]; then
-        echo "smoke: gpuvard did not start listening on $ADDR" >&2
-        exit 1
-    fi
-done
+# boot_server FLAGS... — start gpuvard on $ADDR and wait for the
+# listener (no curl dependency: bash opens the TCP port itself).
+boot_server() {
+    "$BIN" -addr "$ADDR" "$@" >"$LOG" 2>&1 &
+    SERVER_PID=$!
+    for i in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}") 2>/dev/null; then
+            exec 3>&- 3<&- || true
+            return 0
+        fi
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            echo "smoke: gpuvard died during startup:" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "smoke: gpuvard did not start listening on $ADDR" >&2
+    exit 1
+}
+
+# http METHOD PATH [BODY] — one raw HTTP/1.0 exchange over /dev/tcp,
+# printing the full response (status line, headers, body).
+http() {
+    local method=$1 path=$2 body=${3:-}
+    exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+    {
+        printf '%s %s HTTP/1.0\r\n' "$method" "$path"
+        printf 'Host: %s\r\n' "$ADDR"
+        if [ -n "$body" ]; then
+            printf 'Content-Type: application/json\r\n'
+            printf 'Content-Length: %s\r\n' "${#body}"
+        fi
+        printf '\r\n'
+        printf '%s' "$body"
+    } >&3
+    cat <&3
+    exec 3>&- 3<&- || true
+}
+
+# http_body METHOD PATH [BODY] — the response body alone.
+http_body() {
+    http "$@" | sed '1,/^\r*$/d'
+}
+
+SWEEP_BODY='{"cluster":"CloudLab","axis":"powercap","values":[300,250,200]}'
+
+echo "==> smoke: booting gpuvard on $ADDR"
+boot_server
 
 echo "==> smoke: loadgen mix (figures + sweep + async jobs + streams) for $DURATION"
-"${BIN%/*}/loadgen" -url "http://$ADDR" \
+"$WORK/loadgen" -url "http://$ADDR" \
     -paths /v1/figures/fig2,/v1/figures/tab1,/v1/experiments/sgemm?cluster=CloudLab \
-    -sweep '{"cluster":"CloudLab","axis":"powercap","values":[300,250,200]}' \
+    -sweep "$SWEEP_BODY" \
     -jobs -stream \
     -c 16 -duration "$DURATION"
 
 echo "==> smoke: exercising the remaining axes synchronously and streamed"
-"${BIN%/*}/loadgen" -url "http://$ADDR" \
+"$WORK/loadgen" -url "http://$ADDR" \
     -paths /v1/figures/tab1 \
     -sweep '{"cluster":"CloudLab","axis":"seed","values":[7,8]}' \
     -stream -c 4 -n 32
-"${BIN%/*}/loadgen" -url "http://$ADDR" \
+"$WORK/loadgen" -url "http://$ADDR" \
     -paths /v1/figures/tab1 \
     -sweep '{"cluster":"CloudLab","axis":"ambient","values":[-2,2]}' \
     -stream -c 4 -n 32
-"${BIN%/*}/loadgen" -url "http://$ADDR" \
+"$WORK/loadgen" -url "http://$ADDR" \
     -paths /v1/figures/tab1 \
     -sweep '{"cluster":"CloudLab","axis":"fraction","values":[1,0.5]}' \
     -stream -c 4 -n 32
+
+# The fault-free reference for the chaos stage, captured before the
+# clean server goes away.
+http_body POST /v1/sweep "$SWEEP_BODY" >"$WORK/sweep.clean"
+
+echo "==> smoke: chaos — 30% transient shard faults, retries armed"
+stop_server
+boot_server -faults 'engine.shard.pre=error:0.3' -retries 12
+
+# The golden bar: bytes under chaos are the fault-free bytes.
+http_body POST /v1/sweep "$SWEEP_BODY" >"$WORK/sweep.chaos"
+if ! cmp -s "$WORK/sweep.clean" "$WORK/sweep.chaos"; then
+    echo "smoke: sweep bytes under 30% faults diverge from the fault-free run" >&2
+    exit 1
+fi
+
+# The mix must survive with byte-identity and zero 5xx: loadgen exits
+# nonzero on any failed or diverging response, and prints an 'aborted:'
+# line only if the server shed anything with 504/499.
+"$WORK/loadgen" -url "http://$ADDR" \
+    -paths /v1/figures/fig2,/v1/experiments/sgemm?cluster=CloudLab \
+    -sweep "$SWEEP_BODY" -jobs \
+    -c 8 -n 128 | tee "$WORK/chaos.out"
+if grep -q '^aborted:' "$WORK/chaos.out"; then
+    echo "smoke: server shed responses under chaos; want zero 5xx with retries armed" >&2
+    exit 1
+fi
+
+# An armed fault registry must surface on the health probe.
+if ! http GET /v1/healthz | grep -q '"status":"degraded"'; then
+    echo "smoke: healthz does not report degraded while faults are armed" >&2
+    exit 1
+fi
+if ! http GET /v1/stats | grep -q '"injected":'; then
+    echo "smoke: stats do not report the fault-injection counters" >&2
+    exit 1
+fi
+
+echo "==> smoke: crash — kill -9 mid-jobs, journal recovery on reboot"
+stop_server
+DATA_DIR="$WORK/data"
+boot_server -data-dir "$DATA_DIR"
+
+# Finish one job cleanly and keep its bytes.
+JOB_BODY='{"kind":"sweep","sweep":{"cluster":"CloudLab","axis":"powercap","values":[300,250]}}'
+DONE_ID=$(http_body POST /v1/jobs "$JOB_BODY" | grep -Eo '"id": *"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$DONE_ID" ] || { echo "smoke: job submission returned no id" >&2; exit 1; }
+for i in $(seq 1 200); do
+    if http_body GET "/v1/jobs/$DONE_ID" | grep -Eq '"state": *"done"'; then
+        break
+    fi
+    sleep 0.1
+    if [ "$i" = 200 ]; then
+        echo "smoke: job $DONE_ID never finished" >&2
+        exit 1
+    fi
+done
+http_body GET "/v1/jobs/$DONE_ID/result" >"$WORK/job.result"
+
+# Burst more jobs and kill -9 while they are in flight.
+BURST_IDS=""
+for i in $(seq 1 6); do
+    id=$(http_body POST /v1/jobs "$JOB_BODY" | grep -Eo '"id": *"[^"]*"' | head -1 | cut -d'"' -f4)
+    BURST_IDS="$BURST_IDS $id"
+done
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+boot_server -data-dir "$DATA_DIR"
+http_body GET "/v1/jobs/$DONE_ID/result" >"$WORK/job.result.replayed"
+if ! cmp -s "$WORK/job.result" "$WORK/job.result.replayed"; then
+    echo "smoke: replayed job result differs from the pre-crash bytes" >&2
+    exit 1
+fi
+# Every job submitted before the crash resolves to an explicit terminal
+# state — done if its terminal record landed, failed-as-interrupted
+# otherwise — never a vanished ID.
+for id in $BURST_IDS; do
+    status=$(http_body GET "/v1/jobs/$id")
+    if ! echo "$status" | grep -Eq '"state": *"(done|failed|canceled)"'; then
+        echo "smoke: job $id did not resolve to a terminal state after recovery: $status" >&2
+        exit 1
+    fi
+done
+if ! http GET /v1/stats | grep -q '"recovered_terminal":'; then
+    echo "smoke: stats do not report journal recovery counters" >&2
+    exit 1
+fi
 
 echo "smoke: OK"
