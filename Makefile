@@ -28,7 +28,15 @@ GO ?= go
 #                                      bound via gpuvard -max-queued-jobs)
 #       GET  /v1/jobs/{id}          lifecycle + shards done/total
 #       GET  /v1/jobs/{id}/result   finished bytes (identical to sync)
+#       GET  /v1/jobs/{id}/stream   replayed + live NDJSON, attach any time
+#       GET  /v1/jobs?limit=&page_token=&client=&state=  paginated listing
 #       DELETE /v1/jobs/{id}        cancel
+#     Requests are attributed to a client (X-API-Key header, else the
+#     remote address). Batch queues are fair-shared across clients
+#     (stride scheduling; gpuvard -client-weight team-a=4) with a
+#     per-client depth bound (-max-queued-per-client) whose 429s name
+#     the exhausted scope; per-client counters ride /v1/stats and the
+#     Prometheus text exposition at GET /metrics.
 #     Sweeps take a variant axis: {"axis":"powercap|seed|ambient|
 #     fraction","values":[...]} (caps_w remains as the legacy powercap
 #     spelling).
@@ -148,14 +156,14 @@ verify:
 race:
 	$(GO) test -race -short ./...
 
-# bench records the full benchmark suite into BENCH_6.json with PR 5's
-# BENCH_5.json embedded as the baseline (name → ns/op, B/op, allocs/op).
+# bench records the full benchmark suite into BENCH_7.json with PR 6's
+# BENCH_6.json embedded as the baseline (name → ns/op, B/op, allocs/op).
 # Pass BENCH='regexp' to restrict, e.g.
 #   make bench BENCH='Fig04|ExtCampaign' COUNT=3
 BENCH ?= .
 COUNT ?= 1
 bench:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_5.json -out BENCH_6.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_6.json -out BENCH_7.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
@@ -163,15 +171,15 @@ bench-smoke:
 # bench-compare is the benchmark-regression gate: re-measure the gate
 # benchmarks and fail if ns/op regressed past BENCH_TOLERANCE or
 # allocs/op past BENCH_ALLOC_TOLERANCE against the committed
-# BENCH_6.json. GATE_BENCH keeps the gate fast and focused on the two
+# BENCH_7.json. GATE_BENCH keeps the gate fast and focused on the two
 # perf wins PR 1 banked, the engine-backed sweep surfaces (both axis
 # forms), the PR 4 async-job plumbing, the PR 5 streaming and
-# classed-scheduler paths, and the PR 6 retry plumbing (a fault-free
-# run with a retry policy armed must stay free). The alloc gate stays
-# tight everywhere (alloc counts are machine-independent); CI loosens
-# only BENCH_TOLERANCE because absolute ns/op is not comparable across
-# host machines.
-GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceJobSubmitPoll|ServiceStreamSweep|EngineClassedMap|EngineRetryOverhead
+# classed-scheduler paths, the PR 6 retry plumbing (a fault-free run
+# with a retry policy armed must stay free), and the PR 7 replayable
+# job-stream attach. The alloc gate stays tight everywhere (alloc
+# counts are machine-independent); CI loosens only BENCH_TOLERANCE
+# because absolute ns/op is not comparable across host machines.
+GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceJobSubmitPoll|ServiceJobStreamAttach|ServiceStreamSweep|EngineClassedMap|EngineRetryOverhead
 BENCH_TOLERANCE ?= 0.25
 BENCH_ALLOC_TOLERANCE ?= 0.25
 # 100 iterations per sample (was 30x): on small or busy machines the
@@ -180,7 +188,7 @@ BENCH_ALLOC_TOLERANCE ?= 0.25
 # wall cost.
 bench-compare:
 	$(GO) run ./cmd/benchjson -bench '$(GATE_BENCH)' -count 3 -benchtime 100x \
-		-out /tmp/bench_gate.json -compare BENCH_6.json \
+		-out /tmp/bench_gate.json -compare BENCH_7.json \
 		-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 figures:

@@ -200,6 +200,44 @@ func BenchmarkServiceJobSubmitPoll(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceJobStreamAttach measures the replayable job-stream
+// path: one submit → GET /v1/jobs/{id}/stream per iteration against a
+// warmed server. The handler replays the buffered lines and follows the
+// live log until the finalizer's terminal line, so the timing covers
+// the whole stream plumbing — the per-shard sink, the line log, the
+// follower loop, and the terminal summary — on top of the job
+// lifecycle itself.
+func BenchmarkServiceJobStreamAttach(b *testing.B) {
+	srv := benchServer(b)
+	const body = `{"kind":"sweep","sweep":{"cluster":"CloudLab","iterations":6,"axis":"powercap","values":[300,250]}}`
+	benchRunJob(b, srv, body) // warm the underlying sweep computation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 202 {
+			b.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+		}
+		var view struct {
+			StreamURL string `json:"stream_url"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+			b.Fatal(err)
+		}
+		stream := httptest.NewRequest("GET", view.StreamURL, nil)
+		rec = httptest.NewRecorder()
+		srv.ServeHTTP(rec, stream)
+		if rec.Code != 200 {
+			b.Fatalf("stream status %d: %s", rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), `"kind":"summary"`) {
+			b.Fatalf("stream ended without a summary line: %s", rec.Body.String())
+		}
+	}
+}
+
 // BenchmarkServiceStreamSweep measures GET /v1/stream/sweep end to
 // end: a 2-variant power sweep streamed as NDJSON per iteration —
 // normalization, the per-shard sink, chunk rendering, line framing, the

@@ -34,6 +34,19 @@
 //	curl localhost:8080/v1/jobs/<id>           # state + shards done/total
 //	curl localhost:8080/v1/jobs/<id>/result    # the finished response
 //	curl -X DELETE localhost:8080/v1/jobs/<id> # cancel
+//	curl -N localhost:8080/v1/jobs/<id>/stream # attach any time: replay + live tail
+//	curl 'localhost:8080/v1/jobs?limit=10&client=team-a&state=done'
+//
+// Multi-tenancy: requests are attributed to a client — the X-API-Key
+// header if sent, the remote address otherwise. Batch job queues are
+// fair-shared across clients (stride scheduling, -client-weight team-a=4
+// to favor one), each client's queue depth is bounded separately from
+// the class-wide bound (-max-queued-per-client), and 429 responses say
+// which scope shed. Per-client counters ride /v1/stats and /metrics
+// (Prometheus text format):
+//
+//	curl -H 'X-API-Key: team-a' -X POST -d '...' localhost:8080/v1/jobs
+//	curl localhost:8080/metrics
 //
 // Every synchronous computation is deadline-bounded (-timeout, default
 // 30s) and cancels mid-run when the client disconnects; async jobs and
@@ -70,6 +83,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -83,19 +98,20 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		seed       = flag.Uint64("seed", 2022, "default fleet instantiation seed")
-		iters      = flag.Int("iterations", 0, "default SGEMM repetitions (0 = quick setting)")
-		summit     = flag.Float64("summit-fraction", 0, "default Summit coverage fraction (0 = quick setting)")
-		respLRU    = flag.Int("response-cache", 256, "response LRU size (entries)")
-		sessLRU    = flag.Int("session-cache", 4, "figure-session LRU size (distinct configs)")
-		fleetLRU   = flag.Int("fleet-cache", cluster.DefaultFleetCacheCap, "fleet LRU size (distinct (spec, seed) instantiations)")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-request computation deadline (negative disables)")
-		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-async-job (and per-stream) computation deadline (negative disables)")
-		maxJobs    = flag.Int("max-jobs", 2, "async jobs executing concurrently, per scheduling class")
-		maxQueued  = flag.Int("max-queued-jobs", 16, "batch-class jobs queued before submissions shed with 429 (negative disables)")
-		jobTTL     = flag.Duration("job-ttl", 10*time.Minute, "finished-job retention before results expire")
-		budget     = flag.Int("budget", 0, "worker-token budget for elastic engine pools (0 = GOMAXPROCS)")
+		addr            = flag.String("addr", ":8080", "listen address")
+		seed            = flag.Uint64("seed", 2022, "default fleet instantiation seed")
+		iters           = flag.Int("iterations", 0, "default SGEMM repetitions (0 = quick setting)")
+		summit          = flag.Float64("summit-fraction", 0, "default Summit coverage fraction (0 = quick setting)")
+		respLRU         = flag.Int("response-cache", 256, "response LRU size (entries)")
+		sessLRU         = flag.Int("session-cache", 4, "figure-session LRU size (distinct configs)")
+		fleetLRU        = flag.Int("fleet-cache", cluster.DefaultFleetCacheCap, "fleet LRU size (distinct (spec, seed) instantiations)")
+		timeout         = flag.Duration("timeout", 30*time.Second, "per-request computation deadline (negative disables)")
+		jobTimeout      = flag.Duration("job-timeout", 10*time.Minute, "per-async-job (and per-stream) computation deadline (negative disables)")
+		maxJobs         = flag.Int("max-jobs", 2, "async jobs executing concurrently, per scheduling class")
+		maxQueued       = flag.Int("max-queued-jobs", 16, "batch-class jobs queued before submissions shed with 429 (negative disables)")
+		maxQueuedClient = flag.Int("max-queued-per-client", 8, "one client's queued batch jobs before its submissions shed with 429 (negative disables)")
+		jobTTL          = flag.Duration("job-ttl", 10*time.Minute, "finished-job retention before results expire")
+		budget          = flag.Int("budget", 0, "worker-token budget for elastic engine pools (0 = GOMAXPROCS)")
 
 		retries      = flag.Int("retries", 3, "total attempts per engine shard for transient failures (<=1 disables retry)")
 		retryBackoff = flag.Duration("retry-backoff", time.Millisecond, "base backoff before a shard retry (jittered, doubling, capped at 100x)")
@@ -105,6 +121,19 @@ func main() {
 		faultSpec    = flag.String("faults", "", "fault-injection spec, e.g. 'engine.shard.pre=error:0.3' (also $GPUVARD_FAULTS)")
 		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the fault registry's per-site RNG streams")
 	)
+	clientWeights := map[string]int{}
+	flag.Func("client-weight", "per-client fair-share weight as client=N (repeatable; unlisted clients weigh 1)", func(v string) error {
+		name, val, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want client=N, got %q", v)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return fmt.Errorf("weight %q: want a positive integer", val)
+		}
+		clientWeights[name] = w
+		return nil
+	})
 	flag.Parse()
 
 	cluster.DefaultFleetCache.SetCap(*fleetLRU)
@@ -136,15 +165,17 @@ func main() {
 			Iterations:     *iters,
 			SummitFraction: *summit,
 		},
-		ResponseCacheSize: *respLRU,
-		SessionCacheSize:  *sessLRU,
-		RequestTimeout:    *timeout,
-		JobTimeout:        *jobTimeout,
-		MaxRunningJobs:    *maxJobs,
-		MaxQueuedJobs:     *maxQueued,
-		JobTTL:            *jobTTL,
-		DataDir:           *dataDir,
-		JournalSync:       sync,
+		ResponseCacheSize:      *respLRU,
+		SessionCacheSize:       *sessLRU,
+		RequestTimeout:         *timeout,
+		JobTimeout:             *jobTimeout,
+		MaxRunningJobs:         *maxJobs,
+		MaxQueuedJobs:          *maxQueued,
+		MaxQueuedJobsPerClient: *maxQueuedClient,
+		ClientWeights:          clientWeights,
+		JobTTL:                 *jobTTL,
+		DataDir:                *dataDir,
+		JournalSync:            sync,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpuvard:", err)

@@ -37,6 +37,13 @@
 //	loadgen -sweep '{"axis":"seed","values":[1,2,3]}' -jobs
 //	loadgen -sweep '{"axis":"fraction","values":[0.5,1]}' -stream
 //	loadgen -url http://localhost:9090 -c 8
+//	loadgen -clients 4 -api-key team -jobs -sweep '...'
+//
+// With -api-key, every request carries an X-API-Key header so the
+// server attributes it to a client; -clients N spreads the workers
+// across N derived identities (<key>-0 .. <key>-N-1), exercising the
+// server's per-client fair queuing and per-client 429 shedding the way
+// N separate tenants would.
 package main
 
 import (
@@ -88,11 +95,34 @@ func main() {
 		conc     = flag.Int("c", 32, "concurrent workers")
 		total    = flag.Int("n", 512, "total requests (split across workers, round-robin over paths)")
 		duration = flag.Duration("duration", 0, "run for this long instead of a fixed -n (0 = use -n)")
+		apiKey   = flag.String("api-key", "", "X-API-Key to send (empty = anonymous; the server falls back to the remote address)")
+		clients  = flag.Int("clients", 1, "spread workers across this many derived client identities (<api-key>-0 .. <api-key>-N-1)")
 	)
 	flag.Parse()
 	if *jobsMode && *sweep == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -jobs requires -sweep (the job payload)")
 		os.Exit(1)
+	}
+	if *clients < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -clients must be at least 1")
+		os.Exit(1)
+	}
+	// keyFor derives worker w's client identity. One identity total when
+	// -clients is 1; N distinct suffixed keys otherwise ("tenant" stands
+	// in as the prefix if -api-key was not given).
+	keyFor := func(w int) string {
+		if *clients == 1 {
+			return *apiKey
+		}
+		prefix := *apiKey
+		if prefix == "" {
+			prefix = "tenant"
+		}
+		return fmt.Sprintf("%s-%d", prefix, w%*clients)
+	}
+
+	if *clients > 1 {
+		fmt.Printf("clients: %d identities (X-API-Key %s .. %s)\n", *clients, keyFor(0), keyFor(*clients-1))
 	}
 
 	const sweepLabel = "POST /v1/sweep"
@@ -116,7 +146,7 @@ func main() {
 	coldMs := make(map[string]float64, len(targets))
 	for _, tg := range targets {
 		t0 := time.Now()
-		body, cacheHdr, aborted, err := do(client, *base, tg)
+		body, cacheHdr, aborted, err := do(client, *base, tg, keyFor(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			os.Exit(1)
@@ -203,6 +233,7 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
+		key := keyFor(w)
 		go func() {
 			defer wg.Done()
 			for {
@@ -216,7 +247,7 @@ func main() {
 				}
 				tg := targets[i%len(targets)]
 				t0 := time.Now()
-				body, cacheHdr, aborted, err := do(client, *base, tg)
+				body, cacheHdr, aborted, err := do(client, *base, tg, key)
 				d := time.Since(t0)
 				if aborted {
 					aborts.Add(1)
@@ -442,11 +473,19 @@ func streamVerify(client *http.Client, target string, ref [32]byte) (ttfl, total
 // retrying — shedding is the server working as designed, not a
 // failure), poll status until terminal (asserting progress
 // monotonicity), fetch the result.
-func doJob(client *http.Client, base string, tg target) (body []byte, err error) {
+func doJob(client *http.Client, base string, tg target, key string) (body []byte, err error) {
 	var sub []byte
 	deadline := time.Now().Add(4 * time.Minute)
 	for {
-		resp, err := client.Post(base+tg.path, "application/json", strings.NewReader(tg.body))
+		req, err := http.NewRequest("POST", base+tg.path, strings.NewReader(tg.body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			return nil, err
 		}
@@ -537,9 +576,9 @@ func doJob(client *http.Client, base string, tg target) (body []byte, err error)
 // do performs one request. aborted reports a server-shed response —
 // 504 (deadline exceeded) or 499 (client canceled) — which callers
 // account separately from failures.
-func do(client *http.Client, base string, tg target) (body []byte, cacheHdr string, aborted bool, err error) {
+func do(client *http.Client, base string, tg target, key string) (body []byte, cacheHdr string, aborted bool, err error) {
 	if tg.method == methodJob {
-		body, err := doJob(client, base, tg)
+		body, err := doJob(client, base, tg, key)
 		return body, "job", false, err
 	}
 	var rd io.Reader
@@ -552,6 +591,9 @@ func do(client *http.Client, base string, tg target) (body []byte, cacheHdr stri
 	}
 	if tg.body != "" {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
 	}
 	resp, err := client.Do(req)
 	if err != nil {

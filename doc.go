@@ -273,6 +273,46 @@
 // stack, including a concurrent catalog run and an in-flight request
 // cancellation through the server.
 //
+// # Multi-tenancy
+//
+// The front door attributes every request to a client: the X-API-Key
+// header when sent (sanitized to 64 printable-ASCII chars), the remote
+// address otherwise. Identity never changes response bytes — requests
+// stay pure functions of their payload — it drives admission, fair
+// scheduling, and accounting:
+//
+//   - Admission is double-bounded. Batch submissions shed with 429 when
+//     the class-wide queue is full (gpuvard -max-queued-jobs; code
+//     "queue_full") or when the submitting client's own backlog exceeds
+//     its slice (-max-queued-per-client; code "client_queue_full",
+//     naming the client) — a noisy tenant hits its own wall while quiet
+//     tenants keep submitting.
+//   - Dispatch is stride-scheduled fair sharing across clients inside
+//     the class budget: each client's queue drains in proportion to its
+//     weight (-client-weight team-a=4; default 1), a newly active
+//     client enters at the class's virtual time (no starvation, no
+//     banked credit), and ties break deterministically by client ID.
+//   - Accounting rides /v1/stats (per-client queued/running/shed/served
+//     and weight) and the dependency-free Prometheus text exposition at
+//     GET /metrics (gpuvar_* counter/gauge families with per-class,
+//     per-client, and per-fault-site labels).
+//
+// Every response carries X-Request-ID (echoed from the client if
+// reasonable, generated otherwise), errors are a uniform JSON envelope
+// with a stable machine-readable code, and the legacy /healthz spelling
+// answers with Deprecation/Link headers pointing at /v1/healthz.
+//
+// Async jobs also record their stream: each job's NDJSON lines (the
+// same schema and byte-identical payload chunks as the synchronous
+// streaming endpoints) land in a bounded replayable line log, and GET
+// /v1/jobs/{id}/stream attaches at ANY point in the job's life —
+// replaying everything already emitted, then following live until the
+// terminal line. A mid-run attach therefore delivers the identical
+// bytes a from-the-start reader saw, and the concatenated payloads
+// equal the job's result body exactly. GET /v1/jobs is paginated
+// (limit/page_token over stable creation order) and filterable by
+// client and state. API.md documents the full surface.
+//
 // # Resilience
 //
 // The serving stack is built to keep answering — with the right bytes —
@@ -354,13 +394,16 @@
 // cmd/benchjson -compare regression gate, which re-measures the banked
 // perf wins plus the sweep, async-job, streaming, and classed-engine
 // serving paths — plus the retry-overhead guard (a fault-free run with
-// retries armed must stay free) — and fails on >25% ns/op or allocs/op
-// growth against the committed BENCH_6.json), the race job (go test
-// -race -short ./...), and the smoke job (make smoke — build gpuvard,
-// boot it, and drive a concurrent loadgen mix over figures,
-// variant-axis sweeps, the async job lifecycle, and the streaming
-// endpoints, asserting zero failures and byte-identity end to end,
-// then the chaos and crash-recovery stages described under
+// retries armed must stay free) and the replayable job-stream attach —
+// and fails on >25% ns/op or allocs/op growth against the committed
+// BENCH_7.json), the race job (go test -race -short ./...), and the
+// smoke job (make smoke — build gpuvard, boot it, and drive a
+// concurrent loadgen mix over figures, variant-axis sweeps, the async
+// job lifecycle, and the streaming endpoints, asserting zero failures
+// and byte-identity end to end, then a multi-tenant stage (4 client
+// identities through the job path, per-client accounting asserted on
+// /v1/stats and /metrics, a job stream replayed through its summary
+// line) and the chaos and crash-recovery stages described under
 // Resilience). Superseded CI runs on the same ref are canceled
 // (concurrency: cancel-in-progress).
 package gpuvar

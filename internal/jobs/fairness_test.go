@@ -1,0 +1,296 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"gpuvar/internal/engine"
+)
+
+// submitAs submits for an explicit client, failing the test on a shed.
+func submitAs(t *testing.T, m *Manager[string], client string, class engine.Class, fn func(ctx context.Context) (string, error)) string {
+	t.Helper()
+	id, err := m.Submit(client, class, fn)
+	if err != nil {
+		t.Fatalf("Submit(%s): %v", client, err)
+	}
+	return id
+}
+
+// recorder collects job completion labels in execution order.
+type recorder struct {
+	mu    sync.Mutex
+	order []string
+}
+
+func (r *recorder) add(label string) {
+	r.mu.Lock()
+	r.order = append(r.order, label)
+	r.mu.Unlock()
+}
+
+func (r *recorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// record returns a job fn that appends label when it runs.
+func (r *recorder) record(label string) func(context.Context) (string, error) {
+	return func(context.Context) (string, error) {
+		r.add(label)
+		return label, nil
+	}
+}
+
+// TestFairDispatchInterleavesClients is the jobs-layer fairness proof:
+// one client floods the batch queue while another submits a small
+// backlog, and the dispatcher interleaves them instead of draining the
+// flooder FIFO. With MaxRunning=1 every dispatch is serialized, so the
+// completion order is exactly the dispatch order and fully
+// deterministic (stride scheduling with the ID tiebreak).
+func TestFairDispatchInterleavesClients(t *testing.T) {
+	m := New[string](Options{MaxRunning: 1, MaxQueuedBatch: 64})
+	rec := &recorder{}
+	block := make(chan struct{})
+	blocker, err := m.Submit("flood", engine.Batch, func(ctx context.Context) (string, error) {
+		<-block
+		rec.add("F0")
+		return "F0", nil
+	})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	waitFor(t, func() bool { s, _ := m.Get(blocker); return s.State == StateRunning })
+
+	// While the slot is held: flood queues a deep backlog, quiet queues
+	// two jobs AFTER the entire flood backlog exists.
+	var ids []string
+	for _, label := range []string{"F1", "F2", "F3", "F4"} {
+		ids = append(ids, submitAs(t, m, "flood", engine.Batch, rec.record(label)))
+	}
+	for _, label := range []string{"Q0", "Q1"} {
+		ids = append(ids, submitAs(t, m, "quiet", engine.Batch, rec.record(label)))
+	}
+
+	close(block)
+	for _, id := range append([]string{blocker}, ids...) {
+		if snap := await(t, m, id); snap.State != StateDone {
+			t.Fatalf("job %s ended %s, want done", id, snap.State)
+		}
+	}
+
+	// F0's dispatch advanced flood's pass one stride, so quiet (entering
+	// at the scheduler's virtual time) wins the next slot despite the
+	// four flood jobs queued ahead of it, then the two clients alternate
+	// until quiet drains.
+	want := []string{"F0", "Q0", "F1", "Q1", "F2", "F3", "F4"}
+	got := rec.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("completion order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("completion order %v, want %v (stride interleave)", got, want)
+		}
+	}
+}
+
+// TestWeightedShares: a weight-2 client's backlog dispatches twice as
+// often as a weight-1 client's.
+func TestWeightedShares(t *testing.T) {
+	m := New[string](Options{
+		MaxRunning:     1,
+		MaxQueuedBatch: 64,
+		ClientWeights:  map[string]int{"heavy": 2, "light": 1},
+	})
+	rec := &recorder{}
+	block := make(chan struct{})
+	blocker, err := m.Submit("z", engine.Batch, func(ctx context.Context) (string, error) {
+		<-block
+		return "", nil
+	})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	waitFor(t, func() bool { s, _ := m.Get(blocker); return s.State == StateRunning })
+
+	var ids []string
+	for _, label := range []string{"H0", "H1", "H2", "H3"} {
+		ids = append(ids, submitAs(t, m, "heavy", engine.Batch, rec.record(label)))
+	}
+	for _, label := range []string{"L0", "L1"} {
+		ids = append(ids, submitAs(t, m, "light", engine.Batch, rec.record(label)))
+	}
+	close(block)
+	for _, id := range ids {
+		await(t, m, id)
+	}
+
+	// Stride trace (stride ∝ 1/weight, ties break on client ID):
+	// heavy dispatches twice for every light dispatch.
+	want := []string{"H0", "L0", "H1", "H2", "L1", "H3"}
+	got := rec.snapshot()
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("completion order %v, want %v (2:1 weighted shares)", got, want)
+		}
+	}
+}
+
+// TestPerClientQueueBound: the per-client bound sheds one client's
+// overflow with ErrClientQueueFull while the class-wide queue still
+// has room for other clients, and the per-client counters attribute
+// the shed to the offender.
+func TestPerClientQueueBound(t *testing.T) {
+	m := New[string](Options{MaxRunning: 1, MaxQueuedBatch: 16, MaxQueuedPerClient: 2})
+	block := make(chan struct{})
+	blocker, err := m.Submit("flood", engine.Batch, func(ctx context.Context) (string, error) {
+		<-block
+		return "", nil
+	})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	waitFor(t, func() bool { s, _ := m.Get(blocker); return s.State == StateRunning })
+
+	var queued []string
+	for i := 0; i < 2; i++ {
+		queued = append(queued, submitAs(t, m, "flood", engine.Batch, func(context.Context) (string, error) { return "", nil }))
+	}
+	// The flooder's own backlog is at its bound: shed, client scope.
+	if _, err := m.Submit("flood", engine.Batch, func(context.Context) (string, error) { return "", nil }); !errors.Is(err, ErrClientQueueFull) {
+		t.Fatalf("flood overflow = %v, want ErrClientQueueFull", err)
+	}
+	// Another client still has the class-wide queue's room.
+	quiet := submitAs(t, m, "quiet", engine.Batch, func(context.Context) (string, error) { return "ok", nil })
+
+	st := m.Stats()
+	if st.Shed != 1 || st.ShedClient != 1 {
+		t.Fatalf("stats shed=%d shed_client=%d, want 1/1", st.Shed, st.ShedClient)
+	}
+	var flood, quietStats *ClientStats
+	for i := range st.Clients {
+		switch st.Clients[i].Client {
+		case "flood":
+			flood = &st.Clients[i]
+		case "quiet":
+			quietStats = &st.Clients[i]
+		}
+	}
+	if flood == nil || quietStats == nil {
+		t.Fatalf("per-client stats missing: %+v", st.Clients)
+	}
+	if flood.Shed != 1 || flood.Queued != 2 || flood.Running != 1 {
+		t.Fatalf("flood stats = %+v, want shed=1 queued=2 running=1", *flood)
+	}
+	if quietStats.Shed != 0 || quietStats.Queued != 1 {
+		t.Fatalf("quiet stats = %+v, want shed=0 queued=1", *quietStats)
+	}
+
+	close(block)
+	await(t, m, blocker)
+	for _, id := range append(queued, quiet) {
+		await(t, m, id)
+	}
+	st = m.Stats()
+	for _, cs := range st.Clients {
+		if cs.Queued != 0 || cs.Running != 0 {
+			t.Fatalf("client %s accounting leaked after drain: %+v", cs.Client, cs)
+		}
+	}
+}
+
+// TestDoneChannel: Done is closed on the terminal transition —
+// including for a job canceled while still queued — and is already
+// closed for terminal jobs.
+func TestDoneChannel(t *testing.T) {
+	m := New[string](Options{MaxRunning: 1})
+	block := make(chan struct{})
+	first := submitAs(t, m, "test", engine.Batch, func(ctx context.Context) (string, error) {
+		<-block
+		return "", nil
+	})
+	waitFor(t, func() bool { s, _ := m.Get(first); return s.State == StateRunning })
+	second := submitAs(t, m, "test", engine.Batch, func(context.Context) (string, error) { return "", nil })
+
+	ch, ok := m.Done(second)
+	if !ok {
+		t.Fatal("Done: job not found")
+	}
+	select {
+	case <-ch:
+		t.Fatal("done channel closed while the job is queued")
+	default:
+	}
+	m.Cancel(second)
+	<-ch // closed by the queued-cancel path
+	if snap, _ := m.Get(second); snap.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", snap.State)
+	}
+
+	close(block)
+	await(t, m, first)
+	if ch, ok := m.Done(first); !ok {
+		t.Fatal("Done: finished job not found")
+	} else {
+		<-ch // already closed
+	}
+	if _, ok := m.Done("nope"); ok {
+		t.Fatal("Done found an unknown job")
+	}
+}
+
+// TestLogReplayAndFollow: a follower attaching mid-stream replays the
+// buffered prefix and then blocks for live appends until Close.
+func TestLogReplayAndFollow(t *testing.T) {
+	l := NewLog(16)
+	l.Append("a")
+	l.Append("b")
+
+	lines, done, more := l.Next(0)
+	if len(lines) != 2 || lines[0] != "a" || lines[1] != "b" || done || more != nil {
+		t.Fatalf("Next(0) = (%v, %v, %v), want the buffered prefix", lines, done, more)
+	}
+	_, done, more = l.Next(2)
+	if done || more == nil {
+		t.Fatalf("Next(2) should block: done=%v more=%v", done, more)
+	}
+	l.Append("c")
+	<-more // woken by the append
+	lines, done, _ = l.Next(2)
+	if len(lines) != 1 || lines[0] != "c" || done {
+		t.Fatalf("Next(2) after append = (%v, %v), want [c]", lines, done)
+	}
+	_, _, more = l.Next(3)
+	l.Close()
+	<-more
+	if _, done, _ := l.Next(3); !done {
+		t.Fatal("Next past the end of a closed log must report done")
+	}
+	if l.Truncated() {
+		t.Fatal("log truncated within its bound")
+	}
+}
+
+// TestLogTruncation: appending past the bound drops the history and
+// marks the log truncated instead of growing or blocking.
+func TestLogTruncation(t *testing.T) {
+	l := NewLog(2)
+	l.Append("a")
+	l.Append("b")
+	l.Append("c") // over the bound
+	if !l.Truncated() {
+		t.Fatal("log not marked truncated past its bound")
+	}
+	lines, _, _ := l.Next(0)
+	if len(lines) != 0 {
+		t.Fatalf("truncated log replayed %v, want nothing", lines)
+	}
+	l.Close()
+	if _, done, _ := l.Next(0); !done {
+		t.Fatal("closed truncated log must report done")
+	}
+}

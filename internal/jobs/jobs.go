@@ -13,20 +13,34 @@
 //	   │          │    ├──► failed
 //	   └──────────┴───────► canceled
 //
-// A job is queued until one of its class's MaxRunning slots frees,
-// running while its function executes, and terminal afterwards.
-// Cancellation is cooperative and prompt: Cancel ends the job's
-// context, the engine under it stops dispatching shards, and the
+// A job is queued until the dispatcher grants it one of its class's
+// MaxRunning slots, running while its function executes, and terminal
+// afterwards. Cancellation is cooperative and prompt: Cancel ends the
+// job's context, the engine under it stops dispatching shards, and the
 // workers drain; a job canceled while still queued never runs at all.
 //
 // Scheduling classes: every job carries an engine.Class. Each class has
-// its own execution slots and queue, so saturated batch work never
+// its own execution slots and queues, so saturated batch work never
 // blocks an interactive job from starting, and the job's context
 // carries the class down to the engine, where elastic worker pools draw
 // from the class's share of the process-wide token budget. The batch
 // queue is bounded (MaxQueuedBatch): a submission past the bound is
 // shed with ErrQueueFull instead of growing an unbounded backlog — the
 // service maps that to 429 + Retry-After.
+//
+// Multi-tenant fairness: every job also carries a client identity, and
+// each class's queue is really a set of per-client FIFO queues drained
+// by stride scheduling — each client accumulates "pass" in proportion
+// to 1/weight (Options.ClientWeights) as its jobs are dispatched, and
+// the dispatcher always picks the backlogged client with the lowest
+// pass. A client that floods the queue therefore delays only itself:
+// other clients' jobs keep dispatching at their weighted share no
+// matter how deep the flooder's backlog grows. A client re-entering
+// after idling starts at the scheduler's current virtual time, so
+// idleness banks no credit. On top of the class-wide bound, each
+// client's batch backlog is individually bounded (MaxQueuedPerClient):
+// exceeding it sheds with ErrClientQueueFull, which the service
+// reports as a 429 scoped to the client rather than the class.
 //
 // Progress comes from the engine's existing shard counters: the job's
 // context carries an engine.Progress (engine.WithProgress), so every
@@ -70,23 +84,48 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// ErrQueueFull reports a shed submission: the batch queue is at its
-// bound and the job was rejected rather than enqueued.
+// ErrQueueFull reports a shed submission: the class-wide batch queue is
+// at its bound and the job was rejected rather than enqueued.
 var ErrQueueFull = errors.New("jobs: batch queue is saturated")
+
+// ErrClientQueueFull reports a shed submission scoped to one client:
+// the class-wide queue still has room, but this client's own batch
+// backlog is at its bound. Other clients can still submit.
+var ErrClientQueueFull = errors.New("jobs: client batch queue is saturated")
+
+// strideScale is the stride numerator: a client's pass advances by
+// strideScale/weight per dispatched job, so higher weights dispatch
+// proportionally more often.
+const strideScale = 1 << 20
+
+// maxTrackedClients bounds the per-client accounting map. Client
+// identities can be remote addresses, so the set is unbounded in
+// principle; past the bound, idle clients (nothing queued or running)
+// are evicted oldest-activity first, forfeiting their counters.
+const maxTrackedClients = 512
 
 // Options configures a Manager. The zero value gets modest defaults.
 type Options struct {
 	// MaxRunning bounds concurrently executing jobs per class (default
-	// 2); queued jobs wait for a slot in submission order of slot
-	// acquisition. Classes have independent slot sets, so batch
-	// saturation never delays an interactive job.
+	// 2); queued jobs wait for a slot in weighted-fair client order
+	// (FIFO within one client). Classes have independent slot sets, so
+	// batch saturation never delays an interactive job.
 	MaxRunning int
-	// MaxQueuedBatch bounds batch-class jobs waiting for a slot
-	// (default 16; negative disables shedding). A batch submission past
-	// the bound fails with ErrQueueFull. Interactive submissions are
-	// never shed — the interactive queue only grows as fast as clients
-	// ask for priority work.
+	// MaxQueuedBatch bounds batch-class jobs waiting for a slot across
+	// all clients (default 16; negative disables shedding). A batch
+	// submission past the bound fails with ErrQueueFull. Interactive
+	// submissions are never shed — the interactive queue only grows as
+	// fast as clients ask for priority work.
 	MaxQueuedBatch int
+	// MaxQueuedPerClient bounds one client's batch-class backlog
+	// (default 8; negative disables the per-client bound). A submission
+	// past it fails with ErrClientQueueFull while other clients keep
+	// their share of the class-wide queue.
+	MaxQueuedPerClient int
+	// ClientWeights assigns stride-scheduling weights per client ID
+	// (default 1): a weight-3 client's backlog dispatches three jobs for
+	// every one of a weight-1 client's when both are saturated.
+	ClientWeights map[string]int
 	// MaxRetained bounds terminal jobs kept for polling (default 64).
 	MaxRetained int
 	// TTL bounds how long a terminal job stays pollable (default 10
@@ -106,6 +145,9 @@ type Snapshot struct {
 	State State  `json:"state"`
 	// Class is the job's scheduling class ("interactive" or "batch").
 	Class string `json:"class"`
+	// Client is the submitting client's identity (API key or remote
+	// address, as derived by the service).
+	Client string `json:"client,omitempty"`
 	// ShardsDone / ShardsTotal are the engine's per-job progress:
 	// shards completed vs shards scheduled so far across the job's
 	// whole call tree. Total grows as nested jobs are discovered.
@@ -115,6 +157,20 @@ type Snapshot struct {
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
 	Error       string    `json:"error,omitempty"`
+}
+
+// ClientStats is one client's queue accounting, exported via Stats for
+// /v1/stats and /metrics.
+type ClientStats struct {
+	Client  string `json:"client"`
+	Weight  int    `json:"weight"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	// Shed counts this client's rejected submissions (either scope:
+	// class-wide or per-client bound).
+	Shed uint64 `json:"shed"`
+	// Served counts this client's jobs that finished in state done.
+	Served uint64 `json:"served"`
 }
 
 // Stats is the manager's counter snapshot, folded into the service's
@@ -127,18 +183,21 @@ type Stats struct {
 	// Evicted counts terminal jobs dropped from retention (TTL, the
 	// MaxRetained cap, or an explicit Delete).
 	Evicted uint64 `json:"evicted"`
-	// Shed counts batch submissions rejected because the batch queue
-	// was at its bound (the service's 429s).
-	Shed     uint64 `json:"shed"`
-	Queued   int    `json:"queued"`
-	Running  int    `json:"running"`
-	Retained int    `json:"retained"`
+	// Shed counts submissions rejected at either bound (the service's
+	// 429s); ShedClient is the subset rejected by the per-client bound.
+	Shed       uint64 `json:"shed"`
+	ShedClient uint64 `json:"shed_client"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Retained   int    `json:"retained"`
 	// Per-class queue depth and occupancy — the saturation signals the
 	// service exports via /v1/healthz and /v1/stats.
 	QueuedInteractive  int `json:"queued_interactive"`
 	QueuedBatch        int `json:"queued_batch"`
 	RunningInteractive int `json:"running_interactive"`
 	RunningBatch       int `json:"running_batch"`
+	// Clients is the per-client accounting, sorted by client ID.
+	Clients []ClientStats `json:"clients,omitempty"`
 	// Journal is the write-ahead journal's counters (appends, write
 	// errors, boot recovery); nil when the manager runs without one.
 	Journal *JournalStats `json:"journal,omitempty"`
@@ -149,8 +208,12 @@ type job[V any] struct {
 	id       string
 	state    State
 	class    engine.Class
+	client   string
 	progress engine.Progress
 	cancel   context.CancelFunc
+	start    chan struct{} // closed by the dispatcher when a slot is granted
+	done     chan struct{} // closed on the terminal transition
+	qel      *list.Element // client-queue position while queued
 	val      V
 	err      error
 	created  time.Time
@@ -159,16 +222,30 @@ type job[V any] struct {
 	el       *list.Element // retention-list position once terminal
 }
 
+// clientState is one client's queues and stride-scheduler position.
+type clientState[V any] struct {
+	id         string
+	weight     int
+	pass       [engine.NumClasses]uint64
+	queue      [engine.NumClasses]*list.List // waiting jobs, front = next
+	queued     [engine.NumClasses]int
+	running    [engine.NumClasses]int
+	shed       uint64
+	served     uint64
+	lastActive time.Time
+}
+
 // Manager owns a set of jobs. Create with New; safe for concurrent use.
 type Manager[V any] struct {
 	opts Options
-	sem  [engine.NumClasses]chan struct{} // per-class execution slots
 
 	mu      sync.Mutex
 	jobs    map[string]*job[V]
+	clients map[string]*clientState[V]
 	done    *list.List // terminal jobs, front = most recently finished
 	queued  [engine.NumClasses]int
 	running [engine.NumClasses]int
+	vtime   [engine.NumClasses]uint64 // pass of the last dispatched client
 	stats   Stats
 	journal *journalState[V] // nil until AttachJournal
 }
@@ -181,6 +258,9 @@ func New[V any](opts Options) *Manager[V] {
 	if opts.MaxQueuedBatch == 0 {
 		opts.MaxQueuedBatch = 16
 	}
+	if opts.MaxQueuedPerClient == 0 {
+		opts.MaxQueuedPerClient = 8
+	}
 	if opts.MaxRetained < 1 {
 		opts.MaxRetained = 64
 	}
@@ -190,15 +270,12 @@ func New[V any](opts Options) *Manager[V] {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	m := &Manager[V]{
-		opts: opts,
-		jobs: map[string]*job[V]{},
-		done: list.New(),
+	return &Manager[V]{
+		opts:    opts,
+		jobs:    map[string]*job[V]{},
+		clients: map[string]*clientState[V]{},
+		done:    list.New(),
 	}
-	for c := range m.sem {
-		m.sem[c] = make(chan struct{}, opts.MaxRunning)
-	}
-	return m
 }
 
 // newID returns a fresh, unguessable job ID.
@@ -210,33 +287,110 @@ func newID() string {
 	return "j" + hex.EncodeToString(b[:])
 }
 
-// Submit registers fn as a new job of the given scheduling class and
-// returns its ID immediately. fn runs on its own goroutine under a
-// context that carries the job's class and progress sink and is
+// clientLocked returns (creating if needed) the client's state. Caller
+// holds m.mu.
+func (m *Manager[V]) clientLocked(id string) *clientState[V] {
+	cl, ok := m.clients[id]
+	if !ok {
+		w := m.opts.ClientWeights[id]
+		if w < 1 {
+			w = 1
+		}
+		cl = &clientState[V]{id: id, weight: w}
+		for c := range cl.queue {
+			cl.queue[c] = list.New()
+		}
+		m.clients[id] = cl
+		m.evictClientsLocked()
+	}
+	cl.lastActive = m.opts.Now()
+	return cl
+}
+
+// evictClientsLocked bounds the client map: past maxTrackedClients,
+// idle clients (nothing queued or running) are dropped oldest-activity
+// first. Caller holds m.mu.
+func (m *Manager[V]) evictClientsLocked() {
+	if len(m.clients) <= maxTrackedClients {
+		return
+	}
+	idle := make([]*clientState[V], 0, len(m.clients))
+	for _, cl := range m.clients {
+		active := false
+		for c := 0; c < engine.NumClasses; c++ {
+			if cl.queued[c] > 0 || cl.running[c] > 0 {
+				active = true
+				break
+			}
+		}
+		if !active {
+			idle = append(idle, cl)
+		}
+	}
+	sort.Slice(idle, func(i, k int) bool { return idle[i].lastActive.Before(idle[k].lastActive) })
+	for _, cl := range idle {
+		if len(m.clients) <= maxTrackedClients {
+			break
+		}
+		delete(m.clients, cl.id)
+	}
+}
+
+// Submit registers fn as a new job for the given client and scheduling
+// class and returns its ID immediately. fn runs on its own goroutine
+// under a context that carries the job's class and progress sink and is
 // canceled by Cancel (and bounded by Options.Timeout, if set). fn's
 // error classifies the terminal state: nil → done, a context
 // cancellation → canceled, anything else → failed.
 //
-// A batch submission is shed with ErrQueueFull when the batch queue is
-// already at MaxQueuedBatch — backpressure instead of unbounded
-// backlog; the caller should retry later.
-func (m *Manager[V]) Submit(class engine.Class, fn func(ctx context.Context) (V, error)) (string, error) {
+// A batch submission is shed with ErrQueueFull when the class-wide
+// batch queue is at MaxQueuedBatch, and with ErrClientQueueFull when
+// the submitting client's own backlog is at MaxQueuedPerClient —
+// backpressure instead of unbounded backlog; the caller should retry
+// later.
+func (m *Manager[V]) Submit(client string, class engine.Class, fn func(ctx context.Context) (V, error)) (string, error) {
+	if client == "" {
+		client = "anonymous"
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job[V]{id: newID(), state: StateQueued, class: class, cancel: cancel}
+	j := &job[V]{
+		id: newID(), state: StateQueued, class: class, client: client,
+		cancel: cancel, start: make(chan struct{}), done: make(chan struct{}),
+	}
 	ctx = engine.WithClass(engine.WithProgress(ctx, &j.progress), class)
 
 	m.mu.Lock()
 	m.pruneLocked()
-	if class == engine.Batch && m.opts.MaxQueuedBatch > 0 && m.queued[engine.Batch] >= m.opts.MaxQueuedBatch {
-		m.stats.Shed++
-		m.mu.Unlock()
-		cancel()
-		return "", ErrQueueFull
+	cl := m.clientLocked(client)
+	if class == engine.Batch {
+		if m.opts.MaxQueuedBatch > 0 && m.queued[engine.Batch] >= m.opts.MaxQueuedBatch {
+			m.stats.Shed++
+			cl.shed++
+			m.mu.Unlock()
+			cancel()
+			return "", ErrQueueFull
+		}
+		if m.opts.MaxQueuedPerClient > 0 && cl.queued[engine.Batch] >= m.opts.MaxQueuedPerClient {
+			m.stats.Shed++
+			m.stats.ShedClient++
+			cl.shed++
+			m.mu.Unlock()
+			cancel()
+			return "", ErrClientQueueFull
+		}
 	}
 	j.created = m.opts.Now()
 	m.jobs[j.id] = j
+	if cl.queue[class].Len() == 0 && cl.running[class] == 0 && cl.pass[class] < m.vtime[class] {
+		// Re-entering after idling: start at the scheduler's current
+		// virtual time so idleness banks no dispatch credit.
+		cl.pass[class] = m.vtime[class]
+	}
+	j.qel = cl.queue[class].PushBack(j)
+	cl.queued[class]++
 	m.queued[class]++
 	m.stats.Submitted++
+	m.dispatchLocked(class)
 	jr := m.journal
 	m.mu.Unlock()
 
@@ -245,32 +399,61 @@ func (m *Manager[V]) Submit(class engine.Class, fn func(ctx context.Context) (V,
 	// failure rather than a vanished ID. Outside the manager lock: an
 	// fsyncing journal must not serialize the whole manager.
 	if jr != nil {
-		_ = jr.j.append(journalRecord{Op: "submit", ID: j.id, Class: class.String(), T: j.created}, false)
+		_ = jr.j.append(journalRecord{Op: "submit", ID: j.id, Class: class.String(), Client: j.client, T: j.created}, false)
 	}
 
 	go m.run(ctx, j, fn)
 	return j.id, nil
 }
 
-// run waits for the class's execution slot, runs fn, and records the
+// dispatchLocked grants free execution slots of the class to queued
+// jobs: repeatedly pick the backlogged client with the lowest stride
+// pass (ties break on client ID for determinism), pop its oldest job,
+// and signal the job's goroutine. Caller holds m.mu.
+func (m *Manager[V]) dispatchLocked(class engine.Class) {
+	for m.running[class] < m.opts.MaxRunning {
+		var pick *clientState[V]
+		for _, cl := range m.clients {
+			if cl.queue[class].Len() == 0 {
+				continue
+			}
+			if pick == nil || cl.pass[class] < pick.pass[class] ||
+				(cl.pass[class] == pick.pass[class] && cl.id < pick.id) {
+				pick = cl
+			}
+		}
+		if pick == nil {
+			return
+		}
+		el := pick.queue[class].Front()
+		j := el.Value.(*job[V])
+		pick.queue[class].Remove(el)
+		j.qel = nil
+		m.vtime[class] = pick.pass[class]
+		pick.pass[class] += strideScale / uint64(pick.weight)
+		pick.queued[class]--
+		m.queued[class]--
+		pick.running[class]++
+		m.running[class]++
+		j.state = StateRunning
+		j.started = m.opts.Now()
+		close(j.start)
+	}
+}
+
+// run waits for the dispatcher's slot grant, runs fn, and records the
 // outcome.
 func (m *Manager[V]) run(ctx context.Context, j *job[V], fn func(ctx context.Context) (V, error)) {
 	var zero V
 	select {
-	case m.sem[j.class] <- struct{}{}:
+	case <-j.start:
 	case <-ctx.Done():
-		// Canceled while queued: terminal without ever running.
+		// Canceled while queued: terminal without ever running. (If the
+		// dispatcher granted the slot in the same instant, finish sees
+		// StateRunning and releases it — either way the accounting holds.)
 		m.finish(j, zero, ctx.Err())
 		return
 	}
-	defer func() { <-m.sem[j.class] }()
-
-	m.mu.Lock()
-	m.queued[j.class]--
-	m.running[j.class]++
-	j.state = StateRunning
-	j.started = m.opts.Now()
-	m.mu.Unlock()
 
 	if t := m.opts.Timeout; t > 0 {
 		var cancel context.CancelFunc
@@ -281,20 +464,35 @@ func (m *Manager[V]) run(ctx context.Context, j *job[V], fn func(ctx context.Con
 	m.finish(j, v, err)
 }
 
-// finish records the terminal state and moves the job into retention.
+// finish records the terminal state, moves the job into retention, and
+// re-dispatches the freed slot.
 func (m *Manager[V]) finish(j *job[V], v V, err error) {
 	m.mu.Lock()
+	cl := m.clients[j.client]
 	switch j.state {
 	case StateQueued:
 		m.queued[j.class]--
+		if cl != nil {
+			cl.queued[j.class]--
+			if j.qel != nil {
+				cl.queue[j.class].Remove(j.qel)
+				j.qel = nil
+			}
+		}
 	case StateRunning:
 		m.running[j.class]--
+		if cl != nil {
+			cl.running[j.class]--
+		}
 	}
 	j.finished = m.opts.Now()
 	switch {
 	case err == nil:
 		j.state, j.val = StateDone, v
 		m.stats.Done++
+		if cl != nil {
+			cl.served++
+		}
 	case errors.Is(err, context.Canceled):
 		j.state, j.err = StateCanceled, err
 		m.stats.Canceled++
@@ -304,11 +502,14 @@ func (m *Manager[V]) finish(j *job[V], v V, err error) {
 	}
 	j.el = m.done.PushFront(j)
 	m.evictLocked()
+	m.dispatchLocked(j.class)
 	jr := m.journal
 	m.mu.Unlock()
 	// Release the context's resources; the engine under it has already
 	// returned.
 	j.cancel()
+	// Wake stream followers and other terminal-state watchers.
+	close(j.done)
 	// Journal the terminal transition (with the result bytes for done
 	// jobs) outside the lock; the terminal record is the one the sync
 	// policy fsyncs by default.
@@ -327,6 +528,19 @@ func (m *Manager[V]) Get(id string) (Snapshot, bool) {
 		return Snapshot{}, false
 	}
 	return m.snapshotLocked(j), true
+}
+
+// Done returns a channel that is closed when the job reaches a terminal
+// state — the wait primitive for stream followers. The channel of an
+// already-terminal job is already closed.
+func (m *Manager[V]) Done(id string) (<-chan struct{}, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.done, true
 }
 
 // Result returns the job's value alongside its snapshot. The value is
@@ -428,6 +642,18 @@ func (m *Manager[V]) Stats() Stats {
 	s.Queued = s.QueuedInteractive + s.QueuedBatch
 	s.Running = s.RunningInteractive + s.RunningBatch
 	s.Retained = m.done.Len()
+	if len(m.clients) > 0 {
+		s.Clients = make([]ClientStats, 0, len(m.clients))
+		for _, cl := range m.clients {
+			cs := ClientStats{Client: cl.id, Weight: cl.weight, Shed: cl.shed, Served: cl.served}
+			for c := 0; c < engine.NumClasses; c++ {
+				cs.Queued += cl.queued[c]
+				cs.Running += cl.running[c]
+			}
+			s.Clients = append(s.Clients, cs)
+		}
+		sort.Slice(s.Clients, func(i, k int) bool { return s.Clients[i].Client < s.Clients[k].Client })
+	}
 	if m.journal != nil {
 		js := m.journal.j.Stats()
 		s.Journal = &js
@@ -442,6 +668,7 @@ func (m *Manager[V]) snapshotLocked(j *job[V]) Snapshot {
 		ID:          j.id,
 		State:       j.state,
 		Class:       j.class.String(),
+		Client:      j.client,
 		ShardsDone:  done,
 		ShardsTotal: total,
 		CreatedAt:   j.created,

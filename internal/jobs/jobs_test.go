@@ -19,7 +19,7 @@ import (
 // exercise shedding call Submit directly).
 func mustSubmit(t *testing.T, m *Manager[string], class engine.Class, fn func(ctx context.Context) (string, error)) string {
 	t.Helper()
-	id, err := m.Submit(class, fn)
+	id, err := m.Submit("test", class, fn)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -363,8 +363,9 @@ func TestPerClassSlotsAndShedding(t *testing.T) {
 		t.Fatalf("second batch job state = %s, want queued", s.State)
 	}
 
-	// The batch queue is full: the next batch submission is shed.
-	if _, err := m.Submit(engine.Batch, func(context.Context) (string, error) { return "", nil }); !errors.Is(err, ErrQueueFull) {
+	// The batch queue is full: the next batch submission is shed — with
+	// the class-wide error, since the aggregate bound is the one hit.
+	if _, err := m.Submit("test", engine.Batch, func(context.Context) (string, error) { return "", nil }); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("Submit past the batch queue bound = %v, want ErrQueueFull", err)
 	}
 	st := m.Stats()
@@ -409,7 +410,7 @@ func TestShedQueueReopensAfterDrain(t *testing.T) {
 	})
 	waitFor(t, func() bool { s, _ := m.Get(first); return s.State == StateRunning })
 	second := mustSubmit(t, m, engine.Batch, func(context.Context) (string, error) { return "", nil })
-	if _, err := m.Submit(engine.Batch, func(context.Context) (string, error) { return "", nil }); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.Submit("test", engine.Batch, func(context.Context) (string, error) { return "", nil }); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("want ErrQueueFull while the queue is at its bound, got %v", err)
 	}
 	close(block)

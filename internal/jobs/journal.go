@@ -98,11 +98,12 @@ type JournalStats struct {
 
 // journalRecord is one JSON line.
 type journalRecord struct {
-	Op    string    `json:"op"` // submit | done | failed | canceled
-	ID    string    `json:"id"`
-	Class string    `json:"class,omitempty"`
-	T     time.Time `json:"t"`
-	Error string    `json:"error,omitempty"`
+	Op     string    `json:"op"` // submit | done | failed | canceled
+	ID     string    `json:"id"`
+	Class  string    `json:"class,omitempty"`
+	Client string    `json:"client,omitempty"`
+	T      time.Time `json:"t"`
+	Error  string    `json:"error,omitempty"`
 	// Result is the codec-encoded value of a done job (base64 in the
 	// JSON encoding).
 	Result []byte `json:"result,omitempty"`
@@ -317,10 +318,14 @@ func (m *Manager[V]) AttachJournal(j *Journal, enc func(V) ([]byte, error), dec 
 	var restored []*job[V]
 	for _, id := range order {
 		f := byID[id]
-		jb := &job[V]{id: id, cancel: func() {}}
+		jb := &job[V]{id: id, cancel: func() {}, done: make(chan struct{})}
+		// Replayed jobs are terminal: their done channel starts closed so
+		// stream followers and other watchers never block on them.
+		close(jb.done)
 		switch {
 		case f.submit != nil:
 			jb.created = f.submit.T
+			jb.client = f.submit.Client
 			if c, err := engine.ParseClass(f.submit.Class); err == nil {
 				jb.class = c
 			}
@@ -389,7 +394,7 @@ func (m *Manager[V]) AttachJournal(j *Journal, enc func(V) ([]byte, error), dec 
 	compacted := make([]journalRecord, 0, 2*m.done.Len())
 	for el := m.done.Back(); el != nil; el = el.Prev() {
 		jb := el.Value.(*job[V])
-		compacted = append(compacted, journalRecord{Op: "submit", ID: jb.id, Class: jb.class.String(), T: jb.created})
+		compacted = append(compacted, journalRecord{Op: "submit", ID: jb.id, Class: jb.class.String(), Client: jb.client, T: jb.created})
 		rec := journalRecord{ID: jb.id, T: jb.finished}
 		switch jb.state {
 		case StateDone:

@@ -41,7 +41,7 @@ func newJournaled(t *testing.T, path string, opts Options) *Manager[string] {
 // submitWait submits fn and waits for the job to go terminal.
 func submitWait(t *testing.T, m *Manager[string], fn func(ctx context.Context) (string, error)) Snapshot {
 	t.Helper()
-	id, err := m.Submit(engine.Batch, fn)
+	id, err := m.Submit("test", engine.Batch, fn)
 	if err != nil {
 		t.Fatal(err)
 	}

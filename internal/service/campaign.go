@@ -68,19 +68,19 @@ type campaignResponse struct {
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxCampaignBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
 		return
 	}
 	var req campaignRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: %v", err)
 		return
 	}
 	key, compute, status, err := campaignComputation(&req)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writeError(w, status, errCode(err, status), "%v", err)
 		return
 	}
 	s.serveCached(w, r, key, compute)

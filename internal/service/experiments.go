@@ -82,7 +82,7 @@ func experimentCacheKey(req experimentRequest) string {
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	req, exp, status, err := parseExperiment(r)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writeError(w, status, errCode(err, status), "%v", err)
 		return
 	}
 	key := experimentCacheKey(req)

@@ -3,11 +3,14 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"gpuvar/internal/engine"
 	"gpuvar/internal/jobs"
@@ -19,9 +22,10 @@ import (
 // same payloads as asynchronous jobs:
 //
 //	POST   /v1/jobs              submit → 202 + poll URL
-//	GET    /v1/jobs              list live jobs
+//	GET    /v1/jobs              list live jobs (paginated/filtered)
 //	GET    /v1/jobs/{id}         lifecycle state + per-shard progress
 //	GET    /v1/jobs/{id}/result  the finished response (replayable)
+//	GET    /v1/jobs/{id}/stream  the job's NDJSON stream (jobstream.go)
 //	DELETE /v1/jobs/{id}         cancel (active) / forget (terminal)
 //
 // A job's computation is the synchronous handler's computation, run
@@ -95,17 +99,18 @@ func jobComputation(req *jobRequest) (key string, class engine.Class, compute fu
 }
 
 // jobView is one job in wire form: the manager's snapshot plus the
-// URLs a client polls and fetches.
+// URLs a client polls, streams, and fetches.
 type jobView struct {
 	jobs.Snapshot
 	URL       string `json:"url"`
+	StreamURL string `json:"stream_url,omitempty"`
 	ResultURL string `json:"result_url,omitempty"`
 }
 
 func jobURL(id string) string { return "/v1/jobs/" + id }
 
 func (s *Server) jobView(snap jobs.Snapshot) jobView {
-	v := jobView{Snapshot: snap, URL: jobURL(snap.ID)}
+	v := jobView{Snapshot: snap, URL: jobURL(snap.ID), StreamURL: jobURL(snap.ID) + "/stream"}
 	if snap.State == jobs.StateDone {
 		v.ResultURL = jobURL(snap.ID) + "/result"
 	}
@@ -123,14 +128,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxJobBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
 		return
 	}
 	var req jobRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: %v", err)
 		return
 	}
 
@@ -139,52 +144,193 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// computations become jobs.
 	key, class, compute, status, err := jobComputation(&req)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writeError(w, status, errCode(err, status), "%v", err)
 		return
 	}
+
+	// The job's replayable stream: the start line (carrying the body
+	// prefix) is appended before submission, so even a follower that
+	// attaches instantly replays a complete prefix (see jobstream.go).
+	st := s.newJobStream(&req)
 
 	// The job runs the computation through the response cache: it
 	// coalesces with identical synchronous requests and other jobs, and
 	// its complete result lands in the LRU for both paths to replay.
-	id, err := s.jobs.Submit(class, func(ctx context.Context) (*cachedResponse, error) {
+	// The stream's shard sink rides the job's context; a job that
+	// coalesces onto another flight emits no shard lines and its stream
+	// falls back to the whole finished body.
+	client := requestClient(r.Context())
+	id, err := s.jobs.Submit(client, class, func(ctx context.Context) (*cachedResponse, error) {
+		if st != nil {
+			ctx = st.sinkContext(ctx)
+		}
 		res, _, err := s.cache.do(ctx, key, compute)
 		return res, err
 	})
-	if errors.Is(err, jobs.ErrQueueFull) {
-		// Shedding: the batch queue is saturated. 429 + Retry-After is
-		// backpressure, not failure — the client should resubmit (or
-		// use class "interactive" for genuinely urgent work).
+	if errors.Is(err, jobs.ErrClientQueueFull) {
+		// Per-client shedding: this client's own backlog is at its bound
+		// while the class-wide queue still has room for other tenants.
+		// The scope in the message and code tells the client that backing
+		// off (or spreading keys) is on them specifically.
 		w.Header().Set("Retry-After", "2")
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, "client_queue_full",
+			"client %q's batch job queue is full (%d of this client's jobs queued); retry later or submit with class \"interactive\"",
+			client, s.clientQueued(client))
+		return
+	}
+	if errors.Is(err, jobs.ErrQueueFull) {
+		// Class-wide shedding: the whole batch queue is saturated. 429 +
+		// Retry-After is backpressure, not failure — the client should
+		// resubmit (or use class "interactive" for genuinely urgent work).
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusTooManyRequests, "queue_full",
 			"batch job queue is full (%d queued); retry later or submit with class \"interactive\"",
 			s.jobs.Stats().QueuedBatch)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
+	}
+	if st != nil {
+		s.registerJobStream(id, st)
 	}
 	snap, _ := s.jobs.Get(id)
 	w.Header().Set("Location", jobURL(id))
 	writeJSON(w, http.StatusAccepted, s.jobView(snap))
 }
 
+// clientQueued reads one client's current batch queue depth from the
+// manager's per-client stats (0 if the client is unknown).
+func (s *Server) clientQueued(client string) int {
+	for _, cs := range s.jobs.Stats().Clients {
+		if cs.Client == client {
+			return cs.Queued
+		}
+	}
+	return 0
+}
+
+// jobListResponse is the GET /v1/jobs body. NextPageToken appears only
+// on paginated listings that have more pages.
+type jobListResponse struct {
+	Jobs          []jobView `json:"jobs"`
+	NextPageToken string    `json:"next_page_token,omitempty"`
+}
+
+// handleJobList lists jobs in creation order (CreatedAt, then ID — the
+// manager's deterministic snapshot order). Without parameters the
+// behavior is the original unpaginated listing; ?limit= and
+// ?page_token= paginate it deterministically, and ?client= / ?state=
+// filter before pagination so a page token remains valid within one
+// filtered view.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	snaps := s.jobs.Snapshots()
-	out := struct {
-		Jobs []jobView `json:"jobs"`
-	}{Jobs: make([]jobView, len(snaps))}
-	for i, snap := range snaps {
-		out.Jobs[i] = s.jobView(snap)
+	q := r.URL.Query()
+	for k := range q {
+		switch k {
+		case "limit", "page_token", "client", "state":
+		default:
+			// The same strictness the POST bodies get from
+			// DisallowUnknownFields: a typoed knob must fail, not silently
+			// list everything.
+			writeError(w, http.StatusBadRequest, "bad_request", "unknown parameter %q", k)
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad limit %q: want a positive integer", v)
+			return
+		}
+		limit = n
+	}
+	var afterCreated int64
+	var afterID string
+	usingToken := false
+	if tok := q.Get("page_token"); tok != "" {
+		var err error
+		afterCreated, afterID, err = decodePageToken(tok)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_page_token", "bad page_token %q: %v", tok, err)
+			return
+		}
+		usingToken = true
+	}
+	client := q.Get("client")
+	state := q.Get("state")
+	if state != "" {
+		switch jobs.State(state) {
+		case jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"bad state %q: want queued, running, done, failed, or canceled", state)
+			return
+		}
+	}
+
+	out := jobListResponse{Jobs: []jobView{}}
+	for _, snap := range s.jobs.Snapshots() {
+		if client != "" && snap.Client != client {
+			continue
+		}
+		if state != "" && string(snap.State) != state {
+			continue
+		}
+		if usingToken && !afterToken(snap, afterCreated, afterID) {
+			continue
+		}
+		if limit > 0 && len(out.Jobs) == limit {
+			// One more matching job exists past the page: hand out the
+			// token that resumes right after the page's last entry.
+			last := out.Jobs[len(out.Jobs)-1]
+			out.NextPageToken = encodePageToken(last.CreatedAt.UnixNano(), last.ID)
+			break
+		}
+		out.Jobs = append(out.Jobs, s.jobView(snap))
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// Page tokens are an opaque encoding of the last-listed job's position
+// in creation order (created-at nanos + ID, the snapshot sort key), so
+// a page boundary stays stable as jobs finish, expire, or arrive.
+func encodePageToken(createdUnixNano int64, id string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(strconv.FormatInt(createdUnixNano, 10) + ":" + id))
+}
+
+func decodePageToken(tok string) (createdUnixNano int64, id string, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return 0, "", errors.New("not a page token")
+	}
+	created, id, ok := strings.Cut(string(raw), ":")
+	if !ok {
+		return 0, "", errors.New("not a page token")
+	}
+	n, err := strconv.ParseInt(created, 10, 64)
+	if err != nil {
+		return 0, "", errors.New("not a page token")
+	}
+	return n, id, nil
+}
+
+// afterToken reports whether snap sorts strictly after the token's
+// position in creation order.
+func afterToken(snap jobs.Snapshot, created int64, id string) bool {
+	c := snap.CreatedAt.UnixNano()
+	if c != created {
+		return c > created
+	}
+	return snap.ID > id
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	snap, ok := s.jobs.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q (finished jobs expire after their TTL)", id)
+		writeError(w, http.StatusNotFound, "job_not_found", "unknown job %q (finished jobs expire after their TTL)", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobView(snap))
@@ -194,7 +340,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	res, snap, ok := s.jobs.Result(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q (finished jobs expire after their TTL)", id)
+		writeError(w, http.StatusNotFound, "job_not_found", "unknown job %q (finished jobs expire after their TTL)", id)
 		return
 	}
 	switch snap.State {
@@ -207,21 +353,21 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(res.status)
 		_, _ = w.Write(res.body)
 	case jobs.StateCanceled:
-		writeError(w, http.StatusGone, "job %s was canceled", id)
+		writeError(w, http.StatusGone, "job_canceled", "job %s was canceled", id)
 	case jobs.StateFailed:
 		err := s.jobs.Err(id)
 		var se *statusError
 		switch {
 		case errors.As(err, &se):
-			writeError(w, se.status, "%v", se.err)
+			writeError(w, se.status, errCode(err, se.status), "%v", se.err)
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "job %s exceeded the job deadline (%s)", id, s.opts.JobTimeout)
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "job %s exceeded the job deadline (%s)", id, s.opts.JobTimeout)
 		default:
-			writeError(w, http.StatusInternalServerError, "job %s failed: %s", id, snap.Error)
+			writeError(w, http.StatusInternalServerError, "internal", "job %s failed: %s", id, snap.Error)
 		}
 	default:
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusConflict, "job %s is %s; poll %s until it is done", id, snap.State, jobURL(id))
+		writeError(w, http.StatusConflict, "job_not_ready", "job %s is %s; poll %s until it is done", id, snap.State, jobURL(id))
 	}
 }
 
@@ -231,7 +377,7 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// Same envelope and message as the status/result 404s: a client
 		// cleaning up an expired job learns why the ID is gone.
-		writeError(w, http.StatusNotFound, "unknown job %q (finished jobs expire after their TTL)", id)
+		writeError(w, http.StatusNotFound, "job_not_found", "unknown job %q (finished jobs expire after their TTL)", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobView(snap))

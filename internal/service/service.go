@@ -2,7 +2,7 @@
 // HTTP service: the full figure/table catalog, ad-hoc experiments, and
 // campaign simulations, all as JSON.
 //
-// Routes (all under /v1):
+// Routes (all under /v1; see API.md for the full reference):
 //
 //	GET    /v1/figures            catalog of figure/table generators
 //	GET    /v1/figures/{id}       one rendered figure (config via query)
@@ -20,13 +20,29 @@
 //	                              selects interactive or batch (default)
 //	                              scheduling, and saturated batch queues
 //	                              shed with 429 + Retry-After
-//	GET    /v1/jobs               list live jobs (creation order)
+//	GET    /v1/jobs               list live jobs (creation order;
+//	                              ?limit/?page_token paginate,
+//	                              ?client/?state filter)
 //	GET    /v1/jobs/{id}          job state + per-shard progress
 //	GET    /v1/jobs/{id}/result   finished job's response (replayable)
+//	GET    /v1/jobs/{id}/stream   the job's NDJSON stream: replayed
+//	                              prefix + live tail (see jobstream.go)
 //	DELETE /v1/jobs/{id}          cancel / forget a job
 //	GET    /v1/stats              cache/session/engine/job counters,
-//	                              per-class queue depth, budget occupancy
+//	                              per-class queue depth, budget occupancy,
+//	                              per-client queue accounting
 //	GET    /v1/healthz            liveness + the same counters
+//	GET    /metrics               the same counters in Prometheus text
+//	                              exposition format (see metrics.go)
+//
+// Multi-tenancy: every request carries a client identity — the
+// X-API-Key header when present, else the remote address — and the
+// async job queue schedules batch jobs across clients with weighted
+// fair (stride) scheduling plus a per-client queue bound, so one
+// flooding tenant cannot starve or crowd out another (see
+// internal/jobs). Every response echoes or generates an X-Request-ID,
+// and every non-2xx body is the one JSON error envelope
+// {"error": ..., "code": ...} with a stable machine-readable code.
 //
 // Every expensive response is produced through a fingerprint-keyed LRU
 // result cache with cancellation-safe singleflight coalescing
@@ -62,13 +78,17 @@ import (
 	"bytes"
 	"container/list"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +130,15 @@ type Options struct {
 	// past the bound answers 429 + Retry-After instead of growing an
 	// unbounded backlog.
 	MaxQueuedJobs int
+	// MaxQueuedJobsPerClient bounds one client's queued batch jobs
+	// (default 8; negative disables). A single client past its own
+	// bound sheds with 429 naming the client scope while the class-wide
+	// queue still has room for everyone else.
+	MaxQueuedJobsPerClient int
+	// ClientWeights sets per-client fair-share weights for the batch
+	// queue (default weight 1). A weight-2 client's backlog dispatches
+	// twice as often as a weight-1 client's.
+	ClientWeights map[string]int
 	// MaxRetainedJobs bounds finished jobs kept for polling (default
 	// 256; oldest evicted first). The default leaves generous headroom
 	// so a submitter briefly descheduled between its 202 and its first
@@ -140,6 +169,12 @@ type Server struct {
 	journal  *jobs.Journal // nil without Options.DataDir
 	mux      *http.ServeMux
 	started  time.Time
+	// streams holds each live job's replayable NDJSON line log, keyed
+	// by job ID (see jobstream.go); pruned against the job manager.
+	streams struct {
+		mu   sync.Mutex
+		byID map[string]*jobStream
+	}
 	// degradedServes counts responses answered from the stale store
 	// after a compute failure; lastDegraded (unix nanos) drives the
 	// healthz ok|degraded status.
@@ -183,11 +218,13 @@ func New(opts Options) (*Server, error) {
 		cache:    newResultCache(opts.ResponseCacheSize),
 		sessions: newSessionPool(opts.SessionCacheSize),
 		jobs: jobs.New[*cachedResponse](jobs.Options{
-			MaxRunning:     opts.MaxRunningJobs,
-			MaxQueuedBatch: opts.MaxQueuedJobs,
-			MaxRetained:    opts.MaxRetainedJobs,
-			TTL:            opts.JobTTL,
-			Timeout:        opts.JobTimeout,
+			MaxRunning:         opts.MaxRunningJobs,
+			MaxQueuedBatch:     opts.MaxQueuedJobs,
+			MaxQueuedPerClient: opts.MaxQueuedJobsPerClient,
+			ClientWeights:      opts.ClientWeights,
+			MaxRetained:        opts.MaxRetainedJobs,
+			TTL:                opts.JobTTL,
+			Timeout:            opts.JobTimeout,
 		}),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
@@ -214,10 +251,12 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz) // legacy path
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz) // legacy path (Deprecation header)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -257,6 +296,11 @@ func decodeCachedResponse(b []byte) (*cachedResponse, error) {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Every response — routed or not — carries the request's ID (echoed
+	// when the client sent a well-formed one, generated otherwise) and
+	// runs with the derived client identity on its context.
+	w.Header().Set("X-Request-ID", requestID(r))
+	r = r.WithContext(withClientID(r.Context(), deriveClient(r)))
 	if _, pattern := s.mux.Handler(r); pattern == "" {
 		// No route matched: net/http would answer plain text. Run the
 		// mux's own fallback against a throwaway recorder to learn what it
@@ -275,13 +319,92 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", allow)
 		}
 		if status == http.StatusMethodNotAllowed {
-			writeError(w, status, "method %s not allowed for %s", r.Method, r.URL.Path)
+			writeError(w, status, "method_not_allowed", "method %s not allowed for %s", r.Method, r.URL.Path)
 		} else {
-			writeError(w, status, "unknown route %s %s", r.Method, r.URL.Path)
+			writeError(w, status, "unknown_route", "unknown route %s %s", r.Method, r.URL.Path)
 		}
 		return
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// clientIDKey carries the request's derived client identity through the
+// context to the job queue and the per-client counters.
+type clientIDKey struct{}
+
+func withClientID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, clientIDKey{}, id)
+}
+
+// requestClient returns the context's client identity ("anonymous" when
+// the request did not pass through ServeHTTP, e.g. in direct handler
+// tests).
+func requestClient(ctx context.Context) string {
+	if id, ok := ctx.Value(clientIDKey{}).(string); ok && id != "" {
+		return id
+	}
+	return "anonymous"
+}
+
+// deriveClient maps a request to its client identity: the X-API-Key
+// header when present (the multi-tenant spelling), else the remote
+// host. The identity is a fairness and accounting key, not an
+// authentication boundary.
+func deriveClient(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return sanitizeClientID(key)
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return host
+	}
+	if r.RemoteAddr != "" {
+		return r.RemoteAddr
+	}
+	return "anonymous"
+}
+
+// sanitizeClientID bounds an API key's length and character set so it
+// is safe as a JSON value, a Prometheus label, and a log token.
+func sanitizeClientID(key string) string {
+	const maxLen = 64
+	var b strings.Builder
+	for _, r := range key {
+		if b.Len() >= maxLen {
+			break
+		}
+		if r > 0x20 && r < 0x7f {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "anonymous"
+	}
+	return b.String()
+}
+
+// requestID echoes a well-formed client-supplied X-Request-ID (ASCII
+// printable, at most 128 bytes) or mints a fresh one, so every response
+// is traceable whether or not the client participates.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			if id[i] <= 0x20 || id[i] >= 0x7f {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "r-unavailable"
+	}
+	return "r" + hex.EncodeToString(buf[:])
 }
 
 // statusRecorder captures the status and headers the mux's fallback
@@ -308,15 +431,76 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 // stats endpoint).
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
-// errorBody is the JSON error envelope of every non-2xx response.
+// errorBody is the JSON error envelope of every non-2xx response: a
+// human-readable message plus a stable machine-readable code clients
+// can branch on without parsing prose.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// writeError is the single writer of every non-2xx response body. Codes
+// are part of the API surface — stable snake_case identifiers such as
+// queue_full, client_queue_full, job_not_found, job_not_ready, bad_axis,
+// bad_request, not_found, method_not_allowed, unknown_route,
+// deadline_exceeded, canceled, gone, internal.
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	if code == "" {
+		code = codeForStatus(status)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// codeForStatus maps an HTTP status to its default error code, for
+// paths where no more specific code applies.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "gone"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case statusClientClosedRequest:
+		return "canceled"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return "error"
+	}
+}
+
+// codedError attaches a stable error code to a validation failure so
+// the handler that eventually writes it can surface a more specific
+// code than the status default (e.g. bad_axis instead of bad_request).
+type codedError struct {
+	code string
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+func withCode(code string, err error) error { return &codedError{code: code, err: err} }
+
+// errCode resolves an error's code: an explicit codedError wins, else
+// the status default.
+func errCode(err error, status int) string {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return codeForStatus(status)
 }
 
 // statusError carries an HTTP status through the cache's error path,
@@ -381,6 +565,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 				status, msg = se.status, se.err.Error()
 			}
 		}
+		code := errCode(err, status)
 		// Degraded serving: a server-side failure (5xx) of a key whose
 		// last good bytes still sit in the stale store answers those bytes
 		// instead — the computation is pure, so "stale" is merely
@@ -399,7 +584,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 				return
 			}
 		}
-		writeError(w, status, "%s", msg)
+		writeError(w, status, code, "%s", msg)
 		return
 	}
 	w.Header().Set("Content-Type", res.contentType)
@@ -454,12 +639,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		known := figures.IDs()
 		sort.Strings(known)
-		writeError(w, http.StatusNotFound, "unknown figure id %q (known: %v)", id, known)
+		writeError(w, http.StatusNotFound, "unknown_figure", "unknown figure id %q (known: %v)", id, known)
 		return
 	}
 	cfg, err := s.figureConfig(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	key := fmt.Sprintf("figure|%s|%+v", id, cfg)
@@ -582,8 +767,14 @@ func (s *Server) healthStatus() string {
 
 // handleHealthz answers liveness probes and exposes the same counters
 // as /v1/stats, so a single probe shows both that the server is up and
-// whether the engine is draining or wedged.
+// whether the engine is draining or wedged. The legacy unversioned
+// /healthz spelling still answers but advertises its successor via the
+// Deprecation and Link headers (RFC 8594 style).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/healthz>; rel="successor-version"`)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(healthzResponse{OK: true, Status: s.healthStatus(), statsResponse: s.snapshot()})
 }

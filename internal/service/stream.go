@@ -230,18 +230,18 @@ const sweepStreamSuffix = "  ]\n}\n"
 func (s *Server) handleStreamSweep(w http.ResponseWriter, r *http.Request) {
 	req, err := sweepRequestFromQuery(r.URL.Query())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	exp, axis, status, err := normalizeSweep(&req)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writeError(w, status, errCode(err, status), "%v", err)
 		return
 	}
 	n := len(req.Values)
 	prefix, err := sweepStreamPrefix(req)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
 
@@ -294,12 +294,12 @@ func experimentStreamPrefix(req experimentRequest) (string, error) {
 func (s *Server) handleStreamExperiment(w http.ResponseWriter, r *http.Request) {
 	req, exp, status, err := parseExperiment(r)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writeError(w, status, errCode(err, status), "%v", err)
 		return
 	}
 	prefix, err := experimentStreamPrefix(req)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
 

@@ -87,19 +87,19 @@ type sweepResponse struct {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSweepBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
 		return
 	}
 	var req sweepRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: %v", err)
 		return
 	}
 	key, compute, status, err := sweepComputation(&req)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writeError(w, status, errCode(err, status), "%v", err)
 		return
 	}
 	s.serveCached(w, r, key, compute)
@@ -150,8 +150,11 @@ func sweepComputation(req *sweepRequest) (key string, compute func(ctx context.C
 	}
 	r := *req
 	key = sweepCacheKey(r)
+	// The run goes through the streamSweepRun seam (core.VariantSweepCtx
+	// in production) so the gated-shard tests can control shard timing on
+	// the job path exactly as they do on the streaming path.
 	compute = func(ctx context.Context) (*cachedResponse, error) {
-		points, err := core.VariantSweepCtx(ctx, exp, axis, r.Values)
+		points, err := streamSweepRun(ctx, exp, axis, r.Values)
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +257,7 @@ func normalizeSweep(req *sweepRequest) (core.Experiment, core.VariantAxis, int, 
 	}
 	axis, err := core.ParseVariantAxis(req.Axis)
 	if err != nil {
-		return core.Experiment{}, "", http.StatusBadRequest, err
+		return core.Experiment{}, "", http.StatusBadRequest, withCode("bad_axis", err)
 	}
 	if len(req.Values) == 0 {
 		return core.Experiment{}, "", http.StatusBadRequest,
@@ -266,7 +269,7 @@ func normalizeSweep(req *sweepRequest) (core.Experiment, core.VariantAxis, int, 
 	}
 	for _, v := range req.Values {
 		if err := axis.Validate(v); err != nil {
-			return core.Experiment{}, "", http.StatusBadRequest, err
+			return core.Experiment{}, "", http.StatusBadRequest, withCode("bad_axis", err)
 		}
 	}
 	if req.Cluster == "" {

@@ -8,6 +8,13 @@
 # its integration job so the serving stack is exercised by a real
 # server process, not just httptest.
 #
+# A multi-tenant stage then drives the job path as 4 distinct client
+# identities (loadgen -clients 4 -api-key smoke) and asserts the
+# per-client accounting surfaces on /v1/stats and the Prometheus
+# /metrics exposition, a finished job's stream replays through a
+# terminal summary line, responses carry X-Request-ID, and the legacy
+# /healthz spelling advertises its deprecation.
+#
 # Two resilience stages follow the clean run:
 #   chaos    reboot gpuvard with 30% transient shard faults injected
 #            (-faults 'engine.shard.pre=error:0.3') and retries armed,
@@ -111,6 +118,53 @@ echo "==> smoke: exercising the remaining axes synchronously and streamed"
     -paths /v1/figures/tab1 \
     -sweep '{"cluster":"CloudLab","axis":"fraction","values":[1,0.5]}' \
     -stream -c 4 -n 32
+
+echo "==> smoke: multi-tenant — 4 client identities through the job path"
+"$WORK/loadgen" -url "http://$ADDR" \
+    -paths /v1/figures/tab1 \
+    -sweep "$SWEEP_BODY" -jobs \
+    -clients 4 -api-key smoke \
+    -c 8 -n 64
+
+# Per-client accounting must surface on /v1/stats and the Prometheus
+# exposition at /metrics.
+STATS=$(http_body GET /v1/stats)
+for c in smoke-0 smoke-1 smoke-2 smoke-3; do
+    if ! echo "$STATS" | grep -q "\"client\":\"$c\""; then
+        echo "smoke: /v1/stats lacks per-client counters for $c" >&2
+        exit 1
+    fi
+done
+METRICS=$(http_body GET /metrics)
+if ! echo "$METRICS" | grep -q '^gpuvar_client_served_total{client="smoke-0"} '; then
+    echo "smoke: /metrics lacks the per-client served counter" >&2
+    exit 1
+fi
+if ! echo "$METRICS" | grep -q '^# TYPE gpuvar_jobs_total counter'; then
+    echo "smoke: /metrics is missing the gpuvar_jobs_total counter family" >&2
+    exit 1
+fi
+
+# The replayable job stream: a finished job's stream replays from the
+# start line through a terminal summary over a plain GET.
+STREAM_ID=$(http_body POST /v1/jobs '{"kind":"sweep","sweep":{"cluster":"CloudLab","axis":"powercap","values":[300,250]}}' \
+    | grep -Eo '"id": *"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$STREAM_ID" ] || { echo "smoke: stream job submission returned no id" >&2; exit 1; }
+if ! http_body GET "/v1/jobs/$STREAM_ID/stream" | tail -1 | grep -q '"kind":"summary"'; then
+    echo "smoke: job stream did not end with a summary line" >&2
+    exit 1
+fi
+
+# Front-door headers: every response carries a request id, and the
+# legacy /healthz spelling is marked deprecated with its successor.
+if ! http GET /v1/healthz | grep -qi '^X-Request-Id:'; then
+    echo "smoke: responses are missing X-Request-ID" >&2
+    exit 1
+fi
+if ! http GET /healthz | grep -qi '^Deprecation: true'; then
+    echo "smoke: legacy /healthz is not marked deprecated" >&2
+    exit 1
+fi
 
 # The fault-free reference for the chaos stage, captured before the
 # clean server goes away.
