@@ -144,7 +144,7 @@ fuzz-smoke:
 # verify is the tier-1 gate plus the cheap guards: gofmt, vet,
 # staticcheck, tests with the coverage floor, a fuzz smoke, a
 # one-iteration benchmark smoke run, and the benchmark-regression gate
-# against the committed trajectory (BENCH_6.json). The stage sequence
+# against the committed trajectory (BENCH_8.json). The stage sequence
 # lives in scripts/verify.sh, which reports which stage failed.
 verify:
 	scripts/verify.sh
@@ -156,14 +156,14 @@ verify:
 race:
 	$(GO) test -race -short ./...
 
-# bench records the full benchmark suite into BENCH_7.json with PR 6's
-# BENCH_6.json embedded as the baseline (name → ns/op, B/op, allocs/op).
+# bench records the full benchmark suite into BENCH_8.json with PR 7's
+# BENCH_7.json embedded as the baseline (name → ns/op, B/op, allocs/op).
 # Pass BENCH='regexp' to restrict, e.g.
 #   make bench BENCH='Fig04|ExtCampaign' COUNT=3
 BENCH ?= .
 COUNT ?= 1
 bench:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_6.json -out BENCH_7.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_7.json -out BENCH_8.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
@@ -171,15 +171,17 @@ bench-smoke:
 # bench-compare is the benchmark-regression gate: re-measure the gate
 # benchmarks and fail if ns/op regressed past BENCH_TOLERANCE or
 # allocs/op past BENCH_ALLOC_TOLERANCE against the committed
-# BENCH_7.json. GATE_BENCH keeps the gate fast and focused on the two
+# BENCH_8.json. GATE_BENCH keeps the gate fast and focused on the two
 # perf wins PR 1 banked, the engine-backed sweep surfaces (both axis
 # forms), the PR 4 async-job plumbing, the PR 5 streaming and
 # classed-scheduler paths, the PR 6 retry plumbing (a fault-free run
-# with a retry policy armed must stay free), and the PR 7 replayable
-# job-stream attach. The alloc gate stays tight everywhere (alloc
-# counts are machine-independent); CI loosens only BENCH_TOLERANCE
-# because absolute ns/op is not comparable across host machines.
-GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceJobSubmitPoll|ServiceJobStreamAttach|ServiceStreamSweep|EngineClassedMap|EngineRetryOverhead
+# with a retry policy armed must stay free), the PR 7 replayable
+# job-stream attach, and the PR 8 estimator tier (the warm /v1/estimate
+# microsecond path and the cold pre-screened adaptive sweep). The alloc
+# gate stays tight everywhere (alloc counts are machine-independent);
+# CI loosens only BENCH_TOLERANCE because absolute ns/op is not
+# comparable across host machines.
+GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceJobSubmitPoll|ServiceJobStreamAttach|ServiceStreamSweep|EngineClassedMap|EngineRetryOverhead|ServiceEstimate|AdaptiveSweep
 BENCH_TOLERANCE ?= 0.25
 BENCH_ALLOC_TOLERANCE ?= 0.25
 # 100 iterations per sample (was 30x): on small or busy machines the
@@ -188,7 +190,7 @@ BENCH_ALLOC_TOLERANCE ?= 0.25
 # wall cost.
 bench-compare:
 	$(GO) run ./cmd/benchjson -bench '$(GATE_BENCH)' -count 3 -benchtime 100x \
-		-out /tmp/bench_gate.json -compare BENCH_7.json \
+		-out /tmp/bench_gate.json -compare BENCH_8.json \
 		-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 figures:

@@ -258,6 +258,59 @@ func BenchmarkServiceStreamSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceEstimate measures the warm analytical tier: a POST
+// /v1/estimate whose calibration anchors AND rendered response were
+// computed once before the timer, so each iteration is a pure response
+// replay — fingerprint, cache hit, byte copy. This is the latency class
+// the estimator tier promises (microseconds, versus milliseconds for
+// the same axis under full simulation) and the bound the Makefile gate
+// enforces.
+func BenchmarkServiceEstimate(b *testing.B) {
+	srv := benchServer(b)
+	const body = `{"cluster":"CloudLab","iterations":6,"axis":"powercap","values":[300,275,250,225,200,175,150,125,100]}`
+	post := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/estimate", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	if warm := post(); warm.Code != 200 {
+		b.Fatalf("warmup status %d: %s", warm.Code, warm.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := post(); rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkAdaptiveSweep measures the pre-screened sweep cold: a
+// 64-value power-cap axis per iteration on a fresh server, where the
+// estimator calibrates (3 anchor simulations), screens the axis, and
+// full-simulates only the values it cannot vouch for (≤ 32). The
+// honest comparison is BenchmarkServiceSweep scaled to 64 values: the
+// adaptive path buys roughly the screened-out fraction of that cost.
+func BenchmarkAdaptiveSweep(b *testing.B) {
+	const body = `{"cluster":"CloudLab","iterations":6,"axis":"powercap","values":[` +
+		"100,103.2,106.3,109.5,112.7,115.9,119,122.2,125.4,128.6,131.7,134.9,138.1,141.3,144.4,147.6," +
+		"150.8,154,157.1,160.3,163.5,166.7,169.8,173,176.2,179.4,182.5,185.7,188.9,192.1,195.2,198.4," +
+		"201.6,204.8,207.9,211.1,214.3,217.5,220.6,223.8,227,230.2,233.3,236.5,239.7,242.9,246,249.2," +
+		"252.4,255.6,258.7,261.9,265.1,268.3,271.4,274.6,277.8,281,284.1,287.3,290.5,293.7,296.8,300" +
+		`],"adaptive":true,"threshold":0.05}`
+	for i := 0; i < b.N; i++ {
+		srv := benchServer(b)
+		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
 // BenchmarkEngineClassedMap measures the elastic scheduler's pure
 // overhead: a 64-shard no-op Map drawing its workers from the
 // process-wide token budget under the batch class — cursor, recruit

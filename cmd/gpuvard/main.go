@@ -18,6 +18,17 @@
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/v1/healthz
 //
+// The analytical estimator answers sweep-shaped questions in
+// microseconds from a calibrated closed form instead of simulating —
+// up to 1024 values per request, every point carrying an error bound —
+// and "adaptive" sweeps pre-screen wide axes, simulating only the
+// values the estimator cannot vouch for (-estimate-anchors tunes how
+// many full-simulation anchors each calibration spends):
+//
+//	curl -X POST -d '{"cluster":"CloudLab","axis":"powercap","values":[300,250,200,150,100]}' localhost:8080/v1/estimate
+//	curl 'localhost:8080/v1/estimate?cluster=CloudLab&axis=ambient&values=-8,-4,0,4,8'
+//	curl -X POST -d '{"axis":"powercap","values":[300,290,280,270,260,250],"adaptive":true,"threshold":0.05}' localhost:8080/v1/sweep
+//
 // Long computations stream instead of buffering — NDJSON, one line per
 // completed shard, whose concatenated payloads are byte-identical to
 // the synchronous response:
@@ -112,6 +123,7 @@ func main() {
 		maxQueuedClient = flag.Int("max-queued-per-client", 8, "one client's queued batch jobs before its submissions shed with 429 (negative disables)")
 		jobTTL          = flag.Duration("job-ttl", 10*time.Minute, "finished-job retention before results expire")
 		budget          = flag.Int("budget", 0, "worker-token budget for elastic engine pools (0 = GOMAXPROCS)")
+		estAnchors      = flag.Int("estimate-anchors", 0, "full-simulation anchors per estimator calibration, 2..5 (0 = default 3)")
 
 		retries      = flag.Int("retries", 3, "total attempts per engine shard for transient failures (<=1 disables retry)")
 		retryBackoff = flag.Duration("retry-backoff", time.Millisecond, "base backoff before a shard retry (jittered, doubling, capped at 100x)")
@@ -176,6 +188,7 @@ func main() {
 		JobTTL:                 *jobTTL,
 		DataDir:                *dataDir,
 		JournalSync:            sync,
+		EstimateAnchors:        *estAnchors,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpuvard:", err)

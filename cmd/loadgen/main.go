@@ -28,6 +28,20 @@
 // declared sha256 must match, and the time to the first line is
 // measured and reported — the stream's reason to exist.
 //
+// With -estimate, the -sweep body drives the analytical tier instead
+// of the plain sweep (a wide axis is the point, and wide axes exceed
+// the 32-value full-simulation cap by design — so -estimate excludes
+// -jobs and -stream): it is POSTed to /v1/estimate and as an adaptive
+// /v1/sweep (tolerance -threshold), both riding the same prime/hot
+// byte-identity machinery — the estimator must be deterministic
+// request over request. On top of
+// that, the adaptive response's structure is verified once after
+// priming: every variant carries a source, estimated points carry their
+// error bound, at most 32 values full-simulated (and at most half, on
+// axes of 64+ values), and a plain /v1/sweep of exactly the simulated
+// values must agree with the adaptive response literal-for-literal —
+// the pre-screened sweep's core contract.
+//
 // Usage:
 //
 //	loadgen                                     # 32 workers, 512 reqs, /v1/figures/fig2
@@ -36,6 +50,7 @@
 //	loadgen -sweep '{"cluster":"CloudLab","axis":"powercap","values":[300,250,200,150]}'
 //	loadgen -sweep '{"axis":"seed","values":[1,2,3]}' -jobs
 //	loadgen -sweep '{"axis":"fraction","values":[0.5,1]}' -stream
+//	loadgen -sweep '{"axis":"powercap","values":[100,150,200,250,300]}' -estimate
 //	loadgen -url http://localhost:9090 -c 8
 //	loadgen -clients 4 -api-key team -jobs -sweep '...'
 //
@@ -92,6 +107,8 @@ func main() {
 		sweep    = flag.String("sweep", "", "JSON body to POST to /v1/sweep as part of the mix (empty = no sweep requests)")
 		jobsMode = flag.Bool("jobs", false, "also run the -sweep body through the async job path (submit, poll progress, fetch result) and require the result bytes to match the synchronous sweep response")
 		stream   = flag.Bool("stream", false, "also verify the streaming endpoints: reassembled NDJSON payloads must be byte-identical to the synchronous responses; reports time-to-first-line")
+		estimate = flag.Bool("estimate", false, "also drive the analytical tier: POST the -sweep body to /v1/estimate and as an adaptive sweep, verifying the mixed response's structure and that its simulated points match a plain sweep of the same values")
+		thresh   = flag.Float64("threshold", 0.05, "relative error tolerance for the adaptive sweep driven by -estimate")
 		conc     = flag.Int("c", 32, "concurrent workers")
 		total    = flag.Int("n", 512, "total requests (split across workers, round-robin over paths)")
 		duration = flag.Duration("duration", 0, "run for this long instead of a fixed -n (0 = use -n)")
@@ -101,6 +118,14 @@ func main() {
 	flag.Parse()
 	if *jobsMode && *sweep == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -jobs requires -sweep (the job payload)")
+		os.Exit(1)
+	}
+	if *estimate && *sweep == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -estimate requires -sweep (the request to estimate)")
+		os.Exit(1)
+	}
+	if *estimate && (*jobsMode || *stream) {
+		fmt.Fprintln(os.Stderr, "loadgen: -estimate routes -sweep to the analytical tier; run -jobs/-stream in a separate invocation")
 		os.Exit(1)
 	}
 	if *clients < 1 {
@@ -131,12 +156,25 @@ func main() {
 	for _, p := range strings.Split(*paths, ",") {
 		targets = append(targets, target{label: "GET " + p, method: "GET", path: p})
 	}
-	if *sweep != "" {
+	if *sweep != "" && !*estimate {
 		targets = append(targets, target{label: sweepLabel, method: "POST", path: "/v1/sweep", body: *sweep})
 	}
 	if *jobsMode {
 		targets = append(targets, target{label: jobLabel, method: methodJob, path: "/v1/jobs",
 			body: `{"kind":"sweep","sweep":` + *sweep + `}`})
+	}
+	const estimateLabel = "POST /v1/estimate"
+	const adaptiveLabel = "POST /v1/sweep (adaptive)"
+	var adaptiveBody string
+	if *estimate {
+		var err error
+		if adaptiveBody, err = adaptiveSweepBody(*sweep, *thresh); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -estimate:", err)
+			os.Exit(1)
+		}
+		targets = append(targets,
+			target{label: estimateLabel, method: "POST", path: "/v1/estimate", body: *sweep},
+			target{label: adaptiveLabel, method: "POST", path: "/v1/sweep", body: adaptiveBody})
 	}
 	client := &http.Client{Timeout: 5 * time.Minute}
 
@@ -163,6 +201,19 @@ func main() {
 	if *jobsMode && ref[jobLabel] != ref[sweepLabel] {
 		fmt.Fprintln(os.Stderr, "loadgen: FAIL: async job result diverged from the synchronous /v1/sweep response")
 		os.Exit(1)
+	}
+
+	// Structural verification of the adaptive tier: re-fetch the primed
+	// adaptive response (a warm hit — also proving the estimator answers
+	// deterministically) and hold it to the pre-screened contract.
+	if *estimate {
+		simulated, estimated, err := verifyAdaptive(client, *base, *sweep, adaptiveBody, keyFor(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: FAIL: adaptive sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("adaptive: %d simulated + %d estimated variants; simulated points match a plain sweep literal-for-literal\n",
+			simulated, estimated)
 	}
 
 	// Streaming verification: every stream must reassemble to its
@@ -358,6 +409,132 @@ func (r *mismatchReport) print(w io.Writer) {
 // methodJob marks a target that runs through the async job path
 // instead of a single HTTP request.
 const methodJob = "JOB"
+
+// adaptiveSweepBody turns the -sweep body into its adaptive spelling.
+// json.Marshal reorders the keys, but the body only needs to be
+// self-consistent: every adaptive request in the run sends these exact
+// bytes, so the byte-identity machinery still has a fixed reference.
+func adaptiveSweepBody(body string, threshold float64) (string, error) {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		return "", fmt.Errorf("parsing -sweep body: %v", err)
+	}
+	m["adaptive"] = true
+	m["threshold"] = threshold
+	out, err := json.Marshal(m)
+	return string(out), err
+}
+
+// adaptiveVariant is the per-variant subset -estimate verifies, decoded
+// with json.Number so numeric literals compare as the exact bytes the
+// server sent, not as post-rounding floats.
+type adaptiveVariant struct {
+	Value    json.Number `json:"value"`
+	MedianMs json.Number `json:"median_ms"`
+	PerfVar  json.Number `json:"perf_variation"`
+	GPUs     json.Number `json:"gpus"`
+	Outliers json.Number `json:"outliers"`
+	Source   string      `json:"source"`
+	Bound    json.Number `json:"bound"`
+}
+
+func decodeAdaptiveVariants(body []byte) ([]adaptiveVariant, error) {
+	var resp struct {
+		Variants []json.RawMessage `json:"variants"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("decoding sweep response: %v", err)
+	}
+	out := make([]adaptiveVariant, len(resp.Variants))
+	for i, raw := range resp.Variants {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.UseNumber()
+		if err := dec.Decode(&out[i]); err != nil {
+			return nil, fmt.Errorf("decoding variant %d: %v", i, err)
+		}
+	}
+	return out, nil
+}
+
+// verifyAdaptive checks the pre-screened sweep's contract on the warm
+// adaptive response: every variant declares its source, estimated
+// points carry an error bound, full simulation stays under the 32-value
+// clamp (and under half the axis once it is 64+ values wide), and a
+// plain /v1/sweep of exactly the simulated values agrees with the
+// adaptive response literal-for-literal.
+func verifyAdaptive(client *http.Client, base, sweepBody, adaptiveBody, key string) (simulated, estimated int, err error) {
+	body, _, aborted, err := do(client, base,
+		target{label: "verify adaptive", method: "POST", path: "/v1/sweep", body: adaptiveBody}, key)
+	if err != nil || aborted {
+		return 0, 0, fmt.Errorf("re-fetching the adaptive response: aborted=%t err=%v", aborted, err)
+	}
+	variants, err := decodeAdaptiveVariants(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	var simVals []string
+	byValue := make(map[string]adaptiveVariant, len(variants))
+	for i, v := range variants {
+		switch v.Source {
+		case "simulated":
+			simulated++
+			simVals = append(simVals, v.Value.String())
+			byValue[v.Value.String()] = v
+		case "estimated":
+			if v.Bound == "" {
+				return 0, 0, fmt.Errorf("variant %d (value %s) is estimated but has no bound", i, v.Value)
+			}
+			estimated++
+		default:
+			return 0, 0, fmt.Errorf("variant %d (value %s) has source %q", i, v.Value, v.Source)
+		}
+	}
+	if simulated == 0 {
+		return 0, 0, fmt.Errorf("no simulated variants — the calibration anchors must always simulate")
+	}
+	if simulated > 32 {
+		return 0, 0, fmt.Errorf("%d variants full-simulated, over the 32-value clamp", simulated)
+	}
+	if len(variants) >= 64 && (simulated*2 > len(variants) || estimated == 0) {
+		return 0, 0, fmt.Errorf("a %d-value axis simulated %d values (want ≤ half, with an estimated remainder)", len(variants), simulated)
+	}
+
+	// Replay exactly the simulated values as a plain sweep; the adaptive
+	// path runs the identical shard body, so each point must reproduce
+	// its numeric literals.
+	var m map[string]any
+	if err := json.Unmarshal([]byte(sweepBody), &m); err != nil {
+		return 0, 0, fmt.Errorf("parsing -sweep body: %v", err)
+	}
+	if _, legacy := m["caps_w"]; legacy {
+		delete(m, "caps_w")
+		m["axis"] = "powercap"
+	}
+	m["values"] = json.RawMessage("[" + strings.Join(simVals, ",") + "]")
+	subset, err := json.Marshal(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	plainBody, _, aborted, err := do(client, base,
+		target{label: "verify subset", method: "POST", path: "/v1/sweep", body: string(subset)}, key)
+	if err != nil || aborted {
+		return 0, 0, fmt.Errorf("plain sweep of the simulated values: aborted=%t err=%v", aborted, err)
+	}
+	plain, err := decodeAdaptiveVariants(plainBody)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, p := range plain {
+		a, ok := byValue[p.Value.String()]
+		if !ok {
+			return 0, 0, fmt.Errorf("plain sweep returned value %s that the adaptive response did not simulate", p.Value)
+		}
+		if a.MedianMs != p.MedianMs || a.PerfVar != p.PerfVar || a.GPUs != p.GPUs || a.Outliers != p.Outliers {
+			return 0, 0, fmt.Errorf("value %s: adaptive simulated point diverged from the plain sweep (%+v vs %+v)", p.Value, a, p)
+		}
+	}
+	return simulated, estimated, nil
+}
 
 // sweepStreamURL converts the -sweep JSON body into the streaming
 // endpoint's query-parameter spelling (values/caps_w comma-joined), so

@@ -104,7 +104,7 @@
 //
 // and to record the benchmark trajectory across PRs:
 //
-//	make bench            # full suite → BENCH_2.json (ns/op, B/op, allocs/op)
+//	make bench            # full suite → BENCH_8.json (ns/op, B/op, allocs/op)
 //	make verify           # tier-1 tests + vet + bench smoke + regression gate
 //
 // # Serving
@@ -117,7 +117,11 @@
 //	GET    /v1/experiments/{name} one experiment summary (params via query)
 //	POST   /v1/campaign           one campaign simulation (params via body)
 //	POST   /v1/sweep              a bounded variant-axis sweep as one
-//	                              engine job graph (see below)
+//	                              engine job graph (see below); accepts
+//	                              adaptive: true for pre-screened sweeps
+//	GET/POST /v1/estimate         the sweep request answered analytically
+//	                              in microseconds, every point carrying
+//	                              an error bound (see below)
 //	GET    /v1/stream/sweep       the same sweep streamed as NDJSON,
 //	                              one line per variant (see below)
 //	GET    /v1/stream/experiments/{name}
@@ -156,6 +160,50 @@
 // and returns byte-identical bodies. core.VariantSweepCtx implements
 // all four axes once; core.PowerLimitSweep remains as its golden-tested
 // powercap façade.
+//
+// # Analytical estimator
+//
+// A full-simulation sweep costs milliseconds per value; exploring a
+// design space costs thousands of values. The estimator tier
+// (internal/estimate, surfaced as /v1/estimate and the adaptive sweep
+// mode) answers the same sweep-shaped questions from a calibrated
+// closed form instead: sim.EstimateNominalSteady solves the
+// steady-state DVFS/thermal/power fixed point for the NOMINAL device —
+// no per-iteration loop, no RNG — and a tiny per-(SKU, workload, axis)
+// calibration maps that nominal curve onto the fleet the simulator
+// would actually build. Calibration fits two numbers — a fleet scale
+// factor and a run-to-run noise level — against a handful of
+// full-simulation anchor runs (extremes plus interior points of the
+// requested axis, -estimate-anchors tunes how many), memoized
+// process-wide by the exact request fingerprint, so it is a pure
+// function of the request and never of run history: the same request
+// estimates identically forever.
+//
+// Every estimated point carries an honest relative error bound
+// assembled from what calibration observed — a floor, the anchors'
+// spread around the fitted scale (model misfit: Corona's coarse MI60
+// P-states yield wide bounds, CloudLab's smooth V100 curve tight
+// ones), and the measured noise level. The validation harness pins
+// that the true error against full simulation stays within the bound
+// across all four axes and every catalog SKU. Warm, /v1/estimate
+// answers a 9-value axis in ~40µs (BenchmarkServiceEstimate gates
+// ≤50µs) and accepts 1024 values per request against the plain sweep's
+// 32.
+//
+// Adaptive sweeps splice the two tiers: {"adaptive": true,
+// "threshold": t} screens the axis through the estimator and spends
+// full simulation only where the model cannot vouch for a point within
+// tolerance t — its calibration anchors, points whose bound exceeds t,
+// and points flanking a sharp local gradient — clamped at 32 simulated
+// values per request. Both kinds run through ONE engine job graph
+// whose simulated shards execute the exact shard body of the plain
+// sweep, so simulated points are byte-identical to the non-adaptive
+// sweep's (golden tests pin this per point, down to the JSON numeric
+// literals) and ordered sink streaming works unchanged. threshold: 0
+// folds onto the plain sweep — same cache entry, same bytes. The
+// gpuvar_estimate_* metrics families count estimator calls,
+// calibrations, screened-out versus fully simulated variants, and the
+// worst calibration residual ever observed.
 //
 // # Streaming results
 //
@@ -394,16 +442,19 @@
 // cmd/benchjson -compare regression gate, which re-measures the banked
 // perf wins plus the sweep, async-job, streaming, and classed-engine
 // serving paths — plus the retry-overhead guard (a fault-free run with
-// retries armed must stay free) and the replayable job-stream attach —
-// and fails on >25% ns/op or allocs/op growth against the committed
-// BENCH_7.json), the race job (go test -race -short ./...), and the
-// smoke job (make smoke — build gpuvard, boot it, and drive a
-// concurrent loadgen mix over figures, variant-axis sweeps, the async
-// job lifecycle, and the streaming endpoints, asserting zero failures
-// and byte-identity end to end, then a multi-tenant stage (4 client
-// identities through the job path, per-client accounting asserted on
-// /v1/stats and /metrics, a job stream replayed through its summary
-// line) and the chaos and crash-recovery stages described under
+// retries armed must stay free), the replayable job-stream attach, the
+// warm /v1/estimate microsecond path, and the cold pre-screened
+// adaptive sweep — and fails on >25% ns/op or allocs/op growth against
+// the committed BENCH_8.json), the race job (go test -race -short
+// ./...), and the smoke job (make smoke — build gpuvard, boot it, and
+// drive a concurrent loadgen mix over figures, variant-axis sweeps, the
+// async job lifecycle, and the streaming endpoints, asserting zero
+// failures and byte-identity end to end, then an estimator stage (a
+// 256-value /v1/estimate, the over-cap plain-sweep rejection, and
+// loadgen -estimate verifying the adaptive mix), a multi-tenant stage
+// (4 client identities through the job path, per-client accounting
+// asserted on /v1/stats and /metrics, a job stream replayed through its
+// summary line) and the chaos and crash-recovery stages described under
 // Resilience). Superseded CI runs on the same ref are canceled
 // (concurrency: cancel-in-progress).
 package gpuvar

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"gpuvar/internal/engine"
+	"gpuvar/internal/estimate"
+	"gpuvar/internal/gpu"
+)
+
+// DefaultMaxFullSim bounds how many values of an adaptive sweep may
+// fall back to full simulation — the same bound the service places on a
+// plain sweep's value list, so an adaptive request can never cost more
+// than the largest plain sweep.
+const DefaultMaxFullSim = 32
+
+// EstimateSweepCtx answers a variant sweep analytically: every point
+// comes from the calibrated closed-form estimator (internal/estimate),
+// with Estimated set and Bound carrying the relative error bound. The
+// only simulation spent is the handful of anchor runs behind a cold
+// calibration; on a warm calibrator the whole sweep is microseconds.
+func EstimateSweepCtx(ctx context.Context, exp Experiment, axis VariantAxis, values []float64) ([]VariantPoint, error) {
+	for _, v := range values {
+		if err := axis.Validate(v); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	model, err := estimateModel(ctx, exp, axis, values)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]VariantPoint, len(values))
+	for i, p := range model.Points(values) {
+		pts[i] = estimatedPoint(axis, p)
+	}
+	return pts, nil
+}
+
+// AdaptiveSweepCtx pre-screens the axis analytically and spends full
+// simulation only where the estimator's error bound or the curve's
+// local gradient exceeds threshold (a relative tolerance in (0, 1]).
+// Anchor values always simulate. threshold <= 0 means zero tolerance:
+// the call degenerates to VariantSweepCtx, byte-for-byte.
+//
+// The mixed result runs as ONE engine.Map over every value, so an
+// attached stream sink sees all shards in order; estimated shards
+// complete instantly, and simulated shards run runVariant — the exact
+// plain-sweep shard body — which keeps them bit-identical to the
+// non-adaptive sweep.
+func AdaptiveSweepCtx(ctx context.Context, exp Experiment, axis VariantAxis, values []float64, threshold float64) ([]VariantPoint, error) {
+	if threshold <= 0 {
+		return VariantSweepCtx(ctx, exp, axis, values)
+	}
+	for _, v := range values {
+		if err := axis.Validate(v); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	model, err := estimateModel(ctx, exp, axis, values)
+	if err != nil {
+		return nil, err
+	}
+	est := model.Points(values)
+	simulate := estimate.Screen(est, model.AnchorValues(), threshold, DefaultMaxFullSim)
+	return engine.Map(ctx, len(values), 0, func(ctx context.Context, i int) (VariantPoint, error) {
+		if !simulate[i] {
+			return estimatedPoint(axis, est[i]), nil
+		}
+		return runVariant(ctx, exp, axis, values[i])
+	})
+}
+
+func estimatedPoint(axis VariantAxis, p estimate.Point) VariantPoint {
+	return VariantPoint{
+		Axis:      axis,
+		Value:     p.Value,
+		PerfVar:   p.PerfVar,
+		MedianMs:  p.MedianMs,
+		NOutliers: p.Outliers,
+		GPUs:      p.GPUs,
+		Estimated: true,
+		Bound:     p.Bound,
+	}
+}
+
+// estimateModel fetches (or fits) the calibrated model for this
+// experiment context, feeding calibration anchors from VariantSweepCtx
+// so anchors and real sweeps share one code path. The anchor runs are
+// sink-stripped: a streaming caller's sink belongs to the Map over the
+// full value list, not to calibration.
+func estimateModel(ctx context.Context, exp Experiment, axis VariantAxis, values []float64) (*estimate.Model, error) {
+	req := estimate.Request{
+		Cluster:      exp.Cluster,
+		Workload:     exp.Workload,
+		Seed:         exp.Seed,
+		Fraction:     exp.Fraction,
+		Runs:         exp.Runs,
+		BaseCapW:     exp.AdminCapW,
+		BaseAmbientC: exp.AmbientOffsetC,
+		Axis:         estimate.Axis(axis),
+		Extra:        estimateExtra(exp),
+	}
+	run := func(ctx context.Context, anchorVals []float64) ([]estimate.Anchor, error) {
+		pts, err := VariantSweepCtx(engine.WithSink(ctx, nil), exp, axis, anchorVals)
+		if err != nil {
+			return nil, err
+		}
+		anchors := make([]estimate.Anchor, len(pts))
+		for i, p := range pts {
+			anchors[i] = estimate.Anchor{
+				Value:    p.Value,
+				MedianMs: p.MedianMs,
+				PerfVar:  p.PerfVar,
+				GPUs:     p.GPUs,
+				Outliers: p.NOutliers,
+			}
+		}
+		return anchors, nil
+	}
+	return estimate.DefaultCalibrator.Model(ctx, req, values, run)
+}
+
+// estimateExtra fingerprints the experiment knobs the estimator has no
+// explicit model for, so requests differing there never share a
+// calibration. All are zero-valued on the service's sweep paths.
+func estimateExtra(exp Experiment) string {
+	var vm gpu.VariationModel
+	hasVM := exp.VariationOverride != nil
+	if hasVM {
+		vm = *exp.VariationOverride
+	}
+	return fmt.Sprintf("day%d|transient%t|nodef%t|vm%t%+v", exp.Day, exp.Transient, exp.NoDefects, hasVM, vm)
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/estimate"
+	"gpuvar/internal/workload"
+)
+
+// estimateHarnessCases is the validation harness: every variant axis on
+// the fast catalog cluster, plus the powercap axis (and one other) on
+// every other catalog SKU — V100 SXM2 air (CloudLab), V100 water
+// (Vortex), MI60 coarse-P-state air (Corona), RTX5000 oil (Frontera).
+// Large clusters run at small coverage fractions to keep the harness
+// quick; the estimator has no idea which it is given.
+var estimateHarnessCases = []struct {
+	cluster  string
+	fraction float64
+	axis     VariantAxis
+	values   []float64
+}{
+	{"CloudLab", 1, AxisPowerCap, []float64{100, 125, 150, 175, 200, 225, 250, 300}},
+	{"CloudLab", 1, AxisSeed, []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+	{"CloudLab", 1, AxisAmbient, []float64{-8, -4, 0, 4, 8}},
+	{"CloudLab", 1, AxisFraction, []float64{0.25, 0.5, 0.75, 1}},
+	{"Corona", 0.25, AxisPowerCap, []float64{120, 160, 200, 250, 300}},
+	{"Corona", 0.25, AxisAmbient, []float64{-6, 0, 6}},
+	{"Frontera", 0.15, AxisPowerCap, []float64{120, 160, 200, 230}},
+	{"Vortex", 0.25, AxisPowerCap, []float64{120, 160, 200, 250, 300}},
+}
+
+func harnessExperiment(t *testing.T, clusterName string, fraction float64) Experiment {
+	t.Helper()
+	spec, ok := cluster.ByName(clusterName)
+	if !ok {
+		t.Fatalf("unknown cluster %q", clusterName)
+	}
+	wl, err := workload.ByName("sgemm", spec.SKU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Experiment{Cluster: spec, Workload: wl, Seed: 2022, Fraction: fraction, Runs: 1}
+}
+
+// TestEstimatorErrorWithinBound is the headline validation: at every
+// harness point, the estimator's actual error against full simulation
+// must stay within the bound it reported for itself. A model that is
+// wrong is acceptable where it says so; a model that is wrong where it
+// claimed confidence is a bug.
+func TestEstimatorErrorWithinBound(t *testing.T) {
+	ctx := context.Background()
+	for _, c := range estimateHarnessCases {
+		exp := harnessExperiment(t, c.cluster, c.fraction)
+		est, err := EstimateSweepCtx(ctx, exp, c.axis, c.values)
+		if err != nil {
+			t.Fatalf("%s %s: estimate: %v", c.cluster, c.axis, err)
+		}
+		simPts, err := VariantSweepCtx(ctx, exp, c.axis, c.values)
+		if err != nil {
+			t.Fatalf("%s %s: simulate: %v", c.cluster, c.axis, err)
+		}
+		for i, v := range c.values {
+			e, s := est[i], simPts[i]
+			if !e.Estimated || e.Result != nil {
+				t.Fatalf("%s %s %v: estimated point not marked (Estimated=%t Result=%v)", c.cluster, c.axis, v, e.Estimated, e.Result)
+			}
+			if e.Bound <= 0 {
+				t.Fatalf("%s %s %v: non-positive bound %v", c.cluster, c.axis, v, e.Bound)
+			}
+			if s.MedianMs <= 0 {
+				t.Fatalf("%s %s %v: degenerate simulated median %v", c.cluster, c.axis, v, s.MedianMs)
+			}
+			relErr := (e.MedianMs - s.MedianMs) / s.MedianMs
+			if relErr < 0 {
+				relErr = -relErr
+			}
+			if relErr > e.Bound {
+				t.Errorf("%s %s %v: error %.4f exceeds reported bound %.4f (sim %.4f, est %.4f)",
+					c.cluster, c.axis, v, relErr, e.Bound, s.MedianMs, e.MedianMs)
+			}
+		}
+	}
+}
+
+// TestEstimatorDeterministic pins calibration determinism two ways: the
+// memoized path (same request twice) and a from-scratch refit on a
+// fresh Calibrator must produce bit-identical points — calibration is a
+// pure function of the request, never of run history.
+func TestEstimatorDeterministic(t *testing.T) {
+	ctx := context.Background()
+	exp := harnessExperiment(t, "CloudLab", 1)
+	values := []float64{100, 150, 200, 250, 300}
+
+	first, err := EstimateSweepCtx(ctx, exp, AxisPowerCap, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := EstimateSweepCtx(ctx, exp, AxisPowerCap, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(first)
+	b2, _ := json.Marshal(second)
+	if string(b1) != string(b2) {
+		t.Fatalf("memoized estimate diverged:\n%s\n%s", b1, b2)
+	}
+
+	// A fresh calibrator refits from fresh anchor runs; the simulator is
+	// deterministic, so the fit — and every point — must reproduce bits.
+	fresh := &estimate.Calibrator{}
+	req := estimate.Request{
+		Cluster: exp.Cluster, Workload: exp.Workload,
+		Seed: exp.Seed, Fraction: exp.Fraction, Runs: exp.Runs,
+		Axis: estimate.AxisPowerCap,
+	}
+	run := func(ctx context.Context, anchorVals []float64) ([]estimate.Anchor, error) {
+		pts, err := VariantSweepCtx(ctx, exp, AxisPowerCap, anchorVals)
+		if err != nil {
+			return nil, err
+		}
+		anchors := make([]estimate.Anchor, len(pts))
+		for i, p := range pts {
+			anchors[i] = estimate.Anchor{Value: p.Value, MedianMs: p.MedianMs, PerfVar: p.PerfVar, GPUs: p.GPUs, Outliers: p.NOutliers}
+		}
+		return anchors, nil
+	}
+	m, err := fresh.Model(ctx, req, values, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m.Points(values) {
+		if p.MedianMs != first[i].MedianMs || p.Bound != first[i].Bound || p.PerfVar != first[i].PerfVar {
+			t.Fatalf("fresh calibrator diverged at %v: {%v %v %v} vs {%v %v %v}",
+				values[i], p.MedianMs, p.Bound, p.PerfVar, first[i].MedianMs, first[i].Bound, first[i].PerfVar)
+		}
+	}
+}
+
+// TestAdaptiveThresholdZeroIsPlainSweep pins the degenerate case in the
+// core layer: zero tolerance routes to the plain sweep, so the results
+// (including Result pointers' presence) are the full-simulation ones.
+func TestAdaptiveThresholdZeroIsPlainSweep(t *testing.T) {
+	ctx := context.Background()
+	exp := harnessExperiment(t, "CloudLab", 1)
+	values := []float64{150, 200, 250}
+	plain, err := VariantSweepCtx(ctx, exp, AxisPowerCap, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := AdaptiveSweepCtx(ctx, exp, AxisPowerCap, values, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive) != len(plain) {
+		t.Fatalf("length mismatch: %d vs %d", len(adaptive), len(plain))
+	}
+	for i := range plain {
+		if adaptive[i].Estimated {
+			t.Fatalf("value %v: threshold 0 produced an estimated point", values[i])
+		}
+		if adaptive[i].MedianMs != plain[i].MedianMs || adaptive[i].PerfVar != plain[i].PerfVar ||
+			adaptive[i].GPUs != plain[i].GPUs || adaptive[i].NOutliers != plain[i].NOutliers {
+			t.Fatalf("value %v: adaptive(0) diverged from plain sweep", values[i])
+		}
+	}
+}
+
+// TestAdaptiveSweepMix pins the screening contract on a 64-value
+// powercap axis: at most DefaultMaxFullSim values simulate (≤ 50% of
+// the axis), anchors are among them, and every simulated point is
+// IDENTICAL — same struct, bit for bit — to the plain sweep's point at
+// that value, because both run the same shard body.
+func TestAdaptiveSweepMix(t *testing.T) {
+	ctx := context.Background()
+	exp := harnessExperiment(t, "CloudLab", 1)
+	values := make([]float64, 64)
+	for i := range values {
+		values[i] = 100 + float64(i)*200/63
+	}
+	adaptive, err := AdaptiveSweepCtx(ctx, exp, AxisPowerCap, values, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := VariantSweepCtx(ctx, exp, AxisPowerCap, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := 0
+	for i := range adaptive {
+		if adaptive[i].Estimated {
+			if adaptive[i].Bound <= 0 {
+				t.Fatalf("value %v: estimated point without a bound", values[i])
+			}
+			continue
+		}
+		simulated++
+		a, p := adaptive[i], plain[i]
+		if a.MedianMs != p.MedianMs || a.PerfVar != p.PerfVar || a.GPUs != p.GPUs || a.NOutliers != p.NOutliers {
+			t.Errorf("value %v: simulated point diverged from plain sweep: %+v vs %+v", values[i], a, p)
+		}
+	}
+	if simulated == 0 {
+		t.Fatal("adaptive sweep simulated nothing — anchors must always simulate")
+	}
+	if simulated > DefaultMaxFullSim {
+		t.Fatalf("adaptive sweep simulated %d values, over the %d clamp", simulated, DefaultMaxFullSim)
+	}
+	if simulated*2 > len(values) {
+		t.Fatalf("adaptive sweep simulated %d of %d values (> 50%%)", simulated, len(values))
+	}
+
+	// A wide-open tolerance keeps only the anchors.
+	loose, err := AdaptiveSweepCtx(ctx, exp, AxisPowerCap, values, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseSim := 0
+	for _, p := range loose {
+		if !p.Estimated {
+			looseSim++
+		}
+	}
+	if looseSim == 0 || looseSim > 5 {
+		t.Fatalf("threshold 1 simulated %d values; want just the anchors", looseSim)
+	}
+}

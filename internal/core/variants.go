@@ -103,7 +103,15 @@ type VariantPoint struct {
 	PerfVar   float64
 	MedianMs  float64
 	NOutliers int
+	GPUs      int
 	Result    *Result
+
+	// Estimated marks a point answered by the analytical estimator
+	// (EstimateSweepCtx, or a screened-out variant of AdaptiveSweepCtx)
+	// instead of full simulation; Bound is then the estimator's
+	// relative error bound on MedianMs, and Result is nil.
+	Estimated bool
+	Bound     float64
 }
 
 // VariantSweep runs the sweep without cancellation.
@@ -126,17 +134,24 @@ func VariantSweepCtx(ctx context.Context, exp Experiment, axis VariantAxis, valu
 		}
 	}
 	return engine.Map(ctx, len(values), 0, func(ctx context.Context, i int) (VariantPoint, error) {
-		e := exp
-		axis.apply(&e, values[i])
-		r, err := RunCtx(ctx, e)
-		if err != nil {
-			return VariantPoint{}, fmt.Errorf("core: %s %v: %w", axis, values[i], err)
-		}
-		p := VariantPoint{Axis: axis, Value: values[i], PerfVar: r.Variation(Perf), Result: r}
-		if bp, err := r.Box(Perf); err == nil {
-			p.MedianMs = bp.Q2
-			p.NOutliers = len(bp.Outliers)
-		}
-		return p, nil
+		return runVariant(ctx, exp, axis, values[i])
 	})
+}
+
+// runVariant is the one full-simulation shard body shared by
+// VariantSweepCtx and AdaptiveSweepCtx — sharing it is what keeps an
+// adaptive sweep's simulated points bit-identical to the plain sweep's.
+func runVariant(ctx context.Context, exp Experiment, axis VariantAxis, v float64) (VariantPoint, error) {
+	e := exp
+	axis.apply(&e, v)
+	r, err := RunCtx(ctx, e)
+	if err != nil {
+		return VariantPoint{}, fmt.Errorf("core: %s %v: %w", axis, v, err)
+	}
+	p := VariantPoint{Axis: axis, Value: v, PerfVar: r.Variation(Perf), GPUs: len(r.PerAG), Result: r}
+	if bp, err := r.Box(Perf); err == nil {
+		p.MedianMs = bp.Q2
+		p.NOutliers = len(bp.Outliers)
+	}
+	return p, nil
 }

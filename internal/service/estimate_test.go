@@ -1,0 +1,352 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gpuvar/internal/jobs"
+)
+
+// estimateValuesCSV builds an n-value powercap axis spanning [100, 300]
+// in both spellings (JSON array / comma-separated query).
+func estimateValues(n int) (jsonArr, csv string) {
+	var a, c strings.Builder
+	for i := 0; i < n; i++ {
+		v := 100 + float64(i)*200/float64(n-1)
+		s := fmt.Sprintf("%g", v)
+		if i > 0 {
+			a.WriteString(",")
+			c.WriteString(",")
+		}
+		a.WriteString(s)
+		c.WriteString(s)
+	}
+	return "[" + a.String() + "]", c.String()
+}
+
+// estimateVariant decodes a response variant with json.Number fields,
+// so numeric literals compare byte-for-byte, not post-rounding.
+type estimateVariant struct {
+	Value    json.Number `json:"value"`
+	CapW     json.Number `json:"cap_w"`
+	GPUs     json.Number `json:"gpus"`
+	MedianMs json.Number `json:"median_ms"`
+	PerfVar  json.Number `json:"perf_variation"`
+	Outliers json.Number `json:"outliers"`
+	Source   string      `json:"source"`
+	Bound    json.Number `json:"bound"`
+}
+
+func decodeVariants(t *testing.T, body []byte) []estimateVariant {
+	t.Helper()
+	var resp struct {
+		Variants []json.RawMessage `json:"variants"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, body)
+	}
+	out := make([]estimateVariant, len(resp.Variants))
+	for i, raw := range resp.Variants {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.UseNumber()
+		if err := dec.Decode(&out[i]); err != nil {
+			t.Fatalf("decoding variant %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+// TestEstimateEndpoint pins the new surface: a 256-value axis (8× the
+// full-sim cap) answers 200 with every point marked estimated and
+// carrying a bound; the GET spelling shares the POST's cache entry and
+// bytes; a repeat is a warm hit.
+func TestEstimateEndpoint(t *testing.T) {
+	srv := testServer()
+	arr, csv := estimateValues(256)
+
+	post := doReq(t, srv, "POST", "/v1/estimate", `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":`+arr+`}`)
+	if post.Code != 200 || post.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("POST estimate: status %d, X-Cache %q: %s", post.Code, post.Header().Get("X-Cache"), post.Body.String())
+	}
+	variants := decodeVariants(t, post.Body.Bytes())
+	if len(variants) != 256 {
+		t.Fatalf("got %d variants, want 256", len(variants))
+	}
+	for i, v := range variants {
+		if v.Source != "estimated" {
+			t.Fatalf("variant %d source = %q, want estimated", i, v.Source)
+		}
+		if v.Bound == "" {
+			t.Fatalf("variant %d has no bound", i)
+		}
+	}
+
+	get := doReq(t, srv, "GET", "/v1/estimate?cluster=CloudLab&iterations=2&axis=powercap&values="+csv, "")
+	if get.Code != 200 || get.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("GET estimate: status %d, X-Cache %q; want a warm hit of the POST's entry", get.Code, get.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(get.Body.Bytes(), post.Body.Bytes()) {
+		t.Fatal("GET estimate bytes diverge from POST estimate bytes")
+	}
+}
+
+// TestEstimateSweepCapTiers pins the satellite fix: plain sweeps keep
+// the 32-value full-simulation cap, estimate and adaptive requests get
+// the wider one, and both rejections carry the bad_values code naming
+// the limits.
+func TestEstimateSweepCapTiers(t *testing.T) {
+	srv := testServer()
+	arr64, _ := estimateValues(64)
+	arr1025, _ := estimateValues(1025)
+
+	plain := doReq(t, srv, "POST", "/v1/sweep", `{"cluster":"CloudLab","axis":"powercap","values":`+arr64+`}`)
+	if plain.Code != 400 || !strings.Contains(plain.Body.String(), `"bad_values"`) ||
+		!strings.Contains(plain.Body.String(), "full-simulation limit of 32") {
+		t.Fatalf("64-value plain sweep: status %d: %s", plain.Code, plain.Body.String())
+	}
+
+	est := doReq(t, srv, "POST", "/v1/estimate", `{"cluster":"CloudLab","axis":"powercap","values":`+arr1025+`}`)
+	if est.Code != 400 || !strings.Contains(est.Body.String(), `"bad_values"`) ||
+		!strings.Contains(est.Body.String(), "estimator limit of 1024") {
+		t.Fatalf("1025-value estimate: status %d: %s", est.Code, est.Body.String())
+	}
+
+	adaptive := doReq(t, srv, "POST", "/v1/sweep", `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":`+arr64+`,"adaptive":true,"threshold":0.5}`)
+	if adaptive.Code != 200 {
+		t.Fatalf("64-value adaptive sweep: status %d: %s", adaptive.Code, adaptive.Body.String())
+	}
+}
+
+// TestEstimateAdaptiveValidation pins the knob contracts: threshold
+// without adaptive, out-of-range thresholds, and adaptive on
+// /v1/estimate are client errors.
+func TestEstimateAdaptiveValidation(t *testing.T) {
+	srv := testServer()
+	cases := []struct {
+		name, target, body, wantIn string
+	}{
+		{"threshold without adaptive", "/v1/sweep", `{"values":[250],"threshold":0.1}`, "threshold requires adaptive"},
+		{"threshold over 1", "/v1/sweep", `{"values":[250],"adaptive":true,"threshold":1.5}`, "bad threshold"},
+		{"negative threshold", "/v1/sweep", `{"values":[250],"adaptive":true,"threshold":-0.1}`, "bad threshold"},
+		{"adaptive on estimate", "/v1/estimate", `{"values":[250],"adaptive":true,"threshold":0.1}`, "do not apply to /v1/estimate"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			rr := doReq(t, srv, "POST", tt.target, tt.body)
+			if rr.Code != 400 || !strings.Contains(rr.Body.String(), tt.wantIn) {
+				t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+			}
+		})
+	}
+}
+
+// TestAdaptiveThresholdZeroByteIdentity is the golden degenerate case:
+// adaptive with threshold 0 normalizes onto the plain sweep — same
+// cache entry (the second request is a hit) and byte-identical body,
+// with no source/bound fields.
+func TestAdaptiveThresholdZeroByteIdentity(t *testing.T) {
+	srv := testServer()
+	plain := doReq(t, srv, "POST", "/v1/sweep", `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":[250,200]}`)
+	if plain.Code != 200 {
+		t.Fatalf("plain sweep: %d: %s", plain.Code, plain.Body.String())
+	}
+	adaptive := doReq(t, srv, "POST", "/v1/sweep", `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":[250,200],"adaptive":true,"threshold":0}`)
+	if adaptive.Code != 200 || adaptive.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("adaptive(0) sweep: status %d, X-Cache %q; want a hit of the plain entry",
+			adaptive.Code, adaptive.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(adaptive.Body.Bytes(), plain.Body.Bytes()) {
+		t.Fatal("adaptive threshold-0 body diverged from the plain sweep")
+	}
+	if strings.Contains(adaptive.Body.String(), `"source"`) {
+		t.Fatal("threshold-0 response carries source markers; it must be the plain body")
+	}
+}
+
+// TestAdaptiveSweepGolden is the acceptance golden: a 64-value powercap
+// adaptive sweep simulates at most half the axis, marks every point's
+// source, and every simulated point's numeric literals are
+// byte-identical to a plain sweep of those same values (json.Number
+// comparison: the decimal strings themselves, not rounded floats).
+func TestAdaptiveSweepGolden(t *testing.T) {
+	arr, _ := estimateValues(64)
+	body := `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":` + arr + `,"adaptive":true,"threshold":0.05}`
+
+	srv := testServer()
+	rr := doReq(t, srv, "POST", "/v1/sweep", body)
+	if rr.Code != 200 {
+		t.Fatalf("adaptive sweep: %d: %s", rr.Code, rr.Body.String())
+	}
+	variants := decodeVariants(t, rr.Body.Bytes())
+	if len(variants) != 64 {
+		t.Fatalf("got %d variants, want 64", len(variants))
+	}
+	var simulated []string
+	estimated := 0
+	for i, v := range variants {
+		switch v.Source {
+		case "simulated":
+			if v.Bound != "" {
+				t.Fatalf("variant %d: simulated point carries a bound", i)
+			}
+			simulated = append(simulated, v.Value.String())
+		case "estimated":
+			if v.Bound == "" {
+				t.Fatalf("variant %d: estimated point has no bound", i)
+			}
+			estimated++
+		default:
+			t.Fatalf("variant %d: source %q", i, v.Source)
+		}
+	}
+	if len(simulated) == 0 || estimated == 0 {
+		t.Fatalf("adaptive mix degenerate: %d simulated, %d estimated", len(simulated), estimated)
+	}
+	if len(simulated)*2 > len(variants) {
+		t.Fatalf("adaptive sweep simulated %d of %d values (> 50%%)", len(simulated), len(variants))
+	}
+
+	// Repeat determinism: same request, fresh server, same bytes.
+	again := doReq(t, testServer(), "POST", "/v1/sweep", body)
+	if again.Code != 200 || !bytes.Equal(again.Body.Bytes(), rr.Body.Bytes()) {
+		t.Fatal("adaptive sweep is not byte-deterministic across servers")
+	}
+
+	// The simulated subset, swept plainly on a cold server, must agree
+	// literal-for-literal with the adaptive response's simulated points.
+	plainBody := `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":[` + strings.Join(simulated, ",") + `]}`
+	plain := doReq(t, testServer(), "POST", "/v1/sweep", plainBody)
+	if plain.Code != 200 {
+		t.Fatalf("plain sweep of simulated subset: %d: %s", plain.Code, plain.Body.String())
+	}
+	plainVars := decodeVariants(t, plain.Body.Bytes())
+	byValue := make(map[string]estimateVariant, len(plainVars))
+	for _, v := range plainVars {
+		byValue[v.Value.String()] = v
+	}
+	for _, v := range variants {
+		if v.Source != "simulated" {
+			continue
+		}
+		p, ok := byValue[v.Value.String()]
+		if !ok {
+			t.Fatalf("value %s missing from the plain subset sweep", v.Value)
+		}
+		if v.MedianMs != p.MedianMs || v.PerfVar != p.PerfVar || v.GPUs != p.GPUs ||
+			v.Outliers != p.Outliers || v.CapW != p.CapW {
+			t.Fatalf("value %s: simulated point diverged from plain sweep:\nadaptive: %+v\nplain:    %+v", v.Value, v, p)
+		}
+	}
+}
+
+// TestJobEstimate runs the estimate payload through the async path: the
+// job's result is byte-identical to the synchronous POST /v1/estimate,
+// and its stream replays the whole body.
+func TestJobEstimate(t *testing.T) {
+	const body = `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":[100,150,200,250,300]}`
+	sync := doReq(t, testServer(), "POST", "/v1/estimate", body)
+	if sync.Code != 200 {
+		t.Fatalf("sync estimate: %d: %s", sync.Code, sync.Body.String())
+	}
+
+	srv := testServer()
+	view := submitJob(t, srv, `{"kind":"estimate","estimate":`+body+`}`)
+	final := pollJob(t, srv, view.URL)
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s), want done", final.State, final.Error)
+	}
+	res := doReq(t, srv, "GET", final.ResultURL, "")
+	if res.Code != 200 || !bytes.Equal(res.Body.Bytes(), sync.Body.Bytes()) {
+		t.Fatalf("estimate job result diverged from the synchronous response (status %d)", res.Code)
+	}
+
+	stream := doReq(t, srv, "GET", view.URL+"/stream", "")
+	if stream.Code != 200 {
+		t.Fatalf("estimate job stream: %d: %s", stream.Code, stream.Body.String())
+	}
+	_, payload := decodeStream(t, stream.Body.Bytes())
+	if !bytes.Equal(payload, sync.Body.Bytes()) {
+		t.Fatal("estimate job stream payloads do not reassemble the synchronous body")
+	}
+}
+
+// TestJobAdaptiveSweepStream runs an adaptive sweep as an async job and
+// as a live stream: result, reassembled job stream, and reassembled
+// /v1/stream/sweep body all equal the synchronous adaptive response.
+func TestJobAdaptiveSweepStream(t *testing.T) {
+	const body = `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":[100,120,140,160,180,200,220,240,260,280,300],"adaptive":true,"threshold":0.05}`
+	sync := doReq(t, testServer(), "POST", "/v1/sweep", body)
+	if sync.Code != 200 {
+		t.Fatalf("sync adaptive sweep: %d: %s", sync.Code, sync.Body.String())
+	}
+	if !strings.Contains(sync.Body.String(), `"source"`) {
+		t.Fatalf("adaptive sweep response has no source markers: %s", sync.Body.String())
+	}
+
+	srv := testServer()
+	view := submitJob(t, srv, `{"kind":"sweep","sweep":`+body+`}`)
+	final := pollJob(t, srv, view.URL)
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s), want done", final.State, final.Error)
+	}
+	res := doReq(t, srv, "GET", final.ResultURL, "")
+	if res.Code != 200 || !bytes.Equal(res.Body.Bytes(), sync.Body.Bytes()) {
+		t.Fatalf("adaptive job result diverged from the synchronous response (status %d)", res.Code)
+	}
+	jobStream := doReq(t, srv, "GET", view.URL+"/stream", "")
+	if jobStream.Code != 200 {
+		t.Fatalf("adaptive job stream: %d", jobStream.Code)
+	}
+	_, payload := decodeStream(t, jobStream.Body.Bytes())
+	if !bytes.Equal(payload, sync.Body.Bytes()) {
+		t.Fatal("adaptive job stream payloads do not reassemble the synchronous body")
+	}
+
+	live := doReq(t, testServer(), "GET",
+		"/v1/stream/sweep?cluster=CloudLab&iterations=2&axis=powercap&values=100,120,140,160,180,200,220,240,260,280,300&adaptive=true&threshold=0.05", "")
+	if live.Code != 200 {
+		t.Fatalf("adaptive stream sweep: %d: %s", live.Code, live.Body.String())
+	}
+	_, livePayload := decodeStream(t, live.Body.Bytes())
+	if !bytes.Equal(livePayload, sync.Body.Bytes()) {
+		t.Fatal("adaptive /v1/stream/sweep payloads diverge from the synchronous body")
+	}
+}
+
+// TestEstimateStats: serving estimates moves the estimator counters on
+// /v1/stats and the gpuvar_estimate_* families on /metrics.
+func TestEstimateStats(t *testing.T) {
+	srv := testServer()
+	rr := doReq(t, srv, "POST", "/v1/estimate", `{"cluster":"CloudLab","iterations":2,"axis":"powercap","values":[100,200,300]}`)
+	if rr.Code != 200 {
+		t.Fatalf("estimate: %d: %s", rr.Code, rr.Body.String())
+	}
+	stats := doReq(t, srv, "GET", "/v1/stats", "")
+	var snap struct {
+		Estimate struct {
+			Calls        uint64 `json:"calls"`
+			Calibrations uint64 `json:"calibrations"`
+		} `json:"estimate"`
+	}
+	if err := json.Unmarshal(stats.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Estimate.Calls == 0 || snap.Estimate.Calibrations == 0 {
+		t.Fatalf("estimator counters flat after an estimate: %+v", snap.Estimate)
+	}
+	metrics := doReq(t, srv, "GET", "/metrics", "")
+	for _, fam := range []string{
+		"gpuvar_estimate_calls_total",
+		"gpuvar_estimate_calibrations_total",
+		"gpuvar_estimate_screened_out_total",
+		"gpuvar_estimate_full_sim_total",
+		"gpuvar_estimate_max_calibration_residual",
+	} {
+		if !strings.Contains(metrics.Body.String(), fam) {
+			t.Errorf("/metrics missing %s", fam)
+		}
+	}
+}

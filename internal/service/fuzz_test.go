@@ -59,6 +59,11 @@ func FuzzSweepRequest(f *testing.F) {
 		`{"workload":"doom","values":[250]}`,
 		`{"caps_w":`,
 		`{"unknown_field":1,"values":[250]}`,
+		`{"values":[250,200],"adaptive":true,"threshold":0.05}`,
+		`{"values":[250],"adaptive":true,"threshold":0}`,
+		`{"values":[250],"threshold":0.1}`,
+		`{"values":[250],"adaptive":true,"threshold":1.5}`,
+		`{"values":[250],"adaptive":true,"threshold":-1}`,
 	} {
 		f.Add([]byte(seed))
 	}
@@ -81,8 +86,21 @@ func FuzzSweepRequest(f *testing.F) {
 		if len(req.CapsW) != 0 {
 			t.Error("caps_w survived normalization; it must fold into axis/values")
 		}
-		if len(req.Values) == 0 || len(req.Values) > maxSweepVariants {
-			t.Errorf("normalized values length %d outside (0, %d]", len(req.Values), maxSweepVariants)
+		limit := maxSweepVariants
+		if req.Adaptive {
+			limit = maxEstimateVariants
+		}
+		if len(req.Values) == 0 || len(req.Values) > limit {
+			t.Errorf("normalized values length %d outside (0, %d]", len(req.Values), limit)
+		}
+		// Knob canonicalization: adaptive implies a usable tolerance
+		// (threshold 0 folds back to the plain sweep), and a threshold
+		// never survives without adaptive.
+		if req.Adaptive && !(req.Threshold > 0 && req.Threshold <= 1) {
+			t.Errorf("adaptive request normalized with threshold %v outside (0, 1]", req.Threshold)
+		}
+		if !req.Adaptive && req.Threshold != 0 {
+			t.Errorf("threshold %v survived normalization without adaptive", req.Threshold)
 		}
 		for _, v := range req.Values {
 			if verr := axis.Validate(v); verr != nil {
@@ -121,6 +139,10 @@ func FuzzJobEnvelope(f *testing.F) {
 		`{"kind":"sweep","sweep":{"cluster":"Atlantis","values":[1]}}`,
 		`{"kind":"campaign","campaign":{"days":-4}}`,
 		`{"kind":"campaign","campaign":{"cluster":"CloudLab","days":9999}}`,
+		`{"kind":"estimate","estimate":{"cluster":"CloudLab","axis":"powercap","values":[100,200,300]}}`,
+		`{"kind":"estimate","estimate":{"values":[250],"adaptive":true,"threshold":0.1}}`,
+		`{"kind":"estimate"}`,
+		`{"kind":"sweep","sweep":{"values":[250,200],"adaptive":true,"threshold":0.05}}`,
 		`{"kind":`,
 	} {
 		f.Add([]byte(seed))
@@ -151,6 +173,12 @@ func FuzzJobEnvelope(f *testing.F) {
 			key2, _, _, err2 := sweepComputation(&again)
 			if err2 != nil || key2 != key {
 				t.Errorf("sweep payload fingerprint unstable: %q vs %q (%v)", key, key2, err2)
+			}
+		case "estimate":
+			again := *req.Estimate
+			key2, _, _, err2 := estimateComputation(&again)
+			if err2 != nil || key2 != key {
+				t.Errorf("estimate payload fingerprint unstable: %q vs %q (%v)", key, key2, err2)
 			}
 		case "campaign":
 			again := *req.Campaign

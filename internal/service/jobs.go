@@ -49,8 +49,10 @@ const maxJobBody = 1 << 16
 // plus its payload, which uses the exact schema of the corresponding
 // synchronous endpoint.
 type jobRequest struct {
-	// Kind selects the payload: "sweep" (POST /v1/sweep's body) or
-	// "campaign" (POST /v1/campaign's body).
+	// Kind selects the payload: "sweep" (POST /v1/sweep's body),
+	// "estimate" (POST /v1/estimate's body — the sweep schema, every
+	// point answered analytically), or "campaign" (POST /v1/campaign's
+	// body).
 	Kind string `json:"kind"`
 	// Class selects the scheduling class: "batch" (the default — async
 	// jobs are throughput work) or "interactive" to jump ahead of
@@ -58,6 +60,7 @@ type jobRequest struct {
 	// engine's worker budget.
 	Class    string           `json:"class,omitempty"`
 	Sweep    *sweepRequest    `json:"sweep,omitempty"`
+	Estimate *sweepRequest    `json:"estimate,omitempty"`
 	Campaign *campaignRequest `json:"campaign,omitempty"`
 }
 
@@ -82,6 +85,12 @@ func jobComputation(req *jobRequest) (key string, class engine.Class, compute fu
 				errors.New(`kind "sweep" requires a "sweep" payload (the POST /v1/sweep body)`)
 		}
 		key, compute, status, err = sweepComputation(req.Sweep)
+	case "estimate":
+		if req.Estimate == nil {
+			return "", 0, nil, http.StatusBadRequest,
+				errors.New(`kind "estimate" requires an "estimate" payload (the POST /v1/estimate body)`)
+		}
+		key, compute, status, err = estimateComputation(req.Estimate)
 	case "campaign":
 		if req.Campaign == nil {
 			return "", 0, nil, http.StatusBadRequest,
@@ -90,7 +99,7 @@ func jobComputation(req *jobRequest) (key string, class engine.Class, compute fu
 		key, compute, status, err = campaignComputation(req.Campaign)
 	default:
 		return "", 0, nil, http.StatusBadRequest,
-			fmt.Errorf(`bad kind %q: want "sweep" or "campaign"`, req.Kind)
+			fmt.Errorf(`bad kind %q: want "sweep", "estimate", or "campaign"`, req.Kind)
 	}
 	if err != nil {
 		return "", 0, nil, status, err

@@ -49,12 +49,18 @@ import (
 	"gpuvar/internal/jobs"
 )
 
-// jobStreamMaxLines bounds one job's line log: start + one line per
-// variant (maxSweepVariants) + terminal, with generous headroom. A
-// producer exceeding it truncates the log (jobs.Log) and the stream
-// falls back to an in-band error — it can no longer replay a
-// byte-identical prefix.
-const jobStreamMaxLines = 4 * maxSweepVariants
+// jobStreamLogLines sizes one job's line log: start + one line per
+// top-level shard + terminal, with generous headroom. Adaptive sweeps
+// can carry up to maxEstimateVariants shards, so the bound scales with
+// the job instead of assuming the plain-sweep cap. A producer exceeding
+// it truncates the log (jobs.Log) and the stream falls back to an
+// in-band error — it can no longer replay a byte-identical prefix.
+func jobStreamLogLines(shards int) int {
+	if n := 2*shards + 16; n > 4*maxSweepVariants {
+		return n
+	}
+	return 4 * maxSweepVariants
+}
 
 // jobStream is one job's recorded stream. The unsynchronized fields
 // (assembled, emittedShards, broken) are written strictly in
@@ -62,10 +68,11 @@ const jobStreamMaxLines = 4 * maxSweepVariants
 // serialized sink calls → the finalizer (which runs after the job's
 // done channel closes, itself after the computation returned).
 type jobStream struct {
-	kind   string // "sweep" | "campaign"
+	kind   string // "sweep" | "estimate" | "campaign"
 	prefix string
 	axis   core.VariantAxis // sweep only
 	shards int              // expected top-level shard count (sweep only)
+	marked bool             // adaptive sweep: chunks carry source/bound
 	log    *jobs.Log
 
 	assembled     bytes.Buffer // concatenation of every emitted payload
@@ -94,16 +101,28 @@ func (s *Server) newJobStream(req *jobRequest) *jobStream {
 			prefix: prefix,
 			axis:   axis,
 			shards: len(req.Sweep.Values),
-			log:    jobs.NewLog(jobStreamMaxLines),
+			marked: req.Sweep.Adaptive,
+			log:    jobs.NewLog(jobStreamLogLines(len(req.Sweep.Values))),
 		}
 		st.emit(streamLine{Kind: "start", Shards: st.shards, Shard: -1, Payload: prefix})
+		return st
+	case "estimate":
+		// An estimate computes in one piece (no top-level engine shards
+		// to stream), so the job records only the start line; the
+		// finalizer's whole-body branch closes it.
+		prefix, err := sweepStreamPrefix(*req.Estimate)
+		if err != nil {
+			return nil
+		}
+		st := &jobStream{kind: "estimate", prefix: prefix, log: jobs.NewLog(jobStreamLogLines(0))}
+		st.emit(streamLine{Kind: "start", Shards: 0, Shard: -1, Payload: prefix})
 		return st
 	case "campaign":
 		prefix, err := campaignStreamPrefix(*req.Campaign)
 		if err != nil {
 			return nil
 		}
-		st := &jobStream{kind: "campaign", prefix: prefix, log: jobs.NewLog(jobStreamMaxLines)}
+		st := &jobStream{kind: "campaign", prefix: prefix, log: jobs.NewLog(jobStreamLogLines(0))}
 		st.emit(streamLine{Kind: "start", Shards: 0, Shard: -1, Payload: prefix})
 		return st
 	}
@@ -146,7 +165,7 @@ func (st *jobStream) sinkContext(ctx context.Context) context.Context {
 			return // a lost chunk must not be followed by later shards
 		}
 		p := v.(core.VariantPoint)
-		chunk, err := sweepVariantChunk(st.axis, p, shard, total)
+		chunk, err := sweepVariantChunk(st.axis, st.marked, p, shard, total)
 		if err != nil {
 			st.broken = true
 			return

@@ -166,6 +166,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		sample("gpuvar_fleet_cache_events_total", label("kind", kv.kind), float64(kv.v))
 	}
 
+	// Analytical estimator.
+	est := snap.Estimate
+	family("gpuvar_estimate_calls_total", "counter", "Closed-form estimator point evaluations (no simulation).")
+	sample("gpuvar_estimate_calls_total", "", float64(est.Calls))
+	family("gpuvar_estimate_calibrations_total", "counter", "Estimator calibrations fitted from full-simulation anchor runs.")
+	sample("gpuvar_estimate_calibrations_total", "", float64(est.Calibrations))
+	family("gpuvar_estimate_screened_out_total", "counter", "Adaptive-sweep variants answered analytically instead of simulated.")
+	sample("gpuvar_estimate_screened_out_total", "", float64(est.ScreenedOut))
+	family("gpuvar_estimate_full_sim_total", "counter", "Adaptive-sweep variants that fell back to full simulation.")
+	sample("gpuvar_estimate_full_sim_total", "", float64(est.FullSim))
+	family("gpuvar_estimate_max_calibration_residual", "gauge", "Largest relative anchor residual any calibration has observed.")
+	sample("gpuvar_estimate_max_calibration_residual", "", est.MaxResidual)
+
 	// Fault-injection sites (absent in normal serving; faults.Snapshot
 	// sorts by site name).
 	if len(snap.Faults) > 0 {

@@ -95,6 +95,7 @@ import (
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/engine"
+	"gpuvar/internal/estimate"
 	"gpuvar/internal/faults"
 	"gpuvar/internal/figures"
 	"gpuvar/internal/jobs"
@@ -157,6 +158,11 @@ type Options struct {
 	// JournalSync selects the journal's fsync policy (default
 	// jobs.SyncTerminal). Only meaningful with DataDir.
 	JournalSync jobs.SyncPolicy
+	// EstimateAnchors sets how many full-simulation anchor runs each
+	// estimator calibration performs (clamped to [2, 5]; 0 keeps the
+	// process default of 3). The setting is process-wide: the
+	// calibrator, like the fleet cache, is shared state.
+	EstimateAnchors int
 }
 
 // Server answers catalog queries. Create with New; it is an
@@ -212,6 +218,9 @@ func New(opts Options) (*Server, error) {
 	if opts.JobTTL == 0 {
 		opts.JobTTL = 10 * time.Minute
 	}
+	if opts.EstimateAnchors > 0 {
+		estimate.SetAnchorCount(opts.EstimateAnchors)
+	}
 	opts.Figures = opts.Figures.Normalized()
 	s := &Server{
 		opts:     opts,
@@ -245,6 +254,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimateGet)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /v1/stream/sweep", s.handleStreamSweep)
 	s.mux.HandleFunc("GET /v1/stream/experiments/{name}", s.handleStreamExperiment)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -713,6 +724,7 @@ type statsResponse struct {
 	Engine        engine.Stats            `json:"engine"`
 	Jobs          jobs.Stats              `json:"jobs"`
 	FleetCache    cluster.FleetCacheStats `json:"fleet_cache"`
+	Estimate      estimate.Stats          `json:"estimate"`
 	// DegradedServes counts responses answered from the stale store
 	// after a compute failure (the X-Degraded: stale responses); Faults
 	// lists the armed fault-injection sites with their trigger counters
@@ -729,6 +741,7 @@ func (s *Server) snapshot() statsResponse {
 		Engine:         engine.Snapshot(),
 		Jobs:           s.jobs.Stats(),
 		FleetCache:     cluster.DefaultFleetCache.Stats(),
+		Estimate:       estimate.Snapshot(),
 		DegradedServes: s.degradedServes.Load(),
 		Faults:         faults.Snapshot(),
 	}

@@ -60,6 +60,7 @@ import (
 // engine-backed fakes to control shard timing deterministically.
 var (
 	streamSweepRun      = core.VariantSweepCtx
+	adaptiveSweepRun    = core.AdaptiveSweepCtx
 	streamExperimentRun = core.RunCtx
 )
 
@@ -210,9 +211,11 @@ func sweepStreamPrefix(req sweepRequest) (string, error) {
 }
 
 // sweepVariantChunk is variant i's slice of the synchronous body: its
-// indented JSON entry plus the separator its position demands.
-func sweepVariantChunk(axis core.VariantAxis, p core.VariantPoint, i, n int) (string, error) {
-	vJSON, err := json.MarshalIndent(sweepVariantView(axis, p), "    ", "  ")
+// indented JSON entry plus the separator its position demands. marked
+// mirrors renderSweep's: true on adaptive sweeps, where every variant
+// carries its source.
+func sweepVariantChunk(axis core.VariantAxis, marked bool, p core.VariantPoint, i, n int) (string, error) {
+	vJSON, err := json.MarshalIndent(sweepVariantView(axis, marked, p), "    ", "  ")
 	if err != nil {
 		return "", err
 	}
@@ -258,7 +261,7 @@ func (s *Server) handleStreamSweep(w http.ResponseWriter, r *http.Request) {
 			return // a lost chunk must not be followed by later shards
 		}
 		p := v.(core.VariantPoint)
-		chunk, err := sweepVariantChunk(axis, p, shard, total)
+		chunk, err := sweepVariantChunk(axis, req.Adaptive, p, shard, total)
 		if err != nil {
 			chunkErr = err // surfaces after the run; rendering our own structs cannot fail
 			return
@@ -266,7 +269,15 @@ func (s *Server) handleStreamSweep(w http.ResponseWriter, r *http.Request) {
 		val := p.Value
 		sw.queue(streamLine{Kind: "shard", Shards: total, Shard: shard, Value: &val, Payload: chunk})
 	})
-	points, err := streamSweepRun(engine.WithSink(ctx, sink), exp, axis, req.Values)
+	var points []core.VariantPoint
+	if req.Adaptive {
+		// The adaptive run streams through the same sink: estimated
+		// shards land near-instantly, simulated ones as they finish (the
+		// calibration's anchor runs are sink-stripped inside core).
+		points, err = adaptiveSweepRun(engine.WithSink(ctx, sink), exp, axis, req.Values, req.Threshold)
+	} else {
+		points, err = streamSweepRun(engine.WithSink(ctx, sink), exp, axis, req.Values)
+	}
 	if err == nil {
 		err = chunkErr
 	}
@@ -279,7 +290,7 @@ func (s *Server) handleStreamSweep(w http.ResponseWriter, r *http.Request) {
 	// Verify the progressive encoding against the synchronous renderer
 	// before depositing it: the cache must only ever hold bytes the
 	// synchronous endpoint would serve.
-	if sync, err := renderSweep(req, axis, points); err == nil && bytes.Equal(sw.body.Bytes(), sync.body) {
+	if sync, err := renderSweep(req, axis, req.Adaptive, points); err == nil && bytes.Equal(sw.body.Bytes(), sync.body) {
 		s.cache.prime(sweepCacheKey(req), sync)
 	}
 }

@@ -37,10 +37,23 @@ import (
 // since the sweep body is also a job payload (POST /v1/jobs), the same
 // computation can run asynchronously with polling instead of a held
 // connection.
+//
+// With "adaptive": true plus a "threshold" tolerance, the sweep is
+// pre-screened by the analytical estimator (see estimate.go): values
+// whose error bound and local gradient sit inside the tolerance are
+// answered in microseconds, the rest run full simulation — and stay
+// byte-identical to the plain sweep's points, because both paths share
+// one shard body (core.runVariant).
 
 // maxSweepVariants bounds one request's batch; a sweep is a study, not
 // a denial of service.
 const maxSweepVariants = 32
+
+// maxEstimateVariants bounds /v1/estimate and adaptive sweeps instead:
+// estimator points cost microseconds, and an adaptive sweep's
+// full-simulation fallbacks are separately clamped to maxSweepVariants
+// (core.DefaultMaxFullSim), so a much wider axis is safe.
+const maxEstimateVariants = 1024
 
 // maxSweepBody bounds the request body (a value list plus a few knobs).
 const maxSweepBody = 1 << 16
@@ -62,6 +75,15 @@ type sweepRequest struct {
 	// CapsW is the legacy power-cap-only spelling, normalized into
 	// Axis="powercap" + Values before fingerprinting.
 	CapsW []float64 `json:"caps_w,omitempty"`
+	// Adaptive pre-screens the axis with the analytical estimator and
+	// spends full simulation only where the estimator's error bound or
+	// the curve's local gradient exceeds Threshold (a relative
+	// tolerance in (0, 1]). adaptive with threshold 0 — zero tolerance
+	// — IS the plain sweep, and normalizes onto it so both spellings
+	// share one cache entry and byte-identical bodies. Ignored (and
+	// rejected) on /v1/estimate, where every point is estimated.
+	Adaptive  bool    `json:"adaptive,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
 }
 
 // sweepVariant is one axis value's outcome. CapW duplicates Value on
@@ -76,6 +98,13 @@ type sweepVariant struct {
 	MedianMs float64  `json:"median_ms"`
 	PerfVar  float64  `json:"perf_variation"`
 	Outliers int      `json:"outliers"`
+	// Source appears on estimate/adaptive responses only:
+	// "estimated" (closed-form point, Bound = the estimator's relative
+	// error bound on median_ms) or "simulated" (full simulation,
+	// byte-identical to the plain sweep's variant). Plain sweeps omit
+	// both fields, keeping their bodies unchanged.
+	Source string   `json:"source,omitempty"`
+	Bound  *float64 `json:"bound,omitempty"`
 }
 
 // sweepResponse is one completed sweep.
@@ -114,10 +143,13 @@ func sweepCacheKey(r sweepRequest) string { return fmt.Sprintf("sweep|%+v", r) }
 // shared by the synchronous renderer and the streaming handler's
 // per-shard chunks, which is one half of the stream's byte-identity
 // guarantee.
-func sweepVariantView(axis core.VariantAxis, p core.VariantPoint) sweepVariant {
+// marked selects the estimate/adaptive envelope: every variant carries
+// source, and estimated ones their bound. Plain sweeps pass false and
+// keep their pre-estimator bytes.
+func sweepVariantView(axis core.VariantAxis, marked bool, p core.VariantPoint) sweepVariant {
 	v := sweepVariant{
 		Value:    p.Value,
-		GPUs:     len(p.Result.PerAG),
+		GPUs:     p.GPUs,
 		MedianMs: p.MedianMs,
 		PerfVar:  p.PerfVar,
 		Outliers: p.NOutliers,
@@ -126,15 +158,24 @@ func sweepVariantView(axis core.VariantAxis, p core.VariantPoint) sweepVariant {
 		val := p.Value
 		v.CapW = &val
 	}
+	if marked {
+		if p.Estimated {
+			v.Source = "estimated"
+			b := p.Bound
+			v.Bound = &b
+		} else {
+			v.Source = "simulated"
+		}
+	}
 	return v
 }
 
 // renderSweep marshals a completed sweep into the synchronous response
 // body.
-func renderSweep(req sweepRequest, axis core.VariantAxis, points []core.VariantPoint) (*cachedResponse, error) {
+func renderSweep(req sweepRequest, axis core.VariantAxis, marked bool, points []core.VariantPoint) (*cachedResponse, error) {
 	out := sweepResponse{Request: req, Variants: make([]sweepVariant, len(points))}
 	for i, p := range points {
-		out.Variants[i] = sweepVariantView(axis, p)
+		out.Variants[i] = sweepVariantView(axis, marked, p)
 	}
 	return jsonResponse(out)
 }
@@ -150,15 +191,22 @@ func sweepComputation(req *sweepRequest) (key string, compute func(ctx context.C
 	}
 	r := *req
 	key = sweepCacheKey(r)
-	// The run goes through the streamSweepRun seam (core.VariantSweepCtx
-	// in production) so the gated-shard tests can control shard timing on
-	// the job path exactly as they do on the streaming path.
+	// The run goes through the streamSweepRun / adaptiveSweepRun seams
+	// (core.VariantSweepCtx / core.AdaptiveSweepCtx in production) so
+	// the gated-shard tests can control shard timing on the job path
+	// exactly as they do on the streaming path.
 	compute = func(ctx context.Context) (*cachedResponse, error) {
-		points, err := streamSweepRun(ctx, exp, axis, r.Values)
+		var points []core.VariantPoint
+		var err error
+		if r.Adaptive {
+			points, err = adaptiveSweepRun(ctx, exp, axis, r.Values, r.Threshold)
+		} else {
+			points, err = streamSweepRun(ctx, exp, axis, r.Values)
+		}
 		if err != nil {
 			return nil, err
 		}
-		return renderSweep(r, axis, points)
+		return renderSweep(r, axis, r.Adaptive, points)
 	}
 	return key, compute, 0, nil
 }
@@ -174,7 +222,7 @@ func sweepRequestFromQuery(q url.Values) (sweepRequest, error) {
 	var req sweepRequest
 	for k := range q {
 		switch k {
-		case "workload", "cluster", "axis", "seed", "fraction", "runs", "iterations", "values", "caps_w":
+		case "workload", "cluster", "axis", "seed", "fraction", "runs", "iterations", "values", "caps_w", "adaptive", "threshold":
 		default:
 			return req, fmt.Errorf("unknown parameter %q", k)
 		}
@@ -210,6 +258,20 @@ func sweepRequestFromQuery(q url.Values) (sweepRequest, error) {
 			*p.dst = n
 		}
 	}
+	if v := q.Get("adaptive"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, fmt.Errorf("bad adaptive %q: %v", v, err)
+		}
+		req.Adaptive = b
+	}
+	if v := q.Get("threshold"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			return req, fmt.Errorf("bad threshold %q: want a finite number", v)
+		}
+		req.Threshold = f
+	}
 	var err error
 	if req.Values, err = parseFloatList(q.Get("values")); err != nil {
 		return req, fmt.Errorf("bad values: %v", err)
@@ -238,9 +300,51 @@ func parseFloatList(s string) ([]float64, error) {
 }
 
 // normalizeSweep validates the request, resolves names, folds the
-// legacy caps_w spelling into axis/values, and fills every defaulted
-// field so the struct is a canonical fingerprint.
+// legacy caps_w spelling into axis/values (and adaptive+threshold-0
+// onto the plain sweep), and fills every defaulted field so the struct
+// is a canonical fingerprint.
 func normalizeSweep(req *sweepRequest) (core.Experiment, core.VariantAxis, int, error) {
+	if err := normalizeAdaptive(req); err != nil {
+		return core.Experiment{}, "", http.StatusBadRequest, err
+	}
+	limit, tier := maxSweepVariants, "full-simulation"
+	if req.Adaptive {
+		limit, tier = maxEstimateVariants, "adaptive"
+	}
+	return normalizeSweepBounded(req, limit, tier)
+}
+
+// normalizeEstimate is normalizeSweep for /v1/estimate: the wider
+// estimator cap applies, and the adaptive knobs are rejected — every
+// point of an estimate is estimated, so there is nothing to adapt.
+func normalizeEstimate(req *sweepRequest) (core.Experiment, core.VariantAxis, int, error) {
+	if req.Adaptive || req.Threshold != 0 {
+		return core.Experiment{}, "", http.StatusBadRequest,
+			fmt.Errorf("adaptive/threshold do not apply to /v1/estimate (every point is estimated); use POST /v1/sweep for adaptive sweeps")
+	}
+	return normalizeSweepBounded(req, maxEstimateVariants, "estimator")
+}
+
+// normalizeAdaptive canonicalizes the adaptive knobs. Zero threshold
+// means zero tolerance — every point must be exact, which IS the plain
+// sweep — so adaptive+threshold-0 folds onto the non-adaptive spelling
+// (one cache entry, byte-identical bodies). A threshold without
+// adaptive is a contradiction worth a 400, not a silent ignore.
+func normalizeAdaptive(req *sweepRequest) error {
+	t := req.Threshold
+	if math.IsNaN(t) || t < 0 || t > 1 {
+		return fmt.Errorf("bad threshold %v: want a relative tolerance in [0, 1]", t)
+	}
+	if !req.Adaptive && t != 0 {
+		return fmt.Errorf("threshold requires adaptive: true")
+	}
+	if req.Adaptive && t == 0 {
+		req.Adaptive = false
+	}
+	return nil
+}
+
+func normalizeSweepBounded(req *sweepRequest, limit int, tier string) (core.Experiment, core.VariantAxis, int, error) {
 	if len(req.CapsW) > 0 {
 		if req.Axis != "" && req.Axis != string(core.AxisPowerCap) {
 			return core.Experiment{}, "", http.StatusBadRequest,
@@ -263,9 +367,10 @@ func normalizeSweep(req *sweepRequest) (core.Experiment, core.VariantAxis, int, 
 		return core.Experiment{}, "", http.StatusBadRequest,
 			fmt.Errorf("values is required: the list of %s settings to sweep", axis)
 	}
-	if len(req.Values) > maxSweepVariants {
-		return core.Experiment{}, "", http.StatusBadRequest,
-			fmt.Errorf("values has %d variants (max %d per sweep)", len(req.Values), maxSweepVariants)
+	if len(req.Values) > limit {
+		return core.Experiment{}, "", http.StatusBadRequest, withCode("bad_values",
+			fmt.Errorf("values has %d variants, over the %s limit of %d (plain sweeps simulate every value, max %d; /v1/estimate and adaptive sweeps accept up to %d)",
+				len(req.Values), tier, limit, maxSweepVariants, maxEstimateVariants))
 	}
 	for _, v := range req.Values {
 		if err := axis.Validate(v); err != nil {

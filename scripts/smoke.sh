@@ -8,6 +8,13 @@
 # its integration job so the serving stack is exercised by a real
 # server process, not just httptest.
 #
+# An estimator stage drives the analytical tier: a 256-value
+# /v1/estimate (8x the full-simulation cap) must answer with estimated
+# points, the same axis as a plain sweep must be refused with
+# bad_values, and loadgen -estimate verifies a 64-value adaptive sweep
+# simulates at most half the axis with its simulated points
+# literal-identical to a plain sweep of those values.
+#
 # A multi-tenant stage then drives the job path as 4 distinct client
 # identities (loadgen -clients 4 -api-key smoke) and asserts the
 # per-client accounting surfaces on /v1/stats and the Prometheus
@@ -118,6 +125,35 @@ echo "==> smoke: exercising the remaining axes synchronously and streamed"
     -paths /v1/figures/tab1 \
     -sweep '{"cluster":"CloudLab","axis":"fraction","values":[1,0.5]}' \
     -stream -c 4 -n 32
+
+echo "==> smoke: estimator tier — /v1/estimate + adaptive pre-screened sweep"
+# A 256-value power-cap axis (8x the full-simulation cap) must answer
+# from the calibrated closed form, every point marked estimated.
+EST_VALUES=$(seq -s, 45 300)
+EST_RESP=$(http_body POST /v1/estimate "{\"cluster\":\"CloudLab\",\"axis\":\"powercap\",\"values\":[$EST_VALUES]}")
+if ! echo "$EST_RESP" | grep -q '"source": *"estimated"'; then
+    echo "smoke: /v1/estimate response carries no estimated points: $(echo "$EST_RESP" | head -c 300)" >&2
+    exit 1
+fi
+# The same axis as a plain sweep must be refused with the bad_values
+# code naming the full-simulation limit.
+CAP_RESP=$(http POST /v1/sweep "{\"cluster\":\"CloudLab\",\"axis\":\"powercap\",\"values\":[$EST_VALUES]}")
+if ! echo "$CAP_RESP" | grep -q '400'; then
+    echo "smoke: a 256-value plain sweep was not refused" >&2
+    exit 1
+fi
+if ! echo "$CAP_RESP" | grep -q '"bad_values"'; then
+    echo "smoke: the over-cap sweep rejection lacks the bad_values code" >&2
+    exit 1
+fi
+# loadgen -estimate drives /v1/estimate and an adaptive sweep through
+# the byte-identity mix, then verifies the mixed response structurally:
+# sources marked, bounds present, <= half the axis simulated, and the
+# simulated points literal-identical to a plain sweep of those values.
+"$WORK/loadgen" -url "http://$ADDR" \
+    -paths /v1/figures/tab1 \
+    -sweep '{"cluster":"CloudLab","axis":"powercap","values":[100,103,106,110,113,116,119,122,125,129,132,135,138,141,144,148,151,154,157,160,163,167,170,173,176,179,183,186,189,192,195,198,202,205,208,211,214,217,221,224,227,230,233,237,240,243,246,249,252,256,259,262,265,268,271,275,278,281,284,287,290,294,297,300]}' \
+    -estimate -threshold 0.05 -c 4 -n 48
 
 echo "==> smoke: multi-tenant — 4 client identities through the job path"
 "$WORK/loadgen" -url "http://$ADDR" \
