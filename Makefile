@@ -38,8 +38,16 @@ GO ?= go
 #     the exhausted scope; per-client counters ride /v1/stats and the
 #     Prometheus text exposition at GET /metrics.
 #     Sweeps take a variant axis: {"axis":"powercap|seed|ambient|
-#     fraction","values":[...]} (caps_w remains as the legacy powercap
-#     spelling).
+#     fraction","values":[...]} (caps_w still answers as the legacy
+#     powercap spelling but carries Deprecation + successor Link
+#     headers).
+#     Replicas federate: gpuvard -peers http://a:8080,http://b:8080
+#     dispatches sweep shards across the fleet (-route-policy affinity
+#     rendezvous-hashes shards onto warm fleet caches; roundrobin and
+#     leastloaded too), with health-probe eject/readmit, retry onto
+#     survivors, and byte-identical responses from any replica. GET /v1/
+#     is the route discovery document; GET /v1/replicas shows membership
+#     and dispatch counters.
 #   make loadgen  hammers a running gpuvard with concurrent identical
 #     requests, checks byte-identity, and reports req/s + p50/p99
 #     (loadgen -duration 30s for time-based runs, -sweep '...' to mix in
@@ -51,8 +59,11 @@ GO ?= go
 #     (figures + sweep + async jobs + streams) asserting zero failures
 #     and byte-identity — the end-to-end serving gate CI runs — then a
 #     chaos stage (30% injected shard faults, retries armed, responses
-#     still byte-identical with zero 5xx) and a crash stage (kill -9
-#     mid-jobs, reboot, job journal replays finished results).
+#     still byte-identical with zero 5xx), a crash stage (kill -9
+#     mid-jobs, reboot, job journal replays finished results), and a
+#     distributed stage (3 replicas wired with -peers: byte-identity
+#     from any replica, affinity beating round-robin on warm-fleet
+#     placement, kill-one-survive with zero 5xx).
 #   make fuzz     full native-fuzz sessions (FUZZTIME each, default 60s)
 #     over the service's request normalization: FuzzSweepRequest (body
 #     decode + variant-axis parsing/validation) and FuzzJobEnvelope
@@ -144,7 +155,7 @@ fuzz-smoke:
 # verify is the tier-1 gate plus the cheap guards: gofmt, vet,
 # staticcheck, tests with the coverage floor, a fuzz smoke, a
 # one-iteration benchmark smoke run, and the benchmark-regression gate
-# against the committed trajectory (BENCH_8.json). The stage sequence
+# against the committed trajectory (BENCH_9.json). The stage sequence
 # lives in scripts/verify.sh, which reports which stage failed.
 verify:
 	scripts/verify.sh
@@ -156,14 +167,14 @@ verify:
 race:
 	$(GO) test -race -short ./...
 
-# bench records the full benchmark suite into BENCH_8.json with PR 7's
-# BENCH_7.json embedded as the baseline (name → ns/op, B/op, allocs/op).
+# bench records the full benchmark suite into BENCH_9.json with PR 8's
+# BENCH_8.json embedded as the baseline (name → ns/op, B/op, allocs/op).
 # Pass BENCH='regexp' to restrict, e.g.
 #   make bench BENCH='Fig04|ExtCampaign' COUNT=3
 BENCH ?= .
 COUNT ?= 1
 bench:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_7.json -out BENCH_8.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_8.json -out BENCH_9.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
@@ -171,17 +182,19 @@ bench-smoke:
 # bench-compare is the benchmark-regression gate: re-measure the gate
 # benchmarks and fail if ns/op regressed past BENCH_TOLERANCE or
 # allocs/op past BENCH_ALLOC_TOLERANCE against the committed
-# BENCH_8.json. GATE_BENCH keeps the gate fast and focused on the two
+# BENCH_9.json. GATE_BENCH keeps the gate fast and focused on the two
 # perf wins PR 1 banked, the engine-backed sweep surfaces (both axis
 # forms), the PR 4 async-job plumbing, the PR 5 streaming and
 # classed-scheduler paths, the PR 6 retry plumbing (a fault-free run
 # with a retry policy armed must stay free), the PR 7 replayable
-# job-stream attach, and the PR 8 estimator tier (the warm /v1/estimate
-# microsecond path and the cold pre-screened adaptive sweep). The alloc
-# gate stays tight everywhere (alloc counts are machine-independent);
-# CI loosens only BENCH_TOLERANCE because absolute ns/op is not
-# comparable across host machines.
-GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceJobSubmitPoll|ServiceJobStreamAttach|ServiceStreamSweep|EngineClassedMap|EngineRetryOverhead|ServiceEstimate|AdaptiveSweep
+# job-stream attach, the PR 8 estimator tier (the warm /v1/estimate
+# microsecond path and the cold pre-screened adaptive sweep), and the
+# PR 9 dispatch seam (a remote-forced sweep through a peer replica —
+# routing, the internal shard hop, and reassembly on top of the
+# computation). The alloc gate stays tight everywhere (alloc counts are
+# machine-independent); CI loosens only BENCH_TOLERANCE because
+# absolute ns/op is not comparable across host machines.
+GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceDispatchSweep|ServiceJobSubmitPoll|ServiceJobStreamAttach|ServiceStreamSweep|EngineClassedMap|EngineRetryOverhead|ServiceEstimate|AdaptiveSweep
 BENCH_TOLERANCE ?= 0.25
 BENCH_ALLOC_TOLERANCE ?= 0.25
 # 100 iterations per sample (was 30x): on small or busy machines the
@@ -190,7 +203,7 @@ BENCH_ALLOC_TOLERANCE ?= 0.25
 # wall cost.
 bench-compare:
 	$(GO) run ./cmd/benchjson -bench '$(GATE_BENCH)' -count 3 -benchtime 100x \
-		-out /tmp/bench_gate.json -compare BENCH_8.json \
+		-out /tmp/bench_gate.json -compare BENCH_9.json \
 		-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 figures:
@@ -209,7 +222,10 @@ loadgen:
 # it, and fail on any response failure or byte divergence. It then runs
 # the resilience stages: a chaos pass under 30% injected transient
 # shard faults with retries armed (byte-identity to the fault-free run,
-# zero 5xx, degraded health status) and a crash pass (kill -9 mid-jobs,
-# reboot over the same -data-dir, journal replay asserted).
+# zero 5xx, degraded health status), a crash pass (kill -9 mid-jobs,
+# reboot over the same -data-dir, journal replay asserted), and a
+# distributed pass (3 replicas with -peers: fleet-wide byte-identity,
+# the affinity-vs-roundrobin warm-placement comparison, and a replica
+# killed mid-run with zero 5xx).
 smoke:
 	scripts/smoke.sh

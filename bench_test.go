@@ -238,6 +238,62 @@ func BenchmarkServiceJobStreamAttach(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceDispatchSweep measures the distributed-dispatch
+// overhead: the BenchmarkServiceSweep request (axis spelling) forced
+// onto a peer replica shard by shard via the X-GPUVar-Route: remote
+// directive — normalization, per-shard routing, the internal HTTP hop,
+// peer-side execution, and response reassembly. Each iteration builds a
+// fresh front server (so the response cache never hits, matching
+// BenchmarkServiceSweep) against one long-lived peer; the fleet cache
+// amortizes process-wide as usual. Compare against ServiceSweep for the
+// per-request cost of the dispatch seam.
+func BenchmarkServiceDispatchSweep(b *testing.B) {
+	peer := benchServer(b)
+	defer peer.Close()
+	ts := httptest.NewServer(peer)
+	defer ts.Close()
+	const body = `{"cluster":"CloudLab","iterations":6,"axis":"powercap","values":[300,250,200,150]}`
+	newFront := func() *service.Server {
+		srv, err := service.New(service.Options{
+			Figures:           benchConfig(),
+			Peers:             []string{ts.URL},
+			PeerProbeInterval: time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Start() fires an immediate probe; wait for it to admit the peer.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/replicas", nil))
+			if strings.Contains(rec.Body.String(), `"healthy": true`) {
+				return srv
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("peer never admitted: %s", rec.Body.String())
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv := newFront()
+		b.StartTimer()
+		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-GPUVar-Route", "remote")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		b.StopTimer()
+		srv.Close()
+		b.StartTimer()
+	}
+}
+
 // BenchmarkServiceStreamSweep measures GET /v1/stream/sweep end to
 // end: a 2-variant power sweep streamed as NDJSON per iteration —
 // normalization, the per-shard sink, chunk rendering, line framing, the

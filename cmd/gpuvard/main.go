@@ -84,6 +84,20 @@
 //	                                trigger counts appear on /v1/healthz,
 //	                                which reports status "degraded" while
 //	                                armed
+//
+// Distributed serving: hand every replica the same fleet-wide -peers
+// list (each drops its own -self-url) and sweep shards fan out across
+// the fleet over POST /v1/internal/shards, byte-identical to local
+// serving (see the doc.go "Distribution" section):
+//
+//	gpuvard -addr :8081 -self-url http://h1:8081 -peers http://h1:8081,http://h2:8082
+//	-route-policy affinity          rendezvous-hash each shard onto the
+//	                                replica whose fleet cache is warm
+//	                                (roundrobin and leastloaded too)
+//	-peer-probe 2s                  health-probe cadence: failing peers
+//	                                are ejected, recovered ones readmitted
+//	curl localhost:8081/v1/          # route discovery document
+//	curl localhost:8081/v1/replicas  # membership + dispatch counters
 package main
 
 import (
@@ -132,6 +146,11 @@ func main() {
 		journalSync  = flag.String("journal-sync", "terminal", "job-journal fsync policy: terminal, always, or never")
 		faultSpec    = flag.String("faults", "", "fault-injection spec, e.g. 'engine.shard.pre=error:0.3' (also $GPUVARD_FAULTS)")
 		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the fault registry's per-site RNG streams")
+
+		peers       = flag.String("peers", "", "comma-separated base URLs of peer replicas to dispatch sweep shards to")
+		routePolicy = flag.String("route-policy", "", "shard routing policy: affinity (default), roundrobin, or leastloaded")
+		selfURL     = flag.String("self-url", "", "this replica's own base URL, so it can drop itself from -peers lists shared fleet-wide")
+		peerProbe   = flag.Duration("peer-probe", 2*time.Second, "peer health-probe interval (negative disables probing; peers then stay unused)")
 	)
 	clientWeights := map[string]int{}
 	flag.Func("client-weight", "per-client fair-share weight as client=N (repeatable; unlisted clients weigh 1)", func(v string) error {
@@ -189,6 +208,10 @@ func main() {
 		DataDir:                *dataDir,
 		JournalSync:            sync,
 		EstimateAnchors:        *estAnchors,
+		Peers:                  splitPeers(*peers),
+		RoutePolicy:            *routePolicy,
+		SelfURL:                *selfURL,
+		PeerProbeInterval:      *peerProbe,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpuvard:", err)
@@ -223,4 +246,16 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "gpuvard: drained, bye")
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated URLs, blanks
+// dropped, so every replica can receive the identical fleet-wide list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

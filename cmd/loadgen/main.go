@@ -52,7 +52,14 @@
 //	loadgen -sweep '{"axis":"fraction","values":[0.5,1]}' -stream
 //	loadgen -sweep '{"axis":"powercap","values":[100,150,200,250,300]}' -estimate
 //	loadgen -url http://localhost:9090 -c 8
+//	loadgen -url http://h1:8081,http://h2:8082,http://h3:8083 -sweep '...'
 //	loadgen -clients 4 -api-key team -jobs -sweep '...'
+//
+// -url accepts a comma-separated replica list: priming, streaming, and
+// the adaptive verification hit the first replica (pinning the
+// reference bytes), and the hot pass rotates requests across all of
+// them — so one run asserts the distributed deployment's byte-identity
+// contract: any replica, same request, same bytes.
 //
 // With -api-key, every request carries an X-API-Key header so the
 // server attributes it to a client; -clients N spreads the workers
@@ -102,7 +109,7 @@ func p50ms(ds []time.Duration) float64 {
 
 func main() {
 	var (
-		base     = flag.String("url", "http://localhost:8080", "server base URL")
+		base     = flag.String("url", "http://localhost:8080", "server base URL, or a comma-separated replica list (priming uses the first; the hot pass rotates over all)")
 		paths    = flag.String("paths", "/v1/figures/fig2", "comma-separated GET request paths")
 		sweep    = flag.String("sweep", "", "JSON body to POST to /v1/sweep as part of the mix (empty = no sweep requests)")
 		jobsMode = flag.Bool("jobs", false, "also run the -sweep body through the async job path (submit, poll progress, fetch result) and require the result bytes to match the synchronous sweep response")
@@ -116,6 +123,19 @@ func main() {
 		clients  = flag.Int("clients", 1, "spread workers across this many derived client identities (<api-key>-0 .. <api-key>-N-1)")
 	)
 	flag.Parse()
+	var bases []string
+	for _, b := range strings.Split(*base, ",") {
+		if b = strings.TrimSpace(strings.TrimSuffix(b, "/")); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -url must name at least one replica")
+		os.Exit(1)
+	}
+	if len(bases) > 1 {
+		fmt.Printf("replicas: %d (%s reference; hot pass rotates)\n", len(bases), bases[0])
+	}
 	if *jobsMode && *sweep == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -jobs requires -sweep (the job payload)")
 		os.Exit(1)
@@ -184,7 +204,7 @@ func main() {
 	coldMs := make(map[string]float64, len(targets))
 	for _, tg := range targets {
 		t0 := time.Now()
-		body, cacheHdr, aborted, err := do(client, *base, tg, keyFor(0))
+		body, cacheHdr, aborted, err := do(client, bases[0], tg, keyFor(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			os.Exit(1)
@@ -207,7 +227,7 @@ func main() {
 	// adaptive response (a warm hit — also proving the estimator answers
 	// deterministically) and hold it to the pre-screened contract.
 	if *estimate {
-		simulated, estimated, err := verifyAdaptive(client, *base, *sweep, adaptiveBody, keyFor(0))
+		simulated, estimated, err := verifyAdaptive(client, bases[0], *sweep, adaptiveBody, keyFor(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: FAIL: adaptive sweep:", err)
 			os.Exit(1)
@@ -227,7 +247,7 @@ func main() {
 		}
 		var sts []streamTarget
 		if *sweep != "" {
-			u, err := sweepStreamURL(*base, *sweep)
+			u, err := sweepStreamURL(bases[0], *sweep)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "loadgen: -stream:", err)
 				os.Exit(1)
@@ -238,7 +258,7 @@ func main() {
 			if strings.HasPrefix(p, "/v1/experiments/") {
 				sts = append(sts, streamTarget{
 					label: "STREAM /v1/stream" + p[len("/v1"):],
-					url:   *base + strings.Replace(p, "/v1/experiments/", "/v1/stream/experiments/", 1),
+					url:   bases[0] + strings.Replace(p, "/v1/experiments/", "/v1/stream/experiments/", 1),
 					ref:   ref["GET "+p],
 				})
 			}
@@ -298,7 +318,7 @@ func main() {
 				}
 				tg := targets[i%len(targets)]
 				t0 := time.Now()
-				body, cacheHdr, aborted, err := do(client, *base, tg, key)
+				body, cacheHdr, aborted, err := do(client, bases[i%len(bases)], tg, key)
 				d := time.Since(t0)
 				if aborted {
 					aborts.Add(1)

@@ -104,7 +104,7 @@
 //
 // and to record the benchmark trajectory across PRs:
 //
-//	make bench            # full suite → BENCH_8.json (ns/op, B/op, allocs/op)
+//	make bench            # full suite → BENCH_9.json (ns/op, B/op, allocs/op)
 //	make verify           # tier-1 tests + vet + bench smoke + regression gate
 //
 // # Serving
@@ -135,6 +135,10 @@
 //	GET    /v1/stats              cache/session/engine/job counters,
 //	                              per-class queues, budget occupancy
 //	GET    /v1/healthz            liveness + the same counters
+//	GET    /v1/                   discovery document: every route with
+//	                              its stability marker and successor
+//	GET    /v1/replicas           fleet membership + dispatch counters
+//	                              (see Distribution below)
 //
 // # Variant-axis sweeps
 //
@@ -431,6 +435,45 @@
 // the fault-free run with zero 5xx) and a crash stage (kill -9
 // mid-jobs, reboot over the same -data-dir, journal replay asserted).
 //
+// # Distribution
+//
+// One replica's worker budget bounds one machine; internal/dispatch
+// puts a seam under engine.Map so a fleet of gpuvard replicas shares
+// the shard work instead. A Backend executes a contiguous run of a
+// job's shards — LocalBackend runs them in-process (the identity
+// path: zero overhead, byte-identical to plain Map), HTTPBackend
+// POSTs them to a peer's internal /v1/internal/shards route, where
+// the same shard function runs against the peer's own caches. The
+// Dispatcher in front holds the replica set and picks a backend per
+// shard group under a routing policy:
+//
+//	roundrobin    rotate over healthy members
+//	leastloaded   lowest worker-budget occupancy from the last probe
+//	affinity      rendezvous-hash the shard group's fleet-cache
+//	              fingerprint (spec, seed, axis setting) over members
+//
+// affinity (the gpuvard default) is the placement policy that makes a
+// fleet faster than its parts: repeat variants of the same
+// (cluster, seed) land on the replica whose fleet cache is already
+// warm, and rendezvous hashing keeps placements stable under
+// membership churn — a leaving peer remaps only its own keys. Wire a
+// fleet by handing every replica the same -peers list (each drops its
+// own -self-url); a background prober (-peer-probe, default 2s)
+// ejects failing peers and readmits recovered ones, a shard that
+// fails remotely ejects its peer immediately and re-picks a survivor
+// (or local execution) under the engine retry policy, and a fleet
+// with every peer down degrades to exactly the single-process server.
+// Responses are byte-identical from any replica and to single-process
+// serving — golden tests pin the dispatched sweep, stream, and job
+// bodies against the local ones, and the smoke's 3-replica stage
+// re-proves it end to end while asserting affinity beats roundrobin
+// on warm-shard placement and a kill -9'd replica costs zero 5xx.
+// Clients can steer routing per request (X-GPUVar-Route: remote |
+// affinity-strict; the strict form answers 421 wrong_replica naming
+// the owner in X-GPUVar-Owner), GET /v1/replicas reports membership
+// and the local/remote + warm/cold shard splits, and the same
+// counters ride /metrics as the gpuvar_dispatch_* families.
+//
 // # CI gates
 //
 // Every PR must clear .github/workflows/ci.yml: the verify job
@@ -444,8 +487,9 @@
 // serving paths — plus the retry-overhead guard (a fault-free run with
 // retries armed must stay free), the replayable job-stream attach, the
 // warm /v1/estimate microsecond path, and the cold pre-screened
-// adaptive sweep — and fails on >25% ns/op or allocs/op growth against
-// the committed BENCH_8.json), the race job (go test -race -short
+// adaptive sweep — plus the dispatched-sweep overhead guard — and
+// fails on >25% ns/op or allocs/op growth against the committed
+// BENCH_9.json), the race job (go test -race -short
 // ./...), and the smoke job (make smoke — build gpuvard, boot it, and
 // drive a concurrent loadgen mix over figures, variant-axis sweeps, the
 // async job lifecycle, and the streaming endpoints, asserting zero
@@ -454,7 +498,8 @@
 // loadgen -estimate verifying the adaptive mix), a multi-tenant stage
 // (4 client identities through the job path, per-client accounting
 // asserted on /v1/stats and /metrics, a job stream replayed through its
-// summary line) and the chaos and crash-recovery stages described under
-// Resilience). Superseded CI runs on the same ref are canceled
+// summary line), the chaos and crash-recovery stages described under
+// Resilience, and the 3-replica distributed stage described under
+// Distribution). Superseded CI runs on the same ref are canceled
 // (concurrency: cancel-in-progress).
 package gpuvar

@@ -271,6 +271,20 @@ func (c *FleetCache) evictLocked() {
 	}
 }
 
+// Contains reports whether the fleet for (s, seed) is already cached or
+// instantiating — a warmth probe for cache-affinity dispatch. Unlike
+// Get, it does not touch the LRU order, join an in-flight entry, or
+// count toward the hit/miss stats.
+func (c *FleetCache) Contains(s Spec, seed uint64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.fleets[fleetKey{fp: s.Fingerprint(), seed: seed}]
+	return ok
+}
+
 // Len returns the number of cached or in-flight fleets.
 func (c *FleetCache) Len() int {
 	c.mu.Lock()

@@ -138,6 +138,28 @@ func VariantSweepCtx(ctx context.Context, exp Experiment, axis VariantAxis, valu
 	})
 }
 
+// RunVariantCtx runs exactly one variant — the shard body
+// VariantSweepCtx fans out — validated and addressable on its own, so
+// an out-of-process dispatcher (internal/dispatch) can execute single
+// shards on another replica with bit-identical results.
+func RunVariantCtx(ctx context.Context, exp Experiment, axis VariantAxis, v float64) (VariantPoint, error) {
+	if err := axis.Validate(v); err != nil {
+		return VariantPoint{}, fmt.Errorf("core: %w", err)
+	}
+	return runVariant(ctx, exp, axis, v)
+}
+
+// FleetSeed returns the fleet-instantiation seed the variant actually
+// runs with: the axis value on seed sweeps, the experiment's seed
+// otherwise. It is the seed half of the (spec, seed) fleet-cache key,
+// which is what cache-affinity routing hashes on.
+func FleetSeed(exp Experiment, axis VariantAxis, v float64) uint64 {
+	if axis == AxisSeed {
+		return uint64(v)
+	}
+	return exp.Seed
+}
+
 // runVariant is the one full-simulation shard body shared by
 // VariantSweepCtx and AdaptiveSweepCtx — sharing it is what keeps an
 // adaptive sweep's simulated points bit-identical to the plain sweep's.

@@ -1,0 +1,155 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gpuvar/internal/cluster"
+	"gpuvar/internal/core"
+)
+
+const (
+	// InternalHeader marks a request as originating from a peer
+	// replica's dispatcher. /v1/internal/* routes refuse requests
+	// without it, and any request carrying an external client identity
+	// (X-API-Key). It is a cooperative marker in the same spirit as the
+	// client-identity header — keep internal routes off the public
+	// network; the header is not an authentication boundary.
+	InternalHeader = "X-GPUVar-Internal"
+	// InternalHeaderValue is what HTTPBackend sends.
+	InternalHeaderValue = "dispatch"
+	// ShardsPath is the internal route shard batches execute on.
+	ShardsPath = "/v1/internal/shards"
+)
+
+// ShardsRequest is the POST /v1/internal/shards body: the normalized
+// sweep request plus the shard indices (into its values) to execute.
+type ShardsRequest struct {
+	Sweep   json.RawMessage `json:"sweep"`
+	Indices []int           `json:"indices"`
+}
+
+// ShardPoint is one executed shard in wire form — exactly the summary
+// fields the sweep renderer consumes, as float64s, so the dispatched
+// response is byte-identical to single-process serving (Go's JSON
+// float encoding is shortest-round-trip, hence bit-exact both ways).
+type ShardPoint struct {
+	Index    int     `json:"index"`
+	Value    float64 `json:"value"`
+	GPUs     int     `json:"gpus"`
+	MedianMs float64 `json:"median_ms"`
+	PerfVar  float64 `json:"perf_variation"`
+	Outliers int     `json:"outliers"`
+	// Warm reports whether the executing replica's fleet cache already
+	// held the shard's fleet when the shard arrived.
+	Warm bool `json:"warm"`
+}
+
+// NewShardPoint projects an executed variant into wire form (the
+// /v1/internal/shards handler's half of the contract).
+func NewShardPoint(index int, p core.VariantPoint, warm bool) ShardPoint {
+	return ShardPoint{
+		Index:    index,
+		Value:    p.Value,
+		GPUs:     p.GPUs,
+		MedianMs: p.MedianMs,
+		PerfVar:  p.PerfVar,
+		Outliers: p.NOutliers,
+		Warm:     warm,
+	}
+}
+
+// variantPoint is the inverse projection, on the dispatching side.
+func (p ShardPoint) variantPoint(axis core.VariantAxis) core.VariantPoint {
+	return core.VariantPoint{
+		Axis:      axis,
+		Value:     p.Value,
+		GPUs:      p.GPUs,
+		MedianMs:  p.MedianMs,
+		PerfVar:   p.PerfVar,
+		NOutliers: p.Outliers,
+	}
+}
+
+// ShardsResponse is the internal route's reply.
+type ShardsResponse struct {
+	Points []ShardPoint `json:"points"`
+}
+
+// LocalBackend executes shards in process — the goroutine-pool path
+// every sweep ran on before dispatch existed, plus the fleet-cache
+// warmth probe the dispatch counters need.
+type LocalBackend struct{}
+
+// Exec runs one shard via the shared core shard body.
+func (LocalBackend) Exec(ctx context.Context, job Job, shard int) (core.VariantPoint, bool, error) {
+	v := job.Values[shard]
+	warm := cluster.DefaultFleetCache.Contains(job.Exp.Cluster, core.FleetSeed(job.Exp, job.Axis, v))
+	p, err := core.RunVariantCtx(ctx, job.Exp, job.Axis, v)
+	return p, warm, err
+}
+
+// HTTPBackend executes shard batches on one peer replica via its
+// internal shards route.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend returns a backend for the peer at base (no trailing
+// slash). A nil client uses http.DefaultClient.
+func NewHTTPBackend(base string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPBackend{base: base, client: client}
+}
+
+// Exec posts a single-shard batch to the peer and projects the reply
+// back into the engine's shard result.
+func (b *HTTPBackend) Exec(ctx context.Context, job Job, shard int) (core.VariantPoint, bool, error) {
+	body, err := json.Marshal(ShardsRequest{Sweep: job.Payload, Indices: []int{shard}})
+	if err != nil {
+		return core.VariantPoint{}, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+ShardsPath, bytes.NewReader(body))
+	if err != nil {
+		return core.VariantPoint{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(InternalHeader, InternalHeaderValue)
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return core.VariantPoint{}, false, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return core.VariantPoint{}, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return core.VariantPoint{}, false, fmt.Errorf("shard %d: peer answered %d: %s",
+			shard, resp.StatusCode, truncate(raw, 200))
+	}
+	var out ShardsResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return core.VariantPoint{}, false, fmt.Errorf("shard %d: decoding peer response: %w", shard, err)
+	}
+	for _, p := range out.Points {
+		if p.Index == shard {
+			return p.variantPoint(job.Axis), p.Warm, nil
+		}
+	}
+	return core.VariantPoint{}, false, fmt.Errorf("shard %d: peer response missing the shard", shard)
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}

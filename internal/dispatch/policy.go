@@ -1,0 +1,66 @@
+package dispatch
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Policy names a shard-routing policy.
+type Policy string
+
+const (
+	// PolicyRoundRobin rotates shards across healthy members in order.
+	PolicyRoundRobin Policy = "roundrobin"
+	// PolicyLeastLoaded sends each shard to the member with the lowest
+	// worker-budget occupancy (live for the local member, last-probed
+	// for peers), ties breaking toward the member listed first.
+	PolicyLeastLoaded Policy = "leastloaded"
+	// PolicyAffinity rendezvous-hashes each shard's fleet-cache
+	// fingerprint across healthy members, so repeat variants land where
+	// their fleet is already instantiated.
+	PolicyAffinity Policy = "affinity"
+)
+
+// Policies lists every policy, in a stable order for error messages.
+func Policies() []Policy {
+	return []Policy{PolicyRoundRobin, PolicyLeastLoaded, PolicyAffinity}
+}
+
+// ParsePolicy resolves a policy name ("" = affinity, the default).
+func ParsePolicy(s string) (Policy, error) {
+	if s == "" {
+		return PolicyAffinity, nil
+	}
+	for _, p := range Policies() {
+		if s == string(p) {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("dispatch: unknown routing policy %q (known: %v)", s, Policies())
+}
+
+// RendezvousOwner picks key's owner among names by highest-random-weight
+// (rendezvous) hashing: score every (key, name) pair, highest wins,
+// ties breaking toward the lexicographically smaller name. Every
+// replica hashing the same membership agrees on the owner with no
+// coordination, and membership churn is minimally disruptive: removing
+// a name remaps only the keys it owned; adding one steals only the
+// keys it now wins.
+func RendezvousOwner(key string, names []string) string {
+	var (
+		winner string
+		best   uint64
+		have   bool
+	)
+	for _, name := range names {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(key))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(name))
+		score := h.Sum64()
+		if !have || score > best || (score == best && name < winner) {
+			winner, best, have = name, score, true
+		}
+	}
+	return winner
+}

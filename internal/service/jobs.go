@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gpuvar/internal/dispatch"
 	"gpuvar/internal/engine"
 	"gpuvar/internal/jobs"
 )
@@ -147,6 +148,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: %v", err)
 		return
 	}
+	legacy := (req.Sweep != nil && len(req.Sweep.CapsW) > 0) ||
+		(req.Estimate != nil && len(req.Estimate.CapsW) > 0)
 
 	// Validation and normalization happen synchronously, so a malformed
 	// submission is rejected with 400/404 up front; only well-formed
@@ -170,6 +173,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// falls back to the whole finished body.
 	client := requestClient(r.Context())
 	id, err := s.jobs.Submit(client, class, func(ctx context.Context) (*cachedResponse, error) {
+		// The job manager runs computations under its own context, so the
+		// request-scoped dispatcher attachment must be re-applied here for
+		// async sweeps to fan out across replicas like synchronous ones.
+		if s.dispatcher != nil {
+			ctx = dispatch.NewContext(ctx, s.dispatcher)
+		}
 		if st != nil {
 			ctx = st.sinkContext(ctx)
 		}
@@ -205,6 +214,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.registerJobStream(id, st)
 	}
 	snap, _ := s.jobs.Get(id)
+	markLegacySweep(w, legacy)
 	w.Header().Set("Location", jobURL(id))
 	writeJSON(w, http.StatusAccepted, s.jobView(snap))
 }

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"gpuvar/internal/dispatch"
 )
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -178,6 +180,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sample("gpuvar_estimate_full_sim_total", "", float64(est.FullSim))
 	family("gpuvar_estimate_max_calibration_residual", "gauge", "Largest relative anchor residual any calibration has observed.")
 	sample("gpuvar_estimate_max_calibration_residual", "", est.MaxResidual)
+
+	// Replica dispatch (absent in single-process serving). The warm/cold
+	// split is the affinity policy's scoreboard: warm shards landed on a
+	// replica whose fleet cache already held their fleet.
+	if d := snap.Dispatch; d != nil {
+		family("gpuvar_dispatch_shards_total", "counter", "Dispatched sweep shards by where they executed.")
+		sample("gpuvar_dispatch_shards_total", label("target", "local"), float64(d.ShardsLocal))
+		sample("gpuvar_dispatch_shards_total", label("target", "remote"), float64(d.ShardsRemote))
+		family("gpuvar_dispatch_warm_shards_total", "counter", "Shards executed where the fleet cache was already warm, by warmth.")
+		sample("gpuvar_dispatch_warm_shards_total", label("warmth", "warm"), float64(d.WarmShards))
+		sample("gpuvar_dispatch_warm_shards_total", label("warmth", "cold"), float64(d.ColdShards))
+		family("gpuvar_dispatch_remote_errors_total", "counter", "Remote shard executions that failed (each ejects its peer).")
+		sample("gpuvar_dispatch_remote_errors_total", "", float64(d.RemoteErrors))
+		family("gpuvar_dispatch_local_fallbacks_total", "counter", "Shard picks forced local because every peer was ejected.")
+		sample("gpuvar_dispatch_local_fallbacks_total", "", float64(d.LocalFallbacks))
+		// Each per-peer family emits its header and then all its samples:
+		// the exposition format keeps a metric's lines in one group.
+		perPeer := func(name, typ, help string, v func(dispatch.PeerStats) float64) {
+			family(name, typ, help)
+			for _, p := range d.Peers {
+				sample(name, label("peer", p.URL), v(p))
+			}
+		}
+		perPeer("gpuvar_dispatch_peer_healthy", "gauge", "Peer health (1 = routing candidate) by peer URL.", func(p dispatch.PeerStats) float64 {
+			if p.Healthy {
+				return 1
+			}
+			return 0
+		})
+		perPeer("gpuvar_dispatch_peer_load", "gauge", "Peer worker-budget occupancy at its last successful probe.", func(p dispatch.PeerStats) float64 { return float64(p.Load) })
+		perPeer("gpuvar_dispatch_peer_dispatched_total", "counter", "Shards dispatched per peer.", func(p dispatch.PeerStats) float64 { return float64(p.Dispatched) })
+		perPeer("gpuvar_dispatch_peer_probe_failures_total", "counter", "Failed health probes per peer.", func(p dispatch.PeerStats) float64 { return float64(p.ProbeFailures) })
+		perPeer("gpuvar_dispatch_peer_ejections_total", "counter", "Times each peer left the routing candidate set.", func(p dispatch.PeerStats) float64 { return float64(p.Ejections) })
+		perPeer("gpuvar_dispatch_peer_readmissions_total", "counter", "Times each peer rejoined the routing candidate set.", func(p dispatch.PeerStats) float64 { return float64(p.Readmissions) })
+	}
 
 	// Fault-injection sites (absent in normal serving; faults.Snapshot
 	// sorts by site name).

@@ -4,6 +4,9 @@
 //
 // Routes (all under /v1; see API.md for the full reference):
 //
+//	GET    /v1/                   discovery document: every route with
+//	                              its method, stability class (stable,
+//	                              deprecated, internal), and successor
 //	GET    /v1/figures            catalog of figure/table generators
 //	GET    /v1/figures/{id}       one rendered figure (config via query)
 //	GET    /v1/experiments/{name} one experiment summary (params via query)
@@ -32,6 +35,9 @@
 //	                              per-class queue depth, budget occupancy,
 //	                              per-client queue accounting
 //	GET    /v1/healthz            liveness + the same counters
+//	GET    /v1/replicas           replica-dispatch membership + counters
+//	POST   /v1/internal/shards    replica-to-replica shard execution
+//	                              (internal: refuses external clients)
 //	GET    /metrics               the same counters in Prometheus text
 //	                              exposition format (see metrics.go)
 //
@@ -94,6 +100,7 @@ import (
 	"time"
 
 	"gpuvar/internal/cluster"
+	"gpuvar/internal/dispatch"
 	"gpuvar/internal/engine"
 	"gpuvar/internal/estimate"
 	"gpuvar/internal/faults"
@@ -163,6 +170,23 @@ type Options struct {
 	// process default of 3). The setting is process-wide: the
 	// calibrator, like the fleet cache, is shared state.
 	EstimateAnchors int
+	// Peers lists sibling gpuvard replicas' base URLs. Non-empty turns
+	// on distributed dispatch: plain sweep shards route across the
+	// replica set under RoutePolicy, with health-probe-driven eject/
+	// readmit and graceful local fallback (see internal/dispatch).
+	Peers []string
+	// RoutePolicy selects the shard-routing policy: "roundrobin",
+	// "leastloaded", or "affinity" (the default — rendezvous-hash the
+	// shard's fleet fingerprint so repeat variants land where the fleet
+	// cache is warm). Only meaningful with Peers.
+	RoutePolicy string
+	// SelfURL is this replica's advertised base URL — its name in the
+	// rendezvous hash. Set it to the same string the peers' -peers
+	// lists use, so the whole fleet agrees on affinity owners.
+	SelfURL string
+	// PeerProbeInterval is the peer health-probe cadence (default 1s;
+	// negative disables the prober — tests drive probes directly).
+	PeerProbeInterval time.Duration
 }
 
 // Server answers catalog queries. Create with New; it is an
@@ -186,6 +210,9 @@ type Server struct {
 	// healthz ok|degraded status.
 	degradedServes atomic.Uint64
 	lastDegraded   atomic.Int64
+	// dispatcher routes sweep shards across the replica set; nil when
+	// Options.Peers is empty (single-process serving).
+	dispatcher *dispatch.Dispatcher
 }
 
 // New assembles a server. It errors only when Options.DataDir is set
@@ -249,31 +276,39 @@ func New(opts Options) (*Server, error) {
 		}
 		s.journal = j
 	}
-	s.mux.HandleFunc("GET /v1/figures", s.handleFigureList)
-	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
-	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
-	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimateGet)
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("GET /v1/stream/sweep", s.handleStreamSweep)
-	s.mux.HandleFunc("GET /v1/stream/experiments/{name}", s.handleStreamExperiment)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz) // legacy path (Deprecation header)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if len(opts.Peers) > 0 {
+		pol, err := dispatch.ParsePolicy(opts.RoutePolicy)
+		if err != nil {
+			return nil, err
+		}
+		d, err := dispatch.New(dispatch.Options{
+			Self:          opts.SelfURL,
+			Peers:         opts.Peers,
+			Policy:        pol,
+			ProbeInterval: opts.PeerProbeInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.dispatcher = d
+		d.Start()
+	}
+	// Routes register from the same table the GET /v1/ discovery
+	// document renders, so the served surface and its self-description
+	// cannot drift (see discovery.go).
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.muxPattern(), rt.handler)
+	}
 	return s, nil
 }
 
-// Close releases the server's persistent resources (the job journal).
-// Safe on a journal-less server.
+// Close releases the server's persistent resources (the job journal and
+// the peer health prober). Safe on a journal-less, dispatcher-less
+// server.
 func (s *Server) Close() error {
+	if s.dispatcher != nil {
+		s.dispatcher.Close()
+	}
 	if s.journal != nil {
 		return s.journal.Close()
 	}
@@ -470,8 +505,14 @@ func codeForStatus(status int) string {
 	switch status {
 	case http.StatusBadRequest:
 		return "bad_request"
+	case http.StatusForbidden:
+		return "forbidden"
 	case http.StatusNotFound:
 		return "not_found"
+	case http.StatusMisdirectedRequest:
+		return "wrong_replica"
+	case http.StatusBadGateway:
+		return "replica_unavailable"
 	case http.StatusMethodNotAllowed:
 		return "method_not_allowed"
 	case http.StatusConflict:
@@ -532,12 +573,32 @@ const statusClientClosedRequest = 499
 
 // requestContext derives the per-request compute context: the client's
 // context (so a disconnect cancels the work) bounded by the server's
-// request timeout.
+// request timeout, carrying the replica dispatcher when one is
+// configured.
 func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := s.dispatchContext(r)
 	if s.opts.RequestTimeout <= 0 {
-		return r.Context(), func() {}
+		return ctx, func() {}
 	}
-	return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	return context.WithTimeout(ctx, s.opts.RequestTimeout)
+}
+
+// dispatchContext attaches the replica dispatcher — and the request's
+// remote-only routing directive — to the compute context. Context
+// values survive into the singleflight's detached flight context and
+// the streaming path, so coalesced and streamed computations dispatch
+// exactly like direct ones. (Async jobs run under the job manager's own
+// context; handleJobSubmit re-attaches at the compute closure.)
+func (s *Server) dispatchContext(r *http.Request) context.Context {
+	ctx := r.Context()
+	if s.dispatcher == nil {
+		return ctx
+	}
+	ctx = dispatch.NewContext(ctx, s.dispatcher)
+	if r.Header.Get(routeDirectiveHeader) == routeRemote {
+		ctx = dispatch.WithRemoteOnly(ctx)
+	}
+	return ctx
 }
 
 // serveCached runs one computation through the response cache and
@@ -731,10 +792,13 @@ type statsResponse struct {
 	// (absent in normal serving).
 	DegradedServes uint64             `json:"degraded_serves"`
 	Faults         []faults.SiteStats `json:"faults,omitempty"`
+	// Dispatch is the replica-dispatch counter snapshot (absent in
+	// single-process serving).
+	Dispatch *dispatch.Stats `json:"dispatch,omitempty"`
 }
 
 func (s *Server) snapshot() statsResponse {
-	return statsResponse{
+	out := statsResponse{
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Cache:          s.cache.Stats(),
 		Sessions:       s.sessions.len(),
@@ -745,6 +809,11 @@ func (s *Server) snapshot() statsResponse {
 		DegradedServes: s.degradedServes.Load(),
 		Faults:         faults.Snapshot(),
 	}
+	if s.dispatcher != nil {
+		ds := s.dispatcher.Stats()
+		out.Dispatch = &ds
+	}
+	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -187,12 +187,15 @@ func (sw *streamWriter) fail(shards int, err error) {
 }
 
 // streamContext bounds a stream's computation: the client's context
-// (disconnect cancels mid-shard) under the batch-length JobTimeout.
+// (disconnect cancels mid-shard) under the batch-length JobTimeout,
+// carrying the replica dispatcher when one is configured — streamed
+// sweeps dispatch shard-by-shard exactly like synchronous ones.
 func (s *Server) streamContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := s.dispatchContext(r)
 	if s.opts.JobTimeout <= 0 {
-		return r.Context(), func() {}
+		return ctx, func() {}
 	}
-	return context.WithTimeout(r.Context(), s.opts.JobTimeout)
+	return context.WithTimeout(ctx, s.opts.JobTimeout)
 }
 
 // marshalSection renders v as it appears nested one level deep in a
@@ -231,16 +234,26 @@ func sweepVariantChunk(axis core.VariantAxis, marked bool, p core.VariantPoint, 
 const sweepStreamSuffix = "  ]\n}\n"
 
 func (s *Server) handleStreamSweep(w http.ResponseWriter, r *http.Request) {
+	directive, err := parseRouteDirective(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
 	req, err := sweepRequestFromQuery(r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
+	legacy := len(req.CapsW) > 0
 	exp, axis, status, err := normalizeSweep(&req)
 	if err != nil {
 		writeError(w, status, errCode(err, status), "%v", err)
 		return
 	}
+	if s.redirectAffinityMiss(w, directive, sweepCacheKey(req)) {
+		return
+	}
+	markLegacySweep(w, legacy)
 	n := len(req.Values)
 	prefix, err := sweepStreamPrefix(req)
 	if err != nil {
@@ -276,7 +289,7 @@ func (s *Server) handleStreamSweep(w http.ResponseWriter, r *http.Request) {
 		// calibration's anchor runs are sink-stripped inside core).
 		points, err = adaptiveSweepRun(engine.WithSink(ctx, sink), exp, axis, req.Values, req.Threshold)
 	} else {
-		points, err = streamSweepRun(engine.WithSink(ctx, sink), exp, axis, req.Values)
+		points, err = dispatchedSweepRun(engine.WithSink(ctx, sink), exp, axis, &req)
 	}
 	if err == nil {
 		err = chunkErr

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +15,7 @@ import (
 
 	"gpuvar/internal/cluster"
 	"gpuvar/internal/core"
+	"gpuvar/internal/dispatch"
 	"gpuvar/internal/workload"
 )
 
@@ -114,6 +116,11 @@ type sweepResponse struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	directive, err := parseRouteDirective(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSweepBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
@@ -126,12 +133,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: %v", err)
 		return
 	}
+	legacy := len(req.CapsW) > 0 // before normalization folds the spelling away
 	key, compute, status, err := sweepComputation(&req)
 	if err != nil {
 		writeError(w, status, errCode(err, status), "%v", err)
 		return
 	}
+	if s.redirectAffinityMiss(w, directive, key) {
+		return
+	}
+	markLegacySweep(w, legacy)
 	s.serveCached(w, r, key, compute)
+}
+
+// markLegacySweep advertises the caps_w spelling's deprecation on any
+// response produced from it — the same Deprecation+Link mechanism the
+// legacy /healthz route uses (RFC 8594 style). Only the headers differ:
+// the body stays byte-identical to the axis spelling's, since both
+// normalize onto one cache entry.
+func markLegacySweep(w http.ResponseWriter, legacy bool) {
+	if !legacy {
+		return
+	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/sweep>; rel="successor-version"; title="axis=powercap with values"`)
 }
 
 // sweepCacheKey fingerprints a NORMALIZED sweep request. The
@@ -201,14 +226,36 @@ func sweepComputation(req *sweepRequest) (key string, compute func(ctx context.C
 		if r.Adaptive {
 			points, err = adaptiveSweepRun(ctx, exp, axis, r.Values, r.Threshold)
 		} else {
-			points, err = streamSweepRun(ctx, exp, axis, r.Values)
+			points, err = dispatchedSweepRun(ctx, exp, axis, &r)
 		}
 		if err != nil {
+			if errors.Is(err, dispatch.ErrNoReplicas) {
+				return nil, &statusError{status: http.StatusBadGateway, err: withCode("replica_unavailable", err)}
+			}
 			return nil, err
 		}
 		return renderSweep(r, axis, r.Adaptive, points)
 	}
 	return key, compute, 0, nil
+}
+
+// dispatchedSweepRun routes a plain sweep through the replica
+// dispatcher when the compute context carries one, and otherwise runs
+// the process-local engine path. Adaptive sweeps always run locally:
+// their estimator pre-screen is already near-free, and the calibrator
+// is process-wide state. The context arrives through the singleflight's
+// detached flight context (which preserves values), so coalesced
+// requests dispatch exactly like direct ones.
+func dispatchedSweepRun(ctx context.Context, exp core.Experiment, axis core.VariantAxis, r *sweepRequest) ([]core.VariantPoint, error) {
+	d := dispatch.FromContext(ctx)
+	if d == nil {
+		return streamSweepRun(ctx, exp, axis, r.Values)
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.Sweep(ctx, dispatch.Job{Payload: payload, Exp: exp, Axis: axis, Values: r.Values})
 }
 
 // sweepRequestFromQuery builds a sweep request from URL query

@@ -22,6 +22,15 @@
 # terminal summary line, responses carry X-Request-ID, and the legacy
 # /healthz spelling advertises its deprecation.
 #
+# A distributed stage boots a 3-replica fleet wired together with
+# -peers and asserts the dispatch layer's contracts: byte-identity with
+# the single-process reference from any replica, affinity routing
+# beating round-robin on warm-fleet-cache shard placement (via the
+# gpuvar_dispatch_warm_shards_total counters), the /v1/ discovery
+# document, the internal shard route refusing external clients, and a
+# replica killed mid-run costing zero 5xx — its shards retry onto the
+# survivors.
+#
 # Two resilience stages follow the clean run:
 #   chaos    reboot gpuvard with 30% transient shard faults injected
 #            (-faults 'engine.shard.pre=error:0.3') and retries armed,
@@ -53,7 +62,15 @@ stop_server() {
     wait "$SERVER_PID" 2>/dev/null || true
     SERVER_PID=""
 }
-trap stop_server EXIT
+REPLICA_PIDS=""
+stop_replicas() {
+    for p in $REPLICA_PIDS; do
+        kill "$p" 2>/dev/null || true
+        wait "$p" 2>/dev/null || true
+    done
+    REPLICA_PIDS=""
+}
+trap 'stop_server; stop_replicas' EXIT
 
 # boot_server FLAGS... — start gpuvard on $ADDR and wait for the
 # listener (no curl dependency: bash opens the TCP port itself).
@@ -201,6 +218,25 @@ if ! http GET /healthz | grep -qi '^Deprecation: true'; then
     echo "smoke: legacy /healthz is not marked deprecated" >&2
     exit 1
 fi
+# The legacy caps_w sweep spelling still answers (the same bytes as the
+# axis spelling) but must advertise its deprecation and successor.
+CAPSW_RESP=$(http POST /v1/sweep '{"cluster":"CloudLab","caps_w":[300,250,200]}')
+if ! echo "$CAPSW_RESP" | grep -qi '^Deprecation: true'; then
+    echo "smoke: caps_w sweep response is not marked deprecated" >&2
+    exit 1
+fi
+if ! echo "$CAPSW_RESP" | grep -qi '^Link: .*successor-version'; then
+    echo "smoke: caps_w sweep response lacks the successor Link header" >&2
+    exit 1
+fi
+# The discovery document enumerates the API surface, marking stability.
+DISCOVERY=$(http_body GET /v1/)
+for want in '"path":"/v1/sweep"' '"stability":"internal"' '"path":"/v1/internal/shards"' '"successor":"/v1/healthz"'; do
+    if ! echo "$DISCOVERY" | tr -d ' \n' | grep -q "$want"; then
+        echo "smoke: GET /v1/ discovery document lacks $want" >&2
+        exit 1
+    fi
+done
 
 # The fault-free reference for the chaos stage, captured before the
 # clean server goes away.
@@ -290,5 +326,156 @@ if ! http GET /v1/stats | grep -q '"recovered_terminal":'; then
     echo "smoke: stats do not report journal recovery counters" >&2
     exit 1
 fi
+
+echo "==> smoke: distributed — 3 replicas, shard dispatch, kill-one-survive"
+stop_server
+REP1="127.0.0.1:18081"
+REP2="127.0.0.1:18082"
+REP3="127.0.0.1:18083"
+PEERS="http://$REP1,http://$REP2,http://$REP3"
+
+# boot_replica ADDR FLAGS... — start one fleet member and wait for its
+# listener; the PID lands in LAST_PID (and in the cleanup list).
+boot_replica() {
+    local addr=$1
+    shift
+    "$BIN" -addr "$addr" -self-url "http://$addr" -peers "$PEERS" -peer-probe 250ms "$@" \
+        >"$WORK/rep-${addr#*:}.log" 2>&1 &
+    LAST_PID=$!
+    REPLICA_PIDS="$REPLICA_PIDS $LAST_PID"
+    for i in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}") 2>/dev/null; then
+            exec 3>&- 3<&- || true
+            return 0
+        fi
+        if ! kill -0 "$LAST_PID" 2>/dev/null; then
+            echo "smoke: replica on $addr died during startup:" >&2
+            cat "$WORK/rep-${addr#*:}.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "smoke: replica did not start listening on $addr" >&2
+    exit 1
+}
+
+# wait_fleet — block until every replica's prober has admitted both of
+# its peers (2x "healthy":true on each /v1/replicas).
+wait_fleet() {
+    local addr n
+    for addr in $REP1 $REP2 $REP3; do
+        for i in $(seq 1 100); do
+            n=$(ADDR=$addr http_body GET /v1/replicas | grep -o '"healthy": *true' | wc -l)
+            [ "$n" -ge 2 ] && continue 2
+            sleep 0.1
+        done
+        echo "smoke: replica $addr never saw both peers healthy" >&2
+        exit 1
+    done
+}
+
+# warm_shards ADDR — the replica's warm-placement counter (0 before any
+# dispatch).
+warm_shards() {
+    ADDR=$1 http_body GET /metrics \
+        | sed -n 's/^gpuvar_dispatch_warm_shards_total{warmth="warm"} //p' \
+        | grep . || echo 0
+}
+
+# The two-pass warm-placement probe: a seed-axis sweep gives every
+# shard its own fleet, so pass 1 is all cold everywhere; pass 2 (same
+# seeds, a different response-cache key via runs=2) is warm exactly
+# when a shard lands on the replica that instantiated its fleet in
+# pass 1. Affinity guarantees that for all 8 shards; round-robin's
+# rotation offset shifts pass 2 off pass 1 (8 shards mod 3 replicas
+# leaves a nonzero offset, so the rotation cannot realign).
+SEED_PASS1='{"cluster":"CloudLab","axis":"seed","values":[9901,9902,9903,9904,9905,9906,9907,9908]}'
+SEED_PASS2='{"cluster":"CloudLab","runs":2,"axis":"seed","values":[9901,9902,9903,9904,9905,9906,9907,9908]}'
+warm_probe() {
+    ADDR=$REP1 http_body POST /v1/sweep "$SEED_PASS1" >/dev/null
+    ADDR=$REP1 http_body POST /v1/sweep "$SEED_PASS2" >/dev/null
+    warm_shards "$REP1"
+}
+
+boot_replica "$REP1" -route-policy affinity
+boot_replica "$REP2" -route-policy affinity
+R3_PID=""
+boot_replica "$REP3" -route-policy affinity
+R3_PID=$LAST_PID
+wait_fleet
+
+# The internal shard route is fleet-only: an external client identity
+# (or no dispatch marker at all) is refused.
+if ! ADDR=$REP1 http POST /v1/internal/shards '{"sweep":{"values":[300]},"indices":[0]}' | grep -q ' 403 '; then
+    echo "smoke: /v1/internal/shards accepted an unmarked external request" >&2
+    exit 1
+fi
+
+AFF_WARM=$(warm_probe)
+if [ "$AFF_WARM" -ne 8 ]; then
+    echo "smoke: affinity warm placements = $AFF_WARM of 8 — rendezvous routing is not keeping fleets warm" >&2
+    exit 1
+fi
+
+# Byte-identity across the fleet: every replica must serve the exact
+# bytes the single-process server produced, shards dispatched or not.
+for addr in $REP1 $REP2 $REP3; do
+    ADDR=$addr http_body POST /v1/sweep "$SWEEP_BODY" >"$WORK/sweep.$addr"
+    if ! cmp -s "$WORK/sweep.clean" "$WORK/sweep.$addr"; then
+        echo "smoke: replica $addr sweep bytes diverge from the single-process reference" >&2
+        exit 1
+    fi
+done
+
+# loadgen rotating over all three replicas: same request, any replica,
+# same bytes, under concurrency.
+"$WORK/loadgen" -url "http://$REP1,http://$REP2,http://$REP3" \
+    -paths /v1/figures/tab1 \
+    -sweep "$SWEEP_BODY" \
+    -c 8 -n 96
+
+# Kill one replica mid-run: fresh (uncached, dispatching) sweeps must
+# keep answering 200 — the dead peer's shards are ejected on first
+# error and retried onto the survivors.
+kill -9 "$R3_PID" 2>/dev/null || true
+wait "$R3_PID" 2>/dev/null || true
+REPLICA_PIDS=$(echo "$REPLICA_PIDS" | sed "s/ $R3_PID//")
+for s in 9801 9802 9803 9804 9805 9806; do
+    STATUS=$(ADDR=$REP1 http POST /v1/sweep "{\"cluster\":\"CloudLab\",\"axis\":\"seed\",\"values\":[$s,$((s+50))]}" | head -1)
+    if ! echo "$STATUS" | grep -q ' 200 '; then
+        echo "smoke: sweep after replica kill answered '$STATUS', want 200 via retry-to-survivor" >&2
+        exit 1
+    fi
+done
+# The dead peer must leave the routing candidate set — either the first
+# failed shard ejected it on the spot, or the next health probe (250ms
+# cadence) did; give the prober a moment.
+EJECTED=""
+for i in $(seq 1 50); do
+    if ADDR=$REP1 http_body GET /metrics | grep -q '^gpuvar_dispatch_peer_ejections_total{peer="http://'$REP3'"} [1-9]'; then
+        EJECTED=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$EJECTED" ]; then
+    echo "smoke: the killed replica was never ejected on $REP1" >&2
+    exit 1
+fi
+stop_replicas
+
+# Same probe under round-robin: the rotation has no cache alignment, so
+# it must warm strictly fewer placements than affinity's 8/8.
+boot_replica "$REP1" -route-policy roundrobin
+boot_replica "$REP2" -route-policy roundrobin
+boot_replica "$REP3" -route-policy roundrobin
+wait_fleet
+RR_WARM=$(warm_probe)
+stop_replicas
+if [ "$AFF_WARM" -le "$RR_WARM" ]; then
+    echo "smoke: affinity warm placements ($AFF_WARM) do not beat round-robin ($RR_WARM)" >&2
+    exit 1
+fi
+echo "smoke: affinity warm placements $AFF_WARM/8 vs round-robin $RR_WARM/8"
 
 echo "smoke: OK"
