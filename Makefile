@@ -65,9 +65,11 @@ GO ?= go
 #     from any replica, affinity beating round-robin on warm-fleet
 #     placement, kill-one-survive with zero 5xx).
 #   make fuzz     full native-fuzz sessions (FUZZTIME each, default 60s)
-#     over the service's request normalization: FuzzSweepRequest (body
+#     over the service's request normalization — FuzzSweepRequest (body
 #     decode + variant-axis parsing/validation) and FuzzJobEnvelope
-#     (kind/class routing + payload normalization).
+#     (kind/class routing + payload normalization) — and the traffic
+#     trace decoder, FuzzTraceDecode (torn-tail tolerance + canonical
+#     re-encode round trip).
 # CI gates a PR must clear (.github/workflows/ci.yml):
 #   make verify   build + fmt + vet + staticcheck + test + cover-floor
 #                 + fuzz-smoke + bench-smoke + bench-compare
@@ -146,6 +148,7 @@ FUZZTIME ?= 60s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSweepRequest$$' -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzJobEnvelope$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime $(FUZZTIME) ./internal/traffic
 
 # fuzz-smoke is the short per-verify pass: long enough to catch shallow
 # normalization regressions, short enough for every CI run.
@@ -167,14 +170,15 @@ verify:
 race:
 	$(GO) test -race -short ./...
 
-# bench records the full benchmark suite into BENCH_9.json with PR 8's
-# BENCH_8.json embedded as the baseline (name → ns/op, B/op, allocs/op).
+# bench records the full benchmark suite into BENCH_10.json with PR 9's
+# BENCH_9.json embedded as the baseline (name → ns/op, B/op, allocs/op,
+# plus custom units like ReplayBurst's p99-ms/ttfl-ms under "metrics").
 # Pass BENCH='regexp' to restrict, e.g.
 #   make bench BENCH='Fig04|ExtCampaign' COUNT=3
 BENCH ?= .
 COUNT ?= 1
 bench:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_8.json -out BENCH_9.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -count $(COUNT) -baseline BENCH_9.json -out BENCH_10.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig01' -benchtime 1x .
@@ -182,19 +186,21 @@ bench-smoke:
 # bench-compare is the benchmark-regression gate: re-measure the gate
 # benchmarks and fail if ns/op regressed past BENCH_TOLERANCE or
 # allocs/op past BENCH_ALLOC_TOLERANCE against the committed
-# BENCH_9.json. GATE_BENCH keeps the gate fast and focused on the two
+# BENCH_10.json. GATE_BENCH keeps the gate fast and focused on the two
 # perf wins PR 1 banked, the engine-backed sweep surfaces (both axis
 # forms), the PR 4 async-job plumbing, the PR 5 streaming and
 # classed-scheduler paths, the PR 6 retry plumbing (a fault-free run
 # with a retry policy armed must stay free), the PR 7 replayable
 # job-stream attach, the PR 8 estimator tier (the warm /v1/estimate
-# microsecond path and the cold pre-screened adaptive sweep), and the
-# PR 9 dispatch seam (a remote-forced sweep through a peer replica —
+# microsecond path and the cold pre-screened adaptive sweep), the PR 9
+# dispatch seam (a remote-forced sweep through a peer replica —
 # routing, the internal shard hop, and reassembly on top of the
-# computation). The alloc gate stays tight everywhere (alloc counts are
+# computation), and the PR 10 latency-under-burst replay (the committed
+# burst fixture verified record by record, reporting p99-ms/ttfl-ms).
+# The alloc gate stays tight everywhere (alloc counts are
 # machine-independent); CI loosens only BENCH_TOLERANCE because
 # absolute ns/op is not comparable across host machines.
-GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceDispatchSweep|ServiceJobSubmitPoll|ServiceJobStreamAttach|ServiceStreamSweep|EngineClassedMap|EngineRetryOverhead|ServiceEstimate|AdaptiveSweep
+GATE_BENCH ?= Fig04SGEMMSummit|ExtCampaign|ServiceSweep|ServiceDispatchSweep|ServiceJobSubmitPoll|ServiceJobStreamAttach|ServiceStreamSweep|EngineClassedMap|EngineRetryOverhead|ServiceEstimate|AdaptiveSweep|ReplayBurst
 BENCH_TOLERANCE ?= 0.25
 BENCH_ALLOC_TOLERANCE ?= 0.25
 # 100 iterations per sample (was 30x): on small or busy machines the
@@ -203,7 +209,7 @@ BENCH_ALLOC_TOLERANCE ?= 0.25
 # wall cost.
 bench-compare:
 	$(GO) run ./cmd/benchjson -bench '$(GATE_BENCH)' -count 3 -benchtime 100x \
-		-out /tmp/bench_gate.json -compare BENCH_9.json \
+		-out /tmp/bench_gate.json -compare BENCH_10.json \
 		-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 figures:

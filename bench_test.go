@@ -20,7 +20,9 @@ import (
 
 	"gpuvar/internal/engine"
 	"gpuvar/internal/figures"
+	"gpuvar/internal/loadgen"
 	"gpuvar/internal/service"
+	"gpuvar/internal/traffic"
 )
 
 // benchConfig keeps per-iteration cost moderate while exercising the
@@ -426,4 +428,55 @@ func BenchmarkServiceFigureHit(b *testing.B) {
 			b.Fatalf("status %d", rec.Code)
 		}
 	}
+}
+
+// BenchmarkReplayBurst is the latency-under-burst gate: each iteration
+// replays the committed burst-workload fixture
+// (testdata/traces/burst.trace — 30s of bursty diurnal traffic over all
+// five endpoint kinds, compressed onto a virtual clock) against a
+// default-configuration server, verifying every record against its
+// oracle. On top of ns/op it reports the replay's mean p99 request
+// latency and mean p99 stream time-to-first-line as p99-ms / ttfl-ms —
+// the tail-latency numbers the bench gate tracks release over release.
+func BenchmarkReplayBurst(b *testing.B) {
+	tr, stats, err := traffic.DecodeFile("testdata/traces/burst.trace")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.SkippedRecords != 0 {
+		b.Fatalf("fixture has a torn tail: %+v", stats)
+	}
+	// The fixture's oracle refers to the zero-Options server (what a
+	// flagless gpuvard boots), not benchConfig.
+	srv, err := service.New(service.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &loadgen.Client{HTTP: ts.Client(), PollInterval: 2 * time.Millisecond}
+	opts := loadgen.ReplayOptions{Bases: []string{ts.URL}, Verify: true}
+	run := func() *loadgen.ReplayResult {
+		res, err := c.Replay(tr, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := res.Mismatches(); n > 0 {
+			bad := res.FirstBad()
+			b.Fatalf("%d oracle mismatches; first: record #%d (%s): err=%v mismatch=%s",
+				n, bad.Index, bad.Kind, bad.Err, bad.Mismatch)
+		}
+		return res
+	}
+	run() // warm every cacheable response before the timer
+	b.ResetTimer()
+	var p99, ttfl float64
+	for i := 0; i < b.N; i++ {
+		res := run()
+		p99 += loadgen.PercentileMS(res.Latencies(""), 0.99)
+		ttfl += loadgen.PercentileMS(res.TTFLs(), 0.99)
+	}
+	b.ReportMetric(p99/float64(b.N), "p99-ms")
+	b.ReportMetric(ttfl/float64(b.N), "ttfl-ms")
 }

@@ -32,6 +32,7 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 )
 
 // Entry is one benchmark's result. When -count > 1, values are the
@@ -41,6 +42,10 @@ type Entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int64   `json:"iterations"`
+	// Metrics holds custom b.ReportMetric units (e.g. "p99-ms",
+	// "ttfl-ms"), recorded for the trajectory but not gated — custom
+	// metrics are benchmark-defined, so their tolerance is too.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Summary is the file schema.
@@ -55,11 +60,60 @@ type Summary struct {
 	Baseline map[string]Entry `json:"baseline,omitempty"`
 }
 
-// benchLine matches `go test -bench -benchmem` output rows, e.g.
-// BenchmarkFig04SGEMMSummit  80  14103702 ns/op  2741793 B/op  48725 allocs/op
-// The name is matched non-greedily so the -GOMAXPROCS suffix Go appends
-// on multi-core machines is stripped, keeping keys machine-independent.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// gomaxprocsSuffix is the -GOMAXPROCS suffix Go appends to benchmark
+// names on multi-core machines; stripping it keeps keys
+// machine-independent.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLine parses one `go test -bench -benchmem` output row,
+// e.g.
+//
+//	BenchmarkFig04SGEMMSummit-8  80  14103702 ns/op  2741793 B/op  48725 allocs/op
+//
+// Parsing is field-based rather than a fixed regexp because custom
+// b.ReportMetric units sort between ns/op and B/op:
+//
+//	BenchmarkReplayBurst-8  36  32756939 ns/op  10.5 p99-ms  9.4 ttfl-ms  6049240 B/op  49204 allocs/op
+//
+// Any `value unit` pair after the iteration count is consumed: the
+// standard units fill the typed fields, everything else lands in
+// Entry.Metrics.
+func parseBenchLine(line string) (name string, e Entry, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Entry{}, false
+	}
+	e.Iterations = iters
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			e.BytesPerOp = int64(val)
+		case "allocs/op":
+			e.AllocsPerOp = int64(val)
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	if !sawNs {
+		return "", Entry{}, false
+	}
+	return gomaxprocsSuffix.ReplaceAllString(fields[0], ""), e, true
+}
 
 func main() {
 	var (
@@ -105,21 +159,11 @@ func main() {
 		line := sc.Text()
 		fmt.Fprintln(&echoed, line)
 		fmt.Println(line)
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		name, e, ok := parseBenchLine(line)
+		if !ok {
 			continue
 		}
-		e := Entry{}
-		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		name := m[1]
-		if prev, ok := sum.Benchmarks[name]; !ok || e.NsPerOp < prev.NsPerOp {
+		if prev, seen := sum.Benchmarks[name]; !seen || e.NsPerOp < prev.NsPerOp {
 			sum.Benchmarks[name] = e
 		}
 	}

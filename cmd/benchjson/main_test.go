@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func TestBenchLineStripsGOMAXPROCSSuffix(t *testing.T) {
+func TestParseBenchLineStripsGOMAXPROCSSuffix(t *testing.T) {
 	cases := []struct {
 		line, name string
 	}{
@@ -20,13 +20,43 @@ func TestBenchLineStripsGOMAXPROCSSuffix(t *testing.T) {
 			"BenchmarkExtCampaign"},
 	}
 	for _, c := range cases {
-		m := benchLine.FindStringSubmatch(c.line)
-		if m == nil {
+		name, e, ok := parseBenchLine(c.line)
+		if !ok {
 			t.Fatalf("no match for %q", c.line)
 		}
-		if m[1] != c.name {
-			t.Errorf("parsed name %q, want %q (line %q)", m[1], c.name, c.line)
+		if name != c.name {
+			t.Errorf("parsed name %q, want %q (line %q)", name, c.name, c.line)
 		}
+		if e.NsPerOp == 0 || e.Iterations == 0 {
+			t.Errorf("entry %+v missing ns/op or iterations (line %q)", e, c.line)
+		}
+	}
+}
+
+// TestParseBenchLineCustomMetrics: custom b.ReportMetric units sort
+// between ns/op and B/op in go test output; the parser must keep the
+// standard fields AND collect the custom pairs.
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	line := "BenchmarkReplayBurst-8 \t      36\t  32756939 ns/op\t        10.47 p99-ms\t         9.370 ttfl-ms\t 6049240 B/op\t   49204 allocs/op"
+	name, e, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatalf("no match for %q", line)
+	}
+	if name != "BenchmarkReplayBurst" {
+		t.Errorf("name = %q", name)
+	}
+	if e.NsPerOp != 32756939 || e.BytesPerOp != 6049240 || e.AllocsPerOp != 49204 || e.Iterations != 36 {
+		t.Errorf("standard fields = %+v", e)
+	}
+	if e.Metrics["p99-ms"] != 10.47 || e.Metrics["ttfl-ms"] != 9.370 {
+		t.Errorf("custom metrics = %v, want p99-ms 10.47 and ttfl-ms 9.370", e.Metrics)
+	}
+
+	if _, _, ok := parseBenchLine("ok  \tgpuvar\t12.3s"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+	if _, _, ok := parseBenchLine("BenchmarkX-8 garbage 123 ns/op"); ok {
+		t.Error("malformed iteration count parsed")
 	}
 }
 

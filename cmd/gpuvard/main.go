@@ -151,6 +151,8 @@ func main() {
 		routePolicy = flag.String("route-policy", "", "shard routing policy: affinity (default), roundrobin, or leastloaded")
 		selfURL     = flag.String("self-url", "", "this replica's own base URL, so it can drop itself from -peers lists shared fleet-wide")
 		peerProbe   = flag.Duration("peer-probe", 2*time.Second, "peer health-probe interval (negative disables probing; peers then stay unused)")
+
+		recordTrace = flag.String("record-trace", "", "record replayable traffic to this trace file (see internal/traffic; loadgen -replay plays it back)")
 	)
 	clientWeights := map[string]int{}
 	flag.Func("client-weight", "per-client fair-share weight as client=N (repeatable; unlisted clients weigh 1)", func(v string) error {
@@ -212,12 +214,16 @@ func main() {
 		RoutePolicy:            *routePolicy,
 		SelfURL:                *selfURL,
 		PeerProbeInterval:      *peerProbe,
+		RecordTrace:            *recordTrace,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpuvard:", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
+	if *recordTrace != "" {
+		fmt.Fprintf(os.Stderr, "gpuvard: recording replayable traffic to %s\n", *recordTrace)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

@@ -34,13 +34,34 @@
 // -jobs and -stream): it is POSTed to /v1/estimate and as an adaptive
 // /v1/sweep (tolerance -threshold), both riding the same prime/hot
 // byte-identity machinery — the estimator must be deterministic
-// request over request. On top of
-// that, the adaptive response's structure is verified once after
-// priming: every variant carries a source, estimated points carry their
-// error bound, at most 32 values full-simulated (and at most half, on
-// axes of 64+ values), and a plain /v1/sweep of exactly the simulated
-// values must agree with the adaptive response literal-for-literal —
-// the pre-screened sweep's core contract.
+// request over request. On top of that, the adaptive response's
+// structure is verified once after priming against the pre-screened
+// sweep's contract.
+//
+// # Traffic traces
+//
+// Two further modes speak the versioned trace format of
+// internal/traffic (record with gpuvard -record-trace):
+//
+// With -replay, loadgen plays a trace file back instead of a synthetic
+// mix: every record is sent at its recorded offset (virtual clock by
+// default; -pace 1.0 replays at recorded wall-clock speed), as its
+// recorded client identity, and the response is verified against the
+// record's oracle status + sha256. Async job records drive the full
+// submit/poll/result lifecycle; stream records reassemble the NDJSON.
+// The run reports overall and per-phase p50/p99, stream
+// time-to-first-line percentiles, and a digest — the sha256 of the
+// observed (status, sha256) sequence in trace order, so two replay
+// runs are comparable with a single string equality. -record-out
+// writes the trace back with each record's oracle filled from this
+// run's observations (how a generated trace becomes a fixture).
+//
+// With -generate, loadgen emits a seeded synthetic workload trace
+// instead of running at all: a multi-period diurnal rate curve, bursty
+// on/off client cohorts with heavy-tailed (Pareto) burst sizes, and a
+// weighted heavy-tailed request mix over the five endpoint kinds
+// (figures, sweep, estimate, stream, jobs). The same -gen-seed always
+// produces a byte-identical file.
 //
 // Usage:
 //
@@ -54,6 +75,10 @@
 //	loadgen -url http://localhost:9090 -c 8
 //	loadgen -url http://h1:8081,http://h2:8082,http://h3:8083 -sweep '...'
 //	loadgen -clients 4 -api-key team -jobs -sweep '...'
+//	loadgen -generate burst.trace -gen-seed 7 -gen-duration 30s -gen-rate 8
+//	loadgen -replay burst.trace                 # virtual clock, verify oracles
+//	loadgen -replay burst.trace -pace 1.0       # recorded wall-clock pacing
+//	loadgen -replay burst.trace -record-out burst.oracle.trace
 //
 // -url accepts a comma-separated replica list: priming, streaming, and
 // the adaptive verification hit the first replica (pinning the
@@ -69,43 +94,19 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
-	"net/url"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gpuvar/internal/loadgen"
+	"gpuvar/internal/traffic"
 )
-
-// target is one request in the round-robin mix.
-type target struct {
-	label  string // method + path, used in reports and as reference key
-	method string
-	path   string
-	body   string
-}
-
-type sample struct {
-	label string
-	d     time.Duration
-	cache string // X-Cache header: hit, miss, coalesced, or ""
-}
-
-// p50 returns the median of ds in milliseconds (ds must be sorted).
-func p50ms(ds []time.Duration) float64 {
-	return float64(ds[len(ds)/2].Microseconds()) / 1000
-}
 
 func main() {
 	var (
@@ -116,13 +117,37 @@ func main() {
 		stream   = flag.Bool("stream", false, "also verify the streaming endpoints: reassembled NDJSON payloads must be byte-identical to the synchronous responses; reports time-to-first-line")
 		estimate = flag.Bool("estimate", false, "also drive the analytical tier: POST the -sweep body to /v1/estimate and as an adaptive sweep, verifying the mixed response's structure and that its simulated points match a plain sweep of the same values")
 		thresh   = flag.Float64("threshold", 0.05, "relative error tolerance for the adaptive sweep driven by -estimate")
-		conc     = flag.Int("c", 32, "concurrent workers")
+		conc     = flag.Int("c", 32, "concurrent workers (also the replay in-flight bound)")
 		total    = flag.Int("n", 512, "total requests (split across workers, round-robin over paths)")
 		duration = flag.Duration("duration", 0, "run for this long instead of a fixed -n (0 = use -n)")
 		apiKey   = flag.String("api-key", "", "X-API-Key to send (empty = anonymous; the server falls back to the remote address)")
 		clients  = flag.Int("clients", 1, "spread workers across this many derived client identities (<api-key>-0 .. <api-key>-N-1)")
+
+		replayPath = flag.String("replay", "", "replay this traffic-trace file instead of a synthetic mix (see internal/traffic)")
+		pace       = flag.Float64("pace", 0, "replay clock: 0 = virtual (as fast as ordering allows), 1.0 = recorded speed, 2.0 = twice recorded speed")
+		recordOut  = flag.String("record-out", "", "after -replay, write the trace back here with each record's oracle (status+sha256) filled from this run")
+
+		genOut      = flag.String("generate", "", "generate a seeded workload trace to this file and exit (no server needed)")
+		genSeed     = flag.Uint64("gen-seed", 1, "generator seed (same seed = byte-identical trace)")
+		genDuration = flag.Duration("gen-duration", time.Minute, "generated workload's virtual duration")
+		genRate     = flag.Float64("gen-rate", 40, "mean request rate (req/s) at diurnal level 1.0")
+		genPeriods  = flag.String("gen-periods", "", "diurnal curve terms as period:amplitude[:phase], comma-separated (e.g. 30s:0.5,7.5s:0.25:1.0; empty = defaults)")
+		genCohorts  = flag.Int("gen-cohorts", 4, "independent on/off client cohorts")
+		genClients  = flag.Int("gen-clients", 4, "client identities per cohort")
+		genAlpha    = flag.Float64("gen-burst-alpha", 1.3, "Pareto tail index for burst sizes (closer to 1 = heavier tail)")
+		genBurstMax = flag.Int("gen-burst-max", 64, "cap on a single burst's request count")
+		genIntraGap = flag.Duration("gen-intra-gap", 4*time.Millisecond, "mean gap between consecutive requests inside one burst")
+		genMix      = flag.String("gen-mix", "", "request-kind weights as kind=weight, comma-separated (e.g. figures=8,sweep=4,estimate=2,stream=1.5,jobs=0.5; empty = defaults)")
+		genCluster  = flag.String("gen-cluster", "", "cluster the generated request templates target (default CloudLab)")
+		genNote     = flag.String("gen-note", "", "free-form note stored in the generated trace's header")
 	)
 	flag.Parse()
+
+	if *genOut != "" {
+		os.Exit(runGenerate(*genOut, *genSeed, *genDuration, *genRate, *genPeriods,
+			*genCohorts, *genClients, *genAlpha, *genBurstMax, *genIntraGap, *genMix, *genCluster, *genNote))
+	}
+
 	var bases []string
 	for _, b := range strings.Split(*base, ",") {
 		if b = strings.TrimSpace(strings.TrimSuffix(b, "/")); b != "" {
@@ -133,70 +158,231 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: -url must name at least one replica")
 		os.Exit(1)
 	}
+
+	if *replayPath != "" {
+		os.Exit(runReplay(*replayPath, bases, *conc, *pace, *recordOut))
+	}
+
+	os.Exit(runClassic(bases, *paths, *sweep, *jobsMode, *stream, *estimate, *thresh,
+		*conc, *total, *duration, *apiKey, *clients))
+}
+
+// runGenerate emits a seeded workload trace (no server involved).
+func runGenerate(out string, seed uint64, dur time.Duration, rate float64, periods string,
+	cohorts, clientsPer int, alpha float64, burstMax int, intraGap time.Duration,
+	mix, cluster, note string) int {
+	spec := traffic.GenSpec{
+		Seed:             seed,
+		Duration:         dur,
+		Rate:             rate,
+		Cohorts:          cohorts,
+		ClientsPerCohort: clientsPer,
+		BurstAlpha:       alpha,
+		BurstMax:         burstMax,
+		IntraGap:         intraGap,
+		Cluster:          cluster,
+		Note:             note,
+	}
+	var err error
+	if spec.Periods, err = parseGenPeriods(periods); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: -gen-periods:", err)
+		return 1
+	}
+	if spec.Mix, err = parseGenMix(mix); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: -gen-mix:", err)
+		return 1
+	}
+	tr, err := traffic.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	if err := os.WriteFile(out, tr.Encode(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	fmt.Printf("generated %s: %d records, seed %d, %s\n", out, len(tr.Records), seed, tr.Header.Note)
+	for kind, n := range tr.Kinds() {
+		fmt.Printf("  %-10s %d\n", kind, n)
+	}
+	fmt.Println("replay it (and fill the oracle) with: loadgen -replay", out, "-record-out", out)
+	return 0
+}
+
+// parseGenPeriods parses "30s:0.5,7.5s:0.25:1.0" into diurnal terms.
+func parseGenPeriods(s string) ([]traffic.Period, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []traffic.Period
+	for _, term := range strings.Split(s, ",") {
+		parts := strings.Split(term, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("term %q: want period:amplitude[:phase]", term)
+		}
+		p, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("term %q: %v", term, err)
+		}
+		amp, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("term %q: amplitude: %v", term, err)
+		}
+		var phase float64
+		if len(parts) == 3 {
+			if phase, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, fmt.Errorf("term %q: phase: %v", term, err)
+			}
+		}
+		out = append(out, traffic.Period{Period: p, Amplitude: amp, Phase: phase})
+	}
+	return out, nil
+}
+
+// parseGenMix parses "figures=8,sweep=4" into mix entries.
+func parseGenMix(s string) ([]traffic.MixEntry, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []traffic.MixEntry
+	for _, term := range strings.Split(s, ",") {
+		kind, val, ok := strings.Cut(term, "=")
+		if !ok {
+			return nil, fmt.Errorf("term %q: want kind=weight", term)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("term %q: weight: %v", term, err)
+		}
+		out = append(out, traffic.MixEntry{Kind: kind, Weight: w})
+	}
+	return out, nil
+}
+
+// runReplay plays a trace back and reports per-phase latency, stream
+// TTFL, and the run digest.
+func runReplay(path string, bases []string, conc int, pace float64, recordOut string) int {
+	tr, stats, err := traffic.DecodeFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	if stats.SkippedRecords > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: note: %s has a torn tail (%d chunk(s), %d bytes dropped) — replaying the intact prefix\n",
+			path, stats.SkippedRecords, stats.TruncatedBytes)
+	}
+	if len(tr.Records) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: trace has no records")
+		return 1
+	}
+	clock := "virtual clock"
+	if pace > 0 {
+		clock = fmt.Sprintf("wall clock, pace %gx", pace)
+	}
+	fmt.Printf("replay %s: %d records (source %s, seed %d), %s, %d in flight\n",
+		path, len(tr.Records), tr.Header.Source, tr.Header.Seed, clock, conc)
+
+	c := &loadgen.Client{}
+	res, err := c.Replay(tr, loadgen.ReplayOptions{Bases: bases, Concurrency: conc, Pace: pace, Verify: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+
+	fmt.Printf("\n%d requests in %.2fs (%.0f req/s)\n",
+		len(res.Records), res.Elapsed.Seconds(), float64(len(res.Records))/res.Elapsed.Seconds())
+	all := res.Latencies("")
+	fmt.Printf("latency:    p50 %.2f ms  p99 %.2f ms\n",
+		loadgen.PercentileMS(all, 0.50), loadgen.PercentileMS(all, 0.99))
+	for _, phase := range res.Phases() {
+		if phase == "" {
+			continue
+		}
+		ds := res.Latencies(phase)
+		fmt.Printf("  %-9s p50 %.2f ms  p99 %.2f ms  (%d reqs)\n",
+			phase, loadgen.PercentileMS(ds, 0.50), loadgen.PercentileMS(ds, 0.99), len(ds))
+	}
+	if ttfls := res.TTFLs(); len(ttfls) > 0 {
+		fmt.Printf("stream TTFL: p50 %.2f ms  p99 %.2f ms  (%d streams)\n",
+			loadgen.PercentileMS(ttfls, 0.50), loadgen.PercentileMS(ttfls, 0.99), len(ttfls))
+	}
+	if n := res.Aborts(); n > 0 {
+		fmt.Printf("aborted:    %d responses shed by the server (deadline/cancel)\n", n)
+	}
+	fmt.Printf("digest: %s\n", res.Digest())
+
+	if recordOut != "" {
+		filled, err := res.FillOracle(tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -record-out:", err)
+			return 1
+		}
+		if err := os.WriteFile(recordOut, filled.Encode(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s with the oracle filled from this run\n", recordOut)
+	}
+	if n := res.Mismatches(); n > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d mismatched or failed records\n", n)
+		if bad := res.FirstBad(); bad != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: first failure: record #%d (%s %s)\n", bad.Index, bad.Kind, tr.Records[bad.Index].Path)
+			if bad.Err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen:   error: %v\n", bad.Err)
+			} else {
+				fmt.Fprintf(os.Stderr, "loadgen:   %s\n", bad.Mismatch)
+			}
+		}
+		return 1
+	}
+	fmt.Println("replay verification: OK (every record matched its oracle)")
+	return 0
+}
+
+// runClassic is the synthetic round-robin mix: prime, verify the
+// stream/adaptive contracts, then the hot byte-identity pass.
+func runClassic(bases []string, paths, sweep string, jobsMode, stream, estimate bool, thresh float64,
+	conc, total int, duration time.Duration, apiKey string, clients int) int {
 	if len(bases) > 1 {
 		fmt.Printf("replicas: %d (%s reference; hot pass rotates)\n", len(bases), bases[0])
 	}
-	if *jobsMode && *sweep == "" {
-		fmt.Fprintln(os.Stderr, "loadgen: -jobs requires -sweep (the job payload)")
-		os.Exit(1)
-	}
-	if *estimate && *sweep == "" {
-		fmt.Fprintln(os.Stderr, "loadgen: -estimate requires -sweep (the request to estimate)")
-		os.Exit(1)
-	}
-	if *estimate && (*jobsMode || *stream) {
+	if estimate && stream {
 		fmt.Fprintln(os.Stderr, "loadgen: -estimate routes -sweep to the analytical tier; run -jobs/-stream in a separate invocation")
-		os.Exit(1)
+		return 1
 	}
-	if *clients < 1 {
+	if clients < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: -clients must be at least 1")
-		os.Exit(1)
+		return 1
 	}
 	// keyFor derives worker w's client identity. One identity total when
 	// -clients is 1; N distinct suffixed keys otherwise ("tenant" stands
 	// in as the prefix if -api-key was not given).
 	keyFor := func(w int) string {
-		if *clients == 1 {
-			return *apiKey
+		if clients == 1 {
+			return apiKey
 		}
-		prefix := *apiKey
+		prefix := apiKey
 		if prefix == "" {
 			prefix = "tenant"
 		}
-		return fmt.Sprintf("%s-%d", prefix, w%*clients)
+		return fmt.Sprintf("%s-%d", prefix, w%clients)
+	}
+	if clients > 1 {
+		fmt.Printf("clients: %d identities (X-API-Key %s .. %s)\n", clients, keyFor(0), keyFor(clients-1))
 	}
 
-	if *clients > 1 {
-		fmt.Printf("clients: %d identities (X-API-Key %s .. %s)\n", *clients, keyFor(0), keyFor(*clients-1))
+	targets, adaptiveBody, err := loadgen.BuildMix(loadgen.MixConfig{
+		Paths:     strings.Split(paths, ","),
+		Sweep:     sweep,
+		Jobs:      jobsMode,
+		Estimate:  estimate,
+		Threshold: thresh,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
 	}
-
-	const sweepLabel = "POST /v1/sweep"
-	const jobLabel = "JOB  /v1/jobs (sweep)"
-	var targets []target
-	for _, p := range strings.Split(*paths, ",") {
-		targets = append(targets, target{label: "GET " + p, method: "GET", path: p})
-	}
-	if *sweep != "" && !*estimate {
-		targets = append(targets, target{label: sweepLabel, method: "POST", path: "/v1/sweep", body: *sweep})
-	}
-	if *jobsMode {
-		targets = append(targets, target{label: jobLabel, method: methodJob, path: "/v1/jobs",
-			body: `{"kind":"sweep","sweep":` + *sweep + `}`})
-	}
-	const estimateLabel = "POST /v1/estimate"
-	const adaptiveLabel = "POST /v1/sweep (adaptive)"
-	var adaptiveBody string
-	if *estimate {
-		var err error
-		if adaptiveBody, err = adaptiveSweepBody(*sweep, *thresh); err != nil {
-			fmt.Fprintln(os.Stderr, "loadgen: -estimate:", err)
-			os.Exit(1)
-		}
-		targets = append(targets,
-			target{label: estimateLabel, method: "POST", path: "/v1/estimate", body: *sweep},
-			target{label: adaptiveLabel, method: "POST", path: "/v1/sweep", body: adaptiveBody})
-	}
-	client := &http.Client{Timeout: 5 * time.Minute}
+	client := &loadgen.Client{}
 
 	// Cold pass: one priming request per target, timed separately. This
 	// also pins the reference body every later response must match.
@@ -204,33 +390,33 @@ func main() {
 	coldMs := make(map[string]float64, len(targets))
 	for _, tg := range targets {
 		t0 := time.Now()
-		body, cacheHdr, aborted, err := do(client, bases[0], tg, keyFor(0))
+		body, cacheHdr, aborted, err := client.Do(bases[0], tg, keyFor(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
-			os.Exit(1)
+			return 1
 		}
 		if aborted {
-			fmt.Fprintf(os.Stderr, "loadgen: priming %s was server-aborted; raise the server -timeout or shrink the request\n", tg.label)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "loadgen: priming %s was server-aborted; raise the server -timeout or shrink the request\n", tg.Label)
+			return 1
 		}
-		coldMs[tg.label] = float64(time.Since(t0).Microseconds()) / 1000
-		ref[tg.label] = sha256.Sum256(body)
-		fmt.Printf("prime %-60s %8.1f ms  (%d bytes, X-Cache: %s)\n", tg.label, coldMs[tg.label], len(body), cacheHdr)
+		coldMs[tg.Label] = float64(time.Since(t0).Microseconds()) / 1000
+		ref[tg.Label] = sha256.Sum256(body)
+		fmt.Printf("prime %-60s %8.1f ms  (%d bytes, X-Cache: %s)\n", tg.Label, coldMs[tg.Label], len(body), cacheHdr)
 	}
 	// The async path must return the synchronous sweep's exact bytes.
-	if *jobsMode && ref[jobLabel] != ref[sweepLabel] {
+	if jobsMode && ref[loadgen.JobLabel] != ref[loadgen.SweepLabel] {
 		fmt.Fprintln(os.Stderr, "loadgen: FAIL: async job result diverged from the synchronous /v1/sweep response")
-		os.Exit(1)
+		return 1
 	}
 
 	// Structural verification of the adaptive tier: re-fetch the primed
 	// adaptive response (a warm hit — also proving the estimator answers
 	// deterministically) and hold it to the pre-screened contract.
-	if *estimate {
-		simulated, estimated, err := verifyAdaptive(client, bases[0], *sweep, adaptiveBody, keyFor(0))
+	if estimate {
+		simulated, estimated, err := client.VerifyAdaptive(bases[0], sweep, adaptiveBody, keyFor(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: FAIL: adaptive sweep:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("adaptive: %d simulated + %d estimated variants; simulated points match a plain sweep literal-for-literal\n",
 			simulated, estimated)
@@ -239,22 +425,22 @@ func main() {
 	// Streaming verification: every stream must reassemble to its
 	// synchronous reference, byte for byte, with the first line well
 	// ahead of completion.
-	if *stream {
+	if stream {
 		type streamTarget struct {
 			label string
 			url   string
 			ref   [32]byte
 		}
 		var sts []streamTarget
-		if *sweep != "" {
-			u, err := sweepStreamURL(bases[0], *sweep)
+		if sweep != "" {
+			u, err := loadgen.SweepStreamURL(bases[0], sweep)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "loadgen: -stream:", err)
-				os.Exit(1)
+				return 1
 			}
-			sts = append(sts, streamTarget{label: "STREAM /v1/stream/sweep", url: u, ref: ref[sweepLabel]})
+			sts = append(sts, streamTarget{label: "STREAM /v1/stream/sweep", url: u, ref: ref[loadgen.SweepLabel]})
 		}
-		for _, p := range strings.Split(*paths, ",") {
+		for _, p := range strings.Split(paths, ",") {
 			if strings.HasPrefix(p, "/v1/experiments/") {
 				sts = append(sts, streamTarget{
 					label: "STREAM /v1/stream" + p[len("/v1"):],
@@ -265,16 +451,16 @@ func main() {
 		}
 		if len(sts) == 0 {
 			fmt.Fprintln(os.Stderr, "loadgen: -stream needs -sweep or a /v1/experiments/ path to stream")
-			os.Exit(1)
+			return 1
 		}
 		for _, st := range sts {
-			ttfl, total, lines, err := streamVerify(client, st.url, st.ref)
+			sr, err := client.StreamVerify(st.url, st.ref, keyFor(0))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "loadgen: FAIL: %s: %v\n", st.label, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("stream %-55s %d lines, first line %8.1f ms, done %8.1f ms, byte-identity OK\n",
-				st.label, lines, float64(ttfl.Microseconds())/1000, float64(total.Microseconds())/1000)
+				st.label, sr.Lines, float64(sr.TTFL.Microseconds())/1000, float64(sr.Total.Microseconds())/1000)
 		}
 	}
 
@@ -283,26 +469,26 @@ func main() {
 	// run until the deadline; otherwise until -n requests are done.
 	var (
 		mu       sync.Mutex
-		samples  []sample
+		stats    loadgen.Stats
 		mismatch atomic.Int64
 		aborts   atomic.Int64
 		next     atomic.Int64
 		// firstBad captures the first diverging or failed request for
 		// triage: under chaos testing "1 of 512 mismatched" is useless
 		// without knowing which request and how the bytes differed.
-		firstBad atomic.Pointer[mismatchReport]
+		firstBad atomic.Pointer[loadgen.MismatchReport]
 	)
-	recordBad := func(r *mismatchReport) {
+	recordBad := func(r *loadgen.MismatchReport) {
 		firstBad.CompareAndSwap(nil, r)
 		mismatch.Add(1)
 	}
 	deadline := time.Time{}
-	if *duration > 0 {
-		deadline = time.Now().Add(*duration)
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < *conc; w++ {
+	for w := 0; w < conc; w++ {
 		wg.Add(1)
 		key := keyFor(w)
 		go func() {
@@ -310,7 +496,7 @@ func main() {
 			for {
 				i := int(next.Add(1)) - 1
 				if deadline.IsZero() {
-					if i >= *total {
+					if i >= total {
 						return
 					}
 				} else if time.Now().After(deadline) {
@@ -318,7 +504,7 @@ func main() {
 				}
 				tg := targets[i%len(targets)]
 				t0 := time.Now()
-				body, cacheHdr, aborted, err := do(client, bases[i%len(bases)], tg, key)
+				body, cacheHdr, aborted, err := client.Do(bases[i%len(bases)], tg, key)
 				d := time.Since(t0)
 				if aborted {
 					aborts.Add(1)
@@ -326,20 +512,20 @@ func main() {
 				}
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "loadgen:", err)
-					recordBad(&mismatchReport{request: i, label: tg.label, err: err})
+					recordBad(&loadgen.MismatchReport{Request: i, Label: tg.Label, Err: err})
 					continue
 				}
-				if got := sha256.Sum256(body); got != ref[tg.label] {
-					fmt.Fprintf(os.Stderr, "loadgen: response for %s diverged from reference\n", tg.label)
-					recordBad(&mismatchReport{
-						request: i, label: tg.label,
-						wantSHA: ref[tg.label], gotSHA: got,
-						body: body,
+				if got := sha256.Sum256(body); got != ref[tg.Label] {
+					fmt.Fprintf(os.Stderr, "loadgen: response for %s diverged from reference\n", tg.Label)
+					recordBad(&loadgen.MismatchReport{
+						Request: i, Label: tg.Label,
+						WantSHA: ref[tg.Label], GotSHA: got,
+						Body: body,
 					})
 					continue
 				}
 				mu.Lock()
-				samples = append(samples, sample{label: tg.label, d: d, cache: cacheHdr})
+				stats.Add(loadgen.Sample{Label: tg.Label, D: d, Cache: cacheHdr})
 				mu.Unlock()
 			}
 		}()
@@ -347,473 +533,39 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	if len(samples) == 0 {
+	if len(stats.Samples) == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: no successful requests")
-		os.Exit(1)
+		return 1
 	}
-	durs := make([]time.Duration, len(samples))
-	byLabel := make(map[string][]time.Duration, len(targets))
-	hits := 0
-	for i, s := range samples {
-		durs[i] = s.d
-		byLabel[s.label] = append(byLabel[s.label], s.d)
-		if s.cache == "hit" {
-			hits++
-		}
-	}
-	sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
-	pct := func(p float64) float64 {
-		i := int(p * float64(len(durs)-1))
-		return float64(durs[i].Microseconds()) / 1000
-	}
-	reqs := float64(len(samples))
-	fmt.Printf("\n%d requests, %d workers, %.2fs\n", len(samples), *conc, elapsed.Seconds())
+	durs := stats.Durations()
+	reqs := float64(len(stats.Samples))
+	hits := stats.Hits()
+	fmt.Printf("\n%d requests, %d workers, %.2fs\n", len(stats.Samples), conc, elapsed.Seconds())
 	fmt.Printf("throughput: %.0f req/s\n", reqs/elapsed.Seconds())
-	fmt.Printf("latency:    p50 %.2f ms  p99 %.2f ms\n", pct(0.50), pct(0.99))
-	fmt.Printf("cache:      %d/%d hits (%.0f%%)\n", hits, len(samples), 100*float64(hits)/reqs)
+	fmt.Printf("latency:    p50 %.2f ms  p99 %.2f ms\n",
+		loadgen.PercentileMS(durs, 0.50), loadgen.PercentileMS(durs, 0.99))
+	fmt.Printf("cache:      %d/%d hits (%.0f%%)\n", hits, len(stats.Samples), 100*float64(hits)/reqs)
 	if n := aborts.Load(); n > 0 {
 		fmt.Printf("aborted:    %d responses shed by the server (deadline/cancel), not counted as failures\n", n)
 	}
+	byLabel := stats.ByLabel()
 	for _, tg := range targets {
-		ds := byLabel[tg.label]
+		ds := byLabel[tg.Label]
 		if len(ds) == 0 {
 			continue
 		}
-		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
-		if warm := p50ms(ds); warm > 0 {
+		if warm := loadgen.PercentileMS(ds, 0.50); warm > 0 {
 			fmt.Printf("cold/warm:  %-60s %.1fx (cold %.1f ms vs warm p50 %.2f ms)\n",
-				tg.label, coldMs[tg.label]/warm, coldMs[tg.label], warm)
+				tg.Label, coldMs[tg.Label]/warm, coldMs[tg.Label], warm)
 		}
 	}
 	if n := mismatch.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d mismatched or failed responses\n", n)
 		if r := firstBad.Load(); r != nil {
-			r.print(os.Stderr)
+			r.Print(os.Stderr)
 		}
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println("byte-identity: OK (every response matched its target's reference)")
-}
-
-// mismatchReport is the triage record for the first bad response of a
-// run: which request diverged, the expected and observed hashes, and
-// the head of the observed body (enough to tell a wrong result from an
-// error envelope at a glance).
-type mismatchReport struct {
-	request int
-	label   string
-	err     error // request failed outright (mutually exclusive with a hash divergence)
-	wantSHA [32]byte
-	gotSHA  [32]byte
-	body    []byte
-}
-
-func (r *mismatchReport) print(w io.Writer) {
-	fmt.Fprintf(w, "loadgen: first failure: request #%d (%s)\n", r.request, r.label)
-	if r.err != nil {
-		fmt.Fprintf(w, "loadgen:   error: %v\n", r.err)
-		return
-	}
-	fmt.Fprintf(w, "loadgen:   want sha256 %s\n", hex.EncodeToString(r.wantSHA[:]))
-	fmt.Fprintf(w, "loadgen:   got  sha256 %s\n", hex.EncodeToString(r.gotSHA[:]))
-	snippet := r.body
-	const maxSnippet = 512
-	truncated := ""
-	if len(snippet) > maxSnippet {
-		snippet = snippet[:maxSnippet]
-		truncated = fmt.Sprintf(" ... (%d bytes total)", len(r.body))
-	}
-	fmt.Fprintf(w, "loadgen:   got body: %s%s\n", strings.TrimSpace(string(snippet)), truncated)
-}
-
-// methodJob marks a target that runs through the async job path
-// instead of a single HTTP request.
-const methodJob = "JOB"
-
-// adaptiveSweepBody turns the -sweep body into its adaptive spelling.
-// json.Marshal reorders the keys, but the body only needs to be
-// self-consistent: every adaptive request in the run sends these exact
-// bytes, so the byte-identity machinery still has a fixed reference.
-func adaptiveSweepBody(body string, threshold float64) (string, error) {
-	var m map[string]any
-	if err := json.Unmarshal([]byte(body), &m); err != nil {
-		return "", fmt.Errorf("parsing -sweep body: %v", err)
-	}
-	m["adaptive"] = true
-	m["threshold"] = threshold
-	out, err := json.Marshal(m)
-	return string(out), err
-}
-
-// adaptiveVariant is the per-variant subset -estimate verifies, decoded
-// with json.Number so numeric literals compare as the exact bytes the
-// server sent, not as post-rounding floats.
-type adaptiveVariant struct {
-	Value    json.Number `json:"value"`
-	MedianMs json.Number `json:"median_ms"`
-	PerfVar  json.Number `json:"perf_variation"`
-	GPUs     json.Number `json:"gpus"`
-	Outliers json.Number `json:"outliers"`
-	Source   string      `json:"source"`
-	Bound    json.Number `json:"bound"`
-}
-
-func decodeAdaptiveVariants(body []byte) ([]adaptiveVariant, error) {
-	var resp struct {
-		Variants []json.RawMessage `json:"variants"`
-	}
-	if err := json.Unmarshal(body, &resp); err != nil {
-		return nil, fmt.Errorf("decoding sweep response: %v", err)
-	}
-	out := make([]adaptiveVariant, len(resp.Variants))
-	for i, raw := range resp.Variants {
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.UseNumber()
-		if err := dec.Decode(&out[i]); err != nil {
-			return nil, fmt.Errorf("decoding variant %d: %v", i, err)
-		}
-	}
-	return out, nil
-}
-
-// verifyAdaptive checks the pre-screened sweep's contract on the warm
-// adaptive response: every variant declares its source, estimated
-// points carry an error bound, full simulation stays under the 32-value
-// clamp (and under half the axis once it is 64+ values wide), and a
-// plain /v1/sweep of exactly the simulated values agrees with the
-// adaptive response literal-for-literal.
-func verifyAdaptive(client *http.Client, base, sweepBody, adaptiveBody, key string) (simulated, estimated int, err error) {
-	body, _, aborted, err := do(client, base,
-		target{label: "verify adaptive", method: "POST", path: "/v1/sweep", body: adaptiveBody}, key)
-	if err != nil || aborted {
-		return 0, 0, fmt.Errorf("re-fetching the adaptive response: aborted=%t err=%v", aborted, err)
-	}
-	variants, err := decodeAdaptiveVariants(body)
-	if err != nil {
-		return 0, 0, err
-	}
-	var simVals []string
-	byValue := make(map[string]adaptiveVariant, len(variants))
-	for i, v := range variants {
-		switch v.Source {
-		case "simulated":
-			simulated++
-			simVals = append(simVals, v.Value.String())
-			byValue[v.Value.String()] = v
-		case "estimated":
-			if v.Bound == "" {
-				return 0, 0, fmt.Errorf("variant %d (value %s) is estimated but has no bound", i, v.Value)
-			}
-			estimated++
-		default:
-			return 0, 0, fmt.Errorf("variant %d (value %s) has source %q", i, v.Value, v.Source)
-		}
-	}
-	if simulated == 0 {
-		return 0, 0, fmt.Errorf("no simulated variants — the calibration anchors must always simulate")
-	}
-	if simulated > 32 {
-		return 0, 0, fmt.Errorf("%d variants full-simulated, over the 32-value clamp", simulated)
-	}
-	if len(variants) >= 64 && (simulated*2 > len(variants) || estimated == 0) {
-		return 0, 0, fmt.Errorf("a %d-value axis simulated %d values (want ≤ half, with an estimated remainder)", len(variants), simulated)
-	}
-
-	// Replay exactly the simulated values as a plain sweep; the adaptive
-	// path runs the identical shard body, so each point must reproduce
-	// its numeric literals.
-	var m map[string]any
-	if err := json.Unmarshal([]byte(sweepBody), &m); err != nil {
-		return 0, 0, fmt.Errorf("parsing -sweep body: %v", err)
-	}
-	if _, legacy := m["caps_w"]; legacy {
-		delete(m, "caps_w")
-		m["axis"] = "powercap"
-	}
-	m["values"] = json.RawMessage("[" + strings.Join(simVals, ",") + "]")
-	subset, err := json.Marshal(m)
-	if err != nil {
-		return 0, 0, err
-	}
-	plainBody, _, aborted, err := do(client, base,
-		target{label: "verify subset", method: "POST", path: "/v1/sweep", body: string(subset)}, key)
-	if err != nil || aborted {
-		return 0, 0, fmt.Errorf("plain sweep of the simulated values: aborted=%t err=%v", aborted, err)
-	}
-	plain, err := decodeAdaptiveVariants(plainBody)
-	if err != nil {
-		return 0, 0, err
-	}
-	for _, p := range plain {
-		a, ok := byValue[p.Value.String()]
-		if !ok {
-			return 0, 0, fmt.Errorf("plain sweep returned value %s that the adaptive response did not simulate", p.Value)
-		}
-		if a.MedianMs != p.MedianMs || a.PerfVar != p.PerfVar || a.GPUs != p.GPUs || a.Outliers != p.Outliers {
-			return 0, 0, fmt.Errorf("value %s: adaptive simulated point diverged from the plain sweep (%+v vs %+v)", p.Value, a, p)
-		}
-	}
-	return simulated, estimated, nil
-}
-
-// sweepStreamURL converts the -sweep JSON body into the streaming
-// endpoint's query-parameter spelling (values/caps_w comma-joined), so
-// both spellings describe the identical normalized request.
-func sweepStreamURL(base, body string) (string, error) {
-	var m map[string]any
-	if err := json.Unmarshal([]byte(body), &m); err != nil {
-		return "", fmt.Errorf("parsing -sweep body: %v", err)
-	}
-	num := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
-	q := url.Values{}
-	for k, v := range m {
-		switch vv := v.(type) {
-		case string:
-			q.Set(k, vv)
-		case float64:
-			q.Set(k, num(vv))
-		case []any:
-			parts := make([]string, len(vv))
-			for i, e := range vv {
-				f, ok := e.(float64)
-				if !ok {
-					return "", fmt.Errorf("-sweep field %q element %d is not a number", k, i)
-				}
-				parts[i] = num(f)
-			}
-			q.Set(k, strings.Join(parts, ","))
-		default:
-			return "", fmt.Errorf("-sweep field %q has unstreamable type %T", k, v)
-		}
-	}
-	return base + "/v1/stream/sweep?" + q.Encode(), nil
-}
-
-// streamLine is the NDJSON line schema of the streaming endpoints (the
-// subset loadgen verifies).
-type streamLine struct {
-	Kind    string `json:"kind"`
-	Shard   int    `json:"shard"`
-	Shards  int    `json:"shards"`
-	Payload string `json:"payload"`
-	Bytes   int    `json:"bytes"`
-	SHA256  string `json:"sha256"`
-	Error   string `json:"error"`
-}
-
-// streamVerify reads one streaming response line by line as it arrives
-// and checks the stream contract: a start line, ordered shard lines, a
-// terminal summary whose declared sha256 matches the reassembled
-// payload, and payload bytes hashing to the synchronous reference.
-func streamVerify(client *http.Client, target string, ref [32]byte) (ttfl, total time.Duration, lines int, err error) {
-	t0 := time.Now()
-	resp, err := client.Get(target)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return 0, 0, 0, fmt.Errorf("GET %s: %s: %s", target, resp.Status, firstLine(body))
-	}
-	br := bufio.NewReaderSize(resp.Body, 1<<16)
-	h := sha256.New()
-	var last streamLine
-	nextShard := 0
-	for {
-		raw, rerr := br.ReadBytes('\n')
-		if len(bytes.TrimSpace(raw)) > 0 {
-			if lines == 0 {
-				ttfl = time.Since(t0)
-			}
-			lines++
-			var l streamLine
-			if uerr := json.Unmarshal(raw, &l); uerr != nil {
-				return ttfl, 0, lines, fmt.Errorf("line %d is not valid JSON: %v", lines, uerr)
-			}
-			switch l.Kind {
-			case "error":
-				return ttfl, 0, lines, fmt.Errorf("server reported in-band error: %s", l.Error)
-			case "shard":
-				if l.Shard != nextShard {
-					return ttfl, 0, lines, fmt.Errorf("shard line out of order: got %d, want %d", l.Shard, nextShard)
-				}
-				nextShard++
-			}
-			h.Write([]byte(l.Payload))
-			last = l
-		}
-		if rerr == io.EOF {
-			break
-		}
-		if rerr != nil {
-			return ttfl, 0, lines, rerr
-		}
-	}
-	total = time.Since(t0)
-	if last.Kind != "summary" {
-		return ttfl, total, lines, fmt.Errorf("stream ended on %q, want a terminal summary line", last.Kind)
-	}
-	var got [32]byte
-	h.Sum(got[:0])
-	if hex.EncodeToString(got[:]) != last.SHA256 {
-		return ttfl, total, lines, fmt.Errorf("summary sha256 does not match the reassembled payload")
-	}
-	if got != ref {
-		return ttfl, total, lines, fmt.Errorf("reassembled stream diverged from the synchronous reference")
-	}
-	return ttfl, total, lines, nil
-}
-
-// doJob drives one submission through the whole async lifecycle:
-// submit (202 + URL, honoring 429 + Retry-After backpressure by
-// retrying — shedding is the server working as designed, not a
-// failure), poll status until terminal (asserting progress
-// monotonicity), fetch the result.
-func doJob(client *http.Client, base string, tg target, key string) (body []byte, err error) {
-	var sub []byte
-	deadline := time.Now().Add(4 * time.Minute)
-	for {
-		req, err := http.NewRequest("POST", base+tg.path, strings.NewReader(tg.body))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		if key != "" {
-			req.Header.Set("X-API-Key", key)
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return nil, err
-		}
-		sub, err = io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("POST %s: still shed (429) after 4m", tg.path)
-			}
-			wait := 100 * time.Millisecond
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-					wait = time.Duration(secs) * time.Second
-				}
-			}
-			time.Sleep(wait)
-			continue
-		}
-		if resp.StatusCode != http.StatusAccepted {
-			return nil, fmt.Errorf("POST %s: %s: %s", tg.path, resp.Status, firstLine(sub))
-		}
-		break
-	}
-	var job struct {
-		ID    string `json:"id"`
-		State string `json:"state"`
-		Done  int64  `json:"shards_done"`
-		Total int64  `json:"shards_total"`
-		URL   string `json:"url"`
-	}
-	if err := json.Unmarshal(sub, &job); err != nil {
-		return nil, fmt.Errorf("POST %s: decoding 202 body: %v", tg.path, err)
-	}
-
-	// Poll until terminal; shard progress must never go backwards. The
-	// submit deadline carries over: backpressure waits and polling
-	// share one 4-minute budget.
-	var lastDone, lastTotal int64
-	for {
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("job %s did not finish within 4m", job.ID)
-		}
-		resp, err := client.Get(base + job.URL)
-		if err != nil {
-			return nil, err
-		}
-		st, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("GET %s: %s: %s", job.URL, resp.Status, firstLine(st))
-		}
-		if err := json.Unmarshal(st, &job); err != nil {
-			return nil, fmt.Errorf("GET %s: decoding status: %v", job.URL, err)
-		}
-		if job.Done < lastDone || job.Total < lastTotal {
-			return nil, fmt.Errorf("job %s progress went backwards: %d/%d after %d/%d",
-				job.ID, job.Done, job.Total, lastDone, lastTotal)
-		}
-		lastDone, lastTotal = job.Done, job.Total
-		switch job.State {
-		case "done":
-			resp, err := client.Get(base + job.URL + "/result")
-			if err != nil {
-				return nil, err
-			}
-			body, err := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if err != nil {
-				return nil, err
-			}
-			if resp.StatusCode != http.StatusOK {
-				return nil, fmt.Errorf("GET %s/result: %s: %s", job.URL, resp.Status, firstLine(body))
-			}
-			return body, nil
-		case "failed", "canceled":
-			return nil, fmt.Errorf("job %s ended %s", job.ID, job.State)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
-// do performs one request. aborted reports a server-shed response —
-// 504 (deadline exceeded) or 499 (client canceled) — which callers
-// account separately from failures.
-func do(client *http.Client, base string, tg target, key string) (body []byte, cacheHdr string, aborted bool, err error) {
-	if tg.method == methodJob {
-		body, err := doJob(client, base, tg, key)
-		return body, "job", false, err
-	}
-	var rd io.Reader
-	if tg.body != "" {
-		rd = strings.NewReader(tg.body)
-	}
-	req, err := http.NewRequest(tg.method, base+tg.path, rd)
-	if err != nil {
-		return nil, "", false, err
-	}
-	if tg.body != "" {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if key != "" {
-		req.Header.Set("X-API-Key", key)
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, "", false, err
-	}
-	defer resp.Body.Close()
-	body, err = io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, "", false, err
-	}
-	if resp.StatusCode == http.StatusGatewayTimeout || resp.StatusCode == 499 {
-		return nil, "", true, nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, "", false, fmt.Errorf("%s %s: %s: %s", tg.method, base+tg.path, resp.Status, firstLine(body))
-	}
-	return body, resp.Header.Get("X-Cache"), false, nil
-}
-
-func firstLine(b []byte) string {
-	s := strings.TrimSpace(string(b))
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		s = s[:i]
-	}
-	return s
+	return 0
 }

@@ -104,7 +104,7 @@
 //
 // and to record the benchmark trajectory across PRs:
 //
-//	make bench            # full suite → BENCH_9.json (ns/op, B/op, allocs/op)
+//	make bench            # full suite → BENCH_10.json (ns/op, B/op, allocs/op)
 //	make verify           # tier-1 tests + vet + bench smoke + regression gate
 //
 // # Serving
@@ -474,23 +474,67 @@
 // and the local/remote + warm/cold shard splits, and the same
 // counters ride /metrics as the gpuvar_dispatch_* families.
 //
+// # Traffic
+//
+// Perf claims are only as good as the load they were measured under, so
+// the serving stack records and replays its own traffic
+// (internal/traffic) and synthesizes production-shaped workloads
+// instead of relying on loadgen's uniform round-robin mix alone.
+//
+// A trace is versioned JSON lines — a header naming its source
+// (recorded | generated) and seed, then one record per request carrying
+// the microsecond offset from session start, client identity, endpoint
+// kind, method/path/body, a request fingerprint, and the
+// expected-response oracle (status + body sha256). gpuvard
+// -record-trace captures every replayable request the server serves
+// (observability and polling routes are classified out), flushing per
+// record with the job journal's torn-tail tolerance: a capture that
+// dies mid-line replays its intact prefix. loadgen -replay plays a
+// trace back — at recorded offsets on a virtual clock, or wall-clock
+// with -pace — verifies every response against its oracle (job
+// submissions re-drive the whole submit/poll/result cycle; streams
+// reassemble and hash the raw NDJSON), and reports per-phase p50/p99,
+// stream time-to-first-line, and a run digest over every (status,
+// sha256) pair: equal digests across runs are the replay-determinism
+// contract.
+//
+// loadgen -generate emits seeded synthetic traces in the same format:
+// a multi-period diurnal rate curve (sum of sinusoids over -gen-periods)
+// modulates Poisson arrivals; client cohorts burst on/off with
+// Pareto-tailed burst sizes (-gen-burst-alpha); request kinds draw from
+// a weighted heavy-tailed mix over figures, sweeps, estimates, streams,
+// and async jobs, with Zipf-skewed parameter pools so some variants are
+// hot and most are cold. The same -gen-seed reproduces a trace
+// byte-for-byte, and each record is phase-tagged (peak | offpeak) so
+// replay reports latency under burst separately. The committed
+// testdata/traces/burst.trace fixture (regenerable via go test -run
+// TestReplayBurstFixture -update-trace) pins all of it:
+// TestReplayBurstFixture replays it twice with zero oracle mismatches
+// and equal digests, BenchmarkReplayBurst gates its p99 and stream-TTFL
+// under burst in the benchmark trajectory, and the smoke's replay stage
+// re-proves determinism against a live server process.
+//
 // # CI gates
 //
 // Every PR must clear .github/workflows/ci.yml: the verify job
 // (scripts/verify.sh — build, gofmt check, vet, a pinned staticcheck
 // pass, tests with a coverage-floor gate that fails if total coverage
 // drops below the committed baseline, a short native-fuzz smoke of the
-// request-normalization targets (FuzzSweepRequest, FuzzJobEnvelope; the
+// request-normalization and trace-decode targets (FuzzSweepRequest,
+// FuzzJobEnvelope, FuzzTraceDecode; the
 // full sessions run via make fuzz), a benchmark smoke run, and the
 // cmd/benchjson -compare regression gate, which re-measures the banked
 // perf wins plus the sweep, async-job, streaming, and classed-engine
 // serving paths — plus the retry-overhead guard (a fault-free run with
 // retries armed must stay free), the replayable job-stream attach, the
 // warm /v1/estimate microsecond path, and the cold pre-screened
-// adaptive sweep — plus the dispatched-sweep overhead guard — and
+// adaptive sweep — plus the dispatched-sweep overhead guard and the
+// burst-trace replay (latency under production-shaped arrivals) — and
 // fails on >25% ns/op or allocs/op growth against the committed
-// BENCH_9.json), the race job (go test -race -short
-// ./...), and the smoke job (make smoke — build gpuvard, boot it, and
+// BENCH_10.json), the race job (go test -race -short
+// ./...), and the smoke job (make smoke — build gpuvard, boot it
+// recording its own traffic, replay the committed burst trace twice
+// asserting zero oracle mismatches and identical run digests, and
 // drive a concurrent loadgen mix over figures, variant-axis sweeps, the
 // async job lifecycle, and the streaming endpoints, asserting zero
 // failures and byte-identity end to end, then an estimator stage (a

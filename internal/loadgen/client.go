@@ -1,0 +1,272 @@
+// Package loadgen is the testable core of cmd/loadgen: mix
+// construction, request execution (including the async job lifecycle),
+// NDJSON stream reassembly, byte-identity checking, percentile math,
+// and deterministic trace replay. cmd/loadgen/main.go is flag parsing
+// and wiring around this package.
+package loadgen
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MethodJob marks a target that runs through the async job path
+// (submit, poll, fetch result) instead of a single HTTP request.
+const MethodJob = "JOB"
+
+// Target is one request in the round-robin mix.
+type Target struct {
+	Label  string // method + path, used in reports and as reference key
+	Method string
+	Path   string
+	Body   string
+}
+
+// Sample is one successful request's latency observation.
+type Sample struct {
+	Label string
+	D     time.Duration
+	Cache string // X-Cache header: hit, miss, coalesced, or ""
+}
+
+// Client executes targets against gpuvard replicas.
+type Client struct {
+	// HTTP is the underlying client (default: 5-minute timeout).
+	HTTP *http.Client
+	// PollInterval paces the async job status poll loop (default 10ms;
+	// benches lower it so poll sleeps don't dominate the measurement).
+	PollInterval time.Duration
+	// JobDeadline bounds one job's full lifecycle — 429 backoff,
+	// polling, and the result fetch share it (default 4m).
+	JobDeadline time.Duration
+}
+
+func (c *Client) httpc() *http.Client {
+	if c != nil && c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+func (c *Client) pollInterval() time.Duration {
+	if c != nil && c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 10 * time.Millisecond
+}
+
+func (c *Client) jobDeadline() time.Duration {
+	if c != nil && c.JobDeadline > 0 {
+		return c.JobDeadline
+	}
+	return 4 * time.Minute
+}
+
+// statusClientClosedRequest mirrors the server's 499 convention for
+// "client went away"; with 504 it marks a server-shed response.
+const statusClientClosedRequest = 499
+
+// Raw performs one HTTP request and returns the status and body
+// without interpreting non-200s — the primitive Do and Replay build
+// on.
+func (c *Client) Raw(base string, method, path, body, key string) (status int, respBody []byte, cacheHdr string, err error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	respBody, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, "", err
+	}
+	return resp.StatusCode, respBody, resp.Header.Get("X-Cache"), nil
+}
+
+// Do performs one target. aborted reports a server-shed response — 504
+// (deadline exceeded) or 499 (client canceled) — which callers account
+// separately from failures.
+func (c *Client) Do(base string, tg Target, key string) (body []byte, cacheHdr string, aborted bool, err error) {
+	if tg.Method == MethodJob {
+		body, err := c.DoJob(base, tg, key)
+		return body, "job", false, err
+	}
+	status, body, cacheHdr, err := c.Raw(base, tg.Method, tg.Path, tg.Body, key)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if status == http.StatusGatewayTimeout || status == statusClientClosedRequest {
+		return nil, "", true, nil
+	}
+	if status != http.StatusOK {
+		return nil, "", false, fmt.Errorf("%s %s: %d: %s", tg.Method, base+tg.Path, status, FirstLine(body))
+	}
+	return body, cacheHdr, false, nil
+}
+
+// DoJob drives one submission through the whole async lifecycle:
+// submit (202 + URL, honoring 429 + Retry-After backpressure by
+// retrying — shedding is the server working as designed, not a
+// failure), poll status until terminal (asserting progress
+// monotonicity), fetch the result.
+func (c *Client) DoJob(base string, tg Target, key string) (body []byte, err error) {
+	client := c.httpc()
+	var sub []byte
+	deadline := time.Now().Add(c.jobDeadline())
+	for {
+		req, err := http.NewRequest("POST", base+tg.Path, strings.NewReader(tg.Body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		sub, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("POST %s: still shed (429) after %s", tg.Path, c.jobDeadline())
+			}
+			wait := 100 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return nil, fmt.Errorf("POST %s: %d: %s", tg.Path, resp.StatusCode, FirstLine(sub))
+		}
+		break
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Done  int64  `json:"shards_done"`
+		Total int64  `json:"shards_total"`
+		URL   string `json:"url"`
+	}
+	if err := json.Unmarshal(sub, &job); err != nil {
+		return nil, fmt.Errorf("POST %s: decoding 202 body: %v", tg.Path, err)
+	}
+
+	// Poll until terminal; shard progress must never go backwards. The
+	// submit deadline carries over: backpressure waits and polling
+	// share one budget.
+	var lastDone, lastTotal int64
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s did not finish within %s", job.ID, c.jobDeadline())
+		}
+		resp, err := client.Get(base + job.URL)
+		if err != nil {
+			return nil, err
+		}
+		st, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %d: %s", job.URL, resp.StatusCode, FirstLine(st))
+		}
+		if err := json.Unmarshal(st, &job); err != nil {
+			return nil, fmt.Errorf("GET %s: decoding status: %v", job.URL, err)
+		}
+		if job.Done < lastDone || job.Total < lastTotal {
+			return nil, fmt.Errorf("job %s progress went backwards: %d/%d after %d/%d",
+				job.ID, job.Done, job.Total, lastDone, lastTotal)
+		}
+		lastDone, lastTotal = job.Done, job.Total
+		switch job.State {
+		case "done":
+			resp, err := client.Get(base + job.URL + "/result")
+			if err != nil {
+				return nil, err
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("GET %s/result: %d: %s", job.URL, resp.StatusCode, FirstLine(body))
+			}
+			return body, nil
+		case "failed", "canceled":
+			return nil, fmt.Errorf("job %s ended %s", job.ID, job.State)
+		}
+		time.Sleep(c.pollInterval())
+	}
+}
+
+// FirstLine trims a body to its first line — enough of an error
+// envelope for a one-line report.
+func FirstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// MismatchReport is the triage record for the first bad response of a
+// run: which request diverged, the expected and observed hashes, and
+// the head of the observed body (enough to tell a wrong result from an
+// error envelope at a glance).
+type MismatchReport struct {
+	Request int
+	Label   string
+	Err     error // request failed outright (mutually exclusive with a hash divergence)
+	WantSHA [32]byte
+	GotSHA  [32]byte
+	Body    []byte
+}
+
+// Print renders the report, one prefixed line per fact.
+func (r *MismatchReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: first failure: request #%d (%s)\n", r.Request, r.Label)
+	if r.Err != nil {
+		fmt.Fprintf(w, "loadgen:   error: %v\n", r.Err)
+		return
+	}
+	fmt.Fprintf(w, "loadgen:   want sha256 %s\n", hex.EncodeToString(r.WantSHA[:]))
+	fmt.Fprintf(w, "loadgen:   got  sha256 %s\n", hex.EncodeToString(r.GotSHA[:]))
+	snippet := r.Body
+	const maxSnippet = 512
+	truncated := ""
+	if len(snippet) > maxSnippet {
+		snippet = snippet[:maxSnippet]
+		truncated = fmt.Sprintf(" ... (%d bytes total)", len(r.Body))
+	}
+	fmt.Fprintf(w, "loadgen:   got body: %s%s\n", strings.TrimSpace(string(snippet)), truncated)
+}

@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/url"
+	"testing"
+)
+
+func TestBuildMixShapes(t *testing.T) {
+	// GET-only mix.
+	targets, _, err := BuildMix(MixConfig{Paths: []string{"/v1/figures/fig2", "/v1/experiments/sgemm"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2 || targets[0].Label != "GET /v1/figures/fig2" || targets[0].Method != "GET" {
+		t.Fatalf("GET mix = %+v", targets)
+	}
+
+	// Sweep + jobs.
+	sweep := `{"axis":"seed","values":[1,2]}`
+	targets, _, err = BuildMix(MixConfig{Paths: []string{"/v1/figures/fig2"}, Sweep: sweep, Jobs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 3 {
+		t.Fatalf("sweep+jobs mix has %d targets, want 3", len(targets))
+	}
+	if targets[1].Label != SweepLabel || targets[1].Body != sweep {
+		t.Errorf("sweep target = %+v", targets[1])
+	}
+	job := targets[2]
+	if job.Method != MethodJob || job.Label != JobLabel {
+		t.Errorf("job target = %+v", job)
+	}
+	var env struct {
+		Kind  string          `json:"kind"`
+		Sweep json.RawMessage `json:"sweep"`
+	}
+	if err := json.Unmarshal([]byte(job.Body), &env); err != nil || env.Kind != "sweep" || string(env.Sweep) != sweep {
+		t.Errorf("job envelope = %s (err %v)", job.Body, err)
+	}
+
+	// Estimate adds the analytical pair and the adaptive body.
+	targets, adaptive, err := BuildMix(MixConfig{Paths: []string{"/v1/figures/fig2"}, Sweep: sweep, Estimate: true, Threshold: 0.07})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[string]bool{}
+	for _, tg := range targets {
+		has[tg.Label] = true
+	}
+	if !has[EstimateLabel] || !has[AdaptiveLabel] {
+		t.Fatalf("estimate mix targets = %+v", targets)
+	}
+	if has[SweepLabel] {
+		t.Error("-estimate must route the sweep to the analytical tier, not the plain sweep")
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(adaptive), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["adaptive"] != true || m["threshold"] != 0.07 {
+		t.Errorf("adaptive body = %v", m)
+	}
+}
+
+func TestBuildMixRejectsBadConfigs(t *testing.T) {
+	cases := []MixConfig{
+		{Jobs: true},     // jobs without sweep
+		{Estimate: true}, // estimate without sweep
+		{Sweep: `{"axis":"seed"}`, Jobs: true, Estimate: true}, // both tiers
+		{}, // empty mix
+	}
+	for i, cfg := range cases {
+		if _, _, err := BuildMix(cfg); err == nil {
+			t.Errorf("case %d (%+v): accepted", i, cfg)
+		}
+	}
+}
+
+func TestSweepStreamURL(t *testing.T) {
+	u, err := SweepStreamURL("http://h:1", `{"cluster":"CloudLab","axis":"powercap","values":[300,250,200],"seed":7}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := url.Parse(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Path != "/v1/stream/sweep" {
+		t.Errorf("path = %s", parsed.Path)
+	}
+	q := parsed.Query()
+	if q.Get("values") != "300,250,200" || q.Get("axis") != "powercap" || q.Get("cluster") != "CloudLab" || q.Get("seed") != "7" {
+		t.Errorf("query = %v", q)
+	}
+
+	if _, err := SweepStreamURL("http://h:1", `{"values":["not a number"]}`); err == nil {
+		t.Error("non-numeric values accepted")
+	}
+	if _, err := SweepStreamURL("http://h:1", `not json`); err == nil {
+		t.Error("non-JSON body accepted")
+	}
+	if _, err := SweepStreamURL("http://h:1", `{"nested":{"x":1}}`); err == nil {
+		t.Error("unstreamable nested field accepted")
+	}
+}
+
+func TestAdaptiveSweepBodySelfConsistent(t *testing.T) {
+	a, err := AdaptiveSweepBody(`{"axis":"seed","values":[1,2]}`, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AdaptiveSweepBody(`{"axis":"seed","values":[1,2]}`, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("adaptive body is not deterministic — the byte-identity reference would drift")
+	}
+	if _, err := AdaptiveSweepBody(`nope`, 0.05); err == nil {
+		t.Error("non-JSON sweep body accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gpuvar/internal/traffic"
+)
+
+// ReplayOptions configures a trace replay.
+type ReplayOptions struct {
+	// Bases is the replica list; record i goes to Bases[i % len].
+	Bases []string
+	// Concurrency bounds in-flight requests (default 16). Dispatch
+	// order always follows the trace's offsets.
+	Concurrency int
+	// Pace selects the clock. 0 replays on a virtual clock: requests
+	// dispatch as fast as ordering and Concurrency allow. A positive
+	// value paces against the wall clock at recorded-time/Pace — 1.0
+	// replays at recorded speed, 2.0 twice as fast.
+	Pace float64
+	// Verify compares each response against the record's oracle
+	// (status, sha256) when the record carries one. Replay always
+	// computes observed hashes either way — the digest needs them.
+	Verify bool
+}
+
+// RecordResult is one replayed request's outcome.
+type RecordResult struct {
+	Index    int
+	Kind     string
+	Phase    string
+	Status   int
+	SHA      string // hex sha256 of the observed response bytes (result bytes for jobs)
+	Latency  time.Duration
+	TTFL     time.Duration // streams only
+	Aborted  bool          // server-shed (504/499); excluded from verification
+	Err      error
+	Mismatch string // non-empty: how the response diverged from the oracle
+}
+
+// ReplayResult is a whole replay run.
+type ReplayResult struct {
+	Header  traffic.Header
+	Records []RecordResult // in trace order
+	Elapsed time.Duration
+}
+
+// Replay replays a trace. Records are sorted by offset (stable) before
+// dispatch; per-request outcomes land at their trace index, so two
+// replays of the same trace are comparable record by record.
+func (c *Client) Replay(tr *traffic.Trace, o ReplayOptions) (*ReplayResult, error) {
+	if len(o.Bases) == 0 {
+		return nil, fmt.Errorf("replay: no server base URL")
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	recs := make([]traffic.Record, len(tr.Records))
+	copy(recs, tr.Records)
+	sorted := &traffic.Trace{Records: recs}
+	sorted.Sort()
+
+	out := &ReplayResult{Header: tr.Header, Records: make([]RecordResult, len(recs))}
+	sem := make(chan struct{}, o.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, rec := range recs {
+		if o.Pace > 0 {
+			due := start.Add(time.Duration(float64(rec.OffsetUS)/o.Pace) * time.Microsecond)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, rec traffic.Record) {
+			defer func() { <-sem; wg.Done() }()
+			out.Records[i] = c.replayOne(i, rec, o.Bases[i%len(o.Bases)], o.Verify)
+		}(i, rec)
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+func (c *Client) replayOne(i int, rec traffic.Record, base string, verify bool) RecordResult {
+	res := RecordResult{Index: i, Kind: rec.Kind, Phase: rec.Phase}
+	t0 := time.Now()
+	switch rec.Kind {
+	case traffic.KindJobs:
+		body, err := c.DoJob(base, Target{Label: rec.Kind, Method: MethodJob, Path: rec.Path, Body: rec.Body}, rec.Client)
+		res.Latency = time.Since(t0)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Status = http.StatusAccepted
+		sum := sha256.Sum256(body)
+		res.SHA = hex.EncodeToString(sum[:])
+	case traffic.KindStream:
+		sr, err := c.StreamFetch(base+rec.Path, rec.Client)
+		res.Latency = time.Since(t0)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Status, res.SHA, res.TTFL = http.StatusOK, sr.RawSHA, sr.TTFL
+	default:
+		status, body, _, err := c.Raw(base, rec.Method, rec.Path, rec.Body, rec.Client)
+		res.Latency = time.Since(t0)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if status == http.StatusGatewayTimeout || status == statusClientClosedRequest {
+			res.Aborted = true
+			return res
+		}
+		res.Status = status
+		sum := sha256.Sum256(body)
+		res.SHA = hex.EncodeToString(sum[:])
+	}
+	if verify {
+		if rec.Status != 0 && res.Status != rec.Status {
+			res.Mismatch = fmt.Sprintf("status %d, recorded %d", res.Status, rec.Status)
+		} else if rec.SHA256 != "" && res.SHA != rec.SHA256 {
+			res.Mismatch = fmt.Sprintf("response sha256 %s, recorded %s", res.SHA, rec.SHA256)
+		}
+	}
+	return res
+}
+
+// Mismatches counts diverged or failed records (aborted ones excluded:
+// a shed response is the server working as designed).
+func (r *ReplayResult) Mismatches() int {
+	n := 0
+	for _, rr := range r.Records {
+		if rr.Err != nil || rr.Mismatch != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Aborts counts server-shed responses.
+func (r *ReplayResult) Aborts() int {
+	n := 0
+	for _, rr := range r.Records {
+		if rr.Aborted {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstBad returns the first failed or diverged record, for triage.
+func (r *ReplayResult) FirstBad() *RecordResult {
+	for i := range r.Records {
+		if r.Records[i].Err != nil || r.Records[i].Mismatch != "" {
+			return &r.Records[i]
+		}
+	}
+	return nil
+}
+
+// Digest hashes the per-record observed (status, sha256) sequence in
+// trace order. Two replays of the same trace against deterministic
+// servers produce identical digests — the replay-determinism
+// acceptance check — regardless of dispatch concurrency.
+func (r *ReplayResult) Digest() string {
+	h := sha256.New()
+	for _, rr := range r.Records {
+		fmt.Fprintf(h, "%d:%s\n", rr.Status, rr.SHA)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Latencies returns the sorted latencies of successful records,
+// optionally filtered by phase ("" = all).
+func (r *ReplayResult) Latencies(phase string) []time.Duration {
+	var ds []time.Duration
+	for _, rr := range r.Records {
+		if rr.Err == nil && !rr.Aborted && (phase == "" || rr.Phase == phase) {
+			ds = append(ds, rr.Latency)
+		}
+	}
+	return SortDurations(ds)
+}
+
+// TTFLs returns the sorted time-to-first-line observations of stream
+// records.
+func (r *ReplayResult) TTFLs() []time.Duration {
+	var ds []time.Duration
+	for _, rr := range r.Records {
+		if rr.Err == nil && rr.Kind == traffic.KindStream && rr.TTFL > 0 {
+			ds = append(ds, rr.TTFL)
+		}
+	}
+	return SortDurations(ds)
+}
+
+// Phases returns the distinct phase labels in first-appearance order.
+func (r *ReplayResult) Phases() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, rr := range r.Records {
+		if !seen[rr.Phase] {
+			seen[rr.Phase] = true
+			out = append(out, rr.Phase)
+		}
+	}
+	return out
+}
+
+// FillOracle returns a copy of tr (sorted by offset, matching the
+// replay's record indices) with each record's status and sha256
+// replaced by this replay's observations — how a generated trace
+// acquires its oracle. It refuses if any record failed or aborted: an
+// oracle must be complete.
+func (r *ReplayResult) FillOracle(tr *traffic.Trace) (*traffic.Trace, error) {
+	recs := make([]traffic.Record, len(tr.Records))
+	copy(recs, tr.Records)
+	out := &traffic.Trace{Header: tr.Header, Records: recs}
+	out.Sort()
+	if len(out.Records) != len(r.Records) {
+		return nil, fmt.Errorf("replay covered %d records, trace has %d", len(r.Records), len(out.Records))
+	}
+	for i, rr := range r.Records {
+		if rr.Err != nil {
+			return nil, fmt.Errorf("record %d failed (%v): cannot build an oracle from a broken run", i, rr.Err)
+		}
+		if rr.Aborted {
+			return nil, fmt.Errorf("record %d was server-aborted: cannot build an oracle from a shed run", i)
+		}
+		out.Records[i].Status = rr.Status
+		out.Records[i].SHA256 = rr.SHA
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpuvar/internal/traffic"
+)
+
+// stubServer fakes just enough of gpuvard for unit-level replay tests:
+// deterministic bodies per path, an NDJSON stream, and a one-poll job
+// lifecycle.
+func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var requests atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/figures/{id}", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		fmt.Fprintf(w, `{"id":%q,"output":"stable bytes for %s"}`, r.PathValue("id"), r.PathValue("id"))
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		fmt.Fprint(w, `{"variants":[{"value":1,"median_ms":2}]}`)
+	})
+	mux.HandleFunc("GET /v1/stream/sweep", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		payload := `{"p":1}`
+		sum := sha256.Sum256([]byte(payload))
+		fmt.Fprintln(w, `{"kind":"start","shards":1}`)
+		fmt.Fprintf(w, `{"kind":"shard","shard":0,"payload":%q}`+"\n", payload)
+		fmt.Fprintf(w, `{"kind":"summary","bytes":%d,"sha256":%q}`+"\n", len(payload), hex.EncodeToString(sum[:]))
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":"j-%d","state":"queued","url":"/v1/jobs/j1"}`, requests.Load())
+	})
+	mux.HandleFunc("GET /v1/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"j1","state":"done","shards_done":2,"shards_total":2,"url":"/v1/jobs/j1"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/j1/result", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"variants":[{"value":1,"median_ms":2}]}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &requests
+}
+
+func testTrace() *traffic.Trace {
+	mk := func(off int64, kind, method, path, body, phase string) traffic.Record {
+		return traffic.Record{
+			OffsetUS: off, Client: "t-" + kind, Kind: kind, Method: method, Path: path, Body: body,
+			FP: traffic.Fingerprint(method, path, body), Phase: phase,
+		}
+	}
+	return &traffic.Trace{
+		Header: traffic.Header{Source: "generated", Seed: 1},
+		Records: []traffic.Record{
+			mk(0, traffic.KindFigures, "GET", "/v1/figures/fig2", "", "peak"),
+			mk(100, traffic.KindSweep, "POST", "/v1/sweep", `{"axis":"seed","values":[1]}`, "peak"),
+			mk(200, traffic.KindStream, "GET", "/v1/stream/sweep?axis=seed", "", "offpeak"),
+			mk(300, traffic.KindJobs, "POST", "/v1/jobs", `{"kind":"sweep"}`, "offpeak"),
+			mk(400, traffic.KindFigures, "GET", "/v1/figures/tab1", "", "peak"),
+		},
+	}
+}
+
+// TestReplayRoundTrip drives the full closed loop at unit level:
+// replay a hash-less generated trace, fill its oracle from the
+// observations, replay the oracle trace with verification on, and
+// require zero mismatches plus a stable digest.
+func TestReplayRoundTrip(t *testing.T) {
+	ts, _ := stubServer(t)
+	c := &Client{PollInterval: time.Millisecond}
+
+	tr := testTrace()
+	first, err := c.Replay(tr, ReplayOptions{Bases: []string{ts.URL}, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := first.Mismatches(); n != 0 {
+		t.Fatalf("hash-less replay reported %d mismatches: %+v", n, first.FirstBad())
+	}
+	oracle, err := first.FillOracle(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range oracle.Records {
+		if r.SHA256 == "" || r.Status == 0 {
+			t.Fatalf("oracle record %d not filled: %+v", i, r)
+		}
+	}
+	// The oracle survives an encode/decode round trip (it will live as
+	// a committed file).
+	decoded, stats, err := traffic.Decode(oracle.Encode())
+	if err != nil || stats.SkippedRecords != 0 {
+		t.Fatalf("oracle decode: err=%v stats=%+v", err, stats)
+	}
+
+	second, err := c.Replay(decoded, ReplayOptions{Bases: []string{ts.URL}, Verify: true, Concurrency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := second.Mismatches(); n != 0 {
+		bad := second.FirstBad()
+		t.Fatalf("verified replay reported %d mismatches; first: %+v", n, bad)
+	}
+	third, err := c.Replay(decoded, ReplayOptions{Bases: []string{ts.URL}, Verify: true, Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Digest() != third.Digest() {
+		t.Fatal("replaying the same trace twice produced different digests")
+	}
+	if len(second.TTFLs()) != 1 {
+		t.Errorf("TTFLs = %v, want exactly the one stream record", second.TTFLs())
+	}
+	if got := second.Phases(); len(got) != 2 {
+		t.Errorf("Phases = %v, want peak and offpeak", got)
+	}
+	if len(second.Latencies("peak")) != 3 || len(second.Latencies("")) != 5 {
+		t.Errorf("phase latency filtering broken: peak=%d all=%d",
+			len(second.Latencies("peak")), len(second.Latencies("")))
+	}
+}
+
+// TestReplayDetectsDivergence: a wrong oracle hash must surface as a
+// mismatch naming both hashes, and a wrong status as a status
+// mismatch.
+func TestReplayDetectsDivergence(t *testing.T) {
+	ts, _ := stubServer(t)
+	c := &Client{PollInterval: time.Millisecond}
+	tr := testTrace()
+	tr.Records = tr.Records[:2]
+	tr.Records[0].SHA256 = strings.Repeat("0", 64)
+	tr.Records[1].Status = 418
+
+	res, err := c.Replay(tr, ReplayOptions{Bases: []string{ts.URL}, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches() != 2 {
+		t.Fatalf("mismatches = %d, want 2", res.Mismatches())
+	}
+	if bad := res.FirstBad(); bad == nil || !strings.Contains(bad.Mismatch, "sha256") {
+		t.Errorf("first bad = %+v, want a sha256 mismatch", bad)
+	}
+	if !strings.Contains(res.Records[1].Mismatch, "status") {
+		t.Errorf("record 1 mismatch = %q, want a status mismatch", res.Records[1].Mismatch)
+	}
+	// A broken run must refuse to become an oracle.
+	if _, err := res.FillOracle(tr); err != nil {
+		t.Log("FillOracle accepted a mismatched (but successful) run — fine, mismatch ≠ failure")
+	}
+}
+
+// TestReplayPacing: wall-clock pacing must stretch a replay to at
+// least the trace's virtual span divided by the pace factor, and the
+// virtual clock must not.
+func TestReplayPacing(t *testing.T) {
+	ts, _ := stubServer(t)
+	c := &Client{PollInterval: time.Millisecond}
+	tr := &traffic.Trace{Records: []traffic.Record{
+		{OffsetUS: 0, Kind: traffic.KindFigures, Method: "GET", Path: "/v1/figures/fig2"},
+		{OffsetUS: 200_000, Kind: traffic.KindFigures, Method: "GET", Path: "/v1/figures/fig2"},
+	}}
+	t0 := time.Now()
+	if _, err := c.Replay(tr, ReplayOptions{Bases: []string{ts.URL}, Pace: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 90*time.Millisecond {
+		t.Errorf("pace=2 replay of a 200ms trace took %v, want ≥ ~100ms", d)
+	}
+	t0 = time.Now()
+	if _, err := c.Replay(tr, ReplayOptions{Bases: []string{ts.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 90*time.Millisecond {
+		t.Errorf("virtual-clock replay took %v, should ignore recorded offsets", d)
+	}
+}
+
+func TestStreamFetchContract(t *testing.T) {
+	ts, _ := stubServer(t)
+	c := &Client{}
+	res, err := c.StreamFetch(ts.URL+"/v1/stream/sweep", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != 3 || res.TTFL <= 0 || res.TTFL > res.Total {
+		t.Errorf("stream result = %+v", res)
+	}
+	payload := sha256.Sum256([]byte(`{"p":1}`))
+	if res.PayloadSHA != payload {
+		t.Error("payload hash does not match the shard payloads")
+	}
+	if res.RawSHA == "" || res.RawSHA == hex.EncodeToString(payload[:]) {
+		t.Error("raw hash should cover the NDJSON lines, not the payload")
+	}
+	// StreamVerify accepts the right reference and rejects a wrong one.
+	if _, err := c.StreamVerify(ts.URL+"/v1/stream/sweep", payload, ""); err != nil {
+		t.Errorf("StreamVerify with the correct reference: %v", err)
+	}
+	if _, err := c.StreamVerify(ts.URL+"/v1/stream/sweep", [32]byte{1}, ""); err == nil {
+		t.Error("StreamVerify accepted a wrong reference")
+	}
+}
+
+// TestStreamFetchRejectsBrokenStreams: out-of-order shards, a missing
+// summary, and a lying summary hash must all fail.
+func TestStreamFetchRejectsBrokenStreams(t *testing.T) {
+	cases := map[string]string{
+		"out of order":  `{"kind":"shard","shard":1,"payload":"x"}` + "\n",
+		"no summary":    `{"kind":"start","shards":1}` + "\n" + `{"kind":"shard","shard":0,"payload":"x"}` + "\n",
+		"bad summary":   `{"kind":"shard","shard":0,"payload":"x"}` + "\n" + `{"kind":"summary","sha256":"00"}` + "\n",
+		"in-band error": `{"kind":"error","error":"boom"}` + "\n",
+		"not json":      "garbage\n",
+	}
+	for name, body := range cases {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, body)
+		}))
+		c := &Client{}
+		if _, err := c.StreamFetch(ts.URL, ""); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		ts.Close()
+	}
+}
+
+func TestDoJobLifecycle(t *testing.T) {
+	ts, _ := stubServer(t)
+	c := &Client{PollInterval: time.Millisecond}
+	body, err := c.DoJob(ts.URL, Target{Method: MethodJob, Path: "/v1/jobs", Body: `{"kind":"sweep"}`}, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "variants") {
+		t.Errorf("job result = %s", body)
+	}
+}
+
+// TestDoJobHonors429 verifies the backpressure path: a server that
+// sheds the first submission with Retry-After must see a retry, not a
+// failure.
+func TestDoJobHonors429(t *testing.T) {
+	var submissions atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if submissions.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full","code":"queue_full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"j1","state":"queued","url":"/v1/jobs/j1"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"j1","state":"done","url":"/v1/jobs/j1"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/j1/result", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `result`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{PollInterval: time.Millisecond}
+	if _, err := c.DoJob(ts.URL, Target{Method: MethodJob, Path: "/v1/jobs"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if submissions.Load() != 2 {
+		t.Errorf("submissions = %d, want a shed then a retry", submissions.Load())
+	}
+}
+
+func TestDoAbortedStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusGatewayTimeout, 499} {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(status)
+		}))
+		c := &Client{}
+		_, _, aborted, err := c.Do(ts.URL, Target{Method: "GET", Path: "/"}, "")
+		if err != nil || !aborted {
+			t.Errorf("status %d: aborted=%t err=%v, want aborted", status, aborted, err)
+		}
+		ts.Close()
+	}
+}

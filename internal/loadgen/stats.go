@@ -1,0 +1,78 @@
+package loadgen
+
+import (
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-quantile of ds by rank (nearest-rank on the
+// zero-based index int(p·(n−1)), the convention loadgen has always
+// reported): an empty slice yields 0, a single sample yields itself.
+// ds must be sorted ascending.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return ds[int(p*float64(len(ds)-1))]
+}
+
+// PercentileMS is Percentile in fractional milliseconds, the report
+// unit.
+func PercentileMS(ds []time.Duration, p float64) float64 {
+	return float64(Percentile(ds, p).Microseconds()) / 1000
+}
+
+// SortDurations sorts in place and returns ds, for chaining into
+// Percentile.
+func SortDurations(ds []time.Duration) []time.Duration {
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	return ds
+}
+
+// Stats accumulates samples from a run and answers the report's
+// questions. Not concurrency-safe: callers collect samples under their
+// own lock (the hot pass) or single-threaded (replay summaries).
+type Stats struct {
+	Samples []Sample
+}
+
+// Add appends one observation.
+func (s *Stats) Add(sm Sample) { s.Samples = append(s.Samples, sm) }
+
+// Durations returns all latencies, sorted.
+func (s *Stats) Durations() []time.Duration {
+	ds := make([]time.Duration, len(s.Samples))
+	for i, sm := range s.Samples {
+		ds[i] = sm.D
+	}
+	return SortDurations(ds)
+}
+
+// ByLabel groups latencies per target label, each sorted.
+func (s *Stats) ByLabel() map[string][]time.Duration {
+	out := make(map[string][]time.Duration)
+	for _, sm := range s.Samples {
+		out[sm.Label] = append(out[sm.Label], sm.D)
+	}
+	for _, ds := range out {
+		SortDurations(ds)
+	}
+	return out
+}
+
+// Hits counts X-Cache: hit samples.
+func (s *Stats) Hits() int {
+	n := 0
+	for _, sm := range s.Samples {
+		if sm.Cache == "hit" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileKnownDistribution pins the exact nearest-rank
+// convention on a known distribution: 1..100ms gives p50 = 50ms
+// (zero-based index 49) and p99 = 99ms (index 98).
+func TestPercentileKnownDistribution(t *testing.T) {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := Percentile(ds, c.p); got != c.want {
+			t.Errorf("Percentile(1..100ms, %g) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := PercentileMS(ds, 0.99); got != 99 {
+		t.Errorf("PercentileMS p99 = %v, want 99", got)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty: got %v, want 0", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := Percentile(one, p); got != 7*time.Millisecond {
+			t.Errorf("single sample p%g = %v, want the sample itself", p, got)
+		}
+	}
+	// Out-of-range p clamps instead of panicking.
+	two := []time.Duration{1, 2}
+	if Percentile(two, -1) != 1 || Percentile(two, 2) != 2 {
+		t.Error("out-of-range p did not clamp to the extremes")
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	var s Stats
+	s.Add(Sample{Label: "a", D: 3 * time.Millisecond, Cache: "hit"})
+	s.Add(Sample{Label: "b", D: 1 * time.Millisecond, Cache: "miss"})
+	s.Add(Sample{Label: "a", D: 2 * time.Millisecond, Cache: "hit"})
+	ds := s.Durations()
+	if len(ds) != 3 || ds[0] != 1*time.Millisecond || ds[2] != 3*time.Millisecond {
+		t.Errorf("Durations = %v, want sorted 1,2,3ms", ds)
+	}
+	by := s.ByLabel()
+	if len(by["a"]) != 2 || by["a"][0] != 2*time.Millisecond {
+		t.Errorf("ByLabel[a] = %v, want sorted [2ms 3ms]", by["a"])
+	}
+	if s.Hits() != 2 {
+		t.Errorf("Hits = %d, want 2", s.Hits())
+	}
+}

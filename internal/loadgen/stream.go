@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// StreamLine is the NDJSON line schema of the streaming endpoints (the
+// subset loadgen verifies).
+type StreamLine struct {
+	Kind    string `json:"kind"`
+	Shard   int    `json:"shard"`
+	Shards  int    `json:"shards"`
+	Payload string `json:"payload"`
+	Bytes   int    `json:"bytes"`
+	SHA256  string `json:"sha256"`
+	Error   string `json:"error"`
+}
+
+// StreamResult is one streaming fetch's reassembly outcome.
+type StreamResult struct {
+	TTFL  time.Duration // time to first line — the stream's reason to exist
+	Total time.Duration
+	Lines int
+	// PayloadSHA hashes the concatenated line payloads — the bytes that
+	// must equal the synchronous twin's response.
+	PayloadSHA [32]byte
+	// RawSHA is the hex sha256 of the raw NDJSON response bytes — what
+	// a traffic-trace record's oracle hash refers to for streams.
+	RawSHA string
+}
+
+// StreamFetch reads one streaming response line by line as it arrives
+// and checks the stream contract: a start line, ordered shard lines,
+// and a terminal summary whose declared sha256 matches the reassembled
+// payload.
+func (c *Client) StreamFetch(target, key string) (StreamResult, error) {
+	var res StreamResult
+	t0 := time.Now()
+	req, err := http.NewRequest("GET", target, nil)
+	if err != nil {
+		return res, err
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return res, fmt.Errorf("GET %s: %d: %s", target, resp.StatusCode, FirstLine(body))
+	}
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	payload := sha256.New()
+	raw := sha256.New()
+	var last StreamLine
+	nextShard := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		raw.Write(line)
+		if len(bytes.TrimSpace(line)) > 0 {
+			if res.Lines == 0 {
+				res.TTFL = time.Since(t0)
+			}
+			res.Lines++
+			var l StreamLine
+			if uerr := json.Unmarshal(line, &l); uerr != nil {
+				return res, fmt.Errorf("line %d is not valid JSON: %v", res.Lines, uerr)
+			}
+			switch l.Kind {
+			case "error":
+				return res, fmt.Errorf("server reported in-band error: %s", l.Error)
+			case "shard":
+				if l.Shard != nextShard {
+					return res, fmt.Errorf("shard line out of order: got %d, want %d", l.Shard, nextShard)
+				}
+				nextShard++
+			}
+			payload.Write([]byte(l.Payload))
+			last = l
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return res, rerr
+		}
+	}
+	res.Total = time.Since(t0)
+	res.RawSHA = hex.EncodeToString(raw.Sum(nil))
+	payload.Sum(res.PayloadSHA[:0])
+	if last.Kind != "summary" {
+		return res, fmt.Errorf("stream ended on %q, want a terminal summary line", last.Kind)
+	}
+	if hex.EncodeToString(res.PayloadSHA[:]) != last.SHA256 {
+		return res, fmt.Errorf("summary sha256 does not match the reassembled payload")
+	}
+	return res, nil
+}
+
+// StreamVerify fetches a stream and additionally requires the
+// reassembled payload to hash to the synchronous reference — the
+// byte-identity contract between a stream and its twin.
+func (c *Client) StreamVerify(target string, ref [32]byte, key string) (StreamResult, error) {
+	res, err := c.StreamFetch(target, key)
+	if err != nil {
+		return res, err
+	}
+	if res.PayloadSHA != ref {
+		return res, fmt.Errorf("reassembled stream diverged from the synchronous reference")
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+
+	"gpuvar/internal/traffic"
+)
+
+// serveRecorded wraps one request's dispatch with the traffic recorder:
+// the request body is captured (and restored for the handler), the
+// response flows through a hashing tap, and the finished exchange is
+// appended to the trace as one record. Non-replayable routes —
+// observability, job polls, the discovery document — are counted but
+// not recorded: a trace must replay against a fresh server, and those
+// routes' responses depend on run-specific state.
+func (s *Server) serveRecorded(w http.ResponseWriter, r *http.Request) {
+	kind, replayable := traffic.Classify(r.Method, r.URL.Path)
+	if !replayable {
+		s.recorder.Skip()
+		s.serveRouted(w, r)
+		return
+	}
+	offset := s.recorder.Offset(s.started)
+	var body string
+	if r.Body != nil {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			// The body never fully arrived; the exchange is not
+			// replayable. Serve what we have and skip the record.
+			s.recorder.Skip()
+			r.Body = io.NopCloser(bytes.NewReader(b))
+			s.serveRouted(w, r)
+			return
+		}
+		body = string(b)
+		r.Body = io.NopCloser(bytes.NewReader(b))
+	}
+	tap := traffic.NewTap(w)
+	s.serveRouted(tap, r)
+	status, sha := tap.Result()
+	rec := traffic.Record{
+		OffsetUS: offset,
+		Client:   requestClient(r.Context()),
+		Kind:     kind,
+		Method:   r.Method,
+		Path:     r.URL.RequestURI(),
+		Body:     body,
+		Status:   status,
+	}
+	// The oracle hash only holds for deterministic 200 bodies. A job
+	// submission's 202 carries a random job ID (the replayer drives the
+	// async lifecycle and hashes the result instead), and error bodies
+	// are not worth pinning — the replayer still verifies their status.
+	if status == http.StatusOK && kind != traffic.KindJobs {
+		rec.SHA256 = sha
+	}
+	s.recorder.Observe(rec)
+}

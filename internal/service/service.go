@@ -106,6 +106,7 @@ import (
 	"gpuvar/internal/faults"
 	"gpuvar/internal/figures"
 	"gpuvar/internal/jobs"
+	"gpuvar/internal/traffic"
 )
 
 // Options configures a server. The zero value serves the quick-settings
@@ -187,6 +188,13 @@ type Options struct {
 	// PeerProbeInterval is the peer health-probe cadence (default 1s;
 	// negative disables the prober — tests drive probes directly).
 	PeerProbeInterval time.Duration
+	// RecordTrace, when set, records every replayable request to the
+	// named traffic-trace file (see internal/traffic): offsets from
+	// server start, client identity, request bytes, and the response
+	// status + sha256. Observability routes and job polls are counted
+	// but not recorded. The file is truncated on boot — one process
+	// run is one recording session.
+	RecordTrace string
 }
 
 // Server answers catalog queries. Create with New; it is an
@@ -213,6 +221,9 @@ type Server struct {
 	// dispatcher routes sweep shards across the replica set; nil when
 	// Options.Peers is empty (single-process serving).
 	dispatcher *dispatch.Dispatcher
+	// recorder appends replayable requests to a traffic trace; nil
+	// without Options.RecordTrace (see record.go).
+	recorder *traffic.Recorder
 }
 
 // New assembles a server. It errors only when Options.DataDir is set
@@ -276,6 +287,16 @@ func New(opts Options) (*Server, error) {
 		}
 		s.journal = j
 	}
+	if opts.RecordTrace != "" {
+		rec, err := traffic.NewRecorder(opts.RecordTrace, "gpuvard live capture")
+		if err != nil {
+			if s.journal != nil {
+				s.journal.Close()
+			}
+			return nil, err
+		}
+		s.recorder = rec
+	}
 	if len(opts.Peers) > 0 {
 		pol, err := dispatch.ParsePolicy(opts.RoutePolicy)
 		if err != nil {
@@ -302,17 +323,23 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Close releases the server's persistent resources (the job journal and
-// the peer health prober). Safe on a journal-less, dispatcher-less
-// server.
+// Close releases the server's persistent resources (the job journal,
+// the traffic recorder, and the peer health prober). Safe on a server
+// with none of them.
 func (s *Server) Close() error {
 	if s.dispatcher != nil {
 		s.dispatcher.Close()
 	}
-	if s.journal != nil {
-		return s.journal.Close()
+	var err error
+	if s.recorder != nil {
+		err = s.recorder.Close()
 	}
-	return nil
+	if s.journal != nil {
+		if jerr := s.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
 }
 
 // journaledResponse is cachedResponse's persistent form (the job
@@ -347,6 +374,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// runs with the derived client identity on its context.
 	w.Header().Set("X-Request-ID", requestID(r))
 	r = r.WithContext(withClientID(r.Context(), deriveClient(r)))
+	if s.recorder != nil {
+		s.serveRecorded(w, r)
+		return
+	}
+	s.serveRouted(w, r)
+}
+
+// serveRouted dispatches to the route table, answering unmatched
+// requests with the API's JSON error envelope.
+func (s *Server) serveRouted(w http.ResponseWriter, r *http.Request) {
 	if _, pattern := s.mux.Handler(r); pattern == "" {
 		// No route matched: net/http would answer plain text. Run the
 		// mux's own fallback against a throwaway recorder to learn what it
@@ -795,6 +832,9 @@ type statsResponse struct {
 	// Dispatch is the replica-dispatch counter snapshot (absent in
 	// single-process serving).
 	Dispatch *dispatch.Stats `json:"dispatch,omitempty"`
+	// Traffic is the trace recorder's counter snapshot (absent unless
+	// the server was started with -record-trace).
+	Traffic *traffic.RecorderStats `json:"traffic,omitempty"`
 }
 
 func (s *Server) snapshot() statsResponse {
@@ -812,6 +852,10 @@ func (s *Server) snapshot() statsResponse {
 	if s.dispatcher != nil {
 		ds := s.dispatcher.Stats()
 		out.Dispatch = &ds
+	}
+	if s.recorder != nil {
+		ts := s.recorder.Stats()
+		out.Traffic = &ts
 	}
 	return out
 }

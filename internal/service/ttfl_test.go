@@ -1,0 +1,52 @@
+package service
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gpuvar/internal/loadgen"
+)
+
+// TestStreamFetchTTFLAccounting pins the time-to-first-line metric the
+// replay reports: over a real HTTP server whose shards past the first
+// are gated, the loadgen stream reader must observe a TTFL far ahead of
+// the stream's total duration — proving TTFL measures first-line
+// arrival, not completion.
+func TestStreamFetchTTFLAccounting(t *testing.T) {
+	gate := make(chan struct{})
+	restore := gatedSweepRun(t, gate)
+	defer restore()
+
+	srv := testServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const hold = 300 * time.Millisecond
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(hold)
+		close(gate)
+	}()
+
+	c := &loadgen.Client{HTTP: ts.Client()}
+	res, err := c.StreamFetch(ts.URL+"/v1/stream/sweep?cluster=CloudLab&iterations=2&axis=powercap&values=300,250,200", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if res.Lines < 5 { // start + 3 shards + summary
+		t.Fatalf("stream had %d lines, want at least 5", res.Lines)
+	}
+	// The gate held shards 1..2 for `hold`, so the stream's total is at
+	// least that long — but the first line (and shard 0) flushed
+	// immediately. Allow generous slack for scheduler noise while still
+	// distinguishing "first line" from "completion".
+	if res.Total < hold {
+		t.Fatalf("total %v is shorter than the %v gate hold — the harness did not gate", res.Total, hold)
+	}
+	if res.TTFL >= hold/2 {
+		t.Errorf("TTFL %v is not well ahead of the gated total %v — TTFL must measure first-line arrival, not completion", res.TTFL, res.Total)
+	}
+}

@@ -1,0 +1,82 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode drives the torn-tail-tolerant decoder with arbitrary
+// bytes and holds it to three invariants:
+//
+//  1. No panic, whatever the input (a trace file is operator-supplied).
+//  2. Decodable-prefix recovery: on success, re-decoding the canonical
+//     re-encode yields the same records with nothing dropped — the
+//     journal's "truncate at the last good record" semantics.
+//  3. Canonical form is a fixed point: Encode∘Decode applied twice
+//     equals Encode∘Decode applied once, byte for byte.
+func FuzzTraceDecode(f *testing.F) {
+	// Seed corpus: a valid trace, torn tails at several depths, garbage
+	// in the middle, and outright non-traces.
+	valid := (&Trace{
+		Header: Header{Source: "generated", Seed: 3, Note: "fuzz seed"},
+		Records: []Record{
+			{OffsetUS: 0, Client: "a", Kind: KindFigures, Method: "GET", Path: "/v1/figures/fig2", FP: Fingerprint("GET", "/v1/figures/fig2", ""), Status: 200, SHA256: "00", Phase: "peak"},
+			{OffsetUS: 900, Client: "b", Kind: KindSweep, Method: "POST", Path: "/v1/sweep", Body: `{"axis":"seed","values":[1]}`, FP: "x"},
+		},
+	}).Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                                // torn tail
+	f.Add(valid[:len(valid)/2])                                // torn mid-record
+	f.Add(append(append([]byte{}, valid...), "{oops"...))      // crash mid-append
+	f.Add(append(append([]byte{}, valid...), "nonsense\n"...)) // complete garbage line
+	f.Add([]byte(`{"trace":"gpuvar-traffic","v":1}` + "\n"))   // header only
+	f.Add([]byte("not a trace at all"))
+	f.Add([]byte{})
+	f.Add([]byte("\n\n\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, stats, err := Decode(data)
+		if err != nil {
+			return // not a trace; rejecting is fine, panicking is not
+		}
+		if stats.SkippedRecords < 0 || stats.TruncatedBytes < 0 || stats.TruncatedBytes > int64(len(data)) {
+			t.Fatalf("nonsensical decode stats %+v for %d input bytes", stats, len(data))
+		}
+		// Canonical re-encode must decode cleanly to the same records…
+		enc := tr.Encode()
+		tr2, stats2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decoding the canonical encode failed: %v", err)
+		}
+		if stats2 != (DecodeStats{}) {
+			t.Fatalf("canonical encode reported drops: %+v", stats2)
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("canonical round-trip changed record count: %d -> %d", len(tr.Records), len(tr2.Records))
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				t.Fatalf("record %d changed across canonical round-trip:\n%+v\n%+v", i, tr.Records[i], tr2.Records[i])
+			}
+		}
+		// …and be a fixed point.
+		if enc2 := tr2.Encode(); !bytes.Equal(enc, enc2) {
+			t.Fatal("Encode∘Decode is not a fixed point")
+		}
+	})
+}
+
+// TestFuzzTraceSeedsAreValid keeps the seed corpus honest in ordinary
+// test runs: the valid seed must decode cleanly, the torn seeds must
+// recover a prefix.
+func TestFuzzTraceSeedsAreValid(t *testing.T) {
+	valid := (&Trace{Header: Header{Source: "generated"}, Records: []Record{
+		{OffsetUS: 0, Kind: KindFigures, Method: "GET", Path: "/v1/figures"},
+	}}).Encode()
+	if _, stats, err := Decode(valid); err != nil || stats.SkippedRecords != 0 {
+		t.Fatalf("valid seed: err=%v stats=%+v", err, stats)
+	}
+	if tr, stats, err := Decode(valid[:len(valid)-2]); err != nil || len(tr.Records) != 0 || stats.SkippedRecords != 1 {
+		t.Fatalf("torn seed: err=%v records=%d stats=%+v", err, len(tr.Records), stats)
+	}
+}

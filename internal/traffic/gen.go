@@ -1,0 +1,301 @@
+// The generative workload engine: seeded, ServeGen-style synthetic
+// traffic that looks like production — a multi-period diurnal rate
+// curve, bursty on/off client cohorts with heavy-tailed burst sizes,
+// and a weighted heavy-tailed request mix over the five endpoint kinds
+// — emitted as an ordinary trace, so generated workloads are
+// recordable, replayable, and committable fixtures like any capture.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"gpuvar/internal/rng"
+)
+
+// Period is one sinusoidal term of the diurnal rate curve. The curve
+// is level(t) = 1 + Σ Amplitude·sin(2π·t/Period + Phase), clamped to a
+// small positive floor; burst arrivals speed up proportionally to the
+// level, so multiple periods compose a diurnal shape with faster
+// ripples on top.
+type Period struct {
+	Period    time.Duration
+	Amplitude float64
+	Phase     float64 // radians
+}
+
+// MixEntry weights one endpoint kind in the request mix.
+type MixEntry struct {
+	Kind   string
+	Weight float64
+}
+
+// GenSpec parameterizes one generated workload. The zero value (plus a
+// Seed) generates a usable default: see withDefaults.
+type GenSpec struct {
+	Seed     uint64
+	Duration time.Duration // virtual duration of the workload
+	// Rate is the mean request rate (req/s summed over all cohorts)
+	// when the diurnal curve sits at level 1.0.
+	Rate    float64
+	Periods []Period
+	// Cohorts is the number of independent on/off client cohorts;
+	// ClientsPerCohort identities share each cohort's bursts.
+	Cohorts          int
+	ClientsPerCohort int
+	// BurstAlpha is the Pareto tail index for burst sizes (closer to 1
+	// = heavier tail); BurstMax caps a single burst.
+	BurstAlpha float64
+	BurstMax   int
+	// IntraGap is the mean gap between consecutive requests inside one
+	// burst (exponentially distributed).
+	IntraGap time.Duration
+	// Mix weights the request kinds; entries must name the five
+	// production kinds (figures, sweep, estimate, stream, jobs).
+	Mix []MixEntry
+	// Cluster parameterizes the request templates (default CloudLab,
+	// the quick cluster).
+	Cluster string
+	Note    string
+}
+
+func (s GenSpec) withDefaults() GenSpec {
+	if s.Duration <= 0 {
+		s.Duration = time.Minute
+	}
+	if s.Rate <= 0 {
+		s.Rate = 40
+	}
+	if len(s.Periods) == 0 {
+		s.Periods = []Period{
+			{Period: 30 * time.Second, Amplitude: 0.5},
+			{Period: 7500 * time.Millisecond, Amplitude: 0.25, Phase: 1.0},
+		}
+	}
+	if s.Cohorts <= 0 {
+		s.Cohorts = 4
+	}
+	if s.ClientsPerCohort <= 0 {
+		s.ClientsPerCohort = 4
+	}
+	if s.BurstAlpha <= 1.01 {
+		s.BurstAlpha = 1.3
+	}
+	if s.BurstMax <= 0 {
+		s.BurstMax = 64
+	}
+	if s.IntraGap <= 0 {
+		s.IntraGap = 4 * time.Millisecond
+	}
+	if len(s.Mix) == 0 {
+		s.Mix = DefaultMix()
+	}
+	if s.Cluster == "" {
+		s.Cluster = "CloudLab"
+	}
+	return s
+}
+
+// DefaultMix is the default heavy-tailed request mix: cheap catalog
+// reads dominate, expensive async jobs are rare — the shape of real
+// read-mostly API traffic.
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{KindFigures, 8},
+		{KindSweep, 4},
+		{KindEstimate, 2},
+		{KindStream, 1.5},
+		{KindJobs, 0.5},
+	}
+}
+
+// genTemplate is one concrete request a kind can instantiate.
+type genTemplate struct {
+	method, path, body string
+}
+
+// templatesFor returns each kind's request pool, most popular first
+// (template choice is zipf-weighted, so earlier entries dominate —
+// a heavy-tailed mix within each kind, not just across kinds). All
+// templates use quick-cluster-sized requests so generated fixtures
+// stay cheap to replay.
+func templatesFor(cluster string) map[string][]genTemplate {
+	c := cluster
+	return map[string][]genTemplate{
+		KindFigures: {
+			{"GET", "/v1/figures/fig2", ""},
+			{"GET", "/v1/figures/tab1", ""},
+			{"GET", "/v1/figures", ""},
+			{"GET", "/v1/figures/tab2", ""},
+			{"GET", "/v1/figures/fig22", ""},
+		},
+		KindSweep: {
+			{"POST", "/v1/sweep", `{"cluster":"` + c + `","axis":"powercap","values":[300,250,200,150]}`},
+			{"POST", "/v1/sweep", `{"cluster":"` + c + `","axis":"seed","values":[1,2,3]}`},
+			{"POST", "/v1/sweep", `{"cluster":"` + c + `","axis":"fraction","values":[0.5,1]}`},
+			{"POST", "/v1/sweep", `{"cluster":"` + c + `","axis":"ambient","values":[-4,0,4]}`},
+		},
+		KindEstimate: {
+			{"POST", "/v1/estimate", `{"cluster":"` + c + `","axis":"powercap","values":[300,280,260,240,220,200,180,160,140,120,100]}`},
+			{"POST", "/v1/estimate", `{"cluster":"` + c + `","axis":"ambient","values":[-8,-6,-4,-2,0,2,4,6,8]}`},
+		},
+		KindStream: {
+			{"GET", "/v1/stream/sweep?axis=powercap&cluster=" + c + "&values=300,250,200", ""},
+			{"GET", "/v1/stream/experiments/sgemm?cluster=" + c, ""},
+		},
+		KindJobs: {
+			{"POST", "/v1/jobs", `{"kind":"sweep","sweep":{"cluster":"` + c + `","axis":"seed","values":[4,5]}}`},
+			{"POST", "/v1/jobs", `{"kind":"sweep","sweep":{"cluster":"` + c + `","axis":"powercap","values":[260,210]}}`},
+		},
+	}
+}
+
+// maxGenRecords is a runaway backstop, far above any sensible fixture.
+const maxGenRecords = 200_000
+
+// Generate emits a seeded workload trace. The same spec always yields
+// byte-identical Encode output: every random draw comes from
+// label-split deterministic streams of spec.Seed, and offsets are
+// integer microseconds.
+func Generate(spec GenSpec) (*Trace, error) {
+	spec = spec.withDefaults()
+	templates := templatesFor(spec.Cluster)
+	for _, m := range spec.Mix {
+		if _, ok := templates[m.Kind]; !ok {
+			return nil, fmt.Errorf("traffic: mix names unknown kind %q (want %s)",
+				m.Kind, strings.Join([]string{KindFigures, KindSweep, KindEstimate, KindStream, KindJobs}, ", "))
+		}
+		if m.Weight < 0 {
+			return nil, fmt.Errorf("traffic: mix weight for %q is negative", m.Kind)
+		}
+	}
+
+	durSec := spec.Duration.Seconds()
+	intraSec := spec.IntraGap.Seconds()
+	// Mean Pareto(α, xm=1) burst size is α/(α−1); dividing it out keeps
+	// spec.Rate the realized mean request rate at curve level 1.
+	meanBurst := spec.BurstAlpha / (spec.BurstAlpha - 1)
+	if lim := float64(spec.BurstMax); meanBurst > lim {
+		meanBurst = lim
+	}
+	offMean := float64(spec.Cohorts) * meanBurst / spec.Rate // mean gap between one cohort's bursts
+
+	root := rng.New(spec.Seed)
+	var recs []Record
+	for ci := 0; ci < spec.Cohorts; ci++ {
+		src := root.SplitIndex("traffic-cohort", ci)
+		t := expDraw(src, offMean) // random initial phase per cohort
+		for t < durSec && len(recs) < maxGenRecords {
+			level := curveLevel(spec.Periods, t)
+			client := fmt.Sprintf("c%d-%d", ci, src.Intn(spec.ClientsPerCohort))
+			n := burstSize(src, spec.BurstAlpha, spec.BurstMax)
+			tt := t
+			for j := 0; j < n && tt < durSec && len(recs) < maxGenRecords; j++ {
+				kind := pickMix(src, spec.Mix)
+				pool := templates[kind]
+				tmpl := pool[pickZipf(src, len(pool))]
+				recs = append(recs, Record{
+					OffsetUS: int64(tt * 1e6),
+					Client:   client,
+					Kind:     kind,
+					Method:   tmpl.method,
+					Path:     tmpl.path,
+					Body:     tmpl.body,
+					FP:       Fingerprint(tmpl.method, tmpl.path, tmpl.body),
+					Phase:    phaseOf(level),
+				})
+				tt += expDraw(src, intraSec)
+			}
+			// The diurnal curve modulates how often bursts arrive — high
+			// level, short gaps — while burst sizes keep their heavy tail.
+			t += expDraw(src, offMean) / level
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].OffsetUS < recs[j].OffsetUS })
+
+	return &Trace{
+		Header: Header{
+			Source: "generated",
+			Seed:   spec.Seed,
+			Note: fmt.Sprintf("gen: dur=%s rate=%g cohorts=%dx%d alpha=%g cluster=%s",
+				spec.Duration, spec.Rate, spec.Cohorts, spec.ClientsPerCohort, spec.BurstAlpha, spec.Cluster),
+		},
+		Records: recs,
+	}, nil
+}
+
+// curveLevel evaluates the diurnal curve at t seconds, clamped to a
+// positive floor so the arrival process never stalls entirely.
+func curveLevel(periods []Period, t float64) float64 {
+	level := 1.0
+	for _, p := range periods {
+		level += p.Amplitude * math.Sin(2*math.Pi*t/p.Period.Seconds()+p.Phase)
+	}
+	if level < 0.05 {
+		level = 0.05
+	}
+	return level
+}
+
+// phaseOf labels a curve level for per-phase latency reporting.
+func phaseOf(level float64) string {
+	if level >= 1 {
+		return "peak"
+	}
+	return "offpeak"
+}
+
+// expDraw samples an exponential with the given mean.
+func expDraw(src *rng.Source, mean float64) float64 {
+	return -mean * math.Log(1-src.Float64())
+}
+
+// burstSize samples a Pareto(alpha, xm=1) burst size, truncated to
+// [1, max] — the heavy tail that makes the workload bursty.
+func burstSize(src *rng.Source, alpha float64, limit int) int {
+	n := int(math.Pow(1-src.Float64(), -1/alpha))
+	if n < 1 {
+		n = 1
+	}
+	if n > limit {
+		n = limit
+	}
+	return n
+}
+
+// pickMix draws a kind from the weighted mix.
+func pickMix(src *rng.Source, mix []MixEntry) string {
+	total := 0.0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	x := src.Float64() * total
+	for _, m := range mix {
+		if x < m.Weight {
+			return m.Kind
+		}
+		x -= m.Weight
+	}
+	return mix[len(mix)-1].Kind
+}
+
+// pickZipf draws an index in [0, n) with weight 1/(i+1) — the first
+// templates dominate, the tail still appears.
+func pickZipf(src *rng.Source, n int) int {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	x := src.Float64() * total
+	for i := 0; i < n; i++ {
+		w := 1 / float64(i+1)
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return n - 1
+}

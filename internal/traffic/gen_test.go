@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGenerateDeterministic is the golden-determinism contract: the
+// same spec yields byte-identical trace files, run after run — that is
+// what makes a generated workload a committable fixture.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Seed: 42, Duration: 20 * time.Second, Rate: 30}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("same seed produced different trace bytes")
+	}
+
+	c, err := Generate(GenSpec{Seed: 43, Duration: 20 * time.Second, Rate: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Encode(), c.Encode()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGenerateCoversAllKinds: the default mix must exercise all five
+// production endpoint kinds, with both diurnal phases represented and
+// multiple client identities.
+func TestGenerateCoversAllKinds(t *testing.T) {
+	tr, err := Generate(GenSpec{Seed: 1, Duration: time.Minute, Rate: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) < 100 {
+		t.Fatalf("only %d records generated for a 60s/60rps spec", len(tr.Records))
+	}
+	kinds := tr.Kinds()
+	for _, k := range []string{KindFigures, KindSweep, KindEstimate, KindStream, KindJobs} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %q absent from generated workload (kinds: %v)", k, kinds)
+		}
+	}
+	phases := map[string]int{}
+	clients := map[string]bool{}
+	for _, r := range tr.Records {
+		phases[r.Phase]++
+		clients[r.Client] = true
+		if r.FP != Fingerprint(r.Method, r.Path, r.Body) {
+			t.Fatalf("record fingerprint does not match its request: %+v", r)
+		}
+		if r.SHA256 != "" || r.Status != 0 {
+			t.Fatalf("freshly generated record carries an oracle it cannot know: %+v", r)
+		}
+	}
+	if phases["peak"] == 0 || phases["offpeak"] == 0 {
+		t.Errorf("diurnal phases not both represented: %v", phases)
+	}
+	if len(clients) < 4 {
+		t.Errorf("only %d distinct clients, want several cohort identities", len(clients))
+	}
+
+	// Offsets are sorted and inside the virtual duration.
+	last := int64(-1)
+	for _, r := range tr.Records {
+		if r.OffsetUS < last {
+			t.Fatal("records not sorted by offset")
+		}
+		last = r.OffsetUS
+		if r.OffsetUS >= int64(time.Minute/time.Microsecond) {
+			t.Fatalf("offset %d outside the virtual duration", r.OffsetUS)
+		}
+	}
+}
+
+// TestGenerateMixIsConfigurable: an all-sweep mix generates only
+// sweeps, and the configured cluster lands in the request bodies.
+func TestGenerateMixIsConfigurable(t *testing.T) {
+	tr, err := Generate(GenSpec{
+		Seed:     9,
+		Duration: 10 * time.Second,
+		Rate:     40,
+		Mix:      []MixEntry{{KindSweep, 1}},
+		Cluster:  "Vortex",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) == 0 {
+		t.Fatal("no records generated")
+	}
+	for _, r := range tr.Records {
+		if r.Kind != KindSweep {
+			t.Fatalf("mix of only sweeps generated kind %q", r.Kind)
+		}
+		if !strings.Contains(r.Body, `"cluster":"Vortex"`) {
+			t.Fatalf("cluster parameter did not reach the body: %s", r.Body)
+		}
+	}
+}
+
+// TestGenerateBurstiness: with a heavy tail the inter-arrival gaps
+// must be far from uniform — some back-to-back bursts, some long
+// silences. A weak but robust check: the maximum gap dwarfs the
+// median gap.
+func TestGenerateBurstiness(t *testing.T) {
+	tr, err := Generate(GenSpec{Seed: 5, Duration: time.Minute, Rate: 50, BurstAlpha: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) < 200 {
+		t.Fatalf("only %d records", len(tr.Records))
+	}
+	gaps := make([]int64, 0, len(tr.Records)-1)
+	for i := 1; i < len(tr.Records); i++ {
+		gaps = append(gaps, tr.Records[i].OffsetUS-tr.Records[i-1].OffsetUS)
+	}
+	var maxGap, sum int64
+	for _, g := range gaps {
+		if g > maxGap {
+			maxGap = g
+		}
+		sum += g
+	}
+	mean := sum / int64(len(gaps))
+	if maxGap < 10*mean {
+		t.Errorf("max gap %dµs is only %.1fx the mean %dµs — workload looks uniform, not bursty",
+			maxGap, float64(maxGap)/float64(mean), mean)
+	}
+}
+
+func TestGenerateRejectsUnknownMixKind(t *testing.T) {
+	if _, err := Generate(GenSpec{Seed: 1, Mix: []MixEntry{{"nonsense", 1}}}); err == nil {
+		t.Fatal("unknown mix kind accepted")
+	}
+	if _, err := Generate(GenSpec{Seed: 1, Mix: []MixEntry{{KindSweep, -1}}}); err == nil {
+		t.Fatal("negative mix weight accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// The recorder captures live request streams at the service layer as a
+// trace file. It is deliberately append-per-request: every record is a
+// complete line flushed as soon as the response finishes, so a crash
+// mid-recording leaves at worst one torn tail line — which Decode
+// recovers from by construction.
+package traffic
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// RecorderStats is the recorder's counter snapshot (exposed on
+// /v1/stats while recording).
+type RecorderStats struct {
+	// Recorded counts requests appended to the trace.
+	Recorded int64 `json:"recorded"`
+	// Skipped counts requests on non-replayable routes (observability,
+	// job polls) that the recorder deliberately left out.
+	Skipped int64 `json:"skipped"`
+	// Path is the trace file being written.
+	Path string `json:"path"`
+}
+
+// Recorder appends request records to a trace file. Safe for
+// concurrent use; records land in completion order (Trace.Sort
+// restores arrival order on decode).
+type Recorder struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	epoch time.Time
+	stats RecorderStats
+	err   error // sticky first write error
+}
+
+// NewRecorder creates (truncating) the trace file and writes the
+// header. One recorder is one recording session: offsets count from
+// its creation.
+func NewRecorder(path, note string) (*Recorder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recorder{f: f, w: bufio.NewWriter(f), epoch: time.Now()}
+	r.stats.Path = path
+	if _, err := r.w.Write((&Trace{Header: Header{Source: "recorded", Note: note}}).Encode()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := r.w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Offset converts a request start time to the record offset.
+func (r *Recorder) Offset(start time.Time) int64 {
+	us := start.Sub(r.epoch).Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	return us
+}
+
+// Observe appends one record and flushes it. Write errors are sticky:
+// the first one stops further appends (Close returns it).
+func (r *Recorder) Observe(rec Record) {
+	if rec.FP == "" {
+		rec.FP = Fingerprint(rec.Method, rec.Path, rec.Body)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if _, err := r.w.Write(marshalLine(rec)); err != nil {
+		r.err = err
+		return
+	}
+	if err := r.w.Flush(); err != nil {
+		r.err = err
+		return
+	}
+	r.stats.Recorded++
+}
+
+// Skip counts a request the recorder saw but deliberately did not
+// record (non-replayable route).
+func (r *Recorder) Skip() {
+	r.mu.Lock()
+	r.stats.Skipped++
+	r.mu.Unlock()
+}
+
+// Stats returns a counter snapshot.
+func (r *Recorder) Stats() RecorderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close flushes and closes the trace file, returning the first write
+// error if any append failed.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ferr := r.w.Flush()
+	cerr := r.f.Close()
+	if r.err != nil {
+		return r.err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// Tap wraps a ResponseWriter to capture the response status and a
+// sha256 of the raw bytes written, while passing writes (and flushes —
+// the streaming endpoints depend on incremental delivery) straight
+// through.
+type Tap struct {
+	http.ResponseWriter
+	status int
+	hash   hash.Hash
+}
+
+// NewTap wraps w for recording.
+func NewTap(w http.ResponseWriter) *Tap {
+	return &Tap{ResponseWriter: w, hash: sha256.New()}
+}
+
+func (t *Tap) WriteHeader(code int) {
+	if t.status == 0 {
+		t.status = code
+	}
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *Tap) Write(b []byte) (int, error) {
+	if t.status == 0 {
+		t.status = http.StatusOK
+	}
+	t.hash.Write(b)
+	return t.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports flushing
+// (the NDJSON streams require it); otherwise it is a no-op, exactly as
+// if the client were behind a non-flushing proxy.
+func (t *Tap) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (t *Tap) Unwrap() http.ResponseWriter { return t.ResponseWriter }
+
+// Result returns the response status (0 if nothing was written) and
+// the hex sha256 of the bytes written so far.
+func (t *Tap) Result() (status int, sha string) {
+	return t.status, hex.EncodeToString(t.hash.Sum(nil))
+}

@@ -1,0 +1,272 @@
+// Package traffic defines gpuvar's versioned JSON-lines traffic-trace
+// format and the machinery around it: a recorder that captures live
+// request streams at the service layer (record.go), and a seeded
+// generative workload engine that emits the same format (gen.go), so
+// recorded and generated workloads are interchangeably replayable.
+//
+// A trace is the closed loop between measurement and verification: it
+// is simultaneously load (the request sequence with offsets and client
+// identities), oracle (each record carries the expected response
+// sha256), and fixture (the encoding is canonical, so a trace is a
+// committable golden file).
+//
+// # Wire format
+//
+// A trace file is newline-delimited JSON. The first line is the header:
+//
+//	{"trace":"gpuvar-traffic","v":1,"source":"generated","seed":1,"note":"..."}
+//
+// Every following line is one request record:
+//
+//		{"offset_us":1500,"client":"c0-2","kind":"sweep","method":"POST",
+//		 "path":"/v1/sweep","body":"{...}","fp":"<sha256 hex>",
+//		 "status":200,"sha256":"<sha256 hex>","phase":"peak"}
+//
+//	  - offset_us is the request's start offset from the trace epoch in
+//	    integer microseconds (integers keep the encoding canonical).
+//	  - client is the request's identity; replayers send it as X-API-Key.
+//	  - kind classifies the endpoint (figures, experiment, sweep,
+//	    estimate, stream, jobs, campaign).
+//	  - fp is the request fingerprint: sha256 over method, path (with
+//	    query), and body, NUL-separated — the request's identity key.
+//	  - status and sha256 are the expected response: sha256 is the hex
+//	    digest of the raw response bytes (for kind "jobs", of the job's
+//	    result bytes — the 202 body carries a random job ID and is not
+//	    hashed). Both may be absent on a freshly generated trace; a
+//	    replay run fills them in to build the oracle.
+//	  - phase is a free-form label (e.g. "peak"/"offpeak" from the
+//	    generator's diurnal curve) for per-phase latency reporting.
+//
+// Decoding is torn-tail tolerant with the same semantics as the job
+// journal (internal/jobs): a trailing line that is incomplete or
+// undecodable — a crash mid-append — truncates the decode at the last
+// good record instead of failing, and the decoder reports how many
+// records and bytes were dropped. Encoding the decoded records yields
+// the canonical form: Encode∘Decode is a fixed point.
+package traffic
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FormatName and FormatVersion identify the trace format; the decoder
+// refuses headers that do not match.
+const (
+	FormatName    = "gpuvar-traffic"
+	FormatVersion = 1
+)
+
+// Endpoint kinds. The generator emits the five production kinds
+// (figures, sweep, estimate, stream, jobs); the recorder additionally
+// classifies experiment and campaign requests so recorded traces keep
+// full fidelity.
+const (
+	KindFigures    = "figures"
+	KindExperiment = "experiment"
+	KindSweep      = "sweep"
+	KindEstimate   = "estimate"
+	KindStream     = "stream"
+	KindJobs       = "jobs"
+	KindCampaign   = "campaign"
+)
+
+// Header is the first line of every trace file.
+type Header struct {
+	Trace   string `json:"trace"`
+	Version int    `json:"v"`
+	// Source records how the trace came to be: "recorded" (captured
+	// from live traffic) or "generated" (emitted by the workload
+	// engine).
+	Source string `json:"source,omitempty"`
+	// Seed is the generator seed for generated traces (0 for recorded
+	// ones) — enough to regenerate the request sequence exactly.
+	Seed uint64 `json:"seed,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// Record is one request in a trace.
+type Record struct {
+	OffsetUS int64  `json:"offset_us"`
+	Client   string `json:"client,omitempty"`
+	Kind     string `json:"kind"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Body     string `json:"body,omitempty"`
+	FP       string `json:"fp"`
+	Status   int    `json:"status,omitempty"`
+	SHA256   string `json:"sha256,omitempty"`
+	Phase    string `json:"phase,omitempty"`
+}
+
+// Trace is a decoded trace: header plus records in file order.
+type Trace struct {
+	Header  Header
+	Records []Record
+}
+
+// DecodeStats reports what a torn-tail-tolerant decode dropped.
+type DecodeStats struct {
+	// SkippedRecords counts non-blank line chunks after the last good
+	// record (normally 0, or 1 after a crash mid-append).
+	SkippedRecords int
+	// TruncatedBytes is the byte length of the dropped tail.
+	TruncatedBytes int64
+}
+
+// Fingerprint is the request identity key recorded in Record.FP:
+// sha256 over method, path (including query), and body, NUL-separated
+// so no field boundary ambiguity exists.
+func Fingerprint(method, path, body string) string {
+	h := sha256.New()
+	h.Write([]byte(method))
+	h.Write([]byte{0})
+	h.Write([]byte(path))
+	h.Write([]byte{0})
+	h.Write([]byte(body))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Classify maps a request to its endpoint kind and reports whether the
+// recorder captures it. Non-replayable surfaces — observability
+// (stats, healthz, metrics, replicas), job polls and cancels (their
+// URLs embed run-specific random IDs), the discovery document, and the
+// replica-internal shard route — are excluded: a trace must replay
+// cleanly against a fresh server.
+func Classify(method, path string) (kind string, replayable bool) {
+	switch {
+	case method == "GET" && (path == "/v1/figures" || strings.HasPrefix(path, "/v1/figures/")):
+		return KindFigures, true
+	case method == "GET" && strings.HasPrefix(path, "/v1/experiments/"):
+		return KindExperiment, true
+	case method == "POST" && path == "/v1/sweep":
+		return KindSweep, true
+	case (method == "GET" || method == "POST") && path == "/v1/estimate":
+		return KindEstimate, true
+	case method == "GET" && strings.HasPrefix(path, "/v1/stream/"):
+		return KindStream, true
+	case method == "POST" && path == "/v1/campaign":
+		return KindCampaign, true
+	case method == "POST" && path == "/v1/jobs":
+		return KindJobs, true
+	}
+	return "other", false
+}
+
+// valid reports whether a decoded record carries the minimum a replay
+// needs; anything less is treated as a torn tail.
+func (r Record) valid() bool {
+	return r.Kind != "" && r.Method != "" && r.Path != "" && r.OffsetUS >= 0
+}
+
+// marshalLine is the canonical single-line encoding (json.Marshal with
+// the fixed struct field order, no indentation).
+func marshalLine(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Header and Record contain only strings and integers; Marshal
+		// cannot fail on them.
+		panic(fmt.Sprintf("traffic: marshal: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// Encode renders the trace in canonical form: one header line, one
+// line per record, each a compact JSON object in fixed field order.
+// Encoding the result of Decode reproduces these exact bytes.
+func (t *Trace) Encode() []byte {
+	var buf bytes.Buffer
+	h := t.Header
+	h.Trace = FormatName
+	h.Version = FormatVersion
+	buf.Write(marshalLine(h))
+	for _, r := range t.Records {
+		buf.Write(marshalLine(r))
+	}
+	return buf.Bytes()
+}
+
+// Decode parses a trace with torn-tail tolerance. A malformed or
+// missing header is a hard error (the bytes are not a trace at all);
+// after that, decoding stops at the first incomplete or undecodable
+// line and reports the dropped tail in DecodeStats — the same recovery
+// semantics as the job journal's replay.
+func Decode(data []byte) (*Trace, DecodeStats, error) {
+	var stats DecodeStats
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, stats, fmt.Errorf("traffic: no complete header line")
+	}
+	var h Header
+	if err := json.Unmarshal(data[:nl], &h); err != nil {
+		return nil, stats, fmt.Errorf("traffic: decoding header: %v", err)
+	}
+	if h.Trace != FormatName {
+		return nil, stats, fmt.Errorf("traffic: header names format %q, want %q", h.Trace, FormatName)
+	}
+	if h.Version != FormatVersion {
+		return nil, stats, fmt.Errorf("traffic: unsupported trace version %d (want %d)", h.Version, FormatVersion)
+	}
+	t := &Trace{Header: h}
+	rest := data[nl+1:]
+	for len(rest) > 0 {
+		nl = bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // incomplete final line: torn tail
+		}
+		line := rest[:nl]
+		if len(bytes.TrimSpace(line)) == 0 {
+			rest = rest[nl+1:]
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || !r.valid() {
+			break // undecodable line: treat it and everything after as torn
+		}
+		t.Records = append(t.Records, r)
+		rest = rest[nl+1:]
+	}
+	// Whatever remains was dropped; count its non-blank chunks the way
+	// the job journal counts skipped records.
+	stats.TruncatedBytes = int64(len(rest))
+	for _, chunk := range bytes.Split(rest, []byte("\n")) {
+		if len(bytes.TrimSpace(chunk)) > 0 {
+			stats.SkippedRecords++
+		}
+	}
+	return t, stats, nil
+}
+
+// DecodeFile reads and decodes a trace file.
+func DecodeFile(path string) (*Trace, DecodeStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, DecodeStats{}, err
+	}
+	return Decode(data)
+}
+
+// Sort orders records by start offset, stably, so a trace assembled
+// from concurrent completions (the recorder appends in completion
+// order) replays in arrival order.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		return t.Records[i].OffsetUS < t.Records[j].OffsetUS
+	})
+}
+
+// Kinds returns the distinct record kinds with their counts — handy
+// for summaries and coverage assertions.
+func (t *Trace) Kinds() map[string]int {
+	out := make(map[string]int)
+	for _, r := range t.Records {
+		out[r.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package traffic
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	recs := []Record{
+		{OffsetUS: 0, Client: "c0-0", Kind: KindFigures, Method: "GET", Path: "/v1/figures/fig2", Status: 200, SHA256: strings.Repeat("a", 64), Phase: "peak"},
+		{OffsetUS: 1500, Client: "c0-1", Kind: KindSweep, Method: "POST", Path: "/v1/sweep", Body: `{"axis":"seed","values":[1,2]}`, Status: 200, Phase: "offpeak"},
+		{OffsetUS: 2100, Client: "c1-0", Kind: KindJobs, Method: "POST", Path: "/v1/jobs", Body: `{"kind":"sweep"}`, Status: 202},
+	}
+	for i := range recs {
+		recs[i].FP = Fingerprint(recs[i].Method, recs[i].Path, recs[i].Body)
+	}
+	return &Trace{Header: Header{Source: "generated", Seed: 7, Note: "test"}, Records: recs}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	enc := tr.Encode()
+	got, stats, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if stats != (DecodeStats{}) {
+		t.Fatalf("clean trace reported drops: %+v", stats)
+	}
+	if got.Header.Source != "generated" || got.Header.Seed != 7 || got.Header.Note != "test" {
+		t.Errorf("header round-trip lost fields: %+v", got.Header)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("decoded %d records, want %d", len(got.Records), len(tr.Records))
+	}
+	for i, r := range got.Records {
+		if r != tr.Records[i] {
+			t.Errorf("record %d round-trip: got %+v want %+v", i, r, tr.Records[i])
+		}
+	}
+	if re := got.Encode(); !bytes.Equal(re, enc) {
+		t.Error("re-encode of decoded trace is not byte-identical (encoding not canonical)")
+	}
+}
+
+// TestDecodeTornTail pins the journal-style recovery semantics: a
+// crash mid-append leaves a half-written final line, and decoding must
+// return every complete record before it plus honest drop counters.
+func TestDecodeTornTail(t *testing.T) {
+	tr := sampleTrace()
+	enc := tr.Encode()
+
+	// Tear the final record at various depths; all three full records
+	// minus one must survive.
+	lines := bytes.SplitAfter(enc, []byte("\n"))
+	prefix := bytes.Join(lines[:len(lines)-2], nil) // header + first 2 records
+	last := lines[len(lines)-2]
+	for _, cut := range []int{1, len(last) / 2, len(last) - 1} {
+		torn := append(append([]byte{}, prefix...), last[:cut]...)
+		got, stats, err := Decode(torn)
+		if err != nil {
+			t.Fatalf("cut %d: Decode: %v", cut, err)
+		}
+		if len(got.Records) != 2 {
+			t.Fatalf("cut %d: decoded %d records, want the 2 before the tear", cut, len(got.Records))
+		}
+		if stats.SkippedRecords != 1 || stats.TruncatedBytes != int64(cut) {
+			t.Errorf("cut %d: stats = %+v, want 1 skipped / %d bytes", cut, stats, cut)
+		}
+	}
+
+	// A complete-but-garbage line stops decoding there too.
+	garbage := append(append([]byte{}, prefix...), []byte("{not json}\n")...)
+	garbage = append(garbage, last...)
+	got, stats, err := Decode(garbage)
+	if err != nil {
+		t.Fatalf("garbage line: %v", err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("garbage line: decoded %d records, want 2", len(got.Records))
+	}
+	if stats.SkippedRecords != 2 { // the garbage line and the record after it
+		t.Errorf("garbage line: skipped %d, want 2", stats.SkippedRecords)
+	}
+}
+
+func TestDecodeRejectsNonTraces(t *testing.T) {
+	for _, data := range []string{
+		"",
+		"no newline at all",
+		"{\"trace\":\"something-else\",\"v\":1}\n",
+		"{\"trace\":\"gpuvar-traffic\",\"v\":99}\n",
+		"not json\n",
+	} {
+		if _, _, err := Decode([]byte(data)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want header error", data)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		method, path string
+		kind         string
+		replayable   bool
+	}{
+		{"GET", "/v1/figures", KindFigures, true},
+		{"GET", "/v1/figures/fig2", KindFigures, true},
+		{"GET", "/v1/experiments/sgemm", KindExperiment, true},
+		{"POST", "/v1/sweep", KindSweep, true},
+		{"GET", "/v1/estimate", KindEstimate, true},
+		{"POST", "/v1/estimate", KindEstimate, true},
+		{"GET", "/v1/stream/sweep", KindStream, true},
+		{"GET", "/v1/stream/experiments/sgemm", KindStream, true},
+		{"POST", "/v1/campaign", KindCampaign, true},
+		{"POST", "/v1/jobs", KindJobs, true},
+		// Non-replayable surfaces stay out of traces.
+		{"GET", "/v1/jobs", "other", false},
+		{"GET", "/v1/jobs/abc123", "other", false},
+		{"DELETE", "/v1/jobs/abc123", "other", false},
+		{"GET", "/v1/stats", "other", false},
+		{"GET", "/v1/healthz", "other", false},
+		{"GET", "/metrics", "other", false},
+		{"POST", "/v1/internal/shards", "other", false},
+		{"GET", "/v1/", "other", false},
+	}
+	for _, c := range cases {
+		kind, ok := Classify(c.method, c.path)
+		if kind != c.kind || ok != c.replayable {
+			t.Errorf("Classify(%s %s) = (%q, %t), want (%q, %t)", c.method, c.path, kind, ok, c.kind, c.replayable)
+		}
+	}
+}
+
+func TestFingerprintSeparatesFields(t *testing.T) {
+	// The NUL separators must prevent boundary ambiguity between
+	// method/path/body.
+	a := Fingerprint("GET", "/v1/x", "body")
+	b := Fingerprint("GET", "/v1/xbody", "")
+	if a == b {
+		t.Error("fingerprints collide across field boundaries")
+	}
+	if Fingerprint("GET", "/v1/x", "") != Fingerprint("GET", "/v1/x", "") {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+func TestRecorderWritesDecodableTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.trace")
+	rec, err := NewRecorder(path, "unit test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Observe(Record{OffsetUS: 10, Client: "a", Kind: KindFigures, Method: "GET", Path: "/v1/figures", Status: 200, SHA256: strings.Repeat("b", 64)})
+	rec.Observe(Record{OffsetUS: 20, Client: "b", Kind: KindSweep, Method: "POST", Path: "/v1/sweep", Body: "{}", Status: 200})
+	rec.Skip()
+	st := rec.Stats()
+	if st.Recorded != 2 || st.Skipped != 1 {
+		t.Errorf("stats = %+v, want 2 recorded / 1 skipped", st)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, stats, err := DecodeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (DecodeStats{}) || len(tr.Records) != 2 {
+		t.Fatalf("decoded %d records (stats %+v), want 2 clean", len(tr.Records), stats)
+	}
+	if tr.Header.Source != "recorded" || tr.Header.Note != "unit test" {
+		t.Errorf("header = %+v", tr.Header)
+	}
+	// Observe computed the fingerprint for the caller.
+	if want := Fingerprint("GET", "/v1/figures", ""); tr.Records[0].FP != want {
+		t.Errorf("record 0 fp = %q, want %q", tr.Records[0].FP, want)
+	}
+
+	// A torn tail appended by a crash decodes back to the clean prefix.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"offset_us":30,"client":"c","ki`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tr2, stats2, err := DecodeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Records) != 2 || stats2.SkippedRecords != 1 {
+		t.Errorf("torn decode: %d records, stats %+v; want 2 records, 1 skipped", len(tr2.Records), stats2)
+	}
+}
+
+func TestTapCapturesStatusAndHash(t *testing.T) {
+	rr := httptest.NewRecorder()
+	tap := NewTap(rr)
+	tap.WriteHeader(202)
+	if _, err := tap.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tap.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	tap.Flush()
+	status, sha := tap.Result()
+	if status != 202 {
+		t.Errorf("status = %d, want 202", status)
+	}
+	sum := sha256.Sum256([]byte("hello world"))
+	if sha != hex.EncodeToString(sum[:]) {
+		t.Errorf("sha = %s, want hash of the written bytes", sha)
+	}
+	if rr.Body.String() != "hello world" {
+		t.Errorf("underlying writer got %q", rr.Body.String())
+	}
+	if !rr.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+
+	// Implicit 200 when the handler never calls WriteHeader.
+	tap2 := NewTap(httptest.NewRecorder())
+	_, _ = tap2.Write([]byte("x"))
+	if status, _ := tap2.Result(); status != 200 {
+		t.Errorf("implicit status = %d, want 200", status)
+	}
+}
+
+func TestSortAndKinds(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{OffsetUS: 30, Kind: KindSweep, Method: "POST", Path: "/v1/sweep"},
+		{OffsetUS: 10, Kind: KindFigures, Method: "GET", Path: "/v1/figures"},
+		{OffsetUS: 20, Kind: KindFigures, Method: "GET", Path: "/v1/figures"},
+	}}
+	tr.Sort()
+	if tr.Records[0].OffsetUS != 10 || tr.Records[2].OffsetUS != 30 {
+		t.Errorf("Sort left order %v", tr.Records)
+	}
+	kinds := tr.Kinds()
+	if kinds[KindFigures] != 2 || kinds[KindSweep] != 1 {
+		t.Errorf("Kinds = %v", kinds)
+	}
+}

@@ -1,0 +1,165 @@
+package gpuvar
+
+// Replay-determinism acceptance tests over the committed burst-workload
+// fixture (testdata/traces/burst.trace): the trace must replay against
+// a default-configuration server with zero oracle mismatches, and two
+// replays must observe identical (status, sha256) digests — the
+// byte-identity contract, asserted record by record across every
+// endpoint kind under bursty production-shaped arrivals.
+//
+// The fixture is generated, not recorded: `go test -run
+// TestReplayBurstFixture -update-trace` regenerates it from burstSpec
+// (the full provenance) by generating the seeded workload, replaying it
+// against a fresh default server, and writing the trace back with the
+// observed oracle filled in. Regenerate it whenever an intentional
+// change alters response bytes; the test then pins the new bytes.
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpuvar/internal/loadgen"
+	"gpuvar/internal/service"
+	"gpuvar/internal/traffic"
+)
+
+var updateTrace = flag.Bool("update-trace", false, "regenerate testdata/traces/burst.trace (generate + replay + fill oracle)")
+
+const burstTracePath = "testdata/traces/burst.trace"
+
+// burstSpec is the committed fixture's full provenance: a 30-second
+// bursty workload at a mean 8 req/s over the default diurnal curve
+// (30s + 7.5s periods), default cohorts (4×4 clients), and the default
+// heavy-tailed kind mix — small enough to replay in seconds on a
+// virtual clock, bursty enough to pile requests up.
+func burstSpec() traffic.GenSpec {
+	return traffic.GenSpec{
+		Seed:     2022,
+		Duration: 30 * time.Second,
+		Rate:     8,
+	}
+}
+
+// burstClient returns a replay client tuned for in-process servers: a
+// tight job-poll interval so async records don't serialize on sleeps.
+func burstClient(ts *httptest.Server) *loadgen.Client {
+	return &loadgen.Client{HTTP: ts.Client(), PollInterval: 2 * time.Millisecond}
+}
+
+// defaultTraceServer builds the server the fixture's oracle refers to:
+// the zero Options value, exactly what a flagless `gpuvard` boots
+// (quick-settings figures config, default cache bounds).
+func defaultTraceServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	srv, err := service.New(service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts
+}
+
+// loadBurstTrace reads the committed fixture — or, under -update-trace,
+// regenerates it first (generate the seeded workload, replay it against
+// a fresh default server, fill the oracle from the observations).
+func loadBurstTrace(t *testing.T) *traffic.Trace {
+	t.Helper()
+	if *updateTrace {
+		gen, err := traffic.Generate(burstSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := defaultTraceServer(t)
+		res, err := burstClient(ts).Replay(gen, loadgen.ReplayOptions{Bases: []string{ts.URL}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		filled, err := res.FillOracle(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(burstTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(burstTracePath, filled.Encode(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s: %d records %v", burstTracePath, len(filled.Records), filled.Kinds())
+	}
+	tr, stats, err := traffic.DecodeFile(burstTracePath)
+	if err != nil {
+		t.Fatalf("%s: %v (regenerate with -update-trace)", burstTracePath, err)
+	}
+	if stats.SkippedRecords != 0 {
+		t.Fatalf("%s has a torn tail (%+v) — the committed fixture must be intact", burstTracePath, stats)
+	}
+	return tr
+}
+
+// TestReplayBurstFixture is the replay-determinism acceptance test:
+// the committed fixture replays twice against one default server with
+// zero mismatches and identical digests.
+func TestReplayBurstFixture(t *testing.T) {
+	tr := loadBurstTrace(t)
+
+	// The fixture must exercise every production endpoint kind, with
+	// enough records to mean something and both diurnal phases present.
+	kinds := tr.Kinds()
+	for _, kind := range []string{traffic.KindFigures, traffic.KindSweep, traffic.KindEstimate, traffic.KindStream, traffic.KindJobs} {
+		if kinds[kind] == 0 {
+			t.Errorf("fixture has no %q records: %v", kind, kinds)
+		}
+	}
+	if len(tr.Records) < 100 {
+		t.Errorf("fixture has only %d records, want at least 100", len(tr.Records))
+	}
+	phases := map[string]bool{}
+	oracled := 0
+	for _, rec := range tr.Records {
+		phases[rec.Phase] = true
+		if rec.Status != 0 {
+			oracled++
+		}
+	}
+	if !phases["peak"] || !phases["offpeak"] {
+		t.Errorf("fixture phases = %v, want both peak and offpeak", phases)
+	}
+	if oracled != len(tr.Records) {
+		t.Errorf("only %d/%d records carry an oracle status — regenerate with -update-trace", oracled, len(tr.Records))
+	}
+
+	ts := defaultTraceServer(t)
+	c := burstClient(ts)
+	opts := loadgen.ReplayOptions{Bases: []string{ts.URL}, Verify: true}
+
+	r1, err := c.Replay(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r1.Mismatches(); n > 0 {
+		bad := r1.FirstBad()
+		t.Fatalf("first replay: %d mismatches; first: record #%d (%s): err=%v mismatch=%s",
+			n, bad.Index, bad.Kind, bad.Err, bad.Mismatch)
+	}
+	r2, err := c.Replay(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r2.Mismatches(); n > 0 {
+		bad := r2.FirstBad()
+		t.Fatalf("second replay: %d mismatches; first: record #%d (%s): err=%v mismatch=%s",
+			n, bad.Index, bad.Kind, bad.Err, bad.Mismatch)
+	}
+	if d1, d2 := r1.Digest(), r2.Digest(); d1 != d2 {
+		t.Errorf("replay digests diverged:\n  first  %s\n  second %s", d1, d2)
+	}
+	if len(r1.TTFLs()) != kinds[traffic.KindStream] {
+		t.Errorf("replay observed %d stream TTFLs, want one per stream record (%d)",
+			len(r1.TTFLs()), kinds[traffic.KindStream])
+	}
+}

@@ -8,6 +8,15 @@
 # its integration job so the serving stack is exercised by a real
 # server process, not just httptest.
 #
+# A replay stage drives the committed burst-workload trace
+# (testdata/traces/burst.trace) through loadgen -replay twice: both
+# passes must verify every record against its oracle (zero mismatches,
+# loadgen exits nonzero otherwise), the two run digests must be
+# identical (replay determinism against a live server process), and the
+# per-phase p99 / stream-TTFL lines are surfaced in the CI log. The
+# clean server also records its own traffic (-record-trace), and the
+# capture is checked for the versioned header and a sane record count.
+#
 # An estimator stage drives the analytical tier: a 256-value
 # /v1/estimate (8x the full-simulation cap) must answer with estimated
 # points, the same axis as a plain sweep must be refused with
@@ -119,8 +128,32 @@ http_body() {
 
 SWEEP_BODY='{"cluster":"CloudLab","axis":"powercap","values":[300,250,200]}'
 
-echo "==> smoke: booting gpuvard on $ADDR"
-boot_server
+echo "==> smoke: booting gpuvard on $ADDR (recording traffic)"
+boot_server -record-trace "$WORK/live.trace"
+
+echo "==> smoke: replay — committed burst trace, determinism + latency under burst"
+# The fixture's oracle was filled against a default-flag server, which
+# is exactly what is running; loadgen -replay verifies every record
+# (status + response sha256) and exits nonzero on any mismatch. Two
+# passes must also agree on the run digest — replay determinism over a
+# real server process, not just httptest.
+"$WORK/loadgen" -url "http://$ADDR" -replay testdata/traces/burst.trace \
+    | tee "$WORK/replay1.out"
+"$WORK/loadgen" -url "http://$ADDR" -replay testdata/traces/burst.trace \
+    | tee "$WORK/replay2.out"
+for f in replay1 replay2; do
+    if ! grep -q '^stream TTFL: ' "$WORK/$f.out"; then
+        echo "smoke: $f reported no stream TTFL percentiles" >&2
+        exit 1
+    fi
+done
+D1=$(grep '^digest: ' "$WORK/replay1.out")
+D2=$(grep '^digest: ' "$WORK/replay2.out")
+if [ -z "$D1" ] || [ "$D1" != "$D2" ]; then
+    echo "smoke: replay digests diverged between runs: '$D1' vs '$D2'" >&2
+    exit 1
+fi
+echo "smoke: replay determinism OK ($D1)"
 
 echo "==> smoke: loadgen mix (figures + sweep + async jobs + streams) for $DURATION"
 "$WORK/loadgen" -url "http://$ADDR" \
@@ -241,6 +274,26 @@ done
 # The fault-free reference for the chaos stage, captured before the
 # clean server goes away.
 http_body POST /v1/sweep "$SWEEP_BODY" >"$WORK/sweep.clean"
+
+# The clean server has been recording its replayable traffic the whole
+# time (-record-trace): the capture must open with the versioned header
+# and hold at least the replayed burst records (the recorder flushes
+# per record, so the live file is always an intact prefix).
+if ! head -1 "$WORK/live.trace" | grep -q '"trace": *"gpuvar-traffic"'; then
+    echo "smoke: recorded trace lacks the gpuvar-traffic header:" >&2
+    head -1 "$WORK/live.trace" >&2
+    exit 1
+fi
+REC_N=$(grep -c '"offset_us"' "$WORK/live.trace" || true)
+if [ "$REC_N" -lt 100 ]; then
+    echo "smoke: recorded trace holds only $REC_N records after the full clean stage" >&2
+    exit 1
+fi
+if ! http_body GET /v1/stats | grep -q '"traffic":'; then
+    echo "smoke: /v1/stats does not surface the recorder counters while recording" >&2
+    exit 1
+fi
+echo "smoke: recorder captured $REC_N replayable records"
 
 echo "==> smoke: chaos — 30% transient shard faults, retries armed"
 stop_server
